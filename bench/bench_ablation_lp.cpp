@@ -1,0 +1,129 @@
+// Ablation: the LP pipeline's own design choices.
+//
+//  1. Windowed vs. monolithic solve - same objective, wildly different
+//     cost (the barrier decomposition of dag/windows.h).
+//  2. Paced vs. unpaced replay - pacing each MPI call to its scheduled
+//     time is what keeps p2p traces under the cap.
+//  3. Continuous mixtures vs. discrete rounding - what realizability
+//     costs (Section 3.2's two modes).
+//  4. Slack-power assumption - the LP charges slack at task power
+//     (Section 3.3); an idle-slack machine would leave this much margin.
+#include <chrono>
+#include <cstdio>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "core/lp_formulation.h"
+#include "core/windowed.h"
+#include "runtime/static_policy.h"
+#include "sim/power_window.h"
+#include "sim/replay.h"
+
+using namespace powerlim;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  const dag::TaskGraph g = apps::make_lulesh(
+      {.ranks = args.ranks, .iterations = args.iterations});
+  const double socket = 45.0;
+  const double cap = socket * args.ranks;
+
+  std::printf("== Ablation: LP pipeline design choices (LULESH, %d ranks, "
+              "%d iterations, %.0f W/socket) ==\n\n",
+              args.ranks, args.iterations, socket);
+
+  // 1. Windowed vs monolithic.
+  auto t0 = std::chrono::steady_clock::now();
+  const auto windowed = core::solve_windowed_lp(g, bench::model(),
+                                                bench::cluster(),
+                                                {.power_cap = cap});
+  const double t_windowed = seconds_since(t0);
+  t0 = std::chrono::steady_clock::now();
+  const core::LpFormulation mono(g, bench::model(), bench::cluster());
+  const auto mono_res = mono.solve({.power_cap = cap});
+  const double t_mono = seconds_since(t0);
+  util::Table t1({"solve", "objective_s", "wall_s", "simplex_iters"});
+  t1.add_row({"windowed (default)", bench::fmt(windowed.makespan, 4),
+              bench::fmt(t_windowed, 3), std::to_string(windowed.iterations)});
+  t1.add_row({"monolithic (paper form)", bench::fmt(mono_res.makespan, 4),
+              bench::fmt(t_mono, 3), std::to_string(mono_res.iterations)});
+  bench::emit(t1, args);
+  std::printf("objective agreement: %.4f%%\n\n",
+              (windowed.makespan / mono_res.makespan - 1.0) * 100.0);
+
+  // 2. Paced vs unpaced replay.
+  sim::ReplayOptions ro;
+  ro.engine.cluster = bench::cluster();
+  ro.engine.idle_power = bench::model().idle_power();
+  const auto paced = sim::replay_schedule(g, windowed.schedule,
+                                          windowed.frontiers, ro,
+                                          &windowed.vertex_time);
+  const auto unpaced = sim::replay_schedule(g, windowed.schedule,
+                                            windowed.frontiers, ro, nullptr);
+  util::Table t2({"replay", "time_s", "peak_w", "over_cap_ms",
+                  "rapl_10ms_avg_w"});
+  t2.add_row({"paced (default)", bench::fmt(paced.makespan, 4),
+              bench::fmt(paced.peak_power, 2),
+              bench::fmt(paced.violation_seconds(cap) * 1e3, 3),
+              bench::fmt(sim::max_windowed_power(paced, 0.01), 2)});
+  t2.add_row({"unpaced (ASAP)", bench::fmt(unpaced.makespan, 4),
+              bench::fmt(unpaced.peak_power, 2),
+              bench::fmt(unpaced.violation_seconds(cap) * 1e3, 3),
+              bench::fmt(sim::max_windowed_power(unpaced, 0.01), 2)});
+  bench::emit(t2, args);
+  std::printf("(identical rows are themselves a finding: the LP stretches "
+              "non-critical tasks\nto fill their spans, so the ASAP replay "
+              "already lands on the scheduled times\nand pacing acts as a "
+              "safety net for degenerate/rounded schedules)\n\n");
+
+  // 3. Continuous vs discrete rounding.
+  const core::TaskSchedule rounded =
+      core::round_to_discrete(windowed.schedule, windowed.frontiers);
+  const auto replay_rounded = sim::replay_schedule(g, rounded,
+                                                   windowed.frontiers, ro,
+                                                   nullptr);
+  util::Table t3({"configurations", "time_s", "peak_w", "rapl_10ms_avg_w"});
+  t3.add_row({"continuous mixtures", bench::fmt(paced.makespan, 4),
+              bench::fmt(paced.peak_power, 2),
+              bench::fmt(sim::max_windowed_power(paced, 0.01), 2)});
+  t3.add_row({"discrete rounding", bench::fmt(replay_rounded.makespan, 4),
+              bench::fmt(replay_rounded.peak_power, 2),
+              bench::fmt(sim::max_windowed_power(replay_rounded, 0.01), 2)});
+  bench::emit(t3, args);
+  std::printf("(discrete rounding may drift off the cap in either direction; "
+              "the paper's\nvalidation replays both modes)\n\n");
+
+  // 4. Slack power assumption - measured on a Static run, which (unlike
+  // the LP, which stretches tasks into their slack) leaves ranks genuinely
+  // idle at collectives.
+  {
+    runtime::StaticPolicy st(bench::model(), socket);
+    sim::EngineOptions task_pow = ro.engine;
+    const sim::SimResult a = sim::simulate(g, st, task_pow);
+    runtime::StaticPolicy st2(bench::model(), socket);
+    sim::EngineOptions idle_pow = ro.engine;
+    idle_pow.slack_power = sim::SlackPower::kIdle;
+    const sim::SimResult b = sim::simulate(g, st2, idle_pow);
+    util::Table t4({"slack_power (Static run)", "energy_kJ", "avg_power_w",
+                    "peak_w"});
+    t4.add_row({"task power (paper Sec 3.3)",
+                bench::fmt(a.energy_joules / 1e3, 2),
+                bench::fmt(a.average_power, 1), bench::fmt(a.peak_power, 1)});
+    t4.add_row({"idle power", bench::fmt(b.energy_joules / 1e3, 2),
+                bench::fmt(b.average_power, 1), bench::fmt(b.peak_power, 1)});
+    bench::emit(t4, args);
+    std::printf("(the task-power assumption is conservative: real slack "
+                "draws less, so the\nLP's power accounting upper-bounds the "
+                "machine's)\n");
+  }
+  return 0;
+}

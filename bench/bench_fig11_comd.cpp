@@ -1,0 +1,16 @@
+// Figure 11: CoMD - LP and Conductor improvement over Static.
+//
+// Paper shape: LP gains 2.4-12.6% (median 4.6%), largest at 30 W;
+// Conductor tracks the LP within ~3%.
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = args.ranks, .iterations = args.iterations});
+  bench::per_app_figure("Figure 11", "CoMD", g, bench::caps_30_to_80(), args);
+  return 0;
+}

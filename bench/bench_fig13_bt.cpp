@@ -1,0 +1,18 @@
+// Figure 13: BT - LP and Conductor improvement over Static.
+//
+// Paper shape: at 30 W Static trails the LP by ~75% and Conductor by ~50%
+// (i.e. LP leads Conductor by ~24%); the three converge within ~5% at
+// high caps. The gains come from non-uniform power allocation against
+// BT-MZ's strong, stable zone imbalance.
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const dag::TaskGraph g =
+      apps::make_bt({.ranks = args.ranks, .iterations = args.iterations});
+  bench::per_app_figure("Figure 13", "BT", g, bench::caps_30_to_70(), args);
+  return 0;
+}

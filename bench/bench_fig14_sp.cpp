@@ -1,0 +1,18 @@
+// Figure 14: SP - LP and Conductor improvement over Static.
+//
+// Paper shape: SP is well balanced, so the LP shows little room; Conductor
+// *lags* Static slightly (average -1.5%, worst -2.6%) because it
+// misidentifies the critical path under SP's uncorrelated per-iteration
+// noise and pays DVFS + reallocation overheads.
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const dag::TaskGraph g =
+      apps::make_sp({.ranks = args.ranks, .iterations = args.iterations});
+  bench::per_app_figure("Figure 14", "SP", g, bench::caps_40_to_80(), args);
+  return 0;
+}

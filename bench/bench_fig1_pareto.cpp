@@ -1,0 +1,79 @@
+// Figure 1 + Table 1: time vs. power for every configuration of one CoMD
+// task, and the convex Pareto frontier the LP consumes.
+//
+// Paper shape: power increases and duration decreases with frequency at
+// fixed threads; fewer-than-max threads are only Pareto-efficient at the
+// lowest frequencies (Table 1: the frontier runs 2.6 GHz/8t down through
+// 1.2 GHz/8t, then 1.2 GHz with 7, 6, 5, 4 threads).
+#include <cstdio>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "core/pareto.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  // One representative CoMD force-computation task.
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = args.ranks, .iterations = 1});
+  machine::TaskWork work;
+  for (const dag::Edge& e : g.edges()) {
+    if (e.is_task()) {
+      work = e.work;
+      break;
+    }
+  }
+
+  const auto all = bench::model().enumerate(work);
+  const auto pareto = core::pareto_filter(all);
+  const auto frontier = core::convex_frontier(all);
+
+  std::printf("== Figure 1: normalized time vs. power, one CoMD task ==\n");
+  std::printf("configurations: %zu total, %zu Pareto, %zu convex frontier\n\n",
+              all.size(), pareto.size(), frontier.size());
+
+  double tmax = 0.0;
+  for (const auto& c : all) tmax = std::max(tmax, c.duration);
+
+  util::Table scatter({"threads", "freq_ghz", "power_w", "norm_time",
+                       "pareto", "frontier"});
+  auto on = [](const std::vector<machine::Config>& set,
+               const machine::Config& c) {
+    for (const auto& q : set) {
+      if (q.threads == c.threads && q.ghz == c.ghz) return true;
+    }
+    return false;
+  };
+  for (const auto& c : all) {
+    scatter.add_row({std::to_string(c.threads), bench::fmt(c.ghz, 1),
+                     bench::fmt(c.power, 1), bench::fmt(c.duration / tmax, 3),
+                     on(pareto, c) ? "*" : "", on(frontier, c) ? "F" : ""});
+  }
+  bench::emit(scatter, args);
+
+  std::printf("\n== Table 1: Pareto-efficient configurations C_i ==\n");
+  util::Table t1({"config", "freq_ghz", "threads"});
+  // Paper's Table 1 lists the frontier from fastest to cheapest.
+  int idx = 1;
+  for (auto it = frontier.rbegin(); it != frontier.rend(); ++it, ++idx) {
+    t1.add_row({"C_i," + std::to_string(idx), bench::fmt(it->ghz, 1),
+                std::to_string(it->threads)});
+  }
+  bench::emit(t1, args);
+
+  // Shape checks mirrored from the paper.
+  const bool convex = core::is_convex_frontier(frontier);
+  bool sub_max_threads_only_at_low_freq = true;
+  for (const auto& c : frontier) {
+    if (c.threads < bench::model().spec().cores && c.ghz > 1.6) {
+      sub_max_threads_only_at_low_freq = false;
+    }
+  }
+  std::printf("\nfrontier convex: %s\n", convex ? "yes" : "NO");
+  std::printf("sub-max threads only below 1.6 GHz: %s\n",
+              sub_max_threads_only_at_low_freq ? "yes" : "NO");
+  return 0;
+}

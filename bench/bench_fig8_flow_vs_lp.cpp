@@ -1,0 +1,77 @@
+// Figure 8: flow ILP vs. fixed-vertex-order LP on a two-process
+// asynchronous message exchange, swept over total power constraints.
+//
+// Paper shape: the two formulations agree on schedule time to within 1.9%
+// at all but a few of the tested power limits, and where they disagree,
+// adding less than a watt to the fixed-order formulation recovers the flow
+// schedule. The flow ILP is never slower than the fixed-order LP.
+#include <algorithm>
+#include <cstdio>
+
+#include "apps/exchange.h"
+#include "bench/common.h"
+#include "core/flow_ilp.h"
+#include "core/lp_formulation.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const core::LpFormulation form(g, bench::model(), bench::cluster());
+  const double pmin = form.min_feasible_power();
+
+  std::printf("== Figure 8: flow vs. fixed-vertex-order, 2-rank exchange ==\n");
+  std::printf("DAG: %zu vertices, %zu edges; min feasible power %.1f W\n\n",
+              g.num_vertices(), g.num_edges(), pmin);
+
+  util::Table t({"total_power_w", "fixed_lp_s", "flow_ilp_s", "flow_nodes",
+                 "gap_pct", "extra_w_to_match"});
+  int agree = 0, total = 0, recovered = 0, disagreements = 0;
+  double worst_gap = 0.0;
+  // ~50 power limits from just above infeasibility to well past saturation
+  // (the paper sweeps 106 limits over its machine's range).
+  for (double cap = pmin + 1.0; cap <= pmin + 100.0; cap += 2.0) {
+    const auto lp = form.solve({.power_cap = cap});
+    const auto flow =
+        core::solve_flow_ilp(g, bench::model(), bench::cluster(),
+                             {.power_cap = cap});
+    if (!lp.optimal() || !flow.optimal()) continue;
+    ++total;
+    const double gap = (lp.makespan / flow.makespan - 1.0) * 100.0;
+    worst_gap = std::max(worst_gap, gap);
+    std::string extra = "-";
+    if (gap <= 1.9) {
+      ++agree;
+    } else {
+      // Paper: "providing less than a watt of additional power to the
+      // fixed-order formulation would allow it to achieve an equivalent
+      // schedule" where the two disagree. Find the smallest extra power
+      // (in 0.25 W steps) that closes the gap.
+      ++disagreements;
+      for (double dw = 0.25; dw <= 8.0; dw += 0.25) {
+        const auto retry = form.solve({.power_cap = cap + dw});
+        if (retry.optimal() && retry.makespan <= flow.makespan * 1.019) {
+          extra = bench::fmt(dw, 2);
+          ++recovered;
+          break;
+        }
+      }
+    }
+    t.add_row({bench::fmt(cap, 1), bench::fmt(lp.makespan, 4),
+               bench::fmt(flow.makespan, 4), std::to_string(flow.nodes),
+               bench::fmt(gap, 2), extra});
+  }
+  bench::emit(t, args);
+  std::printf(
+      "\n%d/%d power limits agree within the paper's 1.9%% band; worst gap "
+      "%.2f%%\n",
+      agree, total, worst_gap);
+  std::printf(
+      "disagreeing limits recoverable with a small power bump: %d/%d\n",
+      recovered, disagreements);
+  std::printf("flow <= fixed everywhere: %s\n",
+              worst_gap >= -1e-6 ? "yes" : "NO");
+  return 0;
+}

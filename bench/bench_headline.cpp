@@ -1,0 +1,94 @@
+// Headline aggregates (abstract + Section 6 summary).
+//
+// Paper numbers over the full app x cap grid:
+//   * Static trails near-optimal LP performance by up to 74.9% (BT, 30 W);
+//   * current reallocation systems (Conductor) trail the LP by up to 41.1%;
+//   * Conductor improves on Static by 6.7% on average;
+//   * the LP indicates 10.8% average potential improvement over Static;
+//   * Conductor's worst regression vs Static is -2.6% (SP).
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "util/stats.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  struct App {
+    const char* name;
+    dag::TaskGraph graph;
+    std::vector<double> caps;
+  };
+  std::vector<App> grid;
+  grid.push_back({"BT",
+                  apps::make_bt({.ranks = args.ranks,
+                                 .iterations = args.iterations}),
+                  bench::caps_30_to_70()});
+  grid.push_back({"CoMD",
+                  apps::make_comd({.ranks = args.ranks,
+                                   .iterations = args.iterations}),
+                  bench::caps_30_to_80()});
+  grid.push_back({"LULESH",
+                  apps::make_lulesh({.ranks = args.ranks,
+                                     .iterations = args.iterations}),
+                  bench::caps_40_to_80()});
+  grid.push_back({"SP",
+                  apps::make_sp({.ranks = args.ranks,
+                                 .iterations = args.iterations}),
+                  bench::caps_40_to_80()});
+
+  std::vector<double> lp_vs_static, lp_vs_cond, cond_vs_static;
+  std::string argmax_static = "-", argmax_cond = "-";
+  double max_static = -1e9, max_cond = -1e9, worst_cond = 1e9;
+  std::string argworst_cond = "-";
+
+  for (const App& app : grid) {
+    const core::WindowSweeper sweeper(app.graph, bench::model(),
+                                      bench::cluster());
+    for (double cap : app.caps) {
+      const auto r = bench::run_cap(app.graph, cap, &sweeper);
+      if (!r.lp.feasible) continue;
+      const std::string where =
+          std::string(app.name) + "@" + bench::fmt(cap, 0) + "W";
+      lp_vs_static.push_back(r.lp_vs_static());
+      lp_vs_cond.push_back(r.lp_vs_conductor());
+      cond_vs_static.push_back(r.conductor_vs_static());
+      if (r.lp_vs_static() > max_static) {
+        max_static = r.lp_vs_static();
+        argmax_static = where;
+      }
+      if (r.lp_vs_conductor() > max_cond) {
+        max_cond = r.lp_vs_conductor();
+        argmax_cond = where;
+      }
+      if (r.conductor_vs_static() < worst_cond) {
+        worst_cond = r.conductor_vs_static();
+        argworst_cond = where;
+      }
+    }
+  }
+
+  std::printf("== Headline aggregates over the full grid "
+              "(%zu feasible points) ==\n\n",
+              lp_vs_static.size());
+  util::Table t({"metric", "measured", "paper", "at"});
+  t.add_row({"max LP-over-Static", bench::fmt(max_static, 1) + "%", "74.9%",
+             argmax_static});
+  t.add_row({"max LP-over-Conductor", bench::fmt(max_cond, 1) + "%", "41.1%",
+             argmax_cond});
+  t.add_row({"avg LP-over-Static", bench::fmt(util::mean(lp_vs_static), 1) +
+                                       "%",
+             "10.8%", "-"});
+  t.add_row({"avg Conductor-over-Static",
+             bench::fmt(util::mean(cond_vs_static), 1) + "%", "6.7%", "-"});
+  t.add_row({"worst Conductor regression", bench::fmt(worst_cond, 1) + "%",
+             "-2.6%", argworst_cond});
+  bench::emit(t, args);
+  return 0;
+}

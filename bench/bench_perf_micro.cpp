@@ -1,0 +1,118 @@
+// Google-benchmark microbenchmarks for the substrates themselves: simplex
+// solve throughput, windowed LP end-to-end, discrete-event engine
+// throughput, and frontier construction. These are not paper figures; they
+// document the cost profile of the toolchain.
+#include <benchmark/benchmark.h>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+#include "core/flow_ilp.h"
+#include "core/lp_formulation.h"
+#include "core/pareto.h"
+#include "core/windowed.h"
+#include "lp/simplex.h"
+#include "machine/power_model.h"
+#include "runtime/static_policy.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+
+namespace {
+
+using namespace powerlim;
+
+const machine::PowerModel& model() {
+  static const machine::PowerModel m{machine::SocketSpec{}};
+  return m;
+}
+
+void BM_SimplexRandomDense(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  util::Rng rng(42);
+  lp::Model m(lp::Sense::kMinimize);
+  std::vector<lp::Variable> vars;
+  for (int j = 0; j < n; ++j) {
+    vars.push_back(m.add_variable(0, 10, rng.uniform(-1, 1)));
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<lp::Term> terms;
+    for (int j = 0; j < n; ++j) {
+      if (rng.uniform(0, 1) < 0.3) terms.push_back({vars[j], rng.uniform(-2, 2)});
+    }
+    if (!terms.empty()) m.add_le(terms, rng.uniform(1, 10));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lp::solve_lp(m));
+  }
+}
+BENCHMARK(BM_SimplexRandomDense)->Arg(20)->Arg(60)->Arg(150);
+
+void BM_LpFormulationSingleWindow(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const dag::TaskGraph g = apps::make_comd({.ranks = ranks, .iterations = 1});
+  const machine::ClusterSpec cluster;
+  const core::LpFormulation form(g, model(), cluster);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(form.solve({.power_cap = ranks * 45.0}));
+  }
+}
+BENCHMARK(BM_LpFormulationSingleWindow)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_WindowedLpLulesh(benchmark::State& state) {
+  const int iters = static_cast<int>(state.range(0));
+  const dag::TaskGraph g = apps::make_lulesh({.ranks = 8, .iterations = iters});
+  const machine::ClusterSpec cluster;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::solve_windowed_lp(g, model(), cluster, {.power_cap = 8 * 50.0}));
+  }
+}
+BENCHMARK(BM_WindowedLpLulesh)->Arg(2)->Arg(8);
+
+void BM_EngineStaticLulesh(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  const dag::TaskGraph g = apps::make_lulesh({.ranks = ranks, .iterations = 10});
+  sim::EngineOptions eo;
+  eo.idle_power = model().idle_power();
+  for (auto _ : state) {
+    runtime::StaticPolicy policy(model(), 50.0);
+    benchmark::DoNotOptimize(sim::simulate(g, policy, eo));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<long>(g.num_edges()));
+}
+BENCHMARK(BM_EngineStaticLulesh)->Arg(8)->Arg(32);
+
+void BM_FlowIlpExchange(benchmark::State& state) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const machine::ClusterSpec cluster;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::solve_flow_ilp(
+        g, model(), cluster, {.power_cap = 100.0}));
+  }
+}
+BENCHMARK(BM_FlowIlpExchange);
+
+void BM_TraceGeneration(benchmark::State& state) {
+  const int ranks = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        apps::make_lulesh({.ranks = ranks, .iterations = 10}));
+  }
+}
+BENCHMARK(BM_TraceGeneration)->Arg(8)->Arg(32);
+
+void BM_ConvexFrontier(benchmark::State& state) {
+  machine::TaskWork w;
+  w.cpu_seconds = 5.0;
+  w.mem_seconds = 1.0;
+  const auto configs = model().enumerate(w);
+  for (auto _ : state) {
+    auto copy = configs;
+    benchmark::DoNotOptimize(core::convex_frontier(std::move(copy)));
+  }
+}
+BENCHMARK(BM_ConvexFrontier);
+
+}  // namespace
+
+BENCHMARK_MAIN();

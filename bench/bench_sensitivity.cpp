@@ -1,0 +1,98 @@
+// Robustness: are the reproduction's conclusions an artifact of the
+// analytic machine model's constants? Re-runs the headline comparison
+// (BT @ 30 W/socket: LP >> Conductor > Static) while perturbing the
+// power-model parameters over wide ranges.
+//
+// Expected: magnitudes move, the ordering and the "largest gains at the
+// lowest caps" shape do not.
+#include <cstdio>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "runtime/comparison.h"
+
+using namespace powerlim;
+
+namespace {
+
+struct Variant {
+  const char* name;
+  machine::SocketSpec spec;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+  const dag::TaskGraph g =
+      apps::make_bt({.ranks = args.ranks, .iterations = args.iterations});
+
+  std::vector<Variant> variants;
+  variants.push_back({"baseline", machine::SocketSpec{}});
+  {
+    machine::SocketSpec s;
+    s.p_static = 10.0;
+    variants.push_back({"low leakage (p_static 10W)", s});
+  }
+  {
+    machine::SocketSpec s;
+    s.p_static = 22.0;
+    variants.push_back({"high leakage (p_static 22W)", s});
+  }
+  {
+    machine::SocketSpec s;
+    s.alpha = 2.0;
+    variants.push_back({"shallow DVFS curve (alpha 2.0)", s});
+  }
+  {
+    machine::SocketSpec s;
+    s.alpha = 3.0;
+    variants.push_back({"steep DVFS curve (alpha 3.0)", s});
+  }
+  {
+    machine::SocketSpec s;
+    s.p_uncore_max = 16.0;
+    variants.push_back({"heavy uncore (16W)", s});
+  }
+  {
+    machine::SocketSpec s;
+    s.f_vmin_ghz = 1.2;  // no voltage floor within the DVFS range
+    variants.push_back({"no voltage floor", s});
+  }
+
+  std::printf("== Sensitivity: BT @ 30 & 50 W/socket under model "
+              "perturbations ==\n\n");
+  util::Table t({"model variant", "cap_w", "LP_vs_static", "cond_vs_static",
+                 "ordering"});
+  for (const Variant& var : variants) {
+    const machine::PowerModel model{var.spec};
+    for (double cap : {30.0, 50.0}) {
+      runtime::ComparisonOptions o;
+      o.job_cap_watts = cap * args.ranks;
+      const auto r =
+          runtime::compare_methods(g, model, bench::cluster(), o);
+      if (!r.lp.feasible) {
+        t.add_row({var.name, bench::fmt(cap, 0), "n/s", "n/s", "-"});
+        continue;
+      }
+      const bool ordered =
+          r.lp.window_seconds <= r.conductor.window_seconds * 1.005 &&
+          r.conductor.window_seconds <=
+              r.static_alloc.window_seconds * 1.005;
+      t.add_row({var.name, bench::fmt(cap, 0),
+                 bench::fmt(r.lp_vs_static(), 1) + "%",
+                 bench::fmt(r.conductor_vs_static(), 1) + "%",
+                 ordered ? "LP<=Cond<=Static holds" : "VIOLATED"});
+    }
+  }
+  bench::emit(t, args);
+  std::printf(
+      "\nlow-cap gains must exceed 50 W gains in every variant for the "
+      "paper's\n\"largest advantages at low power\" claim to be "
+      "model-robust.\n\nexpected exception: when the cap sits barely above "
+      "the leakage floor\n(high-leakage @ 30 W leaves ~8 W of dynamic "
+      "headroom), any runtime that\never slows a task loses to do-nothing "
+      "Static - the same mechanism behind\nthe paper's SP regressions, "
+      "amplified. The LP bound stays correctly ordered.\n");
+  return 0;
+}

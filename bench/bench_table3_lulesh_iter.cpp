@@ -1,0 +1,148 @@
+// Table 3: task characteristics for a single iteration of LULESH at an
+// average of 50 W per processor, long-running tasks only.
+//
+// Paper values (for scale, on Cab):
+//   method     median_time  stdev_power  threads  median_freq
+//   Static     4.889        0.009        8        0.8834
+//   Conductor  3.614        0.118        5        0.9942
+//   LP         3.611        0.125        4-5      1.0
+// Shape targets: Static pinned at 8 threads with depressed frequency and
+// near-zero cross-socket power spread; Conductor and the LP pick 4-5
+// threads at (near-)full frequency with a visible power spread, and their
+// median times nearly coincide, well below Static's.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "core/windowed.h"
+#include "runtime/conductor.h"
+#include "runtime/static_policy.h"
+#include "sim/replay.h"
+#include "util/stats.h"
+
+using namespace powerlim;
+
+namespace {
+
+struct RowStats {
+  double median_time = 0;
+  double stdev_power = 0;
+  double median_threads = 0;
+  double min_threads = 0, max_threads = 0;
+  double median_freq_norm = 0;
+  int count = 0;
+};
+
+RowStats collect(const dag::TaskGraph& g, const sim::SimResult& res,
+                 int iteration, double min_duration) {
+  std::vector<double> times, powers, threads, freqs;
+  for (const dag::Edge& e : g.edges()) {
+    if (!e.is_task() || e.iteration != iteration) continue;
+    const sim::TaskRecord& t = res.tasks[e.id];
+    if (t.duration() < min_duration) continue;
+    times.push_back(t.duration());
+    powers.push_back(t.power);
+    threads.push_back(t.threads);
+    freqs.push_back(t.ghz / 2.6);
+  }
+  RowStats out;
+  out.count = static_cast<int>(times.size());
+  out.median_time = util::median(times);
+  out.stdev_power = util::stdev(powers);
+  out.median_threads = util::median(threads);
+  if (!threads.empty()) {
+    out.min_threads = *std::min_element(threads.begin(), threads.end());
+    out.max_threads = *std::max_element(threads.begin(), threads.end());
+  }
+  out.median_freq_norm = util::median(freqs);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::BenchArgs args = bench::parse_args(argc, argv);
+  if (args.iterations < 10) args.iterations = 12;
+  const double socket = 50.0;
+  const dag::TaskGraph g = apps::make_lulesh(
+      {.ranks = args.ranks, .iterations = args.iterations});
+  const double job_cap = socket * args.ranks;
+  const int probe_iteration = args.iterations - 3;  // steady state
+
+  sim::EngineOptions eo;
+  eo.cluster = bench::cluster();
+  eo.idle_power = bench::model().idle_power();
+
+  runtime::StaticPolicy st(bench::model(), socket);
+  const sim::SimResult rs = sim::simulate(g, st, eo);
+
+  runtime::ConductorPolicy cond(bench::model(), args.ranks, job_cap);
+  const sim::SimResult rc = sim::simulate(g, cond, eo);
+
+  const auto lp = core::solve_windowed_lp(g, bench::model(), bench::cluster(),
+                                          {.power_cap = job_cap});
+  if (!lp.optimal()) {
+    std::printf("LP infeasible\n");
+    return 1;
+  }
+  sim::ReplayOptions ro;
+  ro.engine = eo;
+  const sim::SimResult rl =
+      sim::replay_schedule(g, lp.schedule, lp.frontiers, ro, &lp.vertex_time);
+
+  // "Long-running": at least half the median Static main-phase task.
+  std::vector<double> st_durs;
+  for (const dag::Edge& e : g.edges()) {
+    if (e.is_task() && e.iteration == probe_iteration) {
+      st_durs.push_back(rs.tasks[e.id].duration());
+    }
+  }
+  std::sort(st_durs.begin(), st_durs.end());
+  const double threshold = 0.5 * st_durs[st_durs.size() / 2 + st_durs.size() / 4];
+
+  const RowStats a = collect(g, rs, probe_iteration, threshold);
+  const RowStats b = collect(g, rc, probe_iteration, threshold);
+  const RowStats c = collect(g, rl, probe_iteration, threshold);
+
+  std::printf("== Table 3: LULESH single iteration @ %.0f W/socket "
+              "(job cap %.0f W), long tasks only ==\n\n",
+              socket, job_cap);
+  util::Table t({"method", "median_time_s", "stdev_power_w", "threads",
+                 "median_freq_norm", "tasks"});
+  auto thread_str = [](const RowStats& r) {
+    if (r.min_threads == r.max_threads) {
+      return bench::fmt(r.median_threads, 0);
+    }
+    return bench::fmt(r.min_threads, 0) + "-" + bench::fmt(r.max_threads, 0);
+  };
+  t.add_row({"Static", bench::fmt(a.median_time, 3),
+             bench::fmt(a.stdev_power, 3), thread_str(a),
+             bench::fmt(a.median_freq_norm, 4), std::to_string(a.count)});
+  t.add_row({"Conductor", bench::fmt(b.median_time, 3),
+             bench::fmt(b.stdev_power, 3), thread_str(b),
+             bench::fmt(b.median_freq_norm, 4), std::to_string(b.count)});
+  t.add_row({"LP", bench::fmt(c.median_time, 3), bench::fmt(c.stdev_power, 3),
+             thread_str(c), bench::fmt(c.median_freq_norm, 4),
+             std::to_string(c.count)});
+  bench::emit(t, args);
+
+  std::printf("\nshape checks:\n");
+  std::printf("  Static at 8 threads: %s\n",
+              a.median_threads == 8 ? "yes" : "NO");
+  std::printf("  Conductor/LP below 8 threads: %s\n",
+              (b.median_threads < 8 && c.median_threads < 8) ? "yes" : "NO");
+  std::printf("  Conductor/LP frequency above Static's: %s\n",
+              (b.median_freq_norm > a.median_freq_norm &&
+               c.median_freq_norm > a.median_freq_norm)
+                  ? "yes"
+                  : "NO");
+  std::printf("  power spread (stdev) larger for Conductor/LP: %s\n",
+              (b.stdev_power > a.stdev_power && c.stdev_power > a.stdev_power)
+                  ? "yes"
+                  : "NO");
+  std::printf("  Conductor median time within 2%% of LP: %s\n",
+              b.median_time <= c.median_time * 1.02 ? "yes" : "NO");
+  return 0;
+}

@@ -1,0 +1,80 @@
+// Building your own trace: the task-graph API end to end.
+//
+// Models a small 4-rank pipeline: ranks 0..2 each compute and send a
+// chunk downstream; rank 3 reduces. Two iterations, then a final
+// collective. Shows vertex/edge construction, per-task workload shaping,
+// validation, and both the LP bound and the flow ILP (the trace is small
+// enough for the exact formulation).
+#include <cstdio>
+
+#include "core/flow_ilp.h"
+#include "core/lp_formulation.h"
+#include "dag/graph.h"
+#include "machine/power_model.h"
+
+using namespace powerlim;
+
+namespace {
+
+machine::TaskWork compute(double seconds, double mem_share = 0.2) {
+  machine::TaskWork w;
+  w.cpu_seconds = seconds * (1.0 - mem_share);
+  w.mem_seconds = seconds * mem_share;
+  w.parallel_fraction = 0.96;
+  w.mem_parallel_threads = 4;
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 4;
+  dag::TaskGraph g(ranks);
+
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1, "Init");
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1, "Finalize");
+
+  // Producers 0..2 compute (imbalanced: 2.0s, 1.4s, 0.9s), then send to
+  // the reducer; the reducer folds the three chunks in arrival order.
+  const double work[3] = {2.0, 1.4, 0.9};
+  int reducer_at = init;
+  std::vector<int> sends(3);
+  for (int r = 0; r < 3; ++r) {
+    const int send = g.add_vertex(dag::VertexKind::kSend, r, "send");
+    g.add_task(init, send, r, compute(work[r]), 0);
+    g.add_task(send, fin, r, compute(0.3), 0);  // post-send bookkeeping
+    sends[r] = send;
+  }
+  for (int r = 0; r < 3; ++r) {
+    const int recv = g.add_vertex(dag::VertexKind::kRecv, 3, "recv");
+    g.add_task(reducer_at, recv, 3, compute(0.5), 0);  // fold previous chunk
+    g.add_message(sends[r], recv, 8e6);
+    reducer_at = recv;
+  }
+  g.add_task(reducer_at, fin, 3, compute(0.8), 0);  // final fold
+
+  g.validate();
+  std::printf("custom trace: %zu vertices, %zu edges (%zu tasks)\n",
+              g.num_vertices(), g.num_edges(), g.task_edges().size());
+
+  const machine::PowerModel model{machine::SocketSpec{}};
+  const machine::ClusterSpec cluster;
+  const core::LpFormulation lp(g, model, cluster);
+  std::printf("unconstrained optimum: %.3f s; minimum schedulable power "
+              "%.1f W\n\n",
+              lp.unconstrained_makespan(), lp.min_feasible_power());
+
+  std::printf("%-10s %-12s %-12s\n", "job_cap_w", "fixed_LP_s", "flow_ILP_s");
+  for (double cap = 90.0; cap <= 220.0; cap += 20.0) {
+    const auto fixed = lp.solve({.power_cap = cap});
+    const auto flow = core::solve_flow_ilp(g, model, cluster,
+                                           {.power_cap = cap});
+    std::printf("%-10.0f %-12.4f %-12.4f\n", cap,
+                fixed.optimal() ? fixed.makespan : -1.0,
+                flow.optimal() ? flow.makespan : -1.0);
+  }
+  std::printf("\n(the flow ILP may beat the fixed-order LP slightly: it "
+              "reorders events\nand frees task power at completion - "
+              "Section 3.4 of the paper)\n");
+  return 0;
+}

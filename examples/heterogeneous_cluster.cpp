@@ -1,0 +1,92 @@
+// Heterogeneous silicon: same SKU, different watts.
+//
+// Real clusters mix parts whose power efficiency differs by several
+// percent (manufacturing variation). Under uniform RAPL caps the hungry
+// parts throttle deeper and drag every collective; the paper names this -
+// alongside application imbalance - as what Conductor's power
+// reallocation exploits. This example quantifies the effect on a
+// perfectly balanced workload and shows where the watts go in the
+// LP-optimal allocation.
+//
+// Run:  ./heterogeneous_cluster [spread_pct]
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "core/windowed.h"
+#include "machine/power_model.h"
+#include "runtime/static_policy.h"
+#include "sim/engine.h"
+#include "util/rng.h"
+#include "util/table.h"
+
+using namespace powerlim;
+
+int main(int argc, char** argv) {
+  const double spread = (argc > 1 ? std::atof(argv[1]) : 6.0) / 100.0;
+  const int ranks = 8;
+  const double socket_cap = 38.0;
+  const machine::ClusterSpec cluster;
+
+  // Balanced workload: any slowdown differences come from the silicon.
+  const dag::TaskGraph trace =
+      apps::make_sp({.ranks = ranks, .iterations = 6});
+
+  machine::PowerModel model{machine::SocketSpec{}};
+  std::vector<double> efficiency(ranks, 1.0);
+  util::Rng rng(2718);
+  for (double& e : efficiency) {
+    e = rng.clamped_normal(1.0, spread, 0.8, 1.3);
+  }
+  model.set_rank_efficiency(efficiency);
+
+  sim::EngineOptions eo;
+  eo.cluster = cluster;
+  eo.idle_power = model.idle_power();
+
+  runtime::StaticPolicy st(model, socket_cap);
+  const sim::SimResult static_run = sim::simulate(trace, st, eo);
+
+  const auto lp = core::solve_windowed_lp(
+      trace, model, cluster, {.power_cap = socket_cap * ranks});
+  if (!lp.optimal()) {
+    std::printf("infeasible at %.0f W/socket\n", socket_cap);
+    return 1;
+  }
+
+  std::printf("balanced SP on %d sockets with %.0f%% efficiency spread, "
+              "%.0f W/socket:\n",
+              ranks, spread * 100, socket_cap);
+  std::printf("  Static (uniform caps): %.3f s\n", static_run.makespan);
+  std::printf("  LP (non-uniform):      %.3f s  (%.1f%% faster)\n\n",
+              lp.makespan,
+              (static_run.makespan / lp.makespan - 1.0) * 100.0);
+
+  // Where do the watts go? Average LP power per rank vs its efficiency.
+  util::Table t({"rank", "efficiency", "static_ghz", "lp_avg_power_w"});
+  std::vector<double> watt_time(ranks, 0.0), busy(ranks, 0.0);
+  for (const dag::Edge& e : trace.edges()) {
+    if (!e.is_task() || e.iteration < 2) continue;
+    watt_time[e.rank] += lp.schedule.power[e.id] * lp.schedule.duration[e.id];
+    busy[e.rank] += lp.schedule.duration[e.id];
+  }
+  for (int r = 0; r < ranks; ++r) {
+    // Static's frequency on this part for a main solve task.
+    double static_ghz = 0;
+    for (const dag::Edge& e : trace.edges()) {
+      if (e.is_task() && e.rank == r && e.iteration == 2 &&
+          static_run.tasks[e.id].duration() > 0.5) {
+        static_ghz = static_run.tasks[e.id].ghz;
+      }
+    }
+    t.add_row({std::to_string(r), util::Table::num(efficiency[r], 3),
+               util::Table::num(static_ghz, 2),
+               util::Table::num(watt_time[r] / busy[r], 1)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  std::printf("\nhungrier parts (efficiency > 1) run slower under Static's "
+              "uniform cap;\nthe LP hands them extra watts so every rank "
+              "reaches the collective together.\n");
+  return 0;
+}

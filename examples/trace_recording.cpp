@@ -1,0 +1,98 @@
+// Recording your own application with TraceRecorder.
+//
+// The paper's pipeline starts from traces captured by an MPI interposition
+// library. TraceRecorder is that capture API: report each rank's
+// computation and MPI operations in program order, get a validated task
+// graph back, then analyze/bound it like any generated trace.
+//
+// The "application" here is a 4-rank halo-step code with a naturally
+// imbalanced domain: rank 0 owns the boundary (50% more work).
+#include <cstdio>
+
+#include "core/windowed.h"
+#include "dag/analysis.h"
+#include "dag/recorder.h"
+#include "machine/power_model.h"
+#include "sim/export.h"
+#include "runtime/static_policy.h"
+#include "sim/replay.h"
+
+using namespace powerlim;
+
+namespace {
+
+machine::TaskWork compute_work(double seconds) {
+  machine::TaskWork w;
+  w.cpu_seconds = seconds * 0.7;
+  w.mem_seconds = seconds * 0.3;
+  w.parallel_fraction = 0.96;
+  w.mem_parallel_threads = 5;
+  return w;
+}
+
+}  // namespace
+
+int main() {
+  const int ranks = 4;
+  const int iterations = 5;
+  dag::TraceRecorder rec(ranks);
+
+  for (int iter = 0; iter < iterations; ++iter) {
+    for (int r = 0; r < ranks; ++r) {
+      rec.pcontrol(r, iter);
+      // Rank 0 owns the boundary: 50% heavier stencil.
+      rec.compute(r, compute_work(r == 0 ? 3.0 : 2.0));
+    }
+    // Ring halo exchange: r sends to r+1.
+    for (int r = 0; r < ranks; ++r) {
+      rec.send(r, /*tag=*/100 * iter + r, 2e6);
+    }
+    for (int r = 0; r < ranks; ++r) {
+      const int left = (r + ranks - 1) % ranks;
+      rec.recv(r, 100 * iter + left);
+      rec.compute(r, compute_work(0.3));  // unpack + update
+    }
+    rec.collective("residual_allreduce");
+  }
+  const dag::TaskGraph trace = rec.finish();
+  std::printf("recorded: %zu MPI events, %zu tasks, %zu messages\n",
+              trace.num_vertices(), trace.task_edges().size(),
+              trace.num_edges() - trace.task_edges().size());
+
+  const dag::TraceAnalysis a = dag::analyze(trace);
+  std::printf("imbalance %.1f%%, p2p share %.0f%%\n\n", a.imbalance * 100,
+              a.p2p_fraction * 100);
+
+  const machine::PowerModel model{machine::SocketSpec{}};
+  const machine::ClusterSpec cluster;
+  const double socket_cap = 40.0;
+  const auto lp = core::solve_windowed_lp(
+      trace, model, cluster, {.power_cap = socket_cap * ranks});
+  if (!lp.optimal()) {
+    std::printf("infeasible at %.0f W/socket\n", socket_cap);
+    return 1;
+  }
+  std::printf("LP bound @ %.0f W/socket: %.3f s; marginal value of power "
+              "%.1f ms/W\n\n",
+              socket_cap, lp.makespan, lp.power_price_s_per_watt * 1e3);
+
+  sim::EngineOptions eo;
+  eo.cluster = cluster;
+  eo.idle_power = model.idle_power();
+  runtime::StaticPolicy st(model, socket_cap);
+  const sim::SimResult static_run = sim::simulate(trace, st, eo);
+  std::printf("Static (uniform caps), %.3f s - light ranks idle ('.') at "
+              "every exchange:\n%s\n",
+              static_run.makespan,
+              sim::ascii_timeline(trace, static_run, 92).c_str());
+
+  sim::ReplayOptions ro;
+  ro.engine = eo;
+  const sim::SimResult run = sim::replay_schedule(
+      trace, lp.schedule, lp.frontiers, ro, &lp.vertex_time);
+  std::printf("LP schedule, %.3f s - slack is gone: light ranks run slower "
+              "and cheaper,\nand the freed watts keep the heavy boundary "
+              "owner (rank 0) on pace:\n%s",
+              run.makespan, sim::ascii_timeline(trace, run, 92).c_str());
+  return 0;
+}

@@ -1,0 +1,270 @@
+#include "apps/benchmarks.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace powerlim::apps {
+
+namespace {
+
+/// Per-rank static weights: clamped normal around 1.
+std::vector<double> normal_weights(int ranks, double stdev,
+                                   std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<double> w(ranks);
+  for (double& x : w) x = rng.clamped_normal(1.0, stdev, 0.7, 1.4);
+  return w;
+}
+
+}  // namespace
+
+std::vector<double> comd_rank_weights(const ComdParams& p) {
+  return normal_weights(p.ranks, p.imbalance_stdev, p.seed);
+}
+
+dag::TaskGraph make_comd(const ComdParams& p) {
+  dag::TaskGraph g(p.ranks);
+  util::Rng rng(p.seed + 1);
+  const std::vector<double> weight = comd_rank_weights(p);
+
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1, "Init");
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1, "Finalize");
+  int prev = init;
+  for (int it = 0; it < p.iterations; ++it) {
+    // One force/integrate step per rank, then a global Allreduce (energy).
+    const int coll = (it + 1 == p.iterations)
+                         ? fin
+                         : g.add_vertex(dag::VertexKind::kCollective, -1,
+                                        "Allreduce" + std::to_string(it));
+    for (int r = 0; r < p.ranks; ++r) {
+      const double jitter = rng.clamped_normal(1.0, p.jitter_stdev, 0.9, 1.1);
+      machine::TaskWork w;
+      const double seconds = p.step_seconds * weight[r] * jitter;
+      // Compute-bound: pair interactions dominate; small neighbor-list
+      // traffic.
+      w.cpu_seconds = seconds * 0.88;
+      w.mem_seconds = seconds * 0.12;
+      w.parallel_fraction = 0.97;
+      w.mem_parallel_threads = 6;
+      g.add_task(prev, coll, r, w, it);
+    }
+    prev = coll;
+  }
+  g.validate();
+  return g;
+}
+
+std::array<int, 3> factor_3d(int ranks) {
+  std::array<int, 3> best{ranks, 1, 1};
+  long best_surface = 1L << 60;
+  for (int pz = 1; pz * pz * pz <= ranks; ++pz) {
+    if (ranks % pz) continue;
+    const int rest = ranks / pz;
+    for (int py = pz; py * py <= rest; ++py) {
+      if (rest % py) continue;
+      const int px = rest / py;
+      // Prefer the most cubic split: minimize total face surface.
+      const long surface =
+          static_cast<long>(px) * py + static_cast<long>(py) * pz +
+          static_cast<long>(px) * pz;
+      if (surface < best_surface) {
+        best_surface = surface;
+        best = {px, py, pz};
+      }
+    }
+  }
+  return best;
+}
+
+namespace {
+
+/// Unique face-neighbor ranks of `r` on a (px, py, pz) torus.
+std::vector<int> torus_neighbors(int r, const std::array<int, 3>& dims) {
+  const int px = dims[0], py = dims[1], pz = dims[2];
+  const int x = r % px, y = (r / px) % py, z = r / (px * py);
+  auto id = [&](int xx, int yy, int zz) {
+    return ((zz + pz) % pz) * px * py + ((yy + py) % py) * px +
+           ((xx + px) % px);
+  };
+  std::vector<int> out;
+  for (int n : {id(x - 1, y, z), id(x + 1, y, z), id(x, y - 1, z),
+                id(x, y + 1, z), id(x, y, z - 1), id(x, y, z + 1)}) {
+    if (n != r &&
+        std::find(out.begin(), out.end(), n) == out.end()) {
+      out.push_back(n);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::vector<double> lulesh_rank_weights(const LuleshParams& p) {
+  return normal_weights(p.ranks, p.imbalance_stdev, p.seed);
+}
+
+dag::TaskGraph make_lulesh(const LuleshParams& p) {
+  dag::TaskGraph g(p.ranks);
+  util::Rng rng(p.seed + 1);
+  const std::vector<double> weight = lulesh_rank_weights(p);
+
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1, "Init");
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1, "Finalize");
+
+  auto shaped = [&](double seconds) {
+    machine::TaskWork w;
+    // Shock hydro is bandwidth-heavy; shared-LLC contention beyond ~5
+    // threads (drives the paper's Table 3: 4-5 threads optimal at 50 W).
+    w.cpu_seconds = seconds * 0.55;
+    w.mem_seconds = seconds * 0.45;
+    w.parallel_fraction = 0.98;
+    w.mem_parallel_threads = 5;
+    w.cache_contention = 0.05;
+    w.cache_knee = 5;
+    return w;
+  };
+
+  // prev[r] = last vertex of rank r's chain.
+  std::vector<int> prev(p.ranks, init);
+  for (int it = 0; it < p.iterations; ++it) {
+    // Phase 1: stress/hourglass kernels, then post halo sends.
+    std::vector<int> send(p.ranks), recv(p.ranks);
+    for (int r = 0; r < p.ranks; ++r) {
+      const double jitter = rng.clamped_normal(1.0, p.jitter_stdev, 0.9, 1.1);
+      const double seconds = p.step_seconds * weight[r] * jitter;
+      send[r] = g.add_vertex(dag::VertexKind::kSend, r,
+                             "halo_post" + std::to_string(it));
+      g.add_task(prev[r], send[r], r, shaped(seconds * 0.6), it);
+    }
+    // Halo: ring neighbors (structure stands in for the 3D 26-neighbor
+    // exchange; what matters to the LP is cross-rank coupling between
+    // collectives).
+    for (int r = 0; r < p.ranks; ++r) {
+      recv[r] = g.add_vertex(dag::VertexKind::kRecv, r,
+                             "halo_wait" + std::to_string(it));
+      // Local pack/unpack work between the post and the wait.
+      g.add_task(send[r], recv[r], r, shaped(p.step_seconds * 0.02), it);
+    }
+    if (p.use_3d_halo && p.ranks > 1) {
+      const std::array<int, 3> dims = factor_3d(p.ranks);
+      for (int r = 0; r < p.ranks; ++r) {
+        for (int n : torus_neighbors(r, dims)) {
+          g.add_message(send[r], recv[n], p.halo_bytes);
+        }
+      }
+    } else if (p.ranks > 1) {
+      for (int r = 0; r < p.ranks; ++r) {
+        const int left = (r + p.ranks - 1) % p.ranks;
+        const int right = (r + 1) % p.ranks;
+        g.add_message(send[r], recv[left], p.halo_bytes);
+        if (right != left) g.add_message(send[r], recv[right], p.halo_bytes);
+      }
+    }
+    // Phase 2: element kernels, then the dt Allreduce.
+    const int coll = (it + 1 == p.iterations)
+                         ? fin
+                         : g.add_vertex(dag::VertexKind::kCollective, -1,
+                                        "dt_allreduce" + std::to_string(it));
+    for (int r = 0; r < p.ranks; ++r) {
+      const double jitter = rng.clamped_normal(1.0, p.jitter_stdev, 0.9, 1.1);
+      const double seconds = p.step_seconds * weight[r] * jitter;
+      g.add_task(recv[r], coll, r, shaped(seconds * 0.38), it);
+    }
+    std::fill(prev.begin(), prev.end(), coll);
+  }
+  g.validate();
+  return g;
+}
+
+namespace {
+
+/// Shared NAS-MZ structure: per iteration, boundary exchange with ring
+/// neighbors followed by the zone solves and a timestep collective.
+dag::TaskGraph make_nasmz(const NasMzParams& p,
+                          const std::vector<double>& weight,
+                          double jitter_stdev, std::uint64_t seed,
+                          double memory_share) {
+  dag::TaskGraph g(p.ranks);
+  util::Rng rng(seed);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1, "Init");
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1, "Finalize");
+
+  auto shaped = [&](double seconds) {
+    machine::TaskWork w;
+    w.cpu_seconds = seconds * (1.0 - memory_share);
+    w.mem_seconds = seconds * memory_share;
+    w.parallel_fraction = 0.975;
+    w.mem_parallel_threads = 5;
+    return w;
+  };
+
+  std::vector<int> prev(p.ranks, init);
+  for (int it = 0; it < p.iterations; ++it) {
+    std::vector<int> send(p.ranks), recv(p.ranks);
+    for (int r = 0; r < p.ranks; ++r) {
+      send[r] = g.add_vertex(dag::VertexKind::kSend, r,
+                             "exch_post" + std::to_string(it));
+      // Boundary copy-out is cheap and balanced.
+      g.add_task(prev[r], send[r], r, shaped(p.step_seconds * 0.02), it);
+    }
+    for (int r = 0; r < p.ranks; ++r) {
+      recv[r] = g.add_vertex(dag::VertexKind::kRecv, r,
+                             "exch_wait" + std::to_string(it));
+      g.add_task(send[r], recv[r], r, shaped(p.step_seconds * 0.01), it);
+    }
+    for (int r = 0; r < p.ranks && p.ranks > 1; ++r) {
+      const int left = (r + p.ranks - 1) % p.ranks;
+      const int right = (r + 1) % p.ranks;
+      g.add_message(send[r], recv[left], p.exchange_bytes);
+      if (right != left) g.add_message(send[r], recv[right], p.exchange_bytes);
+    }
+    const int coll = (it + 1 == p.iterations)
+                         ? fin
+                         : g.add_vertex(dag::VertexKind::kCollective, -1,
+                                        "step_sync" + std::to_string(it));
+    for (int r = 0; r < p.ranks; ++r) {
+      const double jitter = rng.clamped_normal(1.0, jitter_stdev, 0.85, 1.15);
+      g.add_task(recv[r], coll, r,
+                 shaped(p.step_seconds * weight[r] * jitter * 0.97), it);
+    }
+    std::fill(prev.begin(), prev.end(), coll);
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace
+
+dag::TaskGraph make_sp(const NasMzParams& p) {
+  // SP-MZ: equal-size zones -> near-perfect static balance, but visible
+  // per-iteration noise whose rank-to-rank ordering changes every step.
+  const std::vector<double> weight(p.ranks, 1.0);
+  return make_nasmz(p, weight, /*jitter_stdev=*/0.025, p.seed,
+                    /*memory_share=*/0.30);
+}
+
+std::vector<double> bt_rank_weights(const NasMzParams& p) {
+  // BT-MZ zone sizes grow geometrically; with zones dealt round-robin the
+  // per-rank totals still spread widely. Model: weight ratio ~3x from the
+  // lightest to the heaviest rank.
+  std::vector<double> w(p.ranks);
+  for (int r = 0; r < p.ranks; ++r) {
+    w[r] = std::pow(3.0, static_cast<double>(r) /
+                             std::max(1, p.ranks - 1));
+  }
+  // Normalize mean to 1 so step_seconds keeps its meaning.
+  double sum = 0;
+  for (double x : w) sum += x;
+  for (double& x : w) x *= p.ranks / sum;
+  return w;
+}
+
+dag::TaskGraph make_bt(const NasMzParams& p) {
+  return make_nasmz(p, bt_rank_weights(p), /*jitter_stdev=*/0.01, p.seed,
+                    /*memory_share=*/0.22);
+}
+
+}  // namespace powerlim::apps

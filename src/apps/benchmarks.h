@@ -1,0 +1,90 @@
+// Synthetic trace generators for the paper's four benchmarks (Section 5.2).
+//
+// The paper profiles CoMD, LULESH 2.0, and NAS-MZ SP / BT on 32 processes
+// x 8 cores on the Cab cluster. The binaries and the cluster are not
+// available here, so each generator emits a task DAG with the same
+// communication *structure* and load-imbalance *signature* the paper
+// describes and depends on:
+//
+//  CoMD   - all communication is collectives (Section 5.2); compute-bound
+//           force kernels; mild static imbalance from spatial decomposition.
+//           The only optimization opportunity is power reallocation across
+//           ranks at every collective (paper's words).
+//  LULESH - many point-to-point halo messages between collectives;
+//           memory-heavy kernels whose shared-cache contention makes 4-5
+//           threads optimal under a cap (Table 3); moderate imbalance.
+//  SP-MZ  - well load-balanced multi-zone solver; per-iteration noise is
+//           uncorrelated, which is exactly what makes Conductor misidentify
+//           the critical path (Section 6.4, Figure 14).
+//  BT-MZ  - strongly imbalanced zone sizes (geometric zone growth), stable
+//           across iterations: the best case for non-uniform power
+//           allocation (75% potential gain over Static at 30 W, Figure 13).
+//
+// All randomness is drawn from the seed in the params; generation is
+// deterministic and independent of platform.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "dag/graph.h"
+
+namespace powerlim::apps {
+
+struct ComdParams {
+  int ranks = 32;
+  int iterations = 20;
+  std::uint64_t seed = 17;
+  /// Nominal single-thread seconds of one force-computation step.
+  double step_seconds = 8.0;
+  /// Static per-rank imbalance (std-dev of the rank weight around 1).
+  double imbalance_stdev = 0.035;
+  /// Per-iteration multiplicative jitter.
+  double jitter_stdev = 0.008;
+};
+dag::TaskGraph make_comd(const ComdParams& params = {});
+
+struct LuleshParams {
+  int ranks = 32;
+  int iterations = 20;
+  std::uint64_t seed = 23;
+  /// Nominal single-thread seconds of one full Lagrange step.
+  double step_seconds = 24.0;
+  double imbalance_stdev = 0.08;
+  double jitter_stdev = 0.015;
+  /// Halo payload per neighbor message.
+  double halo_bytes = 2e6;
+  /// Exchange topology. The default ring keeps the calibrated evaluation
+  /// stable; the 3D torus (6 face neighbors over a near-cubic rank grid)
+  /// matches the real code's domain decomposition more closely.
+  bool use_3d_halo = false;
+};
+dag::TaskGraph make_lulesh(const LuleshParams& params = {});
+
+/// Near-cubic factorization of `ranks` into (px, py, pz) with
+/// px*py*pz == ranks and px >= py >= pz (used by the 3D halo topology).
+std::array<int, 3> factor_3d(int ranks);
+
+struct NasMzParams {
+  int ranks = 32;
+  int iterations = 20;
+  std::uint64_t seed = 31;
+  /// Nominal single-thread seconds of one time step over a rank's zones.
+  double step_seconds = 12.0;
+  /// Boundary-exchange payload.
+  double exchange_bytes = 1e6;
+};
+
+/// SP-MZ: balanced zones, uncorrelated per-iteration noise.
+dag::TaskGraph make_sp(const NasMzParams& params = {});
+
+/// BT-MZ: geometric zone-size growth concentrates work on few ranks.
+dag::TaskGraph make_bt(const NasMzParams& params = {});
+
+/// The per-rank static weight vectors used by the generators (exposed for
+/// tests and for the runtime algorithms' oracle baselines).
+std::vector<double> comd_rank_weights(const ComdParams& params);
+std::vector<double> lulesh_rank_weights(const LuleshParams& params);
+std::vector<double> bt_rank_weights(const NasMzParams& params);
+
+}  // namespace powerlim::apps

@@ -1,0 +1,35 @@
+#include "apps/exchange.h"
+
+namespace powerlim::apps {
+
+namespace {
+machine::TaskWork shaped_work(double seconds, const ExchangeParams& p) {
+  machine::TaskWork w;
+  w.cpu_seconds = seconds * (1.0 - p.memory_share);
+  w.mem_seconds = seconds * p.memory_share;
+  w.parallel_fraction = p.parallel_fraction;
+  w.mem_parallel_threads = 4;
+  return w;
+}
+}  // namespace
+
+dag::TaskGraph two_rank_exchange(const ExchangeParams& params) {
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1, "Init");
+  const int isend = g.add_vertex(dag::VertexKind::kSend, 0, "Isend");
+  const int wait = g.add_vertex(dag::VertexKind::kWait, 0, "Wait");
+  const int recv = g.add_vertex(dag::VertexKind::kRecv, 1, "Recv");
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1, "Finalize");
+
+  g.add_task(init, isend, 0, shaped_work(params.pre_seconds, params), 0);
+  g.add_task(isend, wait, 0, shaped_work(params.overlap_seconds, params), 0);
+  g.add_task(wait, fin, 0, shaped_work(params.post_seconds, params), 0);
+  g.add_task(init, recv, 1, shaped_work(params.recv_pre_seconds, params), 0);
+  g.add_task(recv, fin, 1, shaped_work(params.recv_post_seconds, params), 0);
+  g.add_message(isend, recv, params.bytes);
+
+  g.validate();
+  return g;
+}
+
+}  // namespace powerlim::apps

@@ -1,0 +1,41 @@
+// Two-rank asynchronous message exchange (paper Figures 2 and 8).
+//
+// The micro-benchmark the paper uses to compare the flow ILP against the
+// fixed-vertex-order LP: rank 0 computes, posts an Isend, overlaps
+// computation with the transfer, then Waits; rank 1 computes briefly and
+// blocks in Recv. Small enough (7 DAG edges) for the ILP to solve.
+//
+//   r0: Init --A1--> Isend --A2--> Wait --A3--> Finalize
+//   r1: Init --A4--> Recv  --A5--> Finalize
+//   message: Isend ~~> Recv
+#pragma once
+
+#include <cstdint>
+
+#include "dag/graph.h"
+
+namespace powerlim::apps {
+
+struct ExchangeParams {
+  /// Rank 0 compute before posting the send (single-thread seconds at
+  /// nominal frequency).
+  double pre_seconds = 1.0;
+  /// Rank 0 compute overlapped with the message flight (Isend..Wait).
+  double overlap_seconds = 2.0;
+  /// Rank 0 compute after the Wait completes.
+  double post_seconds = 0.8;
+  /// Rank 1 compute before blocking in Recv.
+  double recv_pre_seconds = 0.9;
+  /// Rank 1 compute after the message arrives.
+  double recv_post_seconds = 2.7;
+  /// Message payload.
+  double bytes = 1 << 20;
+  /// Workload shape shared by all tasks.
+  double parallel_fraction = 0.95;
+  double memory_share = 0.15;  ///< fraction of each task that is mem-bound
+};
+
+/// Builds the exchange DAG; validate()s before returning.
+dag::TaskGraph two_rank_exchange(const ExchangeParams& params = {});
+
+}  // namespace powerlim::apps

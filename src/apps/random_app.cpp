@@ -1,0 +1,85 @@
+#include "apps/random_app.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace powerlim::apps {
+
+dag::TaskGraph make_random_app(const RandomAppParams& p) {
+  util::Rng rng(p.seed);
+  dag::TaskGraph g(p.ranks);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1, "Init");
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1, "Finalize");
+
+  auto random_work = [&]() {
+    machine::TaskWork w;
+    const double seconds =
+        p.phase_seconds * rng.uniform(0.3, 1.8);
+    const double mem_share = rng.uniform(0.05, 0.55);
+    w.cpu_seconds = seconds * (1.0 - mem_share);
+    w.mem_seconds = seconds * mem_share;
+    w.parallel_fraction = rng.uniform(0.85, 0.995);
+    w.mem_parallel_threads = static_cast<int>(rng.uniform_int(2, 8));
+    if (rng.uniform(0, 1) < 0.3) {
+      w.cache_contention = rng.uniform(0.0, 0.12);
+      w.cache_knee = static_cast<int>(rng.uniform_int(3, 7));
+    }
+    return w;
+  };
+
+  std::vector<int> prev(p.ranks, init);
+  for (int it = 0; it < p.iterations; ++it) {
+    const int phases = static_cast<int>(rng.uniform_int(1, 3));
+    for (int phase = 0; phase + 1 < phases; ++phase) {
+      // Optional p2p exchange: every participating rank posts a send and
+      // then waits at a recv vertex; messages pair ranks randomly.
+      std::vector<int> senders;
+      std::vector<int> send_vertex(p.ranks, -1), recv_vertex(p.ranks, -1);
+      for (int r = 0; r < p.ranks; ++r) {
+        if (rng.uniform(0, 1) < p.p2p_probability) senders.push_back(r);
+      }
+      for (int r = 0; r < p.ranks; ++r) {
+        const bool exchanging =
+            std::find(senders.begin(), senders.end(), r) != senders.end();
+        if (exchanging && p.ranks > 1) {
+          send_vertex[r] = g.add_vertex(dag::VertexKind::kSend, r, "send");
+          recv_vertex[r] = g.add_vertex(dag::VertexKind::kRecv, r, "recv");
+          g.add_task(prev[r], send_vertex[r], r, random_work(), it);
+          g.add_task(send_vertex[r], recv_vertex[r], r, random_work(), it);
+          prev[r] = recv_vertex[r];
+        } else {
+          const int v = g.add_vertex(dag::VertexKind::kGeneric, r, "phase");
+          g.add_task(prev[r], v, r, random_work(), it);
+          prev[r] = v;
+        }
+      }
+      // Pair each sender with the next sender (ring over participants) so
+      // every recv vertex gets at least its own chain edge plus a message.
+      for (std::size_t s = 0; s + 1 < senders.size(); ++s) {
+        g.add_message(send_vertex[senders[s]],
+                      recv_vertex[senders[s + 1]],
+                      rng.uniform(1e4, 5e6));
+      }
+      if (senders.size() >= 2) {
+        g.add_message(send_vertex[senders.back()],
+                      recv_vertex[senders.front()], rng.uniform(1e4, 5e6));
+      }
+    }
+    // Closing collective for the iteration.
+    const int coll = (it + 1 == p.iterations)
+                         ? fin
+                         : g.add_vertex(dag::VertexKind::kCollective, -1,
+                                        "sync" + std::to_string(it));
+    for (int r = 0; r < p.ranks; ++r) {
+      g.add_task(prev[r], coll, r, random_work(), it);
+      prev[r] = coll;
+    }
+  }
+  g.validate();
+  return g;
+}
+
+}  // namespace powerlim::apps

@@ -1,0 +1,31 @@
+// Random structured application generator.
+//
+// Produces valid iterative traces with randomized structure: per
+// iteration, each rank runs 1-3 computation phases with optional
+// point-to-point exchanges to random peers, closing on a global
+// collective. Workload shapes (compute/memory split, parallel fraction,
+// contention) are randomized per task within physical ranges.
+//
+// Purpose: property-based fuzzing of the whole pipeline - any graph this
+// emits must validate, window-split, solve, and replay under the cap.
+#pragma once
+
+#include <cstdint>
+
+#include "dag/graph.h"
+
+namespace powerlim::apps {
+
+struct RandomAppParams {
+  int ranks = 4;
+  int iterations = 3;
+  std::uint64_t seed = 1;
+  /// Probability that a rank posts a p2p exchange in a given phase.
+  double p2p_probability = 0.5;
+  /// Mean nominal single-thread seconds per phase.
+  double phase_seconds = 2.0;
+};
+
+dag::TaskGraph make_random_app(const RandomAppParams& params);
+
+}  // namespace powerlim::apps

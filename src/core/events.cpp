@@ -1,0 +1,45 @@
+#include "core/events.h"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace powerlim::core {
+
+EventOrder build_event_order(const dag::TaskGraph& graph,
+                             const dag::ScheduleTimes& initial,
+                             double time_tol) {
+  if (initial.vertex_time.size() != graph.num_vertices()) {
+    throw std::invalid_argument("build_event_order: schedule mismatch");
+  }
+  EventOrder out;
+  std::vector<int> order(graph.num_vertices());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    return initial.vertex_time[a] < initial.vertex_time[b];
+  });
+
+  out.group_of_vertex.assign(graph.num_vertices(), -1);
+  for (int v : order) {
+    const double t = initial.vertex_time[v];
+    if (out.groups.empty() || t > out.group_time.back() + time_tol) {
+      out.groups.emplace_back();
+      out.group_time.push_back(t);
+    }
+    out.groups.back().push_back(v);
+    out.group_of_vertex[v] = static_cast<int>(out.groups.size()) - 1;
+  }
+
+  out.active_tasks.assign(out.groups.size(), {});
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const int g0 = out.group_of_vertex[e.src];
+    const int g1 = out.group_of_vertex[e.dst];
+    for (int g = g0; g < g1; ++g) {
+      out.active_tasks[g].push_back(e.id);
+    }
+  }
+  return out;
+}
+
+}  // namespace powerlim::core

@@ -1,0 +1,48 @@
+// Event order and task-activity sets (Section 3.3).
+//
+// The fixed-vertex-order LP constrains job power at discrete events, one
+// per DAG vertex, with the *order* of events frozen to the order they
+// occur in an initial, power-unconstrained schedule. Tasks are "active" at
+// an event if they start at or are running at the event's time in that
+// initial schedule - and because the paper folds each task's trailing
+// slack into the task (slack power == task power, Section 3.3), a task's
+// activity interval is exactly [time(src vertex), time(dst vertex)).
+//
+// We exploit a key consequence: activity is determined by event
+// *positions*, not times. A task is active at every event ordered at or
+// after its source vertex and strictly before its destination vertex.
+// Because the LP preserves the event order (eqs. 12-13), the activity
+// sets remain exact for any schedule the LP can produce, which is what
+// makes replayed LP schedules respect the power cap.
+//
+// Vertices that coincide in time in the initial schedule form one event
+// group and are pinned equal by eq. (13).
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace powerlim::core {
+
+struct EventOrder {
+  /// Vertex ids per event group, ordered by initial schedule time.
+  std::vector<std::vector<int>> groups;
+  /// Group index of each vertex.
+  std::vector<int> group_of_vertex;
+  /// Task edge ids active at each event group: tasks i with
+  /// group(src(i)) <= g < group(dst(i)).
+  std::vector<std::vector<int>> active_tasks;
+  /// Initial-schedule time of each group (diagnostic).
+  std::vector<double> group_time;
+
+  std::size_t num_groups() const { return groups.size(); }
+};
+
+/// Builds the event order from an initial schedule. Vertices within
+/// `time_tol` of each other share a group.
+EventOrder build_event_order(const dag::TaskGraph& graph,
+                             const dag::ScheduleTimes& initial,
+                             double time_tol = 1e-9);
+
+}  // namespace powerlim::core

@@ -1,0 +1,123 @@
+// Fixed-vertex-order LP formulation (paper Section 3, Figures 4-6).
+//
+// Given an application task graph, a machine model, and a job-level power
+// constraint PC, build and solve the linear program that the paper uses to
+// compute the near-optimal performance bound:
+//
+//   minimize   v_finalize                                       (eq. 1)
+//   subject to v_init = 0                                       (eq. 2)
+//     per task i:    v_dst(i) - v_src(i) >= sum_k d_ik c_ik     (eqs. 3,4,7)
+//     per message m: v_dst(m) - v_src(m) >= wire time
+//     per task i:    sum_k c_ik = 1,  0 <= c_ik <= 1            (eqs. 6,9)
+//     per event g:   sum_{i in R_g} sum_k p_ik c_ik <= PC       (eqs. 8,10,11)
+//     event order:   v's keep the initial-schedule order        (eqs. 12,13)
+//
+// Variable substitutions vs. the paper's presentation (no loss of
+// generality, large gain in LP size): s_i == v_src(i) (eq. 4 is an
+// equality, so s is eliminated); d_i and p_i are substituted by their
+// defining sums (eqs. 7, 8); P_j is eliminated by combining eqs. 10 and 11
+// into one row per event.
+//
+// The same builder can pin c_ik to {0,1} and call branch & bound, giving
+// the *discrete-configuration* variant (eq. 5) for small instances.
+#pragma once
+
+#include <vector>
+
+#include "core/events.h"
+#include "core/schedule.h"
+#include "dag/graph.h"
+#include "lp/branch_bound.h"
+#include "lp/simplex.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+
+/// What the LP optimizes. kMakespan is the paper's formulation (eq. 1);
+/// kEnergy is the related Rountree et al. SC'07 problem the paper builds
+/// on - minimize energy subject to a performance bound - implemented here
+/// as an extension over the same constraint system. Energy is execution
+/// energy sum(d_ik * p_ik * c_ik), linear in the shares.
+enum class LpObjective { kMakespan, kEnergy };
+
+struct LpScheduleOptions {
+  /// Job-level power constraint PC, watts (total across all sockets).
+  /// Use lp::kInfinity for unconstrained-power energy minimization.
+  double power_cap = 0.0;
+  /// Solve with integral configurations (eq. 5) via branch & bound.
+  /// Exponentially expensive; only for small instances.
+  bool discrete = false;
+  LpObjective objective = LpObjective::kMakespan;
+  /// Upper bound on the Finalize time (required, and > 0, when the
+  /// objective is kEnergy; optional extra constraint otherwise).
+  double max_makespan = 0.0;
+  lp::SimplexOptions simplex;
+  lp::BranchBoundOptions branch_bound;
+  /// Optional warm-start slot (continuous mode only). Reuse one slot per
+  /// formulation across solves with different caps to skip phase I; the
+  /// solver falls back to a cold start whenever the snapshot does not fit
+  /// (see lp::WarmStart).
+  lp::WarmStart* warm = nullptr;
+};
+
+struct LpScheduleResult {
+  lp::SolveStatus status = lp::SolveStatus::kNumericalError;
+  /// Time of the Finalize vertex (the objective in kMakespan mode).
+  double makespan = 0.0;
+  /// Execution energy of the schedule, joules (the objective in kEnergy
+  /// mode; reported in both modes).
+  double energy_joules = 0.0;
+  /// Per-task configuration mixture.
+  TaskSchedule schedule;
+  /// LP vertex times v_j.
+  std::vector<double> vertex_time;
+  /// Sum of active task power per event group (must be <= power_cap).
+  std::vector<double> event_power;
+  /// Marginal value of power: seconds of makespan saved per additional
+  /// watt of job budget (from the duals of the binding event-power rows;
+  /// 0 when the cap does not bind, and in discrete mode where duals do
+  /// not exist). The "quantitative optimization target" in sensitivity
+  /// form: it prices the cap.
+  double power_price_s_per_watt = 0.0;
+  long iterations = 0;
+
+  bool optimal() const { return status == lp::SolveStatus::kOptimal; }
+};
+
+/// Builds the formulation once per (graph, machine) pair; solve() may then
+/// be called for many power caps, which is how the paper sweeps Figure 9.
+class LpFormulation {
+ public:
+  LpFormulation(const dag::TaskGraph& graph,
+                const machine::PowerModel& model,
+                const machine::ClusterSpec& cluster);
+
+  /// Convex configuration frontier per edge id (empty for messages).
+  const std::vector<std::vector<machine::Config>>& frontiers() const {
+    return frontiers_;
+  }
+  /// Event order derived from the power-unconstrained initial schedule.
+  const EventOrder& events() const { return events_; }
+  /// The power-unconstrained (fastest-configuration) schedule.
+  const dag::ScheduleTimes& initial_schedule() const { return initial_; }
+  /// Makespan with unlimited power.
+  double unconstrained_makespan() const { return initial_.makespan; }
+  /// Smallest event-power sum achievable (every task at its cheapest
+  /// frontier point); caps below this are infeasible.
+  double min_feasible_power() const;
+
+  LpScheduleResult solve(const LpScheduleOptions& options) const;
+
+  const dag::TaskGraph& graph() const { return *graph_; }
+
+ private:
+  const dag::TaskGraph* graph_;
+  const machine::PowerModel* model_;
+  const machine::ClusterSpec* cluster_;
+  std::vector<std::vector<machine::Config>> frontiers_;
+  std::vector<double> message_duration_;  // per edge id (0 for tasks)
+  dag::ScheduleTimes initial_;
+  EventOrder events_;
+};
+
+}  // namespace powerlim::core

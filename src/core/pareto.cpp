@@ -1,0 +1,70 @@
+#include "core/pareto.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerlim::core {
+
+using machine::Config;
+
+std::vector<Config> pareto_filter(std::vector<Config> configs) {
+  if (configs.empty()) return configs;
+  std::sort(configs.begin(), configs.end(), [](const Config& a,
+                                               const Config& b) {
+    if (a.power != b.power) return a.power < b.power;
+    return a.duration < b.duration;
+  });
+  std::vector<Config> out;
+  double best_duration = std::numeric_limits<double>::infinity();
+  for (const Config& c : configs) {
+    if (c.duration < best_duration - 1e-15) {
+      out.push_back(c);
+      best_duration = c.duration;
+    }
+  }
+  return out;
+}
+
+std::vector<Config> convex_frontier(std::vector<Config> configs) {
+  std::vector<Config> pts = pareto_filter(std::move(configs));
+  if (pts.size() <= 2) return pts;
+  // Andrew monotone chain, lower hull over (power, duration). Points are
+  // sorted by power with strictly decreasing duration, so the hull is the
+  // convex decreasing envelope.
+  std::vector<Config> hull;
+  for (const Config& c : pts) {
+    while (hull.size() >= 2) {
+      const Config& a = hull[hull.size() - 2];
+      const Config& b = hull[hull.size() - 1];
+      // Keep b only if it lies strictly below the chord a-c, i.e.
+      // cross(a->b, a->c) > 0 in the (power, duration) plane.
+      const double cross = (b.power - a.power) * (c.duration - a.duration) -
+                           (c.power - a.power) * (b.duration - a.duration);
+      if (cross <= 1e-15) {
+        hull.pop_back();  // b is on or above the chord: not convex
+      } else {
+        break;
+      }
+    }
+    hull.push_back(c);
+  }
+  return hull;
+}
+
+bool is_convex_frontier(const std::vector<Config>& frontier, double tol) {
+  for (std::size_t i = 1; i < frontier.size(); ++i) {
+    if (frontier[i].power <= frontier[i - 1].power) return false;
+    if (frontier[i].duration >= frontier[i - 1].duration) return false;
+  }
+  for (std::size_t i = 2; i < frontier.size(); ++i) {
+    const Config& a = frontier[i - 2];
+    const Config& b = frontier[i - 1];
+    const Config& c = frontier[i];
+    const double slope_ab = (b.duration - a.duration) / (b.power - a.power);
+    const double slope_bc = (c.duration - b.duration) / (c.power - b.power);
+    if (slope_bc < slope_ab - tol) return false;
+  }
+  return true;
+}
+
+}  // namespace powerlim::core

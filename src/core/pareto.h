@@ -1,0 +1,37 @@
+// Pareto-efficient and convex configuration frontiers (Section 3.2).
+//
+// Each task can run in ~120 configurations (15 DVFS states x 8 thread
+// counts). The LP needs, per task, the subset that is (a) Pareto-efficient
+// in (time, power) and (b) convex, because a non-convex frontier cannot be
+// represented as a convex piecewise-linear function and would force the
+// formulation to become mixed integer-linear (paper, Section 3.2 and
+// Figure 1).
+#pragma once
+
+#include <vector>
+
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+
+/// Removes dominated configurations. Config a dominates b when a is no
+/// worse in both duration and power and strictly better in at least one.
+/// Result is sorted by increasing power; duration strictly decreases along
+/// the result.
+std::vector<machine::Config> pareto_filter(
+    std::vector<machine::Config> configs);
+
+/// The convex (lower-left) hull of the Pareto frontier in the
+/// (power, duration) plane, sorted by increasing power. Along the result
+/// duration strictly decreases and the slope d(duration)/d(power)
+/// (negative) is non-decreasing, so any fractional mixture of two
+/// neighboring points is itself Pareto-optimal in the relaxed problem.
+std::vector<machine::Config> convex_frontier(
+    std::vector<machine::Config> configs);
+
+/// True if `frontier` (sorted by power) is convex within tolerance; used
+/// by tests and as a debug check in the LP builder.
+bool is_convex_frontier(const std::vector<machine::Config>& frontier,
+                        double tol = 1e-9);
+
+}  // namespace powerlim::core

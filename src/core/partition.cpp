@@ -1,0 +1,160 @@
+#include "core/partition.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "core/windowed.h"
+
+namespace powerlim::core {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+PowerProfile::PowerProfile(std::vector<Point> points)
+    : points_(std::move(points)) {
+  if (points_.empty()) {
+    throw std::invalid_argument("PowerProfile: no points");
+  }
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (points_[i].cap_watts <= points_[i - 1].cap_watts) {
+      throw std::invalid_argument("PowerProfile: caps must ascend");
+    }
+    if (points_[i].seconds > points_[i - 1].seconds + 1e-9) {
+      throw std::invalid_argument(
+          "PowerProfile: time must not increase with power");
+    }
+  }
+}
+
+double PowerProfile::time_at(double cap_watts) const {
+  if (cap_watts < points_.front().cap_watts - 1e-12) return kInf;
+  if (cap_watts >= points_.back().cap_watts) return points_.back().seconds;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (cap_watts <= points_[i].cap_watts) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      const double t = (cap_watts - a.cap_watts) / (b.cap_watts - a.cap_watts);
+      return a.seconds + t * (b.seconds - a.seconds);
+    }
+  }
+  return points_.back().seconds;
+}
+
+double PowerProfile::cap_for(double seconds) const {
+  if (seconds < points_.back().seconds - 1e-12) return kInf;
+  if (seconds >= points_.front().seconds) return points_.front().cap_watts;
+  for (std::size_t i = 1; i < points_.size(); ++i) {
+    if (seconds >= points_[i].seconds) {
+      const Point& a = points_[i - 1];
+      const Point& b = points_[i];
+      if (a.seconds - b.seconds < 1e-15) return b.cap_watts;
+      const double t = (a.seconds - seconds) / (a.seconds - b.seconds);
+      return a.cap_watts + t * (b.cap_watts - a.cap_watts);
+    }
+  }
+  return points_.back().cap_watts;
+}
+
+double PowerProfile::max_useful_cap() const {
+  // The smallest cap achieving the best time (power beyond it is wasted).
+  for (const Point& p : points_) {
+    if (p.seconds <= points_.back().seconds + 1e-12) return p.cap_watts;
+  }
+  return points_.back().cap_watts;
+}
+
+PowerProfile profile_job(const dag::TaskGraph& graph,
+                         const machine::PowerModel& model,
+                         const machine::ClusterSpec& cluster,
+                         const std::vector<double>& caps) {
+  const WindowSweeper sweeper(graph, model, cluster);
+  std::vector<PowerProfile::Point> points;
+  double best = kInf;
+  for (double cap : caps) {
+    const WindowedLpResult res = sweeper.solve({.power_cap = cap});
+    if (!res.optimal()) continue;
+    // Enforce monotonicity against LP noise.
+    best = std::min(best, res.makespan);
+    points.push_back({cap, best});
+  }
+  if (points.empty()) {
+    throw std::runtime_error("profile_job: no feasible cap in the sweep");
+  }
+  return PowerProfile(std::move(points));
+}
+
+PartitionResult partition_power(const std::vector<PowerProfile>& jobs,
+                                double total_watts) {
+  PartitionResult out;
+  if (jobs.empty()) return out;
+  // Feasibility: every job needs at least its minimum cap.
+  double min_total = 0.0;
+  for (const PowerProfile& j : jobs) min_total += j.min_cap();
+  if (min_total > total_watts + 1e-9) return out;
+
+  // Bisect on the target completion time T: needed(T) = sum of inverse
+  // profiles is non-increasing in T.
+  double lo = 0.0, hi = 0.0;
+  for (const PowerProfile& j : jobs) {
+    lo = std::max(lo, j.best_time());
+    hi = std::max(hi, j.worst_time());
+  }
+  auto needed = [&](double t) {
+    double total = 0.0;
+    for (const PowerProfile& j : jobs) {
+      const double c = j.cap_for(t);
+      if (c == kInf) return kInf;
+      total += c;
+    }
+    return total;
+  };
+  if (needed(lo) <= total_watts) {
+    hi = lo;  // every job can run flat out
+  } else {
+    for (int iter = 0; iter < 100; ++iter) {
+      const double mid = 0.5 * (lo + hi);
+      if (needed(mid) <= total_watts) {
+        hi = mid;
+      } else {
+        lo = mid;
+      }
+    }
+  }
+  out.feasible = true;
+  out.makespan = 0.0;
+  out.caps.reserve(jobs.size());
+  out.times.reserve(jobs.size());
+  double spent = 0.0;
+  for (const PowerProfile& j : jobs) {
+    double cap = std::min(j.cap_for(hi), j.max_useful_cap());
+    cap = std::max(cap, j.min_cap());
+    out.caps.push_back(cap);
+    spent += cap;
+    const double t = j.time_at(cap);
+    out.times.push_back(t);
+    out.makespan = std::max(out.makespan, t);
+  }
+  // Numerical guard: if rounding overshot the budget, scale the slack
+  // back pro-rata above each job's minimum.
+  if (spent > total_watts + 1e-9) {
+    const double excess = spent - total_watts;
+    double above_min = 0.0;
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+      above_min += out.caps[i] - jobs[i].min_cap();
+    }
+    if (above_min > 0.0) {
+      for (std::size_t i = 0; i < jobs.size(); ++i) {
+        const double share = (out.caps[i] - jobs[i].min_cap()) / above_min;
+        out.caps[i] -= excess * share;
+        out.times[i] = jobs[i].time_at(out.caps[i]);
+        out.makespan = std::max(out.makespan, out.times[i]);
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace powerlim::core

@@ -1,0 +1,72 @@
+// Machine-level power partitioning across jobs.
+//
+// The paper assumes each job already *has* a power budget and a node set
+// (Section 2.2, deferring the allocation problem to resource-manager work
+// like Patki et al.). This module closes that loop using the LP itself:
+// sweep each job's cap to get its power-performance profile, then split
+// the machine's total power so the slowest job finishes as early as
+// possible. Because each profile is monotone (more power never hurts -
+// guaranteed by the LP), the min-max split is found by bisecting on the
+// target finish time and summing each job's inverse profile.
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+
+/// A job's cap -> optimal-time curve, piecewise-linear between sweep
+/// points. Points must be sorted by ascending cap with non-increasing
+/// times (profile_job() guarantees this).
+class PowerProfile {
+ public:
+  struct Point {
+    double cap_watts;
+    double seconds;
+  };
+
+  explicit PowerProfile(std::vector<Point> points);
+
+  /// LP-optimal time at `cap` (linear interpolation; clamped to the last
+  /// point above the sweep range; +infinity below the first point).
+  double time_at(double cap_watts) const;
+
+  /// Smallest cap achieving `seconds` (inverse interpolation; +infinity
+  /// when the job can never run that fast).
+  double cap_for(double seconds) const;
+
+  double min_cap() const { return points_.front().cap_watts; }
+  double max_useful_cap() const;
+  double best_time() const { return points_.back().seconds; }
+  double worst_time() const { return points_.front().seconds; }
+  const std::vector<Point>& points() const { return points_; }
+
+ private:
+  std::vector<Point> points_;
+};
+
+/// Builds a job's profile by sweeping the windowed LP over `caps`
+/// (infeasible caps are skipped; at least one cap must be feasible).
+PowerProfile profile_job(const dag::TaskGraph& graph,
+                         const machine::PowerModel& model,
+                         const machine::ClusterSpec& cluster,
+                         const std::vector<double>& caps);
+
+struct PartitionResult {
+  bool feasible = false;
+  /// Minimized maximum job completion time.
+  double makespan = 0.0;
+  /// Per-job power allocation (sums to <= total).
+  std::vector<double> caps;
+  /// Per-job predicted times at those caps.
+  std::vector<double> times;
+};
+
+/// Min-max partition of `total_watts` across the jobs. Leftover power
+/// (when every job is already at its max useful cap) stays unallocated.
+PartitionResult partition_power(const std::vector<PowerProfile>& jobs,
+                                double total_watts);
+
+}  // namespace powerlim::core

@@ -1,0 +1,77 @@
+#include "core/schedule.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlim::core {
+
+void blend(TaskSchedule& schedule,
+           const std::vector<std::vector<machine::Config>>& frontiers) {
+  if (schedule.shares.size() != frontiers.size()) {
+    throw std::invalid_argument("blend: size mismatch");
+  }
+  for (std::size_t e = 0; e < schedule.shares.size(); ++e) {
+    const auto& shares = schedule.shares[e];
+    if (shares.empty()) continue;  // message edge
+    double d = 0.0, p = 0.0, total = 0.0;
+    for (const ConfigShare& s : shares) {
+      const machine::Config& c = frontiers[e].at(s.config_index);
+      d += s.fraction * c.duration;
+      p += s.fraction * c.power;
+      total += s.fraction;
+    }
+    if (std::abs(total - 1.0) > 1e-6) {
+      throw std::invalid_argument("blend: shares of edge do not sum to 1");
+    }
+    schedule.duration[e] = d;
+    schedule.power[e] = p;
+  }
+}
+
+TaskSchedule round_to_discrete(
+    const TaskSchedule& schedule,
+    const std::vector<std::vector<machine::Config>>& frontiers) {
+  TaskSchedule out = schedule;
+  for (std::size_t e = 0; e < out.shares.size(); ++e) {
+    auto& shares = out.shares[e];
+    if (shares.empty()) continue;
+    const double d_target = schedule.duration[e];
+    const double p_target = schedule.power[e];
+    // Scale by the frontier's spans so duration and power distances are
+    // comparable.
+    const auto& frontier = frontiers[e];
+    double d_span = 0.0, p_span = 0.0;
+    for (const machine::Config& c : frontier) {
+      d_span = std::max(d_span, c.duration);
+      p_span = std::max(p_span, c.power);
+    }
+    d_span = std::max(d_span, 1e-12);
+    p_span = std::max(p_span, 1e-12);
+    int best = 0;
+    double best_dist = std::numeric_limits<double>::infinity();
+    for (std::size_t k = 0; k < frontier.size(); ++k) {
+      const double dd = (frontier[k].duration - d_target) / d_span;
+      const double dp = (frontier[k].power - p_target) / p_span;
+      const double dist = dd * dd + dp * dp;
+      if (dist < best_dist) {
+        best_dist = dist;
+        best = static_cast<int>(k);
+      }
+    }
+    shares.assign(1, ConfigShare{best, 1.0});
+    out.duration[e] = frontier[best].duration;
+    out.power[e] = frontier[best].power;
+  }
+  return out;
+}
+
+int max_shares_per_task(const TaskSchedule& schedule) {
+  std::size_t most = 0;
+  for (const auto& shares : schedule.shares) {
+    most = std::max(most, shares.size());
+  }
+  return static_cast<int>(most);
+}
+
+}  // namespace powerlim::core

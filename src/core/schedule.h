@@ -1,0 +1,58 @@
+// Configuration schedules and rounding (Section 3.2).
+//
+// The LP's continuous relaxation assigns each task a point on the
+// continuum between two discrete configurations; a schedule stores that as
+// fractional shares over the task's convex frontier. Two realization modes
+// exist, both from the paper:
+//   * continuous - keep the mixture; at run time the configuration is
+//     switched mid-task so that the time-weighted average matches
+//     (negligible-overhead emulation of the fractional point);
+//   * discrete   - snap each task to the frontier configuration closest to
+//     the blended optimum (may slightly violate the cap; replay verifies).
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+
+/// One component of a task's configuration mixture: an index into the
+/// task's convex frontier plus the fraction of the task completed in it.
+struct ConfigShare {
+  int config_index = -1;
+  double fraction = 0.0;
+};
+
+/// Per-edge configuration assignment for a whole task graph. Message
+/// edges carry no shares and zero power; their duration is the wire time.
+struct TaskSchedule {
+  /// Indexed by edge id; empty for messages.
+  std::vector<std::vector<ConfigShare>> shares;
+  /// Blended execution duration per edge (messages: wire time).
+  std::vector<double> duration;
+  /// Blended average power per edge (messages: 0).
+  std::vector<double> power;
+
+  std::size_t num_edges() const { return duration.size(); }
+};
+
+/// Recomputes `duration` and `power` from `shares` and the per-task
+/// frontiers (message durations are left untouched).
+void blend(TaskSchedule& schedule,
+           const std::vector<std::vector<machine::Config>>& frontiers);
+
+/// Discrete rounding: per task, pick the single frontier configuration
+/// whose (duration, power) is nearest (scaled Euclidean) to the blended
+/// fractional point. Returns a schedule where every task has exactly one
+/// share of fraction 1.
+TaskSchedule round_to_discrete(
+    const TaskSchedule& schedule,
+    const std::vector<std::vector<machine::Config>>& frontiers);
+
+/// Largest number of distinct configurations any task mixes; the LP at a
+/// basic optimum mixes at most two adjacent frontier points per task.
+int max_shares_per_task(const TaskSchedule& schedule);
+
+}  // namespace powerlim::core

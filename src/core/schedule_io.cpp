@@ -1,0 +1,136 @@
+#include "core/schedule_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace powerlim::core {
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("schedule parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+}  // namespace
+
+void write_schedule(std::ostream& out, const SavedSchedule& saved) {
+  out.precision(17);
+  out << "powerlim-schedule 1\n";
+  out << "edges " << saved.schedule.num_edges() << "\n";
+  out << "cap " << saved.job_cap_watts << "\n";
+  out << "makespan " << saved.makespan << "\n";
+  for (std::size_t e = 0; e < saved.schedule.num_edges(); ++e) {
+    const auto& shares = saved.schedule.shares[e];
+    if (shares.empty()) {
+      out << "message " << e << ' ' << saved.schedule.duration[e] << "\n";
+      continue;
+    }
+    out << "task " << e << ' ' << saved.schedule.duration[e] << ' '
+        << saved.schedule.power[e] << ' ' << shares.size();
+    for (const ConfigShare& s : shares) {
+      const machine::Config& c = saved.frontiers[e].at(s.config_index);
+      out << ' ' << s.config_index << ' ' << s.fraction << ' ' << c.ghz
+          << ' ' << c.threads << ' ' << c.duration << ' ' << c.power;
+    }
+    out << "\n";
+  }
+  for (std::size_t v = 0; v < saved.vertex_time.size(); ++v) {
+    out << "vertex " << v << ' ' << saved.vertex_time[v] << "\n";
+  }
+}
+
+SavedSchedule read_schedule(std::istream& in) {
+  SavedSchedule saved;
+  std::string line;
+  int line_no = 0;
+  auto next = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+  if (!next()) fail(line_no, "empty input");
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    int version = 0;
+    ss >> magic >> version;
+    if (magic != "powerlim-schedule" || version != 1) {
+      fail(line_no, "bad header");
+    }
+  }
+  std::size_t edges = 0;
+  if (!next()) fail(line_no, "missing edges directive");
+  {
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word >> edges;
+    if (word != "edges") fail(line_no, "expected edges directive");
+  }
+  saved.schedule.shares.assign(edges, {});
+  saved.schedule.duration.assign(edges, 0.0);
+  saved.schedule.power.assign(edges, 0.0);
+  saved.frontiers.assign(edges, {});
+
+  while (next()) {
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word;
+    if (word == "cap") {
+      ss >> saved.job_cap_watts;
+    } else if (word == "makespan") {
+      ss >> saved.makespan;
+    } else if (word == "task") {
+      std::size_t e = 0, n = 0;
+      ss >> e;
+      if (e >= edges) fail(line_no, "edge out of range");
+      ss >> saved.schedule.duration[e] >> saved.schedule.power[e] >> n;
+      if (ss.fail() || n == 0) fail(line_no, "malformed task");
+      for (std::size_t k = 0; k < n; ++k) {
+        ConfigShare s;
+        machine::Config c;
+        ss >> s.config_index >> s.fraction >> c.ghz >> c.threads >>
+            c.duration >> c.power;
+        if (ss.fail() || s.config_index < 0) {
+          fail(line_no, "malformed share");
+        }
+        if (static_cast<int>(saved.frontiers[e].size()) <= s.config_index) {
+          saved.frontiers[e].resize(s.config_index + 1);
+        }
+        saved.frontiers[e][s.config_index] = c;
+        saved.schedule.shares[e].push_back(s);
+      }
+    } else if (word == "message") {
+      std::size_t e = 0;
+      ss >> e;
+      if (e >= edges) fail(line_no, "edge out of range");
+      ss >> saved.schedule.duration[e];
+      if (ss.fail()) fail(line_no, "malformed message");
+    } else if (word == "vertex") {
+      std::size_t v = 0;
+      double t = 0;
+      ss >> v >> t;
+      if (ss.fail()) fail(line_no, "malformed vertex");
+      if (saved.vertex_time.size() <= v) saved.vertex_time.resize(v + 1);
+      saved.vertex_time[v] = t;
+    } else {
+      fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  return saved;
+}
+
+void save_schedule(const std::string& path, const SavedSchedule& saved) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_schedule(out, saved);
+}
+
+SavedSchedule load_schedule(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_schedule(in);
+}
+
+}  // namespace powerlim::core

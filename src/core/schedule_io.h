@@ -1,0 +1,48 @@
+// Schedule serialization.
+//
+// An LP run's product is a schedule: per task, a mixture over its
+// configuration frontier. Persisting it (next to its trace) completes the
+// offline workflow the paper describes - solve once, then replay/validate
+// on the target system:
+//
+//   powerlim-schedule 1
+//   edges <E>
+//   cap <job_cap_watts>
+//   makespan <seconds>
+//   task <edge> <duration> <power> <n> (<config_index> <fraction> <ghz>
+//        <threads> <cfg_duration> <cfg_power>)*n
+//   message <edge> <duration>
+//   vertex <id> <time>
+//
+// Frontier points are embedded (index, ghz, threads, duration, power) so
+// a schedule file is self-contained: replay does not need to re-derive
+// frontiers from a machine model.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/schedule.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+
+/// A schedule bundled with everything replay needs.
+struct SavedSchedule {
+  TaskSchedule schedule;
+  /// Frontier per edge (only the points the mixture references are
+  /// required, but full frontiers round-trip when available).
+  std::vector<std::vector<machine::Config>> frontiers;
+  std::vector<double> vertex_time;
+  double job_cap_watts = 0.0;
+  double makespan = 0.0;
+};
+
+void write_schedule(std::ostream& out, const SavedSchedule& saved);
+SavedSchedule read_schedule(std::istream& in);
+
+void save_schedule(const std::string& path, const SavedSchedule& saved);
+SavedSchedule load_schedule(const std::string& path);
+
+}  // namespace powerlim::core

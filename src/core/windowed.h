@@ -1,0 +1,93 @@
+// Windowed (barrier-decomposed) LP solve.
+//
+// Solves the fixed-vertex-order LP independently on each barrier-to-
+// barrier window of the trace (see dag/windows.h for why this is exact)
+// and stitches the results back together on original edge/vertex ids.
+// This is the production entry point for paper-scale sweeps: cost is
+// linear in the number of iterations instead of cubic.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/lp_formulation.h"
+#include "dag/graph.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+
+struct WindowedLpResult {
+  lp::SolveStatus status = lp::SolveStatus::kNumericalError;
+  /// Sum of per-window makespans == time of Finalize.
+  double makespan = 0.0;
+  /// Execution energy of the schedule, joules.
+  double energy_joules = 0.0;
+  /// Per-task mixtures on the *original* edge ids.
+  TaskSchedule schedule;
+  /// Firing times of the original vertices (window offsets accumulated).
+  std::vector<double> vertex_time;
+  /// Convex frontier per original edge id (for replay).
+  std::vector<std::vector<machine::Config>> frontiers;
+  /// Highest event-power sum across all windows (diagnostic; <= cap).
+  double peak_event_power = 0.0;
+  /// Marginal value of power summed over windows: seconds of total
+  /// makespan saved per extra watt of job budget (0 when nothing binds).
+  double power_price_s_per_watt = 0.0;
+  long iterations = 0;
+  /// Smallest cap for which every window is feasible.
+  double min_feasible_power = 0.0;
+
+  bool optimal() const { return status == lp::SolveStatus::kOptimal; }
+};
+
+/// Solves each window under the same job-level cap. Returns on first
+/// infeasible/failed window with that window's status.
+WindowedLpResult solve_windowed_lp(const dag::TaskGraph& graph,
+                                   const machine::PowerModel& model,
+                                   const machine::ClusterSpec& cluster,
+                                   const LpScheduleOptions& options);
+
+/// Energy-minimization extension (the Rountree et al. SC'07 problem over
+/// this repo's machinery): minimize execution energy while every window
+/// finishes within (1 + slowdown_allowance) of its power-unconstrained
+/// optimum, optionally under a job power cap. The per-window deadline is
+/// the natural windowed form of the global bound - iterative codes
+/// re-synchronize at every barrier, so allowance cannot usefully be
+/// banked across iterations anyway.
+WindowedLpResult solve_windowed_energy_lp(const dag::TaskGraph& graph,
+                                          const machine::PowerModel& model,
+                                          const machine::ClusterSpec& cluster,
+                                          double slowdown_allowance,
+                                          double power_cap = lp::kInfinity);
+
+/// Multi-cap sweeps: splits the trace and builds each window's
+/// formulation (frontiers, initial schedule, event sets - all
+/// cap-independent) exactly once, then solves any number of caps against
+/// the prebuilt structures. Use this for Figure 9-style grids,
+/// `powerlim sweep`, and job profiling; a one-shot solve is equivalent to
+/// the free functions above.
+class WindowSweeper {
+ public:
+  WindowSweeper(const dag::TaskGraph& graph,
+                const machine::PowerModel& model,
+                const machine::ClusterSpec& cluster);
+  ~WindowSweeper();
+  WindowSweeper(WindowSweeper&&) noexcept;
+  WindowSweeper& operator=(WindowSweeper&&) noexcept;
+
+  /// Solves all windows under `options` (same semantics as
+  /// solve_windowed_lp).
+  WindowedLpResult solve(const LpScheduleOptions& options) const;
+
+  /// Smallest job cap for which every window is feasible.
+  double min_feasible_power() const;
+  /// Sum of window optima with unlimited power.
+  double unconstrained_makespan() const;
+  std::size_t num_windows() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace powerlim::core

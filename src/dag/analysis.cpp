@@ -1,0 +1,72 @@
+#include "dag/analysis.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace powerlim::dag {
+
+TraceAnalysis analyze(const TaskGraph& graph) {
+  graph.validate();
+  TraceAnalysis out;
+  out.ranks = graph.num_ranks();
+  out.iterations = graph.max_iteration() + 1;
+  out.load.resize(graph.num_ranks());
+  for (int r = 0; r < graph.num_ranks(); ++r) out.load[r].rank = r;
+
+  double total_work = 0.0;
+  double total_bytes = 0.0;
+  for (const Edge& e : graph.edges()) {
+    if (e.is_task()) {
+      ++out.tasks;
+      const double w = e.work.nominal_seconds();
+      out.load[e.rank].work_seconds += w;
+      total_work += w;
+    } else {
+      ++out.messages;
+      total_bytes += e.bytes;
+    }
+  }
+  for (const Vertex& v : graph.vertices()) {
+    if (v.kind == VertexKind::kCollective) ++out.collectives;
+  }
+
+  double max_work = 0.0, min_work = 1e300;
+  for (RankLoad& l : out.load) {
+    l.share = total_work > 0 ? l.work_seconds / total_work : 0.0;
+    max_work = std::max(max_work, l.work_seconds);
+    min_work = std::min(min_work, l.work_seconds);
+  }
+  const double mean_work = total_work / graph.num_ranks();
+  out.imbalance = mean_work > 0 ? max_work / mean_work - 1.0 : 0.0;
+  out.max_min_ratio = min_work > 0 ? max_work / min_work : 0.0;
+  out.bytes_per_work_second = total_work > 0 ? total_bytes / total_work : 0.0;
+  // Coupling points: collectives synchronize everyone once; each message
+  // couples one pair.
+  const double couplings =
+      static_cast<double>(out.messages + out.collectives);
+  out.p2p_fraction = couplings > 0 ? out.messages / couplings : 0.0;
+  out.mean_task_seconds =
+      out.tasks > 0 ? total_work / static_cast<double>(out.tasks) : 0.0;
+
+  // Critical path under nominal durations (messages free): which rank's
+  // work actually gates the application?
+  std::vector<double> durations(graph.num_edges(), 0.0);
+  for (const Edge& e : graph.edges()) {
+    if (e.is_task()) durations[e.id] = e.work.nominal_seconds();
+  }
+  out.critical_path_share.assign(graph.num_ranks(), 0.0);
+  double path_total = 0.0;
+  for (int eid : critical_path(graph, durations)) {
+    const Edge& e = graph.edge(eid);
+    if (!e.is_task()) continue;
+    out.critical_path_share[e.rank] += durations[eid];
+    path_total += durations[eid];
+  }
+  out.critical_path_seconds = path_total;
+  if (path_total > 0.0) {
+    for (double& share : out.critical_path_share) share /= path_total;
+  }
+  return out;
+}
+
+}  // namespace powerlim::dag

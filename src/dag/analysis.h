@@ -1,0 +1,58 @@
+// Trace analysis: the structural metrics that predict how much a power
+// bound hurts and how much non-uniform allocation can recover.
+//
+// The paper's results are driven by two trace properties: load imbalance
+// (BT's geometric zones vs SP's near-perfect balance) and the
+// communication structure (CoMD's collectives-only vs LULESH's p2p).
+// This module quantifies both so users can predict where their own
+// application sits before running the LP.
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace powerlim::dag {
+
+struct RankLoad {
+  int rank = 0;
+  /// Total single-thread nominal seconds of this rank's tasks.
+  double work_seconds = 0.0;
+  /// Share of the job's total work.
+  double share = 0.0;
+};
+
+struct TraceAnalysis {
+  int ranks = 0;
+  std::size_t tasks = 0;
+  std::size_t messages = 0;
+  std::size_t collectives = 0;
+  int iterations = 0;
+
+  /// Per-rank nominal work, ascending by rank id.
+  std::vector<RankLoad> load;
+  /// Classic imbalance metric: max(work) / mean(work) - 1. Zero means
+  /// perfectly balanced; BT-MZ style traces land around 0.6+.
+  double imbalance = 0.0;
+  /// Ratio of heaviest to lightest rank.
+  double max_min_ratio = 1.0;
+  /// Message bytes per second of nominal computation (communication
+  /// intensity).
+  double bytes_per_work_second = 0.0;
+  /// Fraction of cross-rank coupling points that are point-to-point
+  /// messages rather than global collectives (CoMD: 0, LULESH: high).
+  double p2p_fraction = 0.0;
+  /// Mean nominal task length (short tasks make DVFS switching costly).
+  double mean_task_seconds = 0.0;
+  /// Length of the nominal-duration critical path (messages at zero cost).
+  double critical_path_seconds = 0.0;
+  /// Share of the critical path's task time owned by each rank. A single
+  /// dominant rank (BT) means power reallocation pays; an even spread
+  /// (SP) means it cannot.
+  std::vector<double> critical_path_share;
+};
+
+/// Computes all metrics in one pass. The graph must validate().
+TraceAnalysis analyze(const TaskGraph& graph);
+
+}  // namespace powerlim::dag

@@ -1,0 +1,275 @@
+#include "dag/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace powerlim::dag {
+
+TaskGraph::TaskGraph(int num_ranks) : num_ranks_(num_ranks) {
+  if (num_ranks < 1) throw std::invalid_argument("TaskGraph: num_ranks < 1");
+}
+
+int TaskGraph::add_vertex(VertexKind kind, int rank, std::string label) {
+  if (rank < -1 || rank >= num_ranks_) {
+    throw std::invalid_argument("add_vertex: bad rank");
+  }
+  Vertex v;
+  v.id = static_cast<int>(vertices_.size());
+  v.kind = kind;
+  v.rank = rank;
+  v.label = std::move(label);
+  if (kind == VertexKind::kInit) {
+    if (init_vertex_ >= 0) throw std::invalid_argument("duplicate Init");
+    init_vertex_ = v.id;
+  }
+  if (kind == VertexKind::kFinalize) {
+    if (finalize_vertex_ >= 0) throw std::invalid_argument("duplicate Finalize");
+    finalize_vertex_ = v.id;
+  }
+  vertices_.push_back(std::move(v));
+  return vertices_.back().id;
+}
+
+int TaskGraph::add_task(int src, int dst, int rank,
+                        const machine::TaskWork& work, int iteration) {
+  if (src < 0 || src >= static_cast<int>(vertices_.size()) || dst < 0 ||
+      dst >= static_cast<int>(vertices_.size()) || src == dst) {
+    throw std::invalid_argument("add_task: bad vertices");
+  }
+  if (rank < 0 || rank >= num_ranks_) {
+    throw std::invalid_argument("add_task: bad rank");
+  }
+  Edge e;
+  e.id = static_cast<int>(edges_.size());
+  e.src = src;
+  e.dst = dst;
+  e.kind = EdgeKind::kTask;
+  e.rank = rank;
+  e.work = work;
+  e.iteration = iteration;
+  vertices_[src].out_edges.push_back(e.id);
+  vertices_[dst].in_edges.push_back(e.id);
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+int TaskGraph::add_message(int src, int dst, double bytes) {
+  if (src < 0 || src >= static_cast<int>(vertices_.size()) || dst < 0 ||
+      dst >= static_cast<int>(vertices_.size()) || src == dst) {
+    throw std::invalid_argument("add_message: bad vertices");
+  }
+  if (bytes < 0) throw std::invalid_argument("add_message: negative bytes");
+  Edge e;
+  e.id = static_cast<int>(edges_.size());
+  e.src = src;
+  e.dst = dst;
+  e.kind = EdgeKind::kMessage;
+  e.bytes = bytes;
+  vertices_[src].out_edges.push_back(e.id);
+  vertices_[dst].in_edges.push_back(e.id);
+  edges_.push_back(std::move(e));
+  return edges_.back().id;
+}
+
+std::vector<int> TaskGraph::task_edges() const {
+  std::vector<int> out;
+  for (const Edge& e : edges_) {
+    if (e.is_task()) out.push_back(e.id);
+  }
+  return out;
+}
+
+std::vector<int> TaskGraph::rank_chain(int rank) const {
+  if (rank < 0 || rank >= num_ranks_) {
+    throw std::invalid_argument("rank_chain: bad rank");
+  }
+  // Map src vertex -> task edge of this rank; walk from Init.
+  std::unordered_map<int, int> next;
+  std::size_t total = 0;
+  for (const Edge& e : edges_) {
+    if (!e.is_task() || e.rank != rank) continue;
+    if (!next.emplace(e.src, e.id).second) {
+      throw std::runtime_error("rank_chain: rank has two tasks from vertex " +
+                               std::to_string(e.src));
+    }
+    ++total;
+  }
+  std::vector<int> chain;
+  chain.reserve(total);
+  int at = init_vertex_;
+  while (true) {
+    auto it = next.find(at);
+    if (it == next.end()) break;
+    chain.push_back(it->second);
+    at = edges_[it->second].dst;
+  }
+  if (chain.size() != total) {
+    throw std::runtime_error("rank_chain: tasks of rank " +
+                             std::to_string(rank) + " do not form a chain");
+  }
+  if (!chain.empty() && edges_[chain.back()].dst != finalize_vertex_) {
+    throw std::runtime_error("rank_chain: chain does not end at Finalize");
+  }
+  return chain;
+}
+
+std::vector<int> TaskGraph::topo_order() const {
+  std::vector<int> indegree(vertices_.size(), 0);
+  for (const Edge& e : edges_) ++indegree[e.dst];
+  std::deque<int> ready;
+  for (const Vertex& v : vertices_) {
+    if (indegree[v.id] == 0) ready.push_back(v.id);
+  }
+  std::vector<int> order;
+  order.reserve(vertices_.size());
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop_front();
+    order.push_back(v);
+    for (int eid : vertices_[v].out_edges) {
+      if (--indegree[edges_[eid].dst] == 0) {
+        ready.push_back(edges_[eid].dst);
+      }
+    }
+  }
+  if (order.size() != vertices_.size()) {
+    throw std::runtime_error("topo_order: graph has a cycle");
+  }
+  return order;
+}
+
+void TaskGraph::validate() const {
+  if (init_vertex_ < 0) throw std::runtime_error("validate: no Init vertex");
+  if (finalize_vertex_ < 0) {
+    throw std::runtime_error("validate: no Finalize vertex");
+  }
+  const std::vector<int> order = topo_order();  // throws on cycles
+  // Init must come first among vertices with edges; nothing precedes it.
+  if (!vertices_[init_vertex_].in_edges.empty()) {
+    throw std::runtime_error("validate: Init has inbound edges");
+  }
+  if (!vertices_[finalize_vertex_].out_edges.empty()) {
+    throw std::runtime_error("validate: Finalize has outbound edges");
+  }
+  // Every vertex except Init has an inbound edge; every vertex except
+  // Finalize has an outbound edge (no dangling synchronization points).
+  for (const Vertex& v : vertices_) {
+    if (v.id != init_vertex_ && v.in_edges.empty()) {
+      throw std::runtime_error("validate: unreachable vertex " +
+                               std::to_string(v.id));
+    }
+    if (v.id != finalize_vertex_ && v.out_edges.empty()) {
+      throw std::runtime_error("validate: dead-end vertex " +
+                               std::to_string(v.id));
+    }
+  }
+  // Each rank's tasks must chain Init -> Finalize.
+  for (int r = 0; r < num_ranks_; ++r) {
+    const std::vector<int> chain = rank_chain(r);  // throws on violations
+    if (chain.empty()) {
+      throw std::runtime_error("validate: rank " + std::to_string(r) +
+                               " has no tasks");
+    }
+  }
+  // Tasks must stay on their rank's vertices (or shared vertices).
+  for (const Edge& e : edges_) {
+    if (!e.is_task()) continue;
+    const Vertex& s = vertices_[e.src];
+    const Vertex& d = vertices_[e.dst];
+    if ((s.rank != -1 && s.rank != e.rank) ||
+        (d.rank != -1 && d.rank != e.rank)) {
+      throw std::runtime_error("validate: task " + std::to_string(e.id) +
+                               " crosses ranks");
+    }
+  }
+}
+
+int TaskGraph::max_iteration() const {
+  int best = -1;
+  for (const Edge& e : edges_) best = std::max(best, e.iteration);
+  return best;
+}
+
+ScheduleTimes asap_schedule(const TaskGraph& graph,
+                            std::span<const double> durations) {
+  if (durations.size() != graph.num_edges()) {
+    throw std::invalid_argument("asap_schedule: durations size mismatch");
+  }
+  ScheduleTimes out;
+  out.vertex_time.assign(graph.num_vertices(), 0.0);
+  out.start.assign(graph.num_edges(), 0.0);
+  out.duration.assign(durations.begin(), durations.end());
+  for (int v : graph.topo_order()) {
+    double t = 0.0;
+    for (int eid : graph.vertex(v).in_edges) {
+      const Edge& e = graph.edge(eid);
+      t = std::max(t, out.vertex_time[e.src] + durations[eid]);
+    }
+    out.vertex_time[v] = t;
+    for (int eid : graph.vertex(v).out_edges) {
+      out.start[eid] = t;
+    }
+  }
+  out.makespan = out.vertex_time[graph.finalize_vertex()];
+  return out;
+}
+
+std::vector<double> edge_slack(const TaskGraph& graph,
+                               std::span<const double> durations) {
+  const ScheduleTimes asap = asap_schedule(graph, durations);
+  // Backward pass: latest firing time of each vertex without growing the
+  // makespan.
+  std::vector<double> latest(graph.num_vertices(), asap.makespan);
+  const std::vector<int> order = graph.topo_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const Vertex& v = graph.vertex(*it);
+    double t = v.out_edges.empty() ? asap.makespan : 1e300;
+    for (int eid : v.out_edges) {
+      const Edge& e = graph.edge(eid);
+      t = std::min(t, latest[e.dst] - durations[eid]);
+    }
+    latest[*it] = t;
+  }
+  std::vector<double> slack(graph.num_edges(), 0.0);
+  for (std::size_t eid = 0; eid < graph.num_edges(); ++eid) {
+    const Edge& e = graph.edge(static_cast<int>(eid));
+    slack[eid] =
+        latest[e.dst] - (asap.vertex_time[e.src] + durations[eid]);
+    if (slack[eid] < 0.0 && slack[eid] > -1e-9) slack[eid] = 0.0;
+  }
+  return slack;
+}
+
+std::vector<int> critical_path(const TaskGraph& graph,
+                               std::span<const double> durations) {
+  const ScheduleTimes asap = asap_schedule(graph, durations);
+  std::vector<int> path;
+  int v = graph.finalize_vertex();
+  constexpr double kTol = 1e-9;
+  while (v != graph.init_vertex()) {
+    const Vertex& vertex = graph.vertex(v);
+    int chosen = -1;
+    for (int eid : vertex.in_edges) {
+      const Edge& e = graph.edge(eid);
+      if (std::abs(asap.vertex_time[e.src] + durations[eid] -
+                   asap.vertex_time[v]) <= kTol) {
+        chosen = eid;
+        break;
+      }
+    }
+    if (chosen < 0) {
+      // Vertex fired before any inbound edge finished (can't happen in a
+      // consistent ASAP schedule).
+      throw std::runtime_error("critical_path: inconsistent schedule");
+    }
+    path.push_back(chosen);
+    v = graph.edge(chosen).src;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+}  // namespace powerlim::dag

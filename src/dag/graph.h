@@ -1,0 +1,150 @@
+// Application task graph.
+//
+// The paper (Section 3.1) represents a traced MPI + OpenMP execution as a
+// DAG: vertices are MPI calls (collectives, message initiation/reception,
+// Init/Finalize), edges are either computation tasks between two
+// consecutive MPI calls on one rank, or messages between ranks. This
+// module is the in-memory form of that trace plus the scheduling passes
+// the LP formulation needs (ASAP schedule, critical path, slack).
+//
+// Structural invariant (checked by validate()): the task edges of each
+// rank form a chain from the Init vertex to the Finalize vertex, with
+// consecutive tasks sharing a vertex. This mirrors reality - between any
+// two MPI calls a rank is always executing exactly one computation task
+// (possibly followed by slack while it waits) - and it is what lets the
+// event-based LP treat "task + its slack" as covering each rank's
+// timeline with no gaps (Section 3.3).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "machine/power_model.h"
+
+namespace powerlim::dag {
+
+enum class VertexKind {
+  kInit,
+  kFinalize,
+  kCollective,
+  kSend,
+  kRecv,
+  kWait,
+  kPcontrol,
+  kGeneric,
+};
+
+enum class EdgeKind { kTask, kMessage };
+
+struct Vertex {
+  int id = -1;
+  VertexKind kind = VertexKind::kGeneric;
+  /// Owning rank; -1 for vertices shared by all ranks (Init, Finalize,
+  /// collectives).
+  int rank = -1;
+  std::string label;
+  std::vector<int> in_edges;
+  std::vector<int> out_edges;
+};
+
+struct Edge {
+  int id = -1;
+  int src = -1;
+  int dst = -1;
+  EdgeKind kind = EdgeKind::kTask;
+  /// Executing rank for tasks; -1 for messages.
+  int rank = -1;
+  /// Workload characteristics (tasks only).
+  machine::TaskWork work;
+  /// Payload size (messages only).
+  double bytes = 0.0;
+  /// Application iteration (MPI_Pcontrol window) this edge belongs to;
+  /// -1 when outside any window. The evaluation discards the first
+  /// iterations as Conductor's exploration phase (Section 5.3).
+  int iteration = -1;
+
+  bool is_task() const { return kind == EdgeKind::kTask; }
+};
+
+class TaskGraph {
+ public:
+  explicit TaskGraph(int num_ranks);
+
+  int num_ranks() const { return num_ranks_; }
+
+  int add_vertex(VertexKind kind, int rank, std::string label = {});
+  /// Adds a computation task executed by `rank` between vertices src->dst.
+  int add_task(int src, int dst, int rank, const machine::TaskWork& work,
+               int iteration = -1);
+  /// Adds a message edge (payload `bytes`) between vertices src->dst.
+  int add_message(int src, int dst, double bytes);
+
+  const Vertex& vertex(int id) const { return vertices_[id]; }
+  const Edge& edge(int id) const { return edges_[id]; }
+  std::size_t num_vertices() const { return vertices_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
+  const std::vector<Vertex>& vertices() const { return vertices_; }
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  int init_vertex() const { return init_vertex_; }
+  int finalize_vertex() const { return finalize_vertex_; }
+
+  /// Task edge ids of one rank in chain order (Init -> Finalize).
+  /// Requires a validated graph.
+  std::vector<int> rank_chain(int rank) const;
+
+  /// All task edge ids (excludes messages).
+  std::vector<int> task_edges() const;
+
+  /// Vertex ids in a topological order. Throws std::runtime_error if the
+  /// graph has a cycle.
+  std::vector<int> topo_order() const;
+
+  /// Checks all structural invariants; throws std::runtime_error with a
+  /// description on the first violation.
+  void validate() const;
+
+  /// Highest iteration number present, or -1.
+  int max_iteration() const;
+
+ private:
+  int num_ranks_;
+  std::vector<Vertex> vertices_;
+  std::vector<Edge> edges_;
+  int init_vertex_ = -1;
+  int finalize_vertex_ = -1;
+};
+
+/// Times resulting from scheduling the DAG with fixed per-edge durations.
+struct ScheduleTimes {
+  /// Firing time of each vertex (all inbound edges complete).
+  std::vector<double> vertex_time;
+  /// Start time of each edge (== vertex_time[src]).
+  std::vector<double> start;
+  /// The durations used (copied in for convenience).
+  std::vector<double> duration;
+  double makespan = 0.0;
+
+  /// End of the edge's execution (start + duration); the edge's *activity*
+  /// interval for power purposes extends to vertex_time[dst] (slack).
+  double end(int edge_id) const { return start[edge_id] + duration[edge_id]; }
+};
+
+/// As-soon-as-possible schedule: every vertex fires the instant its last
+/// inbound edge completes. `durations` is indexed by edge id and must
+/// cover message edges too.
+ScheduleTimes asap_schedule(const TaskGraph& graph,
+                            std::span<const double> durations);
+
+/// Per-edge slack: how much the edge could be stretched without growing
+/// the makespan, holding all other durations fixed (latest-finish minus
+/// actual finish in the ASAP schedule).
+std::vector<double> edge_slack(const TaskGraph& graph,
+                               std::span<const double> durations);
+
+/// Edge ids of one longest (critical) path from Init to Finalize.
+std::vector<int> critical_path(const TaskGraph& graph,
+                               std::span<const double> durations);
+
+}  // namespace powerlim::dag

@@ -1,0 +1,108 @@
+#include "dag/recorder.h"
+
+#include <stdexcept>
+
+namespace powerlim::dag {
+
+namespace {
+machine::TaskWork merge(const machine::TaskWork& a,
+                        const machine::TaskWork& b) {
+  // Adding times keeps totals right; shape parameters are time-weighted
+  // toward the bigger contributor.
+  machine::TaskWork out = a.nominal_seconds() >= b.nominal_seconds() ? a : b;
+  out.cpu_seconds = a.cpu_seconds + b.cpu_seconds;
+  out.mem_seconds = a.mem_seconds + b.mem_seconds;
+  return out;
+}
+}  // namespace
+
+TraceRecorder::TraceRecorder(int ranks)
+    : graph_(ranks),
+      cursor_(ranks),
+      pending_(ranks),
+      has_pending_(ranks, false),
+      iteration_(ranks, -1) {
+  init_vertex_ = graph_.add_vertex(VertexKind::kInit, -1, "Init");
+  for (int r = 0; r < ranks; ++r) cursor_[r] = init_vertex_;
+}
+
+void TraceRecorder::compute(int rank, const machine::TaskWork& work) {
+  if (finished_) throw std::logic_error("TraceRecorder: already finished");
+  if (rank < 0 || rank >= num_ranks()) {
+    throw std::invalid_argument("TraceRecorder::compute: bad rank");
+  }
+  pending_[rank] =
+      has_pending_[rank] ? merge(pending_[rank], work) : work;
+  has_pending_[rank] = true;
+}
+
+void TraceRecorder::pcontrol(int rank, int iteration) {
+  if (finished_) throw std::logic_error("TraceRecorder: already finished");
+  if (rank < 0 || rank >= num_ranks()) {
+    throw std::invalid_argument("TraceRecorder::pcontrol: bad rank");
+  }
+  iteration_[rank] = iteration;
+}
+
+void TraceRecorder::close_task(int rank, int vertex) {
+  // Even a rank with no recorded computation gets a (zero-work) task so
+  // the rank chain stays contiguous - mirroring reality, where *some*
+  // computation always separates MPI calls.
+  graph_.add_task(cursor_[rank], vertex, rank, pending_[rank],
+                  iteration_[rank]);
+  pending_[rank] = machine::TaskWork{};
+  has_pending_[rank] = false;
+  cursor_[rank] = vertex;
+}
+
+void TraceRecorder::send(int rank, std::uint64_t tag, double bytes) {
+  if (finished_) throw std::logic_error("TraceRecorder: already finished");
+  if (rank < 0 || rank >= num_ranks()) {
+    throw std::invalid_argument("TraceRecorder::send: bad rank");
+  }
+  const int v = graph_.add_vertex(VertexKind::kSend, rank, "Isend");
+  close_task(rank, v);
+  outstanding_[tag].push_back({v, bytes});
+}
+
+void TraceRecorder::recv(int rank, std::uint64_t tag) {
+  if (finished_) throw std::logic_error("TraceRecorder: already finished");
+  if (rank < 0 || rank >= num_ranks()) {
+    throw std::invalid_argument("TraceRecorder::recv: bad rank");
+  }
+  auto it = outstanding_.find(tag);
+  if (it == outstanding_.end() || it->second.empty()) {
+    throw std::runtime_error(
+        "TraceRecorder::recv: no outstanding send with tag " +
+        std::to_string(tag));
+  }
+  const OutstandingSend s = it->second.front();
+  it->second.erase(it->second.begin());
+  const int v = graph_.add_vertex(VertexKind::kRecv, rank, "Recv");
+  close_task(rank, v);
+  graph_.add_message(s.vertex, v, s.bytes);
+}
+
+void TraceRecorder::collective(const std::string& label) {
+  if (finished_) throw std::logic_error("TraceRecorder: already finished");
+  const int v = graph_.add_vertex(VertexKind::kCollective, -1, label);
+  for (int r = 0; r < num_ranks(); ++r) close_task(r, v);
+}
+
+TaskGraph TraceRecorder::finish() {
+  if (finished_) throw std::logic_error("TraceRecorder: already finished");
+  for (const auto& [tag, sends] : outstanding_) {
+    if (!sends.empty()) {
+      throw std::runtime_error(
+          "TraceRecorder::finish: unmatched send with tag " +
+          std::to_string(tag));
+    }
+  }
+  const int fin = graph_.add_vertex(VertexKind::kFinalize, -1, "Finalize");
+  for (int r = 0; r < num_ranks(); ++r) close_task(r, fin);
+  finished_ = true;
+  graph_.validate();
+  return std::move(graph_);
+}
+
+}  // namespace powerlim::dag

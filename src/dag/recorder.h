@@ -1,0 +1,86 @@
+// Trace recording API.
+//
+// The paper obtains its DAGs "from an MPI tracing library" that interposes
+// on MPI calls (PMPI). TraceRecorder is that library's API surface for
+// this codebase: an application (or a driver that replays application
+// logs) reports, per rank, the computation performed since the last MPI
+// call and the MPI operations themselves; the recorder assembles the task
+// graph incrementally and validates it at finish().
+//
+// Usage per rank mirrors an MPI timeline:
+//
+//   TraceRecorder rec(2);
+//   rec.compute(0, work_a);            // computation since MPI_Init
+//   rec.send(0, /*tag=*/7, bytes);     // MPI_Isend
+//   rec.compute(0, work_b);
+//   rec.compute(1, work_c);
+//   rec.recv(1, /*tag=*/7);            // MPI_Recv (matches tag-7 send)
+//   rec.compute(1, work_d);
+//   rec.collective({/*all ranks*/});   // MPI_Allreduce
+//   ...
+//   dag::TaskGraph g = rec.finish();   // MPI_Finalize
+//
+// Out-of-order calls across ranks are fine (each rank's stream is
+// independent); within a rank, calls must follow program order.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace powerlim::dag {
+
+class TraceRecorder {
+ public:
+  explicit TraceRecorder(int ranks);
+
+  /// Accumulates computation on `rank` since its last MPI call. Multiple
+  /// consecutive calls merge into one task (their work adds).
+  void compute(int rank, const machine::TaskWork& work);
+
+  /// Marks the following edges as belonging to iteration `iteration`
+  /// (MPI_Pcontrol). Applies to work not yet closed into a task.
+  void pcontrol(int rank, int iteration);
+
+  /// Records a non-blocking send of `bytes` with a matching `tag`. The
+  /// pending computation is closed into a task ending at the send event.
+  void send(int rank, std::uint64_t tag, double bytes);
+
+  /// Records a receive matching the oldest outstanding send with `tag`.
+  /// Throws if no such send was recorded (recv-before-send across the
+  /// recorder is a trace error; record sends first).
+  void recv(int rank, std::uint64_t tag);
+
+  /// Records a collective joining all ranks; every rank's pending
+  /// computation closes into a task ending at the shared vertex.
+  void collective(const std::string& label = "collective");
+
+  /// Closes every rank into MPI_Finalize, validates, and returns the
+  /// graph. The recorder cannot be used afterwards. Throws if any send is
+  /// still unmatched.
+  TaskGraph finish();
+
+  int num_ranks() const { return graph_.num_ranks(); }
+
+ private:
+  /// Closes `rank`'s pending work into a task edge ending at `vertex`.
+  void close_task(int rank, int vertex);
+
+  TaskGraph graph_;
+  int init_vertex_;
+  std::vector<int> cursor_;                 // per rank: current vertex
+  std::vector<machine::TaskWork> pending_;  // per rank: accumulated work
+  std::vector<bool> has_pending_;           // explicit compute() recorded
+  std::vector<int> iteration_;              // per rank: current window
+  struct OutstandingSend {
+    int vertex;
+    double bytes;
+  };
+  std::map<std::uint64_t, std::vector<OutstandingSend>> outstanding_;
+  bool finished_ = false;
+};
+
+}  // namespace powerlim::dag

@@ -1,0 +1,181 @@
+#include "dag/trace_io.h"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace powerlim::dag {
+
+const char* to_string(VertexKind kind) {
+  switch (kind) {
+    case VertexKind::kInit:
+      return "init";
+    case VertexKind::kFinalize:
+      return "finalize";
+    case VertexKind::kCollective:
+      return "collective";
+    case VertexKind::kSend:
+      return "send";
+    case VertexKind::kRecv:
+      return "recv";
+    case VertexKind::kWait:
+      return "wait";
+    case VertexKind::kPcontrol:
+      return "pcontrol";
+    case VertexKind::kGeneric:
+      return "generic";
+  }
+  return "generic";
+}
+
+VertexKind vertex_kind_from_string(const std::string& name) {
+  if (name == "init") return VertexKind::kInit;
+  if (name == "finalize") return VertexKind::kFinalize;
+  if (name == "collective") return VertexKind::kCollective;
+  if (name == "send") return VertexKind::kSend;
+  if (name == "recv") return VertexKind::kRecv;
+  if (name == "wait") return VertexKind::kWait;
+  if (name == "pcontrol") return VertexKind::kPcontrol;
+  if (name == "generic") return VertexKind::kGeneric;
+  throw std::runtime_error("unknown vertex kind: " + name);
+}
+
+void write_trace(std::ostream& out, const TaskGraph& graph) {
+  out << "powerlim-trace 1\n";
+  out << "ranks " << graph.num_ranks() << "\n";
+  for (const Vertex& v : graph.vertices()) {
+    out << "vertex " << v.id << ' ' << to_string(v.kind) << ' ' << v.rank;
+    if (!v.label.empty()) out << ' ' << v.label;
+    out << '\n';
+  }
+  out.precision(17);
+  for (const Edge& e : graph.edges()) {
+    if (e.is_task()) {
+      out << "task " << e.src << ' ' << e.dst << ' ' << e.rank << ' '
+          << e.iteration << ' ' << e.work.cpu_seconds << ' '
+          << e.work.mem_seconds << ' ' << e.work.parallel_fraction << ' '
+          << e.work.mem_parallel_threads << ' ' << e.work.cache_contention
+          << ' ' << e.work.cache_knee << '\n';
+    } else {
+      out << "message " << e.src << ' ' << e.dst << ' ' << e.bytes << '\n';
+    }
+  }
+}
+
+namespace {
+[[noreturn]] void fail(int line, const std::string& what) {
+  throw std::runtime_error("trace parse error at line " +
+                           std::to_string(line) + ": " + what);
+}
+}  // namespace
+
+TaskGraph read_trace(std::istream& in) {
+  std::string line;
+  int line_no = 0;
+
+  auto next_line = [&]() -> bool {
+    while (std::getline(in, line)) {
+      ++line_no;
+      if (!line.empty() && line[0] != '#') return true;
+    }
+    return false;
+  };
+
+  if (!next_line()) fail(line_no, "empty input");
+  {
+    std::istringstream ss(line);
+    std::string magic;
+    int version = 0;
+    ss >> magic >> version;
+    if (magic != "powerlim-trace" || version != 1) {
+      fail(line_no, "bad header (expected 'powerlim-trace 1')");
+    }
+  }
+  if (!next_line()) fail(line_no, "missing ranks directive");
+  int ranks = 0;
+  {
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word >> ranks;
+    if (word != "ranks" || ranks < 1) fail(line_no, "bad ranks directive");
+  }
+
+  TaskGraph graph(ranks);
+  while (next_line()) {
+    std::istringstream ss(line);
+    std::string word;
+    ss >> word;
+    if (word == "vertex") {
+      int id = -1, rank = -2;
+      std::string kind, label;
+      ss >> id >> kind >> rank;
+      if (ss.fail()) fail(line_no, "malformed vertex");
+      std::getline(ss, label);
+      if (!label.empty() && label[0] == ' ') label.erase(0, 1);
+      const int got = graph.add_vertex(vertex_kind_from_string(kind), rank,
+                                       label);
+      if (got != id) fail(line_no, "vertex ids must be dense and ascending");
+    } else if (word == "task") {
+      int src, dst, rank, iteration;
+      machine::TaskWork w;
+      ss >> src >> dst >> rank >> iteration >> w.cpu_seconds >>
+          w.mem_seconds >> w.parallel_fraction >> w.mem_parallel_threads >>
+          w.cache_contention >> w.cache_knee;
+      if (ss.fail()) fail(line_no, "malformed task");
+      graph.add_task(src, dst, rank, w, iteration);
+    } else if (word == "message") {
+      int src, dst;
+      double bytes;
+      ss >> src >> dst >> bytes;
+      if (ss.fail()) fail(line_no, "malformed message");
+      graph.add_message(src, dst, bytes);
+    } else {
+      fail(line_no, "unknown directive '" + word + "'");
+    }
+  }
+  graph.validate();
+  return graph;
+}
+
+void save_trace(const std::string& path, const TaskGraph& graph) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_trace(out, graph);
+}
+
+TaskGraph load_trace(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_trace(in);
+}
+
+void write_dot(std::ostream& out, const TaskGraph& graph) {
+  out << "digraph trace {\n  rankdir=LR;\n  node [fontsize=10];\n";
+  for (const Vertex& v : graph.vertices()) {
+    const bool shared = v.rank < 0;
+    out << "  v" << v.id << " [label=\""
+        << (v.label.empty() ? to_string(v.kind) : v.label);
+    if (!shared) out << "\\nr" << v.rank;
+    out << "\" shape=" << (shared ? "box" : "ellipse") << "];\n";
+  }
+  out.precision(4);
+  for (const Edge& e : graph.edges()) {
+    out << "  v" << e.src << " -> v" << e.dst;
+    if (e.is_task()) {
+      out << " [label=\"r" << e.rank << " " << e.work.nominal_seconds()
+          << "s\"]";
+    } else {
+      out << " [style=dashed label=\"" << e.bytes << "B\"]";
+    }
+    out << ";\n";
+  }
+  out << "}\n";
+}
+
+std::string to_dot(const TaskGraph& graph) {
+  std::ostringstream out;
+  write_dot(out, graph);
+  return out.str();
+}
+
+}  // namespace powerlim::dag

@@ -1,0 +1,46 @@
+// Trace serialization.
+//
+// The paper's pipeline starts from files produced by an MPI tracing
+// library; powerlim's equivalent is a small line-oriented text format so
+// traces can be captured once, shipped, diffed, and re-analyzed:
+//
+//   powerlim-trace 1
+//   ranks <N>
+//   vertex <id> <kind> <rank> [label]
+//   task <src> <dst> <rank> <iteration> <cpu_s> <mem_s> <parallel_frac>
+//        <mem_parallel_threads> <cache_contention> <cache_knee>
+//   message <src> <dst> <bytes>
+//
+// Vertex ids must be dense and ascending (they are written that way).
+// Unknown directives raise errors - the format is versioned, not ignored.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "dag/graph.h"
+
+namespace powerlim::dag {
+
+/// Writes `graph` in powerlim-trace format.
+void write_trace(std::ostream& out, const TaskGraph& graph);
+
+/// Parses a trace; throws std::runtime_error with a line number on any
+/// malformed input. The resulting graph is validate()d.
+TaskGraph read_trace(std::istream& in);
+
+/// Convenience file wrappers.
+void save_trace(const std::string& path, const TaskGraph& graph);
+TaskGraph load_trace(const std::string& path);
+
+const char* to_string(VertexKind kind);
+VertexKind vertex_kind_from_string(const std::string& name);
+
+/// Graphviz rendering of the task graph (the paper's Figure 2a view):
+/// vertices = MPI events (collectives as boxes), solid edges = tasks
+/// labeled with rank and nominal seconds, dashed edges = messages labeled
+/// with bytes. Feed to `dot -Tsvg`.
+void write_dot(std::ostream& out, const TaskGraph& graph);
+std::string to_dot(const TaskGraph& graph);
+
+}  // namespace powerlim::dag

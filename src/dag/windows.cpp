@@ -1,0 +1,141 @@
+#include "dag/windows.h"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace powerlim::dag {
+
+std::vector<int> barrier_vertices(const TaskGraph& graph) {
+  graph.validate();
+  // Count, per vertex, how many distinct ranks' chains visit it; a
+  // barrier is visited by all ranks. Rank chains visit src of every task
+  // plus the final Finalize.
+  std::vector<int> visits(graph.num_vertices(), 0);
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    for (int eid : graph.rank_chain(r)) {
+      ++visits[graph.edge(eid).src];
+    }
+    ++visits[graph.finalize_vertex()];
+  }
+  // Collect in rank-0 chain order (all barriers appear on every chain, so
+  // rank 0's order is the global order).
+  std::vector<int> barriers;
+  for (int eid : graph.rank_chain(0)) {
+    const int v = graph.edge(eid).src;
+    if (visits[v] == graph.num_ranks()) barriers.push_back(v);
+  }
+  barriers.push_back(graph.finalize_vertex());
+  return barriers;
+}
+
+std::vector<Window> split_at_barriers(const TaskGraph& graph) {
+  const std::vector<int> barriers = barrier_vertices(graph);
+  const std::size_t num_windows = barriers.size() - 1;
+  // Barrier -> ordinal.
+  std::unordered_map<int, int> barrier_index;
+  for (std::size_t i = 0; i < barriers.size(); ++i) {
+    barrier_index[barriers[i]] = static_cast<int>(i);
+  }
+
+  // Pre-split every rank chain into segments between barriers.
+  // segment[w][r] = task edge ids of rank r inside window w, in order.
+  std::vector<std::vector<std::vector<int>>> segment(
+      num_windows, std::vector<std::vector<int>>(graph.num_ranks()));
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    int window = -1;
+    for (int eid : graph.rank_chain(r)) {
+      const Edge& e = graph.edge(eid);
+      auto it = barrier_index.find(e.src);
+      if (it != barrier_index.end()) {
+        window = it->second;
+      }
+      if (window < 0 || window >= static_cast<int>(num_windows)) {
+        throw std::runtime_error("split_at_barriers: chain escapes windows");
+      }
+      segment[window][r].push_back(eid);
+    }
+  }
+
+  std::vector<Window> out;
+  out.reserve(num_windows);
+  for (std::size_t w = 0; w < num_windows; ++w) {
+    Window win{TaskGraph(graph.num_ranks()), {}, {}};
+    std::unordered_map<int, int> vmap;  // original vertex -> window vertex
+    auto map_vertex = [&](int orig) {
+      auto it = vmap.find(orig);
+      if (it != vmap.end()) return it->second;
+      int id;
+      if (orig == barriers[w]) {
+        id = win.graph.add_vertex(VertexKind::kInit, -1,
+                                  graph.vertex(orig).label);
+      } else if (orig == barriers[w + 1]) {
+        id = win.graph.add_vertex(VertexKind::kFinalize, -1,
+                                  graph.vertex(orig).label);
+      } else {
+        const Vertex& v = graph.vertex(orig);
+        id = win.graph.add_vertex(v.kind, v.rank, v.label);
+      }
+      vmap.emplace(orig, id);
+      if (static_cast<int>(win.vertex_map.size()) <= id) {
+        win.vertex_map.resize(id + 1, -1);
+      }
+      win.vertex_map[id] = orig;
+      return id;
+    };
+    // Ensure Init is vertex 0 and Finalize exists even for empty windows.
+    map_vertex(barriers[w]);
+    map_vertex(barriers[w + 1]);
+
+    std::unordered_set<int> window_vertices;  // original ids in this window
+    window_vertices.insert(barriers[w]);
+    window_vertices.insert(barriers[w + 1]);
+    for (int r = 0; r < graph.num_ranks(); ++r) {
+      for (int eid : segment[w][r]) {
+        const Edge& e = graph.edge(eid);
+        const int s = map_vertex(e.src);
+        const int d = map_vertex(e.dst);
+        const int wid = win.graph.add_task(s, d, r, e.work, e.iteration);
+        if (static_cast<int>(win.edge_map.size()) <= wid) {
+          win.edge_map.resize(wid + 1, -1);
+        }
+        win.edge_map[wid] = eid;
+        window_vertices.insert(e.src);
+        window_vertices.insert(e.dst);
+      }
+    }
+    // Messages whose endpoints both live in this window.
+    for (const Edge& e : graph.edges()) {
+      if (e.is_task()) continue;
+      if (window_vertices.count(e.src) && window_vertices.count(e.dst)) {
+        const int wid =
+            win.graph.add_message(vmap.at(e.src), vmap.at(e.dst), e.bytes);
+        if (static_cast<int>(win.edge_map.size()) <= wid) {
+          win.edge_map.resize(wid + 1, -1);
+        }
+        win.edge_map[wid] = e.id;
+      }
+    }
+    win.graph.validate();
+    out.push_back(std::move(win));
+  }
+  // Every original edge must land in exactly one window (a message
+  // crossing a barrier would violate the decomposition's exactness).
+  std::vector<int> covered(graph.num_edges(), 0);
+  for (const Window& w : out) {
+    for (int orig : w.edge_map) {
+      if (orig >= 0) ++covered[orig];
+    }
+  }
+  for (std::size_t e = 0; e < covered.size(); ++e) {
+    if (covered[e] != 1) {
+      throw std::runtime_error(
+          "split_at_barriers: edge " + std::to_string(e) +
+          (covered[e] ? " mapped twice" : " crosses a barrier"));
+    }
+  }
+  return out;
+}
+
+}  // namespace powerlim::dag

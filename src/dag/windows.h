@@ -1,0 +1,43 @@
+// Barrier decomposition of a task graph.
+//
+// Iterative MPI applications synchronize all ranks at global collectives.
+// Any vertex every rank's chain passes through (Init, Finalize, global
+// collectives) is a *barrier*: nothing before it can overlap anything
+// after it, so schedules - and the paper's LP - decompose exactly into
+// independent windows between consecutive barriers. This turns the
+// LP's O(T^3) cost over a whole trace into a sum of small solves (one per
+// iteration), which is what makes paper-scale sweeps tractable here.
+//
+// Exactness: task activity intervals never span a barrier, so event power
+// constraints do not couple windows; window objectives are additive; and
+// the fixed event order across windows is implied by barrier ordering.
+// (The full formulation's eq. 13 would additionally pin *accidentally*
+// simultaneous vertices in different windows to stay simultaneous - a
+// restriction, not a relaxation, so windowed solutions are never worse.)
+#pragma once
+
+#include <vector>
+
+#include "dag/graph.h"
+
+namespace powerlim::dag {
+
+/// One barrier-to-barrier slice of the original graph, with maps back to
+/// original ids. The slice's Init/Finalize are the enclosing barriers.
+struct Window {
+  TaskGraph graph;
+  /// Window edge id -> original edge id.
+  std::vector<int> edge_map;
+  /// Window vertex id -> original vertex id.
+  std::vector<int> vertex_map;
+};
+
+/// Vertices every rank's chain passes through, in chain order (always
+/// starts with Init and ends with Finalize).
+std::vector<int> barrier_vertices(const TaskGraph& graph);
+
+/// Splits the graph at its barriers. Concatenating the windows in order
+/// reproduces the original schedule structure exactly.
+std::vector<Window> split_at_barriers(const TaskGraph& graph);
+
+}  // namespace powerlim::dag

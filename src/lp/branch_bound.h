@@ -1,0 +1,41 @@
+// Branch & bound for mixed integer-linear programs.
+//
+// The paper's flow ILP (Appendix) is only ever solved on small instances
+// (< 30 application-DAG edges, Section 3.4), so a straightforward
+// best-bound branch & bound over the simplex relaxation is sufficient and
+// keeps the substrate dependency-free.
+#pragma once
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace powerlim::lp {
+
+struct BranchBoundOptions {
+  SimplexOptions simplex;
+  /// Hard node cap; the solver reports kIterationLimit beyond it.
+  long max_nodes = 200000;
+  /// Values within this distance of an integer count as integral.
+  double integrality_tol = 1e-6;
+  /// Stop when the relative gap between incumbent and best bound falls
+  /// below this.
+  double relative_gap = 1e-9;
+};
+
+struct MipSolution {
+  SolveStatus status = SolveStatus::kNumericalError;
+  double objective = 0.0;
+  std::vector<double> values;
+  long nodes = 0;
+  /// Best dual bound proven at termination (== objective when optimal).
+  double best_bound = 0.0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves `model` honoring integrality flags. A model with no integer
+/// variables degenerates to a single LP solve.
+MipSolution solve_mip(const Model& model,
+                      const BranchBoundOptions& options = {});
+
+}  // namespace powerlim::lp

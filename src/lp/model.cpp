@@ -1,0 +1,100 @@
+#include "lp/model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+namespace powerlim::lp {
+
+Variable Model::add_variable(double lb, double ub, double obj,
+                             std::string name) {
+  if (lb > ub) throw std::invalid_argument("variable lb > ub: " + name);
+  var_lb_.push_back(lb);
+  var_ub_.push_back(ub);
+  obj_.push_back(obj);
+  integer_.push_back(0);
+  var_name_.push_back(std::move(name));
+  return Variable{static_cast<int>(var_lb_.size()) - 1};
+}
+
+Variable Model::add_integer_variable(double lb, double ub, double obj,
+                                     std::string name) {
+  Variable v = add_variable(lb, ub, obj, std::move(name));
+  integer_[v.index] = 1;
+  return v;
+}
+
+Variable Model::add_binary(double obj, std::string name) {
+  return add_integer_variable(0.0, 1.0, obj, std::move(name));
+}
+
+Constraint Model::add_constraint(const std::vector<Term>& terms, double rlb,
+                                 double rub, std::string name) {
+  if (rlb > rub) throw std::invalid_argument("row lb > ub: " + name);
+  // Merge duplicate variables so callers can build expressions naively.
+  std::map<int, double> merged;
+  for (const Term& t : terms) {
+    if (!t.var.valid() ||
+        t.var.index >= static_cast<int>(var_lb_.size())) {
+      throw std::invalid_argument("constraint uses invalid variable: " + name);
+    }
+    merged[t.var.index] += t.coeff;
+  }
+  if (row_start_.empty()) row_start_.push_back(0);
+  for (const auto& [idx, coeff] : merged) {
+    if (std::abs(coeff) == 0.0) continue;
+    col_index_.push_back(idx);
+    value_.push_back(coeff);
+  }
+  row_start_.push_back(col_index_.size());
+  row_lb_.push_back(rlb);
+  row_ub_.push_back(rub);
+  row_name_.push_back(std::move(name));
+  return Constraint{static_cast<int>(row_lb_.size()) - 1};
+}
+
+void Model::set_variable_bounds(Variable v, double lb, double ub) {
+  if (!v.valid() || v.index >= static_cast<int>(var_lb_.size())) {
+    throw std::invalid_argument("set_variable_bounds: invalid variable");
+  }
+  if (lb > ub) throw std::invalid_argument("set_variable_bounds: lb > ub");
+  var_lb_[v.index] = lb;
+  var_ub_[v.index] = ub;
+}
+
+bool Model::has_integers() const {
+  return std::any_of(integer_.begin(), integer_.end(),
+                     [](char c) { return c != 0; });
+}
+
+Model::RowView Model::row(int i) const {
+  const std::size_t begin = row_start_[i];
+  const std::size_t end = row_start_[i + 1];
+  return RowView{col_index_.data() + begin, value_.data() + begin,
+                 end - begin};
+}
+
+double Model::objective_value(const std::vector<double>& x) const {
+  double v = 0.0;
+  for (std::size_t j = 0; j < obj_.size(); ++j) v += obj_[j] * x[j];
+  return v;
+}
+
+double Model::max_violation(const std::vector<double>& x) const {
+  double worst = 0.0;
+  for (std::size_t j = 0; j < var_lb_.size(); ++j) {
+    worst = std::max(worst, var_lb_[j] - x[j]);
+    worst = std::max(worst, x[j] - var_ub_[j]);
+  }
+  for (std::size_t i = 0; i < row_lb_.size(); ++i) {
+    const RowView r = row(static_cast<int>(i));
+    double acc = 0.0;
+    for (std::size_t k = 0; k < r.size; ++k) acc += r.coeff[k] * x[r.idx[k]];
+    worst = std::max(worst, row_lb_[i] - acc);
+    worst = std::max(worst, acc - row_ub_[i]);
+  }
+  return std::max(worst, 0.0);
+}
+
+}  // namespace powerlim::lp

@@ -1,0 +1,35 @@
+// MPS export for lp::Model.
+//
+// Writes the (free-form) MPS format understood by CBC, GLPK, Gurobi,
+// CPLEX, HiGHS and lp_solve, so any LP/ILP powerlim builds can be handed
+// to an external solver for cross-validation - the reproduction's answer
+// to "is your home-grown simplex right?".
+//
+// Conventions: range constraints become RANGES entries; integer variables
+// are wrapped in MARKER INTORG/INTEND; a maximization model is written as
+// its negated minimization with a comment noting the flip (baseline MPS
+// has no portable objective-sense field).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "lp/model.h"
+
+namespace powerlim::lp {
+
+/// Writes `model` as free-form MPS. `name` becomes the NAME record.
+void write_mps(std::ostream& out, const Model& model,
+               const std::string& name = "POWERLIM");
+
+/// Convenience to-string wrapper.
+std::string to_mps(const Model& model, const std::string& name = "POWERLIM");
+
+/// Parses free-form MPS (the dialect write_mps emits, which is the common
+/// subset: N/L/G/E rows, COLUMNS with INTORG/INTEND markers, RHS, RANGES,
+/// FR/MI/PL/FX/LO/UP/BV bounds). The objective row becomes a minimization
+/// objective; use Model::set_sense() afterwards if the source maximized.
+/// Throws std::runtime_error with a line number on malformed input.
+Model read_mps(std::istream& in);
+
+}  // namespace powerlim::lp

@@ -1,0 +1,221 @@
+#include "lp/presolve.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlim::lp {
+
+namespace {
+constexpr double kFixTol = 1e-11;
+constexpr double kFeasTol = 1e-9;
+}  // namespace
+
+std::size_t PresolveResult::removed_variables() const {
+  std::size_t n = 0;
+  for (const auto& v : fixed_values) {
+    if (v.has_value()) ++n;
+  }
+  return n;
+}
+
+std::vector<double> PresolveResult::restore(
+    const std::vector<double>& reduced_values) const {
+  std::vector<double> full(fixed_values.size(), 0.0);
+  for (std::size_t j = 0; j < fixed_values.size(); ++j) {
+    if (fixed_values[j]) full[j] = *fixed_values[j];
+  }
+  for (std::size_t k = 0; k < kept_variables.size(); ++k) {
+    full[kept_variables[k]] = reduced_values[k];
+  }
+  return full;
+}
+
+PresolveResult presolve(const Model& model) {
+  const std::size_t n = model.num_variables();
+  const std::size_t m = model.num_constraints();
+
+  // Working copies of bounds; rows keep their structure, we only adjust
+  // their bounds as fixed variables are substituted out.
+  std::vector<double> lb(n), ub(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    lb[j] = model.variable_lb(static_cast<int>(j));
+    ub[j] = model.variable_ub(static_cast<int>(j));
+  }
+  std::vector<double> rlb(m), rub(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    rlb[i] = model.row_lb(static_cast<int>(i));
+    rub[i] = model.row_ub(static_cast<int>(i));
+  }
+  std::vector<char> row_dropped(m, 0);
+  std::vector<char> var_fixed(n, 0);
+
+  PresolveResult out;
+  out.fixed_values.assign(n, std::nullopt);
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Detect newly fixed variables and fold them into row bounds.
+    for (std::size_t j = 0; j < n; ++j) {
+      if (var_fixed[j]) continue;
+      if (lb[j] > ub[j] + kFeasTol) {
+        out.infeasible = true;
+        return out;
+      }
+      if (ub[j] - lb[j] <= kFixTol) {
+        var_fixed[j] = 1;
+        out.fixed_values[j] = lb[j];
+        changed = true;
+      }
+    }
+    // Substitute all currently-fixed variables into rows by recomputing
+    // each live row's constant contribution.
+    for (std::size_t i = 0; i < m; ++i) {
+      if (row_dropped[i]) continue;
+      const Model::RowView r = model.row(static_cast<int>(i));
+      double constant = 0.0;
+      int live = 0;
+      int last_var = -1;
+      double last_coeff = 0.0;
+      double min_act = 0.0, max_act = 0.0;
+      bool min_finite = true, max_finite = true;
+      for (std::size_t k = 0; k < r.size; ++k) {
+        const int j = r.idx[k];
+        if (var_fixed[j]) {
+          constant += r.coeff[k] * *out.fixed_values[j];
+          continue;
+        }
+        ++live;
+        last_var = j;
+        last_coeff = r.coeff[k];
+        const double lo = r.coeff[k] > 0 ? lb[j] : ub[j];
+        const double hi = r.coeff[k] > 0 ? ub[j] : lb[j];
+        if (is_finite_bound(lo)) {
+          min_act += r.coeff[k] * lo;
+        } else {
+          min_finite = false;
+        }
+        if (is_finite_bound(hi)) {
+          max_act += r.coeff[k] * hi;
+        } else {
+          max_finite = false;
+        }
+      }
+      const double eff_lb = rlb[i] - constant;
+      const double eff_ub = rub[i] - constant;
+      if (live == 0) {
+        // Empty row: consistency check, then drop.
+        if (eff_lb > kFeasTol || eff_ub < -kFeasTol) {
+          out.infeasible = true;
+          return out;
+        }
+        row_dropped[i] = 1;
+        ++out.removed_rows;
+        changed = true;
+        continue;
+      }
+      if (live == 1) {
+        // Singleton: tighten the variable's bounds and drop the row.
+        const int j = last_var;
+        double new_lo, new_hi;
+        if (last_coeff > 0) {
+          new_lo = is_finite_bound(eff_lb) ? eff_lb / last_coeff : -kInfinity;
+          new_hi = is_finite_bound(eff_ub) ? eff_ub / last_coeff : kInfinity;
+        } else {
+          new_lo = is_finite_bound(eff_ub) ? eff_ub / last_coeff : -kInfinity;
+          new_hi = is_finite_bound(eff_lb) ? eff_lb / last_coeff : kInfinity;
+        }
+        if (new_lo > lb[j] + kFixTol) {
+          lb[j] = new_lo;
+          changed = true;
+        }
+        if (new_hi < ub[j] - kFixTol) {
+          ub[j] = new_hi;
+          changed = true;
+        }
+        if (lb[j] > ub[j] + kFeasTol) {
+          out.infeasible = true;
+          return out;
+        }
+        row_dropped[i] = 1;
+        ++out.removed_rows;
+        changed = true;
+        continue;
+      }
+      // Redundancy by activity bounds: the row can never bind.
+      const bool lb_redundant =
+          !is_finite_bound(rlb[i]) || (min_finite && min_act >= eff_lb - kFeasTol);
+      const bool ub_redundant =
+          !is_finite_bound(rub[i]) || (max_finite && max_act <= eff_ub + kFeasTol);
+      if (lb_redundant && ub_redundant) {
+        row_dropped[i] = 1;
+        ++out.removed_rows;
+        changed = true;
+        continue;
+      }
+      // Provable infeasibility by activity bounds.
+      if ((max_finite && max_act < eff_lb - kFeasTol) ||
+          (min_finite && min_act > eff_ub + kFeasTol)) {
+        out.infeasible = true;
+        return out;
+      }
+    }
+  }
+
+  // Assemble the reduced model.
+  Model reduced(model.sense());
+  std::vector<int> new_index(n, -1);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (var_fixed[j]) {
+      out.objective_offset +=
+          model.objective_coeff(static_cast<int>(j)) * *out.fixed_values[j];
+      continue;
+    }
+    new_index[j] = static_cast<int>(out.kept_variables.size());
+    out.kept_variables.push_back(static_cast<int>(j));
+    reduced.add_variable(lb[j], ub[j],
+                         model.objective_coeff(static_cast<int>(j)),
+                         model.variable_name(static_cast<int>(j)));
+  }
+  for (std::size_t i = 0; i < m; ++i) {
+    if (row_dropped[i]) continue;
+    const Model::RowView r = model.row(static_cast<int>(i));
+    std::vector<Term> terms;
+    double constant = 0.0;
+    for (std::size_t k = 0; k < r.size; ++k) {
+      const int j = r.idx[k];
+      if (var_fixed[j]) {
+        constant += r.coeff[k] * *out.fixed_values[j];
+      } else {
+        terms.push_back({Variable{new_index[j]}, r.coeff[k]});
+      }
+    }
+    reduced.add_constraint(terms, rlb[i] - constant, rub[i] - constant,
+                           model.constraint_name(static_cast<int>(i)));
+  }
+  out.reduced = std::move(reduced);
+  return out;
+}
+
+Solution solve_lp_presolved(const Model& model, const SimplexOptions& options) {
+  const PresolveResult pre = presolve(model);
+  Solution out;
+  if (pre.infeasible) {
+    out.status = SolveStatus::kInfeasible;
+    return out;
+  }
+  Solution reduced_sol = solve_lp(pre.reduced, options);
+  out.status = reduced_sol.status;
+  out.iterations = reduced_sol.iterations;
+  if (out.status != SolveStatus::kOptimal) return out;
+  out.values = pre.restore(reduced_sol.values);
+  out.objective = model.objective_value(out.values);
+  out.primal_infeasibility = model.max_violation(out.values);
+  if (out.primal_infeasibility > 1e-5) {
+    out.status = SolveStatus::kNumericalError;
+  }
+  return out;
+}
+
+}  // namespace powerlim::lp

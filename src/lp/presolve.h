@@ -1,0 +1,52 @@
+// LP presolve.
+//
+// Standard reductions applied before the simplex sees the model:
+//   * fixed variables (lb == ub) are substituted into every row;
+//   * empty rows are checked for consistency and dropped;
+//   * singleton rows (one variable) become variable-bound tightenings;
+//   * rows whose activity bounds already imply the row (redundant) drop.
+// Reductions iterate to a fixed point. The result maps back to the
+// original variable space via restore(). Duals are not mapped (powerlim
+// only consumes primal solutions; tests that need duals solve unreduced).
+//
+// This is most useful for the branch & bound tree, where every node fixes
+// binaries: presolve collapses them out of the child LPs.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+
+namespace powerlim::lp {
+
+struct PresolveResult {
+  /// The reduced model (valid only when `infeasible` is false).
+  Model reduced;
+  /// True when presolve already proved infeasibility.
+  bool infeasible = false;
+  /// Original index of each reduced-model variable.
+  std::vector<int> kept_variables;
+  /// Values pinned for removed variables (by original index); unset
+  /// entries correspond to kept variables.
+  std::vector<std::optional<double>> fixed_values;
+  /// Constant objective contribution of the removed variables.
+  double objective_offset = 0.0;
+
+  std::size_t removed_variables() const;
+  std::size_t removed_rows = 0;
+
+  /// Lifts a reduced-model solution vector back to the original space.
+  std::vector<double> restore(const std::vector<double>& reduced_values) const;
+};
+
+/// Applies the reductions to `model`.
+PresolveResult presolve(const Model& model);
+
+/// Convenience: presolve + solve + restore. Status and objective refer to
+/// the original model; duals/reduced costs are not populated.
+Solution solve_lp_presolved(const Model& model,
+                            const SimplexOptions& options = {});
+
+}  // namespace powerlim::lp

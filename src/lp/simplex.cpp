@@ -1,0 +1,707 @@
+#include "lp/simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlim::lp {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal:
+      return "optimal";
+    case SolveStatus::kInfeasible:
+      return "infeasible";
+    case SolveStatus::kUnbounded:
+      return "unbounded";
+    case SolveStatus::kIterationLimit:
+      return "iteration-limit";
+    case SolveStatus::kNumericalError:
+      return "numerical-error";
+  }
+  return "?";
+}
+
+namespace {
+
+enum class VarStatus : char { kAtLower, kAtUpper, kBasic, kFree };
+
+/// The computational form:  A_full x = 0 with per-column bounds, where
+/// A_full = [A_structural | -I_slack | sigma*I_artificial]. Row right-hand
+/// sides are folded into slack bounds, so b == 0 throughout.
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& opt)
+      : model_(model),
+        opt_(opt),
+        m_(model.num_constraints()),
+        n_(model.num_variables()) {
+    build_columns();
+  }
+
+  Solution run(WarmStart* warm = nullptr) {
+    Solution sol;
+    if (m_ == 0) {
+      return solve_unconstrained();
+    }
+    max_iter_ = opt_.max_iterations > 0
+                    ? opt_.max_iterations
+                    : 200 * static_cast<long>(m_ + n_) + 2000;
+
+    const bool warmed = warm != nullptr && try_warm_init(*warm);
+    if (!warmed) {
+      const SolveStatus p1 = phase_one();
+      if (p1 != SolveStatus::kOptimal) return finish(p1, warm);
+    }
+
+    // Phase II with drift verification: after the loop converges,
+    // refactorize to recompute the point *exactly*; a catastrophic pivot
+    // (tiny pivot element accepted by the ratio test) shows up here as
+    // basics out of bounds or as newly improving candidates, both of
+    // which we repair instead of returning a corrupted answer.
+    for (int attempt = 0;; ++attempt) {
+      if (!iterate(cost_)) return finish(SolveStatus::kIterationLimit, warm);
+      if (unbounded_) return finish(SolveStatus::kUnbounded, warm);
+      refactor();
+      if (!basics_within_bounds()) {
+        if (attempt >= 2) return finish(SolveStatus::kNumericalError, warm);
+        const SolveStatus p1 = phase_one();  // full cold restart
+        if (p1 != SolveStatus::kOptimal) return finish(p1, warm);
+        continue;
+      }
+      compute_duals(cost_);
+      if (price(cost_) < 0) break;  // optimal at the exact point
+      if (attempt >= 4) return finish(SolveStatus::kNumericalError, warm);
+    }
+    return finish(SolveStatus::kOptimal, warm);
+  }
+
+ private:
+  // ---- setup -------------------------------------------------------------
+
+  void build_columns() {
+    const std::size_t total = n_ + m_ + m_;  // structural, slack, artificial
+    col_start_.assign(total + 1, 0);
+    lb_.resize(total);
+    ub_.resize(total);
+    cost_.assign(total, 0.0);
+    phase1_cost_.assign(total, 0.0);
+
+    const double sense_mult =
+        model_.sense() == Sense::kMaximize ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      lb_[j] = model_.variable_lb(static_cast<int>(j));
+      ub_[j] = model_.variable_ub(static_cast<int>(j));
+      cost_[j] = sense_mult * model_.objective_coeff(static_cast<int>(j));
+    }
+    // Build CSC for structural columns from the model's row storage.
+    std::vector<std::size_t> count(n_, 0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Model::RowView r = model_.row(static_cast<int>(i));
+      for (std::size_t k = 0; k < r.size; ++k) ++count[r.idx[k]];
+    }
+    for (std::size_t j = 0; j < n_; ++j) {
+      col_start_[j + 1] = col_start_[j] + count[j];
+    }
+    // Slack and artificial columns are singletons.
+    for (std::size_t j = n_; j < total; ++j) {
+      col_start_[j + 1] = col_start_[j] + 1;
+    }
+    col_row_.resize(col_start_[total]);
+    col_val_.resize(col_start_[total]);
+    std::vector<std::size_t> fill(n_, 0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const Model::RowView r = model_.row(static_cast<int>(i));
+      for (std::size_t k = 0; k < r.size; ++k) {
+        const int j = r.idx[k];
+        const std::size_t pos = col_start_[j] + fill[j]++;
+        col_row_[pos] = static_cast<int>(i);
+        col_val_[pos] = r.coeff[k];
+      }
+    }
+    slack_begin_ = n_;
+    art_begin_ = n_ + m_;
+    for (std::size_t i = 0; i < m_; ++i) {
+      // Slack column: a'x - s = 0 with s in [row_lb, row_ub].
+      col_row_[col_start_[slack_begin_ + i]] = static_cast<int>(i);
+      col_val_[col_start_[slack_begin_ + i]] = -1.0;
+      lb_[slack_begin_ + i] = model_.row_lb(static_cast<int>(i));
+      ub_[slack_begin_ + i] = model_.row_ub(static_cast<int>(i));
+      // Artificial sign is fixed in initialize_point().
+      col_row_[col_start_[art_begin_ + i]] = static_cast<int>(i);
+      col_val_[col_start_[art_begin_ + i]] = 1.0;
+      lb_[art_begin_ + i] = 0.0;
+      ub_[art_begin_ + i] = kInfinity;
+      phase1_cost_[art_begin_ + i] = 1.0;
+    }
+    num_cols_ = total;
+  }
+
+  /// Places structural and slack variables at their nearest finite bound
+  /// (0 for free variables), then sizes the artificial basis to absorb the
+  /// residual of every row.
+  void initialize_point() {
+    xval_.assign(num_cols_, 0.0);
+    status_.assign(num_cols_, VarStatus::kAtLower);
+    for (std::size_t j = 0; j < art_begin_; ++j) {
+      const bool lo = is_finite_bound(lb_[j]);
+      const bool hi = is_finite_bound(ub_[j]);
+      if (lo && hi) {
+        // Prefer the bound with smaller magnitude; ties go low.
+        if (std::abs(ub_[j]) < std::abs(lb_[j])) {
+          status_[j] = VarStatus::kAtUpper;
+          xval_[j] = ub_[j];
+        } else {
+          status_[j] = VarStatus::kAtLower;
+          xval_[j] = lb_[j];
+        }
+      } else if (lo) {
+        status_[j] = VarStatus::kAtLower;
+        xval_[j] = lb_[j];
+      } else if (hi) {
+        status_[j] = VarStatus::kAtUpper;
+        xval_[j] = ub_[j];
+      } else {
+        status_[j] = VarStatus::kFree;
+        xval_[j] = 0.0;
+      }
+    }
+    // Row activities at the initial nonbasic point (slacks not counted).
+    std::vector<double> activity(m_, 0.0);
+    for (std::size_t j = 0; j < slack_begin_; ++j) {
+      if (xval_[j] == 0.0) continue;
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        activity[col_row_[k]] += col_val_[k] * xval_[j];
+      }
+    }
+    // Mixed crash basis: rows whose activity already fits inside the slack
+    // bounds start with their slack basic (feasible, no phase-1 work);
+    // only violated rows get an artificial. This typically leaves phase I
+    // with a handful of pivots instead of one per row.
+    basis_.resize(m_);
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      const std::size_t slack = slack_begin_ + i;
+      const std::size_t art = art_begin_ + i;
+      if (activity[i] >= lb_[slack] - 1e-12 &&
+          activity[i] <= ub_[slack] + 1e-12) {
+        // Slack basic at the row activity; artificial pinned at zero.
+        basis_[i] = static_cast<int>(slack);
+        status_[slack] = VarStatus::kBasic;
+        xval_[slack] = activity[i];
+        lb_[art] = ub_[art] = 0.0;
+        xval_[art] = 0.0;
+        status_[art] = VarStatus::kAtLower;
+        binv_[i * m_ + i] = -1.0;  // slack column is -e_i
+      } else {
+        // Slack at its nearest bound; artificial absorbs the residual.
+        const double sbar =
+            activity[i] < lb_[slack] ? lb_[slack] : ub_[slack];
+        status_[slack] = activity[i] < lb_[slack] ? VarStatus::kAtLower
+                                                  : VarStatus::kAtUpper;
+        xval_[slack] = sbar;
+        const double resid = activity[i] - sbar;  // a'x - s
+        const double sign = resid < 0.0 ? -1.0 : 1.0;
+        col_val_[col_start_[art]] = -sign;  // so that art = |resid| >= 0
+        basis_[i] = static_cast<int>(art);
+        status_[art] = VarStatus::kBasic;
+        xval_[art] = std::abs(resid);
+        binv_[i * m_ + i] = -sign;
+      }
+    }
+    pivots_since_refactor_ = 0;
+  }
+
+  /// Cold start: crash basis + phase I. Returns kOptimal when a feasible
+  /// basis was reached.
+  SolveStatus phase_one() {
+    initialize_point();
+    if (!iterate(phase1_cost_)) return SolveStatus::kIterationLimit;
+    double art_sum = 0.0;
+    for (std::size_t k = 0; k < m_; ++k) art_sum += xval_[art_begin_ + k];
+    if (art_sum > 1e-6) return SolveStatus::kInfeasible;
+    // Pin artificials at zero so phase II can never reuse them.
+    for (std::size_t k = 0; k < m_; ++k) {
+      lb_[art_begin_ + k] = 0.0;
+      ub_[art_begin_ + k] = 0.0;
+      xval_[art_begin_ + k] = 0.0;
+    }
+    return SolveStatus::kOptimal;
+  }
+
+  /// All basic variables within their bounds (called right after an exact
+  /// refactorization).
+  bool basics_within_bounds() const {
+    for (std::size_t i = 0; i < m_; ++i) {
+      const int b = basis_[i];
+      if (xval_[b] < lb_[b] - 10 * opt_.primal_tol ||
+          xval_[b] > ub_[b] + 10 * opt_.primal_tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Seeds statuses/basis from a snapshot of a structurally identical
+  /// model and verifies primal feasibility under the *current* bounds.
+  /// Returns false (leaving state untouched for a cold start) when the
+  /// snapshot does not fit or the warmed point is infeasible.
+  bool try_warm_init(const WarmStart& warm) {
+    if (!warm.valid() || warm.status.size() != num_cols_ ||
+        warm.basis.size() != m_) {
+      return false;
+    }
+    // Reject bases containing artificials: their column signs are
+    // solve-specific.
+    for (int b : warm.basis) {
+      if (b < 0 || b >= static_cast<int>(num_cols_) ||
+          b >= static_cast<int>(art_begin_)) {
+        return false;
+      }
+    }
+    status_.resize(num_cols_);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      status_[j] = static_cast<VarStatus>(warm.status[j]);
+    }
+    basis_.assign(warm.basis.begin(), warm.basis.end());
+    // Artificials stay pinned out of the problem.
+    for (std::size_t k = 0; k < m_; ++k) {
+      lb_[art_begin_ + k] = 0.0;
+      ub_[art_begin_ + k] = 0.0;
+      status_[art_begin_ + k] = VarStatus::kAtLower;
+    }
+    // Nonbasic values snap to the (possibly changed) bounds.
+    xval_.assign(num_cols_, 0.0);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      switch (status_[j]) {
+        case VarStatus::kAtLower:
+          if (!is_finite_bound(lb_[j])) return false;
+          xval_[j] = lb_[j];
+          break;
+        case VarStatus::kAtUpper:
+          if (!is_finite_bound(ub_[j])) return false;
+          xval_[j] = ub_[j];
+          break;
+        case VarStatus::kFree:
+          xval_[j] = 0.0;
+          break;
+        case VarStatus::kBasic:
+          break;
+      }
+    }
+    try {
+      refactor();  // builds Binv from the warmed basis, computes x_B
+    } catch (const std::exception&) {
+      return false;
+    }
+    // The warmed point must be primal feasible for a pure phase-II solve.
+    for (std::size_t i = 0; i < m_; ++i) {
+      const int b = basis_[i];
+      if (xval_[b] < lb_[b] - opt_.primal_tol ||
+          xval_[b] > ub_[b] + opt_.primal_tol) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  // ---- inner loop ----------------------------------------------------------
+
+  /// Runs the simplex loop to optimality for the given cost vector.
+  /// Returns false if the iteration limit was hit. Sets unbounded_ when the
+  /// problem is unbounded for this cost (only possible in phase II).
+  bool iterate(const std::vector<double>& cost) {
+    degenerate_run_ = 0;
+    unbounded_ = false;
+    for (;;) {
+      if (iterations_ >= max_iter_) return false;
+      ++iterations_;
+      if (pivots_since_refactor_ >= opt_.refactor_interval) refactor();
+
+      compute_duals(cost);
+      const int q = price(cost);
+      if (q < 0) return true;  // optimal for this cost
+
+      const double dq = reduced_cost(cost, q);
+      double dir = 0.0;
+      switch (status_[q]) {
+        case VarStatus::kAtLower:
+          dir = 1.0;
+          break;
+        case VarStatus::kAtUpper:
+          dir = -1.0;
+          break;
+        case VarStatus::kFree:
+          dir = dq < 0.0 ? 1.0 : -1.0;
+          break;
+        case VarStatus::kBasic:
+          throw std::logic_error("basic column priced");
+      }
+
+      ftran(q);  // w_ = Binv * A_q
+
+      // Ratio test: the entering variable moves by t >= 0 in direction dir;
+      // basic variable at position i moves by -t * dir * w_[i].
+      double t_best = kInfinity;
+      int leave_pos = -1;
+      double leave_piv = 0.0;
+      for (std::size_t i = 0; i < m_; ++i) {
+        const double wd = dir * w_[i];
+        const int b = basis_[i];
+        double t_i = kInfinity;
+        if (wd > opt_.pivot_tol) {
+          if (is_finite_bound(lb_[b])) t_i = (xval_[b] - lb_[b]) / wd;
+        } else if (wd < -opt_.pivot_tol) {
+          if (is_finite_bound(ub_[b])) t_i = (ub_[b] - xval_[b]) / (-wd);
+        } else {
+          continue;
+        }
+        if (t_i < -opt_.primal_tol) t_i = 0.0;
+        t_i = std::max(t_i, 0.0);
+        const bool better =
+            bland_ ? (t_i < t_best - 1e-12 ||
+                      (leave_pos >= 0 && t_i <= t_best + 1e-12 &&
+                       basis_[i] < basis_[leave_pos]))
+                   : (t_i < t_best - 1e-12 ||
+                      (t_i <= t_best + 1e-12 &&
+                       std::abs(w_[i]) > std::abs(leave_piv)));
+        if (leave_pos < 0 ? t_i < t_best : better) {
+          t_best = t_i;
+          leave_pos = static_cast<int>(i);
+          leave_piv = w_[i];
+        }
+      }
+
+      // Bound-flip distance of the entering variable itself.
+      double t_flip = kInfinity;
+      if (is_finite_bound(lb_[q]) && is_finite_bound(ub_[q])) {
+        t_flip = ub_[q] - lb_[q];
+      }
+
+      const double t = std::min(t_best, t_flip);
+      if (t >= kInfinity / 2) {
+        unbounded_ = true;
+        return true;
+      }
+
+      // Move the basic variables.
+      if (t > 0.0) {
+        for (std::size_t i = 0; i < m_; ++i) {
+          if (w_[i] != 0.0) xval_[basis_[i]] -= t * dir * w_[i];
+        }
+      }
+
+      if (t_flip <= t_best) {
+        // Bound flip: no basis change.
+        status_[q] = status_[q] == VarStatus::kAtLower ? VarStatus::kAtUpper
+                                                       : VarStatus::kAtLower;
+        xval_[q] =
+            status_[q] == VarStatus::kAtLower ? lb_[q] : ub_[q];
+        note_progress(t);
+        continue;
+      }
+
+      // Pivot: q enters at position leave_pos, b leaves to a bound.
+      const int b = basis_[leave_pos];
+      const double wd = dir * w_[leave_pos];
+      if (wd > 0.0) {
+        status_[b] = VarStatus::kAtLower;
+        xval_[b] = lb_[b];
+      } else {
+        status_[b] = VarStatus::kAtUpper;
+        xval_[b] = ub_[b];
+      }
+      xval_[q] = nonbasic_value(q) + dir * t;
+      status_[q] = VarStatus::kBasic;
+      basis_[leave_pos] = q;
+      update_binv(leave_pos);
+      ++pivots_since_refactor_;
+      note_progress(t);
+    }
+  }
+
+  double nonbasic_value(int j) const {
+    // Value the entering variable had while nonbasic. For free variables
+    // this is the stored value (0 until first entry).
+    return xval_[j];
+  }
+
+  void note_progress(double step) {
+    if (step > opt_.primal_tol) {
+      degenerate_run_ = 0;
+      bland_ = false;
+    } else if (++degenerate_run_ >= opt_.bland_trigger) {
+      bland_ = true;
+    }
+  }
+
+  // y = c_B^T * Binv
+  void compute_duals(const std::vector<double>& cost) {
+    y_.assign(m_, 0.0);
+    for (std::size_t k = 0; k < m_; ++k) {
+      const double cb = cost[basis_[k]];
+      if (cb == 0.0) continue;
+      const double* row = &binv_[k * m_];
+      for (std::size_t i = 0; i < m_; ++i) y_[i] += cb * row[i];
+    }
+  }
+
+  double reduced_cost(const std::vector<double>& cost, int j) const {
+    double d = cost[j];
+    for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+      d -= y_[col_row_[k]] * col_val_[k];
+    }
+    return d;
+  }
+
+  /// Chooses the entering column, or -1 at optimality. Dantzig rule with a
+  /// Bland fallback engaged by note_progress().
+  int price(const std::vector<double>& cost) {
+    int best = -1;
+    double best_viol = opt_.dual_tol;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      const VarStatus st = status_[j];
+      if (st == VarStatus::kBasic) continue;
+      if (ub_[j] - lb_[j] < opt_.primal_tol && st != VarStatus::kFree) {
+        continue;  // fixed variable can never improve
+      }
+      const double d = reduced_cost(cost, j);
+      double viol = 0.0;
+      if (st == VarStatus::kAtLower) {
+        viol = -d;
+      } else if (st == VarStatus::kAtUpper) {
+        viol = d;
+      } else {  // free
+        viol = std::abs(d);
+      }
+      if (viol > best_viol) {
+        if (bland_) return static_cast<int>(j);
+        best_viol = viol;
+        best = static_cast<int>(j);
+      }
+    }
+    return best;
+  }
+
+  // w = Binv * A_q
+  void ftran(int q) {
+    w_.assign(m_, 0.0);
+    for (std::size_t k = col_start_[q]; k < col_start_[q + 1]; ++k) {
+      const int row = col_row_[k];
+      const double v = col_val_[k];
+      for (std::size_t i = 0; i < m_; ++i) {
+        w_[i] += binv_[i * m_ + row] * v;
+      }
+    }
+  }
+
+  /// Product-form update after basis position r changed to a column whose
+  /// ftran result is in w_.
+  void update_binv(int r) {
+    const double piv = w_[r];
+    double* rrow = &binv_[static_cast<std::size_t>(r) * m_];
+    const double inv = 1.0 / piv;
+    for (std::size_t i = 0; i < m_; ++i) rrow[i] *= inv;
+    for (std::size_t k = 0; k < m_; ++k) {
+      if (static_cast<int>(k) == r) continue;
+      const double f = w_[k];
+      if (f == 0.0) continue;
+      double* krow = &binv_[k * m_];
+      for (std::size_t i = 0; i < m_; ++i) krow[i] -= f * rrow[i];
+    }
+  }
+
+  /// Rebuilds Binv by Gauss-Jordan with partial pivoting and recomputes the
+  /// basic values exactly from the nonbasic point.
+  void refactor() {
+    pivots_since_refactor_ = 0;
+    // Dense B from basis columns.
+    std::vector<double> B(m_ * m_, 0.0);
+    for (std::size_t p = 0; p < m_; ++p) {
+      const int j = basis_[p];
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        B[static_cast<std::size_t>(col_row_[k]) * m_ + p] = col_val_[k];
+      }
+    }
+    // Invert [B | I] -> [I | Binv].
+    std::vector<double> inv(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+    for (std::size_t col = 0; col < m_; ++col) {
+      std::size_t piv_row = col;
+      double piv = std::abs(B[col * m_ + col]);
+      for (std::size_t r = col + 1; r < m_; ++r) {
+        if (std::abs(B[r * m_ + col]) > piv) {
+          piv = std::abs(B[r * m_ + col]);
+          piv_row = r;
+        }
+      }
+      if (piv < 1e-12) throw std::runtime_error("singular simplex basis");
+      if (piv_row != col) {
+        for (std::size_t c = 0; c < m_; ++c) {
+          std::swap(B[piv_row * m_ + c], B[col * m_ + c]);
+          std::swap(inv[piv_row * m_ + c], inv[col * m_ + c]);
+        }
+      }
+      const double p = B[col * m_ + col];
+      const double ip = 1.0 / p;
+      for (std::size_t c = 0; c < m_; ++c) {
+        B[col * m_ + c] *= ip;
+        inv[col * m_ + c] *= ip;
+      }
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double f = B[r * m_ + col];
+        if (f == 0.0) continue;
+        for (std::size_t c = 0; c < m_; ++c) {
+          B[r * m_ + c] -= f * B[col * m_ + c];
+          inv[r * m_ + c] -= f * inv[col * m_ + c];
+        }
+      }
+    }
+    binv_ = std::move(inv);
+
+    // Recompute basic values: x_B = Binv * (0 - N x_N).
+    std::vector<double> rhs(m_, 0.0);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = xval_[j];
+      if (v == 0.0) continue;
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        rhs[col_row_[k]] -= col_val_[k] * v;
+      }
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      double acc = 0.0;
+      const double* row = &binv_[i * m_];
+      for (std::size_t r = 0; r < m_; ++r) acc += row[r] * rhs[r];
+      xval_[basis_[i]] = acc;
+    }
+  }
+
+  // ---- result --------------------------------------------------------------
+
+  Solution solve_unconstrained() {
+    // No constraints: each variable independently goes to its best bound.
+    Solution sol;
+    sol.values.resize(n_);
+    const double mult = model_.sense() == Sense::kMaximize ? -1.0 : 1.0;
+    for (std::size_t j = 0; j < n_; ++j) {
+      const double c = mult * model_.objective_coeff(static_cast<int>(j));
+      double v;
+      if (c > 0) {
+        if (!is_finite_bound(model_.variable_lb(static_cast<int>(j)))) {
+          sol.status = SolveStatus::kUnbounded;
+          return sol;
+        }
+        v = model_.variable_lb(static_cast<int>(j));
+      } else if (c < 0) {
+        if (!is_finite_bound(model_.variable_ub(static_cast<int>(j)))) {
+          sol.status = SolveStatus::kUnbounded;
+          return sol;
+        }
+        v = model_.variable_ub(static_cast<int>(j));
+      } else {
+        const double lo = model_.variable_lb(static_cast<int>(j));
+        v = is_finite_bound(lo) ? lo : 0.0;
+        if (!is_finite_bound(lo) &&
+            is_finite_bound(model_.variable_ub(static_cast<int>(j)))) {
+          v = model_.variable_ub(static_cast<int>(j));
+        }
+      }
+      sol.values[j] = v;
+    }
+    sol.status = SolveStatus::kOptimal;
+    sol.objective = model_.objective_value(sol.values);
+    sol.reduced_costs.assign(n_, 0.0);
+    for (std::size_t j = 0; j < n_; ++j) {
+      sol.reduced_costs[j] = mult * model_.objective_coeff(static_cast<int>(j));
+    }
+    return sol;
+  }
+
+  Solution finish(SolveStatus status, WarmStart* warm = nullptr) {
+    Solution sol;
+    sol.status = status;
+    sol.iterations = iterations_;
+    sol.values.assign(xval_.begin(), xval_.begin() + n_);
+    if (status == SolveStatus::kOptimal) {
+      sol.objective = model_.objective_value(sol.values);
+      compute_duals(cost_);
+      sol.duals = y_;
+      sol.reduced_costs.resize(n_);
+      for (std::size_t j = 0; j < n_; ++j) {
+        sol.reduced_costs[j] = reduced_cost(cost_, static_cast<int>(j));
+      }
+      sol.primal_infeasibility = model_.max_violation(sol.values);
+      if (sol.primal_infeasibility > 1e-5) {
+        sol.status = SolveStatus::kNumericalError;
+      }
+    }
+    // Export the basis only for a verified-optimal finish; a poisoned
+    // snapshot would sabotage the caller's next warm solve.
+    if (warm != nullptr) {
+      if (sol.status == SolveStatus::kOptimal) {
+        warm->status.assign(num_cols_, 0);
+        for (std::size_t j = 0; j < num_cols_; ++j) {
+          warm->status[j] = static_cast<char>(status_[j]);
+        }
+        warm->basis.assign(basis_.begin(), basis_.end());
+      } else {
+        warm->clear();
+      }
+    }
+    return sol;
+  }
+
+  const Model& model_;
+  SimplexOptions opt_;
+  std::size_t m_;
+  std::size_t n_;
+  std::size_t num_cols_ = 0;
+  std::size_t slack_begin_ = 0;
+  std::size_t art_begin_ = 0;
+
+  // Column-compressed matrix over all columns.
+  std::vector<std::size_t> col_start_;
+  std::vector<int> col_row_;
+  std::vector<double> col_val_;
+
+  std::vector<double> lb_, ub_, cost_, phase1_cost_;
+  std::vector<double> xval_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;
+  std::vector<double> binv_;  // dense m x m, row-major
+  std::vector<double> y_, w_;
+
+  long iterations_ = 0;
+  long max_iter_ = 0;
+  int pivots_since_refactor_ = 0;
+  int degenerate_run_ = 0;
+  bool bland_ = false;
+  bool unbounded_ = false;
+};
+
+}  // namespace
+
+Solution solve_lp(const Model& model, const SimplexOptions& options) {
+  return solve_lp(model, options, nullptr);
+}
+
+Solution solve_lp(const Model& model, const SimplexOptions& options,
+                  WarmStart* warm) {
+  Simplex solver(model, options);
+  Solution sol = solver.run(warm);
+  if (sol.status == SolveStatus::kNumericalError) {
+    // Product-form drift occasionally exceeds the feasibility check on
+    // long solves; refactoring far more often is slower but much more
+    // accurate, so retry once in high-accuracy mode.
+    SimplexOptions retry = options;
+    retry.refactor_interval = 20;
+    retry.pivot_tol = std::max(options.pivot_tol, 1e-8);
+    Simplex careful(model, retry);
+    sol = careful.run(warm);  // retry cold: run() ignores a cleared warm
+  }
+  return sol;
+}
+
+}  // namespace powerlim::lp

@@ -1,0 +1,96 @@
+// Bounded-variable revised primal simplex.
+//
+// Two-phase method: phase I drives artificial variables to zero starting
+// from an all-artificial basis, phase II optimizes the real objective.
+// The basis inverse is kept explicitly (dense) and updated with the
+// product-form pivot; it is refactorized from scratch periodically for
+// numerical stability. Anti-cycling is handled by falling back to Bland's
+// rule after a run of degenerate pivots.
+//
+// This is sized for the LPs the paper reproduction generates (10^3-10^4
+// nonzeros): dense O(m^2) per-iteration work is well within budget and a
+// great deal simpler to make robust than sparse LU updates.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "lp/model.h"
+
+namespace powerlim::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kNumericalError,
+};
+
+const char* to_string(SolveStatus status);
+
+struct SimplexOptions {
+  /// Hard cap on simplex iterations across both phases; <= 0 means the
+  /// solver picks 200 * (rows + cols) + 2000.
+  long max_iterations = 0;
+  /// Refactorize the basis inverse every this many pivots. Refactoring is
+  /// O(m^3); product-form updates drift slowly, so this trades speed for
+  /// accuracy. solve_lp() retries once at interval 20 if the fast pass
+  /// ends with a feasibility check failure.
+  int refactor_interval = 100;
+  /// Primal feasibility tolerance on variable bounds.
+  double primal_tol = 1e-7;
+  /// Dual feasibility (reduced-cost) tolerance.
+  double dual_tol = 1e-7;
+  /// Smallest pivot magnitude accepted in the ratio test.
+  double pivot_tol = 1e-9;
+  /// Consecutive degenerate pivots before switching to Bland's rule.
+  int bland_trigger = 100;
+};
+
+/// Opaque basis snapshot for warm-started re-solves. Valid only for a
+/// model with the *same constraint structure* (identical variables, rows
+/// and nonzeros) as the solve that produced it - the cap-sweep pattern,
+/// where only bounds change between solves. solve_lp() verifies primal
+/// feasibility of the warmed basis under the new bounds and silently
+/// falls back to a cold start when it does not hold (e.g. after a cap
+/// decrease), so warm starting is always safe.
+struct WarmStart {
+  std::vector<char> status;  // internal column statuses
+  std::vector<int> basis;    // basic column per row
+  bool valid() const { return !basis.empty(); }
+  void clear() {
+    status.clear();
+    basis.clear();
+  }
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kNumericalError;
+  /// Objective in the model's original sense; meaningful when optimal.
+  double objective = 0.0;
+  /// Per-variable values (size = model.num_variables()).
+  std::vector<double> values;
+  /// Per-row duals for the minimization form (size = num_constraints()).
+  std::vector<double> duals;
+  /// Per-variable reduced costs for the minimization form.
+  std::vector<double> reduced_costs;
+  long iterations = 0;
+  /// Max primal violation of the returned point (diagnostic; ~0 when
+  /// optimal).
+  double primal_infeasibility = 0.0;
+
+  bool optimal() const { return status == SolveStatus::kOptimal; }
+};
+
+/// Solves the continuous relaxation of `model` (integrality flags are
+/// ignored here; see branch_bound.h).
+Solution solve_lp(const Model& model, const SimplexOptions& options = {});
+
+/// Warm-started variant: `warm` (if valid) seeds the basis, and on an
+/// optimal finish is overwritten with the final basis for the next solve.
+Solution solve_lp(const Model& model, const SimplexOptions& options,
+                  WarmStart* warm);
+
+}  // namespace powerlim::lp

@@ -1,0 +1,146 @@
+#include "machine/calibration.h"
+
+#include <array>
+#include <cmath>
+#include <set>
+#include <stdexcept>
+
+namespace powerlim::machine {
+
+namespace {
+
+/// Dynamic-power scale factor (mirrors power_model.cpp's shape).
+double dynamic_scale(const SocketSpec& spec, double ghz, double alpha) {
+  if (ghz >= spec.f_vmin_ghz) {
+    return std::pow(ghz / spec.fmax_ghz, alpha);
+  }
+  const double at_floor = std::pow(spec.f_vmin_ghz / spec.fmax_ghz, alpha);
+  return at_floor * (ghz / spec.f_vmin_ghz);
+}
+
+/// Solves the 3x3 normal equations A^T A x = A^T b by Cramer's rule.
+std::array<double, 3> solve3(const std::array<std::array<double, 3>, 3>& m,
+                             const std::array<double, 3>& rhs) {
+  auto det3 = [](const std::array<std::array<double, 3>, 3>& a) {
+    return a[0][0] * (a[1][1] * a[2][2] - a[1][2] * a[2][1]) -
+           a[0][1] * (a[1][0] * a[2][2] - a[1][2] * a[2][0]) +
+           a[0][2] * (a[1][0] * a[2][1] - a[1][1] * a[2][0]);
+  };
+  const double d = det3(m);
+  if (std::abs(d) < 1e-12) {
+    throw std::invalid_argument(
+        "fit_power_model: samples do not determine the parameters "
+        "(degenerate design matrix)");
+  }
+  std::array<double, 3> out{};
+  for (int col = 0; col < 3; ++col) {
+    auto mm = m;
+    for (int row = 0; row < 3; ++row) mm[row][col] = rhs[row];
+    out[col] = det3(mm) / d;
+  }
+  return out;
+}
+
+struct Fit {
+  double p_static, p_core, p_uncore, rms, max_err;
+};
+
+Fit fit_for_alpha(const std::vector<PowerSample>& samples,
+                  const SocketSpec& base, double alpha) {
+  // power = p_static * 1
+  //       + p_core  * [threads * g(f) * (sf + (1-sf) * act)]
+  //       + p_uncore* [1 - act]
+  std::array<std::array<double, 3>, 3> ata{};
+  std::array<double, 3> atb{};
+  for (const PowerSample& s : samples) {
+    const double g = dynamic_scale(base, s.ghz, alpha);
+    const std::array<double, 3> row{
+        1.0,
+        s.threads * g *
+            (base.stall_power_fraction +
+             (1.0 - base.stall_power_fraction) * s.activity),
+        1.0 - s.activity};
+    for (int i = 0; i < 3; ++i) {
+      for (int j = 0; j < 3; ++j) ata[i][j] += row[i] * row[j];
+      atb[i] += row[i] * s.watts;
+    }
+  }
+  const auto x = solve3(ata, atb);
+  Fit fit{x[0], x[1], x[2], 0.0, 0.0};
+  double sq = 0.0;
+  for (const PowerSample& s : samples) {
+    const double g = dynamic_scale(base, s.ghz, alpha);
+    const double predicted =
+        fit.p_static +
+        fit.p_core * s.threads * g *
+            (base.stall_power_fraction +
+             (1.0 - base.stall_power_fraction) * s.activity) +
+        fit.p_uncore * (1.0 - s.activity);
+    const double r = predicted - s.watts;
+    sq += r * r;
+    fit.max_err = std::max(fit.max_err, std::abs(r));
+  }
+  fit.rms = std::sqrt(sq / samples.size());
+  return fit;
+}
+
+}  // namespace
+
+CalibrationResult fit_power_model(const std::vector<PowerSample>& samples,
+                                  const SocketSpec& base) {
+  if (samples.size() < 4) {
+    throw std::invalid_argument("fit_power_model: need at least 4 samples");
+  }
+  std::set<double> freqs;
+  std::set<int> threads;
+  for (const PowerSample& s : samples) {
+    if (!(s.ghz > 0.0) || s.threads < 1 || !(s.watts > 0.0) ||
+        s.activity < 0.0 || s.activity > 1.0) {
+      throw std::invalid_argument("fit_power_model: malformed sample");
+    }
+    freqs.insert(s.ghz);
+    threads.insert(s.threads);
+  }
+  if (freqs.size() < 2 || threads.size() < 2) {
+    throw std::invalid_argument(
+        "fit_power_model: samples must span multiple frequencies and "
+        "thread counts");
+  }
+
+  // 1-D search over alpha (coarse grid, then golden refinement).
+  double best_alpha = 2.4;
+  Fit best = fit_for_alpha(samples, base, best_alpha);
+  for (double a = 1.5; a <= 3.5 + 1e-9; a += 0.05) {
+    const Fit f = fit_for_alpha(samples, base, a);
+    if (f.rms < best.rms) {
+      best = f;
+      best_alpha = a;
+    }
+  }
+  // Local refinement.
+  double lo = best_alpha - 0.05, hi = best_alpha + 0.05;
+  for (int it = 0; it < 40; ++it) {
+    const double m1 = lo + (hi - lo) / 3.0;
+    const double m2 = hi - (hi - lo) / 3.0;
+    if (fit_for_alpha(samples, base, m1).rms <
+        fit_for_alpha(samples, base, m2).rms) {
+      hi = m2;
+    } else {
+      lo = m1;
+    }
+  }
+  best_alpha = 0.5 * (lo + hi);
+  best = fit_for_alpha(samples, base, best_alpha);
+
+  CalibrationResult out;
+  out.spec = base;
+  out.spec.p_static = best.p_static;
+  out.spec.p_core_max = best.p_core;
+  out.spec.p_uncore_max = best.p_uncore;
+  out.spec.alpha = best_alpha;
+  out.rms_error = best.rms;
+  out.max_error = best.max_err;
+  return out;
+}
+
+}  // namespace powerlim::machine

@@ -1,0 +1,46 @@
+// Power-model calibration from measurements.
+//
+// The analytic model ships with Xeon E5-2670-like constants; porting the
+// reproduction to another machine means fitting those constants to
+// measured (frequency, threads, activity) -> watts samples (e.g. RAPL
+// counters read while running single-task kernels - exactly the profiling
+// pass the paper's Conductor performs). The model is linear in
+// (p_static, p_core_max, p_uncore_max) once alpha is fixed, so the fit is
+// ordinary least squares inside a 1-D search over alpha.
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace powerlim::machine {
+
+/// One measured operating point.
+struct PowerSample {
+  double ghz = 0.0;
+  int threads = 0;
+  /// Compute activity in [0, 1]: share of cycles not stalled on memory
+  /// (from performance counters; 1.0 for a pure compute kernel).
+  double activity = 1.0;
+  double watts = 0.0;
+};
+
+struct CalibrationResult {
+  /// Input spec with p_static / p_core_max / p_uncore_max / alpha
+  /// replaced by the fitted values.
+  SocketSpec spec;
+  /// Root-mean-square error of the fit, watts.
+  double rms_error = 0.0;
+  /// Largest absolute residual, watts.
+  double max_error = 0.0;
+};
+
+/// Fits the three linear power parameters and alpha to `samples`,
+/// starting from `base` (which supplies the frequency grid, core count and
+/// voltage-floor/stall-fraction shape parameters). Requires at least 4
+/// samples spaning more than one frequency and thread count; throws
+/// std::invalid_argument otherwise.
+CalibrationResult fit_power_model(const std::vector<PowerSample>& samples,
+                                  const SocketSpec& base = SocketSpec{});
+
+}  // namespace powerlim::machine

@@ -1,0 +1,20 @@
+#include "machine/machine.h"
+
+#include <cmath>
+
+namespace powerlim::machine {
+
+std::vector<double> SocketSpec::dvfs_states() const {
+  std::vector<double> states;
+  // Descending from fmax so states[0] is the fastest, matching the paper's
+  // Table 1 ordering (C_{i,1} = 2.6 GHz ... C_{i,15} = 1.2 GHz).
+  const int count =
+      static_cast<int>(std::round((fmax_ghz - fmin_ghz) / fstep_ghz)) + 1;
+  states.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    states.push_back(fmax_ghz - i * fstep_ghz);
+  }
+  return states;
+}
+
+}  // namespace powerlim::machine

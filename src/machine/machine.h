@@ -1,0 +1,89 @@
+// Simulated cluster hardware description.
+//
+// The paper's experiments ran on Cab (LLNL): 1296 nodes, two 8-core Xeon
+// E5-2670 sockets per node, socket-level DVFS (1.2-2.6 GHz) and RAPL
+// power capping. No such hardware exists here, so machine/ provides an
+// analytic stand-in: socket specifications, an (f, threads) -> (duration,
+// power) task model (power_model.h) and a RAPL-like capping loop
+// (rapl.h). Everything downstream (LP formulation, replay simulator,
+// runtime algorithms) consumes only the (duration, power) points this
+// module produces, exactly as the paper's pipeline consumes profiled
+// measurements.
+#pragma once
+
+#include <vector>
+
+namespace powerlim::machine {
+
+/// One processor socket. Defaults model a Xeon E5-2670: 8 cores, DVFS
+/// 1.2-2.6 GHz in 0.1 GHz steps (15 states, matching Table 1 of the
+/// paper), with clock modulation able to throttle below the lowest DVFS
+/// state down to 22% of nominal frequency (the paper observes RAPL running
+/// processors at 22% of max clock under a 30 W cap).
+struct SocketSpec {
+  int cores = 8;
+  double fmin_ghz = 1.2;
+  double fmax_ghz = 2.6;
+  double fstep_ghz = 0.1;
+  /// Clock-modulation floor: RAPL may throttle to this effective
+  /// frequency, below the lowest architected DVFS state.
+  double throttle_floor_ghz = 0.572;  // 22% of 2.6 GHz
+
+  // --- analytic power model parameters (see power_model.h) ---
+  /// Package static/leakage power, W.
+  double p_static = 15.0;
+  /// Per-core dynamic power at fmax and 100% compute activity, W.
+  double p_core_max = 10.0;
+  /// Uncore + DRAM-side power at 100% memory intensity, W.
+  double p_uncore_max = 10.0;
+  /// Dynamic power ~ (f/fmax)^alpha above the voltage floor (voltage
+  /// scales with frequency there).
+  double alpha = 2.4;
+  /// Below this frequency the voltage regulator has bottomed out, so
+  /// dynamic power only falls linearly with f (duty-cycle regime). This
+  /// makes deep throttling disproportionately expensive in perf/watt,
+  /// which is what the paper observes under 30 W caps.
+  double f_vmin_ghz = 1.6;
+  /// Fraction of per-core dynamic power drawn even when the core is
+  /// stalled on memory (clock still toggling).
+  double stall_power_fraction = 0.35;
+
+  /// Architected DVFS states, descending from fmax to fmin.
+  std::vector<double> dvfs_states() const;
+
+  /// True if `ghz` is within the continuous throttling range.
+  bool frequency_reachable(double ghz) const {
+    return ghz >= throttle_floor_ghz - 1e-12 && ghz <= fmax_ghz + 1e-12;
+  }
+};
+
+/// A cluster of identical sockets connected by a network. The paper runs
+/// one multi-threaded MPI process per socket (Section 2.2), so "rank" and
+/// "socket" are interchangeable here.
+struct ClusterSpec {
+  int sockets = 32;
+  SocketSpec socket;
+  /// Point-to-point message cost: latency + bytes / bandwidth.
+  double net_latency_s = 2e-6;
+  double net_bandwidth_bps = 4e9;  // ~QDR InfiniBand effective
+
+  double message_seconds(double bytes) const {
+    return net_latency_s + bytes / net_bandwidth_bps;
+  }
+};
+
+/// Timing constants measured by the paper (Section 6.2); the replay
+/// simulator and runtime algorithms charge these overheads.
+struct Overheads {
+  /// Median profiler overhead per instrumented MPI call.
+  static constexpr double kProfilingPerMpiCall = 34e-6;
+  /// Median per-task DVFS transition overhead during schedule replay.
+  static constexpr double kDvfsTransition = 145e-6;
+  /// Average cost of one Conductor power-reallocation decision.
+  static constexpr double kPowerReallocation = 566e-6;
+  /// Replay only switches configuration before tasks at least this long
+  /// (Section 6.1).
+  static constexpr double kSwitchThresholdSeconds = 1e-3;
+};
+
+}  // namespace powerlim::machine

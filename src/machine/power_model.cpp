@@ -1,0 +1,142 @@
+#include "machine/power_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlim::machine {
+
+namespace {
+/// Memory-time multiplier at `threads`: bandwidth parallelism up to the
+/// saturation point, then shared-cache contention beyond the knee.
+double memory_factor(const TaskWork& work, int threads) {
+  const int eff = std::min(threads, std::max(work.mem_parallel_threads, 1));
+  double factor = 1.0 / static_cast<double>(eff);
+  if (threads > work.cache_knee) {
+    factor += work.cache_contention *
+              static_cast<double>(threads - work.cache_knee);
+  }
+  return factor;
+}
+
+/// Dynamic-power scale factor vs. frequency: ~f^alpha while voltage tracks
+/// frequency, linear in f once the regulator hits its floor.
+double dynamic_scale(const SocketSpec& spec, double ghz) {
+  if (ghz >= spec.f_vmin_ghz) {
+    return std::pow(ghz / spec.fmax_ghz, spec.alpha);
+  }
+  const double at_floor = std::pow(spec.f_vmin_ghz / spec.fmax_ghz, spec.alpha);
+  return at_floor * (ghz / spec.f_vmin_ghz);
+}
+}  // namespace
+
+double PowerModel::duration(const TaskWork& work, double ghz,
+                            int threads) const {
+  if (threads < 1 || threads > spec_.cores) {
+    throw std::invalid_argument("duration: bad thread count");
+  }
+  if (!(ghz > 0.0)) throw std::invalid_argument("duration: bad frequency");
+  const double fscale = spec_.fmax_ghz / ghz;
+  const double pf = work.parallel_fraction;
+  const double cpu =
+      work.cpu_seconds * fscale * ((1.0 - pf) + pf / threads);
+  const double mem = work.mem_seconds * memory_factor(work, threads);
+  return cpu + mem;
+}
+
+void PowerModel::set_rank_efficiency(std::vector<double> factors) {
+  for (double f : factors) {
+    if (!(f > 0.0)) {
+      throw std::invalid_argument("rank efficiency factors must be > 0");
+    }
+  }
+  rank_efficiency_ = std::move(factors);
+}
+
+double PowerModel::rank_efficiency(int rank) const {
+  if (rank < 0 || rank >= static_cast<int>(rank_efficiency_.size())) {
+    return 1.0;
+  }
+  return rank_efficiency_[rank];
+}
+
+double PowerModel::power(const TaskWork& work, double ghz, int threads,
+                         int rank) const {
+  const double fscale = spec_.fmax_ghz / ghz;
+  const double pf = work.parallel_fraction;
+  const double cpu = work.cpu_seconds * fscale * ((1.0 - pf) + pf / threads);
+  const double mem = work.mem_seconds * memory_factor(work, threads);
+  const double total = cpu + mem;
+  // Compute activity: share of time cores are retiring instructions rather
+  // than stalled on memory. Stalled cores still draw a fraction of their
+  // dynamic power.
+  const double activity = total > 0.0 ? cpu / total : 1.0;
+  const double fdyn = dynamic_scale(spec_, ghz);
+  const double core_power =
+      threads * spec_.p_core_max * fdyn *
+      (spec_.stall_power_fraction + (1.0 - spec_.stall_power_fraction) * activity);
+  // Uncore/DRAM power follows memory intensity (stall share).
+  const double uncore_power = spec_.p_uncore_max * (1.0 - activity);
+  return rank_efficiency(rank) *
+         (spec_.p_static + core_power + uncore_power);
+}
+
+double PowerModel::idle_power(int rank) const {
+  // One core spinning in the MPI progress loop at the lowest DVFS state.
+  const double fdyn = dynamic_scale(spec_, spec_.fmin_ghz);
+  return rank_efficiency(rank) *
+         (spec_.p_static +
+          spec_.p_core_max * fdyn * spec_.stall_power_fraction);
+}
+
+Config PowerModel::config(const TaskWork& work, double ghz, int threads,
+                          int rank) const {
+  return Config{ghz, threads, duration(work, ghz, threads),
+                power(work, ghz, threads, rank)};
+}
+
+std::vector<Config> PowerModel::enumerate(const TaskWork& work,
+                                          int rank) const {
+  std::vector<Config> out;
+  const std::vector<double> states = spec_.dvfs_states();
+  out.reserve(states.size() * spec_.cores);
+  for (int t = spec_.cores; t >= 1; --t) {
+    for (double f : states) {
+      out.push_back(config(work, f, t, rank));
+    }
+  }
+  return out;
+}
+
+Config PowerModel::fastest(const TaskWork& work) const {
+  // Max frequency; pick the thread count with the shortest duration (all
+  // cores except for contention-limited tasks).
+  Config best = config(work, spec_.fmax_ghz, spec_.cores);
+  for (int t = 1; t < spec_.cores; ++t) {
+    const Config c = config(work, spec_.fmax_ghz, t);
+    if (c.duration < best.duration) best = c;
+  }
+  return best;
+}
+
+double PowerModel::rapl_frequency(const TaskWork& work, int threads,
+                                  double power_cap, int rank) const {
+  double lo = spec_.throttle_floor_ghz;
+  double hi = spec_.fmax_ghz;
+  if (power(work, hi, threads, rank) <= power_cap) return hi;
+  if (power(work, lo, threads, rank) > power_cap) {
+    return lo;  // cap unattainable
+  }
+  // Power is monotone increasing in frequency: bisect.
+  for (int iter = 0; iter < 60; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (power(work, mid, threads, rank) <= power_cap) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace powerlim::machine

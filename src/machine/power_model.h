@@ -1,0 +1,113 @@
+// Analytic task duration & power model.
+//
+// Maps (task workload, frequency, thread count) to (duration, socket
+// power). Replaces the per-task configuration profiles the paper measures
+// on real hardware (Figure 1 / Table 1). The model is deliberately simple
+// but reproduces the phenomena the paper's evaluation hinges on:
+//
+//  * duration falls and power rises with frequency (Figure 1);
+//  * more threads -> more performance and more power for compute-bound
+//    tasks, so fewer-than-max threads are only Pareto-efficient at the
+//    lowest frequency (Section 3.2's observation);
+//  * memory-bound tasks with cache contention run *faster* with fewer
+//    threads, letting remaining power budget raise frequency (the LULESH
+//    Table 3 effect: 4-5 threads beat 8 under a 50 W cap).
+#pragma once
+
+#include <vector>
+
+#include "machine/machine.h"
+
+namespace powerlim::machine {
+
+/// Workload characteristics of one computation task (a DAG edge between
+/// two MPI calls). All times are for one thread at nominal (fmax)
+/// frequency.
+struct TaskWork {
+  /// Compute-bound time: scales with 1/f and parallelizes per Amdahl.
+  double cpu_seconds = 0.0;
+  /// Memory-bound time: frequency-insensitive, parallelizes until the
+  /// memory system saturates.
+  double mem_seconds = 0.0;
+  /// Amdahl parallel fraction of the compute part.
+  double parallel_fraction = 0.99;
+  /// Memory bandwidth stops improving beyond this many threads.
+  int mem_parallel_threads = 4;
+  /// Additional memory time per thread beyond `cache_knee` (fraction of
+  /// mem_seconds per extra thread), modeling shared-cache contention.
+  double cache_contention = 0.0;
+  int cache_knee = 8;
+
+  /// Total single-thread nominal duration.
+  double nominal_seconds() const { return cpu_seconds + mem_seconds; }
+};
+
+/// One realizable configuration of a task: a DVFS state (or effective
+/// throttled frequency) and an OpenMP thread count, with the resulting
+/// task duration and average socket power.
+struct Config {
+  double ghz = 0.0;
+  int threads = 0;
+  double duration = 0.0;
+  double power = 0.0;
+};
+
+/// Evaluates the analytic model for a given socket.
+///
+/// Manufacturing variation: real parts of the same SKU differ in power
+/// efficiency (the paper names "differences in power efficiency between
+/// individual processors" as a driver of Conductor's reallocation,
+/// Section 4.2). set_rank_efficiency() installs a per-socket multiplier
+/// on total power; every power-consuming query takes an optional `rank`
+/// (default -1 = the nominal part).
+class PowerModel {
+ public:
+  explicit PowerModel(SocketSpec spec) : spec_(spec) {}
+
+  const SocketSpec& spec() const { return spec_; }
+
+  /// Installs per-rank power multipliers (1.0 = nominal; 1.05 = this
+  /// socket burns 5% more for the same work). Empty = homogeneous.
+  void set_rank_efficiency(std::vector<double> factors);
+  /// The multiplier for `rank` (1.0 when unset or out of range).
+  double rank_efficiency(int rank) const;
+  bool heterogeneous() const { return !rank_efficiency_.empty(); }
+
+  /// Task duration at frequency `ghz` with `threads` active threads.
+  /// `ghz` may be any value in the continuous throttling range.
+  /// (Duration is rank-independent: variation affects watts, not speed.)
+  double duration(const TaskWork& work, double ghz, int threads) const;
+
+  /// Average socket power while running the task in this configuration.
+  double power(const TaskWork& work, double ghz, int threads,
+               int rank = -1) const;
+
+  /// Socket power when idle (blocked in MPI at lowest frequency).
+  double idle_power(int rank = -1) const;
+
+  /// Bundles duration and power into a Config.
+  Config config(const TaskWork& work, double ghz, int threads,
+                int rank = -1) const;
+
+  /// Every architected configuration: dvfs_states() x {1..cores} threads.
+  /// Order: threads descending, frequency descending (so element 0 is the
+  /// max-performance configuration).
+  std::vector<Config> enumerate(const TaskWork& work, int rank = -1) const;
+
+  /// The maximum-performance configuration (all cores, fmax).
+  Config fastest(const TaskWork& work) const;
+
+  /// Highest effective frequency (DVFS + clock modulation continuum) whose
+  /// model power does not exceed `power_cap` with `threads` active.
+  /// Clamped to the throttle floor if even that violates the cap — RAPL
+  /// cannot reduce power further (mirrors the paper, where some benchmarks
+  /// "were not able to be scheduled at the lowest power constraint").
+  double rapl_frequency(const TaskWork& work, int threads, double power_cap,
+                        int rank = -1) const;
+
+ private:
+  SocketSpec spec_;
+  std::vector<double> rank_efficiency_;
+};
+
+}  // namespace powerlim::machine

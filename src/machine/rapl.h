@@ -1,0 +1,46 @@
+// Simulated RAPL socket power capping.
+//
+// Intel RAPL (Running Average Power Limit) runs as a firmware control
+// loop: given a socket power limit written to an MSR, it selects DVFS
+// states (and clock modulation below the lowest state) so that average
+// socket power stays under the limit. Crucially - as the paper stresses in
+// Section 4.1 - RAPL acts on frequency only; it cannot change the
+// application's thread count. This class mirrors that contract: callers
+// choose the thread count, Rapl chooses the effective frequency.
+#pragma once
+
+#include "machine/power_model.h"
+
+namespace powerlim::machine {
+
+class Rapl {
+ public:
+  Rapl(const PowerModel& model, double cap_watts)
+      : model_(&model), cap_(cap_watts) {}
+
+  double cap() const { return cap_; }
+  void set_cap(double cap_watts) { cap_ = cap_watts; }
+
+  /// The configuration the firmware converges to for a task running with
+  /// `threads` threads under the current cap: the highest effective
+  /// frequency whose model power fits, or the throttle floor if none does.
+  Config apply(const TaskWork& work, int threads, int rank = -1) const {
+    const double f = model_->rapl_frequency(work, threads, cap_, rank);
+    return model_->config(work, f, threads, rank);
+  }
+
+  /// False when even the deepest throttle exceeds the cap (the paper's
+  /// "not able to be scheduled at the lowest power constraint" case).
+  bool attainable(const TaskWork& work, int threads, int rank = -1) const {
+    return model_->power(work, model_->spec().throttle_floor_ghz, threads,
+                         rank) <= cap_ + 1e-9;
+  }
+
+  const PowerModel& model() const { return *model_; }
+
+ private:
+  const PowerModel* model_;
+  double cap_;
+};
+
+}  // namespace powerlim::machine

@@ -1,0 +1,101 @@
+#include "runtime/adagio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerlim::runtime {
+
+AdagioPolicy::AdagioPolicy(const machine::PowerModel& model,
+                           double socket_cap, const AdagioOptions& options)
+    : model_(&model),
+      rapl_(model, socket_cap),
+      options_(options),
+      history_(model) {}
+
+sim::Decision AdagioPolicy::choose(const dag::Edge& task, double now) {
+  const int rank = task.rank;
+  if (rank >= static_cast<int>(ordinal_.size())) {
+    ordinal_.resize(rank + 1, 0);
+    last_key_.resize(rank + 1, {-1, -1});
+    last_end_.resize(rank + 1, -1.0);
+    cur_ghz_.resize(rank + 1, -1.0);
+    cur_threads_.resize(rank + 1, -1.0);
+  }
+  // Close out the previous task's slack observation: the gap between its
+  // completion and this start is exactly what Adagio measures via MPI
+  // blocking time.
+  if (last_end_[rank] >= 0.0 && last_key_[rank].first >= 0) {
+    history_.record_slack(last_key_[rank],
+                          std::max(0.0, now - last_end_[rank]));
+  }
+  if (task.iteration != iteration_) {
+    // New iteration boundary already handled in on_pcontrol; ordinals are
+    // reset there. (Guard for graphs without Pcontrol windows.)
+    if (task.iteration > iteration_) {
+      iteration_ = task.iteration;
+      std::fill(ordinal_.begin(), ordinal_.end(), 0);
+    }
+  }
+  const TaskKey key{rank, ordinal_[rank]++};
+  last_key_[rank] = key;
+
+  const auto& frontier = history_.frontier(key, task.work);
+  // Candidates under the per-socket cap.
+  int last_fit = -1;
+  for (std::size_t k = 0; k < frontier.size(); ++k) {
+    if (frontier[k].power <= rapl_.cap() + 1e-9) {
+      last_fit = static_cast<int>(k);
+    }
+  }
+  machine::Config chosen;
+  if (last_fit < 0) {
+    // Even the cheapest frontier point exceeds the cap: fall back to RAPL
+    // clamping at that thread count.
+    chosen = rapl_.apply(task.work, frontier.front().threads, rank);
+  } else {
+    // Fastest configuration that fits = baseline.
+    chosen = frontier[last_fit];
+    const TaskObservation& obs = history_.observation(key);
+    if (obs.seen && obs.slack_ewma > 0.0) {
+      const double allowed =
+          chosen.duration + options_.slack_safety * obs.slack_ewma;
+      // Lowest-power configuration still finishing within the allowance.
+      for (std::size_t k = 0; k <= static_cast<std::size_t>(last_fit); ++k) {
+        if (frontier[k].duration <= allowed) {
+          chosen = frontier[k];
+          break;
+        }
+      }
+    }
+  }
+
+  sim::Decision d;
+  d.duration = chosen.duration;
+  d.power = chosen.power;
+  d.ghz = chosen.ghz;
+  d.threads = static_cast<double>(chosen.threads);
+  if (d.duration >= options_.switch_threshold_s) {
+    const bool differs = std::abs(d.ghz - cur_ghz_[rank]) > 1e-9 ||
+                         std::abs(d.threads - cur_threads_[rank]) > 1e-9;
+    if (differs) d.switch_overhead = options_.dvfs_overhead_s;
+  }
+  cur_ghz_[rank] = d.ghz;
+  cur_threads_[rank] = d.threads;
+  return d;
+}
+
+void AdagioPolicy::on_task_complete(const dag::Edge& task,
+                                    const sim::TaskRecord& record) {
+  if (task.rank < static_cast<int>(last_end_.size())) {
+    last_end_[task.rank] = record.end;
+  }
+}
+
+double AdagioPolicy::on_pcontrol(int next_iteration, double now) {
+  (void)now;
+  iteration_ = next_iteration;
+  std::fill(ordinal_.begin(), ordinal_.end(), 0);
+  return 0.0;
+}
+
+}  // namespace powerlim::runtime

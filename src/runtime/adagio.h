@@ -1,0 +1,52 @@
+// Adagio: slack-directed slowdown (Rountree et al., ICS'09; used by the
+// paper as Conductor's first step, Section 4.2).
+//
+// For every task, Adagio observes how long the rank then waited in MPI
+// (its slack) and, on the next instance of the same task, selects the
+// lowest-power configuration that finishes within the fast duration plus
+// that slack - slowing non-critical computation "for free". Critical tasks
+// (no slack) keep running at full tilt. Adagio alone never reallocates
+// power across ranks; pair it with a per-socket cap.
+#pragma once
+
+#include <vector>
+
+#include "machine/power_model.h"
+#include "machine/rapl.h"
+#include "runtime/task_profile.h"
+#include "sim/engine.h"
+
+namespace powerlim::runtime {
+
+struct AdagioOptions {
+  /// Use only this fraction of the observed slack (guard against jitter).
+  double slack_safety = 0.9;
+  /// Charge a DVFS transition when the configuration changes and the task
+  /// is at least the threshold long.
+  double dvfs_overhead_s = machine::Overheads::kDvfsTransition;
+  double switch_threshold_s = machine::Overheads::kSwitchThresholdSeconds;
+};
+
+class AdagioPolicy final : public sim::Policy {
+ public:
+  AdagioPolicy(const machine::PowerModel& model, double socket_cap,
+               const AdagioOptions& options = {});
+
+  sim::Decision choose(const dag::Edge& task, double now) override;
+  void on_task_complete(const dag::Edge& task,
+                        const sim::TaskRecord& record) override;
+  double on_pcontrol(int next_iteration, double now) override;
+
+ private:
+  const machine::PowerModel* model_;
+  machine::Rapl rapl_;
+  AdagioOptions options_;
+  TaskHistory history_;
+  int iteration_ = -1;
+  std::vector<int> ordinal_;       // per rank, resets each iteration
+  std::vector<TaskKey> last_key_;  // per rank
+  std::vector<double> last_end_;   // per rank
+  std::vector<double> cur_ghz_, cur_threads_;
+};
+
+}  // namespace powerlim::runtime

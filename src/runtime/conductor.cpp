@@ -1,0 +1,203 @@
+#include "runtime/conductor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace powerlim::runtime {
+
+ConductorPolicy::ConductorPolicy(const machine::PowerModel& model, int ranks,
+                                 double job_cap_watts,
+                                 const ConductorOptions& options)
+    : model_(&model),
+      options_(options),
+      job_cap_(job_cap_watts),
+      history_(model),
+      budget_(ranks, job_cap_watts / ranks),
+      ordinal_(ranks, 0),
+      last_key_(ranks, {-1, -1}),
+      last_end_(ranks, -1.0),
+      cur_ghz_(ranks, -1.0),
+      cur_threads_(ranks, -1.0),
+      window_energy_(ranks, 0.0),
+      window_slack_(ranks, 0.0),
+      usable_watts_(ranks, job_cap_watts / ranks) {}
+
+sim::Decision ConductorPolicy::choose(const dag::Edge& task, double now) {
+  const int rank = task.rank;
+  // Record the slack the rank just experienced (blocking time before this
+  // task became ready).
+  if (last_end_[rank] >= 0.0 && last_key_[rank].first >= 0) {
+    const double slack = std::max(0.0, now - last_end_[rank]);
+    history_.record_slack(last_key_[rank], slack);
+    window_slack_[rank] += slack;
+  }
+  if (task.iteration > iteration_) {
+    iteration_ = task.iteration;
+    std::fill(ordinal_.begin(), ordinal_.end(), 0);
+  }
+  const TaskKey key{rank, ordinal_[rank]++};
+  last_key_[rank] = key;
+
+  const bool exploring = task.iteration >= 0 &&
+                         task.iteration < options_.exploration_iterations;
+  const auto& frontier = history_.frontier(key, task.work);
+  usable_watts_[rank] = std::max(usable_watts_[rank], frontier.back().power);
+  machine::Config chosen;
+  if (exploring) {
+    // Exploration phase: behave like Static (8 threads under the rank's
+    // budget) while the profile is being gathered.
+    machine::Rapl rapl(*model_, budget_[rank]);
+    chosen = rapl.apply(task.work, model_->spec().cores, rank);
+  } else {
+    // Conductor selects the thread count; the frequency comes from RAPL
+    // enforcing the rank's budget (Section 4.2: "RAPL can only scale the
+    // processor frequency ... Conductor must select the optimal
+    // configuration"), so the budget is spent fully rather than rounded
+    // down to a discrete DVFS point.
+    machine::Rapl rapl(*model_, budget_[rank]);
+    int last_fit = -1;
+    for (std::size_t k = 0; k < frontier.size(); ++k) {
+      if (frontier[k].power <= budget_[rank] + 1e-9) {
+        last_fit = static_cast<int>(k);
+      }
+    }
+    const int threads = last_fit >= 0 ? frontier[last_fit].threads
+                                      : frontier.front().threads;
+    machine::Config fastest = rapl.apply(task.work, threads, rank);
+    // Also consider the full-width configuration: under a loose budget the
+    // frontier's fastest point may not use all cores.
+    if (threads != model_->spec().cores) {
+      const machine::Config wide =
+          rapl.apply(task.work, model_->spec().cores, rank);
+      if (wide.duration < fastest.duration &&
+          wide.power <= budget_[rank] + 1e-9) {
+        fastest = wide;
+      }
+    }
+    chosen = fastest;
+    const TaskObservation& obs = history_.observation(key);
+    // Conservative slack estimate: never slower than the most recent
+    // observation allows. Pure EWMA remembers stale slack for several
+    // iterations after the critical path moves, which destabilizes the
+    // reallocation loop.
+    const double slack_est = std::min(obs.slack_seconds, obs.slack_ewma);
+    if (obs.seen && slack_est > 0.0 && last_fit >= 0) {
+      // Adagio step: lowest-power configuration that still finishes
+      // within the fast duration plus the usable slack.
+      const double allowed =
+          fastest.duration + options_.slack_safety * slack_est;
+      for (std::size_t k = 0; k <= static_cast<std::size_t>(last_fit); ++k) {
+        if (frontier[k].duration <= allowed) {
+          chosen = frontier[k];
+          break;
+        }
+      }
+      if (chosen.duration > allowed) chosen = fastest;
+    }
+  }
+
+  sim::Decision d;
+  d.duration = chosen.duration;
+  d.power = chosen.power;
+  d.ghz = chosen.ghz;
+  d.threads = static_cast<double>(chosen.threads);
+  if (!exploring && d.duration >= options_.switch_threshold_s) {
+    const bool differs = std::abs(d.ghz - cur_ghz_[rank]) > 1e-9 ||
+                         std::abs(d.threads - cur_threads_[rank]) > 1e-9;
+    if (differs) d.switch_overhead = options_.dvfs_overhead_s;
+  }
+  cur_ghz_[rank] = d.ghz;
+  cur_threads_[rank] = d.threads;
+  return d;
+}
+
+void ConductorPolicy::on_task_complete(const dag::Edge& task,
+                                       const sim::TaskRecord& record) {
+  last_end_[task.rank] = record.end;
+  window_energy_[task.rank] += record.power * record.duration();
+}
+
+double ConductorPolicy::on_pcontrol(int next_iteration, double now) {
+  iteration_ = next_iteration;
+  std::fill(ordinal_.begin(), ordinal_.end(), 0);
+  if (next_iteration < options_.exploration_iterations) {
+    window_start_ = now;
+    std::fill(window_energy_.begin(), window_energy_.end(), 0.0);
+    std::fill(window_slack_.begin(), window_slack_.end(), 0.0);
+    return 0.0;
+  }
+  if (++windows_since_realloc_ < options_.realloc_period) {
+    return 0.0;
+  }
+  windows_since_realloc_ = 0;
+  reallocate(now);
+  return options_.realloc_overhead_s;
+}
+
+void ConductorPolicy::reallocate(double now) {
+  const int ranks = static_cast<int>(budget_.size());
+  const double window = std::max(now - window_start_, 1e-9);
+
+  // Measured draw per rank over the window (busy-wait slack draws task
+  // power, so energy/time is close to what RAPL would report).
+  std::vector<double> usage(ranks);
+  for (int r = 0; r < ranks; ++r) usage[r] = window_energy_[r] / window;
+
+  // Donations: under-consuming ranks give up part of their measured
+  // headroom ("processes with no (or very few) critical tasks do not use
+  // all of their power allocation", Section 4.2). After Adagio has slowed
+  // non-critical tasks, those ranks' draw sits well below their budget.
+  double pool = 0.0;
+  // A rank must keep enough budget to do *some* work: at least the
+  // configured floor, and never below the socket's idle draw plus margin
+  // (donating below idle would stall the donor entirely on high-leakage
+  // parts).
+  const double floor_watts =
+      std::max(options_.min_rank_watts, model_->idle_power() + 3.0);
+  for (int r = 0; r < ranks; ++r) {
+    const double headroom = budget_[r] - usage[r];
+    if (headroom <= 0.25) continue;  // measurement noise floor
+    double give = options_.donation_rate * headroom;
+    give = std::min(give, budget_[r] - floor_watts);
+    if (give > 0.0) {
+      budget_[r] -= give;
+      pool += give;
+    }
+  }
+
+  // Receivers: ranks with the least observed slack (estimated critical
+  // path) - using the *previous* window's data, hence the lag. Each is
+  // filled only up to the most power its profiled fastest configuration
+  // can exploit; boosting past that would strand watts.
+  if (pool > 0.0) {
+    std::vector<int> order(ranks);
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](int a, int b) {
+      return window_slack_[a] < window_slack_[b];
+    });
+    for (int r : order) {
+      if (pool <= 0.0) break;
+      const double usable =
+          usable_watts_.empty() ? job_cap_ : usable_watts_[r];
+      // Rate-limit each boost: large single-step transfers overshoot and
+      // set up the allocation thrashing the paper observes.
+      const double want =
+          std::min(usable - budget_[r], options_.max_boost_watts);
+      if (want <= 0.0) continue;
+      const double give = std::min(want, pool);
+      budget_[r] += give;
+      pool -= give;
+    }
+    // Whatever no rank can use goes back uniformly.
+    if (pool > 0.0) {
+      for (int r = 0; r < ranks; ++r) budget_[r] += pool / ranks;
+    }
+  }
+
+  window_start_ = now;
+  std::fill(window_energy_.begin(), window_energy_.end(), 0.0);
+  std::fill(window_slack_.begin(), window_slack_.end(), 0.0);
+}
+
+}  // namespace powerlim::runtime

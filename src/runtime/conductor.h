@@ -1,0 +1,90 @@
+// Conductor: adaptive configuration selection + power reallocation
+// (Marathe et al., ISC'15; paper Section 4.2).
+//
+// Two cooperating mechanisms on top of a per-rank power budget:
+//
+//  1. Configuration selection with Adagio-style slack reclamation: per
+//     task, run the fastest Pareto configuration fitting the rank's
+//     current budget, degraded to the lowest-power configuration that
+//     still finishes within the observed slack window.
+//  2. Periodic power reallocation: every `realloc_period` Pcontrol
+//     windows, compare each rank's *measured* power draw against its
+//     budget; under-consuming (slack-rich) ranks donate headroom, which is
+//     redistributed to the ranks with the least observed slack (the
+//     estimated critical path). Decisions cost 566 us (paper Section 6.2)
+//     and are based on the previous window's measurements - the lag that
+//     produces the allocation thrashing and critical-path misprediction
+//     the paper reports on SP (Section 6.4).
+//
+// The sum of rank budgets is invariant (== job cap), so the job-level
+// constraint holds by construction, exactly as in the real system.
+#pragma once
+
+#include <vector>
+
+#include "machine/power_model.h"
+#include "machine/rapl.h"
+#include "runtime/task_profile.h"
+#include "sim/engine.h"
+
+namespace powerlim::runtime {
+
+struct ConductorOptions {
+  /// Reallocate after this many Pcontrol windows (paper: "after every
+  /// 5-10 MPI_Pcontrol calls").
+  int realloc_period = 5;
+  /// Iterations spent exploring configurations before adapting; the
+  /// evaluation discards these (paper Section 5.3 discards 3).
+  int exploration_iterations = 3;
+  /// Fraction of measured headroom a rank donates per reallocation.
+  double donation_rate = 0.2;
+  /// Largest boost one rank may receive per reallocation.
+  double max_boost_watts = 10.0;
+  /// No rank's budget may fall below this (keeps RAPL attainable).
+  double min_rank_watts = 22.0;
+  /// Slack-reclamation safety factor (Adagio step).
+  double slack_safety = 0.9;
+  double dvfs_overhead_s = machine::Overheads::kDvfsTransition;
+  double switch_threshold_s = machine::Overheads::kSwitchThresholdSeconds;
+  double realloc_overhead_s = machine::Overheads::kPowerReallocation;
+};
+
+class ConductorPolicy final : public sim::Policy {
+ public:
+  ConductorPolicy(const machine::PowerModel& model, int ranks,
+                  double job_cap_watts, const ConductorOptions& options = {});
+
+  sim::Decision choose(const dag::Edge& task, double now) override;
+  void on_task_complete(const dag::Edge& task,
+                        const sim::TaskRecord& record) override;
+  double on_pcontrol(int next_iteration, double now) override;
+
+  /// Current per-rank budgets (diagnostics; Table 3's power spread).
+  const std::vector<double>& rank_budgets() const { return budget_; }
+
+ private:
+  void reallocate(double now);
+
+  const machine::PowerModel* model_;
+  ConductorOptions options_;
+  double job_cap_;
+  TaskHistory history_;
+
+  std::vector<double> budget_;       // per rank
+  std::vector<int> ordinal_;         // per rank, resets each window
+  std::vector<TaskKey> last_key_;    // per rank
+  std::vector<double> last_end_;     // per rank
+  std::vector<double> cur_ghz_, cur_threads_;
+
+  // Measurement window for reallocation decisions.
+  std::vector<double> window_energy_;      // per rank, joules
+  std::vector<double> window_slack_;       // per rank, seconds
+  /// Highest power each rank's profiled fastest configurations can draw;
+  /// reallocation never boosts a rank beyond this.
+  std::vector<double> usable_watts_;
+  double window_start_ = 0.0;
+  int windows_since_realloc_ = 0;
+  int iteration_ = -1;
+};
+
+}  // namespace powerlim::runtime

@@ -1,0 +1,40 @@
+// Static: fixed, uniform power allocation (paper Section 4.1).
+//
+// The de facto production approach: the job-level budget is divided
+// equally across sockets and written to RAPL; the thread count is pinned
+// to all hardware cores (8); the firmware alone picks DVFS states (and
+// clock modulation) to hold each socket under its share. No software
+// overheads are charged - RAPL runs asynchronously in firmware.
+#pragma once
+
+#include "machine/power_model.h"
+#include "machine/rapl.h"
+#include "sim/engine.h"
+
+namespace powerlim::runtime {
+
+class StaticPolicy final : public sim::Policy {
+ public:
+  /// `socket_cap` is the per-socket RAPL limit (job cap / ranks).
+  StaticPolicy(const machine::PowerModel& model, double socket_cap)
+      : rapl_(model, socket_cap), threads_(model.spec().cores) {}
+
+  sim::Decision choose(const dag::Edge& task, double now) override {
+    (void)now;
+    const machine::Config c = rapl_.apply(task.work, threads_, task.rank);
+    sim::Decision d;
+    d.duration = c.duration;
+    d.power = c.power;
+    d.ghz = c.ghz;
+    d.threads = static_cast<double>(c.threads);
+    return d;
+  }
+
+  double socket_cap() const { return rapl_.cap(); }
+
+ private:
+  machine::Rapl rapl_;
+  int threads_;
+};
+
+}  // namespace powerlim::runtime

@@ -1,0 +1,67 @@
+// Shared run-time bookkeeping for the online policies.
+//
+// Conductor and Adagio key their predictions on "the same task in the
+// next iteration": iterative HPC codes repeat their task structure every
+// time step, so (rank, ordinal-within-iteration) identifies a task across
+// iterations. TaskHistory tracks, per key, the observed slack and the
+// frontier of profiled configurations (standing in for Conductor's
+// distributed configuration-exploration phase, which the paper discards
+// from its measurements anyway).
+#pragma once
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/pareto.h"
+#include "machine/power_model.h"
+
+namespace powerlim::runtime {
+
+/// Identifies a task across iterations: (rank, ordinal within iteration).
+using TaskKey = std::pair<int, int>;
+
+struct TaskObservation {
+  /// Slack observed after the task in the most recent completed instance
+  /// (time between task end and the next task's start on the same rank).
+  double slack_seconds = 0.0;
+  /// Exponentially-weighted slack (smoother signal for Adagio).
+  double slack_ewma = 0.0;
+  bool seen = false;
+};
+
+class TaskHistory {
+ public:
+  explicit TaskHistory(const machine::PowerModel& model) : model_(&model) {}
+
+  /// Convex frontier for a task's workload; cached per key (the workload
+  /// of a keyed task is stable across iterations up to jitter, and the
+  /// frontier shape is what matters).
+  const std::vector<machine::Config>& frontier(const TaskKey& key,
+                                               const machine::TaskWork& work) {
+    auto it = frontier_cache_.find(key);
+    if (it == frontier_cache_.end()) {
+      it = frontier_cache_
+               .emplace(key, core::convex_frontier(
+                                 model_->enumerate(work, key.first)))
+               .first;
+    }
+    return it->second;
+  }
+
+  TaskObservation& observation(const TaskKey& key) { return obs_[key]; }
+
+  void record_slack(const TaskKey& key, double slack) {
+    TaskObservation& o = obs_[key];
+    o.slack_seconds = slack;
+    o.slack_ewma = o.seen ? 0.5 * o.slack_ewma + 0.5 * slack : slack;
+    o.seen = true;
+  }
+
+ private:
+  const machine::PowerModel* model_;
+  std::map<TaskKey, std::vector<machine::Config>> frontier_cache_;
+  std::map<TaskKey, TaskObservation> obs_;
+};
+
+}  // namespace powerlim::runtime

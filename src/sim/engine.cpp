@@ -1,0 +1,161 @@
+#include "sim/engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <stdexcept>
+
+namespace powerlim::sim {
+
+namespace {
+
+struct Completion {
+  double time;
+  long serial;  // tie-break for determinism
+  int edge_id;
+
+  bool operator>(const Completion& other) const {
+    if (time != other.time) return time > other.time;
+    return serial > other.serial;
+  }
+};
+
+}  // namespace
+
+SimResult simulate(const dag::TaskGraph& graph, Policy& policy,
+                   const EngineOptions& options) {
+  graph.validate();
+  SimResult out;
+  out.slack_power_used = options.slack_power;
+  out.idle_power_used = options.idle_power;
+  out.vertex_time.assign(graph.num_vertices(), 0.0);
+  out.tasks.assign(graph.num_edges(), TaskRecord{});
+
+  std::vector<int> pending_in(graph.num_vertices(), 0);
+  std::vector<double> last_arrival(graph.num_vertices(), 0.0);
+  for (const dag::Edge& e : graph.edges()) ++pending_in[e.dst];
+
+  std::priority_queue<Completion, std::vector<Completion>,
+                      std::greater<Completion>>
+      queue;
+  long serial = 0;
+  int current_window = -1;
+
+  // Fires vertex `v` at time `t`: handles the Pcontrol hook and launches
+  // all outgoing edges.
+  auto fire = [&](int v, double t) {
+    if (options.vertex_floor != nullptr &&
+        v < static_cast<int>(options.vertex_floor->size())) {
+      t = std::max(t, (*options.vertex_floor)[v]);
+    }
+    const dag::Vertex& vertex = graph.vertex(v);
+    if (vertex.kind == dag::VertexKind::kCollective ||
+        vertex.kind == dag::VertexKind::kPcontrol) {
+      int next_iter = -1;
+      for (int eid : vertex.out_edges) {
+        const dag::Edge& e = graph.edge(eid);
+        if (e.is_task() && e.iteration >= 0) {
+          next_iter = next_iter < 0 ? e.iteration
+                                    : std::min(next_iter, e.iteration);
+        }
+      }
+      if (next_iter > current_window) {
+        const double delay = policy.on_pcontrol(next_iter, t);
+        if (!(delay >= 0.0)) {
+          throw std::runtime_error(
+              "simulate: policy returned negative Pcontrol delay");
+        }
+        t += delay;
+        current_window = next_iter;
+      }
+    }
+    out.vertex_time[v] = t;
+    for (int eid : vertex.out_edges) {
+      const dag::Edge& e = graph.edge(eid);
+      if (e.is_task()) {
+        const Decision d = policy.choose(e, t);
+        if (!(d.duration >= 0.0) || !(d.power >= 0.0)) {
+          throw std::runtime_error("simulate: policy returned bad decision");
+        }
+        TaskRecord& rec = out.tasks[eid];
+        rec.edge_id = eid;
+        rec.rank = e.rank;
+        rec.iteration = e.iteration;
+        rec.start = t;
+        rec.end = t + d.switch_overhead + d.duration;
+        rec.power = d.power;
+        rec.ghz = d.ghz;
+        rec.threads = d.threads;
+        rec.switch_overhead = d.switch_overhead;
+        queue.push({rec.end, serial++, eid});
+      } else {
+        queue.push({t + options.cluster.message_seconds(e.bytes), serial++,
+                    eid});
+      }
+    }
+  };
+
+  fire(graph.init_vertex(), 0.0);
+
+  while (!queue.empty()) {
+    const Completion c = queue.top();
+    queue.pop();
+    const dag::Edge& e = graph.edge(c.edge_id);
+    if (e.is_task()) {
+      policy.on_task_complete(e, out.tasks[c.edge_id]);
+    }
+    last_arrival[e.dst] = std::max(last_arrival[e.dst], c.time);
+    if (--pending_in[e.dst] == 0) {
+      fire(e.dst, last_arrival[e.dst]);
+    }
+  }
+  out.makespan = out.vertex_time[graph.finalize_vertex()];
+
+  // ---- instantaneous power trace --------------------------------------------
+  struct Delta {
+    double time;
+    double watts;
+  };
+  std::vector<Delta> deltas;
+  deltas.reserve(graph.num_edges() * 4);
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const TaskRecord& rec = out.tasks[e.id];
+    if (rec.end > rec.start) {
+      deltas.push_back({rec.start, rec.power});
+      deltas.push_back({rec.end, -rec.power});
+    }
+    const double slack_end = out.vertex_time[e.dst];
+    if (slack_end > rec.end + 1e-15) {
+      const double w = options.slack_power == SlackPower::kTaskPower
+                           ? rec.power
+                           : options.idle_power;
+      if (w > 0.0) {
+        deltas.push_back({rec.end, w});
+        deltas.push_back({slack_end, -w});
+      }
+    }
+  }
+  std::sort(deltas.begin(), deltas.end(),
+            [](const Delta& a, const Delta& b) { return a.time < b.time; });
+  double level = 0.0;
+  double energy = 0.0;
+  double prev_time = 0.0;
+  for (std::size_t i = 0; i < deltas.size();) {
+    const double t = deltas[i].time;
+    energy += level * (t - prev_time);
+    while (i < deltas.size() && deltas[i].time <= t + 1e-12) {
+      level += deltas[i].watts;
+      ++i;
+    }
+    if (level < 0.0 && level > -1e-9) level = 0.0;
+    out.power_trace.push_back({t, level});
+    out.peak_power = std::max(out.peak_power, level);
+    prev_time = t;
+  }
+  out.energy_joules = energy;
+  out.average_power = out.makespan > 0.0 ? energy / out.makespan : 0.0;
+  return out;
+}
+
+}  // namespace powerlim::sim

@@ -1,0 +1,152 @@
+// Discrete-event execution engine.
+//
+// Replaces wall-clock measurement on the paper's cluster: executes a task
+// graph under a *policy* that decides, at each task start, which
+// configuration to run (duration, power). The engine handles MPI
+// semantics - collectives fire when the last participant arrives, messages
+// add wire latency, ranks block (slack) until their next vertex fires -
+// and produces a full per-task record plus the job's instantaneous power
+// trace, which is how LP/ILP schedules are validated against the power
+// constraint (paper Section 6.1) and how Static/Conductor are measured.
+//
+// Events are processed in wall-clock order (a priority queue of edge
+// completions), so online policies like Conductor observe exactly the
+// information they would at run time: nothing about the future.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "dag/graph.h"
+#include "machine/power_model.h"
+
+namespace powerlim::sim {
+
+/// A policy's answer to "how should this task run?".
+struct Decision {
+  /// Execution seconds (excluding switch overhead).
+  double duration = 0.0;
+  /// Average socket power during execution, watts.
+  double power = 0.0;
+  /// Representative frequency (share-weighted for mixtures).
+  double ghz = 0.0;
+  /// Representative thread count; fractional for mixtures.
+  double threads = 0.0;
+  /// Seconds charged before execution (DVFS transition and similar).
+  double switch_overhead = 0.0;
+};
+
+/// Record of one executed task edge.
+struct TaskRecord {
+  int edge_id = -1;
+  int rank = -1;
+  int iteration = -1;
+  double start = 0.0;  ///< includes switch overhead at the front
+  double end = 0.0;    ///< start + switch_overhead + duration
+  double power = 0.0;
+  double ghz = 0.0;
+  double threads = 0.0;
+  double switch_overhead = 0.0;
+
+  double duration() const { return end - start; }
+};
+
+/// How much power a rank draws while blocked in MPI after a task
+/// completes (its slack).
+enum class SlackPower {
+  /// Slack draws the preceding task's power - the paper's LP assumption
+  /// (Section 3.3), and realistic for busy-wait MPI progress loops.
+  kTaskPower,
+  /// Slack draws the socket's idle power.
+  kIdle,
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  /// Called when `task` becomes ready on its rank at time `now`. Must
+  /// return the configuration decision.
+  virtual Decision choose(const dag::Edge& task, double now) = 0;
+
+  /// Called when a task completes; policies use this for profiling.
+  virtual void on_task_complete(const dag::Edge& task,
+                                const TaskRecord& record) {
+    (void)task;
+    (void)record;
+  }
+
+  /// Called when an iteration boundary (MPI_Pcontrol at a collective)
+  /// fires at time `now`; returns extra seconds to charge every rank
+  /// (e.g. Conductor's 566 us power-reallocation step).
+  virtual double on_pcontrol(int next_iteration, double now) {
+    (void)next_iteration;
+    (void)now;
+    return 0.0;
+  }
+};
+
+/// One step of the job's instantaneous power trace; power is constant on
+/// [time, next.time).
+struct PowerSample {
+  double time = 0.0;
+  double watts = 0.0;
+};
+
+struct SimResult {
+  double makespan = 0.0;
+  /// The slack-power policy and idle level the run used (recorded so
+  /// post-hoc per-rank reconstructions match the job trace exactly).
+  SlackPower slack_power_used = SlackPower::kTaskPower;
+  double idle_power_used = 0.0;
+  std::vector<TaskRecord> tasks;     ///< indexed by edge id (messages: empty)
+  std::vector<double> vertex_time;   ///< firing time per vertex
+  std::vector<PowerSample> power_trace;
+  double peak_power = 0.0;
+  double energy_joules = 0.0;
+  double average_power = 0.0;
+
+  /// Peak power minus `cap` (clamped at 0): how badly the job cap was
+  /// violated, if at all.
+  double cap_violation(double cap) const {
+    return peak_power > cap ? peak_power - cap : 0.0;
+  }
+
+  /// Total time the job spent above `cap + tol`. DVFS-transition
+  /// overheads skew replayed task boundaries by ~145 us, producing
+  /// transient overlaps at tied events; RAPL enforces *average* power over
+  /// millisecond windows, so transients shorter than that are within spec.
+  double violation_seconds(double cap, double tol = 1e-6) const {
+    double total = 0.0;
+    for (std::size_t i = 0; i + 1 < power_trace.size(); ++i) {
+      if (power_trace[i].watts > cap + tol) {
+        total += power_trace[i + 1].time - power_trace[i].time;
+      }
+    }
+    if (!power_trace.empty() && power_trace.back().watts > cap + tol) {
+      total += makespan - power_trace.back().time;
+    }
+    return total;
+  }
+};
+
+struct EngineOptions {
+  SlackPower slack_power = SlackPower::kTaskPower;
+  /// Used for message wire times.
+  machine::ClusterSpec cluster;
+  /// Socket idle power (for SlackPower::kIdle and pre-first-task time).
+  double idle_power = 0.0;
+  /// Optional per-vertex earliest firing times (size == num_vertices()).
+  /// Used by paced schedule replay: an unpaced ASAP replay can fire
+  /// vertices *earlier* than the LP's fixed event order assumed, shifting
+  /// task overlaps and spiking power past the cap; holding each vertex to
+  /// its scheduled time applies the schedule as prescribed.
+  const std::vector<double>* vertex_floor = nullptr;
+};
+
+/// Runs the graph to completion under the policy. The graph must
+/// validate(). Policies are invoked in wall-clock order.
+SimResult simulate(const dag::TaskGraph& graph, Policy& policy,
+                   const EngineOptions& options);
+
+}  // namespace powerlim::sim

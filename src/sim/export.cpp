@@ -1,0 +1,124 @@
+#include "sim/export.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace powerlim::sim {
+
+std::string gantt_csv(const dag::TaskGraph& graph, const SimResult& result) {
+  if (result.tasks.size() != graph.num_edges()) {
+    throw std::invalid_argument("gantt_csv: result does not match graph");
+  }
+  std::ostringstream out;
+  out.precision(9);
+  out << "edge,rank,iteration,label,start_s,end_s,slack_end_s,power_w,ghz,"
+         "threads,switch_overhead_s\n";
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const TaskRecord& t = result.tasks[e.id];
+    out << e.id << ',' << e.rank << ',' << e.iteration << ','
+        << graph.vertex(e.dst).label << ',' << t.start << ',' << t.end << ','
+        << result.vertex_time[e.dst] << ',' << t.power << ',' << t.ghz << ','
+        << t.threads << ',' << t.switch_overhead << '\n';
+  }
+  return out.str();
+}
+
+std::string power_trace_csv(const SimResult& result) {
+  std::ostringstream out;
+  out.precision(9);
+  out << "time_s,watts\n";
+  for (const PowerSample& s : result.power_trace) {
+    out << s.time << ',' << s.watts << '\n';
+  }
+  return out.str();
+}
+
+std::string rank_power_csv(const dag::TaskGraph& graph,
+                           const SimResult& result) {
+  if (result.tasks.size() != graph.num_edges()) {
+    throw std::invalid_argument("rank_power_csv: result does not match graph");
+  }
+  std::ostringstream out;
+  out.precision(9);
+  out << "time_s,rank,watts\n";
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    // Each rank's chain yields a contiguous sequence of (task, slack)
+    // intervals; emit the step changes.
+    for (int eid : graph.rank_chain(r)) {
+      const TaskRecord& t = result.tasks[eid];
+      out << t.start << ',' << r << ',' << t.power << '\n';
+      const double slack_end = result.vertex_time[graph.edge(eid).dst];
+      if (slack_end > t.end + 1e-12) {
+        const double w = result.slack_power_used == SlackPower::kTaskPower
+                             ? t.power
+                             : result.idle_power_used;
+        out << t.end << ',' << r << ',' << w << '\n';
+      }
+    }
+    out << result.makespan << ',' << r << ',' << 0.0 << '\n';
+  }
+  return out.str();
+}
+
+std::string ascii_timeline(const dag::TaskGraph& graph,
+                           const SimResult& result, int width) {
+  if (width < 10) throw std::invalid_argument("ascii_timeline: width < 10");
+  if (result.makespan <= 0.0) return "(empty schedule)\n";
+  const double scale = width / result.makespan;
+  auto col = [&](double t) {
+    return std::min(width - 1,
+                    std::max(0, static_cast<int>(std::floor(t * scale))));
+  };
+
+  std::vector<std::string> lane(graph.num_ranks(),
+                                std::string(width, ' '));
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const TaskRecord& t = result.tasks[e.id];
+    for (int c = col(t.start); c <= col(std::max(t.start, t.end - 1e-12));
+         ++c) {
+      lane[e.rank][c] = '#';
+    }
+    const double slack_end = result.vertex_time[e.dst];
+    if (slack_end > t.end + 1e-12) {
+      for (int c = col(t.end); c <= col(slack_end - 1e-12); ++c) {
+        if (lane[e.rank][c] == ' ') lane[e.rank][c] = '.';
+      }
+    }
+  }
+  // Iteration boundaries: collective vertices with outgoing tasks of a new
+  // iteration.
+  std::vector<int> boundaries;
+  int last_iter = 0;
+  for (const dag::Vertex& v : graph.vertices()) {
+    if (v.kind != dag::VertexKind::kCollective) continue;
+    for (int eid : v.out_edges) {
+      const dag::Edge& e = graph.edge(eid);
+      if (e.is_task() && e.iteration > last_iter) {
+        boundaries.push_back(col(result.vertex_time[v.id]));
+        last_iter = e.iteration;
+        break;
+      }
+    }
+  }
+  for (std::string& l : lane) {
+    for (int b : boundaries) {
+      l[b] = '|';
+    }
+  }
+
+  std::ostringstream out;
+  out << "time 0.." << result.makespan << " s, one column = "
+      << result.makespan / width << " s ('#' task, '.' slack, '|' "
+      << "iteration boundary)\n";
+  for (int r = 0; r < graph.num_ranks(); ++r) {
+    out << "r" << r << (r < 10 ? " " : "") << " [" << lane[r] << "]\n";
+  }
+  return out.str();
+}
+
+}  // namespace powerlim::sim

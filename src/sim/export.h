@@ -1,0 +1,37 @@
+// Result export: CSV for plotting, ASCII timeline for terminals.
+//
+// The paper's Figure 2(b) draws an execution timeline - tasks, slack, and
+// messages per rank. ascii_timeline() renders the same view from a
+// SimResult; the CSV exporters feed external plotting of the Gantt chart
+// and the instantaneous power trace (Figures 3 and 12 style).
+#pragma once
+
+#include <string>
+
+#include "dag/graph.h"
+#include "sim/engine.h"
+
+namespace powerlim::sim {
+
+/// One row per executed task: edge, rank, iteration, label, start, end,
+/// slack_end, power_w, ghz, threads, switch_overhead_s.
+std::string gantt_csv(const dag::TaskGraph& graph, const SimResult& result);
+
+/// One row per step of the instantaneous job power trace: time_s, watts.
+std::string power_trace_csv(const SimResult& result);
+
+/// Long-format per-rank power trace: time_s, rank, watts. Each rank's
+/// series is a step function over its tasks and slack (using the same
+/// slack-power policy the run used), suitable for stacked plots of how
+/// the LP moves watts between ranks over time (the paper's Figure 3
+/// mechanics).
+std::string rank_power_csv(const dag::TaskGraph& graph,
+                           const SimResult& result);
+
+/// Terminal rendering: one lane per rank over [0, makespan], '#' while a
+/// task executes, '.' while the rank sits in MPI slack, '|' at iteration
+/// boundaries. `width` is the number of character columns.
+std::string ascii_timeline(const dag::TaskGraph& graph,
+                           const SimResult& result, int width = 80);
+
+}  // namespace powerlim::sim

@@ -1,0 +1,35 @@
+#include "sim/measure.h"
+
+#include <algorithm>
+
+namespace powerlim::sim {
+
+double iteration_start(const dag::TaskGraph& graph, const SimResult& result,
+                       int from_iteration) {
+  double start = -1.0;
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task() || e.iteration < from_iteration) continue;
+    const double s = result.tasks[e.id].start;
+    start = start < 0.0 ? s : std::min(start, s);
+  }
+  return std::max(start, 0.0);
+}
+
+double steady_window_seconds(const dag::TaskGraph& graph,
+                             const SimResult& result, int from_iteration) {
+  return result.makespan - iteration_start(graph, result, from_iteration);
+}
+
+double steady_window_seconds(const dag::TaskGraph& graph,
+                             const std::vector<double>& vertex_time,
+                             double makespan, int from_iteration) {
+  double start = -1.0;
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task() || e.iteration < from_iteration) continue;
+    const double s = vertex_time[e.src];
+    start = start < 0.0 ? s : std::min(start, s);
+  }
+  return makespan - std::max(start, 0.0);
+}
+
+}  // namespace powerlim::sim

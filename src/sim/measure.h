@@ -1,0 +1,30 @@
+// Measurement-window helpers.
+//
+// The paper discards the first three iterations of every run (Conductor's
+// configuration-exploration phase, Section 5.3) and reports steady-state
+// times. These helpers compute "time from the start of iteration K to job
+// completion" for both simulated runs and raw LP schedules.
+#pragma once
+
+#include "dag/graph.h"
+#include "sim/engine.h"
+
+namespace powerlim::sim {
+
+/// Start of iteration `from_iteration` in a simulated run: the earliest
+/// start among its tasks (== the firing time of the boundary collective).
+/// Returns 0 when the graph has no such iteration.
+double iteration_start(const dag::TaskGraph& graph, const SimResult& result,
+                       int from_iteration);
+
+/// Steady-state window: makespan minus iteration_start.
+double steady_window_seconds(const dag::TaskGraph& graph,
+                             const SimResult& result, int from_iteration);
+
+/// Same, for a schedule that only has vertex times (an LP solution that
+/// was not replayed).
+double steady_window_seconds(const dag::TaskGraph& graph,
+                             const std::vector<double>& vertex_time,
+                             double makespan, int from_iteration);
+
+}  // namespace powerlim::sim

@@ -1,0 +1,44 @@
+#include "sim/power_window.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace powerlim::sim {
+
+double max_windowed_power(const SimResult& result, double window_seconds) {
+  if (result.power_trace.empty()) return 0.0;
+  if (window_seconds <= 0.0) return result.peak_power;
+
+  // Prefix integral of the step function at each breakpoint.
+  const auto& trace = result.power_trace;
+  const std::size_t n = trace.size();
+  std::vector<double> time(n + 1);
+  std::vector<double> integral(n + 1, 0.0);
+  for (std::size_t i = 0; i < n; ++i) time[i] = trace[i].time;
+  time[n] = std::max(result.makespan, trace.back().time);
+  for (std::size_t i = 0; i < n; ++i) {
+    integral[i + 1] = integral[i] + trace[i].watts * (time[i + 1] - time[i]);
+  }
+  auto energy_until = [&](double t) {
+    if (t <= time[0]) return 0.0;
+    if (t >= time[n]) return integral[n];
+    const auto it = std::upper_bound(time.begin(), time.end(), t);
+    const std::size_t idx = static_cast<std::size_t>(it - time.begin()) - 1;
+    return integral[idx] + trace[std::min(idx, n - 1)].watts *
+                               (t - time[idx]);
+  };
+
+  // The maximum of a sliding-window average of a step function is attained
+  // with the window's start (or end) at a breakpoint.
+  double best = 0.0;
+  for (std::size_t i = 0; i <= n; ++i) {
+    for (double start : {time[i], time[i] - window_seconds}) {
+      const double e =
+          energy_until(start + window_seconds) - energy_until(start);
+      best = std::max(best, e / window_seconds);
+    }
+  }
+  return best;
+}
+
+}  // namespace powerlim::sim

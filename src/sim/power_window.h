@@ -1,0 +1,30 @@
+// Sliding-window power analysis.
+//
+// RAPL does not clamp instantaneous power; it holds the *average* over a
+// control window (on Sandy Bridge-class parts, configurable around
+// ~1-50 ms). A replayed schedule with a microsecond transient above the
+// cap is therefore still compliant in the sense the hardware enforces.
+// This module computes the maximum windowed average of a SimResult's
+// power trace, which is the honest compliance metric for validation.
+#pragma once
+
+#include <vector>
+
+#include "sim/engine.h"
+
+namespace powerlim::sim {
+
+/// Maximum over t of the mean power on [t, t + window); the trace is
+/// treated as 0 W outside [0, makespan]. For window <= 0 returns the
+/// instantaneous peak.
+double max_windowed_power(const SimResult& result, double window_seconds);
+
+/// Convenience: true when the job respects `cap` in the RAPL sense for
+/// the given control window.
+inline bool rapl_compliant(const SimResult& result, double cap,
+                           double window_seconds = 0.01,
+                           double tol = 1e-6) {
+  return max_windowed_power(result, window_seconds) <= cap + tol;
+}
+
+}  // namespace powerlim::sim

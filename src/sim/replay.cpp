@@ -1,0 +1,81 @@
+#include "sim/replay.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlim::sim {
+
+namespace {
+
+/// Policy that follows a precomputed TaskSchedule verbatim, tracking each
+/// rank's current configuration to decide when a DVFS transition must be
+/// charged.
+class FixedSchedulePolicy final : public Policy {
+ public:
+  FixedSchedulePolicy(const dag::TaskGraph& graph,
+                      const core::TaskSchedule& schedule,
+                      const std::vector<std::vector<machine::Config>>& frontiers,
+                      const ReplayOptions& options)
+      : schedule_(&schedule),
+        frontiers_(&frontiers),
+        options_(&options),
+        current_ghz_(graph.num_ranks(), -1.0),
+        current_threads_(graph.num_ranks(), -1.0) {
+    if (schedule.num_edges() != graph.num_edges()) {
+      throw std::invalid_argument("replay: schedule size mismatch");
+    }
+  }
+
+  Decision choose(const dag::Edge& task, double now) override {
+    (void)now;
+    const auto& shares = schedule_->shares[task.id];
+    if (shares.empty()) {
+      throw std::runtime_error("replay: task without configuration");
+    }
+    Decision d;
+    d.duration = schedule_->duration[task.id];
+    d.power = schedule_->power[task.id];
+    for (const core::ConfigShare& s : shares) {
+      const machine::Config& c = (*frontiers_)[task.id].at(s.config_index);
+      d.ghz += s.fraction * c.ghz;
+      d.threads += s.fraction * c.threads;
+    }
+    if (options_->charge_dvfs_overhead &&
+        d.duration >= options_->switch_threshold_s) {
+      const bool differs =
+          std::abs(d.ghz - current_ghz_[task.rank]) > 1e-9 ||
+          std::abs(d.threads - current_threads_[task.rank]) > 1e-9;
+      if (differs) d.switch_overhead += options_->dvfs_overhead_s;
+      // Mid-task transitions realize a fractional mixture (Section 3.2's
+      // continuous case): one extra transition per extra share.
+      if (shares.size() > 1) {
+        d.switch_overhead +=
+            options_->dvfs_overhead_s * static_cast<double>(shares.size() - 1);
+      }
+    }
+    current_ghz_[task.rank] = d.ghz;
+    current_threads_[task.rank] = d.threads;
+    return d;
+  }
+
+ private:
+  const core::TaskSchedule* schedule_;
+  const std::vector<std::vector<machine::Config>>* frontiers_;
+  const ReplayOptions* options_;
+  std::vector<double> current_ghz_;
+  std::vector<double> current_threads_;
+};
+
+}  // namespace
+
+SimResult replay_schedule(
+    const dag::TaskGraph& graph, const core::TaskSchedule& schedule,
+    const std::vector<std::vector<machine::Config>>& frontiers,
+    const ReplayOptions& options, const std::vector<double>* vertex_times) {
+  FixedSchedulePolicy policy(graph, schedule, frontiers, options);
+  EngineOptions engine = options.engine;
+  engine.vertex_floor = vertex_times;
+  return simulate(graph, policy, engine);
+}
+
+}  // namespace powerlim::sim

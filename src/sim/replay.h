@@ -1,0 +1,44 @@
+// Schedule replay (paper Section 6.1, "Validation").
+//
+// Replays an LP- or ILP-derived schedule on the simulated cluster: as each
+// MPI call is reached, the configuration prescribed for the next task is
+// applied, charging the measured DVFS-transition overhead (145 us median)
+// - but only when the upcoming task is long enough to justify a switch
+// (1 ms threshold), exactly the mechanism the paper describes. The result
+// lets callers verify that the schedule is realizable and that the job's
+// instantaneous power stays under the constraint.
+#pragma once
+
+#include <vector>
+
+#include "core/schedule.h"
+#include "dag/graph.h"
+#include "machine/machine.h"
+#include "sim/engine.h"
+
+namespace powerlim::sim {
+
+struct ReplayOptions {
+  /// Charge DVFS-transition overhead on configuration changes.
+  bool charge_dvfs_overhead = true;
+  double dvfs_overhead_s = machine::Overheads::kDvfsTransition;
+  /// Only switch configuration before tasks at least this long.
+  double switch_threshold_s = machine::Overheads::kSwitchThresholdSeconds;
+  EngineOptions engine;
+};
+
+/// Replays `schedule` (fractional mixtures allowed: they incur one extra
+/// mid-task transition per extra share) and returns the full simulation
+/// result including the power trace.
+///
+/// When `vertex_times` is provided (the LP's v_j), the replay is *paced*:
+/// each MPI call is held until its scheduled time, which is what keeps the
+/// job under the cap on traces with cross-rank point-to-point ordering
+/// (see EngineOptions::vertex_floor).
+SimResult replay_schedule(
+    const dag::TaskGraph& graph, const core::TaskSchedule& schedule,
+    const std::vector<std::vector<machine::Config>>& frontiers,
+    const ReplayOptions& options = {},
+    const std::vector<double>* vertex_times = nullptr);
+
+}  // namespace powerlim::sim

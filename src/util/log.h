@@ -1,0 +1,46 @@
+// Minimal leveled logger. Off by default above WARN so library code stays
+// quiet in tests; benches can raise verbosity to narrate experiment
+// progress.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace powerlim::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// Emit a message at the given level to stderr (thread-safe enough for our
+/// single-threaded harness; a mutex keeps lines atomic if parallelized).
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { log_message(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LogLine log_debug() { return detail::LogLine(LogLevel::kDebug); }
+inline detail::LogLine log_info() { return detail::LogLine(LogLevel::kInfo); }
+inline detail::LogLine log_warn() { return detail::LogLine(LogLevel::kWarn); }
+inline detail::LogLine log_error() { return detail::LogLine(LogLevel::kError); }
+
+}  // namespace powerlim::util

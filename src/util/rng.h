@@ -1,0 +1,56 @@
+// Deterministic random-number utilities.
+//
+// Every stochastic element in powerlim (load-imbalance draws, exploration
+// order, jitter) flows through an explicitly seeded Rng so that every
+// experiment in the paper reproduction is bit-reproducible.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace powerlim::util {
+
+/// Seeded random-number generator with the small set of distributions the
+/// trace generators need. Copyable; copies evolve independently.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] (inclusive).
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Normal draw with the given mean and standard deviation.
+  double normal(double mean, double stdev) {
+    return std::normal_distribution<double>(mean, stdev)(engine_);
+  }
+
+  /// Normal draw truncated to [lo, hi] by clamping (cheap and fine for
+  /// imbalance factors that must stay positive).
+  double clamped_normal(double mean, double stdev, double lo, double hi) {
+    const double x = normal(mean, stdev);
+    return x < lo ? lo : (x > hi ? hi : x);
+  }
+
+  /// Log-normal draw: exp(N(mu, sigma)).
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Derive an independent child generator; used to give each MPI rank or
+  /// iteration its own stream so adding ranks does not perturb others.
+  Rng split() { return Rng(engine_() ^ 0x9e3779b97f4a7c15ULL); }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace powerlim::util

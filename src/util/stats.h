@@ -1,0 +1,59 @@
+// Small descriptive-statistics helpers used by the evaluation harness
+// (medians, standard deviations and percentiles reported in the paper's
+// tables, e.g. Table 3's "median time" and "std. dev. of power").
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace powerlim::util {
+
+/// Summary of a sample; all fields are 0 for an empty sample.
+struct Summary {
+  std::size_t count = 0;
+  double min = 0.0;
+  double max = 0.0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stdev = 0.0;  ///< sample standard deviation (n-1 denominator)
+};
+
+/// Arithmetic mean; 0 for an empty span.
+double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 points.
+double stdev(std::span<const double> xs);
+
+/// Median (average of the two middle elements for even sizes).
+double median(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100].
+double percentile(std::span<const double> xs, double p);
+
+/// Full summary in one pass over a copy of the data.
+Summary summarize(std::span<const double> xs);
+
+/// Geometric mean; 0 for an empty span. All inputs must be positive.
+double geomean(std::span<const double> xs);
+
+/// Online mean/variance accumulator (Welford). Useful inside the
+/// discrete-event simulator where samples arrive one at a time.
+class Accumulator {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ ? mean_ : 0.0; }
+  double stdev() const;
+  double min() const { return n_ ? min_ : 0.0; }
+  double max() const { return n_ ? max_ : 0.0; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace powerlim::util

@@ -1,0 +1,41 @@
+// Console table / CSV writers used by the bench harness to print the rows
+// and series reported in the paper's tables and figures.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace powerlim::util {
+
+/// A simple column-aligned text table. Cells are strings; numeric helpers
+/// format with fixed precision. Intended for human-readable bench output
+/// mirroring the paper's tables.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& add_row(std::vector<std::string> cells);
+
+  /// Formats a double with `digits` decimal places.
+  static std::string num(double v, int digits = 3);
+  /// Formats as a percentage string ("12.3%").
+  static std::string pct(double fraction, int digits = 1);
+
+  /// Render column-aligned text, with a header separator line.
+  std::string to_string() const;
+  /// Render as CSV (no escaping needed for our content; commas are
+  /// replaced with ';' defensively).
+  std::string to_csv() const;
+
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return headers_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace powerlim::util

@@ -1,0 +1,98 @@
+// Trace-generator contracts: determinism, seed sensitivity, and the
+// structural signatures each paper benchmark must exhibit.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+#include "apps/random_app.h"
+#include "dag/trace_io.h"
+
+namespace powerlim::apps {
+namespace {
+
+std::string fingerprint(const dag::TaskGraph& g) {
+  std::stringstream buf;
+  dag::write_trace(buf, g);
+  return buf.str();
+}
+
+TEST(Generators, ComdDeterministic) {
+  const ComdParams p{.ranks = 5, .iterations = 4, .seed = 99};
+  EXPECT_EQ(fingerprint(make_comd(p)), fingerprint(make_comd(p)));
+}
+
+TEST(Generators, LuleshDeterministic) {
+  const LuleshParams p{.ranks = 5, .iterations = 3, .seed = 7};
+  EXPECT_EQ(fingerprint(make_lulesh(p)), fingerprint(make_lulesh(p)));
+}
+
+TEST(Generators, NasMzDeterministic) {
+  const NasMzParams p{.ranks = 4, .iterations = 3, .seed = 3};
+  EXPECT_EQ(fingerprint(make_sp(p)), fingerprint(make_sp(p)));
+  EXPECT_EQ(fingerprint(make_bt(p)), fingerprint(make_bt(p)));
+}
+
+TEST(Generators, RandomAppDeterministic) {
+  const RandomAppParams p{.ranks = 4, .iterations = 3, .seed = 11};
+  EXPECT_EQ(fingerprint(make_random_app(p)), fingerprint(make_random_app(p)));
+}
+
+TEST(Generators, SeedChangesJitter) {
+  ComdParams a{.ranks = 4, .iterations = 3, .seed = 1};
+  ComdParams b = a;
+  b.seed = 2;
+  EXPECT_NE(fingerprint(make_comd(a)), fingerprint(make_comd(b)));
+}
+
+TEST(Generators, DimensionsRespected) {
+  const dag::TaskGraph g = make_lulesh({.ranks = 7, .iterations = 5});
+  EXPECT_EQ(g.num_ranks(), 7);
+  EXPECT_EQ(g.max_iteration(), 4);
+}
+
+TEST(Generators, ComdTasksAreComputeBound) {
+  const dag::TaskGraph g = make_comd({.ranks = 3, .iterations = 2});
+  for (const dag::Edge& e : g.edges()) {
+    ASSERT_TRUE(e.is_task());  // collectives only, no messages
+    EXPECT_GT(e.work.cpu_seconds, e.work.mem_seconds * 4);
+  }
+}
+
+TEST(Generators, BtWeightsAscendGeometrically) {
+  const auto w = bt_rank_weights({.ranks = 8});
+  for (std::size_t i = 1; i < w.size(); ++i) {
+    EXPECT_GT(w[i], w[i - 1]);
+  }
+  // Mean normalized to 1.
+  double sum = 0;
+  for (double x : w) sum += x;
+  EXPECT_NEAR(sum / w.size(), 1.0, 1e-9);
+  EXPECT_NEAR(w.back() / w.front(), 3.0, 1e-9);
+}
+
+TEST(Generators, ExchangeDefaultsValidate) {
+  EXPECT_NO_THROW(two_rank_exchange().validate());
+  ExchangeParams p;
+  p.bytes = 0.0;
+  EXPECT_NO_THROW(two_rank_exchange(p).validate());
+}
+
+TEST(Generators, AllGeneratorsValidateAcrossSizes) {
+  for (int ranks : {1, 2, 9}) {
+    for (int iters : {1, 4}) {
+      EXPECT_NO_THROW(
+          make_comd({.ranks = ranks, .iterations = iters}).validate());
+      EXPECT_NO_THROW(
+          make_lulesh({.ranks = ranks, .iterations = iters}).validate());
+      EXPECT_NO_THROW(
+          make_sp({.ranks = ranks, .iterations = iters}).validate());
+      EXPECT_NO_THROW(
+          make_bt({.ranks = ranks, .iterations = iters}).validate());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::apps

@@ -1,0 +1,100 @@
+// 3D halo topology for the LULESH generator, and the DOT exporter.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <sstream>
+
+#include "apps/benchmarks.h"
+#include "core/windowed.h"
+#include "dag/trace_io.h"
+#include "machine/power_model.h"
+
+namespace powerlim::apps {
+namespace {
+
+TEST(Factor3d, ExactFactorizations) {
+  EXPECT_EQ(factor_3d(8), (std::array<int, 3>{2, 2, 2}));
+  EXPECT_EQ(factor_3d(27), (std::array<int, 3>{3, 3, 3}));
+  EXPECT_EQ(factor_3d(64), (std::array<int, 3>{4, 4, 4}));
+}
+
+TEST(Factor3d, NearCubicForNonCubes) {
+  // 32 = 4 x 4 x 2 minimizes surface (the paper's rank count).
+  EXPECT_EQ(factor_3d(32), (std::array<int, 3>{4, 4, 2}));
+  EXPECT_EQ(factor_3d(12), (std::array<int, 3>{3, 2, 2}));
+}
+
+TEST(Factor3d, PrimesDegenerate) {
+  EXPECT_EQ(factor_3d(7), (std::array<int, 3>{7, 1, 1}));
+  EXPECT_EQ(factor_3d(1), (std::array<int, 3>{1, 1, 1}));
+}
+
+TEST(Lulesh3d, ProductAlwaysMatches) {
+  for (int ranks = 1; ranks <= 64; ++ranks) {
+    const auto d = factor_3d(ranks);
+    EXPECT_EQ(d[0] * d[1] * d[2], ranks) << ranks;
+  }
+}
+
+TEST(Lulesh3d, TorusHaloHasFaceNeighborMessages) {
+  const dag::TaskGraph g = make_lulesh(
+      {.ranks = 8, .iterations = 2, .use_3d_halo = true});
+  g.validate();
+  // 2x2x2 torus: each rank has 3 distinct face neighbors (wrap folds the
+  // +/- directions together), so 8 * 3 messages per iteration.
+  std::size_t messages = 0;
+  for (const dag::Edge& e : g.edges()) {
+    if (!e.is_task()) ++messages;
+  }
+  EXPECT_EQ(messages, 2u * 8u * 3u);
+}
+
+TEST(Lulesh3d, RingDefaultUnchanged) {
+  // The calibrated default stays byte-identical (ring halo).
+  const dag::TaskGraph ring_a = make_lulesh({.ranks = 6, .iterations = 2});
+  LuleshParams p{.ranks = 6, .iterations = 2};
+  p.use_3d_halo = false;
+  const dag::TaskGraph ring_b = make_lulesh(p);
+  std::stringstream a, b;
+  dag::write_trace(a, ring_a);
+  dag::write_trace(b, ring_b);
+  EXPECT_EQ(a.str(), b.str());
+}
+
+TEST(Lulesh3d, SolvesUnderTheLp) {
+  const dag::TaskGraph g = make_lulesh(
+      {.ranks = 8, .iterations = 3, .use_3d_halo = true});
+  const machine::PowerModel model{machine::SocketSpec{}};
+  const machine::ClusterSpec cluster;
+  const auto lp = core::solve_windowed_lp(g, model, cluster,
+                                          {.power_cap = 8 * 45.0});
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_GT(lp.makespan, 0.0);
+}
+
+TEST(Dot, RendersVerticesAndEdges) {
+  const dag::TaskGraph g = make_lulesh({.ranks = 2, .iterations = 1});
+  const std::string dot = dag::to_dot(g);
+  EXPECT_NE(dot.find("digraph trace"), std::string::npos);
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);      // collectives
+  EXPECT_NE(dot.find("shape=ellipse"), std::string::npos);  // rank events
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos);   // messages
+  // Every vertex id appears.
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NE(dot.find("v" + std::to_string(v) + " "), std::string::npos);
+  }
+}
+
+TEST(Dot, EdgeCountMatchesGraph) {
+  const dag::TaskGraph g = make_lulesh({.ranks = 3, .iterations = 2});
+  const std::string dot = dag::to_dot(g);
+  std::size_t arrows = 0;
+  for (std::size_t pos = dot.find("->"); pos != std::string::npos;
+       pos = dot.find("->", pos + 2)) {
+    ++arrows;
+  }
+  EXPECT_EQ(arrows, g.num_edges());
+}
+
+}  // namespace
+}  // namespace powerlim::apps

@@ -1,0 +1,150 @@
+// Tests for the energy-minimization extension (LpObjective::kEnergy and
+// solve_windowed_energy_lp): the Rountree et al. SC'07 problem built on
+// the paper's constraint system.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "core/lp_formulation.h"
+#include "core/windowed.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+dag::TaskGraph imbalanced_pair() {
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  auto mk = [](double s) {
+    machine::TaskWork w;
+    w.cpu_seconds = s * 0.9;
+    w.mem_seconds = s * 0.1;
+    w.parallel_fraction = 0.97;
+    return w;
+  };
+  g.add_task(init, fin, 0, mk(6.0), 0);
+  g.add_task(init, fin, 1, mk(2.0), 0);
+  return g;
+}
+
+TEST(EnergyLp, RequiresDeadline) {
+  const dag::TaskGraph g = imbalanced_pair();
+  const LpFormulation form(g, kModel, kCluster);
+  LpScheduleOptions o;
+  o.power_cap = lp::kInfinity;
+  o.objective = LpObjective::kEnergy;
+  EXPECT_THROW(form.solve(o), std::invalid_argument);
+}
+
+TEST(EnergyLp, DeadlineRespected) {
+  const dag::TaskGraph g = imbalanced_pair();
+  const LpFormulation form(g, kModel, kCluster);
+  LpScheduleOptions o;
+  o.power_cap = lp::kInfinity;
+  o.objective = LpObjective::kEnergy;
+  o.max_makespan = form.unconstrained_makespan() * 1.10;
+  const auto res = form.solve(o);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_LE(res.makespan, o.max_makespan + 1e-6);
+  EXPECT_GT(res.energy_joules, 0.0);
+}
+
+TEST(EnergyLp, SlackRankSlowsToSaveEnergy) {
+  // The light rank has 3x slack: the energy optimum runs it in a cheap
+  // configuration while the heavy rank stays fast.
+  const dag::TaskGraph g = imbalanced_pair();
+  const LpFormulation form(g, kModel, kCluster);
+  LpScheduleOptions o;
+  o.power_cap = lp::kInfinity;
+  o.objective = LpObjective::kEnergy;
+  o.max_makespan = form.unconstrained_makespan() * 1.001;
+  const auto res = form.solve(o);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_LT(res.schedule.power[1], res.schedule.power[0] - 5.0);
+}
+
+TEST(EnergyLp, MoreAllowanceNeverCostsMoreEnergy) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  double prev = 1e300;
+  for (double allowance : {0.0, 0.02, 0.05, 0.10, 0.25}) {
+    const auto res =
+        solve_windowed_energy_lp(g, kModel, kCluster, allowance);
+    ASSERT_TRUE(res.optimal()) << allowance;
+    EXPECT_LE(res.energy_joules, prev + 1e-6) << allowance;
+    prev = res.energy_joules;
+  }
+}
+
+TEST(EnergyLp, ZeroAllowanceStillSavesEnergyOnImbalancedApp) {
+  // Rountree'07's headline: slack alone funds energy savings at no time
+  // cost. Compare against the makespan-optimal schedule's energy.
+  const dag::TaskGraph g = apps::make_bt({.ranks = 4, .iterations = 3});
+  const auto fast = solve_windowed_lp(g, kModel, kCluster,
+                                      {.power_cap = lp::kInfinity});
+  const auto frugal = solve_windowed_energy_lp(g, kModel, kCluster, 0.0);
+  ASSERT_TRUE(fast.optimal());
+  ASSERT_TRUE(frugal.optimal());
+  EXPECT_NEAR(frugal.makespan, fast.makespan, 1e-6 * fast.makespan);
+  EXPECT_LT(frugal.energy_joules, fast.energy_joules * 0.97);
+}
+
+TEST(EnergyLp, CombinedWithPowerCap) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  const double cap = 4 * 45.0;
+  // Find how much the cap alone costs, then allow comfortably more than
+  // that so the energy problem is feasible under both constraints.
+  const auto capped = solve_windowed_lp(g, kModel, kCluster,
+                                        {.power_cap = cap});
+  const auto free_run = solve_windowed_lp(g, kModel, kCluster,
+                                          {.power_cap = lp::kInfinity});
+  ASSERT_TRUE(capped.optimal());
+  ASSERT_TRUE(free_run.optimal());
+  const double allowance =
+      (capped.makespan / free_run.makespan - 1.0) * 1.5 + 0.05;
+  const auto res =
+      solve_windowed_energy_lp(g, kModel, kCluster, allowance, cap);
+  ASSERT_TRUE(res.optimal());
+  EXPECT_LE(res.peak_event_power, cap + 1e-5);
+  // The energy optimum under the same cap never burns more than the
+  // makespan optimum under that cap.
+  EXPECT_LE(res.energy_joules, capped.energy_joules + 1e-6);
+}
+
+TEST(EnergyLp, DeadlineAlsoWorksInMakespanMode) {
+  // max_makespan acts as an extra constraint on the regular objective.
+  const dag::TaskGraph g = imbalanced_pair();
+  const LpFormulation form(g, kModel, kCluster);
+  const double unconstrained = form.unconstrained_makespan();
+  LpScheduleOptions o;
+  o.power_cap = 60.0;  // tight enough that the optimum exceeds the bound
+  const auto free_res = form.solve(o);
+  ASSERT_TRUE(free_res.optimal());
+  ASSERT_GT(free_res.makespan, unconstrained * 1.4);
+  o.max_makespan = unconstrained * 1.2;  // now demand better than that
+  const auto bounded = form.solve(o);
+  EXPECT_EQ(bounded.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(EnergyLp, EnergyReportedInMakespanMode) {
+  const dag::TaskGraph g = imbalanced_pair();
+  const LpFormulation form(g, kModel, kCluster);
+  const auto res = form.solve({.power_cap = 150.0});
+  ASSERT_TRUE(res.optimal());
+  EXPECT_GT(res.energy_joules, 0.0);
+  // Energy is consistent with the blended schedule within share rounding.
+  double manual = 0.0;
+  for (const dag::Edge& e : g.edges()) {
+    if (!e.is_task()) continue;
+    for (const auto& s : res.schedule.shares[e.id]) {
+      const machine::Config& c = form.frontiers()[e.id][s.config_index];
+      manual += s.fraction * c.duration * c.power;
+    }
+  }
+  EXPECT_NEAR(res.energy_joules, manual, 1e-9);
+}
+
+}  // namespace
+}  // namespace powerlim::core

@@ -1,0 +1,119 @@
+#include "core/events.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+#include "dag/graph.h"
+
+namespace powerlim::core {
+namespace {
+
+machine::TaskWork unit_work(double s) {
+  machine::TaskWork w;
+  w.cpu_seconds = s;
+  return w;
+}
+
+TEST(EventOrder, GroupsSortedByTime) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  std::vector<double> dur(g.num_edges(), 1.0);
+  const auto times = asap_schedule(g, dur);
+  const EventOrder ev = build_event_order(g, times);
+  for (std::size_t i = 1; i < ev.num_groups(); ++i) {
+    EXPECT_GT(ev.group_time[i], ev.group_time[i - 1]);
+  }
+}
+
+TEST(EventOrder, EveryVertexInExactlyOneGroup) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  std::vector<double> dur(g.num_edges(), 1.0);
+  const auto ev = build_event_order(g, asap_schedule(g, dur));
+  std::size_t total = 0;
+  for (const auto& grp : ev.groups) total += grp.size();
+  EXPECT_EQ(total, g.num_vertices());
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    const int gidx = ev.group_of_vertex[v];
+    ASSERT_GE(gidx, 0);
+    const auto& grp = ev.groups[gidx];
+    EXPECT_NE(std::find(grp.begin(), grp.end(), static_cast<int>(v)),
+              grp.end());
+  }
+}
+
+TEST(EventOrder, SimultaneousVerticesShareGroup) {
+  // Two ranks with identical durations: their Send vertices coincide.
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int a = g.add_vertex(dag::VertexKind::kGeneric, 0);
+  const int b = g.add_vertex(dag::VertexKind::kGeneric, 1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, a, 0, unit_work(1));
+  g.add_task(a, fin, 0, unit_work(1));
+  g.add_task(init, b, 1, unit_work(1));
+  g.add_task(b, fin, 1, unit_work(1));
+  const std::vector<double> dur{1.0, 1.0, 1.0, 1.0};
+  const auto ev = build_event_order(g, asap_schedule(g, dur));
+  EXPECT_EQ(ev.group_of_vertex[a], ev.group_of_vertex[b]);
+  EXPECT_EQ(ev.num_groups(), 3u);  // init, {a, b}, finalize
+}
+
+TEST(EventOrder, ActivityCoversTaskSpan) {
+  // A task is active at every group from its source (inclusive) to its
+  // destination (exclusive).
+  const dag::TaskGraph g = apps::make_lulesh({.ranks = 4, .iterations = 2});
+  std::vector<double> dur(g.num_edges(), 0.0);
+  for (const auto& e : g.edges()) {
+    dur[e.id] = e.is_task() ? e.work.nominal_seconds() : 1e-4;
+  }
+  const auto ev = build_event_order(g, asap_schedule(g, dur));
+  for (const auto& e : g.edges()) {
+    if (!e.is_task()) continue;
+    const int g0 = ev.group_of_vertex[e.src];
+    const int g1 = ev.group_of_vertex[e.dst];
+    ASSERT_LE(g0, g1);
+    for (int grp = g0; grp < g1; ++grp) {
+      const auto& act = ev.active_tasks[grp];
+      EXPECT_NE(std::find(act.begin(), act.end(), e.id), act.end())
+          << "task " << e.id << " missing from group " << grp;
+    }
+    if (g1 < static_cast<int>(ev.num_groups())) {
+      const auto& act = ev.active_tasks[g1];
+      EXPECT_EQ(std::find(act.begin(), act.end(), e.id), act.end())
+          << "task " << e.id << " must not be active at its dst group";
+    }
+  }
+}
+
+TEST(EventOrder, EachRankContributesOneActiveTaskPerGroup) {
+  // The rank-chain invariant means every rank has exactly one active task
+  // at every event group except the last (Finalize).
+  const dag::TaskGraph g = apps::make_bt({.ranks = 6, .iterations = 2});
+  std::vector<double> dur(g.num_edges(), 0.0);
+  for (const auto& e : g.edges()) {
+    dur[e.id] = e.is_task() ? e.work.nominal_seconds() : 1e-4;
+  }
+  const auto ev = build_event_order(g, asap_schedule(g, dur));
+  for (std::size_t grp = 0; grp + 1 < ev.num_groups(); ++grp) {
+    std::vector<int> per_rank(g.num_ranks(), 0);
+    for (int eid : ev.active_tasks[grp]) {
+      ++per_rank[g.edge(eid).rank];
+    }
+    for (int r = 0; r < g.num_ranks(); ++r) {
+      EXPECT_EQ(per_rank[r], 1) << "group " << grp << " rank " << r;
+    }
+  }
+  EXPECT_TRUE(ev.active_tasks.back().empty());
+}
+
+TEST(EventOrder, MismatchedScheduleThrows) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  dag::ScheduleTimes bogus;
+  bogus.vertex_time = {0.0};
+  EXPECT_THROW(build_event_order(g, bogus), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlim::core

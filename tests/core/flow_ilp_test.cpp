@@ -1,0 +1,152 @@
+#include "core/flow_ilp.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/exchange.h"
+#include "core/lp_formulation.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::SocketSpec kSpec{};
+const machine::PowerModel kModel{kSpec};
+const machine::ClusterSpec kCluster{};
+
+dag::TaskGraph single_task_graph(double seconds = 3.0) {
+  dag::TaskGraph g(1);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  machine::TaskWork w;
+  w.cpu_seconds = seconds * 0.9;
+  w.mem_seconds = seconds * 0.1;
+  w.parallel_fraction = 0.97;
+  g.add_task(init, fin, 0, w, 0);
+  return g;
+}
+
+TEST(FlowIlp, SingleTaskGenerousCap) {
+  const dag::TaskGraph g = single_task_graph();
+  const auto res = solve_flow_ilp(g, kModel, kCluster, {.power_cap = 300.0});
+  ASSERT_TRUE(res.optimal());
+  const LpFormulation form(g, kModel, kCluster);
+  EXPECT_NEAR(res.makespan, form.unconstrained_makespan(), 1e-5);
+}
+
+TEST(FlowIlp, SingleTaskTightCapMatchesLp) {
+  const dag::TaskGraph g = single_task_graph();
+  const LpFormulation form(g, kModel, kCluster);
+  for (double cap : {30.0, 40.0, 55.0}) {
+    const auto ilp = solve_flow_ilp(g, kModel, kCluster, {.power_cap = cap});
+    const auto lp = form.solve({.power_cap = cap});
+    ASSERT_TRUE(ilp.optimal());
+    ASSERT_TRUE(lp.optimal());
+    // One task: the two formulations are the same problem.
+    EXPECT_NEAR(ilp.makespan, lp.makespan, 1e-4) << "cap " << cap;
+  }
+}
+
+TEST(FlowIlp, InfeasibleWhenCapBelowCheapestConfig) {
+  const dag::TaskGraph g = single_task_graph();
+  const auto res = solve_flow_ilp(g, kModel, kCluster, {.power_cap = 10.0});
+  EXPECT_EQ(res.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(FlowIlp, ExchangeUnconstrainedMatchesLp) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const LpFormulation form(g, kModel, kCluster);
+  const auto res = solve_flow_ilp(g, kModel, kCluster, {.power_cap = 1000.0});
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.makespan, form.unconstrained_makespan(), 1e-4);
+}
+
+TEST(FlowIlp, NeverSlowerThanFixedOrderLp) {
+  // The flow ILP optimizes over event orders and frees task power at
+  // completion, so it is weakly stronger than the fixed-order LP
+  // (Figure 8: "Fixed" sits on or above "Flow").
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const LpFormulation form(g, kModel, kCluster);
+  for (double cap : {70.0, 90.0, 120.0, 160.0}) {
+    const auto ilp = solve_flow_ilp(g, kModel, kCluster, {.power_cap = cap});
+    const auto lp = form.solve({.power_cap = cap});
+    if (!lp.optimal()) continue;
+    ASSERT_TRUE(ilp.optimal()) << "cap " << cap;
+    EXPECT_LE(ilp.makespan, lp.makespan + 1e-5) << "cap " << cap;
+  }
+}
+
+TEST(FlowIlp, AgreesWithLpWithinPaperTolerance) {
+  // Figure 8's claim: outside a narrow band, the two formulations agree to
+  // within 1.9%. Generous caps here; the band check lives in the bench.
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const LpFormulation form(g, kModel, kCluster);
+  for (double cap : {110.0, 140.0, 180.0}) {
+    const auto ilp = solve_flow_ilp(g, kModel, kCluster, {.power_cap = cap});
+    const auto lp = form.solve({.power_cap = cap});
+    ASSERT_TRUE(ilp.optimal());
+    ASSERT_TRUE(lp.optimal());
+    EXPECT_LE(lp.makespan, ilp.makespan * 1.05) << "cap " << cap;
+  }
+}
+
+TEST(FlowIlp, OverlappingTasksFitUnderCap) {
+  // Verify the flow argument actually limits concurrent power: at every
+  // instant the sum of running tasks' powers is <= PC.
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const double cap = 100.0;
+  const auto res = solve_flow_ilp(g, kModel, kCluster, {.power_cap = cap});
+  ASSERT_TRUE(res.optimal());
+  // Sample instants between every pair of start/end points.
+  std::vector<double> points;
+  for (const auto& e : g.edges()) {
+    points.push_back(res.start[e.id]);
+    points.push_back(res.start[e.id] + res.schedule.duration[e.id]);
+  }
+  std::sort(points.begin(), points.end());
+  for (std::size_t i = 0; i + 1 < points.size(); ++i) {
+    // Skip zero-width gaps (a task ending exactly as another starts):
+    // the midpoint would straddle the boundary within rounding error.
+    if (points[i + 1] - points[i] < 1e-9) continue;
+    const double t = 0.5 * (points[i] + points[i + 1]);
+    double total = 0.0;
+    for (const auto& e : g.edges()) {
+      if (!e.is_task()) continue;
+      const double s = res.start[e.id];
+      const double f = s + res.schedule.duration[e.id];
+      if (s <= t && t < f) total += res.schedule.power[e.id];
+    }
+    EXPECT_LE(total, cap + 1e-4) << "at t=" << t;
+  }
+}
+
+TEST(FlowIlp, StartsRespectPrecedence) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  const auto res = solve_flow_ilp(g, kModel, kCluster, {.power_cap = 120.0});
+  ASSERT_TRUE(res.optimal());
+  // Along each rank chain, starts are non-decreasing and spaced by
+  // durations.
+  for (int r = 0; r < g.num_ranks(); ++r) {
+    const auto chain = g.rank_chain(r);
+    for (std::size_t i = 1; i < chain.size(); ++i) {
+      EXPECT_GE(res.start[chain[i]] + 1e-6,
+                res.start[chain[i - 1]] +
+                    res.schedule.duration[chain[i - 1]]);
+    }
+  }
+}
+
+TEST(FlowIlp, MakespanMonotoneInCap) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  double prev = 1e300;
+  for (double cap = 80.0; cap <= 200.0; cap += 30.0) {
+    const auto res = solve_flow_ilp(g, kModel, kCluster, {.power_cap = cap});
+    if (!res.optimal()) continue;
+    EXPECT_LE(res.makespan, prev + 1e-5);
+    prev = res.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::core

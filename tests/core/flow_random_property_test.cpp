@@ -1,0 +1,49 @@
+// Property test: on random *small* graphs, the flow ILP and the
+// fixed-vertex-order LP obey their theoretical relationship at every cap:
+//   unconstrained <= flow <= fixed-order,
+// and both are monotone in the cap. (Figure 8 generalized beyond the
+// hand-built exchange.)
+#include <gtest/gtest.h>
+
+#include "apps/random_app.h"
+#include "core/flow_ilp.h"
+#include "core/lp_formulation.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+class FlowRandomTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(FlowRandomTest, FlowNeverSlowerThanFixedOrder) {
+  apps::RandomAppParams params;
+  params.seed = 4000 + GetParam();
+  params.ranks = 2;           // keep the ILP tractable
+  params.iterations = 1 + GetParam() % 2;
+  params.p2p_probability = (GetParam() % 2) * 0.8;
+  params.phase_seconds = 1.5;
+  const dag::TaskGraph g = apps::make_random_app(params);
+  if (g.num_edges() > 12) GTEST_SKIP() << "instance too large for the ILP";
+
+  const LpFormulation form(g, kModel, kCluster);
+  const double base = form.min_feasible_power();
+  double prev_flow = 1e300;
+  for (double cap : {base * 1.1, base * 1.5, base * 2.5}) {
+    const auto lp = form.solve({.power_cap = cap});
+    const auto flow = solve_flow_ilp(g, kModel, kCluster, {.power_cap = cap});
+    if (!lp.optimal() || !flow.optimal()) continue;
+    EXPECT_LE(flow.makespan, lp.makespan + 1e-5)
+        << "seed " << params.seed << " cap " << cap;
+    EXPECT_GE(flow.makespan, form.unconstrained_makespan() - 1e-6);
+    EXPECT_LE(flow.makespan, prev_flow + 1e-5);
+    prev_flow = flow.makespan;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlowRandomTest, ::testing::Range(0, 12));
+
+}  // namespace
+}  // namespace powerlim::core

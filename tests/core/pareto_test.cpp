@@ -1,0 +1,164 @@
+#include "core/pareto.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "machine/power_model.h"
+#include "util/rng.h"
+
+namespace powerlim::core {
+namespace {
+
+using machine::Config;
+
+Config pt(double power, double duration) {
+  return Config{0.0, 0, duration, power};
+}
+
+TEST(ParetoFilter, EmptyInput) { EXPECT_TRUE(pareto_filter({}).empty()); }
+
+TEST(ParetoFilter, SinglePoint) {
+  const auto out = pareto_filter({pt(10, 5)});
+  ASSERT_EQ(out.size(), 1u);
+}
+
+TEST(ParetoFilter, RemovesDominated) {
+  // (20, 6) is dominated by (10, 5): more power AND slower.
+  const auto out = pareto_filter({pt(10, 5), pt(20, 6), pt(30, 2)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].power, 10);
+  EXPECT_DOUBLE_EQ(out[1].power, 30);
+}
+
+TEST(ParetoFilter, KeepsIncomparablePoints) {
+  const auto out = pareto_filter({pt(10, 5), pt(20, 4), pt(30, 3)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ParetoFilter, EqualPowerKeepsFaster) {
+  const auto out = pareto_filter({pt(10, 5), pt(10, 4)});
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_DOUBLE_EQ(out[0].duration, 4);
+}
+
+TEST(ParetoFilter, OutputSortedAndStrictlyImproving) {
+  util::Rng rng(3);
+  std::vector<Config> pts;
+  for (int i = 0; i < 200; ++i) {
+    pts.push_back(pt(rng.uniform(10, 90), rng.uniform(1, 9)));
+  }
+  const auto out = pareto_filter(pts);
+  for (std::size_t i = 1; i < out.size(); ++i) {
+    EXPECT_GT(out[i].power, out[i - 1].power);
+    EXPECT_LT(out[i].duration, out[i - 1].duration);
+  }
+}
+
+TEST(ConvexFrontier, DropsConcavePoint) {
+  // Middle point sits above the chord between its neighbors.
+  const auto out = convex_frontier({pt(10, 10), pt(20, 9.5), pt(30, 5)});
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].power, 10);
+  EXPECT_DOUBLE_EQ(out[1].power, 30);
+}
+
+TEST(ConvexFrontier, KeepsConvexPoint) {
+  // Middle point is below the chord: convex, keep it.
+  const auto out = convex_frontier({pt(10, 10), pt(20, 6), pt(30, 5)});
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(ConvexFrontier, DropsCollinearMiddle) {
+  const auto out = convex_frontier({pt(10, 10), pt(20, 7.5), pt(30, 5)});
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(ConvexFrontier, EndpointsAlwaysKept) {
+  util::Rng rng(7);
+  std::vector<Config> pts;
+  for (int i = 0; i < 100; ++i) {
+    pts.push_back(pt(rng.uniform(10, 90), rng.uniform(1, 9)));
+  }
+  const auto pareto = pareto_filter(pts);
+  const auto hull = convex_frontier(pts);
+  ASSERT_FALSE(hull.empty());
+  EXPECT_DOUBLE_EQ(hull.front().power, pareto.front().power);
+  EXPECT_DOUBLE_EQ(hull.back().power, pareto.back().power);
+}
+
+TEST(ConvexFrontier, IsConvexProperty) {
+  util::Rng rng(11);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<Config> pts;
+    const int n = 3 + static_cast<int>(rng.uniform_int(0, 200));
+    for (int i = 0; i < n; ++i) {
+      pts.push_back(pt(rng.uniform(5, 95), rng.uniform(0.5, 12)));
+    }
+    const auto hull = convex_frontier(pts);
+    EXPECT_TRUE(is_convex_frontier(hull)) << "trial " << trial;
+    // Hull is a subset of the Pareto frontier.
+    const auto pareto = pareto_filter(pts);
+    for (const Config& h : hull) {
+      const bool found = std::any_of(
+          pareto.begin(), pareto.end(), [&](const Config& q) {
+            return q.power == h.power && q.duration == h.duration;
+          });
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(ConvexFrontier, HullBelowAllParetoPoints) {
+  // Every Pareto point lies on or above the hull's piecewise-linear
+  // envelope (that's what makes the LP relaxation exact).
+  util::Rng rng(13);
+  std::vector<Config> pts;
+  for (int i = 0; i < 300; ++i) {
+    pts.push_back(pt(rng.uniform(5, 95), rng.uniform(0.5, 12)));
+  }
+  const auto hull = convex_frontier(pts);
+  const auto pareto = pareto_filter(pts);
+  for (const Config& q : pareto) {
+    // Interpolate the hull at q.power.
+    if (q.power < hull.front().power || q.power > hull.back().power) continue;
+    for (std::size_t i = 1; i < hull.size(); ++i) {
+      if (hull[i - 1].power <= q.power && q.power <= hull[i].power) {
+        const double t =
+            (q.power - hull[i - 1].power) / (hull[i].power - hull[i - 1].power);
+        const double envelope =
+            hull[i - 1].duration + t * (hull[i].duration - hull[i - 1].duration);
+        EXPECT_GE(q.duration, envelope - 1e-9);
+        break;
+      }
+    }
+  }
+}
+
+TEST(ConvexFrontier, RealTaskFrontierShape) {
+  // Paper Figure 1 / Table 1: for a compute-bound CoMD-like task, running
+  // fewer than the maximum threads is only Pareto-efficient at the lowest
+  // frequencies; the top of the frontier is all 8-thread configurations.
+  machine::PowerModel pm{machine::SocketSpec{}};
+  machine::TaskWork w;
+  w.cpu_seconds = 8.0;
+  w.mem_seconds = 1.0;
+  w.parallel_fraction = 0.97;
+  const auto frontier = convex_frontier(pm.enumerate(w));
+  ASSERT_GE(frontier.size(), 3u);
+  EXPECT_TRUE(is_convex_frontier(frontier));
+  // Fastest end: full threads at max frequency.
+  EXPECT_EQ(frontier.back().threads, 8);
+  EXPECT_DOUBLE_EQ(frontier.back().ghz, 2.6);
+  // Cheapest end: fewer threads.
+  EXPECT_LT(frontier.front().threads, 8);
+  // Any non-8-thread point sits at/below the lowest DVFS frequency band.
+  for (const auto& c : frontier) {
+    if (c.threads < 8) {
+      EXPECT_LE(c.ghz, 1.6) << "threads=" << c.threads << " f=" << c.ghz;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::core

@@ -1,0 +1,135 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmarks.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+PowerProfile simple_profile() {
+  // 100 W -> 10 s, 200 W -> 6 s, 300 W -> 5 s (diminishing returns).
+  return PowerProfile({{100, 10}, {200, 6}, {300, 5}});
+}
+
+TEST(PowerProfile, RejectsBadPoints) {
+  EXPECT_THROW(PowerProfile({}), std::invalid_argument);
+  EXPECT_THROW(PowerProfile({{100, 5}, {100, 4}}), std::invalid_argument);
+  EXPECT_THROW(PowerProfile({{100, 5}, {200, 7}}), std::invalid_argument);
+}
+
+TEST(PowerProfile, TimeInterpolation) {
+  const PowerProfile p = simple_profile();
+  EXPECT_DOUBLE_EQ(p.time_at(100), 10);
+  EXPECT_DOUBLE_EQ(p.time_at(150), 8);    // midway 100..200
+  EXPECT_DOUBLE_EQ(p.time_at(300), 5);
+  EXPECT_DOUBLE_EQ(p.time_at(500), 5);    // clamped above
+  EXPECT_TRUE(std::isinf(p.time_at(50)));  // below min cap
+}
+
+TEST(PowerProfile, CapInversion) {
+  const PowerProfile p = simple_profile();
+  EXPECT_DOUBLE_EQ(p.cap_for(10), 100);
+  EXPECT_DOUBLE_EQ(p.cap_for(8), 150);
+  EXPECT_DOUBLE_EQ(p.cap_for(5), 300);
+  EXPECT_DOUBLE_EQ(p.cap_for(20), 100);      // slower than worst: min cap
+  EXPECT_TRUE(std::isinf(p.cap_for(4.0)));   // faster than possible
+}
+
+TEST(PowerProfile, InverseConsistency) {
+  const PowerProfile p = simple_profile();
+  for (double t : {5.5, 6.0, 7.3, 9.9}) {
+    EXPECT_NEAR(p.time_at(p.cap_for(t)), t, 1e-9) << t;
+  }
+}
+
+TEST(Partition, InfeasibleWhenBelowMinimums) {
+  const auto r = partition_power({simple_profile(), simple_profile()}, 150);
+  EXPECT_FALSE(r.feasible);
+}
+
+TEST(Partition, AbundantPowerRunsEveryoneFlatOut) {
+  const auto r = partition_power({simple_profile(), simple_profile()}, 1000);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.makespan, 5.0, 1e-6);
+}
+
+TEST(Partition, EqualJobsSplitEqually) {
+  const auto r = partition_power({simple_profile(), simple_profile()}, 400);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_NEAR(r.caps[0], r.caps[1], 1e-6);
+  EXPECT_NEAR(r.caps[0] + r.caps[1], 400, 1e-6);
+  EXPECT_NEAR(r.makespan, 6.0, 1e-6);  // 200 W each
+}
+
+TEST(Partition, HungryJobGetsMore) {
+  // Job B needs twice the power for the same times.
+  const PowerProfile a({{100, 10}, {200, 6}, {300, 5}});
+  const PowerProfile b({{200, 10}, {400, 6}, {600, 5}});
+  const auto r = partition_power({a, b}, 600);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_GT(r.caps[1], r.caps[0] * 1.5);
+  // Min-max: both times equal at the optimum (neither saturated).
+  EXPECT_NEAR(r.times[0], r.times[1], 1e-5);
+}
+
+TEST(Partition, BeatsNaiveEqualSplit) {
+  const PowerProfile a({{100, 10}, {200, 6}, {300, 5}});
+  const PowerProfile b({{200, 30}, {400, 14}, {600, 9}});
+  const double total = 600;
+  const auto opt = partition_power({a, b}, total);
+  ASSERT_TRUE(opt.feasible);
+  const double naive =
+      std::max(a.time_at(total / 2), b.time_at(total / 2));
+  EXPECT_LT(opt.makespan, naive - 1.0);
+}
+
+TEST(Partition, SaturatedJobFreesPowerForOthers) {
+  // Job a stops benefiting at 150 W; the leftover goes to b.
+  const PowerProfile a({{100, 8}, {150, 6}, {400, 6}});
+  const PowerProfile b({{100, 20}, {300, 9}, {500, 7}});
+  const auto r = partition_power({a, b}, 600);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.caps[0], 160.0);  // no point above max useful
+  EXPECT_GE(r.caps[1], 430.0);
+}
+
+TEST(Partition, RealJobsFromLpSweeps) {
+  // End-to-end: profile two 4-rank jobs via the LP and partition 360 W.
+  const dag::TaskGraph bt = apps::make_bt({.ranks = 4, .iterations = 3});
+  const dag::TaskGraph sp = apps::make_sp({.ranks = 4, .iterations = 3});
+  const std::vector<double> caps{4 * 25.0, 4 * 30.0, 4 * 40.0,
+                                 4 * 55.0, 4 * 75.0};
+  const PowerProfile pa = profile_job(bt, kModel, kCluster, caps);
+  const PowerProfile pb = profile_job(sp, kModel, kCluster, caps);
+  const double total = 360.0;
+  const auto r = partition_power({pa, pb}, total);
+  ASSERT_TRUE(r.feasible);
+  EXPECT_LE(r.caps[0] + r.caps[1], total + 1e-6);
+  // Optimized split at least matches the naive half/half split.
+  const double naive =
+      std::max(pa.time_at(total / 2), pb.time_at(total / 2));
+  EXPECT_LE(r.makespan, naive + 1e-6);
+}
+
+TEST(Partition, ProfileJobSkipsInfeasibleCaps) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 2, .iterations = 2});
+  const PowerProfile p =
+      profile_job(g, kModel, kCluster, {10.0, 2 * 30.0, 2 * 60.0});
+  EXPECT_EQ(p.points().size(), 2u);  // 10 W is infeasible
+}
+
+TEST(Partition, ProfileJobThrowsWhenNothingFeasible) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 2, .iterations = 2});
+  EXPECT_THROW(profile_job(g, kModel, kCluster, {5.0, 10.0}),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace powerlim::core

@@ -1,0 +1,113 @@
+// End-to-end property fuzzing: any valid trace from the random generator
+// must survive the whole pipeline - window split, LP solve, replay - with
+// all the paper's invariants intact.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/random_app.h"
+#include "core/windowed.h"
+#include "dag/trace_io.h"
+#include "dag/windows.h"
+#include "machine/power_model.h"
+#include "sim/power_window.h"
+#include "sim/replay.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+class PipelineFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PipelineFuzzTest, RandomAppSurvivesPipeline) {
+  apps::RandomAppParams params;
+  params.seed = 1000 + GetParam();
+  params.ranks = 2 + GetParam() % 5;
+  params.iterations = 2 + GetParam() % 3;
+  params.p2p_probability = (GetParam() % 4) * 0.3;
+  const dag::TaskGraph g = apps::make_random_app(params);
+
+  // Structure survives serialization.
+  ASSERT_NO_THROW({
+    std::stringstream buf;
+    dag::write_trace(buf, g);
+    dag::read_trace(buf);
+  });
+
+  // Window decomposition covers the trace.
+  const auto windows = dag::split_at_barriers(g);
+  std::size_t edges = 0;
+  for (const auto& w : windows) edges += w.graph.num_edges();
+  ASSERT_EQ(edges, g.num_edges());
+
+  // Solve at a moderately tight cap; skip seeds where it's infeasible.
+  const double cap = params.ranks * 34.0;
+  const auto lp = solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+  if (!lp.optimal()) {
+    const auto loose = solve_windowed_lp(g, kModel, kCluster,
+                                         {.power_cap = cap * 3});
+    ASSERT_TRUE(loose.optimal()) << "loose cap must be feasible";
+    return;
+  }
+
+  // Invariants on the solution.
+  EXPECT_LE(lp.peak_event_power, cap + 1e-5);
+  for (const dag::Edge& e : g.edges()) {
+    EXPECT_GE(lp.vertex_time[e.dst] + 1e-7,
+              lp.vertex_time[e.src] + lp.schedule.duration[e.id]);
+    if (e.is_task()) {
+      double total = 0;
+      for (const auto& s : lp.schedule.shares[e.id]) total += s.fraction;
+      EXPECT_NEAR(total, 1.0, 1e-6);
+    }
+  }
+
+  // Paced no-overhead replay matches the LP exactly and honors the cap.
+  sim::ReplayOptions ro;
+  ro.charge_dvfs_overhead = false;
+  ro.engine.cluster = kCluster;
+  ro.engine.idle_power = kModel.idle_power();
+  const sim::SimResult replay = sim::replay_schedule(
+      g, lp.schedule, lp.frontiers, ro, &lp.vertex_time);
+  EXPECT_NEAR(replay.makespan, lp.makespan, 1e-6 * lp.makespan);
+  EXPECT_LE(replay.peak_power, cap + 1e-4);
+
+  // Overheaded replay: every instant above the cap stems from a DVFS
+  // transition skewing a task boundary, so the total violation time is
+  // bounded by the total transition overhead charged - and the job stays
+  // RAPL-compliant (1%) over a 10 ms control window.
+  sim::ReplayOptions ro2;
+  ro2.engine = ro.engine;
+  const sim::SimResult replay2 = sim::replay_schedule(
+      g, lp.schedule, lp.frontiers, ro2, &lp.vertex_time);
+  double total_switch = 0.0;
+  for (const auto& rec : replay2.tasks) {
+    if (rec.edge_id >= 0) total_switch += rec.switch_overhead;
+  }
+  EXPECT_LE(replay2.violation_seconds(cap, 1e-3), total_switch + 1e-9);
+  // PL1-style sustained window (100 ms): transients dilute to < 0.5%.
+  EXPECT_LE(sim::max_windowed_power(replay2, 0.1), cap * 1.005);
+}
+
+TEST_P(PipelineFuzzTest, TighterCapNeverFaster) {
+  apps::RandomAppParams params;
+  params.seed = 5000 + GetParam();
+  params.ranks = 2 + GetParam() % 4;
+  params.iterations = 2;
+  const dag::TaskGraph g = apps::make_random_app(params);
+  double prev = 1e300;
+  for (double socket = 30.0; socket <= 80.0; socket += 10.0) {
+    const auto lp = solve_windowed_lp(g, kModel, kCluster,
+                                      {.power_cap = socket * params.ranks});
+    if (!lp.optimal()) continue;
+    EXPECT_LE(lp.makespan, prev + 1e-6) << "socket " << socket;
+    prev = lp.makespan;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PipelineFuzzTest, ::testing::Range(0, 24));
+
+}  // namespace
+}  // namespace powerlim::core

@@ -1,0 +1,74 @@
+// The marginal value of power (dual price of the cap): tests that the
+// reported sensitivity actually predicts the benefit of an extra watt.
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "core/lp_formulation.h"
+#include "core/windowed.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+TEST(PowerPrice, ZeroWhenCapDoesNotBind) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                     {.power_cap = 1e6});
+  ASSERT_TRUE(res.optimal());
+  EXPECT_NEAR(res.power_price_s_per_watt, 0.0, 1e-9);
+}
+
+TEST(PowerPrice, PositiveWhenCapBinds) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                     {.power_cap = 4 * 35.0});
+  ASSERT_TRUE(res.optimal());
+  EXPECT_GT(res.power_price_s_per_watt, 0.0);
+}
+
+TEST(PowerPrice, PredictsFiniteDifference) {
+  // First-order check: T(cap) - T(cap + d) ~= price * d for small d.
+  const dag::TaskGraph g = apps::make_bt({.ranks = 4, .iterations = 3});
+  const double cap = 4 * 35.0;
+  const double d = 0.5;
+  const auto a = solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+  const auto b = solve_windowed_lp(g, kModel, kCluster,
+                                   {.power_cap = cap + d});
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  const double observed = (a.makespan - b.makespan) / d;
+  // LP sensitivity is exact within the basis's validity range; allow for
+  // a basis change within the step.
+  EXPECT_NEAR(observed, a.power_price_s_per_watt,
+              0.25 * a.power_price_s_per_watt + 1e-6);
+}
+
+TEST(PowerPrice, DecreasesWithAbundance) {
+  // Diminishing returns: the price falls (weakly) as the cap rises.
+  const dag::TaskGraph g = apps::make_lulesh({.ranks = 4, .iterations = 2});
+  double prev = 1e300;
+  for (double socket = 35.0; socket <= 80.0; socket += 15.0) {
+    const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                       {.power_cap = 4 * socket});
+    if (!res.optimal()) continue;
+    EXPECT_LE(res.power_price_s_per_watt, prev + 1e-6) << socket;
+    prev = res.power_price_s_per_watt;
+  }
+}
+
+TEST(PowerPrice, SingleWindowMatchesWindowedSum) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 1});
+  const LpFormulation form(g, kModel, kCluster);
+  const double cap = 4 * 35.0;
+  const auto mono = form.solve({.power_cap = cap});
+  const auto win = solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+  ASSERT_TRUE(mono.optimal());
+  ASSERT_TRUE(win.optimal());
+  EXPECT_NEAR(mono.power_price_s_per_watt, win.power_price_s_per_watt, 1e-6);
+}
+
+}  // namespace
+}  // namespace powerlim::core

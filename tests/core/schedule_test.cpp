@@ -1,0 +1,100 @@
+#include "core/schedule.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlim::core {
+namespace {
+
+using machine::Config;
+
+std::vector<std::vector<Config>> one_frontier() {
+  // power, duration pairs on a convex frontier.
+  return {{Config{1.2, 4, 4.0, 20.0}, Config{2.0, 8, 2.0, 40.0},
+           Config{2.6, 8, 1.5, 70.0}}};
+}
+
+TaskSchedule mixed_schedule() {
+  TaskSchedule s;
+  s.shares = {{{0, 0.5}, {1, 0.5}}};
+  s.duration = {0.0};
+  s.power = {0.0};
+  return s;
+}
+
+TEST(Blend, ComputesWeightedAverages) {
+  TaskSchedule s = mixed_schedule();
+  blend(s, one_frontier());
+  EXPECT_DOUBLE_EQ(s.duration[0], 3.0);  // (4+2)/2
+  EXPECT_DOUBLE_EQ(s.power[0], 30.0);    // (20+40)/2
+}
+
+TEST(Blend, SkipsMessageEdges) {
+  TaskSchedule s;
+  s.shares = {{}};
+  s.duration = {0.123};
+  s.power = {0.0};
+  blend(s, {{}});
+  EXPECT_DOUBLE_EQ(s.duration[0], 0.123);  // untouched
+}
+
+TEST(Blend, ThrowsOnSizeMismatch) {
+  TaskSchedule s = mixed_schedule();
+  EXPECT_THROW(blend(s, {}), std::invalid_argument);
+}
+
+TEST(Blend, ThrowsWhenSharesDontSumToOne) {
+  TaskSchedule s;
+  s.shares = {{{0, 0.4}}};
+  s.duration = {0.0};
+  s.power = {0.0};
+  EXPECT_THROW(blend(s, one_frontier()), std::invalid_argument);
+}
+
+TEST(RoundToDiscrete, PicksNearestConfig) {
+  TaskSchedule s = mixed_schedule();
+  auto frontiers = one_frontier();
+  blend(s, frontiers);
+  // Blended point (3.0, 30.0) is equidistant-ish; the scaled metric picks
+  // one of the two mixed configs, never the third.
+  const TaskSchedule r = round_to_discrete(s, frontiers);
+  ASSERT_EQ(r.shares[0].size(), 1u);
+  EXPECT_LT(r.shares[0][0].config_index, 2);
+  EXPECT_DOUBLE_EQ(r.shares[0][0].fraction, 1.0);
+}
+
+TEST(RoundToDiscrete, ExactPointRoundsToItself) {
+  TaskSchedule s;
+  s.shares = {{{1, 1.0}}};
+  s.duration = {0.0};
+  s.power = {0.0};
+  auto frontiers = one_frontier();
+  blend(s, frontiers);
+  const TaskSchedule r = round_to_discrete(s, frontiers);
+  EXPECT_EQ(r.shares[0][0].config_index, 1);
+  EXPECT_DOUBLE_EQ(r.duration[0], 2.0);
+  EXPECT_DOUBLE_EQ(r.power[0], 40.0);
+}
+
+TEST(RoundToDiscrete, LeavesMessagesAlone) {
+  TaskSchedule s;
+  s.shares = {{}};
+  s.duration = {0.5};
+  s.power = {0.0};
+  const TaskSchedule r = round_to_discrete(s, {{}});
+  EXPECT_TRUE(r.shares[0].empty());
+  EXPECT_DOUBLE_EQ(r.duration[0], 0.5);
+}
+
+TEST(MaxSharesPerTask, CountsMixtures) {
+  TaskSchedule s = mixed_schedule();
+  EXPECT_EQ(max_shares_per_task(s), 2);
+  s.shares.push_back({});
+  EXPECT_EQ(max_shares_per_task(s), 2);
+  s.shares.push_back({{0, 0.2}, {1, 0.3}, {2, 0.5}});
+  EXPECT_EQ(max_shares_per_task(s), 3);
+}
+
+}  // namespace
+}  // namespace powerlim::core

@@ -1,0 +1,115 @@
+#include "core/windowed.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "core/lp_formulation.h"
+#include "machine/power_model.h"
+
+namespace powerlim::core {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+TEST(WindowedLp, MatchesMonolithicSolveOnComd) {
+  // The decomposition is exact: per-cap makespans must match the full
+  // trace LP (the full LP's extra cross-window simultaneity pins, eq. 13,
+  // can only make it *worse*, and do not bind for jittered traces).
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 4});
+  const LpFormulation full(g, kModel, kCluster);
+  for (double cap : {4 * 30.0, 4 * 45.0, 4 * 70.0}) {
+    const auto mono = full.solve({.power_cap = cap});
+    const auto win = solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+    ASSERT_EQ(mono.status, win.status) << "cap " << cap;
+    if (!mono.optimal()) continue;
+    EXPECT_NEAR(mono.makespan, win.makespan, 1e-4 * mono.makespan)
+        << "cap " << cap;
+  }
+}
+
+TEST(WindowedLp, MatchesMonolithicSolveOnLulesh) {
+  const dag::TaskGraph g = apps::make_lulesh({.ranks = 4, .iterations = 3});
+  const LpFormulation full(g, kModel, kCluster);
+  for (double cap : {4 * 35.0, 4 * 55.0}) {
+    const auto mono = full.solve({.power_cap = cap});
+    const auto win = solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+    ASSERT_TRUE(mono.optimal());
+    ASSERT_TRUE(win.optimal());
+    EXPECT_NEAR(mono.makespan, win.makespan, 1e-4 * mono.makespan);
+  }
+}
+
+TEST(WindowedLp, VertexTimesMonotoneAlongChains) {
+  const dag::TaskGraph g = apps::make_bt({.ranks = 4, .iterations = 4});
+  const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                     {.power_cap = 4 * 45.0});
+  ASSERT_TRUE(res.optimal());
+  for (int r = 0; r < g.num_ranks(); ++r) {
+    for (int eid : g.rank_chain(r)) {
+      const dag::Edge& e = g.edge(eid);
+      EXPECT_GE(res.vertex_time[e.dst] + 1e-7,
+                res.vertex_time[e.src] + res.schedule.duration[eid]);
+    }
+  }
+  EXPECT_NEAR(res.vertex_time[g.finalize_vertex()], res.makespan, 1e-6);
+}
+
+TEST(WindowedLp, EveryTaskHasConfiguration) {
+  const dag::TaskGraph g = apps::make_sp({.ranks = 4, .iterations = 3});
+  const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                     {.power_cap = 4 * 50.0});
+  ASSERT_TRUE(res.optimal());
+  for (const dag::Edge& e : g.edges()) {
+    if (e.is_task()) {
+      EXPECT_FALSE(res.schedule.shares[e.id].empty()) << "task " << e.id;
+      EXPECT_FALSE(res.frontiers[e.id].empty());
+    } else {
+      EXPECT_TRUE(res.schedule.shares[e.id].empty());
+      EXPECT_GT(res.schedule.duration[e.id], 0.0);  // wire time
+    }
+  }
+}
+
+TEST(WindowedLp, PeakEventPowerUnderCap) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 4});
+  const double cap = 4 * 40.0;
+  const auto res = solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+  ASSERT_TRUE(res.optimal());
+  EXPECT_LE(res.peak_event_power, cap + 1e-5);
+  EXPECT_GT(res.peak_event_power, 0.0);
+}
+
+TEST(WindowedLp, InfeasibleCapReported) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                     {.power_cap = 4 * 10.0});
+  EXPECT_EQ(res.status, lp::SolveStatus::kInfeasible);
+}
+
+TEST(WindowedLp, MinFeasiblePowerReported) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 3});
+  const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                     {.power_cap = 4 * 60.0});
+  ASSERT_TRUE(res.optimal());
+  EXPECT_GT(res.min_feasible_power, 0.0);
+  // Solving just above the reported minimum succeeds.
+  const auto tight = solve_windowed_lp(
+      g, kModel, kCluster, {.power_cap = res.min_feasible_power * 1.01});
+  EXPECT_TRUE(tight.optimal());
+}
+
+TEST(WindowedLp, MakespanMonotoneInCap) {
+  const dag::TaskGraph g = apps::make_bt({.ranks = 4, .iterations = 3});
+  double prev = 1e300;
+  for (double socket = 28.0; socket <= 80.0; socket += 8.0) {
+    const auto res = solve_windowed_lp(g, kModel, kCluster,
+                                       {.power_cap = 4 * socket});
+    if (!res.optimal()) continue;
+    EXPECT_LE(res.makespan, prev + 1e-6);
+    prev = res.makespan;
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::core

@@ -1,0 +1,95 @@
+#include "dag/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+
+namespace powerlim::dag {
+namespace {
+
+TEST(Analysis, CountsMatchGraph) {
+  const TaskGraph g = apps::make_lulesh({.ranks = 4, .iterations = 3});
+  const TraceAnalysis a = analyze(g);
+  EXPECT_EQ(a.ranks, 4);
+  EXPECT_EQ(a.iterations, 3);
+  EXPECT_EQ(a.tasks, g.task_edges().size());
+  EXPECT_EQ(a.tasks + a.messages, g.num_edges());
+}
+
+TEST(Analysis, SharesSumToOne) {
+  const TraceAnalysis a = analyze(apps::make_bt({.ranks = 6, .iterations = 2}));
+  double total = 0.0;
+  for (const RankLoad& l : a.load) total += l.share;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Analysis, BtIsImbalancedSpIsNot) {
+  const TraceAnalysis bt = analyze(apps::make_bt({.ranks = 8, .iterations = 3}));
+  const TraceAnalysis sp = analyze(apps::make_sp({.ranks = 8, .iterations = 3}));
+  EXPECT_GT(bt.imbalance, 0.3);        // geometric zone growth
+  EXPECT_LT(sp.imbalance, 0.06);       // balanced zones + jitter only
+  EXPECT_GT(bt.max_min_ratio, 2.0);
+  EXPECT_LT(sp.max_min_ratio, 1.2);
+}
+
+TEST(Analysis, ComdIsCollectiveOnly) {
+  const TraceAnalysis a =
+      analyze(apps::make_comd({.ranks = 4, .iterations = 4}));
+  EXPECT_EQ(a.messages, 0u);
+  EXPECT_DOUBLE_EQ(a.p2p_fraction, 0.0);
+  EXPECT_EQ(a.collectives, 3u);  // inner collectives (last is Finalize)
+}
+
+TEST(Analysis, LuleshIsP2pHeavy) {
+  const TraceAnalysis a =
+      analyze(apps::make_lulesh({.ranks = 6, .iterations = 3}));
+  EXPECT_GT(a.messages, 0u);
+  EXPECT_GT(a.p2p_fraction, 0.5);
+  EXPECT_GT(a.bytes_per_work_second, 0.0);
+}
+
+TEST(Analysis, ExchangeBasics) {
+  const TraceAnalysis a = analyze(apps::two_rank_exchange());
+  EXPECT_EQ(a.ranks, 2);
+  EXPECT_EQ(a.tasks, 5u);
+  EXPECT_EQ(a.messages, 1u);
+  EXPECT_GT(a.mean_task_seconds, 0.0);
+}
+
+TEST(Analysis, HeaviestRankIdentifiable) {
+  // BT's weights ascend with rank id; the last rank carries the most.
+  const TraceAnalysis a = analyze(apps::make_bt({.ranks = 8, .iterations = 2}));
+  const RankLoad& last = a.load.back();
+  for (const RankLoad& l : a.load) {
+    EXPECT_LE(l.work_seconds, last.work_seconds + 1e-9);
+  }
+}
+
+TEST(Analysis, CriticalPathSharesSumToOne) {
+  const TraceAnalysis a = analyze(apps::make_bt({.ranks = 6, .iterations = 3}));
+  double total = 0.0;
+  for (double s : a.critical_path_share) total += s;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(a.critical_path_seconds, 0.0);
+}
+
+TEST(Analysis, BtCriticalPathConcentratedOnHeavyRank) {
+  const TraceAnalysis a = analyze(apps::make_bt({.ranks = 8, .iterations = 4}));
+  // BT's heaviest rank (last) owns essentially the whole critical path.
+  EXPECT_GT(a.critical_path_share.back(), 0.8);
+}
+
+TEST(Analysis, SpCriticalPathSpreadsAcrossRanks) {
+  const TraceAnalysis a = analyze(apps::make_sp({.ranks = 8, .iterations = 6}));
+  // Uncorrelated jitter moves the per-iteration straggler around: no rank
+  // should own the whole path.
+  double max_share = 0.0;
+  for (double s : a.critical_path_share) max_share = std::max(max_share, s);
+  EXPECT_LT(max_share, 0.75);
+}
+
+}  // namespace
+}  // namespace powerlim::dag

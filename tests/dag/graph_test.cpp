@@ -1,0 +1,240 @@
+#include "dag/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlim::dag {
+namespace {
+
+machine::TaskWork unit_work(double seconds = 1.0) {
+  machine::TaskWork w;
+  w.cpu_seconds = seconds;
+  return w;
+}
+
+/// Two ranks, one collective in the middle:
+///   Init -> (t0a) -> C -> (t0b) -> Finalize     (rank 0)
+///   Init -> (t1a) -> C -> (t1b) -> Finalize     (rank 1)
+struct CollectiveFixture {
+  TaskGraph g{2};
+  int init, coll, fin;
+  int t0a, t0b, t1a, t1b;
+
+  CollectiveFixture() {
+    init = g.add_vertex(VertexKind::kInit, -1, "Init");
+    coll = g.add_vertex(VertexKind::kCollective, -1, "Allreduce");
+    fin = g.add_vertex(VertexKind::kFinalize, -1, "Finalize");
+    t0a = g.add_task(init, coll, 0, unit_work(2.0), 0);
+    t1a = g.add_task(init, coll, 1, unit_work(1.0), 0);
+    t0b = g.add_task(coll, fin, 0, unit_work(1.0), 1);
+    t1b = g.add_task(coll, fin, 1, unit_work(3.0), 1);
+  }
+};
+
+TEST(TaskGraph, RejectsBadRankCount) {
+  EXPECT_THROW(TaskGraph{0}, std::invalid_argument);
+}
+
+TEST(TaskGraph, RejectsDuplicateInit) {
+  TaskGraph g(1);
+  g.add_vertex(VertexKind::kInit, -1);
+  EXPECT_THROW(g.add_vertex(VertexKind::kInit, -1), std::invalid_argument);
+}
+
+TEST(TaskGraph, RejectsSelfLoop) {
+  TaskGraph g(1);
+  const int v = g.add_vertex(VertexKind::kInit, -1);
+  EXPECT_THROW(g.add_task(v, v, 0, unit_work()), std::invalid_argument);
+}
+
+TEST(TaskGraph, RejectsBadTaskRank) {
+  TaskGraph g(1);
+  const int a = g.add_vertex(VertexKind::kInit, -1);
+  const int b = g.add_vertex(VertexKind::kFinalize, -1);
+  EXPECT_THROW(g.add_task(a, b, 5, unit_work()), std::invalid_argument);
+}
+
+TEST(TaskGraph, ValidatesCollectiveFixture) {
+  CollectiveFixture f;
+  EXPECT_NO_THROW(f.g.validate());
+}
+
+TEST(TaskGraph, RankChainOrder) {
+  CollectiveFixture f;
+  const auto chain0 = f.g.rank_chain(0);
+  ASSERT_EQ(chain0.size(), 2u);
+  EXPECT_EQ(chain0[0], f.t0a);
+  EXPECT_EQ(chain0[1], f.t0b);
+}
+
+TEST(TaskGraph, TaskEdgesExcludesMessages) {
+  CollectiveFixture f;
+  const int s = f.g.add_vertex(VertexKind::kSend, 0);
+  (void)s;
+  TaskGraph g(2);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  const int send = g.add_vertex(VertexKind::kSend, 0);
+  const int recv = g.add_vertex(VertexKind::kRecv, 1);
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(init, send, 0, unit_work());
+  g.add_task(send, fin, 0, unit_work());
+  g.add_task(init, recv, 1, unit_work());
+  g.add_task(recv, fin, 1, unit_work());
+  g.add_message(send, recv, 1024.0);
+  EXPECT_EQ(g.task_edges().size(), 4u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_NO_THROW(g.validate());
+}
+
+TEST(TaskGraph, ValidateCatchesMissingFinalize) {
+  TaskGraph g(1);
+  g.add_vertex(VertexKind::kInit, -1);
+  EXPECT_THROW(g.validate(), std::runtime_error);
+}
+
+TEST(TaskGraph, ValidateCatchesRankWithoutTasks) {
+  TaskGraph g(2);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work());
+  EXPECT_THROW(g.validate(), std::runtime_error);
+}
+
+TEST(TaskGraph, ValidateCatchesBrokenChain) {
+  // Rank 0 has two tasks leaving the same vertex.
+  TaskGraph g(1);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  const int a = g.add_vertex(VertexKind::kGeneric, 0);
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(init, a, 0, unit_work());
+  g.add_task(init, fin, 0, unit_work());
+  g.add_task(a, fin, 0, unit_work());
+  EXPECT_THROW(g.validate(), std::runtime_error);
+}
+
+TEST(TaskGraph, ValidateCatchesCrossRankTask) {
+  TaskGraph g(2);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  const int v1 = g.add_vertex(VertexKind::kGeneric, 1);  // rank 1's vertex
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(init, v1, 0, unit_work());  // rank 0 task into rank 1 vertex
+  g.add_task(v1, fin, 0, unit_work());
+  g.add_task(init, fin, 1, unit_work());
+  EXPECT_THROW(g.validate(), std::runtime_error);
+}
+
+TEST(TaskGraph, TopoOrderRespectsEdges) {
+  CollectiveFixture f;
+  const auto order = f.g.topo_order();
+  std::vector<int> pos(f.g.num_vertices());
+  for (std::size_t i = 0; i < order.size(); ++i) pos[order[i]] = i;
+  for (const Edge& e : f.g.edges()) {
+    EXPECT_LT(pos[e.src], pos[e.dst]);
+  }
+}
+
+TEST(TaskGraph, MaxIteration) {
+  CollectiveFixture f;
+  EXPECT_EQ(f.g.max_iteration(), 1);
+  TaskGraph g(1);
+  const int i = g.add_vertex(VertexKind::kInit, -1);
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(i, fin, 0, unit_work());
+  EXPECT_EQ(g.max_iteration(), -1);
+}
+
+TEST(AsapSchedule, CollectiveWaitsForSlowestRank) {
+  CollectiveFixture f;
+  // Durations by edge id: t0a=2, t1a=1, t0b=1, t1b=3.
+  const std::vector<double> d{2.0, 1.0, 1.0, 3.0};
+  const ScheduleTimes t = asap_schedule(f.g, d);
+  EXPECT_DOUBLE_EQ(t.vertex_time[f.init], 0.0);
+  EXPECT_DOUBLE_EQ(t.vertex_time[f.coll], 2.0);  // max(2, 1)
+  EXPECT_DOUBLE_EQ(t.vertex_time[f.fin], 5.0);   // 2 + max(1, 3)
+  EXPECT_DOUBLE_EQ(t.makespan, 5.0);
+  EXPECT_DOUBLE_EQ(t.start[f.t0b], 2.0);
+  EXPECT_DOUBLE_EQ(t.end(f.t0b), 3.0);
+}
+
+TEST(AsapSchedule, SizeMismatchThrows) {
+  CollectiveFixture f;
+  const std::vector<double> d{1.0};
+  EXPECT_THROW(asap_schedule(f.g, d), std::invalid_argument);
+}
+
+TEST(AsapSchedule, MessageDelaysReceiver) {
+  TaskGraph g(2);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  const int send = g.add_vertex(VertexKind::kSend, 0);
+  const int recv = g.add_vertex(VertexKind::kRecv, 1);
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  const int tA = g.add_task(init, send, 0, unit_work());
+  const int tB = g.add_task(send, fin, 0, unit_work());
+  const int tC = g.add_task(init, recv, 1, unit_work());
+  const int tD = g.add_task(recv, fin, 1, unit_work());
+  const int msg = g.add_message(send, recv, 0.0);
+  std::vector<double> d(g.num_edges(), 0.0);
+  d[tA] = 1.0;
+  d[tB] = 0.5;
+  d[tC] = 0.2;  // receiver's pre-recv compute is short
+  d[tD] = 1.0;
+  d[msg] = 0.3;
+  const ScheduleTimes t = asap_schedule(g, d);
+  // Recv fires at max(own compute 0.2, send(1.0) + wire 0.3) = 1.3.
+  EXPECT_DOUBLE_EQ(t.vertex_time[recv], 1.3);
+  EXPECT_DOUBLE_EQ(t.makespan, 2.3);
+}
+
+TEST(EdgeSlack, CriticalEdgesHaveZeroSlack) {
+  CollectiveFixture f;
+  const std::vector<double> d{2.0, 1.0, 1.0, 3.0};
+  const auto slack = edge_slack(f.g, d);
+  EXPECT_DOUBLE_EQ(slack[f.t0a], 0.0);  // critical before collective
+  EXPECT_DOUBLE_EQ(slack[f.t1a], 1.0);  // can stretch 1s
+  EXPECT_DOUBLE_EQ(slack[f.t1b], 0.0);  // critical after collective
+  EXPECT_DOUBLE_EQ(slack[f.t0b], 2.0);
+}
+
+TEST(EdgeSlack, AllZeroOnPureChain) {
+  TaskGraph g(1);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  const int mid = g.add_vertex(VertexKind::kGeneric, 0);
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(init, mid, 0, unit_work());
+  g.add_task(mid, fin, 0, unit_work());
+  const std::vector<double> d{1.0, 2.0};
+  for (double s : edge_slack(g, d)) EXPECT_DOUBLE_EQ(s, 0.0);
+}
+
+TEST(CriticalPath, FollowsLongestRoute) {
+  CollectiveFixture f;
+  const std::vector<double> d{2.0, 1.0, 1.0, 3.0};
+  const auto path = critical_path(f.g, d);
+  ASSERT_EQ(path.size(), 2u);
+  EXPECT_EQ(path[0], f.t0a);
+  EXPECT_EQ(path[1], f.t1b);
+}
+
+TEST(CriticalPath, LengthEqualsMakespan) {
+  CollectiveFixture f;
+  const std::vector<double> d{2.0, 1.0, 1.0, 3.0};
+  const auto path = critical_path(f.g, d);
+  double len = 0;
+  for (int eid : path) len += d[eid];
+  EXPECT_DOUBLE_EQ(len, asap_schedule(f.g, d).makespan);
+}
+
+TEST(TopoOrder, DetectsCycle) {
+  // Build a cyclic "graph" by abusing add_task on generic vertices.
+  TaskGraph g(1);
+  g.add_vertex(VertexKind::kInit, -1);
+  const int a = g.add_vertex(VertexKind::kGeneric, 0);
+  const int b = g.add_vertex(VertexKind::kGeneric, 0);
+  g.add_task(a, b, 0, unit_work());
+  g.add_task(b, a, 0, unit_work());
+  EXPECT_THROW(g.topo_order(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace powerlim::dag

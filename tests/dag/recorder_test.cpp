@@ -1,0 +1,151 @@
+#include "dag/recorder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/windowed.h"
+#include "machine/power_model.h"
+
+namespace powerlim::dag {
+namespace {
+
+machine::TaskWork w(double cpu, double mem = 0.0) {
+  machine::TaskWork out;
+  out.cpu_seconds = cpu;
+  out.mem_seconds = mem;
+  return out;
+}
+
+TEST(Recorder, MinimalTwoRankCollective) {
+  TraceRecorder rec(2);
+  rec.compute(0, w(2.0));
+  rec.compute(1, w(1.0));
+  rec.collective("sync");
+  rec.compute(0, w(0.5));
+  rec.compute(1, w(0.5));
+  const TaskGraph g = rec.finish();
+  EXPECT_EQ(g.num_ranks(), 2);
+  EXPECT_EQ(g.task_edges().size(), 4u);
+  EXPECT_EQ(g.num_vertices(), 3u);  // Init, collective, Finalize
+}
+
+TEST(Recorder, ConsecutiveComputesMerge) {
+  TraceRecorder rec(1);
+  rec.compute(0, w(1.0, 0.2));
+  rec.compute(0, w(2.0, 0.3));
+  const TaskGraph g = rec.finish();
+  ASSERT_EQ(g.task_edges().size(), 1u);
+  EXPECT_DOUBLE_EQ(g.edge(0).work.cpu_seconds, 3.0);
+  EXPECT_DOUBLE_EQ(g.edge(0).work.mem_seconds, 0.5);
+}
+
+TEST(Recorder, SendRecvCreatesMessage) {
+  TraceRecorder rec(2);
+  rec.compute(0, w(1.0));
+  rec.send(0, /*tag=*/42, 1e6);
+  rec.compute(0, w(0.5));
+  rec.compute(1, w(0.2));
+  rec.recv(1, /*tag=*/42);
+  rec.compute(1, w(1.0));
+  const TaskGraph g = rec.finish();
+  int messages = 0;
+  for (const Edge& e : g.edges()) {
+    if (!e.is_task()) {
+      ++messages;
+      EXPECT_DOUBLE_EQ(e.bytes, 1e6);
+      EXPECT_EQ(g.vertex(e.src).kind, VertexKind::kSend);
+      EXPECT_EQ(g.vertex(e.dst).kind, VertexKind::kRecv);
+    }
+  }
+  EXPECT_EQ(messages, 1);
+}
+
+TEST(Recorder, TagMatchingIsFifo) {
+  TraceRecorder rec(2);
+  rec.send(0, 7, 100.0);
+  rec.send(0, 7, 200.0);
+  rec.recv(1, 7);  // matches the 100-byte send
+  rec.recv(1, 7);  // matches the 200-byte send
+  const TaskGraph g = rec.finish();
+  std::vector<double> bytes;
+  for (const Edge& e : g.edges()) {
+    if (!e.is_task()) bytes.push_back(e.bytes);
+  }
+  ASSERT_EQ(bytes.size(), 2u);
+  EXPECT_DOUBLE_EQ(bytes[0], 100.0);
+  EXPECT_DOUBLE_EQ(bytes[1], 200.0);
+}
+
+TEST(Recorder, RecvWithoutSendThrows) {
+  TraceRecorder rec(2);
+  EXPECT_THROW(rec.recv(1, 99), std::runtime_error);
+}
+
+TEST(Recorder, UnmatchedSendFailsFinish) {
+  TraceRecorder rec(2);
+  rec.send(0, 5, 10.0);
+  EXPECT_THROW(rec.finish(), std::runtime_error);
+}
+
+TEST(Recorder, PcontrolTagsIterations) {
+  TraceRecorder rec(1);
+  rec.pcontrol(0, 0);
+  rec.compute(0, w(1.0));
+  rec.collective();
+  rec.pcontrol(0, 1);
+  rec.compute(0, w(1.0));
+  const TaskGraph g = rec.finish();
+  EXPECT_EQ(g.edge(0).iteration, 0);
+  EXPECT_EQ(g.edge(1).iteration, 1);
+  EXPECT_EQ(g.max_iteration(), 1);
+}
+
+TEST(Recorder, BadRankThrows) {
+  TraceRecorder rec(2);
+  EXPECT_THROW(rec.compute(2, w(1.0)), std::invalid_argument);
+  EXPECT_THROW(rec.send(-1, 1, 1.0), std::invalid_argument);
+}
+
+TEST(Recorder, UseAfterFinishThrows) {
+  TraceRecorder rec(1);
+  rec.compute(0, w(1.0));
+  (void)rec.finish();
+  EXPECT_THROW(rec.compute(0, w(1.0)), std::logic_error);
+  EXPECT_THROW(rec.finish(), std::logic_error);
+}
+
+TEST(Recorder, RecordedTraceSolves) {
+  // End to end: record a 3-rank pipeline and bound it with the LP.
+  TraceRecorder rec(3);
+  for (int iter = 0; iter < 3; ++iter) {
+    for (int r = 0; r < 3; ++r) {
+      rec.pcontrol(r, iter);
+      rec.compute(r, w(2.0 + r, 0.4));
+    }
+    rec.send(0, 100 + iter, 5e5);
+    rec.recv(1, 100 + iter);
+    rec.compute(1, w(0.5));
+    rec.collective("step");
+  }
+  const TaskGraph g = rec.finish();
+  const machine::PowerModel model{machine::SocketSpec{}};
+  const machine::ClusterSpec cluster;
+  const auto lp = core::solve_windowed_lp(g, model, cluster,
+                                          {.power_cap = 3 * 45.0});
+  ASSERT_TRUE(lp.optimal());
+  EXPECT_GT(lp.makespan, 0.0);
+}
+
+TEST(Recorder, ZeroWorkRanksStillChain) {
+  // A rank that computes nothing between collectives still validates.
+  TraceRecorder rec(2);
+  rec.compute(0, w(1.0));
+  rec.collective();
+  rec.compute(0, w(1.0));
+  const TaskGraph g = rec.finish();  // rank 1 all zero-work
+  for (int eid : g.rank_chain(1)) {
+    EXPECT_DOUBLE_EQ(g.edge(eid).work.nominal_seconds(), 0.0);
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::dag

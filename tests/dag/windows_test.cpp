@@ -1,0 +1,126 @@
+#include "dag/windows.h"
+
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+
+namespace powerlim::dag {
+namespace {
+
+TEST(Barriers, ComdHasOneBarrierPerIteration) {
+  const TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 5});
+  const auto barriers = barrier_vertices(g);
+  // Init + 4 inner collectives + Finalize.
+  EXPECT_EQ(barriers.size(), 6u);
+  EXPECT_EQ(barriers.front(), g.init_vertex());
+  EXPECT_EQ(barriers.back(), g.finalize_vertex());
+}
+
+TEST(Barriers, ExchangeHasNoInnerBarriers) {
+  const TaskGraph g = apps::two_rank_exchange();
+  const auto barriers = barrier_vertices(g);
+  EXPECT_EQ(barriers.size(), 2u);  // Init, Finalize only
+}
+
+TEST(Barriers, LuleshSendRecvVerticesAreNotBarriers) {
+  const TaskGraph g = apps::make_lulesh({.ranks = 4, .iterations = 3});
+  const auto barriers = barrier_vertices(g);
+  EXPECT_EQ(barriers.size(), 4u);  // Init + 2 inner collectives + Finalize
+  for (int b : barriers) {
+    EXPECT_EQ(g.vertex(b).rank, -1);
+  }
+}
+
+TEST(SplitWindows, CountMatchesBarriers) {
+  const TaskGraph g = apps::make_bt({.ranks = 4, .iterations = 4});
+  const auto windows = split_at_barriers(g);
+  EXPECT_EQ(windows.size(), barrier_vertices(g).size() - 1);
+}
+
+TEST(SplitWindows, WindowsValidateAndPreserveEdges) {
+  const TaskGraph g = apps::make_lulesh({.ranks = 6, .iterations = 3});
+  const auto windows = split_at_barriers(g);
+  std::size_t total_edges = 0;
+  for (const Window& w : windows) {
+    EXPECT_NO_THROW(w.graph.validate());
+    total_edges += w.graph.num_edges();
+    // Maps are complete.
+    ASSERT_EQ(w.edge_map.size(), w.graph.num_edges());
+    ASSERT_EQ(w.vertex_map.size(), w.graph.num_vertices());
+  }
+  EXPECT_EQ(total_edges, g.num_edges());
+}
+
+TEST(SplitWindows, EdgePayloadsPreserved) {
+  const TaskGraph g = apps::make_sp({.ranks = 4, .iterations = 3});
+  const auto windows = split_at_barriers(g);
+  for (const Window& w : windows) {
+    for (std::size_t we = 0; we < w.graph.num_edges(); ++we) {
+      const Edge& copy = w.graph.edge(static_cast<int>(we));
+      const Edge& orig = g.edge(w.edge_map[we]);
+      EXPECT_EQ(copy.kind, orig.kind);
+      EXPECT_EQ(copy.rank, orig.rank);
+      EXPECT_EQ(copy.iteration, orig.iteration);
+      if (copy.is_task()) {
+        EXPECT_DOUBLE_EQ(copy.work.cpu_seconds, orig.work.cpu_seconds);
+        EXPECT_DOUBLE_EQ(copy.work.mem_seconds, orig.work.mem_seconds);
+      } else {
+        EXPECT_DOUBLE_EQ(copy.bytes, orig.bytes);
+      }
+    }
+  }
+}
+
+TEST(SplitWindows, MakespansAddUp) {
+  // ASAP makespan of the whole graph equals the sum of window makespans
+  // (barriers are full synchronization points).
+  const TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 4});
+  std::vector<double> dur(g.num_edges());
+  for (const Edge& e : g.edges()) {
+    dur[e.id] = e.is_task() ? e.work.nominal_seconds() : 1e-4;
+  }
+  const double whole = asap_schedule(g, dur).makespan;
+  double sum = 0.0;
+  for (const Window& w : split_at_barriers(g)) {
+    std::vector<double> wdur(w.graph.num_edges());
+    for (std::size_t we = 0; we < w.graph.num_edges(); ++we) {
+      wdur[we] = dur[w.edge_map[we]];
+    }
+    sum += asap_schedule(w.graph, wdur).makespan;
+  }
+  EXPECT_NEAR(whole, sum, 1e-9);
+}
+
+TEST(SplitWindows, SingleWindowGraphRoundTrips) {
+  const TaskGraph g = apps::two_rank_exchange();
+  const auto windows = split_at_barriers(g);
+  ASSERT_EQ(windows.size(), 1u);
+  EXPECT_EQ(windows[0].graph.num_edges(), g.num_edges());
+  EXPECT_EQ(windows[0].graph.num_vertices(), g.num_vertices());
+}
+
+TEST(SplitWindows, SingleRankSplitsAtEveryVertex) {
+  // With one rank, every chain vertex is a barrier: windows degenerate to
+  // one task each, and the decomposition is still exact.
+  TaskGraph g(1);
+  const int init = g.add_vertex(VertexKind::kInit, -1);
+  int prev = init;
+  machine::TaskWork w;
+  w.cpu_seconds = 1.0;
+  for (int i = 0; i < 3; ++i) {
+    const int v = g.add_vertex(VertexKind::kGeneric, 0);
+    g.add_task(prev, v, 0, w, i);
+    prev = v;
+  }
+  const int fin = g.add_vertex(VertexKind::kFinalize, -1);
+  g.add_task(prev, fin, 0, w, 3);
+  const auto windows = split_at_barriers(g);
+  EXPECT_EQ(windows.size(), 4u);
+  for (const Window& win : windows) {
+    EXPECT_EQ(win.graph.num_edges(), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::dag

@@ -1,0 +1,226 @@
+#include "lp/branch_bound.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.h"
+#include "util/rng.h"
+
+namespace powerlim::lp {
+namespace {
+
+TEST(BranchBound, PureLpPassthrough) {
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, 4, 1.0, "x");
+  (void)x;
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, 4.0);
+}
+
+TEST(BranchBound, SimpleKnapsack) {
+  // max 8a + 11b + 6c + 4d, weights 5,7,4,3 <= 14 -> {a,c,d}? Check:
+  // a+b: 12 w 19 > 14. a+c+d: 18, w=12 ok. b+c+d: 21, w=14 ok -> 21.
+  Model m(Sense::kMaximize);
+  const Variable a = m.add_binary(8.0, "a");
+  const Variable b = m.add_binary(11.0, "b");
+  const Variable c = m.add_binary(6.0, "c");
+  const Variable d = m.add_binary(4.0, "d");
+  m.add_le({{a, 5.0}, {b, 7.0}, {c, 4.0}, {d, 3.0}}, 14.0);
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 21.0, 1e-6);
+  EXPECT_NEAR(s.values[a.index], 0.0, 1e-6);
+  EXPECT_NEAR(s.values[b.index], 1.0, 1e-6);
+}
+
+TEST(BranchBound, IntegerRounding) {
+  // max x s.t. 2x <= 7, x integer -> 3 (LP gives 3.5).
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_integer_variable(0, kInfinity, 1.0, "x");
+  m.add_le({{x, 2.0}}, 7.0);
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 3.0, 1e-9);
+}
+
+TEST(BranchBound, InfeasibleIntegerProblem) {
+  // 0.4 <= x <= 0.6, x integer: no integral point.
+  Model m;
+  m.add_integer_variable(0.4, 0.6, 1.0, "x");
+  const MipSolution s = solve_mip(m);
+  // Bound-infeasible at the root after branching.
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(BranchBound, MixedIntegerContinuous) {
+  // min 3x + 2y, x integer >= 1.3 -> x = 2; y continuous >= 0.7.
+  Model m;
+  const Variable x = m.add_integer_variable(1.3, 10.0, 3.0, "x");
+  const Variable y = m.add_variable(0.7, 10.0, 2.0, "y");
+  (void)y;
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[x.index], 2.0, 1e-9);
+  EXPECT_NEAR(s.objective, 3.0 * 2.0 + 2.0 * 0.7, 1e-7);
+}
+
+TEST(BranchBound, EqualityWithBinaries) {
+  // Exactly two of four binaries set, maximize weighted sum.
+  Model m(Sense::kMaximize);
+  std::vector<Variable> b;
+  const double w[4] = {1.0, 5.0, 3.0, 2.0};
+  std::vector<Term> sum;
+  for (int i = 0; i < 4; ++i) {
+    b.push_back(m.add_binary(w[i]));
+    sum.push_back({b.back(), 1.0});
+  }
+  m.add_eq(sum, 2.0);
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 8.0, 1e-6);  // picks weights 5 and 3
+  EXPECT_NEAR(s.values[b[1].index], 1.0, 1e-6);
+  EXPECT_NEAR(s.values[b[2].index], 1.0, 1e-6);
+}
+
+TEST(BranchBound, SetCoveringSmall) {
+  // Cover {1,2,3} with sets A={1,2}(cost 3), B={2,3}(cost 3), C={1,3}(cost
+  // 3), D={1,2,3}(cost 5). Best: D at 5 vs any two at 6 -> D.
+  Model m;
+  const Variable A = m.add_binary(3.0, "A");
+  const Variable B = m.add_binary(3.0, "B");
+  const Variable C = m.add_binary(3.0, "C");
+  const Variable D = m.add_binary(5.0, "D");
+  m.add_ge({{A, 1.0}, {C, 1.0}, {D, 1.0}}, 1.0);  // element 1
+  m.add_ge({{A, 1.0}, {B, 1.0}, {D, 1.0}}, 1.0);  // element 2
+  m.add_ge({{B, 1.0}, {C, 1.0}, {D, 1.0}}, 1.0);  // element 3
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 5.0, 1e-6);
+  EXPECT_NEAR(s.values[D.index], 1.0, 1e-6);
+}
+
+TEST(BranchBound, BestBoundMatchesObjectiveAtOptimality) {
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_integer_variable(0, 10, 1.0, "x");
+  m.add_le({{x, 3.0}}, 10.0);
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.objective, s.best_bound);
+}
+
+TEST(BranchBound, NodeLimitReported) {
+  // A 0/1 problem with deliberately fractional relaxation and a node cap
+  // of 1 cannot finish.
+  Model m(Sense::kMaximize);
+  std::vector<Term> row;
+  for (int i = 0; i < 10; ++i) {
+    row.push_back({m.add_binary(1.0 + 0.1 * i), 2.0});
+  }
+  m.add_le(row, 9.0);
+  BranchBoundOptions opt;
+  opt.max_nodes = 1;
+  const MipSolution s = solve_mip(m, opt);
+  EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
+}
+
+// Exhaustive cross-check: random small binary knapsacks vs brute force.
+class RandomKnapsackTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomKnapsackTest, MatchesBruteForce) {
+  util::Rng rng(5000 + GetParam());
+  const int n = 3 + GetParam() % 8;
+  std::vector<double> value(n), weight(n);
+  for (int i = 0; i < n; ++i) {
+    value[i] = rng.uniform(1, 10);
+    weight[i] = rng.uniform(1, 10);
+  }
+  const double cap = rng.uniform(5, 5.0 * n);
+
+  Model m(Sense::kMaximize);
+  std::vector<Variable> xs;
+  std::vector<Term> row;
+  for (int i = 0; i < n; ++i) {
+    xs.push_back(m.add_binary(value[i]));
+    row.push_back({xs.back(), weight[i]});
+  }
+  m.add_le(row, cap);
+  const MipSolution s = solve_mip(m);
+  ASSERT_TRUE(s.optimal());
+
+  double best = 0.0;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    double v = 0, w = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) {
+        v += value[i];
+        w += weight[i];
+      }
+    }
+    if (w <= cap + 1e-9) best = std::max(best, v);
+  }
+  EXPECT_NEAR(s.objective, best, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomKnapsackTest, ::testing::Range(0, 40));
+
+// Random small integer programs with equality structure vs brute force.
+class RandomBinaryIpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBinaryIpTest, GeneralBinaryMatchesBruteForce) {
+  util::Rng rng(9000 + GetParam());
+  const int n = 3 + GetParam() % 6;
+  const int rows = 2 + GetParam() % 3;
+  Model m(Sense::kMaximize);
+  std::vector<Variable> xs;
+  std::vector<double> c(n);
+  for (int i = 0; i < n; ++i) {
+    c[i] = rng.uniform(-5, 5);
+    xs.push_back(m.add_binary(c[i]));
+  }
+  std::vector<std::vector<double>> a(rows, std::vector<double>(n));
+  std::vector<double> rhs(rows);
+  for (int r = 0; r < rows; ++r) {
+    std::vector<Term> terms;
+    for (int i = 0; i < n; ++i) {
+      a[r][i] = rng.uniform(-2, 2);
+      terms.push_back({xs[i], a[r][i]});
+    }
+    rhs[r] = rng.uniform(0, n);
+    m.add_le(terms, rhs[r]);
+  }
+  const MipSolution s = solve_mip(m);
+
+  double best = -1e300;
+  bool feasible_exists = false;
+  for (int mask = 0; mask < (1 << n); ++mask) {
+    bool ok = true;
+    for (int r = 0; r < rows && ok; ++r) {
+      double act = 0;
+      for (int i = 0; i < n; ++i) {
+        if (mask & (1 << i)) act += a[r][i];
+      }
+      ok = act <= rhs[r] + 1e-9;
+    }
+    if (!ok) continue;
+    feasible_exists = true;
+    double v = 0;
+    for (int i = 0; i < n; ++i) {
+      if (mask & (1 << i)) v += c[i];
+    }
+    best = std::max(best, v);
+  }
+  if (feasible_exists) {
+    ASSERT_TRUE(s.optimal()) << to_string(s.status);
+    EXPECT_NEAR(s.objective, best, 1e-6);
+  } else {
+    EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBinaryIpTest, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace powerlim::lp

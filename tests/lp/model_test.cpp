@@ -1,0 +1,122 @@
+#include "lp/model.h"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+namespace powerlim::lp {
+namespace {
+
+TEST(Model, AddVariableAssignsSequentialIndices) {
+  Model m;
+  const Variable a = m.add_variable(0, 1, 2.0, "a");
+  const Variable b = m.add_variable(-1, 1, 3.0, "b");
+  EXPECT_EQ(a.index, 0);
+  EXPECT_EQ(b.index, 1);
+  EXPECT_EQ(m.num_variables(), 2u);
+  EXPECT_DOUBLE_EQ(m.objective_coeff(0), 2.0);
+  EXPECT_EQ(m.variable_name(1), "b");
+}
+
+TEST(Model, RejectsInvertedVariableBounds) {
+  Model m;
+  EXPECT_THROW(m.add_variable(1.0, 0.0, 0.0), std::invalid_argument);
+}
+
+TEST(Model, RejectsInvertedRowBounds) {
+  Model m;
+  const Variable x = m.add_variable(0, 1, 0);
+  EXPECT_THROW(m.add_constraint({{x, 1.0}}, 2.0, 1.0), std::invalid_argument);
+}
+
+TEST(Model, RejectsInvalidVariableHandle) {
+  Model m;
+  Variable bogus;  // index -1
+  EXPECT_THROW(m.add_constraint({{bogus, 1.0}}, 0, 1), std::invalid_argument);
+}
+
+TEST(Model, MergesDuplicateTerms) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0);
+  m.add_eq({{x, 1.0}, {x, 2.0}}, 6.0);
+  const Model::RowView r = m.row(0);
+  ASSERT_EQ(r.size, 1u);
+  EXPECT_DOUBLE_EQ(r.coeff[0], 3.0);
+}
+
+TEST(Model, DropsCancelledTerms) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0);
+  const Variable y = m.add_variable(0, 10, 0);
+  m.add_eq({{x, 1.0}, {x, -1.0}, {y, 2.0}}, 4.0);
+  const Model::RowView r = m.row(0);
+  ASSERT_EQ(r.size, 1u);
+  EXPECT_EQ(r.idx[0], y.index);
+}
+
+TEST(Model, ConstraintHelpersSetBounds) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0);
+  m.add_le({{x, 1.0}}, 5.0);
+  m.add_ge({{x, 1.0}}, 2.0);
+  m.add_eq({{x, 1.0}}, 3.0);
+  EXPECT_FALSE(is_finite_bound(m.row_lb(0)));
+  EXPECT_DOUBLE_EQ(m.row_ub(0), 5.0);
+  EXPECT_DOUBLE_EQ(m.row_lb(1), 2.0);
+  EXPECT_FALSE(is_finite_bound(m.row_ub(1)));
+  EXPECT_DOUBLE_EQ(m.row_lb(2), 3.0);
+  EXPECT_DOUBLE_EQ(m.row_ub(2), 3.0);
+}
+
+TEST(Model, IntegerFlags) {
+  Model m;
+  m.add_variable(0, 1, 0);
+  EXPECT_FALSE(m.has_integers());
+  m.add_binary(1.0);
+  EXPECT_TRUE(m.has_integers());
+  EXPECT_FALSE(m.is_integer(0));
+  EXPECT_TRUE(m.is_integer(1));
+}
+
+TEST(Model, ObjectiveValue) {
+  Model m;
+  m.add_variable(0, 10, 2.0);
+  m.add_variable(0, 10, -1.0);
+  EXPECT_DOUBLE_EQ(m.objective_value({3.0, 4.0}), 2.0);
+}
+
+TEST(Model, MaxViolationFeasiblePoint) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0);
+  m.add_le({{x, 1.0}}, 5.0);
+  EXPECT_DOUBLE_EQ(m.max_violation({4.0}), 0.0);
+}
+
+TEST(Model, MaxViolationDetectsRowAndBound) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0);
+  m.add_le({{x, 1.0}}, 5.0);
+  EXPECT_NEAR(m.max_violation({7.0}), 2.0, 1e-12);   // row violated by 2
+  EXPECT_NEAR(m.max_violation({-1.0}), 1.0, 1e-12);  // bound violated by 1
+}
+
+TEST(Model, SetVariableBounds) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0);
+  m.set_variable_bounds(x, 2.0, 3.0);
+  EXPECT_DOUBLE_EQ(m.variable_lb(0), 2.0);
+  EXPECT_DOUBLE_EQ(m.variable_ub(0), 3.0);
+  EXPECT_THROW(m.set_variable_bounds(x, 5.0, 4.0), std::invalid_argument);
+}
+
+TEST(Model, NonzeroCount) {
+  Model m;
+  const Variable x = m.add_variable(0, 1, 0);
+  const Variable y = m.add_variable(0, 1, 0);
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 1.0);
+  m.add_le({{y, 2.0}}, 1.0);
+  EXPECT_EQ(m.num_nonzeros(), 3u);
+}
+
+}  // namespace
+}  // namespace powerlim::lp

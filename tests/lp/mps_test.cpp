@@ -1,0 +1,225 @@
+#include "lp/mps.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "lp/branch_bound.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace powerlim::lp {
+namespace {
+
+bool contains(const std::string& hay, const std::string& needle) {
+  return hay.find(needle) != std::string::npos;
+}
+
+TEST(Mps, HeaderAndSections) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 1.0, "x");
+  m.add_le({{x, 2.0}}, 4.0, "cap");
+  const std::string mps = to_mps(m, "TESTLP");
+  EXPECT_TRUE(contains(mps, "NAME TESTLP"));
+  EXPECT_TRUE(contains(mps, "ROWS"));
+  EXPECT_TRUE(contains(mps, "COLUMNS"));
+  EXPECT_TRUE(contains(mps, "RHS"));
+  EXPECT_TRUE(contains(mps, "BOUNDS"));
+  EXPECT_TRUE(contains(mps, "ENDATA"));
+}
+
+TEST(Mps, RowTypes) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 1.0, "x");
+  m.add_le({{x, 1.0}}, 4.0, "le_row");
+  m.add_ge({{x, 1.0}}, 1.0, "ge_row");
+  m.add_eq({{x, 1.0}}, 2.0, "eq_row");
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, " L le_row"));
+  EXPECT_TRUE(contains(mps, " G ge_row"));
+  EXPECT_TRUE(contains(mps, " E eq_row"));
+}
+
+TEST(Mps, RangeRowGetsRangesSection) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 1.0, "x");
+  m.add_constraint({{x, 1.0}}, 2.0, 5.0, "rng_row");
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, "RANGES"));
+  EXPECT_TRUE(contains(mps, " RNG1 rng_row 3"));
+}
+
+TEST(Mps, IntegerMarkers) {
+  Model m;
+  m.add_variable(0, 5, 1.0, "cont");
+  m.add_binary(2.0, "bin");
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, "'INTORG'"));
+  EXPECT_TRUE(contains(mps, "'INTEND'"));
+  // The binary appears after INTORG.
+  EXPECT_LT(mps.find("'INTORG'"), mps.find("bin COST"));
+}
+
+TEST(Mps, MaximizeNegatesObjective) {
+  Model m(Sense::kMaximize);
+  m.add_variable(0, 5, 3.0, "x");
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, "MAXIMIZE"));
+  EXPECT_TRUE(contains(mps, "x COST -3"));
+}
+
+TEST(Mps, BoundKinds) {
+  Model m;
+  m.add_variable(-kInfinity, kInfinity, 0.0, "free");
+  m.add_variable(3.0, 3.0, 0.0, "fixed");
+  m.add_variable(-kInfinity, 7.0, 0.0, "upper_only");
+  m.add_variable(2.0, 9.0, 0.0, "boxed");
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, " FR BND1 free"));
+  EXPECT_TRUE(contains(mps, " FX BND1 fixed 3"));
+  EXPECT_TRUE(contains(mps, " MI BND1 upper_only"));
+  EXPECT_TRUE(contains(mps, " UP BND1 upper_only 7"));
+  EXPECT_TRUE(contains(mps, " LO BND1 boxed 2"));
+  EXPECT_TRUE(contains(mps, " UP BND1 boxed 9"));
+}
+
+TEST(Mps, UnnamedEntitiesGetGeneratedNames) {
+  Model m;
+  const Variable x = m.add_variable(0, 1, 1.0);  // no name
+  m.add_le({{x, 1.0}}, 1.0);                     // no name
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, "C0"));
+  EXPECT_TRUE(contains(mps, "R0"));
+}
+
+TEST(Mps, SpacesInNamesSanitized) {
+  Model m;
+  const Variable x = m.add_variable(0, 1, 1.0, "my var");
+  m.add_le({{x, 1.0}}, 1.0, "my row");
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, "my_var"));
+  EXPECT_TRUE(contains(mps, "my_row"));
+  EXPECT_FALSE(contains(mps, "my var"));
+}
+
+TEST(Mps, EveryColumnAppears) {
+  Model m;
+  m.add_variable(0, 1, 0.0, "orphan");  // no rows, no objective
+  const std::string mps = to_mps(m);
+  EXPECT_TRUE(contains(mps, "orphan COST 0"));
+}
+
+
+// ---- reader + round-trip ----------------------------------------------------
+
+TEST(MpsReader, RoundTripSimpleLp) {
+  Model m;
+  const Variable x = m.add_variable(0, 4, 1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 2.0, "y");
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 10.0, "balance");
+  std::istringstream in(to_mps(m));
+  const Model back = read_mps(in);
+  const Solution a = solve_lp(m);
+  const Solution b = solve_lp(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-9);
+}
+
+TEST(MpsReader, RoundTripRangesAndBounds) {
+  Model m;
+  const Variable x = m.add_variable(-3, 7, -1.5, "x");
+  const Variable f = m.add_variable(-kInfinity, kInfinity, 0.25, "free");
+  m.add_constraint({{x, 2.0}, {f, 1.0}}, 1.0, 5.0, "rng");
+  m.add_ge({{f, 1.0}}, -4.0, "floor");
+  std::istringstream in(to_mps(m));
+  const Model back = read_mps(in);
+  const Solution a = solve_lp(m);
+  const Solution b = solve_lp(back);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_NEAR(a.objective, b.objective, 1e-7);
+}
+
+TEST(MpsReader, RoundTripMipWithMarkers) {
+  Model m;
+  const Variable a = m.add_binary(3.0, "a");
+  const Variable b = m.add_binary(5.0, "b");
+  const Variable c = m.add_variable(0, 2, 1.0, "c");
+  m.add_le({{a, 2.0}, {b, 3.0}, {c, 1.0}}, 4.0, "cap");
+  m.set_sense(Sense::kMaximize);
+  std::istringstream in(to_mps(m));
+  Model back = read_mps(in);
+  // The writer negates a maximize objective; solving the read model as a
+  // minimization gives the negated optimum.
+  const MipSolution orig = solve_mip(m);
+  const MipSolution rt = solve_mip(back);
+  ASSERT_TRUE(orig.optimal());
+  ASSERT_TRUE(rt.optimal());
+  EXPECT_NEAR(rt.objective, -orig.objective, 1e-7);
+  EXPECT_TRUE(back.has_integers());
+}
+
+TEST(MpsReader, RoundTripRandomModels) {
+  util::Rng rng(606);
+  for (int trial = 0; trial < 25; ++trial) {
+    Model m;
+    const int n = 3 + trial % 5;
+    std::vector<Variable> vars;
+    for (int j = 0; j < n; ++j) {
+      vars.push_back(m.add_variable(rng.uniform(-4, 0), rng.uniform(1, 5),
+                                    rng.uniform(-2, 2)));
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform(0, 1) < 0.5) {
+          terms.push_back({vars[j], rng.uniform(-2, 2)});
+        }
+      }
+      if (terms.empty()) continue;
+      const double r = rng.uniform(0, 1);
+      if (r < 0.4) {
+        m.add_le(terms, rng.uniform(1, 6));
+      } else if (r < 0.8) {
+        m.add_ge(terms, rng.uniform(-6, -1));
+      } else {
+        m.add_constraint(terms, rng.uniform(-5, -1), rng.uniform(1, 5));
+      }
+    }
+    std::istringstream in(to_mps(m));
+    const Model back = read_mps(in);
+    const Solution a = solve_lp(m);
+    const Solution b = solve_lp(back);
+    ASSERT_EQ(a.status, b.status) << "trial " << trial;
+    if (a.optimal()) {
+      // Ranged rows are inherently lossy in MPS: the format stores
+      // (rhs, range) and reconstructs lb = ub - range, which is not an
+      // invertible float operation. ~1e-6 absolute drift is expected and
+      // every MPS-consuming solver shares it.
+      EXPECT_NEAR(a.objective, b.objective, 1e-5) << "trial " << trial;
+    }
+  }
+}
+
+TEST(MpsReader, RejectsMissingEndata) {
+  std::istringstream in("NAME X\nROWS\n N COST\nCOLUMNS\n");
+  EXPECT_THROW(read_mps(in), std::runtime_error);
+}
+
+TEST(MpsReader, RejectsUnknownRowReference) {
+  std::istringstream in(
+      "NAME X\nROWS\n N COST\n L r1\nCOLUMNS\n x bogus 1.0\nENDATA\n");
+  EXPECT_THROW(read_mps(in), std::runtime_error);
+}
+
+TEST(MpsReader, RejectsDataOutsideSection) {
+  std::istringstream in("NAME X\n x COST 1.0\nENDATA\n");
+  EXPECT_THROW(read_mps(in), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace powerlim::lp

@@ -1,0 +1,183 @@
+#include "lp/presolve.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace powerlim::lp {
+namespace {
+
+TEST(Presolve, FixedVariableRemoved) {
+  Model m;
+  const Variable x = m.add_variable(3.0, 3.0, 2.0, "x");
+  const Variable y = m.add_variable(0.0, 10.0, 1.0, "y");
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 5.0);
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.removed_variables(), 1u);
+  EXPECT_EQ(pre.reduced.num_variables(), 1u);
+  EXPECT_DOUBLE_EQ(pre.objective_offset, 6.0);
+  // Row becomes y >= 2.
+  EXPECT_DOUBLE_EQ(pre.reduced.variable_lb(0), 2.0);
+}
+
+TEST(Presolve, EmptyRowConsistentDropped) {
+  Model m;
+  m.add_variable(0, 1, 0, "x");
+  m.add_constraint({}, -1.0, 1.0);
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_constraints(), 0u);
+  EXPECT_GE(pre.removed_rows, 1u);
+}
+
+TEST(Presolve, EmptyRowInconsistentInfeasible) {
+  Model m;
+  m.add_variable(0, 1, 0, "x");
+  m.add_constraint({}, 2.0, 3.0);  // 0 in [2,3] is false
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, SingletonRowTightensBounds) {
+  Model m;
+  const Variable x = m.add_variable(0.0, 100.0, 1.0, "x");
+  m.add_le({{x, 2.0}}, 10.0);  // x <= 5
+  m.add_ge({{x, 1.0}}, 2.0);   // x >= 2
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_constraints(), 0u);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable_lb(0), 2.0);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable_ub(0), 5.0);
+}
+
+TEST(Presolve, SingletonWithNegativeCoefficient) {
+  Model m;
+  const Variable x = m.add_variable(-100.0, 100.0, 1.0, "x");
+  m.add_le({{x, -1.0}}, 4.0);  // -x <= 4  ->  x >= -4
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_DOUBLE_EQ(pre.reduced.variable_lb(0), -4.0);
+}
+
+TEST(Presolve, SingletonEqualityFixesVariable) {
+  Model m;
+  const Variable x = m.add_variable(0.0, 100.0, 1.0, "x");
+  const Variable y = m.add_variable(0.0, 100.0, 1.0, "y");
+  m.add_eq({{x, 2.0}}, 8.0);  // x == 4
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 10.0);
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.removed_variables(), 1u);
+  ASSERT_TRUE(pre.fixed_values[x.index].has_value());
+  EXPECT_DOUBLE_EQ(*pre.fixed_values[x.index], 4.0);
+  // Remaining constraint: y >= 6.
+  EXPECT_DOUBLE_EQ(pre.reduced.variable_lb(0), 6.0);
+}
+
+TEST(Presolve, RedundantRowDropped) {
+  Model m;
+  const Variable x = m.add_variable(0.0, 1.0, 1.0, "x");
+  const Variable y = m.add_variable(0.0, 1.0, 1.0, "y");
+  m.add_le({{x, 1.0}, {y, 1.0}}, 5.0);  // max activity 2 <= 5: redundant
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.reduced.num_constraints(), 0u);
+}
+
+TEST(Presolve, ActivityBoundInfeasibility) {
+  Model m;
+  const Variable x = m.add_variable(0.0, 1.0, 1.0, "x");
+  const Variable y = m.add_variable(0.0, 1.0, 1.0, "y");
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 5.0);  // max activity 2 < 5
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, CrossedBoundsInfeasible) {
+  Model m;
+  const Variable x = m.add_variable(0.0, 10.0, 1.0, "x");
+  m.add_le({{x, 1.0}}, 2.0);
+  m.add_ge({{x, 1.0}}, 3.0);
+  EXPECT_TRUE(presolve(m).infeasible);
+}
+
+TEST(Presolve, CascadingFixes) {
+  // x fixed -> singleton row fixes y -> row with both drops empty.
+  Model m;
+  const Variable x = m.add_variable(2.0, 2.0, 1.0, "x");
+  const Variable y = m.add_variable(0.0, 10.0, 1.0, "y");
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 7.0);  // y == 5 after substitution
+  const PresolveResult pre = presolve(m);
+  ASSERT_FALSE(pre.infeasible);
+  EXPECT_EQ(pre.removed_variables(), 2u);
+  EXPECT_EQ(pre.reduced.num_variables(), 0u);
+  EXPECT_DOUBLE_EQ(*pre.fixed_values[y.index], 5.0);
+}
+
+TEST(Presolve, RestoreMapsBackCorrectly) {
+  Model m;
+  const Variable x = m.add_variable(1.0, 1.0, 0.0, "x");
+  const Variable y = m.add_variable(0.0, 9.0, 1.0, "y");
+  const Variable z = m.add_variable(2.0, 2.0, 0.0, "z");
+  (void)x;
+  (void)z;
+  m.add_ge({{y, 1.0}}, 3.0);
+  const PresolveResult pre = presolve(m);
+  const std::vector<double> reduced{4.5};
+  const std::vector<double> full = pre.restore(reduced);
+  ASSERT_EQ(full.size(), 3u);
+  EXPECT_DOUBLE_EQ(full[0], 1.0);
+  EXPECT_DOUBLE_EQ(full[y.index], 4.5);
+  EXPECT_DOUBLE_EQ(full[2], 2.0);
+}
+
+TEST(Presolve, SolvePresolvedMatchesDirectSolve) {
+  util::Rng rng(2024);
+  for (int trial = 0; trial < 40; ++trial) {
+    Model m;
+    const int n = 4 + trial % 5;
+    std::vector<Variable> vars;
+    for (int j = 0; j < n; ++j) {
+      // A third of the variables are fixed to exercise substitution.
+      if (rng.uniform(0, 1) < 0.33) {
+        const double v = rng.uniform(-2, 2);
+        vars.push_back(m.add_variable(v, v, rng.uniform(-1, 1)));
+      } else {
+        vars.push_back(m.add_variable(-5, 5, rng.uniform(-1, 1)));
+      }
+    }
+    for (int i = 0; i < n; ++i) {
+      std::vector<Term> terms;
+      double act = 0.0;
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform(0, 1) < 0.5) {
+          const double c = rng.uniform(-2, 2);
+          terms.push_back({vars[j], c});
+          act += c * (m.variable_lb(j) + m.variable_ub(j)) / 2.0;
+        }
+      }
+      if (!terms.empty()) m.add_le(terms, act + rng.uniform(0.5, 3.0));
+    }
+    const Solution direct = solve_lp(m);
+    const Solution pre = solve_lp_presolved(m);
+    ASSERT_EQ(direct.status, pre.status) << "trial " << trial;
+    if (direct.optimal()) {
+      EXPECT_NEAR(direct.objective, pre.objective, 1e-6) << "trial " << trial;
+      EXPECT_LE(m.max_violation(pre.values), 1e-6);
+    }
+  }
+}
+
+TEST(Presolve, InfeasibleDetectionAgreesWithSimplex) {
+  Model m;
+  const Variable x = m.add_variable(0.0, 1.0, 1.0, "x");
+  const Variable y = m.add_variable(4.0, 4.0, 1.0, "y");
+  m.add_le({{x, 1.0}, {y, 1.0}}, 3.0);  // 4 + x <= 3 impossible
+  EXPECT_TRUE(presolve(m).infeasible);
+  EXPECT_EQ(solve_lp(m).status, SolveStatus::kInfeasible);
+  EXPECT_EQ(solve_lp_presolved(m).status, SolveStatus::kInfeasible);
+}
+
+}  // namespace
+}  // namespace powerlim::lp

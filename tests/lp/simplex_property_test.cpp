@@ -1,0 +1,218 @@
+// Property-based tests for the simplex solver: random LPs constructed to
+// be feasible are solved and the returned point is checked against a full
+// optimality certificate (primal feasibility + dual feasibility +
+// complementary slackness).
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace powerlim::lp {
+namespace {
+
+struct RandomLp {
+  Model model;
+  std::vector<double> feasible_point;
+};
+
+/// Builds a random LP that is feasible by construction: draw an interior
+/// point first, then place row and variable bounds around it.
+RandomLp make_random_lp(util::Rng& rng, int num_vars, int num_rows,
+                        bool allow_free, bool allow_equalities) {
+  RandomLp out;
+  std::vector<Variable> vars;
+  out.feasible_point.resize(num_vars);
+  for (int j = 0; j < num_vars; ++j) {
+    const double x0 = rng.uniform(-5, 5);
+    out.feasible_point[j] = x0;
+    double lb = x0 - rng.uniform(0.1, 4.0);
+    double ub = x0 + rng.uniform(0.1, 4.0);
+    if (allow_free && rng.uniform(0, 1) < 0.2) lb = -kInfinity;
+    if (allow_free && rng.uniform(0, 1) < 0.2) ub = kInfinity;
+    const double c = rng.uniform(-3, 3);
+    vars.push_back(out.model.add_variable(lb, ub, c));
+  }
+  for (int i = 0; i < num_rows; ++i) {
+    std::vector<Term> terms;
+    double activity = 0.0;
+    for (int j = 0; j < num_vars; ++j) {
+      if (rng.uniform(0, 1) < 0.6) {
+        const double a = rng.uniform(-2, 2);
+        terms.push_back({vars[j], a});
+        activity += a * out.feasible_point[j];
+      }
+    }
+    if (terms.empty()) continue;
+    const double kind = rng.uniform(0, 1);
+    if (allow_equalities && kind < 0.2) {
+      out.model.add_eq(terms, activity);
+    } else if (kind < 0.6) {
+      out.model.add_le(terms, activity + rng.uniform(0.0, 3.0));
+    } else if (kind < 0.9) {
+      out.model.add_ge(terms, activity - rng.uniform(0.0, 3.0));
+    } else {
+      out.model.add_constraint(terms, activity - rng.uniform(0.0, 2.0),
+                               activity + rng.uniform(0.0, 2.0));
+    }
+  }
+  return out;
+}
+
+/// Checks the KKT optimality certificate for a *minimization* model.
+void expect_optimality_certificate(const Model& m, const Solution& s) {
+  constexpr double kTol = 1e-5;
+  ASSERT_TRUE(s.optimal());
+  // Primal feasibility.
+  EXPECT_LE(m.max_violation(s.values), kTol);
+  // Dual feasibility on variables (reduced costs are in min space).
+  ASSERT_EQ(s.reduced_costs.size(), m.num_variables());
+  for (std::size_t j = 0; j < m.num_variables(); ++j) {
+    const double x = s.values[j];
+    const double d = s.reduced_costs[j];
+    const bool at_lb =
+        is_finite_bound(m.variable_lb(j)) && x <= m.variable_lb(j) + kTol;
+    const bool at_ub =
+        is_finite_bound(m.variable_ub(j)) && x >= m.variable_ub(j) - kTol;
+    if (at_lb && at_ub) continue;  // fixed: any reduced cost allowed
+    if (at_lb) {
+      EXPECT_GE(d, -kTol) << "var " << j << " at lower with d=" << d;
+    } else if (at_ub) {
+      EXPECT_LE(d, kTol) << "var " << j << " at upper with d=" << d;
+    } else {
+      EXPECT_NEAR(d, 0.0, kTol) << "interior var " << j;
+    }
+  }
+  // Dual feasibility / complementary slackness on rows.
+  ASSERT_EQ(s.duals.size(), m.num_constraints());
+  for (std::size_t i = 0; i < m.num_constraints(); ++i) {
+    const Model::RowView r = m.row(static_cast<int>(i));
+    double act = 0.0;
+    for (std::size_t k = 0; k < r.size; ++k) {
+      act += r.coeff[k] * s.values[r.idx[k]];
+    }
+    const double y = s.duals[i];
+    const bool at_lb =
+        is_finite_bound(m.row_lb(i)) && act <= m.row_lb(i) + kTol;
+    const bool at_ub =
+        is_finite_bound(m.row_ub(i)) && act >= m.row_ub(i) - kTol;
+    if (at_lb && at_ub) continue;  // equality row: free dual
+    if (at_lb) {
+      EXPECT_GE(y, -kTol) << "row " << i;
+    } else if (at_ub) {
+      EXPECT_LE(y, kTol) << "row " << i;
+    } else {
+      EXPECT_NEAR(y, 0.0, kTol) << "inactive row " << i;
+    }
+  }
+}
+
+class RandomLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomLpTest, FeasibleLpSolvesWithCertificate) {
+  util::Rng rng(1234 + GetParam());
+  RandomLp lp = make_random_lp(rng, 3 + GetParam() % 8, 2 + GetParam() % 10,
+                               /*allow_free=*/GetParam() % 2 == 0,
+                               /*allow_equalities=*/GetParam() % 3 == 0);
+  const Solution s = solve_lp(lp.model);
+  // Built to be feasible; bounded because every improving direction is
+  // eventually blocked only if bounds are finite, so accept unbounded for
+  // instances with free variables.
+  if (s.status == SolveStatus::kUnbounded) {
+    GTEST_SKIP() << "randomly unbounded instance";
+  }
+  expect_optimality_certificate(lp.model, s);
+  // Optimal objective must be at least as good as the known feasible point.
+  EXPECT_LE(s.objective,
+            lp.model.objective_value(lp.feasible_point) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomLpTest, ::testing::Range(0, 60));
+
+class RandomBoundedLpTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(RandomBoundedLpTest, AlwaysOptimalWhenAllBoundsFinite) {
+  util::Rng rng(777 + GetParam());
+  RandomLp lp = make_random_lp(rng, 4 + GetParam() % 6, 3 + GetParam() % 8,
+                               /*allow_free=*/false,
+                               /*allow_equalities=*/true);
+  const Solution s = solve_lp(lp.model);
+  expect_optimality_certificate(lp.model, s);
+  EXPECT_LE(s.objective,
+            lp.model.objective_value(lp.feasible_point) + 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomBoundedLpTest, ::testing::Range(0, 60));
+
+TEST(SimplexProperty, TighteningConstraintNeverImprovesObjective) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 20; ++trial) {
+    RandomLp lp = make_random_lp(rng, 5, 4, false, false);
+    const Solution s1 = solve_lp(lp.model);
+    ASSERT_TRUE(s1.optimal());
+    // Add a fresh constraint through the feasible point, tightening the
+    // region; the minimum can only get worse (larger) or stay equal.
+    std::vector<Term> terms;
+    double act = 0.0;
+    for (std::size_t j = 0; j < lp.model.num_variables(); ++j) {
+      const double a = rng.uniform(-1, 1);
+      terms.push_back({Variable{static_cast<int>(j)}, a});
+      act += a * lp.feasible_point[j];
+    }
+    lp.model.add_le(terms, act + 0.5);
+    const Solution s2 = solve_lp(lp.model);
+    ASSERT_TRUE(s2.optimal());
+    EXPECT_GE(s2.objective, s1.objective - 1e-6);
+  }
+}
+
+TEST(SimplexProperty, MaximizeEqualsNegatedMinimize) {
+  util::Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    RandomLp lp = make_random_lp(rng, 4, 5, false, true);
+    Model max_model = lp.model;
+    max_model.set_sense(Sense::kMaximize);
+    // Build a min model with negated costs: optima must be negatives.
+    Model min_model(Sense::kMinimize);
+    std::vector<Variable> vars;
+    for (std::size_t j = 0; j < lp.model.num_variables(); ++j) {
+      vars.push_back(min_model.add_variable(
+          lp.model.variable_lb(static_cast<int>(j)),
+          lp.model.variable_ub(static_cast<int>(j)),
+          -lp.model.objective_coeff(static_cast<int>(j))));
+    }
+    for (std::size_t i = 0; i < lp.model.num_constraints(); ++i) {
+      const Model::RowView r = lp.model.row(static_cast<int>(i));
+      std::vector<Term> terms;
+      for (std::size_t k = 0; k < r.size; ++k) {
+        terms.push_back({vars[r.idx[k]], r.coeff[k]});
+      }
+      min_model.add_constraint(terms, lp.model.row_lb(static_cast<int>(i)),
+                               lp.model.row_ub(static_cast<int>(i)));
+    }
+    const Solution smax = solve_lp(max_model);
+    const Solution smin = solve_lp(min_model);
+    ASSERT_TRUE(smax.optimal());
+    ASSERT_TRUE(smin.optimal());
+    EXPECT_NEAR(smax.objective, -smin.objective, 1e-6);
+  }
+}
+
+TEST(SimplexProperty, SolutionDeterministic) {
+  util::Rng rng(31337);
+  RandomLp lp = make_random_lp(rng, 6, 6, false, true);
+  const Solution a = solve_lp(lp.model);
+  const Solution b = solve_lp(lp.model);
+  ASSERT_TRUE(a.optimal());
+  ASSERT_TRUE(b.optimal());
+  EXPECT_EQ(a.iterations, b.iterations);
+  for (std::size_t j = 0; j < a.values.size(); ++j) {
+    EXPECT_DOUBLE_EQ(a.values[j], b.values[j]);
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::lp

@@ -1,0 +1,273 @@
+#include "lp/simplex.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "lp/model.h"
+
+namespace powerlim::lp {
+namespace {
+
+TEST(Simplex, TrivialBoundsOnlyMin) {
+  Model m;
+  m.add_variable(1.0, 5.0, 1.0, "x");
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.values[0], 1.0);
+  EXPECT_DOUBLE_EQ(s.objective, 1.0);
+}
+
+TEST(Simplex, TrivialBoundsOnlyMax) {
+  Model m(Sense::kMaximize);
+  m.add_variable(1.0, 5.0, 1.0, "x");
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_DOUBLE_EQ(s.values[0], 5.0);
+}
+
+TEST(Simplex, UnconstrainedUnbounded) {
+  Model m;
+  m.add_variable(-kInfinity, kInfinity, 1.0, "x");
+  const Solution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, ClassicTwoVariableMax) {
+  // max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18  -> (2, 6), obj 36.
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, kInfinity, 3.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 5.0, "y");
+  m.add_le({{x, 1.0}}, 4.0);
+  m.add_le({{y, 2.0}}, 12.0);
+  m.add_le({{x, 3.0}, {y, 2.0}}, 18.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, 1e-7);
+  EXPECT_NEAR(s.values[0], 2.0, 1e-7);
+  EXPECT_NEAR(s.values[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, EqualityConstraint) {
+  // min x + 2y s.t. x + y = 10, x <= 4 -> x=4, y=6, obj 16.
+  Model m;
+  const Variable x = m.add_variable(0, 4.0, 1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 2.0, "y");
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 10.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 16.0, 1e-7);
+  EXPECT_NEAR(s.values[0], 4.0, 1e-7);
+  EXPECT_NEAR(s.values[1], 6.0, 1e-7);
+}
+
+TEST(Simplex, InfeasibleDetected) {
+  Model m;
+  const Variable x = m.add_variable(0, 1.0, 1.0, "x");
+  m.add_ge({{x, 1.0}}, 2.0);
+  const Solution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, InfeasibleEqualitySystem) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0, "x");
+  const Variable y = m.add_variable(0, 10, 0, "y");
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 5.0);
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 7.0);
+  const Solution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::kInfeasible);
+}
+
+TEST(Simplex, UnboundedDetected) {
+  // max x + y s.t. x - y <= 1: ray along x == y.
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, kInfinity, 1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 1.0, "y");
+  m.add_le({{x, 1.0}, {y, -1.0}}, 1.0);
+  const Solution s = solve_lp(m);
+  EXPECT_EQ(s.status, SolveStatus::kUnbounded);
+}
+
+TEST(Simplex, RangeConstraint) {
+  // min x s.t. 3 <= x + y <= 5, y <= 1 -> x = 2 (y = 1).
+  Model m;
+  const Variable x = m.add_variable(0, kInfinity, 1.0, "x");
+  const Variable y = m.add_variable(0, 1.0, 0.0, "y");
+  m.add_constraint({{x, 1.0}, {y, 1.0}}, 3.0, 5.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 2.0, 1e-7);
+}
+
+TEST(Simplex, FreeVariable) {
+  // min y s.t. y >= x - 2, y >= -x, x in [0, 10]; optimum y = -1 at x = 1.
+  Model m;
+  const Variable x = m.add_variable(0, 10, 0.0, "x");
+  const Variable y = m.add_variable(-kInfinity, kInfinity, 1.0, "y");
+  m.add_ge({{y, 1.0}, {x, -1.0}}, -2.0);
+  m.add_ge({{y, 1.0}, {x, 1.0}}, 0.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -1.0, 1e-7);
+  EXPECT_NEAR(s.values[0], 1.0, 1e-7);
+}
+
+TEST(Simplex, NegativeLowerBounds) {
+  // min x + y with x in [-5,-1], y in [-2,3], x + y >= -4.
+  Model m;
+  const Variable x = m.add_variable(-5, -1, 1.0, "x");
+  const Variable y = m.add_variable(-2, 3, 1.0, "y");
+  m.add_ge({{x, 1.0}, {y, 1.0}}, -4.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -4.0, 1e-7);
+}
+
+TEST(Simplex, DegenerateProblem) {
+  // Multiple constraints active at the optimum; checks anti-cycling.
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, kInfinity, 1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 1.0, "y");
+  m.add_le({{x, 1.0}}, 2.0);
+  m.add_le({{y, 1.0}}, 2.0);
+  m.add_le({{x, 1.0}, {y, 1.0}}, 4.0);
+  m.add_le({{x, 1.0}, {y, 2.0}}, 6.0);
+  m.add_le({{x, 2.0}, {y, 1.0}}, 6.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 4.0, 1e-7);
+}
+
+TEST(Simplex, Beale1955CyclingExample) {
+  // Classic cycling LP (Beale); requires anti-cycling to terminate.
+  // min -0.75 x4 + 150 x5 - 0.02 x6 + 6 x7
+  // s.t. 0.25 x4 - 60 x5 - 0.04 x6 + 9 x7 <= 0
+  //      0.5  x4 - 90 x5 - 0.02 x6 + 3 x7 <= 0
+  //      x6 <= 1; x >= 0. Optimum -0.05.
+  Model m;
+  const Variable x4 = m.add_variable(0, kInfinity, -0.75, "x4");
+  const Variable x5 = m.add_variable(0, kInfinity, 150.0, "x5");
+  const Variable x6 = m.add_variable(0, kInfinity, -0.02, "x6");
+  const Variable x7 = m.add_variable(0, kInfinity, 6.0, "x7");
+  m.add_le({{x4, 0.25}, {x5, -60.0}, {x6, -0.04}, {x7, 9.0}}, 0.0);
+  m.add_le({{x4, 0.5}, {x5, -90.0}, {x6, -0.02}, {x7, 3.0}}, 0.0);
+  m.add_le({{x6, 1.0}}, 1.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-7);
+}
+
+TEST(Simplex, DualsSatisfyStrongDuality) {
+  // max 3x + 5y (same as ClassicTwoVariableMax); strong duality:
+  // obj == sum(dual_i * rhs_i) for a problem with zero variable bounds
+  // active contributions.
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, kInfinity, 3.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 5.0, "y");
+  m.add_le({{x, 1.0}}, 4.0);
+  m.add_le({{y, 2.0}}, 12.0);
+  m.add_le({{x, 3.0}, {y, 2.0}}, 18.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  ASSERT_EQ(s.duals.size(), 3u);
+  // The solver works on the negated (min) objective, so flip sign.
+  const double dual_obj =
+      -(s.duals[0] * 4.0 + s.duals[1] * 12.0 + s.duals[2] * 18.0);
+  EXPECT_NEAR(dual_obj, 36.0, 1e-6);
+}
+
+TEST(Simplex, FixedVariable) {
+  Model m;
+  const Variable x = m.add_variable(3.0, 3.0, 1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 1.0, "y");
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 5.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 3.0, 1e-9);
+  EXPECT_NEAR(s.values[1], 2.0, 1e-7);
+}
+
+TEST(Simplex, EmptyModelOptimal) {
+  Model m;
+  const Solution s = solve_lp(m);
+  EXPECT_TRUE(s.optimal());
+  EXPECT_EQ(s.objective, 0.0);
+}
+
+TEST(Simplex, RedundantConstraints) {
+  Model m;
+  const Variable x = m.add_variable(0, 10, 1.0, "x");
+  for (int i = 0; i < 10; ++i) {
+    m.add_ge({{x, 1.0}}, 2.0);  // same row repeated
+  }
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.values[0], 2.0, 1e-8);
+}
+
+TEST(Simplex, MaximizeWithNegativeCosts) {
+  // max -x - y s.t. x + y >= 3 -> obj -3.
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, kInfinity, -1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, -1.0, "y");
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 3.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -3.0, 1e-7);
+}
+
+TEST(Simplex, TransportationProblem) {
+  // 2 supplies (10, 20), 2 demands (15, 15); costs {{1,3},{4,2}}.
+  // Optimum: s0->d0:10, s1->d0:5, s1->d1:15 => 10 + 20 + 30 = 60.
+  Model m;
+  Variable ship[2][2];
+  const double cost[2][2] = {{1, 3}, {4, 2}};
+  for (int i = 0; i < 2; ++i) {
+    for (int j = 0; j < 2; ++j) {
+      ship[i][j] = m.add_variable(0, kInfinity, cost[i][j]);
+    }
+  }
+  m.add_eq({{ship[0][0], 1.0}, {ship[0][1], 1.0}}, 10.0);
+  m.add_eq({{ship[1][0], 1.0}, {ship[1][1], 1.0}}, 20.0);
+  m.add_eq({{ship[0][0], 1.0}, {ship[1][0], 1.0}}, 15.0);
+  m.add_eq({{ship[0][1], 1.0}, {ship[1][1], 1.0}}, 15.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 60.0, 1e-7);
+}
+
+TEST(Simplex, ReportsIterationCount) {
+  Model m(Sense::kMaximize);
+  const Variable x = m.add_variable(0, kInfinity, 3.0, "x");
+  m.add_le({{x, 1.0}}, 4.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GT(s.iterations, 0);
+}
+
+TEST(Simplex, IterationLimitRespected) {
+  Model m(Sense::kMaximize);
+  std::vector<Variable> xs;
+  for (int i = 0; i < 20; ++i) xs.push_back(m.add_variable(0, 1, 1.0));
+  std::vector<Term> terms;
+  for (const Variable& v : xs) terms.push_back({v, 1.0});
+  m.add_le(terms, 10.0);
+  SimplexOptions opt;
+  opt.max_iterations = 1;
+  const Solution s = solve_lp(m, opt);
+  EXPECT_EQ(s.status, SolveStatus::kIterationLimit);
+}
+
+TEST(Simplex, PrimalInfeasibilityNearZeroAtOptimum) {
+  Model m;
+  const Variable x = m.add_variable(0, 4.0, 1.0, "x");
+  const Variable y = m.add_variable(0, kInfinity, 2.0, "y");
+  m.add_eq({{x, 1.0}, {y, 1.0}}, 10.0);
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_LT(s.primal_infeasibility, 1e-7);
+}
+
+}  // namespace
+}  // namespace powerlim::lp

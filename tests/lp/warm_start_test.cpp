@@ -1,0 +1,158 @@
+// Warm-started re-solves: correctness identical to cold solves, with
+// fewer iterations on the cap-sweep pattern the feature exists for.
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/rng.h"
+
+namespace powerlim::lp {
+namespace {
+
+/// A toy "power cap" LP: maximize throughput of n units under a shared
+/// budget row whose upper bound plays the cap.
+Model cap_model(int n, double cap) {
+  Model m(Sense::kMaximize);
+  std::vector<Term> budget;
+  for (int j = 0; j < n; ++j) {
+    const Variable x = m.add_variable(0, 10, 1.0 + 0.1 * j);
+    budget.push_back({x, 1.0 + 0.05 * j});
+  }
+  m.add_le(budget, cap, "cap");
+  return m;
+}
+
+TEST(WarmStart, SameOptimumAsCold) {
+  WarmStart warm;
+  const Model m1 = cap_model(12, 30.0);
+  const Solution cold1 = solve_lp(m1, {}, &warm);
+  ASSERT_TRUE(cold1.optimal());
+  ASSERT_TRUE(warm.valid());
+
+  const Model m2 = cap_model(12, 42.0);  // cap raised
+  const Solution warm2 = solve_lp(m2, {}, &warm);
+  const Solution cold2 = solve_lp(m2);
+  ASSERT_TRUE(warm2.optimal());
+  ASSERT_TRUE(cold2.optimal());
+  EXPECT_NEAR(warm2.objective, cold2.objective, 1e-8);
+}
+
+TEST(WarmStart, AscendingSweepUsesFewerIterations) {
+  WarmStart warm;
+  long warm_iters = 0, cold_iters = 0;
+  for (double cap = 20.0; cap <= 120.0; cap += 5.0) {
+    const Model m = cap_model(30, cap);
+    const Solution w = solve_lp(m, {}, &warm);
+    const Solution c = solve_lp(m);
+    ASSERT_TRUE(w.optimal());
+    ASSERT_TRUE(c.optimal());
+    EXPECT_NEAR(w.objective, c.objective, 1e-7) << cap;
+    warm_iters += w.iterations;
+    cold_iters += c.iterations;
+  }
+  EXPECT_LT(warm_iters, cold_iters);
+}
+
+TEST(WarmStart, CapDecreaseFallsBackCorrectly) {
+  WarmStart warm;
+  (void)solve_lp(cap_model(10, 80.0), {}, &warm);
+  ASSERT_TRUE(warm.valid());
+  // Tighter cap: the old basis is primal infeasible; must still solve.
+  const Model tight = cap_model(10, 15.0);
+  const Solution w = solve_lp(tight, {}, &warm);
+  const Solution c = solve_lp(tight);
+  ASSERT_TRUE(w.optimal());
+  EXPECT_NEAR(w.objective, c.objective, 1e-7);
+}
+
+TEST(WarmStart, StructureMismatchIgnoredSafely) {
+  WarmStart warm;
+  (void)solve_lp(cap_model(10, 50.0), {}, &warm);
+  ASSERT_TRUE(warm.valid());
+  // Different variable count: the snapshot cannot fit; cold start.
+  const Model other = cap_model(7, 50.0);
+  const Solution w = solve_lp(other, {}, &warm);
+  const Solution c = solve_lp(other);
+  ASSERT_TRUE(w.optimal());
+  EXPECT_NEAR(w.objective, c.objective, 1e-8);
+}
+
+TEST(WarmStart, InfeasibleAfterChangeDetected) {
+  Model feasible;
+  const Variable x = feasible.add_variable(0, 10, 1.0, "x");
+  feasible.add_constraint({{x, 1.0}}, 0.0, 8.0, "row");
+  WarmStart warm;
+  ASSERT_TRUE(solve_lp(feasible, {}, &warm).optimal());
+
+  Model infeasible;
+  const Variable y = infeasible.add_variable(5.0, 10, 1.0, "x");
+  infeasible.add_constraint({{y, 1.0}}, 0.0, 3.0, "row");  // y >= 5 vs <= 3
+  const Solution w = solve_lp(infeasible, {}, &warm);
+  EXPECT_EQ(w.status, SolveStatus::kInfeasible);
+  EXPECT_FALSE(warm.valid());  // cleared on non-optimal finish
+}
+
+TEST(WarmStart, ObjectiveChangeReoptimizesFromOldBasis) {
+  // Same feasible region, different costs: warm start stays feasible and
+  // phase II re-optimizes.
+  Model m1(Sense::kMinimize);
+  const Variable a1 = m1.add_variable(0, 5, 1.0);
+  const Variable b1 = m1.add_variable(0, 5, 5.0);
+  m1.add_ge({{a1, 1.0}, {b1, 1.0}}, 4.0);
+  WarmStart warm;
+  const Solution s1 = solve_lp(m1, {}, &warm);
+  ASSERT_TRUE(s1.optimal());
+  EXPECT_NEAR(s1.objective, 4.0, 1e-8);  // all on the cheap variable
+
+  Model m2(Sense::kMinimize);
+  const Variable a2 = m2.add_variable(0, 5, 5.0);
+  const Variable b2 = m2.add_variable(0, 5, 1.0);
+  m2.add_ge({{a2, 1.0}, {b2, 1.0}}, 4.0);
+  const Solution s2 = solve_lp(m2, {}, &warm);
+  ASSERT_TRUE(s2.optimal());
+  EXPECT_NEAR(s2.objective, 4.0, 1e-8);  // now the other variable
+  EXPECT_NEAR(s2.values[b2.index], 4.0, 1e-7);
+}
+
+TEST(WarmStart, RandomSweepEquivalence) {
+  util::Rng rng(515);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Random structure; sweep a random row's upper bound upward.
+    const int n = 5 + trial % 4;
+    Model base(Sense::kMinimize);
+    std::vector<Variable> vars;
+    for (int j = 0; j < n; ++j) {
+      vars.push_back(base.add_variable(-3, 3, rng.uniform(-2, 2)));
+    }
+    std::vector<std::vector<Term>> rows;
+    for (int i = 0; i < n; ++i) {
+      std::vector<Term> terms;
+      for (int j = 0; j < n; ++j) {
+        if (rng.uniform(0, 1) < 0.5) terms.push_back({vars[j], rng.uniform(-2, 2)});
+      }
+      if (!terms.empty()) rows.push_back(terms);
+    }
+    WarmStart warm;
+    for (double bound = 1.0; bound <= 5.0; bound += 1.0) {
+      Model m(Sense::kMinimize);
+      std::vector<Variable> vs;
+      for (int j = 0; j < n; ++j) {
+        vs.push_back(m.add_variable(-3, 3, base.objective_coeff(j)));
+      }
+      for (const auto& terms : rows) {
+        std::vector<Term> copy;
+        for (const Term& t : terms) copy.push_back({vs[t.var.index], t.coeff});
+        m.add_le(copy, bound);
+      }
+      const Solution w = solve_lp(m, {}, &warm);
+      const Solution c = solve_lp(m);
+      ASSERT_EQ(w.status, c.status) << trial << " " << bound;
+      if (c.optimal()) {
+        EXPECT_NEAR(w.objective, c.objective, 1e-6) << trial << " " << bound;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::lp

@@ -1,0 +1,109 @@
+#include "machine/calibration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "machine/power_model.h"
+#include "util/rng.h"
+
+namespace powerlim::machine {
+namespace {
+
+/// Generates samples from a ground-truth spec by querying the real model
+/// with synthetic kernels of known activity.
+std::vector<PowerSample> samples_from(const SocketSpec& truth,
+                                      double noise_watts,
+                                      std::uint64_t seed) {
+  const PowerModel pm{truth};
+  util::Rng rng(seed);
+  std::vector<PowerSample> out;
+  for (double f : {1.2, 1.5, 1.8, 2.1, 2.4, 2.6}) {
+    for (int t : {1, 2, 4, 6, 8}) {
+      for (double act : {1.0, 0.6, 0.3}) {
+        // Craft a kernel whose measured activity at this exact (f, t) is
+        // `act`: pick cpu_seconds so the scaled compute time equals act
+        // while the memory time is (1 - act).
+        TaskWork w;
+        w.parallel_fraction = 1.0;
+        w.mem_parallel_threads = 1;
+        w.cpu_seconds = act / ((truth.fmax_ghz / f) * (1.0 / t));
+        w.mem_seconds = 1.0 - act;
+        const double watts =
+            pm.power(w, f, t) + rng.uniform(-noise_watts, noise_watts);
+        out.push_back({f, t, act, watts});
+      }
+    }
+  }
+  return out;
+}
+
+TEST(Calibration, RecoversGroundTruthNoiseless) {
+  SocketSpec truth;
+  truth.p_static = 17.5;
+  truth.p_core_max = 8.25;
+  truth.p_uncore_max = 12.0;
+  truth.alpha = 2.6;
+  const auto samples = samples_from(truth, 0.0, 1);
+  const CalibrationResult fit = fit_power_model(samples);
+  EXPECT_NEAR(fit.spec.p_static, truth.p_static, 0.2);
+  EXPECT_NEAR(fit.spec.p_core_max, truth.p_core_max, 0.1);
+  EXPECT_NEAR(fit.spec.p_uncore_max, truth.p_uncore_max, 0.5);
+  EXPECT_NEAR(fit.spec.alpha, truth.alpha, 0.1);
+  EXPECT_LT(fit.rms_error, 0.2);
+}
+
+TEST(Calibration, RobustToMeasurementNoise) {
+  SocketSpec truth;
+  truth.p_static = 14.0;
+  truth.p_core_max = 10.5;
+  truth.alpha = 2.2;
+  const auto samples = samples_from(truth, 0.5, 7);  // +-0.5 W RAPL noise
+  const CalibrationResult fit = fit_power_model(samples);
+  EXPECT_NEAR(fit.spec.p_static, truth.p_static, 1.0);
+  EXPECT_NEAR(fit.spec.p_core_max, truth.p_core_max, 0.5);
+  EXPECT_NEAR(fit.spec.alpha, truth.alpha, 0.3);
+  EXPECT_LT(fit.rms_error, 1.0);
+}
+
+TEST(Calibration, FittedModelPredictsHeldOutPoints) {
+  SocketSpec truth;
+  truth.p_static = 19.0;
+  truth.alpha = 2.8;
+  const auto samples = samples_from(truth, 0.0, 3);
+  const CalibrationResult fit = fit_power_model(samples);
+  const PowerModel truth_pm{truth};
+  const PowerModel fit_pm{fit.spec};
+  TaskWork w;
+  w.cpu_seconds = 3.0;
+  w.mem_seconds = 0.7;
+  for (double f : {1.35, 1.95, 2.55}) {  // off the training grid
+    for (int t : {3, 7}) {
+      EXPECT_NEAR(fit_pm.power(w, f, t), truth_pm.power(w, f, t), 1.0)
+          << f << " GHz, " << t << " threads";
+    }
+  }
+}
+
+TEST(Calibration, RejectsTooFewSamples) {
+  EXPECT_THROW(fit_power_model({{2.6, 8, 1.0, 80.0}}),
+               std::invalid_argument);
+}
+
+TEST(Calibration, RejectsDegenerateDesign) {
+  // All samples at one frequency: alpha/p_core cannot be separated.
+  std::vector<PowerSample> s;
+  for (int t : {1, 2, 4, 8}) s.push_back({2.6, t, 1.0, 20.0 + 8.0 * t});
+  EXPECT_THROW(fit_power_model(s), std::invalid_argument);
+}
+
+TEST(Calibration, RejectsMalformedSample) {
+  std::vector<PowerSample> s{{2.6, 8, 1.0, 80.0},
+                             {1.2, 4, 1.0, 40.0},
+                             {2.0, 2, 0.5, 35.0},
+                             {-1.0, 1, 1.0, 20.0}};
+  EXPECT_THROW(fit_power_model(s), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlim::machine

@@ -1,0 +1,120 @@
+// Per-socket manufacturing variation (PowerModel::set_rank_efficiency).
+#include <gtest/gtest.h>
+
+#include "apps/benchmarks.h"
+#include "core/windowed.h"
+#include "machine/power_model.h"
+#include "machine/rapl.h"
+#include "runtime/static_policy.h"
+#include "sim/engine.h"
+#include "sim/measure.h"
+
+namespace powerlim::machine {
+namespace {
+
+TaskWork some_task() {
+  TaskWork w;
+  w.cpu_seconds = 4.0;
+  w.mem_seconds = 0.5;
+  w.parallel_fraction = 0.97;
+  return w;
+}
+
+TEST(Heterogeneity, DefaultIsHomogeneous) {
+  PowerModel pm{SocketSpec{}};
+  EXPECT_FALSE(pm.heterogeneous());
+  EXPECT_DOUBLE_EQ(pm.rank_efficiency(0), 1.0);
+  EXPECT_DOUBLE_EQ(pm.rank_efficiency(77), 1.0);
+  EXPECT_DOUBLE_EQ(pm.power(some_task(), 2.0, 4, 3),
+                   pm.power(some_task(), 2.0, 4, -1));
+}
+
+TEST(Heterogeneity, FactorScalesPower) {
+  PowerModel pm{SocketSpec{}};
+  pm.set_rank_efficiency({1.0, 1.10, 0.95});
+  const double base = pm.power(some_task(), 2.0, 6, 0);
+  EXPECT_NEAR(pm.power(some_task(), 2.0, 6, 1), base * 1.10, 1e-9);
+  EXPECT_NEAR(pm.power(some_task(), 2.0, 6, 2), base * 0.95, 1e-9);
+  // Duration is unaffected by variation.
+  EXPECT_DOUBLE_EQ(pm.duration(some_task(), 2.0, 6),
+                   pm.duration(some_task(), 2.0, 6));
+  // Out-of-range ranks fall back to nominal.
+  EXPECT_NEAR(pm.power(some_task(), 2.0, 6, 9), base, 1e-9);
+}
+
+TEST(Heterogeneity, RejectsNonPositiveFactors) {
+  PowerModel pm{SocketSpec{}};
+  EXPECT_THROW(pm.set_rank_efficiency({1.0, 0.0}), std::invalid_argument);
+  EXPECT_THROW(pm.set_rank_efficiency({-1.0}), std::invalid_argument);
+}
+
+TEST(Heterogeneity, RaplThrottlesInefficientSocketHarder) {
+  PowerModel pm{SocketSpec{}};
+  pm.set_rank_efficiency({1.0, 1.15});
+  const Rapl rapl(pm, 40.0);
+  const Config good = rapl.apply(some_task(), 8, 0);
+  const Config bad = rapl.apply(some_task(), 8, 1);
+  EXPECT_LT(bad.ghz, good.ghz);
+  EXPECT_GT(bad.duration, good.duration);
+}
+
+TEST(Heterogeneity, IdlePowerScales) {
+  PowerModel pm{SocketSpec{}};
+  pm.set_rank_efficiency({1.0, 1.2});
+  EXPECT_NEAR(pm.idle_power(1), pm.idle_power(0) * 1.2, 1e-9);
+}
+
+TEST(Heterogeneity, VariationCreatesImbalanceOnBalancedApp) {
+  // A perfectly balanced app on heterogeneous silicon behaves like an
+  // imbalanced app under uniform caps: the inefficient sockets throttle
+  // deeper and become stragglers - the paper's "differences in power
+  // efficiency between individual processors".
+  const int ranks = 4;
+  const dag::TaskGraph g = apps::make_sp({.ranks = ranks, .iterations = 4});
+
+  PowerModel uniform{SocketSpec{}};
+  PowerModel varied{SocketSpec{}};
+  varied.set_rank_efficiency({0.92, 1.0, 1.08, 1.16});
+
+  sim::EngineOptions eo;
+  eo.idle_power = uniform.idle_power();
+
+  runtime::StaticPolicy st_u(uniform, 35.0);
+  runtime::StaticPolicy st_v(varied, 35.0);
+  const double t_uniform = sim::simulate(g, st_u, eo).makespan;
+  const double t_varied = sim::simulate(g, st_v, eo).makespan;
+  // The slowest (least efficient) socket dictates the collective pace.
+  EXPECT_GT(t_varied, t_uniform * 1.02);
+}
+
+TEST(Heterogeneity, LpRecoversVariationLoss) {
+  // Non-uniform power allocation can feed the inefficient socket more
+  // watts; the LP's advantage over Static must grow with variation.
+  const int ranks = 4;
+  const machine::ClusterSpec cluster;
+  const dag::TaskGraph g = apps::make_sp({.ranks = ranks, .iterations = 4});
+  const double cap = 35.0 * ranks;
+
+  auto gap = [&](PowerModel& pm) {
+    const auto lp = core::solve_windowed_lp(g, pm, cluster,
+                                            {.power_cap = cap});
+    runtime::StaticPolicy st(pm, cap / ranks);
+    sim::EngineOptions eo;
+    eo.cluster = cluster;
+    eo.idle_power = pm.idle_power();
+    const double t_static = sim::simulate(g, st, eo).makespan;
+    return lp.optimal() ? t_static / lp.makespan - 1.0 : -1.0;
+  };
+
+  PowerModel uniform{SocketSpec{}};
+  PowerModel varied{SocketSpec{}};
+  varied.set_rank_efficiency({0.92, 1.0, 1.08, 1.16});
+  const double gap_uniform = gap(uniform);
+  const double gap_varied = gap(varied);
+  ASSERT_GE(gap_uniform, 0.0);
+  ASSERT_GE(gap_varied, 0.0);
+  EXPECT_GT(gap_varied, gap_uniform + 0.01);
+}
+
+}  // namespace
+}  // namespace powerlim::machine

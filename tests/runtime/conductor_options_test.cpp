@@ -1,0 +1,107 @@
+// Focused coverage of ConductorOptions knobs.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+
+#include "apps/benchmarks.h"
+#include "machine/power_model.h"
+#include "runtime/conductor.h"
+#include "sim/engine.h"
+
+namespace powerlim::runtime {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+
+sim::EngineOptions engine_opts() {
+  sim::EngineOptions o;
+  o.idle_power = kModel.idle_power();
+  return o;
+}
+
+double budget_spread(const ConductorPolicy& policy) {
+  const auto& b = policy.rank_budgets();
+  return *std::max_element(b.begin(), b.end()) -
+         *std::min_element(b.begin(), b.end());
+}
+
+TEST(ConductorOptions, ZeroDonationKeepsBudgetsUniform) {
+  const int ranks = 6;
+  const dag::TaskGraph g = apps::make_bt({.ranks = ranks, .iterations = 10});
+  ConductorOptions opt;
+  opt.donation_rate = 0.0;
+  ConductorPolicy policy(kModel, ranks, 40.0 * ranks, opt);
+  sim::simulate(g, policy, engine_opts());
+  EXPECT_NEAR(budget_spread(policy), 0.0, 1e-9);
+}
+
+TEST(ConductorOptions, MaxBoostLimitsPerRoundTransfer) {
+  const int ranks = 6;
+  const dag::TaskGraph g = apps::make_bt({.ranks = ranks, .iterations = 10});
+  // The knob's contract: smaller per-round boosts keep the allocation
+  // closer to uniform after the same number of reallocations.
+  auto spread_with_boost = [&](double boost) {
+    ConductorOptions opt;
+    opt.max_boost_watts = boost;
+    opt.realloc_period = 6;  // exactly one reallocation in this run
+    ConductorPolicy policy(kModel, ranks, 40.0 * ranks, opt);
+    sim::simulate(g, policy, engine_opts());
+    return budget_spread(policy);
+  };
+  const double tight = spread_with_boost(1.0);
+  const double loose = spread_with_boost(25.0);
+  // (Donations set the spread's lower side regardless of the boost cap,
+  // so only the relative ordering is a contract.)
+  EXPECT_LT(tight, loose);
+}
+
+TEST(ConductorOptions, MinRankWattsFloorHolds) {
+  const int ranks = 6;
+  const dag::TaskGraph g = apps::make_bt({.ranks = ranks, .iterations = 14});
+  ConductorOptions opt;
+  opt.min_rank_watts = 30.0;
+  ConductorPolicy policy(kModel, ranks, 36.0 * ranks, opt);
+  sim::simulate(g, policy, engine_opts());
+  for (double b : policy.rank_budgets()) {
+    EXPECT_GE(b, 30.0 - 1e-6);
+  }
+}
+
+TEST(ConductorOptions, LongerExplorationDelaysAdaptation) {
+  const int ranks = 4;
+  const dag::TaskGraph g = apps::make_bt({.ranks = ranks, .iterations = 8});
+  ConductorOptions opt;
+  opt.exploration_iterations = 100;  // never leaves exploration
+  ConductorPolicy policy(kModel, ranks, 40.0 * ranks, opt);
+  sim::simulate(g, policy, engine_opts());
+  EXPECT_NEAR(budget_spread(policy), 0.0, 1e-9);
+}
+
+TEST(ConductorOptions, ReallocPeriodControlsDecisionCount) {
+  // Count Pcontrol charges via makespan delta with frozen knobs.
+  const int ranks = 4;
+  const dag::TaskGraph g = apps::make_comd({.ranks = ranks, .iterations = 13});
+  auto run_with_period = [&](int period) {
+    ConductorOptions opt;
+    opt.donation_rate = 0.0;
+    opt.slack_safety = 0.0;
+    opt.realloc_period = period;
+    ConductorPolicy with(kModel, ranks, 45.0 * ranks, opt);
+    const double t_with = sim::simulate(g, with, engine_opts()).makespan;
+    opt.realloc_overhead_s = 0.0;
+    ConductorPolicy without(kModel, ranks, 45.0 * ranks, opt);
+    const double t_without =
+        sim::simulate(g, without, engine_opts()).makespan;
+    return (t_with - t_without) / machine::Overheads::kPowerReallocation;
+  };
+  // 13 iterations with 3 explored: boundaries for iterations 3..12 count,
+  // so period 1 fires 10 times and period 3 fires floor(10/3) = 3 times.
+  const double every = run_with_period(1);
+  const double third = run_with_period(3);
+  EXPECT_NEAR(every, 10.0, 0.5);
+  EXPECT_NEAR(third, 3.0, 0.5);
+}
+
+}  // namespace
+}  // namespace powerlim::runtime

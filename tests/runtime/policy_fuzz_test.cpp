@@ -1,0 +1,90 @@
+// Property fuzzing for the online policies: any valid random trace must
+// run to completion under Static / Adagio / Conductor with the cap
+// honored, budgets conserved, and the LP bound on top.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "apps/random_app.h"
+#include "core/windowed.h"
+#include "machine/power_model.h"
+#include "runtime/adagio.h"
+#include "runtime/conductor.h"
+#include "runtime/static_policy.h"
+#include "sim/engine.h"
+#include "sim/measure.h"
+#include "sim/replay.h"
+
+namespace powerlim::runtime {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+
+sim::EngineOptions engine_opts() {
+  sim::EngineOptions o;
+  o.cluster = machine::ClusterSpec{};
+  o.idle_power = kModel.idle_power();
+  return o;
+}
+
+class PolicyFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(PolicyFuzzTest, AllPoliciesRespectTheCap) {
+  apps::RandomAppParams params;
+  params.seed = 7000 + GetParam();
+  params.ranks = 2 + GetParam() % 5;
+  params.iterations = 3 + GetParam() % 4;
+  params.p2p_probability = (GetParam() % 3) * 0.4;
+  const dag::TaskGraph g = apps::make_random_app(params);
+  const double socket = 30.0 + (GetParam() % 5) * 12.0;
+  const double job_cap = socket * params.ranks;
+
+  StaticPolicy st(kModel, socket);
+  const sim::SimResult rs = sim::simulate(g, st, engine_opts());
+  EXPECT_LE(rs.peak_power, job_cap + 1e-4) << "static";
+  EXPECT_GT(rs.makespan, 0.0);
+
+  AdagioPolicy ad(kModel, socket);
+  const sim::SimResult ra = sim::simulate(g, ad, engine_opts());
+  EXPECT_LE(ra.peak_power, job_cap + 1e-4) << "adagio";
+
+  ConductorPolicy cond(kModel, params.ranks, job_cap);
+  const sim::SimResult rc = sim::simulate(g, cond, engine_opts());
+  EXPECT_LE(rc.peak_power, job_cap + 1e-4) << "conductor";
+
+  // Budgets conserved to the watt.
+  const double total = std::accumulate(cond.rank_budgets().begin(),
+                                       cond.rank_budgets().end(), 0.0);
+  EXPECT_NEAR(total, job_cap, 1e-6);
+}
+
+TEST_P(PolicyFuzzTest, LpBoundDominatesOnlinePolicies) {
+  apps::RandomAppParams params;
+  params.seed = 9000 + GetParam();
+  params.ranks = 2 + GetParam() % 4;
+  params.iterations = 3;
+  const dag::TaskGraph g = apps::make_random_app(params);
+  const double socket = 40.0;
+  const machine::ClusterSpec cluster;
+  const auto lp = core::solve_windowed_lp(
+      g, kModel, cluster, {.power_cap = socket * params.ranks});
+  if (!lp.optimal()) GTEST_SKIP() << "cap infeasible for this seed";
+
+  sim::ReplayOptions ro;
+  ro.engine = engine_opts();
+  const sim::SimResult rl =
+      sim::replay_schedule(g, lp.schedule, lp.frontiers, ro, &lp.vertex_time);
+
+  StaticPolicy st(kModel, socket);
+  const sim::SimResult rs = sim::simulate(g, st, engine_opts());
+  ConductorPolicy cond(kModel, params.ranks, socket * params.ranks);
+  const sim::SimResult rc = sim::simulate(g, cond, engine_opts());
+
+  EXPECT_LE(rl.makespan, rs.makespan * 1.005);
+  EXPECT_LE(rl.makespan, rc.makespan * 1.005);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PolicyFuzzTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace powerlim::runtime

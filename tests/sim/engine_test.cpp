@@ -1,0 +1,274 @@
+#include "sim/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+#include "dag/graph.h"
+
+namespace powerlim::sim {
+namespace {
+
+machine::TaskWork unit_work(double s) {
+  machine::TaskWork w;
+  w.cpu_seconds = s;
+  return w;
+}
+
+/// Policy that runs every task for a fixed duration and power.
+class ConstantPolicy : public Policy {
+ public:
+  ConstantPolicy(double duration, double power)
+      : duration_(duration), power_(power) {}
+
+  Decision choose(const dag::Edge&, double) override {
+    ++choices_;
+    Decision d;
+    d.duration = duration_;
+    d.power = power_;
+    d.ghz = 2.6;
+    d.threads = 8;
+    return d;
+  }
+
+  void on_task_complete(const dag::Edge&, const TaskRecord&) override {
+    ++completions_;
+  }
+
+  int choices() const { return choices_; }
+  int completions() const { return completions_; }
+
+ private:
+  double duration_, power_;
+  int choices_ = 0;
+  int completions_ = 0;
+};
+
+EngineOptions opts() {
+  EngineOptions o;
+  o.cluster = machine::ClusterSpec{};
+  o.idle_power = 15.0;
+  return o;
+}
+
+TEST(Engine, SingleChainMakespan) {
+  dag::TaskGraph g(1);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int mid = g.add_vertex(dag::VertexKind::kGeneric, 0);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, mid, 0, unit_work(1));
+  g.add_task(mid, fin, 0, unit_work(1));
+  ConstantPolicy policy(2.0, 50.0);
+  const SimResult res = simulate(g, policy, opts());
+  EXPECT_DOUBLE_EQ(res.makespan, 4.0);
+  EXPECT_EQ(policy.choices(), 2);
+  EXPECT_EQ(policy.completions(), 2);
+}
+
+TEST(Engine, CollectiveSynchronizesRanks) {
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int coll = g.add_vertex(dag::VertexKind::kCollective, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, coll, 0, unit_work(1), 0);
+  g.add_task(init, coll, 1, unit_work(1), 0);
+  g.add_task(coll, fin, 0, unit_work(1), 1);
+  g.add_task(coll, fin, 1, unit_work(1), 1);
+
+  // Policy: rank 0 runs 1s tasks, rank 1 runs 3s tasks.
+  class Imbalanced : public Policy {
+    Decision choose(const dag::Edge& e, double) override {
+      Decision d;
+      d.duration = e.rank == 0 ? 1.0 : 3.0;
+      d.power = 40.0;
+      return d;
+    }
+  } policy;
+  const SimResult res = simulate(g, policy, opts());
+  EXPECT_DOUBLE_EQ(res.vertex_time[coll], 3.0);
+  EXPECT_DOUBLE_EQ(res.makespan, 6.0);
+  // Rank 0's second task starts at the collective, not at its own end.
+  EXPECT_DOUBLE_EQ(res.tasks[2].start, 3.0);
+}
+
+TEST(Engine, MessageWireTime) {
+  const dag::TaskGraph g = apps::two_rank_exchange();
+  ConstantPolicy policy(1.0, 40.0);
+  const SimResult res = simulate(g, policy, opts());
+  // Recv fires at max(rank1 compute 1.0, isend(1.0) + wire).
+  const double wire = opts().cluster.message_seconds(1 << 20);
+  double recv_time = 0;
+  for (const auto& v : g.vertices()) {
+    if (v.kind == dag::VertexKind::kRecv) recv_time = res.vertex_time[v.id];
+  }
+  EXPECT_NEAR(recv_time, 1.0 + wire, 1e-12);
+}
+
+TEST(Engine, PowerTraceSumsOverlappingTasks) {
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work(1));
+  g.add_task(init, fin, 1, unit_work(1));
+  ConstantPolicy policy(2.0, 30.0);
+  const SimResult res = simulate(g, policy, opts());
+  EXPECT_DOUBLE_EQ(res.peak_power, 60.0);
+  EXPECT_NEAR(res.energy_joules, 2.0 * 60.0, 1e-9);
+  EXPECT_NEAR(res.average_power, 60.0, 1e-9);
+}
+
+TEST(Engine, SlackDrawsTaskPowerByDefault) {
+  // Rank 1 finishes early and waits; its slack draws task power, so the
+  // job level stays at the sum.
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work(1));
+  g.add_task(init, fin, 1, unit_work(1));
+  class Imbalanced : public Policy {
+    Decision choose(const dag::Edge& e, double) override {
+      Decision d;
+      d.duration = e.rank == 0 ? 4.0 : 1.0;
+      d.power = 25.0;
+      return d;
+    }
+  } policy;
+  const SimResult res = simulate(g, policy, opts());
+  // Throughout [0, 4): both ranks draw 25 (rank 1 in slack after t=1).
+  EXPECT_DOUBLE_EQ(res.peak_power, 50.0);
+  EXPECT_NEAR(res.energy_joules, 4.0 * 50.0, 1e-9);
+}
+
+TEST(Engine, SlackIdleModeDrawsIdlePower) {
+  dag::TaskGraph g(2);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work(1));
+  g.add_task(init, fin, 1, unit_work(1));
+  class Imbalanced : public Policy {
+    Decision choose(const dag::Edge& e, double) override {
+      Decision d;
+      d.duration = e.rank == 0 ? 4.0 : 1.0;
+      d.power = 25.0;
+      return d;
+    }
+  } policy;
+  EngineOptions o = opts();
+  o.slack_power = SlackPower::kIdle;
+  o.idle_power = 10.0;
+  const SimResult res = simulate(g, policy, o);
+  // After t=1 rank 1 idles at 10 W: total 35.
+  EXPECT_DOUBLE_EQ(res.peak_power, 50.0);
+  EXPECT_NEAR(res.energy_joules, 1.0 * 50.0 + 3.0 * 35.0, 1e-9);
+}
+
+TEST(Engine, SwitchOverheadExtendsTask) {
+  dag::TaskGraph g(1);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work(1));
+  class WithOverhead : public Policy {
+    Decision choose(const dag::Edge&, double) override {
+      Decision d;
+      d.duration = 1.0;
+      d.power = 30.0;
+      d.switch_overhead = 0.25;
+      return d;
+    }
+  } policy;
+  const SimResult res = simulate(g, policy, opts());
+  EXPECT_DOUBLE_EQ(res.makespan, 1.25);
+  EXPECT_DOUBLE_EQ(res.tasks[0].switch_overhead, 0.25);
+}
+
+TEST(Engine, PcontrolDelayShiftsWindow) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 2, .iterations = 3});
+  class Delaying : public Policy {
+   public:
+    Decision choose(const dag::Edge&, double) override {
+      Decision d;
+      d.duration = 1.0;
+      d.power = 30.0;
+      return d;
+    }
+    double on_pcontrol(int, double) override {
+      ++calls;
+      return 0.5;
+    }
+    int calls = 0;
+  } policy;
+  const SimResult res = simulate(g, policy, opts());
+  // 2 inner collectives trigger Pcontrol; each adds 0.5s.
+  EXPECT_EQ(policy.calls, 2);
+  EXPECT_DOUBLE_EQ(res.makespan, 3.0 + 2 * 0.5);
+}
+
+TEST(Engine, PcontrolCalledOncePerWindow) {
+  const dag::TaskGraph g = apps::make_lulesh({.ranks = 4, .iterations = 4});
+  class Counting : public Policy {
+   public:
+    Decision choose(const dag::Edge&, double) override {
+      Decision d;
+      d.duration = 0.01;
+      d.power = 30.0;
+      return d;
+    }
+    double on_pcontrol(int iter, double) override {
+      iters.push_back(iter);
+      return 0.0;
+    }
+    std::vector<int> iters;
+  } policy;
+  simulate(g, policy, opts());
+  // Iterations 1, 2, 3 begin at collectives (0 begins at Init).
+  ASSERT_EQ(policy.iters.size(), 3u);
+  EXPECT_EQ(policy.iters[0], 1);
+  EXPECT_EQ(policy.iters[2], 3);
+}
+
+TEST(Engine, RejectsBadDecision) {
+  dag::TaskGraph g(1);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work(1));
+  class Broken : public Policy {
+    Decision choose(const dag::Edge&, double) override {
+      Decision d;
+      d.duration = -1.0;
+      return d;
+    }
+  } policy;
+  EXPECT_THROW(simulate(g, policy, opts()), std::runtime_error);
+}
+
+TEST(Engine, VertexTimesMatchAsapForConstantDurations) {
+  const dag::TaskGraph g = apps::make_bt({.ranks = 4, .iterations = 2});
+  ConstantPolicy policy(0.5, 30.0);
+  const SimResult res = simulate(g, policy, opts());
+  std::vector<double> dur(g.num_edges());
+  for (const dag::Edge& e : g.edges()) {
+    dur[e.id] = e.is_task() ? 0.5
+                            : opts().cluster.message_seconds(e.bytes);
+  }
+  const dag::ScheduleTimes ref = dag::asap_schedule(g, dur);
+  for (std::size_t v = 0; v < g.num_vertices(); ++v) {
+    EXPECT_NEAR(res.vertex_time[v], ref.vertex_time[v], 1e-9) << "v" << v;
+  }
+}
+
+TEST(Engine, EnergyEqualsTraceIntegral) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 3, .iterations = 2});
+  ConstantPolicy policy(1.0, 33.0);
+  const SimResult res = simulate(g, policy, opts());
+  double integral = 0.0;
+  for (std::size_t i = 0; i + 1 < res.power_trace.size(); ++i) {
+    integral += res.power_trace[i].watts *
+                (res.power_trace[i + 1].time - res.power_trace[i].time);
+  }
+  EXPECT_NEAR(integral, res.energy_joules, 1e-6);
+}
+
+}  // namespace
+}  // namespace powerlim::sim

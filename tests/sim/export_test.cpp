@@ -1,0 +1,173 @@
+#include "sim/export.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "apps/benchmarks.h"
+#include "machine/power_model.h"
+#include "runtime/static_policy.h"
+
+namespace powerlim::sim {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+
+struct Fixture {
+  dag::TaskGraph graph;
+  SimResult result;
+};
+
+Fixture run_comd() {
+  Fixture f{apps::make_comd({.ranks = 3, .iterations = 3}), {}};
+  runtime::StaticPolicy policy(kModel, 45.0);
+  EngineOptions eo;
+  eo.idle_power = kModel.idle_power();
+  f.result = simulate(f.graph, policy, eo);
+  return f;
+}
+
+int count_lines(const std::string& s) {
+  int n = 0;
+  for (char c : s) n += c == '\n';
+  return n;
+}
+
+TEST(GanttCsv, OneRowPerTaskPlusHeader) {
+  const Fixture f = run_comd();
+  const std::string csv = gantt_csv(f.graph, f.result);
+  EXPECT_EQ(count_lines(csv),
+            1 + static_cast<int>(f.graph.task_edges().size()));
+  EXPECT_NE(csv.find("edge,rank,iteration"), std::string::npos);
+}
+
+TEST(GanttCsv, FieldsParseAndAreConsistent) {
+  const Fixture f = run_comd();
+  std::istringstream in(gantt_csv(f.graph, f.result));
+  std::string line;
+  std::getline(in, line);  // header
+  while (std::getline(in, line)) {
+    std::replace(line.begin(), line.end(), ',', ' ');
+    std::istringstream row(line);
+    int edge, rank, iteration;
+    std::string label;
+    double start, end, slack_end, power, ghz, threads, overhead;
+    row >> edge >> rank >> iteration >> label >> start >> end >> slack_end >>
+        power >> ghz >> threads >> overhead;
+    ASSERT_FALSE(row.fail()) << line;
+    EXPECT_GE(end, start);
+    EXPECT_GE(slack_end, end - 1e-9);
+    EXPECT_GT(power, 0.0);
+  }
+}
+
+TEST(GanttCsv, MismatchedResultThrows) {
+  const Fixture f = run_comd();
+  SimResult empty;
+  EXPECT_THROW(gantt_csv(f.graph, empty), std::invalid_argument);
+}
+
+TEST(PowerTraceCsv, MatchesTraceLength) {
+  const Fixture f = run_comd();
+  const std::string csv = power_trace_csv(f.result);
+  EXPECT_EQ(count_lines(csv),
+            1 + static_cast<int>(f.result.power_trace.size()));
+}
+
+TEST(AsciiTimeline, OneLanePerRank) {
+  const Fixture f = run_comd();
+  const std::string art = ascii_timeline(f.graph, f.result, 60);
+  EXPECT_EQ(count_lines(art), 1 + f.graph.num_ranks());
+  EXPECT_NE(art.find("r0"), std::string::npos);
+  EXPECT_NE(art.find("r2"), std::string::npos);
+}
+
+TEST(AsciiTimeline, LanesHaveRequestedWidth) {
+  const Fixture f = run_comd();
+  const int width = 50;
+  std::istringstream in(ascii_timeline(f.graph, f.result, width));
+  std::string line;
+  std::getline(in, line);  // legend
+  while (std::getline(in, line)) {
+    const auto open = line.find('[');
+    const auto close = line.find(']');
+    ASSERT_NE(open, std::string::npos);
+    EXPECT_EQ(static_cast<int>(close - open - 1), width);
+  }
+}
+
+TEST(AsciiTimeline, ShowsTasksAndBoundaries) {
+  const Fixture f = run_comd();
+  const std::string art = ascii_timeline(f.graph, f.result, 60);
+  EXPECT_NE(art.find('#'), std::string::npos);
+  EXPECT_NE(art.find('|'), std::string::npos);  // 2 inner collectives
+}
+
+TEST(AsciiTimeline, ShowsSlackOnImbalancedApp) {
+  Fixture f{apps::make_bt({.ranks = 4, .iterations = 2}), {}};
+  runtime::StaticPolicy policy(kModel, 45.0);
+  EngineOptions eo;
+  eo.idle_power = kModel.idle_power();
+  f.result = simulate(f.graph, policy, eo);
+  const std::string art = ascii_timeline(f.graph, f.result, 100);
+  // BT's light ranks wait at the collective: slack must be visible.
+  EXPECT_NE(art.find('.'), std::string::npos);
+}
+
+TEST(AsciiTimeline, RejectsTinyWidth) {
+  const Fixture f = run_comd();
+  EXPECT_THROW(ascii_timeline(f.graph, f.result, 5), std::invalid_argument);
+}
+
+
+TEST(RankPowerCsv, EmitsPerRankSeries) {
+  const Fixture f = run_comd();
+  const std::string csv = rank_power_csv(f.graph, f.result);
+  EXPECT_NE(csv.find("time_s,rank,watts"), std::string::npos);
+  // Every rank appears and ends at zero watts at the makespan.
+  for (int r = 0; r < f.graph.num_ranks(); ++r) {
+    const std::string tail =
+        "," + std::to_string(r) + ",0";
+    EXPECT_NE(csv.find(tail), std::string::npos) << r;
+  }
+}
+
+TEST(RankPowerCsv, EnergyMatchesJobTrace) {
+  // Integrating the per-rank series must reproduce the engine's total
+  // energy (same slack policy recorded in the result).
+  const Fixture f = run_comd();
+  const std::string csv = rank_power_csv(f.graph, f.result);
+  std::istringstream in(csv);
+  std::string line;
+  std::getline(in, line);  // header
+  struct Row {
+    double t;
+    int rank;
+    double w;
+  };
+  std::vector<std::vector<Row>> series(f.graph.num_ranks());
+  while (std::getline(in, line)) {
+    std::replace(line.begin(), line.end(), ',', ' ');
+    std::istringstream row(line);
+    Row r{};
+    row >> r.t >> r.rank >> r.w;
+    series[r.rank].push_back(r);
+  }
+  double energy = 0.0;
+  for (const auto& s : series) {
+    for (std::size_t i = 0; i + 1 < s.size(); ++i) {
+      energy += s[i].w * (s[i + 1].t - s[i].t);
+    }
+  }
+  EXPECT_NEAR(energy, f.result.energy_joules,
+              1e-6 * f.result.energy_joules);
+}
+
+TEST(RankPowerCsv, MismatchedResultThrows) {
+  const Fixture f = run_comd();
+  SimResult empty;
+  EXPECT_THROW(rank_power_csv(f.graph, empty), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace powerlim::sim

@@ -1,0 +1,93 @@
+// Fault injection for the discrete-event engine: misbehaving policies and
+// inconsistent inputs must be rejected loudly, never simulated silently.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "apps/benchmarks.h"
+#include "sim/engine.h"
+
+namespace powerlim::sim {
+namespace {
+
+machine::TaskWork unit_work() {
+  machine::TaskWork w;
+  w.cpu_seconds = 1.0;
+  return w;
+}
+
+dag::TaskGraph tiny_graph() {
+  dag::TaskGraph g(1);
+  const int init = g.add_vertex(dag::VertexKind::kInit, -1);
+  const int fin = g.add_vertex(dag::VertexKind::kFinalize, -1);
+  g.add_task(init, fin, 0, unit_work());
+  return g;
+}
+
+class FaultyPolicy : public Policy {
+ public:
+  explicit FaultyPolicy(Decision d) : decision_(d) {}
+  Decision choose(const dag::Edge&, double) override { return decision_; }
+
+ private:
+  Decision decision_;
+};
+
+TEST(FaultInjection, NegativeDurationRejected) {
+  const dag::TaskGraph g = tiny_graph();
+  FaultyPolicy p(Decision{-1.0, 30.0, 2.6, 8, 0.0});
+  EXPECT_THROW(simulate(g, p, EngineOptions{}), std::runtime_error);
+}
+
+TEST(FaultInjection, NegativePowerRejected) {
+  const dag::TaskGraph g = tiny_graph();
+  FaultyPolicy p(Decision{1.0, -5.0, 2.6, 8, 0.0});
+  EXPECT_THROW(simulate(g, p, EngineOptions{}), std::runtime_error);
+}
+
+TEST(FaultInjection, NanDurationRejected) {
+  const dag::TaskGraph g = tiny_graph();
+  FaultyPolicy p(
+      Decision{std::numeric_limits<double>::quiet_NaN(), 30.0, 2.6, 8, 0.0});
+  EXPECT_THROW(simulate(g, p, EngineOptions{}), std::runtime_error);
+}
+
+TEST(FaultInjection, ThrowingPolicyPropagates) {
+  const dag::TaskGraph g = tiny_graph();
+  class Thrower : public Policy {
+    Decision choose(const dag::Edge&, double) override {
+      throw std::runtime_error("policy exploded");
+    }
+  } p;
+  EXPECT_THROW(simulate(g, p, EngineOptions{}), std::runtime_error);
+}
+
+TEST(FaultInjection, InvalidGraphRejectedBeforeSimulation) {
+  dag::TaskGraph g(1);
+  g.add_vertex(dag::VertexKind::kInit, -1);  // no finalize, no tasks
+  FaultyPolicy p(Decision{1.0, 30.0, 2.6, 8, 0.0});
+  EXPECT_THROW(simulate(g, p, EngineOptions{}), std::runtime_error);
+}
+
+TEST(FaultInjection, ZeroDurationTasksAreFine) {
+  // Legal edge case: zero-work tasks (recorder output) simulate cleanly.
+  const dag::TaskGraph g = tiny_graph();
+  FaultyPolicy p(Decision{0.0, 30.0, 2.6, 8, 0.0});
+  const SimResult r = simulate(g, p, EngineOptions{});
+  EXPECT_DOUBLE_EQ(r.makespan, 0.0);
+}
+
+TEST(FaultInjection, PcontrolDelayNegativeRejected) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 2, .iterations = 3});
+  class NegativeDelay : public Policy {
+    Decision choose(const dag::Edge&, double) override {
+      return Decision{0.1, 30.0, 2.6, 8, 0.0};
+    }
+    double on_pcontrol(int, double) override { return -1.0; }
+  } p;
+  EXPECT_THROW(simulate(g, p, EngineOptions{}), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace powerlim::sim

@@ -1,0 +1,300 @@
+#include "tools/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace powerlim::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_trace() {
+  return ::testing::TempDir() + "/cli_trace.txt";
+}
+
+TEST(Cli, NoArgsPrintsUsage) {
+  const CliResult r = run_cli({});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, HelpIsSuccess) {
+  const CliResult r = run_cli({"help"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage:"), std::string::npos);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  const CliResult r = run_cli({"frobnicate"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, TraceRequiresOutput) {
+  const CliResult r = run_cli({"trace", "comd"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("-o"), std::string::npos);
+}
+
+TEST(Cli, TraceUnknownAppFails) {
+  const CliResult r = run_cli({"trace", "doom", "-o", temp_trace()});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown app"), std::string::npos);
+}
+
+TEST(Cli, TraceThenInfo) {
+  const CliResult w = run_cli({"trace", "comd", "-o", temp_trace(),
+                               "--ranks", "4", "--iterations", "5"});
+  ASSERT_EQ(w.code, 0) << w.err;
+  EXPECT_NE(w.out.find("wrote"), std::string::npos);
+
+  const CliResult i = run_cli({"info", temp_trace()});
+  ASSERT_EQ(i.code, 0) << i.err;
+  EXPECT_NE(i.out.find("ranks"), std::string::npos);
+  EXPECT_NE(i.out.find("4"), std::string::npos);
+  EXPECT_NE(i.out.find("min schedulable power"), std::string::npos);
+}
+
+TEST(Cli, BoundValidatesSchedule) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "4",
+                     "--iterations", "5"})
+                .code,
+            0);
+  const CliResult b = run_cli({"bound", temp_trace(), "--socket-cap", "45"});
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_NE(b.out.find("LP bound"), std::string::npos);
+  EXPECT_NE(b.out.find("replay peak power"), std::string::npos);
+}
+
+TEST(Cli, BoundInfeasibleCapReturnsError) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult b = run_cli({"bound", temp_trace(), "--socket-cap", "5"});
+  EXPECT_EQ(b.code, 1);
+  EXPECT_NE(b.err.find("infeasible"), std::string::npos);
+}
+
+TEST(Cli, BoundRequiresCap) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult b = run_cli({"bound", temp_trace()});
+  EXPECT_NE(b.code, 0);
+}
+
+TEST(Cli, CompareListsAllMethods) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "4",
+                     "--iterations", "6"})
+                .code,
+            0);
+  const CliResult c = run_cli({"compare", temp_trace(), "--socket-cap", "45"});
+  ASSERT_EQ(c.code, 0) << c.err;
+  for (const char* m : {"Static", "Adagio", "Conductor", "LP bound"}) {
+    EXPECT_NE(c.out.find(m), std::string::npos) << m;
+  }
+}
+
+TEST(Cli, SweepMarksInfeasibleCaps) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult s = run_cli({"sweep", temp_trace(), "--from", "10", "--to",
+                               "60", "--step", "25"});
+  ASSERT_EQ(s.code, 0) << s.err;
+  EXPECT_NE(s.out.find("n/s"), std::string::npos);   // 10 W infeasible
+  EXPECT_NE(s.out.find("0.0%"), std::string::npos);  // best cap row
+}
+
+TEST(Cli, MissingTraceFileErrors) {
+  const CliResult r = run_cli({"info", "/nonexistent/trace.txt"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("error:"), std::string::npos);
+}
+
+TEST(Cli, UnknownOptionRejected) {
+  const CliResult r = run_cli({"trace", "comd", "-o", temp_trace(),
+                               "--bogus", "7"});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("unknown option"), std::string::npos);
+}
+
+TEST(Cli, ExchangeTraceRoundTrips) {
+  ASSERT_EQ(run_cli({"trace", "exchange", "-o", temp_trace()}).code, 0);
+  const CliResult i = run_cli({"info", temp_trace()});
+  ASSERT_EQ(i.code, 0);
+  EXPECT_NE(i.out.find("2"), std::string::npos);  // 2 ranks
+}
+
+
+TEST(Cli, TimelineRendersLanes) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "3",
+                     "--iterations", "4"})
+                .code,
+            0);
+  const CliResult t = run_cli({"timeline", temp_trace(), "--socket-cap",
+                               "45", "--method", "static", "--width", "40"});
+  ASSERT_EQ(t.code, 0) << t.err;
+  EXPECT_NE(t.out.find("r0"), std::string::npos);
+  EXPECT_NE(t.out.find('#'), std::string::npos);
+}
+
+TEST(Cli, TimelineUnknownMethodFails) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult t = run_cli({"timeline", temp_trace(), "--socket-cap",
+                               "45", "--method", "warp"});
+  EXPECT_NE(t.code, 0);
+  EXPECT_NE(t.err.find("unknown method"), std::string::npos);
+}
+
+TEST(Cli, ExportWritesCsvPair) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const std::string prefix = ::testing::TempDir() + "/cli_export";
+  const CliResult e = run_cli({"export", temp_trace(), "--socket-cap", "45",
+                               "-o", prefix});
+  ASSERT_EQ(e.code, 0) << e.err;
+  std::ifstream gantt(prefix + ".gantt.csv"), power(prefix + ".power.csv");
+  EXPECT_TRUE(gantt.good());
+  EXPECT_TRUE(power.good());
+  std::string header;
+  std::getline(gantt, header);
+  EXPECT_NE(header.find("edge,rank"), std::string::npos);
+}
+
+
+TEST(Cli, AnalyzeReportsImbalance) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "4",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult a = run_cli({"analyze", temp_trace()});
+  ASSERT_EQ(a.code, 0) << a.err;
+  EXPECT_NE(a.out.find("load imbalance"), std::string::npos);
+  EXPECT_NE(a.out.find("per-rank work share"), std::string::npos);
+}
+
+TEST(Cli, EnergyReportsSavings) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "4",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult e = run_cli({"energy", temp_trace(), "--allowance", "5"});
+  ASSERT_EQ(e.code, 0) << e.err;
+  EXPECT_NE(e.out.find("energy saved"), std::string::npos);
+}
+
+TEST(Cli, EnergyRequiresAllowance) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "2"})
+                .code,
+            0);
+  EXPECT_NE(run_cli({"energy", temp_trace()}).code, 0);
+}
+
+
+TEST(Cli, BoundSavesAndReplayValidates) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "3",
+                     "--iterations", "4"})
+                .code,
+            0);
+  const std::string sched = ::testing::TempDir() + "/cli_saved.sched";
+  const CliResult b = run_cli({"bound", temp_trace(), "--socket-cap", "45",
+                               "-o", sched});
+  ASSERT_EQ(b.code, 0) << b.err;
+  EXPECT_NE(b.out.find("schedule written"), std::string::npos);
+  const CliResult r = run_cli({"replay", temp_trace(), sched});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("valid"), std::string::npos);
+}
+
+TEST(Cli, ReplayRejectsMismatchedSchedule) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "3",
+                     "--iterations", "4"})
+                .code,
+            0);
+  const std::string sched = ::testing::TempDir() + "/cli_saved2.sched";
+  ASSERT_EQ(run_cli({"bound", temp_trace(), "--socket-cap", "45", "-o",
+                     sched})
+                .code,
+            0);
+  // Different trace shape.
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "2"})
+                .code,
+            0);
+  const CliResult r = run_cli({"replay", temp_trace(), sched});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.err.find("does not match"), std::string::npos);
+}
+
+
+TEST(Cli, PartitionSplitsMachineBudget) {
+  const std::string t1 = ::testing::TempDir() + "/cli_job1.trace";
+  const std::string t2 = ::testing::TempDir() + "/cli_job2.trace";
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", t1, "--ranks", "2",
+                     "--iterations", "2"})
+                .code,
+            0);
+  ASSERT_EQ(run_cli({"trace", "sp", "-o", t2, "--ranks", "2",
+                     "--iterations", "2"})
+                .code,
+            0);
+  const CliResult r =
+      run_cli({"partition", t1, t2, "--machine-watts", "200"});
+  ASSERT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("machine makespan"), std::string::npos);
+}
+
+TEST(Cli, PartitionInfeasibleBudget) {
+  const std::string t1 = ::testing::TempDir() + "/cli_job3.trace";
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", t1, "--ranks", "2",
+                     "--iterations", "2"})
+                .code,
+            0);
+  const CliResult r = run_cli({"partition", t1, "--machine-watts", "10"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("infeasible"), std::string::npos);
+}
+
+
+TEST(Cli, DotRendersToStdout) {
+  ASSERT_EQ(run_cli({"trace", "exchange", "-o", temp_trace()}).code, 0);
+  const CliResult d = run_cli({"dot", temp_trace()});
+  ASSERT_EQ(d.code, 0) << d.err;
+  EXPECT_NE(d.out.find("digraph trace"), std::string::npos);
+}
+
+TEST(Cli, DotWritesFile) {
+  ASSERT_EQ(run_cli({"trace", "exchange", "-o", temp_trace()}).code, 0);
+  const std::string out_path = ::testing::TempDir() + "/cli_graph.dot";
+  const CliResult d = run_cli({"dot", temp_trace(), "-o", out_path});
+  ASSERT_EQ(d.code, 0) << d.err;
+  std::ifstream f(out_path);
+  EXPECT_TRUE(f.good());
+}
+
+}  // namespace
+}  // namespace powerlim::cli

@@ -1,0 +1,56 @@
+#include "util/log.h"
+
+#include <gtest/gtest.h>
+
+namespace powerlim::util {
+namespace {
+
+/// Restores the global level after each test.
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override { saved_ = log_level(); }
+  void TearDown() override { set_log_level(saved_); }
+  LogLevel saved_ = LogLevel::kWarn;
+};
+
+TEST_F(LogTest, DefaultThresholdIsWarn) {
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kWarn));
+}
+
+TEST_F(LogTest, SetAndGetRoundTrip) {
+  set_log_level(LogLevel::kDebug);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kDebug));
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(static_cast<int>(log_level()),
+            static_cast<int>(LogLevel::kError));
+}
+
+TEST_F(LogTest, BelowThresholdIsDropped) {
+  set_log_level(LogLevel::kError);
+  ::testing::internal::CaptureStderr();
+  log_info() << "quiet " << 42;
+  log_warn() << "also quiet";
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_TRUE(err.empty()) << err;
+}
+
+TEST_F(LogTest, AtThresholdIsEmitted) {
+  set_log_level(LogLevel::kInfo);
+  ::testing::internal::CaptureStderr();
+  log_info() << "hello " << 7;
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[INFO] hello 7"), std::string::npos) << err;
+}
+
+TEST_F(LogTest, StreamsComposeTypes) {
+  set_log_level(LogLevel::kDebug);
+  ::testing::internal::CaptureStderr();
+  log_error() << "x=" << 1.5 << " y=" << true << " s=" << std::string("z");
+  const std::string err = ::testing::internal::GetCapturedStderr();
+  EXPECT_NE(err.find("[ERROR] x=1.5 y=1 s=z"), std::string::npos) << err;
+}
+
+}  // namespace
+}  // namespace powerlim::util

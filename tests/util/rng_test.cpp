@@ -1,0 +1,76 @@
+#include "util/rng.h"
+
+#include <gtest/gtest.h>
+
+namespace powerlim::util {
+namespace {
+
+TEST(Rng, Deterministic) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(0, 1), b.uniform(0, 1));
+  }
+}
+
+TEST(Rng, SeedsDiffer) {
+  Rng a(1), b(2);
+  bool any_diff = false;
+  for (int i = 0; i < 16 && !any_diff; ++i) {
+    any_diff = a.uniform(0, 1) != b.uniform(0, 1);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, UniformInRange) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(2.0, 3.0);
+    EXPECT_GE(x, 2.0);
+    EXPECT_LT(x, 3.0);
+  }
+}
+
+TEST(Rng, UniformIntInclusive) {
+  Rng r(7);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = r.uniform_int(0, 3);
+    EXPECT_GE(v, 0);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == 0;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, ClampedNormalRespectsBounds) {
+  Rng r(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.clamped_normal(1.0, 10.0, 0.5, 1.5);
+    EXPECT_GE(x, 0.5);
+    EXPECT_LE(x, 1.5);
+  }
+}
+
+TEST(Rng, SplitIndependentOfParentDraws) {
+  Rng a(5);
+  Rng child = a.split();
+  // The child stream should differ from the parent's continued stream.
+  bool any_diff = false;
+  for (int i = 0; i < 8 && !any_diff; ++i) {
+    any_diff = a.uniform(0, 1) != child.uniform(0, 1);
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Rng, NormalMeanApproximately) {
+  Rng r(13);
+  double acc = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) acc += r.normal(5.0, 2.0);
+  EXPECT_NEAR(acc / n, 5.0, 0.1);
+}
+
+}  // namespace
+}  // namespace powerlim::util

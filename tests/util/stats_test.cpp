@@ -1,0 +1,90 @@
+#include "util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace powerlim::util {
+namespace {
+
+TEST(Stats, MeanEmpty) { EXPECT_EQ(mean({}), 0.0); }
+
+TEST(Stats, MeanSimple) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, StdevNeedsTwoPoints) {
+  const std::vector<double> one{5.0};
+  EXPECT_EQ(stdev(one), 0.0);
+}
+
+TEST(Stats, StdevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  // Sample stdev with n-1 denominator.
+  EXPECT_NEAR(stdev(xs), 2.13809, 1e-4);
+}
+
+TEST(Stats, MedianOdd) {
+  const std::vector<double> xs{9.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(median(xs), 5.0);
+}
+
+TEST(Stats, MedianEven) {
+  const std::vector<double> xs{4.0, 1.0, 3.0, 2.0};
+  EXPECT_DOUBLE_EQ(median(xs), 2.5);
+}
+
+TEST(Stats, MedianDoesNotMutateInput) {
+  const std::vector<double> xs{3.0, 1.0, 2.0};
+  (void)median(xs);
+  EXPECT_EQ(xs[0], 3.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100.0), 30.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(percentile(xs, 25.0), 2.5);
+}
+
+TEST(Stats, SummarizeAllFields) {
+  const std::vector<double> xs{1.0, 2.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_EQ(s.count, 3u);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_DOUBLE_EQ(s.mean, 2.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.0);
+  EXPECT_NEAR(s.stdev, 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanSimple) {
+  const std::vector<double> xs{1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+}
+
+TEST(Stats, AccumulatorMatchesBatch) {
+  const std::vector<double> xs{3.1, -2.0, 7.5, 0.0, 4.4};
+  Accumulator acc;
+  for (double x : xs) acc.add(x);
+  EXPECT_EQ(acc.count(), xs.size());
+  EXPECT_NEAR(acc.mean(), mean(xs), 1e-12);
+  EXPECT_NEAR(acc.stdev(), stdev(xs), 1e-12);
+  EXPECT_DOUBLE_EQ(acc.min(), -2.0);
+  EXPECT_DOUBLE_EQ(acc.max(), 7.5);
+}
+
+TEST(Stats, AccumulatorEmpty) {
+  Accumulator acc;
+  EXPECT_EQ(acc.count(), 0u);
+  EXPECT_EQ(acc.mean(), 0.0);
+  EXPECT_EQ(acc.stdev(), 0.0);
+}
+
+}  // namespace
+}  // namespace powerlim::util

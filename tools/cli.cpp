@@ -1,0 +1,639 @@
+#include "tools/cli.h"
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+#include <fstream>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+#include "core/partition.h"
+#include "core/schedule_io.h"
+#include "core/windowed.h"
+#include "dag/analysis.h"
+#include "dag/trace_io.h"
+#include "dag/windows.h"
+#include "machine/power_model.h"
+#include "runtime/comparison.h"
+#include "runtime/conductor.h"
+#include "runtime/static_policy.h"
+#include "sim/export.h"
+#include "sim/power_window.h"
+#include "sim/replay.h"
+#include "util/table.h"
+
+namespace powerlim::cli {
+
+namespace {
+
+struct ParsedArgs {
+  std::vector<std::string> positional;
+  std::map<std::string, std::string> options;  // --key value
+  std::map<std::string, bool> flags;           // --key (no value)
+};
+
+const char* kUsage =
+    "usage: powerlim <command> ...\n"
+    "  trace    <comd|lulesh|sp|bt|exchange> -o FILE [--ranks N]\n"
+    "           [--iterations N] [--seed S]\n"
+    "  info     FILE\n"
+    "  bound    FILE --socket-cap W [--discrete] [-o SCHEDULE]\n"
+    "  compare  FILE --socket-cap W\n"
+    "  sweep    FILE --from W --to W [--step W]\n"
+    "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
+    "           [--width N]\n"
+    "  export   FILE --socket-cap W -o PREFIX\n"
+    "           (writes PREFIX.gantt.csv and PREFIX.power.csv for the LP\n"
+    "            schedule replay)\n"
+    "  replay   TRACE SCHEDULE   (replay a saved schedule, validate cap)\n"
+    "  analyze  FILE   (load imbalance + communication structure)\n"
+    "  energy   FILE --allowance PCT [--socket-cap W]\n"
+    "           (minimum-energy schedule within the slowdown allowance)\n"
+    "  partition FILE [FILE...] --machine-watts W\n"
+    "           (min-max split of the machine budget across jobs)\n"
+    "  dot      FILE [-o OUT.dot]   (Graphviz rendering of the task graph)\n";
+
+ParsedArgs parse(const std::vector<std::string>& args, std::size_t start,
+                 const std::vector<std::string>& value_opts,
+                 const std::vector<std::string>& flag_opts) {
+  ParsedArgs out;
+  for (std::size_t i = start; i < args.size(); ++i) {
+    const std::string& a = args[i];
+    if (a.rfind("--", 0) == 0 || a == "-o") {
+      const std::string key = a == "-o" ? "-o" : a;
+      bool is_flag = false;
+      for (const auto& f : flag_opts) is_flag |= f == key;
+      if (is_flag) {
+        out.flags[key] = true;
+        continue;
+      }
+      bool known = false;
+      for (const auto& v : value_opts) known |= v == key;
+      if (!known) throw std::runtime_error("unknown option " + a);
+      if (i + 1 >= args.size()) {
+        throw std::runtime_error("option " + a + " needs a value");
+      }
+      out.options[key] = args[++i];
+    } else {
+      out.positional.push_back(a);
+    }
+  }
+  return out;
+}
+
+int opt_int(const ParsedArgs& p, const std::string& key, int def) {
+  auto it = p.options.find(key);
+  return it == p.options.end() ? def : std::stoi(it->second);
+}
+
+std::optional<double> opt_double(const ParsedArgs& p, const std::string& key) {
+  auto it = p.options.find(key);
+  if (it == p.options.end()) return std::nullopt;
+  return std::stod(it->second);
+}
+
+const machine::PowerModel& model() {
+  static const machine::PowerModel m{machine::SocketSpec{}};
+  return m;
+}
+
+int cmd_trace(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "trace: expected one app name\n";
+    return 2;
+  }
+  const std::string& app = p.positional[0];
+  const int ranks = opt_int(p, "--ranks", 8);
+  const int iterations = opt_int(p, "--iterations", 12);
+  const auto seed = static_cast<std::uint64_t>(opt_int(p, "--seed", 17));
+  auto it = p.options.find("-o");
+  if (it == p.options.end()) {
+    err << "trace: -o FILE is required\n";
+    return 2;
+  }
+
+  dag::TaskGraph g = [&]() -> dag::TaskGraph {
+    if (app == "comd") {
+      return apps::make_comd(
+          {.ranks = ranks, .iterations = iterations, .seed = seed});
+    }
+    if (app == "lulesh") {
+      return apps::make_lulesh(
+          {.ranks = ranks, .iterations = iterations, .seed = seed});
+    }
+    if (app == "sp") {
+      return apps::make_sp(
+          {.ranks = ranks, .iterations = iterations, .seed = seed});
+    }
+    if (app == "bt") {
+      return apps::make_bt(
+          {.ranks = ranks, .iterations = iterations, .seed = seed});
+    }
+    if (app == "exchange") return apps::two_rank_exchange();
+    throw std::runtime_error("unknown app '" + app + "'");
+  }();
+  dag::save_trace(it->second, g);
+  out << "wrote " << it->second << ": " << g.num_ranks() << " ranks, "
+      << g.num_vertices() << " vertices, " << g.num_edges() << " edges\n";
+  return 0;
+}
+
+int cmd_info(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "info: expected one trace file\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  const core::LpFormulation form(g, model(), cluster);
+
+  std::size_t tasks = 0, messages = 0;
+  double total_work = 0;
+  for (const dag::Edge& e : g.edges()) {
+    if (e.is_task()) {
+      ++tasks;
+      total_work += e.work.nominal_seconds();
+    } else {
+      ++messages;
+    }
+  }
+  util::Table t({"property", "value"});
+  t.add_row({"ranks", std::to_string(g.num_ranks())});
+  t.add_row({"vertices (MPI events)", std::to_string(g.num_vertices())});
+  t.add_row({"tasks", std::to_string(tasks)});
+  t.add_row({"messages", std::to_string(messages)});
+  t.add_row({"iterations", std::to_string(g.max_iteration() + 1)});
+  t.add_row({"barrier windows",
+             std::to_string(dag::barrier_vertices(g).size() - 1)});
+  t.add_row({"total single-thread work (s)", util::Table::num(total_work, 1)});
+  t.add_row({"unconstrained optimum (s)",
+             util::Table::num(form.unconstrained_makespan(), 3)});
+  t.add_row({"min schedulable power (W)",
+             util::Table::num(form.min_feasible_power(), 1)});
+  t.add_row({"min schedulable per socket (W)",
+             util::Table::num(form.min_feasible_power() / g.num_ranks(), 1)});
+  out << t.to_string();
+  return 0;
+}
+
+int cmd_bound(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "bound: expected one trace file\n";
+    return 2;
+  }
+  const auto socket_cap = opt_double(p, "--socket-cap");
+  if (!socket_cap) {
+    err << "bound: --socket-cap W is required\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  const double job_cap = *socket_cap * g.num_ranks();
+
+  core::LpScheduleOptions opt;
+  opt.power_cap = job_cap;
+  opt.discrete = p.flags.count("--discrete") > 0;
+  const auto res = core::solve_windowed_lp(g, model(), cluster, opt);
+  if (!res.optimal()) {
+    err << "infeasible: job needs at least " << res.min_feasible_power
+        << " W (" << res.min_feasible_power / g.num_ranks()
+        << " W/socket)\n";
+    return 1;
+  }
+  sim::ReplayOptions ro;
+  ro.engine.cluster = cluster;
+  ro.engine.idle_power = model().idle_power();
+  const sim::SimResult replay = sim::replay_schedule(
+      g, res.schedule, res.frontiers, ro, &res.vertex_time);
+
+  if (auto it = p.options.find("-o"); it != p.options.end()) {
+    core::SavedSchedule saved;
+    saved.schedule = res.schedule;
+    saved.frontiers = res.frontiers;
+    saved.vertex_time = res.vertex_time;
+    saved.job_cap_watts = job_cap;
+    saved.makespan = res.makespan;
+    core::save_schedule(it->second, saved);
+    out << "schedule written to " << it->second << "\n";
+  }
+  util::Table t({"metric", "value"});
+  t.add_row({"job power cap (W)", util::Table::num(job_cap, 1)});
+  t.add_row({"LP bound (s)", util::Table::num(res.makespan, 4)});
+  t.add_row({"replayed (s)", util::Table::num(replay.makespan, 4)});
+  t.add_row({"replay peak power (W)", util::Table::num(replay.peak_power, 2)});
+  t.add_row({"RAPL 10ms max avg (W)",
+             util::Table::num(sim::max_windowed_power(replay, 0.01), 2)});
+  t.add_row({"energy (kJ)", util::Table::num(replay.energy_joules / 1e3, 2)});
+  t.add_row({"simplex iterations", std::to_string(res.iterations)});
+  t.add_row({"marginal value of power (ms/W)",
+             util::Table::num(res.power_price_s_per_watt * 1e3, 3)});
+  out << t.to_string();
+  return 0;
+}
+
+int cmd_compare(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "compare: expected one trace file\n";
+    return 2;
+  }
+  const auto socket_cap = opt_double(p, "--socket-cap");
+  if (!socket_cap) {
+    err << "compare: --socket-cap W is required\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  runtime::ComparisonOptions opt;
+  opt.job_cap_watts = *socket_cap * g.num_ranks();
+  opt.run_adagio = true;
+  const auto r = runtime::compare_methods(g, model(), cluster, opt);
+  if (!r.lp.feasible) {
+    err << "infeasible at this cap\n";
+    return 1;
+  }
+  util::Table t({"method", "steady_s", "vs_static", "peak_w", "avg_w"});
+  auto add = [&](const char* name, const runtime::MethodResult& m) {
+    if (!m.feasible) return;
+    t.add_row({name, util::Table::num(m.window_seconds, 3),
+               util::Table::pct(r.static_alloc.window_seconds /
+                                        m.window_seconds -
+                                    1.0,
+                                1),
+               util::Table::num(m.peak_power, 0),
+               util::Table::num(m.average_power, 0)});
+  };
+  add("Static", r.static_alloc);
+  add("Adagio", r.adagio);
+  add("Conductor", r.conductor);
+  add("LP bound", r.lp);
+  out << t.to_string();
+  return 0;
+}
+
+int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "sweep: expected one trace file\n";
+    return 2;
+  }
+  const auto from = opt_double(p, "--from");
+  const auto to = opt_double(p, "--to");
+  const double step = opt_double(p, "--step").value_or(5.0);
+  if (!from || !to || step <= 0) {
+    err << "sweep: --from W --to W [--step W] required\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  const core::WindowSweeper sweeper(g, model(), cluster);
+  util::Table t({"socket_w", "lp_bound_s", "slowdown_vs_best"});
+  double best = -1.0;
+  std::vector<std::pair<double, double>> rows;
+  for (double w = *from; w <= *to + 1e-9; w += step) {
+    const auto res = sweeper.solve({.power_cap = w * g.num_ranks()});
+    if (!res.optimal()) {
+      rows.push_back({w, -1.0});
+      continue;
+    }
+    rows.push_back({w, res.makespan});
+    best = res.makespan;  // caps ascend, so the last is the best
+  }
+  for (const auto& [w, s] : rows) {
+    if (s < 0) {
+      t.add_row({util::Table::num(w, 1), "n/s", "-"});
+    } else {
+      t.add_row({util::Table::num(w, 1), util::Table::num(s, 4),
+                 util::Table::pct(s / best - 1.0, 1)});
+    }
+  }
+  out << t.to_string();
+  return 0;
+}
+
+/// Runs one method and returns the simulation result; `lp` out-param is
+/// set for the LP method so callers can report the bound.
+sim::SimResult simulate_method(const dag::TaskGraph& g,
+                               const std::string& method, double socket_cap,
+                               const machine::ClusterSpec& cluster) {
+  sim::EngineOptions eo;
+  eo.cluster = cluster;
+  eo.idle_power = model().idle_power();
+  if (method == "static") {
+    runtime::StaticPolicy p(model(), socket_cap);
+    return sim::simulate(g, p, eo);
+  }
+  if (method == "conductor") {
+    runtime::ConductorPolicy p(model(), g.num_ranks(),
+                               socket_cap * g.num_ranks());
+    return sim::simulate(g, p, eo);
+  }
+  if (method == "lp") {
+    const auto lp = core::solve_windowed_lp(
+        g, model(), cluster, {.power_cap = socket_cap * g.num_ranks()});
+    if (!lp.optimal()) throw std::runtime_error("LP infeasible at this cap");
+    sim::ReplayOptions ro;
+    ro.engine = eo;
+    return sim::replay_schedule(g, lp.schedule, lp.frontiers, ro,
+                                &lp.vertex_time);
+  }
+  throw std::runtime_error("unknown method '" + method +
+                           "' (want static|conductor|lp)");
+}
+
+int cmd_timeline(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "timeline: expected one trace file\n";
+    return 2;
+  }
+  const auto socket_cap = opt_double(p, "--socket-cap");
+  if (!socket_cap) {
+    err << "timeline: --socket-cap W is required\n";
+    return 2;
+  }
+  const std::string method = p.options.count("--method")
+                                 ? p.options.at("--method")
+                                 : std::string("lp");
+  const int width = opt_int(p, "--width", 100);
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  const sim::SimResult res = simulate_method(g, method, *socket_cap, cluster);
+  out << method << " schedule, " << res.makespan << " s, peak "
+      << res.peak_power << " W\n";
+  out << sim::ascii_timeline(g, res, width);
+  return 0;
+}
+
+int cmd_export(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "export: expected one trace file\n";
+    return 2;
+  }
+  const auto socket_cap = opt_double(p, "--socket-cap");
+  auto it = p.options.find("-o");
+  if (!socket_cap || it == p.options.end()) {
+    err << "export: --socket-cap W and -o PREFIX are required\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  const sim::SimResult res = simulate_method(g, "lp", *socket_cap, cluster);
+  const std::string gantt_path = it->second + ".gantt.csv";
+  const std::string power_path = it->second + ".power.csv";
+  std::ofstream gantt(gantt_path), power(power_path);
+  if (!gantt || !power) {
+    err << "export: cannot open output files\n";
+    return 1;
+  }
+  gantt << sim::gantt_csv(g, res);
+  power << sim::power_trace_csv(res);
+  out << "wrote " << gantt_path << " and " << power_path << "\n";
+  return 0;
+}
+
+int cmd_replay(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 2) {
+    err << "replay: expected TRACE and SCHEDULE files\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const core::SavedSchedule saved = core::load_schedule(p.positional[1]);
+  if (saved.schedule.num_edges() != g.num_edges()) {
+    err << "replay: schedule does not match trace (edge counts differ)\n";
+    return 1;
+  }
+  sim::ReplayOptions ro;
+  ro.engine.cluster = machine::ClusterSpec{};
+  ro.engine.idle_power = model().idle_power();
+  const sim::SimResult res = sim::replay_schedule(
+      g, saved.schedule, saved.frontiers, ro, &saved.vertex_time);
+  util::Table t({"metric", "value"});
+  t.add_row({"scheduled makespan (s)", util::Table::num(saved.makespan, 4)});
+  t.add_row({"replayed makespan (s)", util::Table::num(res.makespan, 4)});
+  t.add_row({"peak power (W)", util::Table::num(res.peak_power, 2)});
+  t.add_row({"job cap (W)", util::Table::num(saved.job_cap_watts, 1)});
+  t.add_row({"RAPL 10ms max avg (W)",
+             util::Table::num(sim::max_windowed_power(res, 0.01), 2)});
+  t.add_row({"verdict", sim::max_windowed_power(res, 0.01) <=
+                                saved.job_cap_watts * 1.001
+                            ? "valid"
+                            : "VIOLATED"});
+  out << t.to_string();
+  return 0;
+}
+
+int cmd_analyze(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "analyze: expected one trace file\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const dag::TraceAnalysis a = dag::analyze(g);
+  util::Table t({"metric", "value"});
+  t.add_row({"ranks", std::to_string(a.ranks)});
+  t.add_row({"iterations", std::to_string(a.iterations)});
+  t.add_row({"tasks / messages / collectives",
+             std::to_string(a.tasks) + " / " + std::to_string(a.messages) +
+                 " / " + std::to_string(a.collectives)});
+  t.add_row({"load imbalance (max/mean - 1)",
+             util::Table::pct(a.imbalance, 1)});
+  t.add_row({"heaviest/lightest rank ratio",
+             util::Table::num(a.max_min_ratio, 2)});
+  t.add_row({"p2p share of coupling points",
+             util::Table::pct(a.p2p_fraction, 1)});
+  t.add_row({"bytes per compute-second",
+             util::Table::num(a.bytes_per_work_second, 0)});
+  t.add_row({"mean task length (s)",
+             util::Table::num(a.mean_task_seconds, 4)});
+  t.add_row({"critical path (nominal s)",
+             util::Table::num(a.critical_path_seconds, 2)});
+  int dominant = 0;
+  for (int r = 1; r < a.ranks; ++r) {
+    if (a.critical_path_share[r] > a.critical_path_share[dominant]) {
+      dominant = r;
+    }
+  }
+  t.add_row({"critical-path owner",
+             "rank " + std::to_string(dominant) + " (" +
+                 util::Table::pct(a.critical_path_share[dominant], 0) +
+                 ")"});
+  out << t.to_string();
+  out << "\nper-rank work share:\n";
+  util::Table l({"rank", "work_s", "share"});
+  for (const dag::RankLoad& r : a.load) {
+    l.add_row({std::to_string(r.rank), util::Table::num(r.work_seconds, 2),
+               util::Table::pct(r.share, 1)});
+  }
+  out << l.to_string();
+  out << "\nreading: imbalance >~30% means non-uniform power allocation "
+         "(Conductor, LP)\nhas big wins; near-zero imbalance means Static "
+         "is already close to optimal.\n";
+  return 0;
+}
+
+int cmd_energy(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "energy: expected one trace file\n";
+    return 2;
+  }
+  const auto allowance_pct = opt_double(p, "--allowance");
+  if (!allowance_pct || *allowance_pct < 0) {
+    err << "energy: --allowance PCT (>= 0) is required\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const machine::ClusterSpec cluster;
+  const auto socket_cap = opt_double(p, "--socket-cap");
+  const double cap =
+      socket_cap ? *socket_cap * g.num_ranks() : lp::kInfinity;
+
+  const auto fast = core::solve_windowed_lp(g, model(), cluster,
+                                            {.power_cap = lp::kInfinity});
+  const auto res = core::solve_windowed_energy_lp(
+      g, model(), cluster, *allowance_pct / 100.0, cap);
+  if (!fast.optimal() || !res.optimal()) {
+    err << "infeasible (cap too tight for the allowance?)\n";
+    return 1;
+  }
+  util::Table t({"metric", "value"});
+  t.add_row({"makespan-optimal time (s)", util::Table::num(fast.makespan, 3)});
+  t.add_row({"makespan-optimal energy (kJ)",
+             util::Table::num(fast.energy_joules / 1e3, 3)});
+  t.add_row({"allowed slowdown", util::Table::pct(*allowance_pct / 100.0, 1)});
+  t.add_row({"energy-optimal time (s)", util::Table::num(res.makespan, 3)});
+  t.add_row({"energy-optimal energy (kJ)",
+             util::Table::num(res.energy_joules / 1e3, 3)});
+  t.add_row({"energy saved",
+             util::Table::pct(1.0 - res.energy_joules / fast.energy_joules,
+                              1)});
+  out << t.to_string();
+  return 0;
+}
+
+int cmd_partition(const ParsedArgs& p, std::ostream& out,
+                  std::ostream& err) {
+  if (p.positional.empty()) {
+    err << "partition: expected at least one trace file\n";
+    return 2;
+  }
+  const auto machine_watts = opt_double(p, "--machine-watts");
+  if (!machine_watts) {
+    err << "partition: --machine-watts W is required\n";
+    return 2;
+  }
+  const machine::ClusterSpec cluster;
+  std::vector<core::PowerProfile> profiles;
+  std::vector<dag::TaskGraph> graphs;
+  for (const std::string& path : p.positional) {
+    graphs.push_back(dag::load_trace(path));
+  }
+  for (const dag::TaskGraph& g : graphs) {
+    std::vector<double> sweep;
+    for (double w = 24.0; w <= 90.0; w += 6.0) {
+      sweep.push_back(w * g.num_ranks());
+    }
+    profiles.push_back(core::profile_job(g, model(), cluster, sweep));
+  }
+  const auto r = core::partition_power(profiles, *machine_watts);
+  if (!r.feasible) {
+    err << "infeasible: the jobs need at least ";
+    double need = 0;
+    for (const auto& prof : profiles) need += prof.min_cap();
+    err << need << " W together\n";
+    return 1;
+  }
+  util::Table t({"job", "alloc_w", "predicted_s"});
+  for (std::size_t j = 0; j < profiles.size(); ++j) {
+    t.add_row({p.positional[j], util::Table::num(r.caps[j], 1),
+               util::Table::num(r.times[j], 3)});
+  }
+  out << t.to_string();
+  out << "machine makespan: " << r.makespan << " s\n";
+  return 0;
+}
+
+int cmd_dot(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "dot: expected one trace file\n";
+    return 2;
+  }
+  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  if (auto it = p.options.find("-o"); it != p.options.end()) {
+    std::ofstream f(it->second);
+    if (!f) {
+      err << "dot: cannot open " << it->second << "\n";
+      return 1;
+    }
+    dag::write_dot(f, g);
+    out << "wrote " << it->second << "\n";
+  } else {
+    dag::write_dot(out, g);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err) {
+  try {
+    if (args.empty() || args[0] == "--help" || args[0] == "help") {
+      out << kUsage;
+      return args.empty() ? 2 : 0;
+    }
+    const std::string& cmd = args[0];
+    if (cmd == "trace") {
+      return cmd_trace(parse(args, 1,
+                             {"-o", "--ranks", "--iterations", "--seed"}, {}),
+                       out, err);
+    }
+    if (cmd == "info") {
+      return cmd_info(parse(args, 1, {}, {}), out, err);
+    }
+    if (cmd == "bound") {
+      return cmd_bound(parse(args, 1, {"--socket-cap", "-o"}, {"--discrete"}),
+                       out, err);
+    }
+    if (cmd == "replay") {
+      return cmd_replay(parse(args, 1, {}, {}), out, err);
+    }
+    if (cmd == "compare") {
+      return cmd_compare(parse(args, 1, {"--socket-cap"}, {}), out, err);
+    }
+    if (cmd == "sweep") {
+      return cmd_sweep(parse(args, 1, {"--from", "--to", "--step"}, {}), out,
+                       err);
+    }
+    if (cmd == "timeline") {
+      return cmd_timeline(
+          parse(args, 1, {"--socket-cap", "--method", "--width"}, {}), out,
+          err);
+    }
+    if (cmd == "export") {
+      return cmd_export(parse(args, 1, {"--socket-cap", "-o"}, {}), out, err);
+    }
+    if (cmd == "analyze") {
+      return cmd_analyze(parse(args, 1, {}, {}), out, err);
+    }
+    if (cmd == "energy") {
+      return cmd_energy(parse(args, 1, {"--allowance", "--socket-cap"}, {}),
+                        out, err);
+    }
+    if (cmd == "partition") {
+      return cmd_partition(parse(args, 1, {"--machine-watts"}, {}), out,
+                           err);
+    }
+    if (cmd == "dot") {
+      return cmd_dot(parse(args, 1, {"-o"}, {}), out, err);
+    }
+    err << "unknown command '" << cmd << "'\n" << kUsage;
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace powerlim::cli

@@ -1,0 +1,25 @@
+// powerlim command-line tool (library part; thin main in powerlim_main.cpp).
+//
+// Subcommands:
+//   trace   <comd|lulesh|sp|bt|exchange> -o FILE [--ranks N] [--iterations N]
+//           [--seed S]                         generate a trace file
+//   info    FILE                               structural + power summary
+//   bound   FILE --socket-cap W [--discrete]   LP bound + replay validation
+//   compare FILE --socket-cap W                Static vs Conductor vs LP
+//   sweep   FILE --from W --to W [--step W]    cap sweep of the LP bound
+//
+// All output goes to the provided stream so the suite can test it.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace powerlim::cli {
+
+/// Runs one invocation; returns a process exit code. Errors print a
+/// message to `err` and return non-zero instead of throwing.
+int run(const std::vector<std::string>& args, std::ostream& out,
+        std::ostream& err);
+
+}  // namespace powerlim::cli

@@ -1,0 +1,12 @@
+// Entry point for the `powerlim` command-line tool; all logic lives in
+// cli.cpp so the test suite can drive it in-process.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "tools/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return powerlim::cli::run(args, std::cout, std::cerr);
+}
