@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_energy_extension.dir/bench_energy_extension.cpp.o"
+  "CMakeFiles/bench_energy_extension.dir/bench_energy_extension.cpp.o.d"
+  "bench_energy_extension"
+  "bench_energy_extension.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_energy_extension.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_lp_vs_conductor.dir/bench_fig10_lp_vs_conductor.cpp.o"
+  "CMakeFiles/bench_fig10_lp_vs_conductor.dir/bench_fig10_lp_vs_conductor.cpp.o.d"
+  "bench_fig10_lp_vs_conductor"
+  "bench_fig10_lp_vs_conductor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_lp_vs_conductor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_comd.dir/bench_fig11_comd.cpp.o"
+  "CMakeFiles/bench_fig11_comd.dir/bench_fig11_comd.cpp.o.d"
+  "bench_fig11_comd"
+  "bench_fig11_comd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_comd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_pareto.dir/bench_fig1_pareto.cpp.o"
+  "CMakeFiles/bench_fig1_pareto.dir/bench_fig1_pareto.cpp.o.d"
+  "bench_fig1_pareto"
+  "bench_fig1_pareto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_pareto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

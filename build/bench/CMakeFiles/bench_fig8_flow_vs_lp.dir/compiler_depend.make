@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig8_flow_vs_lp.
+# This may be replaced when dependencies are built.

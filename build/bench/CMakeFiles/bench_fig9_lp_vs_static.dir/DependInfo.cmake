@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig9_lp_vs_static.cpp" "bench/CMakeFiles/bench_fig9_lp_vs_static.dir/bench_fig9_lp_vs_static.cpp.o" "gcc" "bench/CMakeFiles/bench_fig9_lp_vs_static.dir/bench_fig9_lp_vs_static.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/powerlim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/powerlim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powerlim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/powerlim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/powerlim_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/powerlim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/powerlim_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerlim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_lulesh_iter.dir/bench_table3_lulesh_iter.cpp.o"
+  "CMakeFiles/bench_table3_lulesh_iter.dir/bench_table3_lulesh_iter.cpp.o.d"
+  "bench_table3_lulesh_iter"
+  "bench_table3_lulesh_iter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_lulesh_iter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

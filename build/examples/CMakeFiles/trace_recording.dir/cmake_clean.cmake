@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_recording.dir/trace_recording.cpp.o"
+  "CMakeFiles/trace_recording.dir/trace_recording.cpp.o.d"
+  "trace_recording"
+  "trace_recording.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_recording.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

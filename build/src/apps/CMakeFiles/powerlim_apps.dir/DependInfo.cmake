@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/apps/benchmarks.cpp" "src/apps/CMakeFiles/powerlim_apps.dir/benchmarks.cpp.o" "gcc" "src/apps/CMakeFiles/powerlim_apps.dir/benchmarks.cpp.o.d"
+  "/root/repo/src/apps/exchange.cpp" "src/apps/CMakeFiles/powerlim_apps.dir/exchange.cpp.o" "gcc" "src/apps/CMakeFiles/powerlim_apps.dir/exchange.cpp.o.d"
+  "/root/repo/src/apps/random_app.cpp" "src/apps/CMakeFiles/powerlim_apps.dir/random_app.cpp.o" "gcc" "src/apps/CMakeFiles/powerlim_apps.dir/random_app.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/powerlim_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerlim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/powerlim_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_apps.dir/benchmarks.cpp.o"
+  "CMakeFiles/powerlim_apps.dir/benchmarks.cpp.o.d"
+  "CMakeFiles/powerlim_apps.dir/exchange.cpp.o"
+  "CMakeFiles/powerlim_apps.dir/exchange.cpp.o.d"
+  "CMakeFiles/powerlim_apps.dir/random_app.cpp.o"
+  "CMakeFiles/powerlim_apps.dir/random_app.cpp.o.d"
+  "libpowerlim_apps.a"
+  "libpowerlim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

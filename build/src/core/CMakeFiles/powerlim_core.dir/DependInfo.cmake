@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/events.cpp" "src/core/CMakeFiles/powerlim_core.dir/events.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/events.cpp.o.d"
+  "/root/repo/src/core/flow_ilp.cpp" "src/core/CMakeFiles/powerlim_core.dir/flow_ilp.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/flow_ilp.cpp.o.d"
+  "/root/repo/src/core/lp_formulation.cpp" "src/core/CMakeFiles/powerlim_core.dir/lp_formulation.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/lp_formulation.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/powerlim_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/core/CMakeFiles/powerlim_core.dir/partition.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/partition.cpp.o.d"
+  "/root/repo/src/core/schedule.cpp" "src/core/CMakeFiles/powerlim_core.dir/schedule.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/schedule.cpp.o.d"
+  "/root/repo/src/core/schedule_io.cpp" "src/core/CMakeFiles/powerlim_core.dir/schedule_io.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/schedule_io.cpp.o.d"
+  "/root/repo/src/core/windowed.cpp" "src/core/CMakeFiles/powerlim_core.dir/windowed.cpp.o" "gcc" "src/core/CMakeFiles/powerlim_core.dir/windowed.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dag/CMakeFiles/powerlim_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/powerlim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/powerlim_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerlim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

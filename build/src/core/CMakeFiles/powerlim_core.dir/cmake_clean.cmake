@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_core.dir/events.cpp.o"
+  "CMakeFiles/powerlim_core.dir/events.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/flow_ilp.cpp.o"
+  "CMakeFiles/powerlim_core.dir/flow_ilp.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/lp_formulation.cpp.o"
+  "CMakeFiles/powerlim_core.dir/lp_formulation.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/pareto.cpp.o"
+  "CMakeFiles/powerlim_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/partition.cpp.o"
+  "CMakeFiles/powerlim_core.dir/partition.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/schedule.cpp.o"
+  "CMakeFiles/powerlim_core.dir/schedule.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/schedule_io.cpp.o"
+  "CMakeFiles/powerlim_core.dir/schedule_io.cpp.o.d"
+  "CMakeFiles/powerlim_core.dir/windowed.cpp.o"
+  "CMakeFiles/powerlim_core.dir/windowed.cpp.o.d"
+  "libpowerlim_core.a"
+  "libpowerlim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dag/analysis.cpp" "src/dag/CMakeFiles/powerlim_dag.dir/analysis.cpp.o" "gcc" "src/dag/CMakeFiles/powerlim_dag.dir/analysis.cpp.o.d"
+  "/root/repo/src/dag/graph.cpp" "src/dag/CMakeFiles/powerlim_dag.dir/graph.cpp.o" "gcc" "src/dag/CMakeFiles/powerlim_dag.dir/graph.cpp.o.d"
+  "/root/repo/src/dag/recorder.cpp" "src/dag/CMakeFiles/powerlim_dag.dir/recorder.cpp.o" "gcc" "src/dag/CMakeFiles/powerlim_dag.dir/recorder.cpp.o.d"
+  "/root/repo/src/dag/trace_io.cpp" "src/dag/CMakeFiles/powerlim_dag.dir/trace_io.cpp.o" "gcc" "src/dag/CMakeFiles/powerlim_dag.dir/trace_io.cpp.o.d"
+  "/root/repo/src/dag/windows.cpp" "src/dag/CMakeFiles/powerlim_dag.dir/windows.cpp.o" "gcc" "src/dag/CMakeFiles/powerlim_dag.dir/windows.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/machine/CMakeFiles/powerlim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerlim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

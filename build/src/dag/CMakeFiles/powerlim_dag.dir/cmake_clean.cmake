@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_dag.dir/analysis.cpp.o"
+  "CMakeFiles/powerlim_dag.dir/analysis.cpp.o.d"
+  "CMakeFiles/powerlim_dag.dir/graph.cpp.o"
+  "CMakeFiles/powerlim_dag.dir/graph.cpp.o.d"
+  "CMakeFiles/powerlim_dag.dir/recorder.cpp.o"
+  "CMakeFiles/powerlim_dag.dir/recorder.cpp.o.d"
+  "CMakeFiles/powerlim_dag.dir/trace_io.cpp.o"
+  "CMakeFiles/powerlim_dag.dir/trace_io.cpp.o.d"
+  "CMakeFiles/powerlim_dag.dir/windows.cpp.o"
+  "CMakeFiles/powerlim_dag.dir/windows.cpp.o.d"
+  "libpowerlim_dag.a"
+  "libpowerlim_dag.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_lp.dir/branch_bound.cpp.o"
+  "CMakeFiles/powerlim_lp.dir/branch_bound.cpp.o.d"
+  "CMakeFiles/powerlim_lp.dir/model.cpp.o"
+  "CMakeFiles/powerlim_lp.dir/model.cpp.o.d"
+  "CMakeFiles/powerlim_lp.dir/mps.cpp.o"
+  "CMakeFiles/powerlim_lp.dir/mps.cpp.o.d"
+  "CMakeFiles/powerlim_lp.dir/presolve.cpp.o"
+  "CMakeFiles/powerlim_lp.dir/presolve.cpp.o.d"
+  "CMakeFiles/powerlim_lp.dir/simplex.cpp.o"
+  "CMakeFiles/powerlim_lp.dir/simplex.cpp.o.d"
+  "libpowerlim_lp.a"
+  "libpowerlim_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_machine.dir/calibration.cpp.o"
+  "CMakeFiles/powerlim_machine.dir/calibration.cpp.o.d"
+  "CMakeFiles/powerlim_machine.dir/machine.cpp.o"
+  "CMakeFiles/powerlim_machine.dir/machine.cpp.o.d"
+  "CMakeFiles/powerlim_machine.dir/power_model.cpp.o"
+  "CMakeFiles/powerlim_machine.dir/power_model.cpp.o.d"
+  "libpowerlim_machine.a"
+  "libpowerlim_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

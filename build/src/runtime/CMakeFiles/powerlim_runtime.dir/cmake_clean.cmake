@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_runtime.dir/adagio.cpp.o"
+  "CMakeFiles/powerlim_runtime.dir/adagio.cpp.o.d"
+  "CMakeFiles/powerlim_runtime.dir/comparison.cpp.o"
+  "CMakeFiles/powerlim_runtime.dir/comparison.cpp.o.d"
+  "CMakeFiles/powerlim_runtime.dir/conductor.cpp.o"
+  "CMakeFiles/powerlim_runtime.dir/conductor.cpp.o.d"
+  "libpowerlim_runtime.a"
+  "libpowerlim_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

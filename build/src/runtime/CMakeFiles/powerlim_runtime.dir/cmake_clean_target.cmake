@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpowerlim_runtime.a"
+)

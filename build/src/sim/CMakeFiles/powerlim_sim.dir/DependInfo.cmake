@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/powerlim_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/powerlim_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/export.cpp" "src/sim/CMakeFiles/powerlim_sim.dir/export.cpp.o" "gcc" "src/sim/CMakeFiles/powerlim_sim.dir/export.cpp.o.d"
+  "/root/repo/src/sim/measure.cpp" "src/sim/CMakeFiles/powerlim_sim.dir/measure.cpp.o" "gcc" "src/sim/CMakeFiles/powerlim_sim.dir/measure.cpp.o.d"
+  "/root/repo/src/sim/power_window.cpp" "src/sim/CMakeFiles/powerlim_sim.dir/power_window.cpp.o" "gcc" "src/sim/CMakeFiles/powerlim_sim.dir/power_window.cpp.o.d"
+  "/root/repo/src/sim/replay.cpp" "src/sim/CMakeFiles/powerlim_sim.dir/replay.cpp.o" "gcc" "src/sim/CMakeFiles/powerlim_sim.dir/replay.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/powerlim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/powerlim_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/powerlim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerlim_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/powerlim_lp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

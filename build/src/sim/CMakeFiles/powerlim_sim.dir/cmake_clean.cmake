@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_sim.dir/engine.cpp.o"
+  "CMakeFiles/powerlim_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/powerlim_sim.dir/export.cpp.o"
+  "CMakeFiles/powerlim_sim.dir/export.cpp.o.d"
+  "CMakeFiles/powerlim_sim.dir/measure.cpp.o"
+  "CMakeFiles/powerlim_sim.dir/measure.cpp.o.d"
+  "CMakeFiles/powerlim_sim.dir/power_window.cpp.o"
+  "CMakeFiles/powerlim_sim.dir/power_window.cpp.o.d"
+  "CMakeFiles/powerlim_sim.dir/replay.cpp.o"
+  "CMakeFiles/powerlim_sim.dir/replay.cpp.o.d"
+  "libpowerlim_sim.a"
+  "libpowerlim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

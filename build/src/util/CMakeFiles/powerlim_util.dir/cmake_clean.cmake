@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_util.dir/log.cpp.o"
+  "CMakeFiles/powerlim_util.dir/log.cpp.o.d"
+  "CMakeFiles/powerlim_util.dir/stats.cpp.o"
+  "CMakeFiles/powerlim_util.dir/stats.cpp.o.d"
+  "CMakeFiles/powerlim_util.dir/table.cpp.o"
+  "CMakeFiles/powerlim_util.dir/table.cpp.o.d"
+  "libpowerlim_util.a"
+  "libpowerlim_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/energy_lp_test.cpp" "tests/CMakeFiles/test_core.dir/core/energy_lp_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/energy_lp_test.cpp.o.d"
+  "/root/repo/tests/core/events_test.cpp" "tests/CMakeFiles/test_core.dir/core/events_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/events_test.cpp.o.d"
+  "/root/repo/tests/core/flow_ilp_test.cpp" "tests/CMakeFiles/test_core.dir/core/flow_ilp_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/flow_ilp_test.cpp.o.d"
+  "/root/repo/tests/core/flow_random_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/flow_random_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/flow_random_property_test.cpp.o.d"
+  "/root/repo/tests/core/flow_slack_test.cpp" "tests/CMakeFiles/test_core.dir/core/flow_slack_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/flow_slack_test.cpp.o.d"
+  "/root/repo/tests/core/lp_formulation_test.cpp" "tests/CMakeFiles/test_core.dir/core/lp_formulation_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/lp_formulation_test.cpp.o.d"
+  "/root/repo/tests/core/pareto_test.cpp" "tests/CMakeFiles/test_core.dir/core/pareto_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pareto_test.cpp.o.d"
+  "/root/repo/tests/core/partition_test.cpp" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/partition_test.cpp.o.d"
+  "/root/repo/tests/core/pipeline_property_test.cpp" "tests/CMakeFiles/test_core.dir/core/pipeline_property_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/pipeline_property_test.cpp.o.d"
+  "/root/repo/tests/core/power_price_test.cpp" "tests/CMakeFiles/test_core.dir/core/power_price_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/power_price_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_io_test.cpp" "tests/CMakeFiles/test_core.dir/core/schedule_io_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/schedule_io_test.cpp.o.d"
+  "/root/repo/tests/core/schedule_test.cpp" "tests/CMakeFiles/test_core.dir/core/schedule_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/schedule_test.cpp.o.d"
+  "/root/repo/tests/core/window_sweeper_test.cpp" "tests/CMakeFiles/test_core.dir/core/window_sweeper_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/window_sweeper_test.cpp.o.d"
+  "/root/repo/tests/core/windowed_exactness_test.cpp" "tests/CMakeFiles/test_core.dir/core/windowed_exactness_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/windowed_exactness_test.cpp.o.d"
+  "/root/repo/tests/core/windowed_test.cpp" "tests/CMakeFiles/test_core.dir/core/windowed_test.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/windowed_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/apps/CMakeFiles/powerlim_apps.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/powerlim_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/powerlim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/powerlim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dag/CMakeFiles/powerlim_dag.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/powerlim_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/powerlim_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/powerlim_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

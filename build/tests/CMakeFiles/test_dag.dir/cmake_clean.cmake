@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dag.dir/dag/analysis_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/analysis_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/graph_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/graph_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/recorder_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/recorder_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/trace_io_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/trace_io_test.cpp.o.d"
+  "CMakeFiles/test_dag.dir/dag/windows_test.cpp.o"
+  "CMakeFiles/test_dag.dir/dag/windows_test.cpp.o.d"
+  "test_dag"
+  "test_dag.pdb"
+  "test_dag[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dag.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

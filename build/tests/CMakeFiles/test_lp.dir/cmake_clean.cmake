@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_lp.dir/lp/branch_bound_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/branch_bound_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/model_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/model_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/mps_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/mps_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/presolve_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/presolve_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/simplex_property_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/simplex_property_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/simplex_stress_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/simplex_stress_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/simplex_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/simplex_test.cpp.o.d"
+  "CMakeFiles/test_lp.dir/lp/warm_start_test.cpp.o"
+  "CMakeFiles/test_lp.dir/lp/warm_start_test.cpp.o.d"
+  "test_lp"
+  "test_lp.pdb"
+  "test_lp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim.dir/powerlim_main.cpp.o"
+  "CMakeFiles/powerlim.dir/powerlim_main.cpp.o.d"
+  "powerlim"
+  "powerlim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

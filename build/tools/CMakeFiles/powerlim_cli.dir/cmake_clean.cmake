@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/powerlim_cli.dir/cli.cpp.o"
+  "CMakeFiles/powerlim_cli.dir/cli.cpp.o.d"
+  "libpowerlim_cli.a"
+  "libpowerlim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/powerlim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
