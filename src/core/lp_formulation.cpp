@@ -16,7 +16,8 @@ using lp::Variable;
 
 LpFormulation::LpFormulation(const dag::TaskGraph& graph,
                              const machine::PowerModel& model,
-                             const machine::ClusterSpec& cluster)
+                             const machine::ClusterSpec& cluster,
+                             const FormulationHooks* hooks)
     : graph_(&graph), model_(&model), cluster_(&cluster) {
   graph.validate();
   frontiers_.resize(graph.num_edges());
@@ -25,8 +26,11 @@ LpFormulation::LpFormulation(const dag::TaskGraph& graph,
   for (const dag::Edge& e : graph.edges()) {
     if (e.is_task()) {
       frontiers_[e.id] = convex_frontier(model.enumerate(e.work, e.rank));
+      if (hooks != nullptr && hooks->frontier) {
+        hooks->frontier(e.id, frontiers_[e.id]);
+      }
       if (frontiers_[e.id].empty()) {
-        throw std::runtime_error("LpFormulation: empty frontier");
+        throw EmptyFrontierError(e.id);
       }
       // Fastest = minimum duration = last frontier point.
       fastest[e.id] = frontiers_[e.id].back().duration;
@@ -152,6 +156,7 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
   }
 
   // Solve.
+  if (options.mutate_model) options.mutate_model(lp_model);
   std::vector<double> values;
   if (options.discrete) {
     lp::BranchBoundOptions bb = options.branch_bound;
@@ -166,6 +171,10 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
         lp::solve_lp(lp_model, options.simplex, options.warm);
     out.status = sol.status;
     out.iterations = sol.iterations;
+    out.degenerate_pivots = sol.degenerate_pivots;
+    out.refactor_count = sol.refactor_count;
+    out.bland_engaged = sol.bland_engaged;
+    out.primal_infeasibility = sol.primal_infeasibility;
     if (!sol.optimal()) return out;
     values = sol.values;
     // Duals of the power rows price the cap: raising every row's bound by

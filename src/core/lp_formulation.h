@@ -22,6 +22,8 @@
 // the *discrete-configuration* variant (eq. 5) for small instances.
 #pragma once
 
+#include <functional>
+#include <stdexcept>
 #include <vector>
 
 #include "core/events.h"
@@ -39,6 +41,32 @@ namespace powerlim::core {
 /// as an extension over the same constraint system. Energy is execution
 /// energy sum(d_ik * p_ik * c_ik), linear in the shares.
 enum class LpObjective { kMakespan, kEnergy };
+
+/// Raised when a task's configuration frontier reduces to nothing - the
+/// LP cannot be formulated without at least one (time, power) point per
+/// task. Typed (rather than a bare runtime_error) so robust sweep drivers
+/// can classify the failure without string matching.
+class EmptyFrontierError : public std::runtime_error {
+ public:
+  explicit EmptyFrontierError(int edge_id)
+      : std::runtime_error("empty configuration frontier for task edge " +
+                           std::to_string(edge_id)),
+        edge_id_(edge_id) {}
+  int edge_id() const { return edge_id_; }
+
+ private:
+  int edge_id_;
+};
+
+/// Build-time seams consulted while constructing a formulation. Used by
+/// the fault-injection harness (robust/fault_injection.h) to corrupt the
+/// pipeline at the exact layer a real failure would surface; production
+/// callers pass none.
+struct FormulationHooks {
+  /// Called per task edge after its convex frontier is built; may modify
+  /// the frontier in place (e.g. drop every point).
+  std::function<void(int edge_id, std::vector<machine::Config>&)> frontier;
+};
 
 struct LpScheduleOptions {
   /// Job-level power constraint PC, watts (total across all sockets).
@@ -58,6 +86,10 @@ struct LpScheduleOptions {
   /// solver falls back to a cold start whenever the snapshot does not fit
   /// (see lp::WarmStart).
   lp::WarmStart* warm = nullptr;
+  /// Fault-injection seam: invoked on the fully built LP model right
+  /// before the solve (robust/fault_injection.h uses it to corrupt
+  /// coefficients). Production callers leave it empty.
+  std::function<void(lp::Model&)> mutate_model;
 };
 
 struct LpScheduleResult {
@@ -80,17 +112,26 @@ struct LpScheduleResult {
   /// form: it prices the cap.
   double power_price_s_per_watt = 0.0;
   long iterations = 0;
+  /// Solver diagnostics surfaced for RunReports (see robust/): degenerate
+  /// pivot count, refactorization count, whether Bland's rule engaged, and
+  /// the max primal violation of the returned point.
+  long degenerate_pivots = 0;
+  long refactor_count = 0;
+  bool bland_engaged = false;
+  double primal_infeasibility = 0.0;
 
   bool optimal() const { return status == lp::SolveStatus::kOptimal; }
 };
 
 /// Builds the formulation once per (graph, machine) pair; solve() may then
 /// be called for many power caps, which is how the paper sweeps Figure 9.
+/// Throws EmptyFrontierError when a task has no usable configuration.
 class LpFormulation {
  public:
   LpFormulation(const dag::TaskGraph& graph,
                 const machine::PowerModel& model,
-                const machine::ClusterSpec& cluster);
+                const machine::ClusterSpec& cluster,
+                const FormulationHooks* hooks = nullptr);
 
   /// Convex configuration frontier per edge id (empty for messages).
   const std::vector<std::vector<machine::Config>>& frontiers() const {

@@ -27,7 +27,8 @@ WindowedLpResult solve_windows(const dag::TaskGraph& graph,
 
   const std::vector<dag::Window> windows = dag::split_at_barriers(graph);
   double offset = 0.0;
-  for (const dag::Window& win : windows) {
+  for (std::size_t w = 0; w < windows.size(); ++w) {
+    const dag::Window& win = windows[w];
     const LpFormulation form(win.graph, model, cluster);
     out.min_feasible_power =
         std::max(out.min_feasible_power, form.min_feasible_power());
@@ -35,8 +36,14 @@ WindowedLpResult solve_windows(const dag::TaskGraph& graph,
     out.iterations += res.iterations;
     out.energy_joules += res.energy_joules;
     out.power_price_s_per_watt += res.power_price_s_per_watt;
+    out.degenerate_pivots += res.degenerate_pivots;
+    out.refactor_count += res.refactor_count;
+    out.bland_engaged = out.bland_engaged || res.bland_engaged;
+    out.primal_infeasibility =
+        std::max(out.primal_infeasibility, res.primal_infeasibility);
     if (!res.optimal()) {
       out.status = res.status;
+      out.failed_window = static_cast<int>(w);
       return out;
     }
     for (std::size_t wv = 0; wv < win.graph.num_vertices(); ++wv) {
@@ -99,16 +106,21 @@ struct WindowSweeper::Impl {
 
 WindowSweeper::WindowSweeper(const dag::TaskGraph& graph,
                              const machine::PowerModel& model,
-                             const machine::ClusterSpec& cluster)
+                             const machine::ClusterSpec& cluster,
+                             const FormulationHooks* hooks)
     : impl_(std::make_unique<Impl>()) {
   impl_->graph = &graph;
   impl_->windows = dag::split_at_barriers(graph);
   impl_->forms.reserve(impl_->windows.size());
   for (const dag::Window& win : impl_->windows) {
     impl_->forms.push_back(
-        std::make_unique<LpFormulation>(win.graph, model, cluster));
+        std::make_unique<LpFormulation>(win.graph, model, cluster, hooks));
   }
   impl_->warm.resize(impl_->windows.size());
+}
+
+void WindowSweeper::clear_warm_starts() const {
+  for (lp::WarmStart& w : impl_->warm) w.clear();
 }
 
 WindowSweeper::~WindowSweeper() = default;
@@ -157,8 +169,14 @@ WindowedLpResult WindowSweeper::solve(const LpScheduleOptions& options) const {
     out.iterations += res.iterations;
     out.energy_joules += res.energy_joules;
     out.power_price_s_per_watt += res.power_price_s_per_watt;
+    out.degenerate_pivots += res.degenerate_pivots;
+    out.refactor_count += res.refactor_count;
+    out.bland_engaged = out.bland_engaged || res.bland_engaged;
+    out.primal_infeasibility =
+        std::max(out.primal_infeasibility, res.primal_infeasibility);
     if (!res.optimal()) {
       out.status = res.status;
+      out.failed_window = static_cast<int>(w);
       return out;
     }
     for (std::size_t wv = 0; wv < win.graph.num_vertices(); ++wv) {

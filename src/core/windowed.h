@@ -36,6 +36,16 @@ struct WindowedLpResult {
   long iterations = 0;
   /// Smallest cap for which every window is feasible.
   double min_feasible_power = 0.0;
+  /// Solver diagnostics aggregated across windows (for RunReports):
+  /// summed degenerate pivots and refactorizations, whether Bland's rule
+  /// engaged in any window, and the worst primal violation seen.
+  long degenerate_pivots = 0;
+  long refactor_count = 0;
+  bool bland_engaged = false;
+  double primal_infeasibility = 0.0;
+  /// Index of the window whose solve failed (-1 when optimal): localizes
+  /// a numerical failure to one barrier interval of the trace.
+  int failed_window = -1;
 
   bool optimal() const { return status == lp::SolveStatus::kOptimal; }
 };
@@ -68,9 +78,12 @@ WindowedLpResult solve_windowed_energy_lp(const dag::TaskGraph& graph,
 /// the free functions above.
 class WindowSweeper {
  public:
+  /// `hooks` (optional, not owned; must outlive the sweeper) is the
+  /// fault-injection seam forwarded to each window's formulation.
   WindowSweeper(const dag::TaskGraph& graph,
                 const machine::PowerModel& model,
-                const machine::ClusterSpec& cluster);
+                const machine::ClusterSpec& cluster,
+                const FormulationHooks* hooks = nullptr);
   ~WindowSweeper();
   WindowSweeper(WindowSweeper&&) noexcept;
   WindowSweeper& operator=(WindowSweeper&&) noexcept;
@@ -78,6 +91,11 @@ class WindowSweeper {
   /// Solves all windows under `options` (same semantics as
   /// solve_windowed_lp).
   WindowedLpResult solve(const LpScheduleOptions& options) const;
+
+  /// Drops the internal per-window warm-start cache. The retry ladder
+  /// uses this to guarantee a genuinely cold re-solve after a warm-started
+  /// attempt fails (a poisoned basis must not seed the retry).
+  void clear_warm_starts() const;
 
   /// Smallest job cap for which every window is feasible.
   double min_feasible_power() const;

@@ -62,14 +62,90 @@ void write_trace(std::ostream& out, const TaskGraph& graph) {
   }
 }
 
+TraceParseError::TraceParseError(std::string source, int line,
+                                 std::string token, const std::string& what)
+    : std::runtime_error(
+          "trace parse error in " + source + " at line " +
+          std::to_string(line) + ": " + what +
+          (token.empty() ? std::string() : " (near '" + token + "')")),
+      source_(std::move(source)),
+      line_(line),
+      token_(std::move(token)) {}
+
 namespace {
-[[noreturn]] void fail(int line, const std::string& what) {
-  throw std::runtime_error("trace parse error at line " +
-                           std::to_string(line) + ": " + what);
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> out;
+  std::istringstream ss(line);
+  std::string tok;
+  while (ss >> tok) out.push_back(tok);
+  return out;
 }
+
+/// Line-scoped field parsing: every conversion failure names the source,
+/// the line and the exact token that did not parse.
+class LineParser {
+ public:
+  LineParser(const std::string* source, int line_no, const std::string& line)
+      : source_(source), line_(line_no), tokens_(tokenize(line)) {}
+
+  std::size_t size() const { return tokens_.size(); }
+  const std::string& token(std::size_t i) const { return tokens_[i]; }
+
+  [[noreturn]] void fail(const std::string& what,
+                         const std::string& token = {}) const {
+    throw TraceParseError(*source_, line_, token, what);
+  }
+
+  /// Requires exactly `n` fields after the directive word.
+  void expect_fields(std::size_t n, const char* directive) const {
+    if (tokens_.size() != n + 1) {
+      fail(std::string("malformed ") + directive + ": expected " +
+               std::to_string(n) + " fields, got " +
+               std::to_string(tokens_.size() - 1),
+           tokens_.empty() ? std::string() : tokens_.back());
+    }
+  }
+
+  long parse_int(std::size_t i, const char* field) const {
+    const std::string& t = tokens_.at(i);
+    std::size_t used = 0;
+    long v = 0;
+    try {
+      v = std::stol(t, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != t.size()) {
+      fail(std::string("field '") + field + "' is not an integer", t);
+    }
+    return v;
+  }
+
+  double parse_double(std::size_t i, const char* field) const {
+    const std::string& t = tokens_.at(i);
+    std::size_t used = 0;
+    double v = 0.0;
+    try {
+      v = std::stod(t, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != t.size()) {
+      fail(std::string("field '") + field + "' is not a number", t);
+    }
+    return v;
+  }
+
+ private:
+  const std::string* source_;
+  int line_;
+  std::vector<std::string> tokens_;
+};
+
 }  // namespace
 
-TaskGraph read_trace(std::istream& in) {
+TaskGraph read_trace(std::istream& in, const std::string& source_name) {
   std::string line;
   int line_no = 0;
 
@@ -80,60 +156,104 @@ TaskGraph read_trace(std::istream& in) {
     }
     return false;
   };
+  auto fail = [&](const std::string& what, const std::string& token =
+                                               std::string()) -> void {
+    throw TraceParseError(source_name, line_no, token, what);
+  };
 
-  if (!next_line()) fail(line_no, "empty input");
+  if (!next_line()) fail("empty input");
   {
-    std::istringstream ss(line);
-    std::string magic;
-    int version = 0;
-    ss >> magic >> version;
-    if (magic != "powerlim-trace" || version != 1) {
-      fail(line_no, "bad header (expected 'powerlim-trace 1')");
+    const LineParser p(&source_name, line_no, line);
+    if (p.size() != 2 || p.token(0) != "powerlim-trace" ||
+        p.token(1) != "1") {
+      fail("bad header (expected 'powerlim-trace 1')",
+           p.size() > 0 ? p.token(0) : std::string());
     }
   }
-  if (!next_line()) fail(line_no, "missing ranks directive");
+  if (!next_line()) fail("missing ranks directive");
   int ranks = 0;
   {
-    std::istringstream ss(line);
-    std::string word;
-    ss >> word >> ranks;
-    if (word != "ranks" || ranks < 1) fail(line_no, "bad ranks directive");
+    const LineParser p(&source_name, line_no, line);
+    if (p.size() != 2 || p.token(0) != "ranks") {
+      fail("bad ranks directive",
+           p.size() > 0 ? p.token(0) : std::string());
+    }
+    ranks = static_cast<int>(p.parse_int(1, "ranks"));
+    if (ranks < 1) fail("ranks must be >= 1", p.token(1));
   }
 
   TaskGraph graph(ranks);
   while (next_line()) {
-    std::istringstream ss(line);
-    std::string word;
-    ss >> word;
+    const LineParser p(&source_name, line_no, line);
+    if (p.size() == 0) continue;  // whitespace-only line
+    const std::string& word = p.token(0);
     if (word == "vertex") {
-      int id = -1, rank = -2;
-      std::string kind, label;
-      ss >> id >> kind >> rank;
-      if (ss.fail()) fail(line_no, "malformed vertex");
-      std::getline(ss, label);
-      if (!label.empty() && label[0] == ' ') label.erase(0, 1);
-      const int got = graph.add_vertex(vertex_kind_from_string(kind), rank,
-                                       label);
-      if (got != id) fail(line_no, "vertex ids must be dense and ascending");
+      // Label may contain spaces: at least 3 fields, the tail is free-form.
+      if (p.size() < 4) {
+        p.fail("malformed vertex: expected at least 3 fields",
+               p.token(p.size() - 1));
+      }
+      const int id = static_cast<int>(p.parse_int(1, "id"));
+      VertexKind kind;
+      try {
+        kind = vertex_kind_from_string(p.token(2));
+      } catch (const std::runtime_error&) {
+        p.fail("unknown vertex kind", p.token(2));
+      }
+      const int rank = static_cast<int>(p.parse_int(3, "rank"));
+      std::string label;
+      for (std::size_t i = 4; i < p.size(); ++i) {
+        if (!label.empty()) label += ' ';
+        label += p.token(i);
+      }
+      int got = -1;
+      try {
+        got = graph.add_vertex(kind, rank, label);
+      } catch (const std::exception& e) {
+        p.fail(std::string("bad vertex: ") + e.what());
+      }
+      if (got != id) {
+        p.fail("vertex ids must be dense and ascending", p.token(1));
+      }
     } else if (word == "task") {
-      int src, dst, rank, iteration;
+      p.expect_fields(10, "task");
+      const int src = static_cast<int>(p.parse_int(1, "src"));
+      const int dst = static_cast<int>(p.parse_int(2, "dst"));
+      const int rank = static_cast<int>(p.parse_int(3, "rank"));
+      const int iteration = static_cast<int>(p.parse_int(4, "iteration"));
       machine::TaskWork w;
-      ss >> src >> dst >> rank >> iteration >> w.cpu_seconds >>
-          w.mem_seconds >> w.parallel_fraction >> w.mem_parallel_threads >>
-          w.cache_contention >> w.cache_knee;
-      if (ss.fail()) fail(line_no, "malformed task");
-      graph.add_task(src, dst, rank, w, iteration);
+      w.cpu_seconds = p.parse_double(5, "cpu_s");
+      w.mem_seconds = p.parse_double(6, "mem_s");
+      w.parallel_fraction = p.parse_double(7, "parallel_frac");
+      w.mem_parallel_threads =
+          static_cast<int>(p.parse_int(8, "mem_parallel_threads"));
+      w.cache_contention = p.parse_double(9, "cache_contention");
+      w.cache_knee = static_cast<int>(p.parse_int(10, "cache_knee"));
+      try {
+        graph.add_task(src, dst, rank, w, iteration);
+      } catch (const std::exception& e) {
+        p.fail(std::string("bad task: ") + e.what());
+      }
     } else if (word == "message") {
-      int src, dst;
-      double bytes;
-      ss >> src >> dst >> bytes;
-      if (ss.fail()) fail(line_no, "malformed message");
-      graph.add_message(src, dst, bytes);
+      p.expect_fields(3, "message");
+      const int src = static_cast<int>(p.parse_int(1, "src"));
+      const int dst = static_cast<int>(p.parse_int(2, "dst"));
+      const double bytes = p.parse_double(3, "bytes");
+      try {
+        graph.add_message(src, dst, bytes);
+      } catch (const std::exception& e) {
+        p.fail(std::string("bad message: ") + e.what());
+      }
     } else {
-      fail(line_no, "unknown directive '" + word + "'");
+      fail("unknown directive '" + word + "'", word);
     }
   }
-  graph.validate();
+  try {
+    graph.validate();
+  } catch (const std::exception& e) {
+    throw TraceParseError(source_name, line_no, std::string(),
+                          std::string("invalid graph: ") + e.what());
+  }
   return graph;
 }
 
@@ -146,7 +266,7 @@ void save_trace(const std::string& path, const TaskGraph& graph) {
 TaskGraph load_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
-  return read_trace(in);
+  return read_trace(in, path);
 }
 
 void write_dot(std::ostream& out, const TaskGraph& graph) {

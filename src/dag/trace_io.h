@@ -16,18 +16,43 @@
 #pragma once
 
 #include <iosfwd>
+#include <stdexcept>
 #include <string>
 
 #include "dag/graph.h"
 
 namespace powerlim::dag {
 
+/// Raised on malformed trace input. Carries full provenance - the source
+/// name (file path, or "<stream>" for in-memory parses), the 1-based line
+/// number, and the offending token when one can be identified - so sweep
+/// drivers can report *which* input byte broke a batch instead of a
+/// generic parse failure.
+class TraceParseError : public std::runtime_error {
+ public:
+  TraceParseError(std::string source, int line, std::string token,
+                  const std::string& what);
+
+  const std::string& source() const { return source_; }
+  int line() const { return line_; }
+  /// Empty when the error is not tied to a single token (e.g. a short
+  /// line or a whole-graph validation failure).
+  const std::string& token() const { return token_; }
+
+ private:
+  std::string source_;
+  int line_;
+  std::string token_;
+};
+
 /// Writes `graph` in powerlim-trace format.
 void write_trace(std::ostream& out, const TaskGraph& graph);
 
-/// Parses a trace; throws std::runtime_error with a line number on any
-/// malformed input. The resulting graph is validate()d.
-TaskGraph read_trace(std::istream& in);
+/// Parses a trace; throws TraceParseError naming `source_name`, the line
+/// number and the offending token on any malformed input. The resulting
+/// graph is validate()d.
+TaskGraph read_trace(std::istream& in,
+                     const std::string& source_name = "<stream>");
 
 /// Convenience file wrappers.
 void save_trace(const std::string& path, const TaskGraph& graph);

@@ -5,6 +5,8 @@
 #include <map>
 #include <stdexcept>
 
+#include "util/rng.h"
+
 namespace powerlim::lp {
 
 Variable Model::add_variable(double lb, double ub, double obj,
@@ -79,6 +81,13 @@ double Model::objective_value(const std::vector<double>& x) const {
   double v = 0.0;
   for (std::size_t j = 0; j < obj_.size(); ++j) v += obj_[j] * x[j];
   return v;
+}
+
+void Model::perturb_nonzeros(double magnitude, std::uint64_t seed) {
+  util::Rng rng(seed);
+  for (double& v : value_) {
+    v *= std::pow(10.0, rng.uniform(-magnitude, magnitude));
+  }
 }
 
 double Model::max_violation(const std::vector<double>& x) const {

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 #include <string>
 #include <utility>
@@ -121,6 +122,13 @@ class Model {
 
   /// Maximum constraint/bound violation at a point; 0 means feasible.
   double max_violation(const std::vector<double>& x) const;
+
+  /// Fault-injection seam for robustness testing: multiplies every stored
+  /// constraint coefficient by a seeded factor in [10^-magnitude,
+  /// 10^+magnitude]. The corrupted model is still finite (no NaN/Inf) but
+  /// badly scaled, which is how real numerical trouble presents to the
+  /// simplex. Deterministic for a given seed.
+  void perturb_nonzeros(double magnitude, std::uint64_t seed);
 
  private:
   Sense sense_;

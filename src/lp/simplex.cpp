@@ -44,6 +44,10 @@ class Simplex {
     if (m_ == 0) {
       return solve_unconstrained();
     }
+    if (opt_.bland_trigger <= 0) {
+      bland_ = true;
+      bland_used_ = true;
+    }
     max_iter_ = opt_.max_iterations > 0
                     ? opt_.max_iterations
                     : 200 * static_cast<long>(m_ + n_) + 2000;
@@ -429,9 +433,13 @@ class Simplex {
   void note_progress(double step) {
     if (step > opt_.primal_tol) {
       degenerate_run_ = 0;
-      bland_ = false;
-    } else if (++degenerate_run_ >= opt_.bland_trigger) {
-      bland_ = true;
+      if (opt_.bland_trigger > 0) bland_ = false;
+    } else {
+      ++degenerate_pivots_;
+      if (++degenerate_run_ >= opt_.bland_trigger) {
+        bland_ = true;
+        bland_used_ = true;
+      }
     }
   }
 
@@ -515,6 +523,7 @@ class Simplex {
   /// basic values exactly from the nonbasic point.
   void refactor() {
     pivots_since_refactor_ = 0;
+    ++refactor_count_;
     // Dense B from basis columns.
     std::vector<double> B(m_ * m_, 0.0);
     for (std::size_t p = 0; p < m_; ++p) {
@@ -623,6 +632,9 @@ class Simplex {
     Solution sol;
     sol.status = status;
     sol.iterations = iterations_;
+    sol.degenerate_pivots = degenerate_pivots_;
+    sol.refactor_count = refactor_count_;
+    sol.bland_engaged = bland_used_;
     sol.values.assign(xval_.begin(), xval_.begin() + n_);
     if (status == SolveStatus::kOptimal) {
       sol.objective = model_.objective_value(sol.values);
@@ -677,7 +689,10 @@ class Simplex {
   long max_iter_ = 0;
   int pivots_since_refactor_ = 0;
   int degenerate_run_ = 0;
+  long degenerate_pivots_ = 0;
+  long refactor_count_ = 0;
   bool bland_ = false;
+  bool bland_used_ = false;
   bool unbounded_ = false;
 };
 

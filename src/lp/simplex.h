@@ -45,7 +45,9 @@ struct SimplexOptions {
   double dual_tol = 1e-7;
   /// Smallest pivot magnitude accepted in the ratio test.
   double pivot_tol = 1e-9;
-  /// Consecutive degenerate pivots before switching to Bland's rule.
+  /// Consecutive degenerate pivots before switching to Bland's rule;
+  /// <= 0 engages Bland's rule from the very first pivot (the retry
+  /// ladder's last-resort anti-cycling mode).
   int bland_trigger = 100;
 };
 
@@ -80,6 +82,14 @@ struct Solution {
   /// Max primal violation of the returned point (diagnostic; ~0 when
   /// optimal).
   double primal_infeasibility = 0.0;
+  /// Pivots that made no primal progress (step <= primal_tol). A high
+  /// count flags degeneracy; it is what arms the Bland's-rule fallback.
+  long degenerate_pivots = 0;
+  /// Times the basis inverse was rebuilt from scratch (refactorizations
+  /// are the numerical-accuracy lever the retry ladder turns).
+  long refactor_count = 0;
+  /// Whether the anti-cycling Bland's-rule fallback engaged at any point.
+  bool bland_engaged = false;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,0 +1,101 @@
+#include "robust/fault_injection.h"
+
+#include <cctype>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace powerlim::robust {
+
+namespace {
+
+thread_local const FaultPlan* g_active_plan = nullptr;
+
+}  // namespace
+
+bool FaultPlan::applies_to_cap(double job_cap_watts) const {
+  if (only_job_cap < 0.0) return true;
+  return std::abs(job_cap_watts - only_job_cap) <= cap_tolerance;
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan)
+    : prev_(g_active_plan) {
+  g_active_plan = &plan;
+}
+
+ScopedFaultPlan::~ScopedFaultPlan() { g_active_plan = prev_; }
+
+const FaultPlan* ScopedFaultPlan::active() { return g_active_plan; }
+
+std::string truncate_trace_text(const std::string& text,
+                                double keep_fraction) {
+  if (keep_fraction < 0.0) keep_fraction = 0.0;
+  if (keep_fraction > 1.0) keep_fraction = 1.0;
+
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  const std::size_t keep = static_cast<std::size_t>(
+      static_cast<double>(lines.size()) * keep_fraction);
+  std::ostringstream out;
+  for (std::size_t i = 0; i + 1 < keep; ++i) out << lines[i] << '\n';
+  if (keep > 0) {
+    // Cut the last kept line in half so its tail token is malformed.
+    const std::string& last = lines[keep - 1];
+    out << last.substr(0, last.size() / 2) << '\n';
+  }
+  return out.str();
+}
+
+std::string garble_trace_token(const std::string& text, std::uint64_t seed) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+
+  // Candidate positions: (line, token) pairs where the token parses as a
+  // number. Skips the header so the fault lands in a data directive.
+  struct Pos {
+    std::size_t line;
+    std::size_t begin;
+    std::size_t len;
+  };
+  std::vector<Pos> candidates;
+  for (std::size_t li = 1; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    std::size_t i = 0;
+    while (i < line.size()) {
+      while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      const std::size_t begin = i;
+      while (i < line.size() && !std::isspace(static_cast<unsigned char>(line[i]))) ++i;
+      if (i > begin) {
+        const std::string tok = line.substr(begin, i - begin);
+        std::size_t used = 0;
+        bool numeric = false;
+        try {
+          (void)std::stod(tok, &used);
+          numeric = used == tok.size();
+        } catch (const std::exception&) {
+        }
+        if (numeric) candidates.push_back({li, begin, i - begin});
+      }
+    }
+  }
+  if (candidates.empty()) return text;
+
+  util::Rng rng(seed);
+  const Pos& p = candidates[static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(candidates.size()) - 1))];
+  std::string garbled = lines[p.line];
+  garbled.replace(p.begin, p.len, "x?y");
+  lines[p.line] = garbled;
+
+  std::ostringstream out;
+  for (const std::string& line : lines) out << line << '\n';
+  return out.str();
+}
+
+}  // namespace powerlim::robust

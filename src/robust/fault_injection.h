@@ -1,0 +1,82 @@
+// Deterministic fault injection for the solve pipeline.
+//
+// A FaultPlan describes a set of faults - forced solver statuses,
+// corrupted LP coefficients, emptied Pareto frontiers - and is installed
+// thread-locally with ScopedFaultPlan. robust::SolveDriver consults the
+// active plan at each ladder attempt, and its formulation hooks consult
+// it while frontiers are built, so every rung of the retry/degradation
+// ladder can be exercised on demand. All faults are seeded and
+// deterministic: a failing injection test replays bit-identically.
+//
+// Trace-corruption helpers (truncate/garble) operate on serialized trace
+// text so tests can manufacture corrupt fixtures without hand-writing
+// broken files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "lp/simplex.h"
+
+namespace powerlim::robust {
+
+struct FaultPlan {
+  std::uint64_t seed = 1;
+
+  /// Override the first `fail_attempts` ladder attempts with
+  /// `forced_status` instead of running the solver. Use a large value
+  /// (e.g. 99) to exhaust the whole ladder and force the degradation
+  /// fallback. 0 disables status forcing.
+  int fail_attempts = 0;
+  lp::SolveStatus forced_status = lp::SolveStatus::kNumericalError;
+
+  /// When >= 0, the plan applies only to solves whose *job-level* cap is
+  /// within `cap_tolerance` watts of this value - the "one injected
+  /// failing cap in a sweep" scenario. Negative applies to every solve.
+  double only_job_cap = -1.0;
+  double cap_tolerance = 1e-6;
+
+  /// When > 0, every LP constraint coefficient is scaled by a seeded
+  /// factor in [10^-x, 10^+x] before each solve (via the
+  /// LpScheduleOptions::mutate_model seam): genuinely corrupt numerics,
+  /// not a synthesized status.
+  double coefficient_noise_magnitude = 0.0;
+
+  /// Drop every point of every task's Pareto frontier while the
+  /// formulation is built (via FormulationHooks::frontier), forcing
+  /// core::EmptyFrontierError.
+  bool drop_all_pareto_points = false;
+
+  bool applies_to_cap(double job_cap_watts) const;
+  bool forces_status() const { return fail_attempts > 0; }
+};
+
+/// RAII installation of a fault plan for the current thread. Nested
+/// scopes shadow (innermost wins); destruction restores the previous
+/// plan. The plan must outlive the scope.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan);
+  ~ScopedFaultPlan();
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  /// The innermost installed plan, or nullptr when no fault injection is
+  /// active (the production fast path: one thread-local load).
+  static const FaultPlan* active();
+
+ private:
+  const FaultPlan* prev_;
+};
+
+/// Truncates serialized trace text to roughly `keep_fraction` of its
+/// lines, cutting the final kept line in half so the tail token is
+/// malformed - the classic interrupted-copy corruption.
+std::string truncate_trace_text(const std::string& text,
+                                double keep_fraction);
+
+/// Replaces one numeric token of one seeded-random data line with
+/// non-numeric garbage. Deterministic for a given seed.
+std::string garble_trace_token(const std::string& text, std::uint64_t seed);
+
+}  // namespace powerlim::robust

@@ -1,0 +1,46 @@
+#include "robust/pipeline.h"
+
+#include "dag/trace_io.h"
+
+namespace powerlim::robust {
+
+Result<dag::TaskGraph> load_trace_checked(const std::string& path) {
+  try {
+    return dag::load_trace(path);
+  } catch (const dag::TraceParseError& e) {
+    return Status(StatusCode::kBadInput, e.what());
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kBadInput,
+                  "cannot load trace '" + path + "': " + e.what());
+  }
+}
+
+Result<core::SavedSchedule> load_schedule_checked(const std::string& path,
+                                                  const dag::TaskGraph* graph) {
+  try {
+    core::SavedSchedule saved = core::load_schedule(path);
+    if (graph != nullptr &&
+        saved.schedule.num_edges() != graph->num_edges()) {
+      return Status(StatusCode::kBadInput,
+                    "schedule '" + path + "' does not match trace (" +
+                        std::to_string(saved.schedule.num_edges()) +
+                        " edges vs " + std::to_string(graph->num_edges()) +
+                        ")");
+    }
+    return saved;
+  } catch (const std::exception& e) {
+    return Status(StatusCode::kBadInput,
+                  "cannot load schedule '" + path + "': " + e.what());
+  }
+}
+
+std::vector<SolveOutcome> sweep_caps(const dag::TaskGraph& graph,
+                                     const machine::PowerModel& model,
+                                     const machine::ClusterSpec& cluster,
+                                     const std::vector<double>& job_caps,
+                                     const SolveDriverOptions& options) {
+  const SolveDriver driver(graph, model, cluster, options);
+  return driver.sweep(job_caps);
+}
+
+}  // namespace powerlim::robust

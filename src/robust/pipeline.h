@@ -1,0 +1,39 @@
+// Fail-soft wrappers for the pipeline's file-facing entry points.
+//
+// The lower layers report corrupt input with typed exceptions
+// (dag::TraceParseError names file/line/token; schedule IO throws
+// runtime_error). Sweep drivers and the CLI want Result<T> values they
+// can branch on instead, with every failure classified into the
+// robust::StatusCode taxonomy - these adapters do exactly that mapping
+// and nothing else.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/schedule_io.h"
+#include "dag/graph.h"
+#include "robust/solve_driver.h"
+#include "robust/status.h"
+
+namespace powerlim::robust {
+
+/// Loads a trace, mapping parse failures (with their file/line/token
+/// provenance preserved in the message) and IO failures to kBadInput.
+Result<dag::TaskGraph> load_trace_checked(const std::string& path);
+
+/// Loads a saved schedule; failures map to kBadInput. When `graph` is
+/// given, also validates that the schedule matches it (edge counts).
+Result<core::SavedSchedule> load_schedule_checked(
+    const std::string& path, const dag::TaskGraph* graph = nullptr);
+
+/// Full resilient sweep: one driver solve per cap, partial results
+/// guaranteed (a failing cap degrades, it does not abort the sweep).
+/// Returns the outcomes in cap order.
+std::vector<SolveOutcome> sweep_caps(const dag::TaskGraph& graph,
+                                     const machine::PowerModel& model,
+                                     const machine::ClusterSpec& cluster,
+                                     const std::vector<double>& job_caps,
+                                     const SolveDriverOptions& options = {});
+
+}  // namespace powerlim::robust

@@ -1,0 +1,347 @@
+#include "robust/solve_driver.h"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <iomanip>
+#include <sstream>
+#include <utility>
+
+#include "robust/fault_injection.h"
+#include "runtime/static_policy.h"
+#include "sim/engine.h"
+
+namespace powerlim::robust {
+
+namespace {
+
+/// Ladder order. "warm" relies on the sweeper's internal per-window
+/// basis cache; every later rung drops it first so a poisoned basis
+/// never seeds the retry.
+constexpr const char* kRungs[] = {"warm", "cold", "refactor-20", "bland",
+                                  "perturb"};
+constexpr int kNumRungs = 5;
+
+bool retryable(StatusCode code) {
+  switch (code) {
+    case StatusCode::kSolverNumerical:
+    case StatusCode::kIterationLimit:
+    case StatusCode::kSolverUnbounded:
+    case StatusCode::kReplayCapViolation:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// --- minimal JSON emission (no external deps) ---
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  if (!std::isfinite(v)) return "null";
+  std::ostringstream os;
+  os << std::setprecision(12) << v;
+  return os.str();
+}
+
+void append_attempt(std::ostringstream& os, const SolveAttempt& a) {
+  os << "{\"rung\":\"" << json_escape(a.rung) << "\","
+     << "\"outcome\":\"" << to_string(a.outcome) << "\","
+     << "\"injected\":" << (a.injected ? "true" : "false") << ","
+     << "\"iterations\":" << a.iterations << ","
+     << "\"degenerate_pivots\":" << a.degenerate_pivots << ","
+     << "\"refactor_count\":" << a.refactor_count << ","
+     << "\"bland_engaged\":" << (a.bland_engaged ? "true" : "false") << ","
+     << "\"primal_infeasibility\":" << json_num(a.primal_infeasibility) << ","
+     << "\"failed_window\":" << a.failed_window << ","
+     << "\"detail\":\"" << json_escape(a.detail) << "\"}";
+}
+
+}  // namespace
+
+std::string RunReport::to_json() const {
+  std::ostringstream os;
+  os << "{\"job_cap_watts\":" << json_num(job_cap_watts) << ","
+     << "\"socket_cap_watts\":" << json_num(socket_cap_watts) << ","
+     << "\"verdict\":\"" << robust::to_string(verdict) << "\","
+     << "\"detail\":\"" << json_escape(detail) << "\","
+     << "\"degraded\":" << (degraded ? "true" : "false") << ","
+     << "\"fallback\":\"" << json_escape(fallback) << "\","
+     << "\"bound_seconds\":" << json_num(bound_seconds) << ","
+     << "\"energy_joules\":" << json_num(energy_joules) << ","
+     << "\"min_feasible_power_watts\":" << json_num(min_feasible_power_watts)
+     << ",\"attempts\":[";
+  for (std::size_t i = 0; i < attempts.size(); ++i) {
+    if (i) os << ",";
+    append_attempt(os, attempts[i]);
+  }
+  os << "],\"replay\":{\"checked\":" << (replay.checked ? "true" : "false");
+  if (replay.checked) {
+    os << ",\"ok\":" << (replay.check.ok ? "true" : "false") << ","
+       << "\"cap_watts\":" << json_num(replay.check.cap_watts) << ","
+       << "\"peak_power_watts\":" << json_num(replay.check.peak_power) << ","
+       << "\"max_windowed_power_watts\":"
+       << json_num(replay.check.max_windowed_power) << ","
+       << "\"violation_watts\":" << json_num(replay.check.violation_watts)
+       << ",\"violation_seconds\":"
+       << json_num(replay.check.violation_seconds);
+  }
+  os << "}}";
+  return os.str();
+}
+
+std::string reports_to_json(const std::vector<RunReport>& reports) {
+  std::ostringstream os;
+  os << "[\n";
+  for (std::size_t i = 0; i < reports.size(); ++i) {
+    if (i) os << ",\n";
+    os << "  " << reports[i].to_json();
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+struct SolveDriver::Impl {
+  const dag::TaskGraph* graph = nullptr;
+  const machine::PowerModel* model = nullptr;
+  const machine::ClusterSpec* cluster = nullptr;
+  SolveDriverOptions options;
+  core::FormulationHooks hooks;
+  /// Built lazily so that a faulty build (empty frontier under an active
+  /// FaultPlan) is reported per-solve and retried once the fault clears.
+  mutable std::unique_ptr<core::WindowSweeper> sweeper;
+
+  bool ensure_sweeper(RunReport& report) const {
+    if (sweeper) return true;
+    try {
+      sweeper = std::make_unique<core::WindowSweeper>(*graph, *model,
+                                                      *cluster, &hooks);
+      return true;
+    } catch (const core::EmptyFrontierError& e) {
+      report.verdict = StatusCode::kEmptyFrontier;
+      report.detail = e.what();
+    } catch (const std::exception& e) {
+      report.verdict = StatusCode::kBadInput;
+      report.detail = e.what();
+    }
+    return false;
+  }
+
+  core::LpScheduleOptions rung_options(int rung, double job_cap) const {
+    core::LpScheduleOptions o = options.lp;
+    o.power_cap = job_cap;
+    switch (rung) {
+      case 0:  // warm: base options, sweeper cache in play
+      case 1:  // cold: cache dropped by caller
+        break;
+      case 2:  // refactor-20
+        o.simplex.refactor_interval = 20;
+        break;
+      case 3:  // bland
+        o.simplex.refactor_interval = 20;
+        o.simplex.bland_trigger = 0;
+        break;
+      case 4:  // perturb: nudge the cap off the degenerate vertex and
+               // accept slightly looser feasibility
+        o.simplex.refactor_interval = 20;
+        o.simplex.bland_trigger = 0;
+        o.power_cap = job_cap * (1.0 - 1e-7);
+        o.simplex.primal_tol = 1e-6;
+        o.simplex.dual_tol = 1e-6;
+        break;
+      default:
+        break;
+    }
+    return o;
+  }
+};
+
+SolveDriver::SolveDriver(const dag::TaskGraph& graph,
+                         const machine::PowerModel& model,
+                         const machine::ClusterSpec& cluster,
+                         SolveDriverOptions options)
+    : impl_(std::make_unique<Impl>()) {
+  impl_->graph = &graph;
+  impl_->model = &model;
+  impl_->cluster = &cluster;
+  impl_->options = std::move(options);
+  // Frontier fault seam: consulted during (lazy) sweeper construction.
+  // Frontiers are cap-independent, so only_job_cap does not scope this
+  // fault; drop_all_pareto_points empties every task's frontier.
+  impl_->hooks.frontier = [](int /*edge_id*/,
+                             std::vector<machine::Config>& frontier) {
+    const FaultPlan* plan = ScopedFaultPlan::active();
+    if (plan && plan->drop_all_pareto_points) frontier.clear();
+  };
+}
+
+SolveDriver::~SolveDriver() = default;
+SolveDriver::SolveDriver(SolveDriver&&) noexcept = default;
+SolveDriver& SolveDriver::operator=(SolveDriver&&) noexcept = default;
+
+SolveOutcome SolveDriver::solve(double job_cap_watts) const {
+  const Impl& im = *impl_;
+  const int ranks = im.graph->num_ranks();
+
+  SolveOutcome out;
+  RunReport& rep = out.report;
+  rep.job_cap_watts = job_cap_watts;
+  rep.socket_cap_watts = ranks > 0 ? job_cap_watts / ranks : 0.0;
+
+  if (!std::isfinite(job_cap_watts) || job_cap_watts <= 0.0) {
+    rep.verdict = StatusCode::kBadInput;
+    rep.detail = "power cap must be a positive finite wattage";
+    return out;
+  }
+  if (!im.ensure_sweeper(rep)) return out;
+
+  rep.min_feasible_power_watts = im.sweeper->min_feasible_power();
+  if (job_cap_watts < rep.min_feasible_power_watts - 1e-9) {
+    rep.verdict = StatusCode::kInfeasibleCap;
+    std::ostringstream msg;
+    msg << "job needs at least " << rep.min_feasible_power_watts << " W ("
+        << rep.min_feasible_power_watts / ranks << " W/socket)";
+    rep.detail = msg.str();
+    return out;
+  }
+
+  const FaultPlan* plan = ScopedFaultPlan::active();
+  const bool faulted = plan && plan->applies_to_cap(job_cap_watts);
+
+  const int rungs = im.options.enable_ladder ? kNumRungs : 1;
+  for (int r = 0; r < rungs; ++r) {
+    SolveAttempt att;
+    att.rung = kRungs[r];
+
+    if (faulted && plan->forces_status() && r < plan->fail_attempts) {
+      att.injected = true;
+      att.outcome = from_solve_status(plan->forced_status);
+      att.detail = std::string("injected ") + lp::to_string(plan->forced_status);
+    } else {
+      if (r > 0) im.sweeper->clear_warm_starts();
+      core::LpScheduleOptions o = im.rung_options(r, job_cap_watts);
+      if (faulted && plan->coefficient_noise_magnitude > 0.0) {
+        const double mag = plan->coefficient_noise_magnitude;
+        const std::uint64_t seed = plan->seed;
+        o.mutate_model = [mag, seed](lp::Model& m) {
+          m.perturb_nonzeros(mag, seed);
+        };
+      }
+      try {
+        core::WindowedLpResult res = im.sweeper->solve(o);
+        att.outcome = from_solve_status(res.status);
+        att.iterations = res.iterations;
+        att.degenerate_pivots = res.degenerate_pivots;
+        att.refactor_count = res.refactor_count;
+        att.bland_engaged = res.bland_engaged;
+        att.primal_infeasibility = res.primal_infeasibility;
+        att.failed_window = res.failed_window;
+        if (res.optimal()) {
+          bool accepted = true;
+          if (im.options.validate_replay) {
+            sim::ReplayOptions ro = im.options.replay;
+            ro.engine.cluster = *im.cluster;
+            ro.engine.idle_power = im.model->idle_power();
+            const sim::SimResult sim = sim::replay_schedule(
+                *im.graph, res.schedule, res.frontiers, ro, &res.vertex_time);
+            const sim::CapCheck check =
+                sim::check_cap(sim, job_cap_watts, im.options.cap_check);
+            rep.replay.checked = true;
+            rep.replay.check = check;
+            out.simulated = sim;
+            if (!check.ok) {
+              accepted = false;
+              att.outcome = StatusCode::kReplayCapViolation;
+              std::ostringstream msg;
+              msg << "replayed windowed power "
+                  << check.max_windowed_power << " W exceeds cap "
+                  << job_cap_watts << " W by " << check.violation_watts
+                  << " W";
+              att.detail = msg.str();
+            }
+          }
+          if (accepted) {
+            rep.verdict = StatusCode::kOk;
+            rep.bound_seconds = res.makespan;
+            rep.energy_joules = res.energy_joules;
+            rep.attempts.push_back(std::move(att));
+            out.lp = std::move(res);
+            return out;
+          }
+        }
+      } catch (const core::EmptyFrontierError& e) {
+        att.outcome = StatusCode::kEmptyFrontier;
+        att.detail = e.what();
+      } catch (const std::exception& e) {
+        att.outcome = StatusCode::kInternal;
+        att.detail = e.what();
+      }
+    }
+
+    const StatusCode outcome = att.outcome;
+    const std::string detail = att.detail;
+    rep.attempts.push_back(std::move(att));
+    if (!retryable(outcome)) {
+      rep.verdict = outcome;
+      rep.detail = detail;
+      return out;
+    }
+  }
+
+  // Ladder exhausted: classify by the final attempt, then degrade to the
+  // always-simulable Static-policy bound so the sweep keeps a usable
+  // number for this cap.
+  rep.verdict = rep.attempts.back().outcome;
+  rep.detail = "all " + std::to_string(rep.attempts.size()) +
+               " ladder attempts failed; last: " + rep.attempts.back().detail;
+  if (im.options.enable_fallback) {
+    try {
+      runtime::StaticPolicy policy(*im.model, job_cap_watts / ranks);
+      sim::EngineOptions eo;
+      eo.cluster = *im.cluster;
+      eo.idle_power = im.model->idle_power();
+      const sim::SimResult sim = sim::simulate(*im.graph, policy, eo);
+      rep.degraded = true;
+      rep.fallback = "static-policy";
+      rep.bound_seconds = sim.makespan;
+      rep.energy_joules = sim.energy_joules;
+      out.simulated = sim;
+    } catch (const std::exception& e) {
+      rep.detail += "; static fallback also failed: ";
+      rep.detail += e.what();
+    }
+  }
+  return out;
+}
+
+std::vector<SolveOutcome> SolveDriver::sweep(
+    const std::vector<double>& job_caps) const {
+  std::vector<SolveOutcome> out;
+  out.reserve(job_caps.size());
+  for (double cap : job_caps) out.push_back(solve(cap));
+  return out;
+}
+
+}  // namespace powerlim::robust

@@ -1,0 +1,158 @@
+// Resilient solve pipeline: retry/degradation ladder around the windowed
+// LP (tentpole of the robustness work).
+//
+// SolveDriver wraps WindowSweeper so that a cap sweep *always finishes*
+// with a structured per-cap verdict instead of dying on the first
+// numerical failure. Each solve walks a deterministic ladder:
+//
+//   1. "warm"        - warm-started solve (per-window basis cache)
+//   2. "cold"        - warm-start cache dropped, plain re-solve
+//   3. "refactor-20" - refactorize the basis every 20 pivots
+//   4. "bland"       - Bland's anti-cycling rule from the first pivot
+//   5. "perturb"     - cap nudged down by 1e-7 relative + looser tols
+//                      (breaks ties that stall degenerate bases)
+//
+// and, when every rung fails, degrades to the Static-policy bound: the
+// uniform-RAPL schedule is always simulable, so the sweep still reports
+// an achievable (if conservative) time for the cap, clearly marked
+// `degraded`. Only genuinely retryable failures walk the ladder -
+// infeasible caps and bad inputs return immediately.
+//
+// An optimal LP solve is additionally *replay-validated*: the schedule is
+// executed in the simulator and checked against the cap in the RAPL
+// windowed-average sense (sim::check_cap); a violating schedule is
+// treated as a failed attempt (kReplayCapViolation), not returned.
+//
+// Every attempt is recorded in a RunReport (rung, outcome, iterations,
+// degenerate pivots, refactorizations, Bland engagement, primal
+// residual, failed window) which serializes to JSON for artifact trails
+// next to the schedule.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/windowed.h"
+#include "robust/status.h"
+#include "sim/replay.h"
+
+namespace powerlim::robust {
+
+/// One rung of the ladder, as executed.
+struct SolveAttempt {
+  std::string rung;
+  StatusCode outcome = StatusCode::kInternal;
+  /// True when the outcome was synthesized by the active FaultPlan
+  /// rather than produced by a real solve.
+  bool injected = false;
+  std::string detail;
+  long iterations = 0;
+  long degenerate_pivots = 0;
+  long refactor_count = 0;
+  bool bland_engaged = false;
+  double primal_infeasibility = 0.0;
+  /// Barrier window whose solve failed (-1: none / not window-local).
+  int failed_window = -1;
+};
+
+/// Post-replay cap-compliance record (only when an optimal solve was
+/// replay-validated).
+struct ReplayVerdict {
+  bool checked = false;
+  sim::CapCheck check;
+};
+
+/// The structured verdict for one cap: what happened, how hard the
+/// driver had to try, and what bound (if any) survived.
+struct RunReport {
+  double job_cap_watts = 0.0;
+  double socket_cap_watts = 0.0;
+  /// Final classification. kOk: the LP bound stands. Anything else with
+  /// `degraded` set: the failure class that exhausted the ladder, with
+  /// the Static-policy bound substituted.
+  StatusCode verdict = StatusCode::kInternal;
+  std::string detail;
+  /// True when `bound_seconds` is the Static-policy fallback, not the LP
+  /// optimum. A degraded bound is *achievable but conservative*: it is
+  /// an upper bound on the optimal time, where the LP bound is the
+  /// near-optimal target itself.
+  bool degraded = false;
+  /// Fallback that produced the degraded bound ("static-policy").
+  std::string fallback;
+  /// LP bound when verdict == kOk; fallback time when degraded;
+  /// < 0 when no bound of any kind was obtained.
+  double bound_seconds = -1.0;
+  double energy_joules = 0.0;
+  double min_feasible_power_watts = 0.0;
+  std::vector<SolveAttempt> attempts;
+  ReplayVerdict replay;
+
+  /// Did this cap end with *some* usable bound (optimal or degraded)?
+  bool usable() const {
+    return verdict == StatusCode::kOk || (degraded && bound_seconds >= 0.0);
+  }
+
+  std::string to_json() const;
+};
+
+/// JSON array of per-cap reports (the sweep artifact).
+std::string reports_to_json(const std::vector<RunReport>& reports);
+
+/// Result of one driver solve: the LP result (meaningful when the
+/// verdict is kOk), the validated/fallback simulation when one ran, and
+/// the full report.
+struct SolveOutcome {
+  core::WindowedLpResult lp;
+  /// Replay of the accepted schedule (kOk + validation on), or the
+  /// Static-policy fallback simulation (degraded).
+  std::optional<sim::SimResult> simulated;
+  RunReport report;
+
+  bool ok() const { return report.verdict == StatusCode::kOk; }
+  bool usable() const { return report.usable(); }
+};
+
+struct SolveDriverOptions {
+  /// Base LP options; power_cap is overwritten per solve and the ladder
+  /// adjusts simplex knobs per rung.
+  core::LpScheduleOptions lp;
+  /// Replay-validate optimal schedules against the cap before accepting.
+  bool validate_replay = true;
+  sim::CapCheckOptions cap_check;
+  /// Replay physics (engine cluster/idle power are filled by the driver).
+  sim::ReplayOptions replay;
+  /// When false, only the first rung runs before falling back (tests).
+  bool enable_ladder = true;
+  /// When false, a fully failed ladder reports the failure with no
+  /// Static-policy bound substituted.
+  bool enable_fallback = true;
+};
+
+class SolveDriver {
+ public:
+  /// All references must outlive the driver. Formulation build errors
+  /// (e.g. an empty frontier) are deferred: construction never throws,
+  /// the first solve reports them as its verdict.
+  SolveDriver(const dag::TaskGraph& graph, const machine::PowerModel& model,
+              const machine::ClusterSpec& cluster,
+              SolveDriverOptions options = {});
+  ~SolveDriver();
+  SolveDriver(SolveDriver&&) noexcept;
+  SolveDriver& operator=(SolveDriver&&) noexcept;
+
+  /// Runs the ladder for one job-level cap. Never throws: every failure
+  /// mode lands in the report.
+  SolveOutcome solve(double job_cap_watts) const;
+
+  /// Per-cap sweep; one outcome per cap, in order, independent of
+  /// individual failures.
+  std::vector<SolveOutcome> sweep(const std::vector<double>& job_caps) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace powerlim::robust

@@ -1,0 +1,55 @@
+#include "robust/status.h"
+
+namespace powerlim::robust {
+
+const char* to_string(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kBadInput:
+      return "bad-input";
+    case StatusCode::kInfeasibleCap:
+      return "infeasible-cap";
+    case StatusCode::kEmptyFrontier:
+      return "empty-frontier";
+    case StatusCode::kSolverNumerical:
+      return "solver-numerical";
+    case StatusCode::kIterationLimit:
+      return "iteration-limit";
+    case StatusCode::kSolverUnbounded:
+      return "solver-unbounded";
+    case StatusCode::kReplayCapViolation:
+      return "replay-cap-violation";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "?";
+}
+
+StatusCode from_solve_status(lp::SolveStatus status) {
+  switch (status) {
+    case lp::SolveStatus::kOptimal:
+      return StatusCode::kOk;
+    case lp::SolveStatus::kInfeasible:
+      return StatusCode::kInfeasibleCap;
+    case lp::SolveStatus::kUnbounded:
+      return StatusCode::kSolverUnbounded;
+    case lp::SolveStatus::kIterationLimit:
+      return StatusCode::kIterationLimit;
+    case lp::SolveStatus::kNumericalError:
+      return StatusCode::kSolverNumerical;
+  }
+  return StatusCode::kInternal;
+}
+
+std::string Status::to_string() const {
+  if (ok()) return "ok";
+  std::string out = robust::to_string(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace powerlim::robust

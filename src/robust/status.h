@@ -1,0 +1,105 @@
+// Structured failure taxonomy for the solve pipeline.
+//
+// Every entry point of the pipeline (trace load -> Pareto frontier -> LP
+// formulation -> solve -> replay) can fail: corrupt inputs, caps below
+// idle power, simplex numerical breakdown, iteration limits, replayed
+// schedules that bust the cap. Production sweeps (dozens of solves per
+// trace) must treat these as expected events and degrade per-cap instead
+// of aborting the whole run, so the robust layer reports them as typed
+// Status values rather than untyped std::runtime_error.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "lp/simplex.h"
+
+namespace powerlim::robust {
+
+enum class StatusCode {
+  kOk,
+  /// Malformed or inconsistent input: corrupt trace file, schedule that
+  /// does not match its trace, NaN/negative caps.
+  kBadInput,
+  /// The requested power cap is below the smallest schedulable power
+  /// (every task at its cheapest frontier point still exceeds the cap).
+  kInfeasibleCap,
+  /// A task's configuration frontier reduced to nothing - no Pareto
+  /// point survived filtering, so the LP cannot be formulated.
+  kEmptyFrontier,
+  /// The simplex reported kNumericalError on every ladder rung.
+  kSolverNumerical,
+  /// The simplex hit its iteration cap on every ladder rung.
+  kIterationLimit,
+  /// The LP relaxation is unbounded (a formulation bug, surfaced
+  /// structurally rather than thrown).
+  kSolverUnbounded,
+  /// Post-replay validation: the replayed schedule's windowed power
+  /// exceeded cap + tolerance.
+  kReplayCapViolation,
+  /// Unexpected internal failure (wrapped exception).
+  kInternal,
+};
+
+const char* to_string(StatusCode code);
+
+/// Maps a raw solver status onto the pipeline taxonomy (kOptimal -> kOk).
+StatusCode from_solve_status(lp::SolveStatus status);
+
+/// A StatusCode plus a human-readable message. Statuses are cheap to
+/// copy and compare; `ok()` is the success test everywhere.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status{}; }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string to_string() const;
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a non-ok Status. The pipeline's
+/// fail-soft return type; callers branch on ok() instead of catching.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : data_(std::move(value)) {}  // NOLINT(google-explicit-*)
+  Result(Status status) : data_(std::move(status)) {
+    if (std::get<Status>(data_).ok()) {
+      // A Result constructed from a status must carry an error; an ok
+      // status with no value is a logic error upstream.
+      data_ = Status(StatusCode::kInternal, "ok status without a value");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(data_); }
+
+  const Status& status() const {
+    static const Status kOkStatus;
+    return ok() ? kOkStatus : std::get<Status>(data_);
+  }
+
+  /// Value access; only valid when ok().
+  const T& value() const& { return std::get<T>(data_); }
+  T& value() & { return std::get<T>(data_); }
+  T&& value() && { return std::get<T>(std::move(data_)); }
+
+  const T& operator*() const& { return value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> data_;
+};
+
+}  // namespace powerlim::robust

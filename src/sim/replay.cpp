@@ -1,7 +1,10 @@
 #include "sim/replay.h"
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+
+#include "sim/power_window.h"
 
 namespace powerlim::sim {
 
@@ -76,6 +79,23 @@ SimResult replay_schedule(
   EngineOptions engine = options.engine;
   engine.vertex_floor = vertex_times;
   return simulate(graph, policy, engine);
+}
+
+CapCheck check_cap(const SimResult& result, double cap_watts,
+                   const CapCheckOptions& options) {
+  CapCheck check;
+  check.cap_watts = cap_watts;
+  check.peak_power = result.peak_power;
+  check.max_windowed_power =
+      options.rapl_window_s > 0.0
+          ? max_windowed_power(result, options.rapl_window_s)
+          : result.peak_power;
+  check.violation_watts =
+      std::max(0.0, check.max_windowed_power - cap_watts);
+  check.violation_seconds =
+      result.violation_seconds(cap_watts, options.tolerance_watts);
+  check.ok = check.max_windowed_power <= cap_watts + options.tolerance_watts;
+  return check;
 }
 
 }  // namespace powerlim::sim

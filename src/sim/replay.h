@@ -41,4 +41,35 @@ SimResult replay_schedule(
     const ReplayOptions& options = {},
     const std::vector<double>* vertex_times = nullptr);
 
+struct CapCheckOptions {
+  /// Slack above the cap still considered compliant, watts.
+  double tolerance_watts = 1e-3;
+  /// RAPL control window for the max-windowed-average metric; <= 0 checks
+  /// the instantaneous peak instead.
+  double rapl_window_s = 0.01;
+};
+
+/// Post-replay cap-compliance verdict: the structured answer to "did the
+/// replayed schedule actually stay under the power bound?". `ok` is the
+/// RAPL-sense test (max windowed average vs. cap + tolerance); peak and
+/// violation fields quantify any excursion for reports.
+struct CapCheck {
+  bool ok = false;
+  double cap_watts = 0.0;
+  double peak_power = 0.0;
+  /// Max average power over the RAPL control window - the enforced metric.
+  double max_windowed_power = 0.0;
+  /// max_windowed_power - cap, clamped at 0.
+  double violation_watts = 0.0;
+  /// Total time spent above cap + tolerance (instantaneous).
+  double violation_seconds = 0.0;
+};
+
+/// Checks a replayed (or simulated) run against a job-level power cap.
+/// Never throws: an over-cap run returns ok == false with the violation
+/// quantified, which robust::SolveDriver maps to kReplayCapViolation
+/// instead of silently returning the trace.
+CapCheck check_cap(const SimResult& result, double cap_watts,
+                   const CapCheckOptions& options = {});
+
 }  // namespace powerlim::sim

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
 #include <sstream>
 
 #include "apps/benchmarks.h"
@@ -145,6 +146,90 @@ TEST(TraceIo, ErrorsCarryLineNumbers) {
   } catch (const std::runtime_error& e) {
     EXPECT_NE(std::string(e.what()).find("line 4"), std::string::npos)
         << e.what();
+  }
+}
+
+TEST(TraceIo, ParseErrorNamesFileLineAndToken) {
+  const std::string path = ::testing::TempDir() + "/corrupt_trace.txt";
+  {
+    std::ofstream f(path);
+    f << "powerlim-trace 1\n"
+         "ranks 1\n"
+         "vertex 0 init -1\n"
+         "vertex 1 finalize -1\n"
+         "task 0 1 0 0 oops 0.0 0.9 4 0.0 8\n";
+  }
+  try {
+    load_trace(path);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.source(), path);
+    EXPECT_EQ(e.line(), 5);
+    EXPECT_EQ(e.token(), "oops");
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find(path), std::string::npos) << msg;
+    EXPECT_NE(msg.find("line 5"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'oops'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cpu_s"), std::string::npos) << msg;
+  }
+}
+
+TEST(TraceIo, ShortTaskLineReportsFieldCount) {
+  std::stringstream in(
+      "powerlim-trace 1\nranks 1\nvertex 0 init -1\nvertex 1 finalize -1\n"
+      "task 0 1 0\n");
+  try {
+    read_trace(in, "short.trace");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.source(), "short.trace");
+    EXPECT_EQ(e.line(), 5);
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("expected 10 fields, got 3"), std::string::npos)
+        << msg;
+  }
+}
+
+TEST(TraceIo, TruncatedTraceIsRejectedWithLine) {
+  // Serialize a real trace, then cut the final line mid-token - the
+  // interrupted-copy corruption.
+  std::ostringstream buf;
+  write_trace(buf, apps::two_rank_exchange());
+  std::string text = buf.str();
+  text.resize(text.size() - text.size() / 4);
+  std::stringstream in(text);
+  try {
+    read_trace(in, "truncated.trace");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.source(), "truncated.trace");
+    EXPECT_GT(e.line(), 1);
+  }
+}
+
+TEST(TraceIo, NonNumericRanksNamesToken) {
+  std::stringstream in("powerlim-trace 1\nranks many\n");
+  try {
+    read_trace(in);
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.line(), 2);
+    EXPECT_EQ(e.token(), "many");
+  }
+}
+
+TEST(TraceIo, ValidationFailureIsTypedToo) {
+  // Parses fine, fails graph.validate(): the error must still be a
+  // TraceParseError carrying the source name.
+  std::stringstream in(
+      "powerlim-trace 1\nranks 1\nvertex 0 init -1\nvertex 1 finalize -1\n");
+  try {
+    read_trace(in, "invalid.trace");
+    FAIL() << "expected TraceParseError";
+  } catch (const TraceParseError& e) {
+    EXPECT_EQ(e.source(), "invalid.trace");
+    EXPECT_NE(std::string(e.what()).find("invalid graph"),
+              std::string::npos);
   }
 }
 

@@ -136,6 +136,74 @@ TEST(SimplexStress, ManyBoundFlips) {
   EXPECT_NEAR(sum, 5.0, 1e-6);
 }
 
+TEST(SimplexStress, DegeneracyDiagnosticsSurfaced) {
+  // The transportation LP above is massively degenerate; the solution
+  // must report that through the diagnostics the retry ladder reads.
+  const int n = 12;
+  Model m;
+  std::vector<std::vector<Variable>> x(n, std::vector<Variable>(n));
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) {
+      x[i][j] = m.add_variable(0, kInfinity, (i == j) ? 1.0 : 2.0);
+    }
+  }
+  for (int i = 0; i < n; ++i) {
+    std::vector<Term> row, col;
+    for (int j = 0; j < n; ++j) {
+      row.push_back({x[i][j], 1.0});
+      col.push_back({x[j][i], 1.0});
+    }
+    m.add_eq(row, 1.0);
+    m.add_eq(col, 1.0);
+  }
+  const Solution s = solve_lp(m);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GT(s.degenerate_pivots, 0);
+  EXPECT_LE(s.degenerate_pivots, s.iterations);
+  EXPECT_GE(s.primal_infeasibility, 0.0);
+  EXPECT_LE(s.primal_infeasibility, 1e-6);
+}
+
+TEST(SimplexStress, RefactorCountTracksInterval) {
+  // A chain long enough to force hundreds of pivots: with
+  // refactor_interval = 20 the basis must be rebuilt many times, and the
+  // count must be visible in the solution.
+  const int n = 200;
+  Model m;
+  std::vector<Variable> v;
+  for (int i = 0; i < n; ++i) {
+    v.push_back(m.add_variable(0, kInfinity, i + 1 == n ? 1.0 : 0.0));
+  }
+  for (int i = 0; i + 1 < n; ++i) {
+    m.add_ge({{v[i + 1], 1.0}, {v[i], -1.0}}, 1.0);
+  }
+  SimplexOptions opt;
+  opt.refactor_interval = 20;
+  const Solution s = solve_lp(m, opt);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_GE(s.refactor_count, s.iterations / 20 - 1);
+}
+
+TEST(SimplexStress, BlandTriggerZeroEngagesImmediately) {
+  // bland_trigger <= 0 is the ladder's last-resort anti-cycling mode: the
+  // rule must engage from the first pivot and be reported.
+  Model m;
+  const Variable x = m.add_variable(0, 10, 1.0);
+  const Variable y = m.add_variable(0, 10, 2.0);
+  m.add_ge({{x, 1.0}, {y, 1.0}}, 5.0);
+  SimplexOptions opt;
+  opt.bland_trigger = 0;
+  const Solution s = solve_lp(m, opt);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_TRUE(s.bland_engaged);
+  EXPECT_NEAR(s.objective, 5.0, 1e-9);
+
+  // Default trigger on the same easy LP: Bland never needs to engage.
+  const Solution plain = solve_lp(m);
+  ASSERT_TRUE(plain.optimal());
+  EXPECT_FALSE(plain.bland_engaged);
+}
+
 TEST(SimplexStress, RepeatedSolvesAreStable) {
   // Same model solved 50 times: identical results, no state leakage.
   util::Rng rng(777);

@@ -1,0 +1,79 @@
+#include "robust/status.h"
+
+#include <gtest/gtest.h>
+
+namespace powerlim::robust {
+namespace {
+
+TEST(Status, CodesHaveStableNames) {
+  EXPECT_STREQ(to_string(StatusCode::kOk), "ok");
+  EXPECT_STREQ(to_string(StatusCode::kBadInput), "bad-input");
+  EXPECT_STREQ(to_string(StatusCode::kInfeasibleCap), "infeasible-cap");
+  EXPECT_STREQ(to_string(StatusCode::kEmptyFrontier), "empty-frontier");
+  EXPECT_STREQ(to_string(StatusCode::kSolverNumerical), "solver-numerical");
+  EXPECT_STREQ(to_string(StatusCode::kIterationLimit), "iteration-limit");
+  EXPECT_STREQ(to_string(StatusCode::kSolverUnbounded), "solver-unbounded");
+  EXPECT_STREQ(to_string(StatusCode::kReplayCapViolation),
+               "replay-cap-violation");
+  EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, SolveStatusMapsOntoTaxonomy) {
+  EXPECT_EQ(from_solve_status(lp::SolveStatus::kOptimal), StatusCode::kOk);
+  EXPECT_EQ(from_solve_status(lp::SolveStatus::kInfeasible),
+            StatusCode::kInfeasibleCap);
+  EXPECT_EQ(from_solve_status(lp::SolveStatus::kUnbounded),
+            StatusCode::kSolverUnbounded);
+  EXPECT_EQ(from_solve_status(lp::SolveStatus::kIterationLimit),
+            StatusCode::kIterationLimit);
+  EXPECT_EQ(from_solve_status(lp::SolveStatus::kNumericalError),
+            StatusCode::kSolverNumerical);
+}
+
+TEST(Status, DefaultIsOk) {
+  const Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.to_string(), "ok");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  const Status s(StatusCode::kBadInput, "trace is garbage");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kBadInput);
+  EXPECT_EQ(s.message(), "trace is garbage");
+  EXPECT_EQ(s.to_string(), "bad-input: trace is garbage");
+}
+
+TEST(Result, HoldsValue) {
+  const Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(Result, HoldsError) {
+  const Result<int> r(Status(StatusCode::kInfeasibleCap, "needs 40 W"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInfeasibleCap);
+  EXPECT_EQ(r.status().message(), "needs 40 W");
+}
+
+TEST(Result, OkStatusWithoutValueIsInternalError) {
+  // Constructing a Result from an ok status is a logic error upstream;
+  // it must not masquerade as success.
+  const Result<int> r{Status::Ok()};
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(Result, MovesValueOut) {
+  Result<std::string> r(std::string("schedule"));
+  ASSERT_TRUE(r.ok());
+  const std::string s = std::move(r).value();
+  EXPECT_EQ(s, "schedule");
+}
+
+}  // namespace
+}  // namespace powerlim::robust

@@ -70,5 +70,66 @@ TEST_P(ValidationTest, OverheadReplayViolationsAreTransient) {
 INSTANTIATE_TEST_SUITE_P(SocketCaps, ValidationTest,
                          ::testing::Values(28.0, 35.0, 45.0, 60.0, 75.0));
 
+TEST(CapCheck, CompliantReplayPasses) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 4});
+  const double cap = 4 * 50.0;
+  const auto lp =
+      core::solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+  ASSERT_TRUE(lp.optimal());
+  ReplayOptions o;
+  o.engine.cluster = kCluster;
+  o.engine.idle_power = kModel.idle_power();
+  const SimResult res =
+      replay_schedule(g, lp.schedule, lp.frontiers, o, &lp.vertex_time);
+  const CapCheck check = check_cap(res, cap);
+  EXPECT_TRUE(check.ok) << "windowed " << check.max_windowed_power << " W vs "
+                        << cap << " W";
+  EXPECT_DOUBLE_EQ(check.cap_watts, cap);
+  // violation_watts is the raw (unclamped-by-tolerance) excess; float
+  // noise at the cap boundary is allowed, a real violation is not.
+  EXPECT_LE(check.violation_watts, 1e-9);
+  EXPECT_GT(check.max_windowed_power, 0.0);
+  EXPECT_LE(check.max_windowed_power, check.peak_power + 1e-9);
+}
+
+TEST(CapCheck, UnderdeclaredCapIsStructuredViolation) {
+  // Check the same replay against a cap far below what it actually drew:
+  // the verdict must be a quantified failure, not a throw.
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 4});
+  const double cap = 4 * 50.0;
+  const auto lp =
+      core::solve_windowed_lp(g, kModel, kCluster, {.power_cap = cap});
+  ASSERT_TRUE(lp.optimal());
+  ReplayOptions o;
+  o.engine.cluster = kCluster;
+  o.engine.idle_power = kModel.idle_power();
+  const SimResult res =
+      replay_schedule(g, lp.schedule, lp.frontiers, o, &lp.vertex_time);
+  const double lying_cap = cap / 2.0;
+  const CapCheck check = check_cap(res, lying_cap);
+  EXPECT_FALSE(check.ok);
+  EXPECT_NEAR(check.violation_watts, check.max_windowed_power - lying_cap,
+              1e-9);
+  EXPECT_GT(check.violation_watts, 0.0);
+  EXPECT_GT(check.violation_seconds, 0.0);
+}
+
+TEST(CapCheck, ZeroWindowChecksInstantaneousPeak) {
+  const dag::TaskGraph g = apps::make_comd({.ranks = 2, .iterations = 2});
+  const auto lp = core::solve_windowed_lp(g, kModel, kCluster,
+                                          {.power_cap = 2 * 60.0});
+  ASSERT_TRUE(lp.optimal());
+  ReplayOptions o;
+  o.charge_dvfs_overhead = false;
+  o.engine.cluster = kCluster;
+  o.engine.idle_power = kModel.idle_power();
+  const SimResult res =
+      replay_schedule(g, lp.schedule, lp.frontiers, o, &lp.vertex_time);
+  CapCheckOptions co;
+  co.rapl_window_s = 0.0;
+  const CapCheck check = check_cap(res, 2 * 60.0, co);
+  EXPECT_DOUBLE_EQ(check.max_windowed_power, res.peak_power);
+}
+
 }  // namespace
 }  // namespace powerlim::sim

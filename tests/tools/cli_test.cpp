@@ -123,6 +123,79 @@ TEST(Cli, SweepMarksInfeasibleCaps) {
   EXPECT_NE(s.out.find("0.0%"), std::string::npos);  // best cap row
 }
 
+TEST(Cli, SweepWithInjectedFailureDegradesInsteadOfAborting) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const std::string report = ::testing::TempDir() + "/cli_sweep_report.json";
+  const CliResult s =
+      run_cli({"sweep", temp_trace(), "--from", "10", "--to", "60", "--step",
+               "25", "--inject-fail", "35", "--report", report});
+  // Partial results are success: the failing cap degrades, the sweep
+  // completes, exit code stays 0.
+  ASSERT_EQ(s.code, 0) << s.err;
+  EXPECT_NE(s.out.find("degraded (static-policy)"), std::string::npos)
+      << s.out;
+  EXPECT_NE(s.out.find("ok"), std::string::npos);
+  EXPECT_NE(s.out.find("n/s"), std::string::npos);
+
+  // The RunReport artifact carries the per-cap verdicts and attempts.
+  std::ifstream f(report);
+  ASSERT_TRUE(f.good());
+  std::stringstream json;
+  json << f.rdbuf();
+  EXPECT_NE(json.str().find("\"verdict\":\"solver-numerical\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"fallback\":\"static-policy\""),
+            std::string::npos);
+  EXPECT_NE(json.str().find("\"rung\":\"perturb\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"verdict\":\"ok\""), std::string::npos);
+}
+
+TEST(Cli, SweepVerdictColumnPresent) {
+  ASSERT_EQ(run_cli({"trace", "comd", "-o", temp_trace(), "--ranks", "2",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const CliResult s = run_cli({"sweep", temp_trace(), "--from", "10", "--to",
+                               "60", "--step", "25"});
+  ASSERT_EQ(s.code, 0) << s.err;
+  EXPECT_NE(s.out.find("verdict"), std::string::npos);
+  EXPECT_NE(s.out.find("infeasible"), std::string::npos);
+}
+
+TEST(Cli, BoundWritesRunReportNextToSchedule) {
+  ASSERT_EQ(run_cli({"trace", "bt", "-o", temp_trace(), "--ranks", "3",
+                     "--iterations", "3"})
+                .code,
+            0);
+  const std::string sched = ::testing::TempDir() + "/cli_report.sched";
+  const CliResult b = run_cli({"bound", temp_trace(), "--socket-cap", "45",
+                               "-o", sched});
+  ASSERT_EQ(b.code, 0) << b.err;
+  std::ifstream f(sched + ".runreport.json");
+  ASSERT_TRUE(f.good());
+  std::stringstream json;
+  json << f.rdbuf();
+  EXPECT_NE(json.str().find("\"verdict\":\"ok\""), std::string::npos);
+  EXPECT_NE(json.str().find("\"replay\":{\"checked\":true"),
+            std::string::npos);
+}
+
+TEST(Cli, BoundOnCorruptTraceNamesLine) {
+  const std::string path = ::testing::TempDir() + "/cli_corrupt.trace";
+  {
+    std::ofstream f(path);
+    f << "powerlim-trace 1\nranks 1\nvertex 0 init -1\nvertex 1 finalize -1\n"
+         "task 0 1 0 0 NOT_A_NUMBER 0.0 0.9 4 0.0 8\n";
+  }
+  const CliResult b = run_cli({"bound", path, "--socket-cap", "45"});
+  EXPECT_EQ(b.code, 1);
+  EXPECT_NE(b.err.find("line 5"), std::string::npos) << b.err;
+  EXPECT_NE(b.err.find("NOT_A_NUMBER"), std::string::npos) << b.err;
+}
+
 TEST(Cli, MissingTraceFileErrors) {
   const CliResult r = run_cli({"info", "/nonexistent/trace.txt"});
   EXPECT_EQ(r.code, 1);

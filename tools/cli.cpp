@@ -1,5 +1,6 @@
 #include "tools/cli.h"
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <optional>
@@ -18,6 +19,9 @@
 #include "dag/trace_io.h"
 #include "dag/windows.h"
 #include "machine/power_model.h"
+#include "robust/fault_injection.h"
+#include "robust/pipeline.h"
+#include "robust/solve_driver.h"
 #include "runtime/comparison.h"
 #include "runtime/conductor.h"
 #include "runtime/static_policy.h"
@@ -42,8 +46,15 @@ const char* kUsage =
     "           [--iterations N] [--seed S]\n"
     "  info     FILE\n"
     "  bound    FILE --socket-cap W [--discrete] [-o SCHEDULE]\n"
+    "           [--report FILE]\n"
+    "           (solves through the retry/degradation ladder; -o also\n"
+    "            writes SCHEDULE.runreport.json)\n"
     "  compare  FILE --socket-cap W\n"
-    "  sweep    FILE --from W --to W [--step W]\n"
+    "  sweep    FILE --from W --to W [--step W] [--report FILE]\n"
+    "           [--inject-fail W]\n"
+    "           (per-cap verdicts; failed caps degrade to the Static\n"
+    "            bound instead of aborting; --inject-fail forces every\n"
+    "            ladder rung to fail at that socket cap)\n"
     "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
     "           [--width N]\n"
     "  export   FILE --socket-cap W -o PREFIX\n"
@@ -87,13 +98,27 @@ ParsedArgs parse(const std::vector<std::string>& args, std::size_t start,
 
 int opt_int(const ParsedArgs& p, const std::string& key, int def) {
   auto it = p.options.find(key);
-  return it == p.options.end() ? def : std::stoi(it->second);
+  if (it == p.options.end()) return def;
+  try {
+    return std::stoi(it->second);
+  } catch (const std::exception&) {
+    throw std::runtime_error("option " + key + " needs an integer, got '" +
+                             it->second + "'");
+  }
 }
 
 std::optional<double> opt_double(const ParsedArgs& p, const std::string& key) {
   auto it = p.options.find(key);
   if (it == p.options.end()) return std::nullopt;
-  return std::stod(it->second);
+  try {
+    std::size_t used = 0;
+    const double v = std::stod(it->second, &used);
+    if (used != it->second.size()) throw std::invalid_argument(it->second);
+    return v;
+  } catch (const std::exception&) {
+    throw std::runtime_error("option " + key + " needs a number, got '" +
+                             it->second + "'");
+  }
 }
 
 const machine::PowerModel& model() {
@@ -180,6 +205,19 @@ int cmd_info(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+/// Writes a RunReport (or report array) to `path`; failures are warnings,
+/// not errors - the report is an artifact trail, not the result.
+void write_report_file(const std::string& path, const std::string& json,
+                       std::ostream& out, std::ostream& err) {
+  std::ofstream f(path);
+  if (!f) {
+    err << "warning: cannot write report to " << path << "\n";
+    return;
+  }
+  f << json;
+  out << "run report written to " << path << "\n";
+}
+
 int cmd_bound(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (p.positional.size() != 1) {
     err << "bound: expected one trace file\n";
@@ -190,47 +228,75 @@ int cmd_bound(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "bound: --socket-cap W is required\n";
     return 2;
   }
-  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
+  const auto trace = robust::load_trace_checked(p.positional[0]);
+  if (!trace.ok()) {
+    err << "error: " << trace.status().message() << "\n";
+    return 1;
+  }
+  const dag::TaskGraph& g = *trace;
   const machine::ClusterSpec cluster;
   const double job_cap = *socket_cap * g.num_ranks();
 
-  core::LpScheduleOptions opt;
-  opt.power_cap = job_cap;
-  opt.discrete = p.flags.count("--discrete") > 0;
-  const auto res = core::solve_windowed_lp(g, model(), cluster, opt);
-  if (!res.optimal()) {
-    err << "infeasible: job needs at least " << res.min_feasible_power
-        << " W (" << res.min_feasible_power / g.num_ranks()
-        << " W/socket)\n";
+  robust::SolveDriverOptions dopt;
+  dopt.lp.discrete = p.flags.count("--discrete") > 0;
+  const robust::SolveDriver driver(g, model(), cluster, dopt);
+  const robust::SolveOutcome res = driver.solve(job_cap);
+  const robust::RunReport& rep = res.report;
+
+  if (auto it = p.options.find("--report"); it != p.options.end()) {
+    write_report_file(it->second, rep.to_json() + "\n", out, err);
+  }
+
+  if (rep.verdict == robust::StatusCode::kInfeasibleCap) {
+    err << "infeasible: " << rep.detail << "\n";
     return 1;
   }
-  sim::ReplayOptions ro;
-  ro.engine.cluster = cluster;
-  ro.engine.idle_power = model().idle_power();
-  const sim::SimResult replay = sim::replay_schedule(
-      g, res.schedule, res.frontiers, ro, &res.vertex_time);
+  if (!rep.usable()) {
+    err << "error: " << rep.detail << "\n";
+    return 1;
+  }
 
+  if (rep.degraded) {
+    util::Table t({"metric", "value"});
+    t.add_row({"job power cap (W)", util::Table::num(job_cap, 1)});
+    t.add_row({"verdict", std::string(robust::to_string(rep.verdict)) +
+                              ", degraded (" + rep.fallback + " fallback)"});
+    t.add_row({"degraded bound (s)", util::Table::num(rep.bound_seconds, 4)});
+    t.add_row({"ladder attempts", std::to_string(rep.attempts.size())});
+    out << t.to_string();
+    out << "note: every LP ladder rung failed; the bound above is the "
+           "achievable " << rep.fallback
+        << " time, an upper bound on the optimum, not the LP bound.\n";
+    return 0;
+  }
+
+  // verdict == kOk: the driver replay-validated the schedule.
+  const sim::SimResult& replay = *res.simulated;
   if (auto it = p.options.find("-o"); it != p.options.end()) {
     core::SavedSchedule saved;
-    saved.schedule = res.schedule;
-    saved.frontiers = res.frontiers;
-    saved.vertex_time = res.vertex_time;
+    saved.schedule = res.lp.schedule;
+    saved.frontiers = res.lp.frontiers;
+    saved.vertex_time = res.lp.vertex_time;
     saved.job_cap_watts = job_cap;
-    saved.makespan = res.makespan;
+    saved.makespan = res.lp.makespan;
     core::save_schedule(it->second, saved);
     out << "schedule written to " << it->second << "\n";
+    write_report_file(it->second + ".runreport.json", rep.to_json() + "\n",
+                      out, err);
   }
   util::Table t({"metric", "value"});
   t.add_row({"job power cap (W)", util::Table::num(job_cap, 1)});
-  t.add_row({"LP bound (s)", util::Table::num(res.makespan, 4)});
+  t.add_row({"LP bound (s)", util::Table::num(res.lp.makespan, 4)});
   t.add_row({"replayed (s)", util::Table::num(replay.makespan, 4)});
   t.add_row({"replay peak power (W)", util::Table::num(replay.peak_power, 2)});
   t.add_row({"RAPL 10ms max avg (W)",
-             util::Table::num(sim::max_windowed_power(replay, 0.01), 2)});
+             util::Table::num(rep.replay.check.max_windowed_power, 2)});
+  t.add_row({"cap verdict", rep.replay.check.ok ? "valid" : "VIOLATED"});
   t.add_row({"energy (kJ)", util::Table::num(replay.energy_joules / 1e3, 2)});
-  t.add_row({"simplex iterations", std::to_string(res.iterations)});
+  t.add_row({"simplex iterations", std::to_string(res.lp.iterations)});
+  t.add_row({"ladder attempts", std::to_string(rep.attempts.size())});
   t.add_row({"marginal value of power (ms/W)",
-             util::Table::num(res.power_price_s_per_watt * 1e3, 3)});
+             util::Table::num(res.lp.power_price_s_per_watt * 1e3, 3)});
   out << t.to_string();
   return 0;
 }
@@ -286,31 +352,78 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "sweep: --from W --to W [--step W] required\n";
     return 2;
   }
-  const dag::TaskGraph g = dag::load_trace(p.positional[0]);
-  const machine::ClusterSpec cluster;
-  const core::WindowSweeper sweeper(g, model(), cluster);
-  util::Table t({"socket_w", "lp_bound_s", "slowdown_vs_best"});
-  double best = -1.0;
-  std::vector<std::pair<double, double>> rows;
-  for (double w = *from; w <= *to + 1e-9; w += step) {
-    const auto res = sweeper.solve({.power_cap = w * g.num_ranks()});
-    if (!res.optimal()) {
-      rows.push_back({w, -1.0});
-      continue;
-    }
-    rows.push_back({w, res.makespan});
-    best = res.makespan;  // caps ascend, so the last is the best
+  const auto trace = robust::load_trace_checked(p.positional[0]);
+  if (!trace.ok()) {
+    err << "error: " << trace.status().message() << "\n";
+    return 1;
   }
-  for (const auto& [w, s] : rows) {
-    if (s < 0) {
-      t.add_row({util::Table::num(w, 1), "n/s", "-"});
+  const dag::TaskGraph& g = *trace;
+  const machine::ClusterSpec cluster;
+  const robust::SolveDriver driver(g, model(), cluster, {});
+
+  // --inject-fail W: force every ladder rung to fail at that socket cap
+  // (demonstrates the degradation path end to end; see robust/).
+  robust::FaultPlan plan;
+  std::optional<robust::ScopedFaultPlan> scope;
+  if (const auto inject = opt_double(p, "--inject-fail")) {
+    plan.fail_attempts = 99;
+    plan.forced_status = lp::SolveStatus::kNumericalError;
+    plan.only_job_cap = *inject * g.num_ranks();
+    plan.cap_tolerance = 1e-6 * std::max(1.0, plan.only_job_cap);
+    scope.emplace(plan);
+  }
+
+  std::vector<robust::SolveOutcome> outcomes;
+  for (double w = *from; w <= *to + 1e-9; w += step) {
+    outcomes.push_back(driver.solve(w * g.num_ranks()));
+  }
+
+  double best = -1.0;  // smallest optimal LP bound across the sweep
+  for (const auto& o : outcomes) {
+    if (o.ok() && (best < 0 || o.report.bound_seconds < best)) {
+      best = o.report.bound_seconds;
+    }
+  }
+
+  util::Table t({"socket_w", "bound_s", "slowdown_vs_best", "verdict"});
+  std::size_t usable = 0, hard_failures = 0;
+  std::vector<robust::RunReport> reports;
+  for (const auto& o : outcomes) {
+    const robust::RunReport& rep = o.report;
+    reports.push_back(rep);
+    const std::string w = util::Table::num(rep.socket_cap_watts, 1);
+    if (rep.verdict == robust::StatusCode::kOk) {
+      ++usable;
+      t.add_row({w, util::Table::num(rep.bound_seconds, 4),
+                 util::Table::pct(rep.bound_seconds / best - 1.0, 1), "ok"});
+    } else if (rep.verdict == robust::StatusCode::kInfeasibleCap) {
+      t.add_row({w, "n/s", "-", "infeasible"});
+    } else if (rep.degraded) {
+      ++usable;
+      t.add_row({w, util::Table::num(rep.bound_seconds, 4),
+                 best > 0
+                     ? util::Table::pct(rep.bound_seconds / best - 1.0, 1)
+                     : std::string("-"),
+                 "degraded (" + rep.fallback + ")"});
     } else {
-      t.add_row({util::Table::num(w, 1), util::Table::num(s, 4),
-                 util::Table::pct(s / best - 1.0, 1)});
+      ++hard_failures;
+      t.add_row({w, "n/s", "-", robust::to_string(rep.verdict)});
     }
   }
   out << t.to_string();
-  return 0;
+  if (scope) {
+    out << "note: --inject-fail forced all ladder rungs to fail at "
+        << plan.only_job_cap / g.num_ranks()
+        << " W/socket; that cap reports the degraded " << "Static-policy"
+        << " bound (achievable, not optimal).\n";
+  }
+
+  if (auto it = p.options.find("--report"); it != p.options.end()) {
+    write_report_file(it->second, robust::reports_to_json(reports), out, err);
+  }
+  // Partial results are success; only a sweep where some cap failed
+  // outright and *nothing* produced a bound is an error.
+  return usable == 0 && hard_failures > 0 ? 1 : 0;
 }
 
 /// Runs one method and returns the simulation result; `lp` out-param is
@@ -593,7 +706,8 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_info(parse(args, 1, {}, {}), out, err);
     }
     if (cmd == "bound") {
-      return cmd_bound(parse(args, 1, {"--socket-cap", "-o"}, {"--discrete"}),
+      return cmd_bound(parse(args, 1, {"--socket-cap", "-o", "--report"},
+                             {"--discrete"}),
                        out, err);
     }
     if (cmd == "replay") {
@@ -603,8 +717,11 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_compare(parse(args, 1, {"--socket-cap"}, {}), out, err);
     }
     if (cmd == "sweep") {
-      return cmd_sweep(parse(args, 1, {"--from", "--to", "--step"}, {}), out,
-                       err);
+      return cmd_sweep(parse(args, 1,
+                             {"--from", "--to", "--step", "--report",
+                              "--inject-fail"},
+                             {}),
+                       out, err);
     }
     if (cmd == "timeline") {
       return cmd_timeline(

@@ -5,9 +5,19 @@
 //           [--seed S]                         generate a trace file
 //   info    FILE                               structural + power summary
 //   bound   FILE --socket-cap W [--discrete]   LP bound + replay validation
+//           [-o SCHEDULE] [--report FILE]      (RunReport JSON artifact)
 //   compare FILE --socket-cap W                Static vs Conductor vs LP
 //   sweep   FILE --from W --to W [--step W]    cap sweep of the LP bound
+//           [--report FILE] [--inject-fail W]  (per-cap verdicts; failing
+//                                              caps degrade, not abort)
 //
+// bound and sweep solve through robust::SolveDriver's retry/degradation
+// ladder: solver failures retry with progressively more conservative
+// simplex settings and finally degrade to the Static-policy bound, so a
+// sweep always finishes with per-cap verdicts.
+//
+// Exit codes: 0 success (including degraded/partial results), 1 runtime
+// failure (bad file, infeasible cap, total sweep failure), 2 usage error.
 // All output goes to the provided stream so the suite can test it.
 #pragma once
 

@@ -1,5 +1,9 @@
 // Entry point for the `powerlim` command-line tool; all logic lives in
 // cli.cpp so the test suite can drive it in-process.
+//
+// Exit codes: 0 success - including sweeps with degraded or partially
+// infeasible caps (partial results are results); 1 runtime failure;
+// 2 usage error.
 #include <iostream>
 #include <string>
 #include <vector>
