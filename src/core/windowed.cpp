@@ -123,6 +123,16 @@ void WindowSweeper::clear_warm_starts() const {
   for (lp::WarmStart& w : impl_->warm) w.clear();
 }
 
+std::vector<lp::WarmStart> WindowSweeper::warm_starts() const {
+  return impl_->warm;
+}
+
+void WindowSweeper::restore_warm_starts(
+    std::vector<lp::WarmStart> warm) const {
+  if (warm.size() != impl_->warm.size()) return;
+  impl_->warm = std::move(warm);
+}
+
 WindowSweeper::~WindowSweeper() = default;
 WindowSweeper::WindowSweeper(WindowSweeper&&) noexcept = default;
 WindowSweeper& WindowSweeper::operator=(WindowSweeper&&) noexcept = default;

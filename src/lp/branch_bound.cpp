@@ -67,10 +67,22 @@ MipSolution solve_mip(const Model& model, const BranchBoundOptions& options) {
   std::vector<double> incumbent;
   bool any_feasible_relaxation = false;
   bool hit_limit = false;
+  // Set when the wall-clock budget or a cancellation stops the search;
+  // reported in preference to kIterationLimit (the relaxations below
+  // also observe the same deadline at pivot granularity).
+  SolveStatus stopped = SolveStatus::kOptimal;
 
   while (!open.empty()) {
     if (out.nodes >= options.max_nodes) {
       hit_limit = true;
+      break;
+    }
+    const util::StopReason reason = options.simplex.deadline.stop_reason();
+    if (reason != util::StopReason::kNone) {
+      hit_limit = true;
+      stopped = reason == util::StopReason::kCancelled
+                    ? SolveStatus::kCancelled
+                    : SolveStatus::kDeadlineExceeded;
       break;
     }
     auto node = open.top();
@@ -100,6 +112,12 @@ MipSolution solve_mip(const Model& model, const BranchBoundOptions& options) {
     if (relax.status == SolveStatus::kUnbounded) {
       out.status = SolveStatus::kUnbounded;
       return out;
+    }
+    if (relax.status == SolveStatus::kDeadlineExceeded ||
+        relax.status == SolveStatus::kCancelled) {
+      hit_limit = true;
+      stopped = relax.status;
+      break;
     }
     if (relax.status != SolveStatus::kOptimal) {
       util::log_warn() << "branch&bound: relaxation " << to_string(relax.status);
@@ -148,13 +166,17 @@ MipSolution solve_mip(const Model& model, const BranchBoundOptions& options) {
       bound = open.top()->parent_bound;
     }
     out.best_bound = sense_mult * bound;
-    out.status =
-        hit_limit ? SolveStatus::kIterationLimit : SolveStatus::kOptimal;
+    out.status = !hit_limit ? SolveStatus::kOptimal
+                 : stopped != SolveStatus::kOptimal
+                     ? stopped
+                     : SolveStatus::kIterationLimit;
     return out;
   }
   (void)any_feasible_relaxation;
-  out.status =
-      hit_limit ? SolveStatus::kIterationLimit : SolveStatus::kInfeasible;
+  out.status = !hit_limit ? SolveStatus::kInfeasible
+               : stopped != SolveStatus::kOptimal
+                   ? stopped
+                   : SolveStatus::kIterationLimit;
   return out;
 }
 

@@ -18,6 +18,10 @@ const char* to_string(SolveStatus status) {
       return "iteration-limit";
     case SolveStatus::kNumericalError:
       return "numerical-error";
+    case SolveStatus::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case SolveStatus::kCancelled:
+      return "cancelled";
   }
   return "?";
 }
@@ -41,6 +45,12 @@ class Simplex {
 
   Solution run(WarmStart* warm = nullptr) {
     Solution sol;
+    // An already-dead deadline exits before any setup work: the retry
+    // ladder relies on exhausted budgets failing in O(1).
+    const util::StopReason pre = opt_.deadline.stop_reason();
+    if (pre != util::StopReason::kNone) {
+      return finish(stop_status(pre), warm);
+    }
     if (m_ == 0) {
       return solve_unconstrained();
     }
@@ -64,7 +74,7 @@ class Simplex {
     // basics out of bounds or as newly improving candidates, both of
     // which we repair instead of returning a corrupted answer.
     for (int attempt = 0;; ++attempt) {
-      if (!iterate(cost_)) return finish(SolveStatus::kIterationLimit, warm);
+      if (!iterate(cost_)) return finish(stop_status_, warm);
       if (unbounded_) return finish(SolveStatus::kUnbounded, warm);
       refactor();
       if (!basics_within_bounds()) {
@@ -220,7 +230,7 @@ class Simplex {
   /// basis was reached.
   SolveStatus phase_one() {
     initialize_point();
-    if (!iterate(phase1_cost_)) return SolveStatus::kIterationLimit;
+    if (!iterate(phase1_cost_)) return stop_status_;
     double art_sum = 0.0;
     for (std::size_t k = 0; k < m_; ++k) art_sum += xval_[art_begin_ + k];
     if (art_sum > 1e-6) return SolveStatus::kInfeasible;
@@ -311,14 +321,34 @@ class Simplex {
 
   // ---- inner loop ----------------------------------------------------------
 
+  static SolveStatus stop_status(util::StopReason reason) {
+    return reason == util::StopReason::kCancelled
+               ? SolveStatus::kCancelled
+               : SolveStatus::kDeadlineExceeded;
+  }
+
   /// Runs the simplex loop to optimality for the given cost vector.
-  /// Returns false if the iteration limit was hit. Sets unbounded_ when the
-  /// problem is unbounded for this cost (only possible in phase II).
+  /// Returns false if the iteration limit / deadline / cancellation hit
+  /// (stop_status_ says which). Sets unbounded_ when the problem is
+  /// unbounded for this cost (only possible in phase II).
   bool iterate(const std::vector<double>& cost) {
     degenerate_run_ = 0;
     unbounded_ = false;
     for (;;) {
-      if (iterations_ >= max_iter_) return false;
+      if (iterations_ >= max_iter_) {
+        stop_status_ = SolveStatus::kIterationLimit;
+        return false;
+      }
+      // Cancellation is one relaxed atomic load, checked every pivot;
+      // the clock read is amortized over 16 pivots.
+      if (opt_.deadline.cancelled()) {
+        stop_status_ = SolveStatus::kCancelled;
+        return false;
+      }
+      if ((iterations_ & 15) == 0 && opt_.deadline.expired()) {
+        stop_status_ = SolveStatus::kDeadlineExceeded;
+        return false;
+      }
       ++iterations_;
       if (pivots_since_refactor_ >= opt_.refactor_interval) refactor();
 
@@ -635,7 +665,12 @@ class Simplex {
     sol.degenerate_pivots = degenerate_pivots_;
     sol.refactor_count = refactor_count_;
     sol.bland_engaged = bland_used_;
-    sol.values.assign(xval_.begin(), xval_.begin() + n_);
+    // Deadline/cancel exits can land here before initialize_point()
+    // sized xval_ (the whole point of the O(1) pre-check); pad with
+    // zeros instead of walking off the end of an empty vector.
+    const std::size_t have = std::min(xval_.size(), n_);
+    sol.values.assign(xval_.begin(), xval_.begin() + have);
+    sol.values.resize(n_, 0.0);
     if (status == SolveStatus::kOptimal) {
       sol.objective = model_.objective_value(sol.values);
       compute_duals(cost_);
@@ -694,6 +729,8 @@ class Simplex {
   bool bland_ = false;
   bool bland_used_ = false;
   bool unbounded_ = false;
+  /// Why iterate() returned false (iteration limit, deadline, cancel).
+  SolveStatus stop_status_ = SolveStatus::kIterationLimit;
 };
 
 }  // namespace
@@ -706,7 +743,8 @@ Solution solve_lp(const Model& model, const SimplexOptions& options,
                   WarmStart* warm) {
   Simplex solver(model, options);
   Solution sol = solver.run(warm);
-  if (sol.status == SolveStatus::kNumericalError) {
+  if (sol.status == SolveStatus::kNumericalError &&
+      options.deadline.stop_reason() == util::StopReason::kNone) {
     // Product-form drift occasionally exceeds the feasibility check on
     // long solves; refactoring far more often is slower but much more
     // accurate, so retry once in high-accuracy mode.

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "lp/model.h"
+#include "util/deadline.h"
 
 namespace powerlim::lp {
 
@@ -26,6 +27,12 @@ enum class SolveStatus {
   kUnbounded,
   kIterationLimit,
   kNumericalError,
+  /// The wall-clock budget in SimplexOptions::deadline ran out; the
+  /// partial point in Solution::values is not meaningful.
+  kDeadlineExceeded,
+  /// The CancelToken attached to the deadline was tripped (SIGINT/
+  /// SIGTERM or a supervising driver); checked at pivot granularity.
+  kCancelled,
 };
 
 const char* to_string(SolveStatus status);
@@ -49,6 +56,11 @@ struct SimplexOptions {
   /// <= 0 engages Bland's rule from the very first pivot (the retry
   /// ladder's last-resort anti-cycling mode).
   int bland_trigger = 100;
+  /// Wall-clock budget and cooperative cancellation, observed at pivot
+  /// granularity (the cancel flag every pivot, the clock every few
+  /// pivots). Default: unlimited. An expired deadline returns
+  /// kDeadlineExceeded; a tripped token returns kCancelled.
+  util::Deadline deadline;
 };
 
 /// Opaque basis snapshot for warm-started re-solves. Valid only for a

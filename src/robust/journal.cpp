@@ -1,0 +1,400 @@
+#include "robust/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace powerlim::robust {
+
+namespace {
+
+constexpr char kMagic[] = "powerlim-journal v1";
+
+std::string errno_message(const char* what, const std::string& path) {
+  std::string msg = what;
+  msg += " '";
+  msg += path;
+  msg += "': ";
+  msg += std::strerror(errno);
+  return msg;
+}
+
+/// Max-precision decimal: round-trips every finite double bit-exactly.
+std::string format_double(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08" PRIx32, crc);
+  return buf;
+}
+
+/// Full append frame for one record.
+std::string frame(char tag, const std::string& payload) {
+  std::string out;
+  out.reserve(payload.size() + 32);
+  out += tag;
+  out += ' ';
+  out += crc_hex(crc32(payload.data(), payload.size()));
+  out += ' ';
+  out += std::to_string(payload.size());
+  out += '\n';
+  out += payload;
+  out += '\n';
+  return out;
+}
+
+std::string entry_payload(const JournalEntry& e) {
+  std::string out = "cap=";
+  out += format_double(e.job_cap_watts);
+  out += " verdict=";
+  out += to_string(e.verdict);
+  out += " degraded=";
+  out += e.degraded ? '1' : '0';
+  out += " bound=";
+  out += format_double(e.bound_seconds);
+  out += " fallback=";
+  out += e.fallback.empty() ? "-" : e.fallback;
+  out += '\n';
+  out += e.report_json;
+  return out;
+}
+
+bool take_field(std::istringstream& is, const char* key, std::string* value) {
+  std::string tok;
+  if (!(is >> tok)) return false;
+  const std::size_t klen = std::strlen(key);
+  if (tok.compare(0, klen, key) != 0 || tok.size() <= klen ||
+      tok[klen] != '=') {
+    return false;
+  }
+  *value = tok.substr(klen + 1);
+  return true;
+}
+
+bool parse_entry_payload(const std::string& payload, JournalEntry* out) {
+  const std::size_t nl = payload.find('\n');
+  if (nl == std::string::npos) return false;
+  std::istringstream head(payload.substr(0, nl));
+  std::string cap, verdict, degraded, bound, fallback;
+  if (!take_field(head, "cap", &cap) ||
+      !take_field(head, "verdict", &verdict) ||
+      !take_field(head, "degraded", &degraded) ||
+      !take_field(head, "bound", &bound) ||
+      !take_field(head, "fallback", &fallback)) {
+    return false;
+  }
+  JournalEntry e;
+  char* end = nullptr;
+  e.job_cap_watts = std::strtod(cap.c_str(), &end);
+  if (end == cap.c_str() || *end != '\0') return false;
+  if (!status_code_from_string(verdict, &e.verdict)) return false;
+  if (degraded != "0" && degraded != "1") return false;
+  e.degraded = degraded == "1";
+  e.bound_seconds = std::strtod(bound.c_str(), &end);
+  if (end == bound.c_str() || *end != '\0') return false;
+  e.fallback = fallback == "-" ? std::string() : fallback;
+  e.report_json = payload.substr(nl + 1);
+  *out = std::move(e);
+  return true;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t len) {
+  static const auto table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* p = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < len; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+std::string serialize_warm_starts(const std::vector<lp::WarmStart>& warm) {
+  std::string out;
+  for (const lp::WarmStart& w : warm) {
+    if (!w.valid()) {
+      out += "-\n";
+      continue;
+    }
+    out += std::to_string(w.status.size());
+    out += ' ';
+    out += std::to_string(w.basis.size());
+    for (char s : w.status) {
+      out += ' ';
+      out += std::to_string(static_cast<int>(s));
+    }
+    for (int b : w.basis) {
+      out += ' ';
+      out += std::to_string(b);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+bool parse_warm_starts(const std::string& text,
+                       std::vector<lp::WarmStart>* out) {
+  std::vector<lp::WarmStart> warm;
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    lp::WarmStart w;
+    if (line == "-") {
+      warm.push_back(std::move(w));
+      continue;
+    }
+    std::istringstream is(line);
+    std::size_t ns = 0, nb = 0;
+    if (!(is >> ns >> nb)) return false;
+    // Basis snapshots are bounded by the LP size; a journal claiming a
+    // multi-million-entry basis is corrupt, not big.
+    if (ns > 1'000'000 || nb > 1'000'000) return false;
+    w.status.reserve(ns);
+    w.basis.reserve(nb);
+    for (std::size_t i = 0; i < ns; ++i) {
+      int v = 0;
+      if (!(is >> v)) return false;
+      w.status.push_back(static_cast<char>(v));
+    }
+    for (std::size_t i = 0; i < nb; ++i) {
+      int v = 0;
+      if (!(is >> v)) return false;
+      w.basis.push_back(v);
+    }
+    std::string extra;
+    if (is >> extra) return false;
+    warm.push_back(std::move(w));
+  }
+  *out = std::move(warm);
+  return true;
+}
+
+struct SweepJournal::Impl {
+  std::string path;
+  int fd = -1;
+  RecoverySummary recovery;
+  std::vector<JournalEntry> entries;
+  std::vector<lp::WarmStart> warm;
+
+  ~Impl() {
+    if (fd >= 0) ::close(fd);
+  }
+
+  Status write_durable(const std::string& bytes) {
+    std::size_t done = 0;
+    while (done < bytes.size()) {
+      const ssize_t n =
+          ::write(fd, bytes.data() + done, bytes.size() - done);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status(StatusCode::kInternal,
+                      errno_message("journal write failed", path));
+      }
+      done += static_cast<std::size_t>(n);
+    }
+    if (::fsync(fd) != 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("journal fsync failed", path));
+    }
+    return Status::Ok();
+  }
+};
+
+SweepJournal::SweepJournal() : impl_(std::make_unique<Impl>()) {}
+SweepJournal::~SweepJournal() = default;
+SweepJournal::SweepJournal(SweepJournal&&) noexcept = default;
+SweepJournal& SweepJournal::operator=(SweepJournal&&) noexcept = default;
+
+const std::string& SweepJournal::path() const { return impl_->path; }
+const RecoverySummary& SweepJournal::recovery() const {
+  return impl_->recovery;
+}
+const std::vector<JournalEntry>& SweepJournal::entries() const {
+  return impl_->entries;
+}
+const std::vector<lp::WarmStart>& SweepJournal::warm_starts() const {
+  return impl_->warm;
+}
+
+bool SweepJournal::contains(double job_cap_watts) const {
+  return find(job_cap_watts) != nullptr;
+}
+
+const JournalEntry* SweepJournal::find(double job_cap_watts) const {
+  for (const JournalEntry& e : impl_->entries) {
+    if (e.job_cap_watts == job_cap_watts) return &e;
+  }
+  return nullptr;
+}
+
+Result<SweepJournal> SweepJournal::open(const std::string& path) {
+  SweepJournal journal;
+  Impl& im = *journal.impl_;
+  im.path = path;
+  im.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (im.fd < 0) {
+    return Status(StatusCode::kBadInput,
+                  errno_message("cannot open journal", path));
+  }
+
+  // Slurp the whole file; sweep journals are tens of KB.
+  std::string data;
+  {
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = ::read(im.fd, buf, sizeof buf);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        return Status(StatusCode::kInternal,
+                      errno_message("cannot read journal", path));
+      }
+      if (n == 0) break;
+      data.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+
+  if (data.empty()) {
+    std::string header = kMagic;
+    header += '\n';
+    Status st = im.write_durable(header);
+    if (!st.ok()) return st;
+    return journal;
+  }
+
+  // Version / magic check. A mismatch is another tool's (or a future
+  // version's) file: move it aside rather than guess at its framing.
+  const std::size_t header_end = data.find('\n');
+  if (header_end == std::string::npos ||
+      data.compare(0, header_end, kMagic) != 0) {
+    const std::string moved = path + ".quarantined";
+    ::close(im.fd);
+    im.fd = -1;
+    if (::rename(path.c_str(), moved.c_str()) != 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("cannot quarantine journal", path));
+    }
+    im.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC,
+                   0644);
+    if (im.fd < 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("cannot recreate journal", path));
+    }
+    im.recovery.quarantined_file = true;
+    im.recovery.quarantine_path = moved;
+    std::string header = kMagic;
+    header += '\n';
+    Status st = im.write_durable(header);
+    if (!st.ok()) return st;
+    return journal;
+  }
+
+  // Frame-by-frame recovery. `good` tracks the offset just past the
+  // last fully-verified frame; anything beyond it at the first sign of
+  // damage is a torn tail and gets truncated away.
+  std::size_t good = header_end + 1;
+  std::size_t pos = good;
+  while (pos < data.size()) {
+    const std::size_t line_end = data.find('\n', pos);
+    if (line_end == std::string::npos) break;  // torn frame header
+    const std::string line = data.substr(pos, line_end - pos);
+    char tag = 0;
+    char crc_text[16] = {0};
+    unsigned long long len = 0;
+    if (std::sscanf(line.c_str(), "%c %15s %llu", &tag, crc_text, &len) !=
+            3 ||
+        (tag != 'R' && tag != 'B') || std::strlen(crc_text) != 8) {
+      break;
+    }
+    const std::size_t payload_start = line_end + 1;
+    if (len > data.size() - payload_start) break;  // torn payload
+    const std::size_t payload_end = payload_start + len;
+    if (payload_end >= data.size() || data[payload_end] != '\n') break;
+    const std::string payload = data.substr(payload_start, len);
+    char* end = nullptr;
+    const std::uint32_t want =
+        static_cast<std::uint32_t>(std::strtoul(crc_text, &end, 16));
+    if (end == crc_text || *end != '\0' ||
+        crc32(payload.data(), payload.size()) != want) {
+      break;  // bit rot / torn write inside the payload
+    }
+
+    if (tag == 'R') {
+      JournalEntry e;
+      if (!parse_entry_payload(payload, &e)) break;
+      if (journal.contains(e.job_cap_watts)) {
+        ++im.recovery.duplicates_dropped;
+      } else {
+        im.entries.push_back(std::move(e));
+        ++im.recovery.records;
+      }
+    } else {
+      std::vector<lp::WarmStart> warm;
+      if (!parse_warm_starts(payload, &warm)) break;
+      im.warm = std::move(warm);
+      ++im.recovery.basis_records;
+    }
+    pos = payload_end + 1;
+    good = pos;
+  }
+
+  if (good < data.size()) {
+    im.recovery.quarantined_bytes = static_cast<long>(data.size() - good);
+    if (::ftruncate(im.fd, static_cast<off_t>(good)) != 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("cannot truncate torn journal", path));
+    }
+  }
+  if (::lseek(im.fd, 0, SEEK_END) < 0) {
+    return Status(StatusCode::kInternal,
+                  errno_message("cannot seek journal", path));
+  }
+  return journal;
+}
+
+Status SweepJournal::append(const JournalEntry& entry) {
+  if (contains(entry.job_cap_watts)) {
+    ++impl_->recovery.duplicates_dropped;
+    return Status::Ok();
+  }
+  Status st = impl_->write_durable(frame('R', entry_payload(entry)));
+  if (!st.ok()) return st;
+  impl_->entries.push_back(entry);
+  ++impl_->recovery.records;
+  return Status::Ok();
+}
+
+Status SweepJournal::append_basis(const std::vector<lp::WarmStart>& warm) {
+  bool any = false;
+  for (const lp::WarmStart& w : warm) any = any || w.valid();
+  if (!any) return Status::Ok();
+  Status st = impl_->write_durable(frame('B', serialize_warm_starts(warm)));
+  if (!st.ok()) return st;
+  impl_->warm = warm;
+  ++impl_->recovery.basis_records;
+  return Status::Ok();
+}
+
+}  // namespace powerlim::robust

@@ -1,0 +1,137 @@
+// Crash-consistent sweep journal: the durable half of the supervision
+// layer (tentpole of the robustness work, part 2).
+//
+// A journaled sweep appends one framed record per *completed* cap, so a
+// run killed mid-sweep can restart with `--resume` and skip straight to
+// the first unsolved cap, merging journaled rows with fresh ones into a
+// result identical to an uninterrupted run (modulo timing fields).
+//
+// File format (`powerlim-journal v1`, line-oriented, self-describing):
+//
+//   powerlim-journal v1\n
+//   R <crc32-hex> <payload-bytes>\n<payload>\n        (one per cap)
+//   B <crc32-hex> <payload-bytes>\n<payload>\n        (basis checkpoint)
+//
+// An `R` payload is a structured row line (cap / verdict / degraded /
+// bound / fallback - everything the sweep table needs) followed by the
+// full RunReport JSON. A `B` payload is a text serialization of the
+// per-window warm-start cache; on resume the *last* intact `B` record
+// seeds the solver so the restarted sweep warm-starts where the dead
+// run left off (stale snapshots are safe: the solver feasibility-checks
+// warmed bases and cold-starts on mismatch).
+//
+// Durability and recovery:
+//   * every append is a single write() of the whole frame followed by
+//     fsync() - a record is either fully durable or torn, never
+//     half-trusted;
+//   * a torn / CRC-corrupt / malformed tail is *quarantined by
+//     truncation*: recovery keeps every intact prefix record, truncates
+//     the file back to the last good frame boundary, and reports the
+//     dropped bytes (truncate-and-continue - crash on crash is fine);
+//   * corruption sandwiched before intact frames also truncates there:
+//     trusting records past a corrupt region would re-order history;
+//   * a version/magic mismatch renames the file to `<path>.quarantined`
+//     and starts a fresh journal (never silently reinterpret another
+//     format);
+//   * duplicate caps keep the first record and count the drops (a crash
+//     between "solve finished" and "resume check" can legally duplicate
+//     the in-flight cap).
+//
+// No dependencies: CRC-32 (IEEE, table-driven) and the framing live
+// here; IO is plain POSIX.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "lp/simplex.h"
+#include "robust/status.h"
+
+namespace powerlim::robust {
+
+/// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) - the frame
+/// checksum. Exposed for the corrupt-journal tests.
+std::uint32_t crc32(const void* data, std::size_t len);
+
+/// One recovered (or appended) per-cap record.
+struct JournalEntry {
+  double job_cap_watts = 0.0;
+  StatusCode verdict = StatusCode::kInternal;
+  bool degraded = false;
+  /// LP bound / degraded fallback time; < 0 when no bound survived.
+  double bound_seconds = -1.0;
+  /// Fallback name when degraded ("static-policy"), else empty.
+  std::string fallback;
+  /// Full RunReport JSON for the cap (artifact parity with a fresh run).
+  std::string report_json;
+};
+
+/// What recovery found when the journal was opened.
+struct RecoverySummary {
+  /// Intact per-cap records recovered (after duplicate dedup).
+  int records = 0;
+  /// Intact basis checkpoints seen (only the last one is kept).
+  int basis_records = 0;
+  /// Duplicate-cap records dropped (first occurrence wins).
+  int duplicates_dropped = 0;
+  /// Bytes of torn/corrupt tail removed by truncate-and-continue.
+  long quarantined_bytes = 0;
+  /// True when a version/magic mismatch moved the old file aside.
+  bool quarantined_file = false;
+  /// Where the mismatched file went (empty unless quarantined_file).
+  std::string quarantine_path;
+
+  bool clean() const {
+    return quarantined_bytes == 0 && !quarantined_file &&
+           duplicates_dropped == 0;
+  }
+};
+
+/// Serialize / parse the warm-start cache for `B` records. Exposed for
+/// tests; the format is one window per line: `<status-chars> <basis
+/// ints...>` (`-` for an empty slot).
+std::string serialize_warm_starts(const std::vector<lp::WarmStart>& warm);
+bool parse_warm_starts(const std::string& text,
+                       std::vector<lp::WarmStart>* out);
+
+class SweepJournal {
+ public:
+  /// Opens (creating if absent) and recovers a journal. Fails only on
+  /// real IO errors (unwritable path); corruption never fails an open -
+  /// it is truncated or quarantined and reported in `recovery()`.
+  static Result<SweepJournal> open(const std::string& path);
+
+  SweepJournal(SweepJournal&&) noexcept;
+  SweepJournal& operator=(SweepJournal&&) noexcept;
+  ~SweepJournal();
+
+  const std::string& path() const;
+  const RecoverySummary& recovery() const;
+
+  /// Recovered per-cap records, in journal (= completion) order.
+  const std::vector<JournalEntry>& entries() const;
+  /// Whether a cap already has a durable record. Caps are matched
+  /// exactly: records round-trip through max-precision decimal, which
+  /// is bit-faithful for doubles.
+  bool contains(double job_cap_watts) const;
+  const JournalEntry* find(double job_cap_watts) const;
+
+  /// Last intact basis checkpoint (empty when none survived).
+  const std::vector<lp::WarmStart>& warm_starts() const;
+
+  /// Durably appends one per-cap record (write + fsync before return).
+  /// An entry for an already-journaled cap is dropped as a duplicate.
+  Status append(const JournalEntry& entry);
+  /// Durably appends a basis checkpoint. Empty snapshots are skipped.
+  Status append_basis(const std::vector<lp::WarmStart>& warm);
+
+ private:
+  SweepJournal();
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace powerlim::robust

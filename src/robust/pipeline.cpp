@@ -1,5 +1,8 @@
 #include "robust/pipeline.h"
 
+#include <optional>
+#include <utility>
+
 #include "dag/trace_io.h"
 
 namespace powerlim::robust {
@@ -41,6 +44,118 @@ std::vector<SolveOutcome> sweep_caps(const dag::TaskGraph& graph,
                                      const SolveDriverOptions& options) {
   const SolveDriver driver(graph, model, cluster, options);
   return driver.sweep(job_caps);
+}
+
+namespace {
+
+SweepRow row_from_report(const RunReport& rep) {
+  SweepRow row;
+  row.job_cap_watts = rep.job_cap_watts;
+  row.verdict = rep.verdict;
+  row.degraded = rep.degraded;
+  row.bound_seconds = rep.bound_seconds;
+  row.fallback = rep.fallback;
+  row.report_json = rep.to_json();
+  return row;
+}
+
+SweepRow row_from_entry(const JournalEntry& e) {
+  SweepRow row;
+  row.job_cap_watts = e.job_cap_watts;
+  row.verdict = e.verdict;
+  row.degraded = e.degraded;
+  row.bound_seconds = e.bound_seconds;
+  row.fallback = e.fallback;
+  row.report_json = e.report_json;
+  row.from_journal = true;
+  return row;
+}
+
+JournalEntry entry_from_row(const SweepRow& row) {
+  JournalEntry e;
+  e.job_cap_watts = row.job_cap_watts;
+  e.verdict = row.verdict;
+  e.degraded = row.degraded;
+  e.bound_seconds = row.bound_seconds;
+  e.fallback = row.fallback;
+  e.report_json = row.report_json;
+  return e;
+}
+
+}  // namespace
+
+Result<ResilientSweepResult> resilient_sweep(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
+    const ResilientSweepOptions& options) {
+  ResilientSweepResult out;
+
+  std::optional<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    Result<SweepJournal> opened = SweepJournal::open(options.journal_path);
+    if (!opened.ok()) return opened.status();
+    journal.emplace(std::move(opened).value());
+    out.recovery = journal->recovery();
+  }
+
+  SolveDriverOptions driver_opt = options.driver;
+  driver_opt.deadline =
+      util::Deadline::sooner(driver_opt.deadline, options.deadline);
+  const SolveDriver driver(graph, model, cluster, driver_opt);
+  if (journal && options.resume && !journal->warm_starts().empty()) {
+    driver.restore_warm_starts(journal->warm_starts());
+  }
+
+  for (double cap : job_caps) {
+    if (journal && options.resume) {
+      if (const JournalEntry* e = journal->find(cap)) {
+        out.rows.push_back(row_from_entry(*e));
+        ++out.resumed;
+        continue;
+      }
+    }
+
+    util::StopReason stop = options.deadline.stop_reason();
+    if (stop != util::StopReason::kNone) {
+      out.interrupted = true;
+      out.stop = stop;
+      break;
+    }
+
+    const SolveOutcome outcome = driver.solve(cap);
+
+    // A cancelled cap did not complete: leave it out of the journal and
+    // the rows so the resumed run re-solves it for real.
+    if (outcome.report.verdict == StatusCode::kCancelled) {
+      out.interrupted = true;
+      out.stop = util::StopReason::kCancelled;
+      break;
+    }
+    // Likewise a deadline verdict caused by the *sweep* budget (not the
+    // per-cap one) is an interruption artifact, not the cap's true
+    // outcome - re-running with a fresh budget should retry it.
+    stop = options.deadline.stop_reason();
+    if (stop != util::StopReason::kNone &&
+        outcome.report.verdict == StatusCode::kDeadlineExceeded) {
+      out.interrupted = true;
+      out.stop = stop;
+      break;
+    }
+
+    SweepRow row = row_from_report(outcome.report);
+    if (journal) {
+      // Row first, then the basis snapshot: a crash between the two
+      // costs only the warm start, never the result.
+      const Status st = journal->append(entry_from_row(row));
+      if (!st.ok()) return st;
+      const Status bs = journal->append_basis(driver.warm_starts());
+      if (!bs.ok()) return bs;
+    }
+    out.rows.push_back(std::move(row));
+    ++out.solved;
+  }
+
+  return out;
 }
 
 }  // namespace powerlim::robust

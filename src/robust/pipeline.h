@@ -13,8 +13,10 @@
 
 #include "core/schedule_io.h"
 #include "dag/graph.h"
+#include "robust/journal.h"
 #include "robust/solve_driver.h"
 #include "robust/status.h"
+#include "util/deadline.h"
 
 namespace powerlim::robust {
 
@@ -35,5 +37,60 @@ std::vector<SolveOutcome> sweep_caps(const dag::TaskGraph& graph,
                                      const machine::ClusterSpec& cluster,
                                      const std::vector<double>& job_caps,
                                      const SolveDriverOptions& options = {});
+
+/// One row of a (possibly resumed) sweep: the same shape whether the cap
+/// was solved this run or recovered from the journal, so a resumed sweep
+/// renders byte-identically to an uninterrupted one (wall_ms inside
+/// report_json is the designated timing exception).
+struct SweepRow {
+  double job_cap_watts = 0.0;
+  StatusCode verdict = StatusCode::kInternal;
+  bool degraded = false;
+  double bound_seconds = -1.0;
+  std::string fallback;
+  std::string report_json;
+  /// True when the row came from the journal instead of a fresh solve.
+  bool from_journal = false;
+};
+
+struct ResilientSweepOptions {
+  SolveDriverOptions driver;
+  /// Journal file; empty disables journaling (plain in-memory sweep).
+  std::string journal_path;
+  /// Skip caps the journal already holds (requires journal_path).
+  bool resume = false;
+  /// Whole-sweep wall budget + cancellation. Checked between caps; the
+  /// per-cap solves additionally observe it at pivot granularity (it is
+  /// merged into each cap's supervision deadline).
+  util::Deadline deadline;
+};
+
+struct ResilientSweepResult {
+  /// One row per requested cap, in request order. Caps never reached
+  /// (interrupted sweep) are absent.
+  std::vector<SweepRow> rows;
+  /// Journal recovery report (default-clean when journaling is off).
+  RecoverySummary recovery;
+  /// Caps solved this run / taken from the journal.
+  int solved = 0;
+  int resumed = 0;
+  /// True when the sweep stopped early on cancellation or the sweep
+  /// deadline; the journal holds every completed cap, so re-running
+  /// with resume=true picks up exactly where this run stopped.
+  bool interrupted = false;
+  /// Why the sweep stopped early (kNone when it ran to completion).
+  util::StopReason stop = util::StopReason::kNone;
+};
+
+/// Journaled, resumable cap sweep: the crash-consistent superset of
+/// sweep_caps(). Every completed cap is durably journaled before the
+/// next one starts; on resume=true, journaled caps are skipped and their
+/// recovered rows merged in request order with the fresh ones. Returns a
+/// Status only for journal-open failures (unwritable path); solve
+/// failures degrade per-cap as usual and never fail the sweep.
+Result<ResilientSweepResult> resilient_sweep(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
+    const ResilientSweepOptions& options = {});
 
 }  // namespace powerlim::robust

@@ -1,5 +1,6 @@
 #include "robust/solve_driver.h"
 
+#include <chrono>
 #include <cmath>
 #include <cstdint>
 #include <cstdio>
@@ -34,6 +35,25 @@ bool retryable(StatusCode code) {
       return false;
   }
 }
+
+/// Writes the elapsed milliseconds into *out when it leaves scope, so
+/// every return path of solve() stamps RunReport::wall_ms.
+class WallTimer {
+ public:
+  explicit WallTimer(double* out) : out_(out) {}
+  ~WallTimer() {
+    *out_ = std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - start_)
+                .count();
+  }
+  WallTimer(const WallTimer&) = delete;
+  WallTimer& operator=(const WallTimer&) = delete;
+
+ private:
+  double* out_;
+  std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
+};
 
 // --- minimal JSON emission (no external deps) ---
 
@@ -83,7 +103,8 @@ void append_attempt(std::ostringstream& os, const SolveAttempt& a) {
 
 std::string RunReport::to_json() const {
   std::ostringstream os;
-  os << "{\"job_cap_watts\":" << json_num(job_cap_watts) << ","
+  os << "{\"schema_version\":" << schema_version << ","
+     << "\"job_cap_watts\":" << json_num(job_cap_watts) << ","
      << "\"socket_cap_watts\":" << json_num(socket_cap_watts) << ","
      << "\"verdict\":\"" << robust::to_string(verdict) << "\","
      << "\"detail\":\"" << json_escape(detail) << "\","
@@ -92,6 +113,15 @@ std::string RunReport::to_json() const {
      << "\"bound_seconds\":" << json_num(bound_seconds) << ","
      << "\"energy_joules\":" << json_num(energy_joules) << ","
      << "\"min_feasible_power_watts\":" << json_num(min_feasible_power_watts)
+     << ",\"wall_ms\":" << json_num(wall_ms)
+     << ",\"fault\":{\"active\":" << (fault_active ? "true" : "false")
+     << ",\"seed\":" << fault_seed << "}"
+     << ",\"ladder\":{\"enable_ladder\":"
+     << (ladder.enable_ladder ? "true" : "false")
+     << ",\"enable_fallback\":" << (ladder.enable_fallback ? "true" : "false")
+     << ",\"validate_replay\":" << (ladder.validate_replay ? "true" : "false")
+     << ",\"cap_deadline_ms\":" << json_num(ladder.cap_deadline_ms)
+     << ",\"cancellable\":" << (ladder.cancellable ? "true" : "false") << "}"
      << ",\"attempts\":[";
   for (std::size_t i = 0; i < attempts.size(); ++i) {
     if (i) os << ",";
@@ -132,12 +162,19 @@ struct SolveDriver::Impl {
   /// Built lazily so that a faulty build (empty frontier under an active
   /// FaultPlan) is reported per-solve and retried once the fault clears.
   mutable std::unique_ptr<core::WindowSweeper> sweeper;
+  /// Warm-start checkpoint restored before the sweeper exists (journal
+  /// resume installs it ahead of the first solve).
+  mutable std::vector<lp::WarmStart> pending_warm;
 
   bool ensure_sweeper(RunReport& report) const {
     if (sweeper) return true;
     try {
       sweeper = std::make_unique<core::WindowSweeper>(*graph, *model,
                                                       *cluster, &hooks);
+      if (!pending_warm.empty()) {
+        sweeper->restore_warm_starts(std::move(pending_warm));
+        pending_warm.clear();
+      }
       return true;
     } catch (const core::EmptyFrontierError& e) {
       report.verdict = StatusCode::kEmptyFrontier;
@@ -149,9 +186,22 @@ struct SolveDriver::Impl {
     return false;
   }
 
-  core::LpScheduleOptions rung_options(int rung, double job_cap) const {
+  /// The supervision deadline for one cap: the per-cap wall budget plus
+  /// the cancel token (either may be absent).
+  util::Deadline cap_deadline() const {
+    const util::Deadline per_cap =
+        options.cap_deadline_ms > 0.0
+            ? util::Deadline::after(options.cap_deadline_ms / 1000.0,
+                                    options.cancel)
+            : util::Deadline::cancel_only(options.cancel);
+    return util::Deadline::sooner(per_cap, options.deadline);
+  }
+
+  core::LpScheduleOptions rung_options(int rung, double job_cap,
+                                       const util::Deadline& deadline) const {
     core::LpScheduleOptions o = options.lp;
     o.power_cap = job_cap;
+    o.simplex.deadline = deadline;
     switch (rung) {
       case 0:  // warm: base options, sweeper cache in play
       case 1:  // cold: cache dropped by caller
@@ -207,8 +257,15 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
 
   SolveOutcome out;
   RunReport& rep = out.report;
+  WallTimer timer(&rep.wall_ms);
   rep.job_cap_watts = job_cap_watts;
   rep.socket_cap_watts = ranks > 0 ? job_cap_watts / ranks : 0.0;
+  rep.ladder.enable_ladder = im.options.enable_ladder;
+  rep.ladder.enable_fallback = im.options.enable_fallback;
+  rep.ladder.validate_replay = im.options.validate_replay;
+  rep.ladder.cap_deadline_ms =
+      im.options.cap_deadline_ms > 0.0 ? im.options.cap_deadline_ms : 0.0;
+  rep.ladder.cancellable = im.options.cancel != nullptr;
 
   if (!std::isfinite(job_cap_watts) || job_cap_watts <= 0.0) {
     rep.verdict = StatusCode::kBadInput;
@@ -229,9 +286,29 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
 
   const FaultPlan* plan = ScopedFaultPlan::active();
   const bool faulted = plan && plan->applies_to_cap(job_cap_watts);
+  rep.fault_active = faulted;
+  rep.fault_seed = faulted ? plan->seed : 0;
+
+  const util::Deadline deadline = im.cap_deadline();
+  // Set when the wall budget dies mid-ladder: skip straight to the
+  // Static-policy fallback (remaining rungs would fail in O(1) anyway).
+  bool deadline_hit = false;
 
   const int rungs = im.options.enable_ladder ? kNumRungs : 1;
   for (int r = 0; r < rungs; ++r) {
+    switch (deadline.stop_reason()) {
+      case util::StopReason::kCancelled:
+        rep.verdict = StatusCode::kCancelled;
+        rep.detail = "cancelled before rung '" + std::string(kRungs[r]) + "'";
+        return out;
+      case util::StopReason::kDeadline:
+        deadline_hit = true;
+        break;
+      case util::StopReason::kNone:
+        break;
+    }
+    if (deadline_hit) break;
+
     SolveAttempt att;
     att.rung = kRungs[r];
 
@@ -241,7 +318,7 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
       att.detail = std::string("injected ") + lp::to_string(plan->forced_status);
     } else {
       if (r > 0) im.sweeper->clear_warm_starts();
-      core::LpScheduleOptions o = im.rung_options(r, job_cap_watts);
+      core::LpScheduleOptions o = im.rung_options(r, job_cap_watts, deadline);
       if (faulted && plan->coefficient_noise_magnitude > 0.0) {
         const double mag = plan->coefficient_noise_magnitude;
         const std::uint64_t seed = plan->seed;
@@ -303,6 +380,17 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
     const StatusCode outcome = att.outcome;
     const std::string detail = att.detail;
     rep.attempts.push_back(std::move(att));
+    if (outcome == StatusCode::kCancelled) {
+      // Terminal and not degraded: the caller asked to stop. A journaled
+      // sweep resumes this cap from scratch next run.
+      rep.verdict = StatusCode::kCancelled;
+      rep.detail = detail.empty() ? "cancelled mid-solve" : detail;
+      return out;
+    }
+    if (outcome == StatusCode::kDeadlineExceeded) {
+      deadline_hit = true;
+      break;
+    }
     if (!retryable(outcome)) {
       rep.verdict = outcome;
       rep.detail = detail;
@@ -310,12 +398,23 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
     }
   }
 
-  // Ladder exhausted: classify by the final attempt, then degrade to the
-  // always-simulable Static-policy bound so the sweep keeps a usable
-  // number for this cap.
-  rep.verdict = rep.attempts.back().outcome;
-  rep.detail = "all " + std::to_string(rep.attempts.size()) +
-               " ladder attempts failed; last: " + rep.attempts.back().detail;
+  // Ladder exhausted (or its wall budget died): classify by the final
+  // attempt, then degrade to the always-simulable Static-policy bound so
+  // the sweep keeps a usable number for this cap.
+  if (rep.attempts.empty()) {
+    // The budget was gone before the first rung even started.
+    rep.verdict = StatusCode::kDeadlineExceeded;
+    rep.detail = "cap deadline expired before the first ladder rung";
+  } else if (deadline_hit) {
+    rep.verdict = StatusCode::kDeadlineExceeded;
+    rep.detail = "cap deadline expired after " +
+                 std::to_string(rep.attempts.size()) +
+                 " ladder attempt(s); last: " + rep.attempts.back().detail;
+  } else {
+    rep.verdict = rep.attempts.back().outcome;
+    rep.detail = "all " + std::to_string(rep.attempts.size()) +
+                 " ladder attempts failed; last: " + rep.attempts.back().detail;
+  }
   if (im.options.enable_fallback) {
     try {
       runtime::StaticPolicy policy(*im.model, job_cap_watts / ranks);
@@ -334,6 +433,19 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
     }
   }
   return out;
+}
+
+std::vector<lp::WarmStart> SolveDriver::warm_starts() const {
+  if (!impl_->sweeper) return {};
+  return impl_->sweeper->warm_starts();
+}
+
+void SolveDriver::restore_warm_starts(std::vector<lp::WarmStart> warm) const {
+  if (impl_->sweeper) {
+    impl_->sweeper->restore_warm_starts(std::move(warm));
+  } else {
+    impl_->pending_warm = std::move(warm);
+  }
 }
 
 std::vector<SolveOutcome> SolveDriver::sweep(

@@ -29,6 +29,7 @@
 // next to the schedule.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 #include <string>
@@ -37,8 +38,14 @@
 #include "core/windowed.h"
 #include "robust/status.h"
 #include "sim/replay.h"
+#include "util/deadline.h"
 
 namespace powerlim::robust {
+
+/// RunReport JSON schema version. Bump whenever the serialized shape
+/// changes; tests/robust/report_schema_test.cpp locks the current shape
+/// with a golden string so accidental drift fails loudly.
+inline constexpr int kRunReportSchemaVersion = 2;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -64,9 +71,23 @@ struct ReplayVerdict {
   sim::CapCheck check;
 };
 
+/// Resolved supervision/ladder options echoed into every RunReport so a
+/// degraded or fault-injected run is reproducible from the report alone.
+struct LadderEcho {
+  bool enable_ladder = true;
+  bool enable_fallback = true;
+  bool validate_replay = true;
+  /// Per-cap wall-clock budget, ms (0: unlimited).
+  double cap_deadline_ms = 0.0;
+  /// Whether a cancel token was attached to the solve.
+  bool cancellable = false;
+};
+
 /// The structured verdict for one cap: what happened, how hard the
 /// driver had to try, and what bound (if any) survived.
 struct RunReport {
+  /// Serialized-shape version (kRunReportSchemaVersion).
+  int schema_version = kRunReportSchemaVersion;
   double job_cap_watts = 0.0;
   double socket_cap_watts = 0.0;
   /// Final classification. kOk: the LP bound stands. Anything else with
@@ -86,6 +107,15 @@ struct RunReport {
   double bound_seconds = -1.0;
   double energy_joules = 0.0;
   double min_feasible_power_watts = 0.0;
+  /// Wall-clock time the driver spent on this cap, ms (a timing field:
+  /// excluded from resume byte-identity comparisons).
+  double wall_ms = 0.0;
+  /// True when a FaultPlan was active for this cap; `fault_seed` then
+  /// reproduces the injected faults bit-identically.
+  bool fault_active = false;
+  std::uint64_t fault_seed = 0;
+  /// Resolved supervision options for this solve.
+  LadderEcho ladder;
   std::vector<SolveAttempt> attempts;
   ReplayVerdict replay;
 
@@ -128,6 +158,20 @@ struct SolveDriverOptions {
   /// When false, a fully failed ladder reports the failure with no
   /// Static-policy bound substituted.
   bool enable_fallback = true;
+  /// Per-cap wall-clock budget in milliseconds; <= 0 means unlimited.
+  /// The budget covers the whole ladder: when it runs out mid-rung the
+  /// solve returns kDeadlineExceeded and degrades straight to the
+  /// Static-policy fallback (which needs no LP) instead of burning the
+  /// remaining rungs on instant failures.
+  double cap_deadline_ms = 0.0;
+  /// Cooperative cancellation, checked at pivot granularity (not owned;
+  /// must outlive the driver). A tripped token ends the solve with
+  /// kCancelled - terminal, no fallback.
+  const util::CancelToken* cancel = nullptr;
+  /// Outer wall budget over the whole sweep, merged (sooner-wins) with
+  /// the per-cap budget into every solve's supervision deadline. When
+  /// both carry cancel tokens, `cancel` above wins.
+  util::Deadline deadline;
 };
 
 class SolveDriver {
@@ -149,6 +193,16 @@ class SolveDriver {
   /// Per-cap sweep; one outcome per cap, in order, independent of
   /// individual failures.
   std::vector<SolveOutcome> sweep(const std::vector<double>& job_caps) const;
+
+  /// Snapshot of the per-window warm-start cache (empty before the first
+  /// solve). Journaled sweeps persist this as the checkpoint a resumed
+  /// run warm-starts from.
+  std::vector<lp::WarmStart> warm_starts() const;
+
+  /// Seeds the warm-start cache from a checkpoint. Safe with stale or
+  /// mismatched snapshots: a basis that does not fit is dropped and the
+  /// solve falls back to a cold start.
+  void restore_warm_starts(std::vector<lp::WarmStart> warm) const;
 
  private:
   struct Impl;

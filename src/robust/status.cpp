@@ -20,10 +20,29 @@ const char* to_string(StatusCode code) {
       return "solver-unbounded";
     case StatusCode::kReplayCapViolation:
       return "replay-cap-violation";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
+    case StatusCode::kCancelled:
+      return "cancelled";
     case StatusCode::kInternal:
       return "internal";
   }
   return "?";
+}
+
+bool status_code_from_string(const std::string& name, StatusCode* code) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kBadInput, StatusCode::kInfeasibleCap,
+        StatusCode::kEmptyFrontier, StatusCode::kSolverNumerical,
+        StatusCode::kIterationLimit, StatusCode::kSolverUnbounded,
+        StatusCode::kReplayCapViolation, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kInternal}) {
+    if (name == to_string(c)) {
+      *code = c;
+      return true;
+    }
+  }
+  return false;
 }
 
 StatusCode from_solve_status(lp::SolveStatus status) {
@@ -38,6 +57,10 @@ StatusCode from_solve_status(lp::SolveStatus status) {
       return StatusCode::kIterationLimit;
     case lp::SolveStatus::kNumericalError:
       return StatusCode::kSolverNumerical;
+    case lp::SolveStatus::kDeadlineExceeded:
+      return StatusCode::kDeadlineExceeded;
+    case lp::SolveStatus::kCancelled:
+      return StatusCode::kCancelled;
   }
   return StatusCode::kInternal;
 }

@@ -38,11 +38,24 @@ enum class StatusCode {
   /// Post-replay validation: the replayed schedule's windowed power
   /// exceeded cap + tolerance.
   kReplayCapViolation,
+  /// The per-cap wall-clock budget ran out. The ladder does not retry
+  /// (an exhausted budget fails every later rung in O(1)); it degrades
+  /// straight to the Static-policy fallback.
+  kDeadlineExceeded,
+  /// Cooperative cancellation (SIGINT/SIGTERM or a supervising driver)
+  /// tripped mid-solve. Terminal: no retry, no fallback - the caller
+  /// asked to stop, and a journaled sweep resumes from the last
+  /// completed cap.
+  kCancelled,
   /// Unexpected internal failure (wrapped exception).
   kInternal,
 };
 
 const char* to_string(StatusCode code);
+
+/// Inverse of to_string for the kebab-case code names (used when reading
+/// journaled sweep records back). Returns false on an unknown name.
+bool status_code_from_string(const std::string& name, StatusCode* code);
 
 /// Maps a raw solver status onto the pipeline taxonomy (kOptimal -> kOk).
 StatusCode from_solve_status(lp::SolveStatus status);

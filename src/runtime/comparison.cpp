@@ -74,6 +74,11 @@ ComparisonResult compare_methods(const dag::TaskGraph& graph,
     }
   }
 
+  // The simulations below are bounded (no LP), but a comparison under a
+  // wall budget must not start them once the budget is gone.
+  const util::Deadline& deadline = options.simplex.deadline;
+  if (deadline.stop_reason() != util::StopReason::kNone) return out;
+
   // --- Static ---
   {
     StaticPolicy policy(model, socket_cap);
@@ -82,7 +87,7 @@ ComparisonResult compare_methods(const dag::TaskGraph& graph,
   }
 
   // --- Conductor ---
-  {
+  if (deadline.stop_reason() == util::StopReason::kNone) {
     ConductorOptions copt = options.conductor;
     copt.exploration_iterations = options.discard_iterations;
     ConductorPolicy policy(model, ranks, options.job_cap_watts, copt);
@@ -91,7 +96,8 @@ ComparisonResult compare_methods(const dag::TaskGraph& graph,
   }
 
   // --- Adagio-only ablation ---
-  if (options.run_adagio) {
+  if (options.run_adagio &&
+      deadline.stop_reason() == util::StopReason::kNone) {
     AdagioPolicy policy(model, socket_cap);
     const sim::SimResult res = sim::simulate(graph, policy, engine);
     out.adagio = from_sim(graph, res, options.discard_iterations);

@@ -30,6 +30,11 @@ struct ComparisonOptions {
   /// Iterations discarded as the exploration phase.
   int discard_iterations = 3;
   ConductorOptions conductor;
+  /// `simplex.deadline` bounds the whole comparison, not just the LP:
+  /// the solver observes it at pivot granularity, and the driver checks
+  /// it between the Static/Conductor/Adagio simulations - methods not
+  /// reached before expiry come back infeasible instead of running over
+  /// budget.
   lp::SimplexOptions simplex;
   /// Also run the Adagio-only ablation.
   bool run_adagio = false;

@@ -7,7 +7,11 @@ namespace powerlim::sim {
 
 double max_windowed_power(const SimResult& result, double window_seconds) {
   if (result.power_trace.empty()) return 0.0;
-  if (window_seconds <= 0.0) return result.peak_power;
+  // Non-positive and non-finite windows degrade to the instantaneous
+  // peak: the averaging metric is undefined without a positive window.
+  if (!(window_seconds > 0.0) || !std::isfinite(window_seconds)) {
+    return result.peak_power;
+  }
 
   // Prefix integral of the step function at each breakpoint.
   const auto& trace = result.power_trace;
@@ -16,6 +20,10 @@ double max_windowed_power(const SimResult& result, double window_seconds) {
   std::vector<double> integral(n + 1, 0.0);
   for (std::size_t i = 0; i < n; ++i) time[i] = trace[i].time;
   time[n] = std::max(result.makespan, trace.back().time);
+  // A zero-length trace (every breakpoint at one instant) carries no
+  // energy; the windowed average would report 0 W while the job still
+  // spiked. Treat it like the instantaneous metric.
+  if (time[n] <= time[0]) return result.peak_power;
   for (std::size_t i = 0; i < n; ++i) {
     integral[i + 1] = integral[i] + trace[i].watts * (time[i + 1] - time[i]);
   }

@@ -1,0 +1,49 @@
+#include "util/deadline.h"
+
+#include <cmath>
+#include <limits>
+
+namespace powerlim::util {
+
+Deadline Deadline::after(double seconds, const CancelToken* cancel) {
+  Deadline d;
+  d.cancel_ = cancel;
+  if (std::isfinite(seconds)) {
+    d.has_time_ = true;
+    // Saturate instead of overflowing the clock's representation.
+    const double capped = std::min(seconds, 3.0e8);  // ~9.5 years
+    d.end_ = std::chrono::steady_clock::now() +
+             std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                 std::chrono::duration<double>(std::max(capped, 0.0)));
+  }
+  return d;
+}
+
+Deadline Deadline::cancel_only(const CancelToken* cancel) {
+  Deadline d;
+  d.cancel_ = cancel;
+  return d;
+}
+
+Deadline Deadline::sooner(const Deadline& a, const Deadline& b) {
+  Deadline d;
+  d.cancel_ = a.cancel_ != nullptr ? a.cancel_ : b.cancel_;
+  if (a.has_time_ && b.has_time_) {
+    d.has_time_ = true;
+    d.end_ = std::min(a.end_, b.end_);
+  } else if (a.has_time_ || b.has_time_) {
+    d.has_time_ = true;
+    d.end_ = a.has_time_ ? a.end_ : b.end_;
+  }
+  return d;
+}
+
+double Deadline::remaining_seconds() const {
+  if (!has_time_) return std::numeric_limits<double>::infinity();
+  const double left =
+      std::chrono::duration<double>(end_ - std::chrono::steady_clock::now())
+          .count();
+  return left > 0.0 ? left : 0.0;
+}
+
+}  // namespace powerlim::util

@@ -1,0 +1,81 @@
+// Wall-clock deadlines and cooperative cancellation for long-running
+// solves.
+//
+// Every solver loop in the stack (simplex pivots, branch & bound nodes,
+// the retry ladder, cap sweeps) must be interruptible: production sweeps
+// need bounded per-decision latency, and a killed process must be able
+// to stop at a consistent point instead of being SIGKILLed mid-write.
+// A Deadline is a cheap value type (one time_point + one pointer) checked
+// at pivot granularity; a CancelToken is an atomic flag that is safe to
+// trip from a signal handler.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+
+namespace powerlim::util {
+
+/// Cooperative cancellation flag. cancel() is async-signal-safe (a
+/// relaxed atomic store), so SIGINT/SIGTERM handlers may trip it
+/// directly; workers observe it at their next Deadline check.
+class CancelToken {
+ public:
+  void cancel() noexcept { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const noexcept {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+  /// Re-arms the token (tests and multi-run tools only).
+  void reset() noexcept { cancelled_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
+
+/// Why a solver loop should stop, in priority order: cancellation wins
+/// over deadline expiry (the user asked to stop; report it as such).
+enum class StopReason { kNone, kCancelled, kDeadline };
+
+/// A wall-clock budget plus an optional cancel token. Default-constructed
+/// deadlines are unlimited, so plumbing one through an options struct is
+/// free for callers that never set it.
+class Deadline {
+ public:
+  Deadline() = default;
+
+  /// Expires `seconds` from now; also observes `cancel` when given.
+  /// Non-positive or non-finite seconds mean "already expired" only for
+  /// finite values <= 0; pass infinity for a cancel-only deadline.
+  static Deadline after(double seconds, const CancelToken* cancel = nullptr);
+
+  /// No time limit; stops only when `cancel` trips.
+  static Deadline cancel_only(const CancelToken* cancel);
+
+  /// Whichever of the two stops first (merges time limits and keeps any
+  /// cancel token; when both have tokens, `a`'s wins).
+  static Deadline sooner(const Deadline& a, const Deadline& b);
+
+  bool has_time_limit() const { return has_time_; }
+  bool unlimited() const { return !has_time_ && cancel_ == nullptr; }
+
+  bool cancelled() const { return cancel_ != nullptr && cancel_->cancelled(); }
+  bool expired() const {
+    return has_time_ && std::chrono::steady_clock::now() >= end_;
+  }
+
+  /// The combined check solver loops call: kNone while work may continue.
+  StopReason stop_reason() const {
+    if (cancelled()) return StopReason::kCancelled;
+    if (expired()) return StopReason::kDeadline;
+    return StopReason::kNone;
+  }
+
+  /// Seconds until expiry (infinity when no time limit, clamped at 0).
+  double remaining_seconds() const;
+
+ private:
+  bool has_time_ = false;
+  std::chrono::steady_clock::time_point end_{};
+  const CancelToken* cancel_ = nullptr;
+};
+
+}  // namespace powerlim::util

@@ -1,0 +1,172 @@
+// Deadline and cancellation semantics through every solve layer: the
+// raw simplex, branch & bound, and the supervised SolveDriver ladder.
+#include "util/deadline.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "apps/benchmarks.h"
+#include "lp/branch_bound.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "machine/power_model.h"
+#include "robust/solve_driver.h"
+
+namespace powerlim::robust {
+namespace {
+
+const machine::PowerModel kModel{machine::SocketSpec{}};
+const machine::ClusterSpec kCluster{};
+
+lp::Model classic_max() {
+  lp::Model m(lp::Sense::kMaximize);
+  const lp::Variable x = m.add_variable(0, lp::kInfinity, 3.0, "x");
+  const lp::Variable y = m.add_variable(0, lp::kInfinity, 5.0, "y");
+  m.add_le({{x, 1.0}}, 4.0);
+  m.add_le({{y, 2.0}}, 12.0);
+  m.add_le({{x, 3.0}, {y, 2.0}}, 18.0);
+  return m;
+}
+
+TEST(Deadline, StopReasonPriorityAndAccessors) {
+  util::CancelToken token;
+  const util::Deadline unlimited;
+  EXPECT_TRUE(unlimited.unlimited());
+  EXPECT_EQ(unlimited.stop_reason(), util::StopReason::kNone);
+
+  const util::Deadline dead = util::Deadline::after(0.0, &token);
+  EXPECT_EQ(dead.stop_reason(), util::StopReason::kDeadline);
+  token.cancel();
+  // Cancellation outranks expiry: the user asked to stop.
+  EXPECT_EQ(dead.stop_reason(), util::StopReason::kCancelled);
+  token.reset();
+
+  const util::Deadline merged =
+      util::Deadline::sooner(util::Deadline::cancel_only(&token),
+                             util::Deadline::after(1000.0));
+  EXPECT_TRUE(merged.has_time_limit());
+  EXPECT_EQ(merged.stop_reason(), util::StopReason::kNone);
+  token.cancel();
+  EXPECT_EQ(merged.stop_reason(), util::StopReason::kCancelled);
+}
+
+TEST(SimplexDeadline, ExpiredBudgetReturnsInO1) {
+  lp::SimplexOptions opt;
+  opt.deadline = util::Deadline::after(0.0);
+  const lp::Solution s = lp::solve_lp(classic_max(), opt);
+  EXPECT_EQ(s.status, lp::SolveStatus::kDeadlineExceeded);
+  EXPECT_EQ(s.iterations, 0);
+  // The pre-setup exit still returns a well-formed (zero) point.
+  EXPECT_EQ(s.values.size(), 2u);
+}
+
+TEST(SimplexDeadline, TrippedTokenReturnsCancelled) {
+  util::CancelToken token;
+  token.cancel();
+  lp::SimplexOptions opt;
+  opt.deadline = util::Deadline::cancel_only(&token);
+  const lp::Solution s = lp::solve_lp(classic_max(), opt);
+  EXPECT_EQ(s.status, lp::SolveStatus::kCancelled);
+}
+
+TEST(SimplexDeadline, UnlimitedDefaultStillSolves) {
+  const lp::Solution s = lp::solve_lp(classic_max());
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, 36.0, 1e-7);
+}
+
+TEST(BranchBoundDeadline, ExpiredBudgetStopsTheTree) {
+  lp::Model m(lp::Sense::kMaximize);
+  const lp::Variable x = m.add_integer_variable(0, 10, 1.0, "x");
+  const lp::Variable y = m.add_integer_variable(0, 10, 1.0, "y");
+  m.add_le({{x, 2.0}, {y, 3.0}}, 12.7);
+  lp::BranchBoundOptions opt;
+  opt.simplex.deadline = util::Deadline::after(0.0);
+  const lp::MipSolution s = lp::solve_mip(m, opt);
+  EXPECT_EQ(s.status, lp::SolveStatus::kDeadlineExceeded);
+}
+
+TEST(BranchBoundDeadline, TrippedTokenReportsCancelled) {
+  lp::Model m(lp::Sense::kMaximize);
+  const lp::Variable x = m.add_integer_variable(0, 10, 1.0, "x");
+  m.add_le({{x, 2.0}}, 7.3);
+  util::CancelToken token;
+  token.cancel();
+  lp::BranchBoundOptions opt;
+  opt.simplex.deadline = util::Deadline::cancel_only(&token);
+  const lp::MipSolution s = lp::solve_mip(m, opt);
+  EXPECT_EQ(s.status, lp::SolveStatus::kCancelled);
+}
+
+TEST(DriverDeadline, TightCapBudgetDegradesToStaticFast) {
+  // Acceptance check: a 1 ms budget on a non-trivial instance must come
+  // back kDeadlineExceeded *with* the degraded Static bound, promptly
+  // (the assertion allows generous scheduler noise; the contract being
+  // tested is "milliseconds, not the full solve").
+  const dag::TaskGraph g =
+      apps::make_lulesh({.ranks = 8, .iterations = 12, .seed = 3});
+  SolveDriverOptions opt;
+  opt.cap_deadline_ms = 1.0;
+  const SolveDriver driver(g, kModel, kCluster, opt);
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const SolveOutcome res = driver.solve(8 * 40.0);
+  const double ms = std::chrono::duration<double, std::milli>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+
+  EXPECT_EQ(res.report.verdict, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(res.report.degraded);
+  EXPECT_EQ(res.report.fallback, "static-policy");
+  EXPECT_GT(res.report.bound_seconds, 0.0);
+  EXPECT_TRUE(res.report.usable());
+  // The budget stops the *ladder*; the Static fallback simulation runs
+  // after it and costs a few ms itself. 500 ms of headroom still proves
+  // the LP was abandoned rather than solved (it takes seconds).
+  EXPECT_LT(ms, 500.0);
+  EXPECT_EQ(res.report.ladder.cap_deadline_ms, 1.0);
+}
+
+TEST(DriverDeadline, CancelIsTerminalWithoutFallback) {
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = 2, .iterations = 3, .seed = 17});
+  util::CancelToken token;
+  token.cancel();
+  SolveDriverOptions opt;
+  opt.cancel = &token;
+  const SolveDriver driver(g, kModel, kCluster, opt);
+  const SolveOutcome res = driver.solve(2 * 60.0);
+  EXPECT_EQ(res.report.verdict, StatusCode::kCancelled);
+  EXPECT_FALSE(res.report.degraded);
+  EXPECT_FALSE(res.report.usable());
+  EXPECT_TRUE(res.report.ladder.cancellable);
+}
+
+TEST(DriverDeadline, SweepLevelDeadlineMergesIntoCapDeadline) {
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = 2, .iterations = 3, .seed = 17});
+  SolveDriverOptions opt;
+  opt.deadline = util::Deadline::after(0.0);  // outer budget already gone
+  const SolveDriver driver(g, kModel, kCluster, opt);
+  const SolveOutcome res = driver.solve(2 * 60.0);
+  EXPECT_EQ(res.report.verdict, StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(res.report.degraded);  // fallback needs no LP, still runs
+}
+
+TEST(DriverDeadline, GenerousBudgetDoesNotPerturbTheSolve) {
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = 2, .iterations = 3, .seed = 17});
+  SolveDriverOptions with;
+  with.cap_deadline_ms = 60'000.0;
+  const SolveOutcome budgeted =
+      SolveDriver(g, kModel, kCluster, with).solve(2 * 60.0);
+  const SolveOutcome plain = SolveDriver(g, kModel, kCluster).solve(2 * 60.0);
+  ASSERT_TRUE(budgeted.ok()) << budgeted.report.detail;
+  ASSERT_TRUE(plain.ok());
+  EXPECT_DOUBLE_EQ(budgeted.report.bound_seconds,
+                   plain.report.bound_seconds);
+}
+
+}  // namespace
+}  // namespace powerlim::robust

@@ -1,0 +1,306 @@
+// SweepJournal crash-consistency matrix: round trips, torn tails, bit
+// rot, foreign files, duplicates. Every corruption case must recover
+// (truncate-and-continue or quarantine), never fail the open, and leave
+// the journal appendable.
+#include "robust/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace powerlim::robust {
+namespace {
+
+std::string temp_path(const char* name) {
+  return std::string(::testing::TempDir()) + name;
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream os;
+  os << f.rdbuf();
+  return os.str();
+}
+
+void dump(const std::string& path, const std::string& bytes) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  f << bytes;
+}
+
+JournalEntry entry(double cap, double bound) {
+  JournalEntry e;
+  e.job_cap_watts = cap;
+  e.verdict = StatusCode::kOk;
+  e.bound_seconds = bound;
+  e.report_json = "{\"schema_version\":2,\"job_cap_watts\":" +
+                  std::to_string(cap) + "}";
+  return e;
+}
+
+TEST(Crc32, KnownAnswer) {
+  // The IEEE 802.3 check value for "123456789".
+  EXPECT_EQ(crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(crc32("", 0), 0u);
+}
+
+TEST(SweepJournal, RoundTripsEntriesAndBasis) {
+  const std::string path = temp_path("journal_roundtrip");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok()) << j.status().to_string();
+    EXPECT_TRUE(j->recovery().clean());
+    EXPECT_TRUE(j->entries().empty());
+
+    JournalEntry degraded = entry(120.0, 9.5);
+    degraded.verdict = StatusCode::kSolverNumerical;
+    degraded.degraded = true;
+    degraded.fallback = "static-policy";
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.25)).ok());
+    ASSERT_TRUE(j.value().append(degraded).ok());
+
+    std::vector<lp::WarmStart> warm(3);
+    warm[1].status = {1, 0, 2, 1};
+    warm[1].basis = {2, 0};
+    ASSERT_TRUE(j.value().append_basis(warm).ok());
+  }
+
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  EXPECT_TRUE(j->recovery().clean());
+  ASSERT_EQ(j->entries().size(), 2u);
+  EXPECT_EQ(j->entries()[0].job_cap_watts, 100.0);
+  EXPECT_EQ(j->entries()[0].verdict, StatusCode::kOk);
+  EXPECT_EQ(j->entries()[0].bound_seconds, 12.25);
+  EXPECT_FALSE(j->entries()[0].degraded);
+  EXPECT_TRUE(j->entries()[0].fallback.empty());
+  EXPECT_NE(j->entries()[0].report_json.find("job_cap_watts"),
+            std::string::npos);
+  EXPECT_EQ(j->entries()[1].verdict, StatusCode::kSolverNumerical);
+  EXPECT_TRUE(j->entries()[1].degraded);
+  EXPECT_EQ(j->entries()[1].fallback, "static-policy");
+  EXPECT_TRUE(j->contains(100.0));
+  EXPECT_TRUE(j->contains(120.0));
+  EXPECT_FALSE(j->contains(110.0));
+
+  ASSERT_EQ(j->warm_starts().size(), 3u);
+  EXPECT_FALSE(j->warm_starts()[0].valid());
+  ASSERT_TRUE(j->warm_starts()[1].valid());
+  EXPECT_EQ(j->warm_starts()[1].status, (std::vector<char>{1, 0, 2, 1}));
+  EXPECT_EQ(j->warm_starts()[1].basis, (std::vector<int>{2, 0}));
+}
+
+TEST(SweepJournal, CapsRoundTripBitExactly) {
+  const std::string path = temp_path("journal_bits");
+  std::remove(path.c_str());
+  const double awkward = 100.0 / 3.0;  // not representable in short decimal
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().append(entry(awkward, 1.0)).ok());
+  }
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j->entries().size(), 1u);
+  EXPECT_EQ(j->entries()[0].job_cap_watts, awkward);  // exact, not near
+  EXPECT_TRUE(j->contains(awkward));
+}
+
+TEST(SweepJournal, TruncatedTailIsQuarantinedAndPrefixKept) {
+  const std::string path = temp_path("journal_torn");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+    ASSERT_TRUE(j.value().append(entry(110.0, 11.0)).ok());
+  }
+  const std::string full = slurp(path);
+  // Chop mid-way through the second record: a classic torn write.
+  dump(path, full.substr(0, full.size() - 20));
+
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  ASSERT_EQ(j->entries().size(), 1u);
+  EXPECT_EQ(j->entries()[0].job_cap_watts, 100.0);
+  EXPECT_GT(j->recovery().quarantined_bytes, 0);
+  EXPECT_FALSE(j->recovery().quarantined_file);
+
+  // The journal stays appendable after truncation, and the re-appended
+  // cap survives the next recovery.
+  ASSERT_TRUE(j.value().append(entry(110.0, 11.0)).ok());
+  auto again = SweepJournal::open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->entries().size(), 2u);
+  EXPECT_TRUE(again->recovery().clean());
+}
+
+TEST(SweepJournal, BadCrcDropsTheDamagedSuffix) {
+  const std::string path = temp_path("journal_crc");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+    ASSERT_TRUE(j.value().append(entry(110.0, 11.0)).ok());
+  }
+  std::string bytes = slurp(path);
+  // Flip one payload byte in the *last* record (keep length so only the
+  // checksum can notice).
+  bytes[bytes.size() - 3] ^= 0x01;
+  dump(path, bytes);
+
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  ASSERT_EQ(j->entries().size(), 1u);
+  EXPECT_EQ(j->entries()[0].job_cap_watts, 100.0);
+  EXPECT_GT(j->recovery().quarantined_bytes, 0);
+}
+
+TEST(SweepJournal, CorruptionMidFileDropsEverythingAfterIt) {
+  const std::string path = temp_path("journal_midrot");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+    ASSERT_TRUE(j.value().append(entry(110.0, 11.0)).ok());
+    ASSERT_TRUE(j.value().append(entry(120.0, 10.0)).ok());
+  }
+  std::string bytes = slurp(path);
+  // Damage the middle record's payload; the intact third record must
+  // NOT be trusted past the rot (order is history).
+  bytes[bytes.size() / 2] ^= 0x40;
+  dump(path, bytes);
+
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  ASSERT_EQ(j->entries().size(), 1u);
+  EXPECT_EQ(j->entries()[0].job_cap_watts, 100.0);
+  EXPECT_GT(j->recovery().quarantined_bytes, 0);
+}
+
+TEST(SweepJournal, WrongVersionQuarantinesTheFile) {
+  const std::string path = temp_path("journal_version");
+  std::remove(path.c_str());
+  std::remove((path + ".quarantined").c_str());
+  dump(path, "powerlim-journal v99\nR deadbeef 4\nabcd\n");
+
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  EXPECT_TRUE(j->entries().empty());
+  EXPECT_TRUE(j->recovery().quarantined_file);
+  EXPECT_EQ(j->recovery().quarantine_path, path + ".quarantined");
+  // The foreign bytes survive in the quarantine file, untouched.
+  EXPECT_NE(slurp(path + ".quarantined").find("v99"), std::string::npos);
+  // And the fresh journal is fully usable.
+  ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+  auto again = SweepJournal::open(path);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->entries().size(), 1u);
+}
+
+TEST(SweepJournal, NonJournalFileQuarantines) {
+  const std::string path = temp_path("journal_foreign");
+  std::remove(path.c_str());
+  std::remove((path + ".quarantined").c_str());
+  dump(path, "{\"this\":\"is json, not a journal\"}");
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_TRUE(j->recovery().quarantined_file);
+  EXPECT_TRUE(j->entries().empty());
+}
+
+TEST(SweepJournal, DuplicateCapKeepsFirstAndCounts) {
+  const std::string path = temp_path("journal_dup");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+    // In-memory dedup on append.
+    ASSERT_TRUE(j.value().append(entry(100.0, 99.0)).ok());
+    EXPECT_EQ(j->entries().size(), 1u);
+    EXPECT_EQ(j->entries()[0].bound_seconds, 12.0);
+    EXPECT_EQ(j->recovery().duplicates_dropped, 1);
+  }
+  // On-disk dedup on recovery: duplicate the record bytes wholesale (a
+  // crash between solve-done and resume-check can legally do this).
+  std::string bytes = slurp(path);
+  const std::size_t header = bytes.find('\n') + 1;
+  dump(path, bytes + bytes.substr(header));
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->entries().size(), 1u);
+  EXPECT_EQ(j->entries()[0].bound_seconds, 12.0);
+  EXPECT_EQ(j->recovery().duplicates_dropped, 1);
+  EXPECT_EQ(j->recovery().quarantined_bytes, 0);
+}
+
+TEST(SweepJournal, EmptyBasisSnapshotsAreSkipped) {
+  const std::string path = temp_path("journal_nobasis");
+  std::remove(path.c_str());
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  ASSERT_TRUE(j.value().append_basis({}).ok());
+  ASSERT_TRUE(j.value().append_basis(std::vector<lp::WarmStart>(4)).ok());
+  EXPECT_EQ(j->recovery().basis_records, 0);
+  EXPECT_TRUE(j->warm_starts().empty());
+}
+
+TEST(SweepJournal, LatestBasisWins) {
+  const std::string path = temp_path("journal_basiswins");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    std::vector<lp::WarmStart> first(1), second(1);
+    first[0].status = {1};
+    first[0].basis = {7};
+    second[0].status = {2, 2};
+    second[0].basis = {3};
+    ASSERT_TRUE(j.value().append_basis(first).ok());
+    ASSERT_TRUE(j.value().append_basis(second).ok());
+  }
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok());
+  EXPECT_EQ(j->recovery().basis_records, 2);
+  ASSERT_EQ(j->warm_starts().size(), 1u);
+  EXPECT_EQ(j->warm_starts()[0].basis, (std::vector<int>{3}));
+}
+
+TEST(WarmStartSerialization, RoundTripsIncludingNegativesAndEmpties) {
+  std::vector<lp::WarmStart> warm(3);
+  warm[0].status = {0, 1, 2, 3};
+  warm[0].basis = {5, -1, 0};
+  warm[2].status = {static_cast<char>(-7)};
+  warm[2].basis = {42};
+  std::vector<lp::WarmStart> back;
+  ASSERT_TRUE(parse_warm_starts(serialize_warm_starts(warm), &back));
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(back[0].status, warm[0].status);
+  EXPECT_EQ(back[0].basis, warm[0].basis);
+  EXPECT_FALSE(back[1].valid());
+  EXPECT_EQ(back[2].status, warm[2].status);
+  EXPECT_EQ(back[2].basis, warm[2].basis);
+}
+
+TEST(WarmStartSerialization, RejectsGarbage) {
+  std::vector<lp::WarmStart> out;
+  EXPECT_FALSE(parse_warm_starts("2 1 9\n", &out));        // short
+  EXPECT_FALSE(parse_warm_starts("1 1 9 9 9\n", &out));    // long
+  EXPECT_FALSE(parse_warm_starts("x y\n", &out));          // not ints
+  EXPECT_FALSE(parse_warm_starts("9999999 1 0\n", &out));  // absurd size
+}
+
+TEST(SweepJournal, UnwritablePathFailsOpen) {
+  auto j = SweepJournal::open("/nonexistent-dir-xyz/journal");
+  ASSERT_FALSE(j.ok());
+  EXPECT_EQ(j.status().code(), StatusCode::kBadInput);
+}
+
+}  // namespace
+}  // namespace powerlim::robust

@@ -1,0 +1,139 @@
+// Golden-file lock on the RunReport JSON shape. The serialized report is
+// a cross-run artifact: journals replay it byte-for-byte on resume and
+// external tooling parses it. Any shape change must land here *and* bump
+// kRunReportSchemaVersion - this test failing without a version bump is
+// the alarm it exists to raise.
+#include "robust/solve_driver.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "apps/benchmarks.h"
+#include "machine/power_model.h"
+#include "robust/fault_injection.h"
+
+namespace powerlim::robust {
+namespace {
+
+RunReport golden_report() {
+  RunReport rep;
+  rep.job_cap_watts = 120.0;
+  rep.socket_cap_watts = 60.0;
+  rep.verdict = StatusCode::kOk;
+  rep.detail = "he said \"go\"\n";
+  rep.degraded = false;
+  rep.fallback = "";
+  rep.bound_seconds = 12.5;
+  rep.energy_joules = 345.25;
+  rep.min_feasible_power_watts = 80.0;
+  rep.wall_ms = 3.5;
+  rep.fault_active = true;
+  rep.fault_seed = 42;
+  rep.ladder.enable_ladder = true;
+  rep.ladder.enable_fallback = true;
+  rep.ladder.validate_replay = true;
+  rep.ladder.cap_deadline_ms = 250.0;
+  rep.ladder.cancellable = true;
+
+  SolveAttempt a;
+  a.rung = "warm";
+  a.outcome = StatusCode::kSolverNumerical;
+  a.injected = true;
+  a.detail = "injected";
+  a.iterations = 17;
+  a.degenerate_pivots = 2;
+  a.refactor_count = 1;
+  a.bland_engaged = true;
+  a.primal_infeasibility = 0.001;
+  a.failed_window = 3;
+  rep.attempts.push_back(a);
+
+  rep.replay.checked = true;
+  rep.replay.check.ok = true;
+  rep.replay.check.cap_watts = 120.0;
+  rep.replay.check.peak_power = 130.5;
+  rep.replay.check.max_windowed_power = 118.25;
+  rep.replay.check.violation_watts = 0.0;
+  rep.replay.check.violation_seconds = 0.0;
+  return rep;
+}
+
+// The golden string. Field order, spelling, and nesting are all
+// contractual; values are chosen to be exact in decimal.
+const char* const kGolden =
+    "{\"schema_version\":2,"
+    "\"job_cap_watts\":120,"
+    "\"socket_cap_watts\":60,"
+    "\"verdict\":\"ok\","
+    "\"detail\":\"he said \\\"go\\\"\\n\","
+    "\"degraded\":false,"
+    "\"fallback\":\"\","
+    "\"bound_seconds\":12.5,"
+    "\"energy_joules\":345.25,"
+    "\"min_feasible_power_watts\":80,"
+    "\"wall_ms\":3.5,"
+    "\"fault\":{\"active\":true,\"seed\":42},"
+    "\"ladder\":{\"enable_ladder\":true,\"enable_fallback\":true,"
+    "\"validate_replay\":true,\"cap_deadline_ms\":250,"
+    "\"cancellable\":true},"
+    "\"attempts\":[{\"rung\":\"warm\",\"outcome\":\"solver-numerical\","
+    "\"injected\":true,\"iterations\":17,\"degenerate_pivots\":2,"
+    "\"refactor_count\":1,\"bland_engaged\":true,"
+    "\"primal_infeasibility\":0.001,\"failed_window\":3,"
+    "\"detail\":\"injected\"}],"
+    "\"replay\":{\"checked\":true,\"ok\":true,\"cap_watts\":120,"
+    "\"peak_power_watts\":130.5,\"max_windowed_power_watts\":118.25,"
+    "\"violation_watts\":0,\"violation_seconds\":0}}";
+
+TEST(ReportSchema, GoldenShapeIsStable) {
+  EXPECT_EQ(golden_report().to_json(), kGolden);
+}
+
+TEST(ReportSchema, VersionIsTwo) {
+  EXPECT_EQ(kRunReportSchemaVersion, 2);
+  EXPECT_EQ(RunReport{}.schema_version, 2);
+  // Every serialized report leads with the version so consumers can
+  // dispatch before parsing the rest.
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":2,", 0), 0u);
+}
+
+TEST(ReportSchema, UncheckedReplaySerializesClosed) {
+  RunReport rep;
+  const std::string json = rep.to_json();
+  EXPECT_NE(json.find("\"replay\":{\"checked\":false}"), std::string::npos);
+}
+
+TEST(ReportSchema, RealSolveEchoesFaultAndLadderOptions) {
+  // Satellite contract: a driver-produced report carries the resolved
+  // ladder options and the FaultPlan seed, so the run is reproducible
+  // from the artifact alone.
+  const machine::PowerModel model{machine::SocketSpec{}};
+  const machine::ClusterSpec cluster;
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = 2, .iterations = 3, .seed = 17});
+
+  SolveDriverOptions opt;
+  opt.cap_deadline_ms = 30'000.0;
+  util::CancelToken token;
+  opt.cancel = &token;
+  FaultPlan plan;
+  plan.seed = 99;
+  plan.fail_attempts = 1;  // first rung injected, second succeeds
+  ScopedFaultPlan scoped(plan);
+
+  const SolveOutcome res =
+      SolveDriver(g, model, cluster, opt).solve(2 * 60.0);
+  EXPECT_TRUE(res.report.fault_active);
+  EXPECT_EQ(res.report.fault_seed, 99u);
+  EXPECT_EQ(res.report.ladder.cap_deadline_ms, 30'000.0);
+  EXPECT_TRUE(res.report.ladder.cancellable);
+  EXPECT_TRUE(res.report.ladder.enable_ladder);
+  const std::string json = res.report.to_json();
+  EXPECT_NE(json.find("\"fault\":{\"active\":true,\"seed\":99}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cancellable\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace powerlim::robust

@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
 #include "apps/benchmarks.h"
 #include "core/windowed.h"
 #include "machine/power_model.h"
@@ -81,6 +84,70 @@ TEST(PowerWindow, ReplayedLpIsRaplCompliantDespiteTransients) {
   // ~150 us transient inside a 10 ms control window.
   EXPECT_GT(res.peak_power, cap);  // the transient is real...
   EXPECT_LE(max_windowed_power(res, 0.01), cap * 1.0005);  // ...and absorbed
+}
+
+TEST(PowerWindow, StepExactlyOnWindowEdgeIsCaptured) {
+  // A 100 W plateau whose width equals the RAPL window, with breakpoints
+  // landing exactly on the window edges. The best alignment must read the
+  // full plateau, not lose it to an off-by-one in the breakpoint scan.
+  const SimResult r = make_trace(
+      {{0.0, 20.0}, {0.10, 100.0}, {0.11, 20.0}, {1.0, 0.0}}, 1.0);
+  EXPECT_NEAR(max_windowed_power(r, 0.01), 100.0, 1e-9);
+  // Window edge exactly at the end of the trace: only trailing 20 W.
+  const SimResult tail = make_trace({{0.0, 20.0}, {1.0, 0.0}}, 1.0);
+  EXPECT_DOUBLE_EQ(max_windowed_power(tail, 1.0), 20.0);
+}
+
+TEST(PowerWindow, ZeroLengthTraceReportsTheSpike) {
+  // Degenerate trace: every breakpoint at one instant. It carries no
+  // energy, but the job did spike - the guard must return the peak
+  // rather than a vacuous 0 W average.
+  SimResult r = make_trace({{0.5, 80.0}, {0.5, 80.0}}, 0.5);
+  EXPECT_DOUBLE_EQ(max_windowed_power(r, 0.01), 80.0);
+}
+
+TEST(PowerWindow, NonFiniteWindowDegradesToPeak) {
+  const SimResult r = make_trace({{0.0, 30.0}, {1.0, 60.0}, {2.0, 0.0}}, 2.0);
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_DOUBLE_EQ(max_windowed_power(r, inf), 60.0);
+  EXPECT_DOUBLE_EQ(max_windowed_power(r, std::nan("")), 60.0);
+  EXPECT_DOUBLE_EQ(max_windowed_power(r, -1.0), 60.0);
+}
+
+TEST(CapCheck, ExactlyAtCapIsCompliant) {
+  const SimResult r = make_trace({{0.0, 50.0}, {1.0, 0.0}}, 1.0);
+  const CapCheck at = check_cap(r, 50.0);
+  EXPECT_TRUE(at.ok);
+  EXPECT_DOUBLE_EQ(at.violation_watts, 0.0);
+  EXPECT_DOUBLE_EQ(at.max_windowed_power, 50.0);
+
+  // One milliwatt under the tolerance band still passes; past it fails
+  // with the excursion quantified.
+  EXPECT_TRUE(check_cap(r, 50.0 - 0.5e-3).ok);
+  const CapCheck over = check_cap(r, 45.0);
+  EXPECT_FALSE(over.ok);
+  EXPECT_NEAR(over.violation_watts, 5.0, 1e-9);
+  EXPECT_GT(over.violation_seconds, 0.0);
+}
+
+TEST(CapCheck, NonPositiveWindowChecksInstantaneousPeak) {
+  // A transient that the 10 ms window would absorb: with rapl_window_s
+  // <= 0 the check must use the raw peak and fail.
+  const SimResult r = make_trace(
+      {{0.0, 20.0}, {0.5, 100.0}, {0.501, 20.0}, {1.0, 0.0}}, 1.0);
+  CapCheckOptions opt;
+  opt.rapl_window_s = 0.0;
+  const CapCheck strict = check_cap(r, 60.0, opt);
+  EXPECT_FALSE(strict.ok);
+  EXPECT_DOUBLE_EQ(strict.max_windowed_power, 100.0);
+  EXPECT_TRUE(check_cap(r, 60.0).ok);  // default window absorbs it
+}
+
+TEST(CapCheck, ZeroLengthTraceStillFlagsTheSpike) {
+  const SimResult r = make_trace({{0.25, 90.0}, {0.25, 90.0}}, 0.25);
+  const CapCheck c = check_cap(r, 50.0);
+  EXPECT_FALSE(c.ok);
+  EXPECT_DOUBLE_EQ(c.max_windowed_power, 90.0);
 }
 
 TEST(PowerWindow, MonotoneInWindowSize) {

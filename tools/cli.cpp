@@ -1,5 +1,7 @@
 #include "tools/cli.h"
 
+#include <csignal>
+
 #include <algorithm>
 #include <cstdint>
 #include <map>
@@ -32,6 +34,35 @@
 
 namespace powerlim::cli {
 
+util::CancelToken& global_cancel() {
+  static util::CancelToken token;
+  return token;
+}
+
+namespace {
+
+extern "C" void handle_stop_signal(int) {
+  // Async-signal-safe: CancelToken::cancel() is one relaxed atomic
+  // store. Workers notice at their next deadline check (every pivot),
+  // the journal is already durable per completed cap, and run() exits
+  // with kExitResumable. A second signal falls through to the default
+  // disposition (immediate kill) because we do not re-raise here and
+  // SA_RESETHAND is not needed - the handler stays installed, but the
+  // sweep is already unwinding.
+  global_cancel().cancel();
+}
+
+}  // namespace
+
+void install_signal_handlers() {
+  struct sigaction sa = {};
+  sa.sa_handler = handle_stop_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
 namespace {
 
 struct ParsedArgs {
@@ -46,15 +77,19 @@ const char* kUsage =
     "           [--iterations N] [--seed S]\n"
     "  info     FILE\n"
     "  bound    FILE --socket-cap W [--discrete] [-o SCHEDULE]\n"
-    "           [--report FILE]\n"
+    "           [--report FILE] [--deadline-ms MS]\n"
     "           (solves through the retry/degradation ladder; -o also\n"
-    "            writes SCHEDULE.runreport.json)\n"
+    "            writes SCHEDULE.runreport.json; --deadline-ms bounds\n"
+    "            the whole ladder in wall time)\n"
     "  compare  FILE --socket-cap W\n"
     "  sweep    FILE --from W --to W [--step W] [--report FILE]\n"
-    "           [--inject-fail W]\n"
+    "           [--inject-fail W] [--journal FILE [--resume]]\n"
+    "           [--deadline-ms MS] [--cap-deadline-ms MS]\n"
     "           (per-cap verdicts; failed caps degrade to the Static\n"
     "            bound instead of aborting; --inject-fail forces every\n"
-    "            ladder rung to fail at that socket cap)\n"
+    "            ladder rung to fail at that socket cap; --journal\n"
+    "            records completed caps durably and --resume skips them\n"
+    "            on restart; exit 75 = interrupted, re-run to resume)\n"
     "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
     "           [--width N]\n"
     "  export   FILE --socket-cap W -o PREFIX\n"
@@ -239,6 +274,10 @@ int cmd_bound(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
 
   robust::SolveDriverOptions dopt;
   dopt.lp.discrete = p.flags.count("--discrete") > 0;
+  if (const auto ms = opt_double(p, "--deadline-ms")) {
+    dopt.cap_deadline_ms = *ms;
+  }
+  dopt.cancel = &global_cancel();
   const robust::SolveDriver driver(g, model(), cluster, dopt);
   const robust::SolveOutcome res = driver.solve(job_cap);
   const robust::RunReport& rep = res.report;
@@ -352,6 +391,12 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "sweep: --from W --to W [--step W] required\n";
     return 2;
   }
+  const bool resume = p.flags.count("--resume") > 0;
+  const auto journal_it = p.options.find("--journal");
+  if (resume && journal_it == p.options.end()) {
+    err << "sweep: --resume requires --journal FILE\n";
+    return 2;
+  }
   const auto trace = robust::load_trace_checked(p.positional[0]);
   if (!trace.ok()) {
     err << "error: " << trace.status().message() << "\n";
@@ -359,7 +404,6 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   }
   const dag::TaskGraph& g = *trace;
   const machine::ClusterSpec cluster;
-  const robust::SolveDriver driver(g, model(), cluster, {});
 
   // --inject-fail W: force every ladder rung to fail at that socket cap
   // (demonstrates the degradation path end to end; see robust/).
@@ -373,41 +417,61 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     scope.emplace(plan);
   }
 
-  std::vector<robust::SolveOutcome> outcomes;
+  std::vector<double> caps;
   for (double w = *from; w <= *to + 1e-9; w += step) {
-    outcomes.push_back(driver.solve(w * g.num_ranks()));
+    caps.push_back(w * g.num_ranks());
   }
 
+  robust::ResilientSweepOptions ropt;
+  ropt.driver.cancel = &global_cancel();
+  if (const auto ms = opt_double(p, "--cap-deadline-ms")) {
+    ropt.driver.cap_deadline_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--deadline-ms")) {
+    ropt.deadline = util::Deadline::after(*ms / 1000.0, &global_cancel());
+  } else {
+    ropt.deadline = util::Deadline::cancel_only(&global_cancel());
+  }
+  if (journal_it != p.options.end()) ropt.journal_path = journal_it->second;
+  ropt.resume = resume;
+
+  const auto swept =
+      robust::resilient_sweep(g, model(), cluster, caps, ropt);
+  if (!swept.ok()) {
+    err << "error: " << swept.status().message() << "\n";
+    return 1;
+  }
+  const robust::ResilientSweepResult& res = *swept;
+
   double best = -1.0;  // smallest optimal LP bound across the sweep
-  for (const auto& o : outcomes) {
-    if (o.ok() && (best < 0 || o.report.bound_seconds < best)) {
-      best = o.report.bound_seconds;
+  for (const robust::SweepRow& row : res.rows) {
+    if (row.verdict == robust::StatusCode::kOk &&
+        (best < 0 || row.bound_seconds < best)) {
+      best = row.bound_seconds;
     }
   }
 
   util::Table t({"socket_w", "bound_s", "slowdown_vs_best", "verdict"});
   std::size_t usable = 0, hard_failures = 0;
-  std::vector<robust::RunReport> reports;
-  for (const auto& o : outcomes) {
-    const robust::RunReport& rep = o.report;
-    reports.push_back(rep);
-    const std::string w = util::Table::num(rep.socket_cap_watts, 1);
-    if (rep.verdict == robust::StatusCode::kOk) {
+  for (const robust::SweepRow& row : res.rows) {
+    const std::string w =
+        util::Table::num(row.job_cap_watts / g.num_ranks(), 1);
+    if (row.verdict == robust::StatusCode::kOk) {
       ++usable;
-      t.add_row({w, util::Table::num(rep.bound_seconds, 4),
-                 util::Table::pct(rep.bound_seconds / best - 1.0, 1), "ok"});
-    } else if (rep.verdict == robust::StatusCode::kInfeasibleCap) {
+      t.add_row({w, util::Table::num(row.bound_seconds, 4),
+                 util::Table::pct(row.bound_seconds / best - 1.0, 1), "ok"});
+    } else if (row.verdict == robust::StatusCode::kInfeasibleCap) {
       t.add_row({w, "n/s", "-", "infeasible"});
-    } else if (rep.degraded) {
+    } else if (row.degraded) {
       ++usable;
-      t.add_row({w, util::Table::num(rep.bound_seconds, 4),
+      t.add_row({w, util::Table::num(row.bound_seconds, 4),
                  best > 0
-                     ? util::Table::pct(rep.bound_seconds / best - 1.0, 1)
+                     ? util::Table::pct(row.bound_seconds / best - 1.0, 1)
                      : std::string("-"),
-                 "degraded (" + rep.fallback + ")"});
+                 "degraded (" + row.fallback + ")"});
     } else {
       ++hard_failures;
-      t.add_row({w, "n/s", "-", robust::to_string(rep.verdict)});
+      t.add_row({w, "n/s", "-", robust::to_string(row.verdict)});
     }
   }
   out << t.to_string();
@@ -417,9 +481,51 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
         << " W/socket; that cap reports the degraded " << "Static-policy"
         << " bound (achievable, not optimal).\n";
   }
+  if (res.resumed > 0) {
+    out << "resumed " << res.resumed << " cap(s) from journal, solved "
+        << res.solved << " fresh\n";
+  }
+  if (!res.recovery.clean()) {
+    if (res.recovery.quarantined_bytes > 0) {
+      out << "journal recovery: quarantined "
+          << res.recovery.quarantined_bytes
+          << " byte(s) of torn/corrupt tail\n";
+    }
+    if (res.recovery.quarantined_file) {
+      out << "journal recovery: unrecognized journal moved to "
+          << res.recovery.quarantine_path << "\n";
+    }
+    if (res.recovery.duplicates_dropped > 0) {
+      out << "journal recovery: dropped "
+          << res.recovery.duplicates_dropped << " duplicate record(s)\n";
+    }
+  }
 
   if (auto it = p.options.find("--report"); it != p.options.end()) {
-    write_report_file(it->second, robust::reports_to_json(reports), out, err);
+    // Same shape as robust::reports_to_json, built from the rows so a
+    // resumed sweep writes the identical artifact.
+    std::ostringstream js;
+    js << "[\n";
+    for (std::size_t i = 0; i < res.rows.size(); ++i) {
+      if (i) js << ",\n";
+      js << "  " << res.rows[i].report_json;
+    }
+    js << "\n]\n";
+    write_report_file(it->second, js.str(), out, err);
+  }
+
+  if (res.interrupted) {
+    err << "sweep interrupted ("
+        << (res.stop == util::StopReason::kCancelled ? "cancelled"
+                                                     : "deadline expired")
+        << ") after " << res.rows.size() << "/" << caps.size()
+        << " cap(s)";
+    if (!ropt.journal_path.empty()) {
+      err << "; re-run with --journal " << ropt.journal_path
+          << " --resume to continue";
+    }
+    err << "\n";
+    return kExitResumable;
   }
   // Partial results are success; only a sweep where some cap failed
   // outright and *nothing* produced a bound is an error.
@@ -706,7 +812,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_info(parse(args, 1, {}, {}), out, err);
     }
     if (cmd == "bound") {
-      return cmd_bound(parse(args, 1, {"--socket-cap", "-o", "--report"},
+      return cmd_bound(parse(args, 1,
+                             {"--socket-cap", "-o", "--report",
+                              "--deadline-ms"},
                              {"--discrete"}),
                        out, err);
     }
@@ -719,8 +827,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "sweep") {
       return cmd_sweep(parse(args, 1,
                              {"--from", "--to", "--step", "--report",
-                              "--inject-fail"},
-                             {}),
+                              "--inject-fail", "--journal",
+                              "--deadline-ms", "--cap-deadline-ms"},
+                             {"--resume"}),
                        out, err);
     }
     if (cmd == "timeline") {

@@ -16,8 +16,16 @@
 // simplex settings and finally degrade to the Static-policy bound, so a
 // sweep always finishes with per-cap verdicts.
 //
+// sweep additionally supports crash-consistent journaling: --journal
+// records every completed cap durably, --resume skips journaled caps on
+// restart, and --deadline-ms / --cap-deadline-ms bound the sweep and
+// each cap's ladder in wall time. SIGINT/SIGTERM (when main installed
+// the handlers) trip a cooperative cancel that stops at the next pivot,
+// flushes the journal, and exits with the resumable code.
+//
 // Exit codes: 0 success (including degraded/partial results), 1 runtime
-// failure (bad file, infeasible cap, total sweep failure), 2 usage error.
+// failure (bad file, infeasible cap, total sweep failure), 2 usage
+// error, 75 (kExitResumable) interrupted-but-resumable sweep.
 // All output goes to the provided stream so the suite can test it.
 #pragma once
 
@@ -25,7 +33,24 @@
 #include <string>
 #include <vector>
 
+#include "util/deadline.h"
+
 namespace powerlim::cli {
+
+/// Exit code for a sweep stopped by cancellation or the sweep deadline
+/// before every cap completed: BSD's EX_TEMPFAIL, chosen so wrappers can
+/// distinguish "re-run with --resume" from hard failure (1) and usage
+/// errors (2).
+inline constexpr int kExitResumable = 75;
+
+/// Process-wide cancel token observed by every solve the CLI starts.
+/// Signal handlers trip it; tests may trip/reset it directly.
+util::CancelToken& global_cancel();
+
+/// Installs SIGINT/SIGTERM handlers that trip global_cancel() (the
+/// handler is async-signal-safe: one relaxed atomic store). Called once
+/// from main; tests that want Ctrl-C semantics may call it too.
+void install_signal_handlers();
 
 /// Runs one invocation; returns a process exit code. Errors print a
 /// message to `err` and return non-zero instead of throwing.

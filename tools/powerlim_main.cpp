@@ -3,7 +3,8 @@
 //
 // Exit codes: 0 success - including sweeps with degraded or partially
 // infeasible caps (partial results are results); 1 runtime failure;
-// 2 usage error.
+// 2 usage error; 75 interrupted-but-resumable journaled sweep
+// (SIGINT/SIGTERM or --deadline-ms expiry - re-run with --resume).
 #include <iostream>
 #include <string>
 #include <vector>
@@ -11,6 +12,7 @@
 #include "tools/cli.h"
 
 int main(int argc, char** argv) {
+  powerlim::cli::install_signal_handlers();
   std::vector<std::string> args(argv + 1, argv + argc);
   return powerlim::cli::run(args, std::cout, std::cerr);
 }
