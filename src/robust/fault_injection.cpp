@@ -1,11 +1,16 @@
 #include "robust/fault_injection.h"
 
+#include <time.h>
+#include <unistd.h>
+
 #include <cctype>
 #include <cmath>
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <vector>
 
+#include "robust/worker_pool.h"
 #include "util/rng.h"
 
 namespace powerlim::robust {
@@ -19,6 +24,53 @@ thread_local const FaultPlan* g_active_plan = nullptr;
 bool FaultPlan::applies_to_cap(double job_cap_watts) const {
   if (only_job_cap < 0.0) return true;
   return std::abs(job_cap_watts - only_job_cap) <= cap_tolerance;
+}
+
+const char* to_string(WorkerFault fault) {
+  switch (fault) {
+    case WorkerFault::kNone:
+      return "none";
+    case WorkerFault::kCrash:
+      return "worker-crash";
+    case WorkerFault::kOom:
+      return "worker-oom";
+    case WorkerFault::kHang:
+      return "worker-hang";
+  }
+  return "?";
+}
+
+bool worker_fault_from_string(const std::string& name, WorkerFault* fault) {
+  for (WorkerFault f :
+       {WorkerFault::kCrash, WorkerFault::kOom, WorkerFault::kHang}) {
+    if (name == to_string(f)) {
+      *fault = f;
+      return true;
+    }
+  }
+  return false;
+}
+
+void maybe_execute_worker_fault(double job_cap_watts, int attempt) {
+  const FaultPlan* plan = ScopedFaultPlan::active();
+  if (plan == nullptr || plan->worker_fault == WorkerFault::kNone) return;
+  if (!plan->applies_to_cap(job_cap_watts)) return;
+  if (attempt >= plan->worker_fault_attempts) return;
+  switch (plan->worker_fault) {
+    case WorkerFault::kCrash:
+      std::abort();
+    case WorkerFault::kOom:
+      _exit(kWorkerExitOom);
+    case WorkerFault::kHang:
+      // Sleep until the supervisor's wall deadline SIGKILLs us. The loop
+      // guards against spurious wakeups; a worker must not "recover".
+      for (;;) {
+        struct timespec ts = {3600, 0};
+        nanosleep(&ts, nullptr);
+      }
+    case WorkerFault::kNone:
+      break;
+  }
 }
 
 ScopedFaultPlan::ScopedFaultPlan(const FaultPlan& plan)

@@ -20,6 +20,29 @@
 
 namespace powerlim::robust {
 
+/// Faults executed *inside a forked worker process* (robust/worker_pool)
+/// rather than synthesized as solver statuses: the worker genuinely
+/// dies, and the supervisor's containment/retry machinery is what gets
+/// exercised.
+enum class WorkerFault {
+  kNone,
+  /// abort() before the solve: signal death (SIGABRT), the SIGSEGV
+  /// stand-in that sanitizers do not intercept.
+  kCrash,
+  /// Exit with the allocator-failure code, as if RLIMIT_AS had starved
+  /// the solve (the real allocation path is exercised separately with an
+  /// actual rlimit; injection keeps CI memory-safe).
+  kOom,
+  /// Sleep until the supervisor's deadline kills the worker.
+  kHang,
+};
+
+/// Kebab-case names used by `powerlim sweep --inject-fail worker-*`:
+/// "worker-crash", "worker-oom", "worker-hang". Returns false on an
+/// unknown name (including "worker-none").
+bool worker_fault_from_string(const std::string& name, WorkerFault* fault);
+const char* to_string(WorkerFault fault);
+
 struct FaultPlan {
   std::uint64_t seed = 1;
 
@@ -47,9 +70,24 @@ struct FaultPlan {
   /// core::EmptyFrontierError.
   bool drop_all_pareto_points = false;
 
+  /// Worker-process fault executed by forked workers whose cap matches
+  /// (only_job_cap scopes this exactly like the status faults).
+  WorkerFault worker_fault = WorkerFault::kNone;
+  /// Spawn attempts (0-based, per cap) that execute the fault. The
+  /// default injures only the first spawn, so the supervisor's
+  /// retry-in-a-fresh-worker succeeds; 2+ exhausts the retry and forces
+  /// the worker-crashed / resource-exhausted degradation.
+  int worker_fault_attempts = 1;
+
   bool applies_to_cap(double job_cap_watts) const;
   bool forces_status() const { return fail_attempts > 0; }
 };
+
+/// Executes the active plan's worker fault for this cap/attempt, in the
+/// current (worker) process. No-op when no plan is active, the fault is
+/// kNone, the cap does not match, or `attempt` is past the injured
+/// count. kCrash and kOom do not return.
+void maybe_execute_worker_fault(double job_cap_watts, int attempt);
 
 /// RAII installation of a fault plan for the current thread. Nested
 /// scopes shadow (innermost wins); destruction restores the previous

@@ -12,6 +12,8 @@
 #include <cstring>
 #include <sstream>
 
+#include "util/posix_io.h"
+
 namespace powerlim::robust {
 
 namespace {
@@ -55,7 +57,9 @@ std::string frame(char tag, const std::string& payload) {
   return out;
 }
 
-std::string entry_payload(const JournalEntry& e) {
+}  // namespace
+
+std::string serialize_journal_entry(const JournalEntry& e) {
   std::string out = "cap=";
   out += format_double(e.job_cap_watts);
   out += " verdict=";
@@ -71,6 +75,8 @@ std::string entry_payload(const JournalEntry& e) {
   return out;
 }
 
+namespace {
+
 bool take_field(std::istringstream& is, const char* key, std::string* value) {
   std::string tok;
   if (!(is >> tok)) return false;
@@ -83,7 +89,9 @@ bool take_field(std::istringstream& is, const char* key, std::string* value) {
   return true;
 }
 
-bool parse_entry_payload(const std::string& payload, JournalEntry* out) {
+}  // namespace
+
+bool parse_journal_entry(const std::string& payload, JournalEntry* out) {
   const std::size_t nl = payload.find('\n');
   if (nl == std::string::npos) return false;
   std::istringstream head(payload.substr(0, nl));
@@ -109,8 +117,6 @@ bool parse_entry_payload(const std::string& payload, JournalEntry* out) {
   *out = std::move(e);
   return true;
 }
-
-}  // namespace
 
 std::uint32_t crc32(const void* data, std::size_t len) {
   static const auto table = [] {
@@ -204,18 +210,14 @@ struct SweepJournal::Impl {
   }
 
   Status write_durable(const std::string& bytes) {
-    std::size_t done = 0;
-    while (done < bytes.size()) {
-      const ssize_t n =
-          ::write(fd, bytes.data() + done, bytes.size() - done);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        return Status(StatusCode::kInternal,
-                      errno_message("journal write failed", path));
-      }
-      done += static_cast<std::size_t>(n);
+    // One EINTR-retried write of the whole frame (the fd is O_APPEND, so
+    // concurrent appenders from other processes cannot interleave with
+    // or clobber it), then a retried fsync for durability.
+    if (util::write_full(fd, bytes.data(), bytes.size()) != 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("journal write failed", path));
     }
-    if (::fsync(fd) != 0) {
+    if (util::fsync_full(fd) != 0) {
       return Status(StatusCode::kInternal,
                     errno_message("journal fsync failed", path));
     }
@@ -254,7 +256,8 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
   SweepJournal journal;
   Impl& im = *journal.impl_;
   im.path = path;
-  im.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  im.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
+                 0644);
   if (im.fd < 0) {
     return Status(StatusCode::kBadInput,
                   errno_message("cannot open journal", path));
@@ -265,9 +268,8 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
   {
     char buf[1 << 16];
     for (;;) {
-      const ssize_t n = ::read(im.fd, buf, sizeof buf);
+      const ssize_t n = util::read_some(im.fd, buf, sizeof buf);
       if (n < 0) {
-        if (errno == EINTR) continue;
         return Status(StatusCode::kInternal,
                       errno_message("cannot read journal", path));
       }
@@ -296,8 +298,8 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
       return Status(StatusCode::kInternal,
                     errno_message("cannot quarantine journal", path));
     }
-    im.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_EXCL | O_CLOEXEC,
-                   0644);
+    im.fd = ::open(path.c_str(),
+                   O_RDWR | O_CREAT | O_EXCL | O_APPEND | O_CLOEXEC, 0644);
     if (im.fd < 0) {
       return Status(StatusCode::kInternal,
                     errno_message("cannot recreate journal", path));
@@ -343,7 +345,7 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
 
     if (tag == 'R') {
       JournalEntry e;
-      if (!parse_entry_payload(payload, &e)) break;
+      if (!parse_journal_entry(payload, &e)) break;
       if (journal.contains(e.job_cap_watts)) {
         ++im.recovery.duplicates_dropped;
       } else {
@@ -379,7 +381,8 @@ Status SweepJournal::append(const JournalEntry& entry) {
     ++impl_->recovery.duplicates_dropped;
     return Status::Ok();
   }
-  Status st = impl_->write_durable(frame('R', entry_payload(entry)));
+  Status st =
+      impl_->write_durable(frame('R', serialize_journal_entry(entry)));
   if (!st.ok()) return st;
   impl_->entries.push_back(entry);
   ++impl_->recovery.records;

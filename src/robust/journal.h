@@ -21,9 +21,11 @@
 // warmed bases and cold-starts on mismatch).
 //
 // Durability and recovery:
-//   * every append is a single write() of the whole frame followed by
-//     fsync() - a record is either fully durable or torn, never
-//     half-trusted;
+//   * every append is a single write() of the whole frame (on an
+//     O_APPEND fd, so concurrent appenders - e.g. two sweep processes
+//     sharing one journal - never clobber each other's offsets)
+//     followed by fsync() - a record is either fully durable or torn,
+//     never half-trusted;
 //   * a torn / CRC-corrupt / malformed tail is *quarantined by
 //     truncation*: recovery keeps every intact prefix record, truncates
 //     the file back to the last good frame boundary, and reports the
@@ -89,6 +91,13 @@ struct RecoverySummary {
            duplicates_dropped == 0;
   }
 };
+
+/// Serialize / parse one per-cap record payload (the `R` frame body).
+/// Shared with the worker-pool wire protocol: a worker ships its result
+/// to the supervisor in exactly the bytes the journal would append, so
+/// a journaled parallel sweep stores what a serial sweep would have.
+std::string serialize_journal_entry(const JournalEntry& entry);
+bool parse_journal_entry(const std::string& payload, JournalEntry* out);
 
 /// Serialize / parse the warm-start cache for `B` records. Exposed for
 /// tests; the format is one window per line: `<status-chars> <basis

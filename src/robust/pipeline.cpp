@@ -1,9 +1,15 @@
 #include "robust/pipeline.h"
 
+#include <sys/resource.h>
+
+#include <cstddef>
 #include <optional>
 #include <utility>
 
 #include "dag/trace_io.h"
+#include "robust/fault_injection.h"
+#include "runtime/static_policy.h"
+#include "sim/engine.h"
 
 namespace powerlim::robust {
 
@@ -82,12 +88,189 @@ JournalEntry entry_from_row(const SweepRow& row) {
   return e;
 }
 
+long current_peak_rss_kb() {
+  struct rusage ru {};
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return 0;
+  return static_cast<long>(ru.ru_maxrss);
+}
+
+/// A cap whose isolated worker died twice (or starved/overran its
+/// budgets) gets the same treatment as an exhausted ladder: classify
+/// the failure, then substitute the always-simulable Static-policy
+/// bound. The parent synthesizes the report because the child left no
+/// usable one behind.
+JournalEntry degraded_entry_for_dead_worker(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const SolveDriverOptions& driver_opt,
+    double cap, const WorkerTaskResult& r) {
+  const int ranks = graph.num_ranks();
+  RunReport rep;
+  rep.job_cap_watts = cap;
+  rep.socket_cap_watts = ranks > 0 ? cap / ranks : 0.0;
+  rep.verdict = status_code_for(r.outcome);
+  rep.detail = "isolated worker failed after " + std::to_string(r.spawns) +
+               " spawn(s); last: " + r.detail;
+  rep.wall_ms = r.wall_ms;
+  rep.ladder.enable_ladder = driver_opt.enable_ladder;
+  rep.ladder.enable_fallback = driver_opt.enable_fallback;
+  rep.ladder.validate_replay = driver_opt.validate_replay;
+  rep.ladder.cap_deadline_ms =
+      driver_opt.cap_deadline_ms > 0.0 ? driver_opt.cap_deadline_ms : 0.0;
+  rep.ladder.cancellable = driver_opt.cancel != nullptr;
+  const FaultPlan* plan = ScopedFaultPlan::active();
+  const bool faulted = plan && plan->applies_to_cap(cap);
+  rep.fault_active = faulted;
+  rep.fault_seed = faulted ? plan->seed : 0;
+  rep.worker.isolated = true;
+  rep.worker.spawns = r.spawns;
+  rep.worker.retries = r.spawns > 0 ? r.spawns - 1 : 0;
+  rep.worker.peak_rss_kb = r.peak_rss_kb;
+  SolveAttempt att;
+  att.rung = "worker";
+  att.outcome = rep.verdict;
+  att.detail = r.detail;
+  rep.attempts.push_back(std::move(att));
+  if (driver_opt.enable_fallback) {
+    try {
+      runtime::StaticPolicy policy(model, ranks > 0 ? cap / ranks : cap);
+      sim::EngineOptions eo;
+      eo.cluster = cluster;
+      eo.idle_power = model.idle_power();
+      const sim::SimResult sim = sim::simulate(graph, policy, eo);
+      rep.degraded = true;
+      rep.fallback = "static-policy";
+      rep.bound_seconds = sim.makespan;
+      rep.energy_joules = sim.energy_joules;
+    } catch (const std::exception& e) {
+      rep.detail += "; static fallback also failed: ";
+      rep.detail += e.what();
+    }
+  }
+  return entry_from_row(row_from_report(rep));
+}
+
+/// The workers > 1 path: resume-filter as usual, then dispatch every
+/// pending cap through the fork-per-task pool. Results stream into the
+/// journal in completion order (each cap durable the moment it lands);
+/// rows are still assembled in request order. Basis checkpoints are
+/// skipped - workers share no warm-start cache.
+Result<ResilientSweepResult> parallel_resilient_sweep(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
+    const ResilientSweepOptions& options) {
+  ResilientSweepResult out;
+
+  std::optional<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    Result<SweepJournal> opened = SweepJournal::open(options.journal_path);
+    if (!opened.ok()) return opened.status();
+    journal.emplace(std::move(opened).value());
+    out.recovery = journal->recovery();
+  }
+
+  std::vector<std::optional<SweepRow>> slots(job_caps.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < job_caps.size(); ++i) {
+    if (journal && options.resume) {
+      if (const JournalEntry* e = journal->find(job_caps[i])) {
+        slots[i] = row_from_entry(*e);
+        ++out.resumed;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  std::vector<WorkerTaskSpec> tasks;
+  tasks.reserve(pending.size());
+  for (std::size_t i : pending) {
+    const double cap = job_caps[i];
+    WorkerTaskSpec spec;
+    spec.job_cap_watts = cap;
+    spec.run = [&graph, &model, &cluster, &options, cap](int attempt) {
+      maybe_execute_worker_fault(cap, attempt);
+      const SolveDriver driver(graph, model, cluster, options.driver);
+      SolveOutcome o = driver.solve(cap);
+      o.report.worker.isolated = true;
+      o.report.worker.spawns = attempt + 1;
+      o.report.worker.retries = attempt;
+      o.report.worker.peak_rss_kb = current_peak_rss_kb();
+      return entry_from_row(row_from_report(o.report));
+    };
+    tasks.push_back(std::move(spec));
+  }
+
+  WorkerPoolOptions pool_opt;
+  pool_opt.workers = options.workers;
+  pool_opt.limits.mem_mb = options.worker_mem_mb;
+  pool_opt.limits.cpu_seconds = options.worker_cpu_s;
+  if (options.driver.cap_deadline_ms > 0.0) {
+    // Per-spawn wall budget: the cap deadline plus grace for the
+    // fallback simulation and result serialization. Catches workers
+    // wedged where the pivot-granularity deadline cannot reach.
+    pool_opt.limits.wall_seconds =
+        options.driver.cap_deadline_ms / 1000.0 + 2.0;
+  }
+
+  Status journal_error;  // first append failure, surfaced after the pool
+  bool dropped_cancelled = false;
+  const auto on_result = [&](const WorkerTaskResult& r, std::size_t task_idx) {
+    const std::size_t cap_idx = pending[task_idx];
+    JournalEntry entry;
+    if (r.outcome == WorkerOutcome::kOk) {
+      // A worker that reports kCancelled (it inherits the parent's
+      // SIGINT handling across fork) did not really settle its cap:
+      // drop the result so a resumed run re-solves it for real.
+      if (r.entry.verdict == StatusCode::kCancelled) {
+        dropped_cancelled = true;
+        return;
+      }
+      entry = r.entry;
+    } else if (r.outcome == WorkerOutcome::kSkipped) {
+      return;
+    } else {
+      entry = degraded_entry_for_dead_worker(graph, model, cluster,
+                                             options.driver,
+                                             job_caps[cap_idx], r);
+    }
+    if (journal && journal_error.ok()) {
+      const Status st = journal->append(entry);
+      if (!st.ok()) journal_error = st;
+    }
+    SweepRow row = row_from_entry(entry);
+    row.from_journal = false;
+    slots[cap_idx] = std::move(row);
+    ++out.solved;
+  };
+
+  const WorkerPoolResult pool =
+      run_worker_pool(tasks, pool_opt, options.deadline, on_result);
+  out.worker_stats = pool.stats;
+  if (!journal_error.ok()) return journal_error;
+  if (pool.interrupted) {
+    out.interrupted = true;
+    out.stop = pool.stop;
+  } else if (dropped_cancelled) {
+    out.interrupted = true;
+    out.stop = util::StopReason::kCancelled;
+  }
+
+  for (auto& slot : slots) {
+    if (slot) out.rows.push_back(std::move(*slot));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<ResilientSweepResult> resilient_sweep(
     const dag::TaskGraph& graph, const machine::PowerModel& model,
     const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
     const ResilientSweepOptions& options) {
+  if (options.workers > 1) {
+    return parallel_resilient_sweep(graph, model, cluster, job_caps, options);
+  }
+
   ResilientSweepResult out;
 
   std::optional<SweepJournal> journal;

@@ -16,6 +16,7 @@
 #include "robust/journal.h"
 #include "robust/solve_driver.h"
 #include "robust/status.h"
+#include "robust/worker_pool.h"
 #include "util/deadline.h"
 
 namespace powerlim::robust {
@@ -61,8 +62,23 @@ struct ResilientSweepOptions {
   bool resume = false;
   /// Whole-sweep wall budget + cancellation. Checked between caps; the
   /// per-cap solves additionally observe it at pivot granularity (it is
-  /// merged into each cap's supervision deadline).
+  /// merged into each cap's supervision deadline). With workers > 1 the
+  /// supervisor enforces it instead: expiry/cancel SIGKILLs in-flight
+  /// workers and their caps resume next run.
   util::Deadline deadline;
+  /// Process-isolated parallel solving. > 1 forks each cap's ladder into
+  /// a supervised worker (at most `workers` in flight) with crash
+  /// containment and one retry; a cap whose worker dies twice degrades
+  /// to the Static-policy bound under a worker-crashed /
+  /// resource-exhausted verdict. 1 (the default) runs today's serial
+  /// in-process path bit-for-bit. Parallel sweeps skip warm-start basis
+  /// checkpoints (workers share no cache).
+  int workers = 1;
+  /// Per-worker RLIMIT_AS budget, MiB (0 = unlimited; ignored under
+  /// AddressSanitizer).
+  long worker_mem_mb = 0;
+  /// Per-worker RLIMIT_CPU budget, seconds (0 = unlimited).
+  double worker_cpu_s = 0.0;
 };
 
 struct ResilientSweepResult {
@@ -80,6 +96,8 @@ struct ResilientSweepResult {
   bool interrupted = false;
   /// Why the sweep stopped early (kNone when it ran to completion).
   util::StopReason stop = util::StopReason::kNone;
+  /// Worker-pool telemetry (all-zero for serial sweeps).
+  WorkerPoolStats worker_stats;
 };
 
 /// Journaled, resumable cap sweep: the crash-consistent superset of

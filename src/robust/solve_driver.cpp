@@ -114,6 +114,10 @@ std::string RunReport::to_json() const {
      << "\"energy_joules\":" << json_num(energy_joules) << ","
      << "\"min_feasible_power_watts\":" << json_num(min_feasible_power_watts)
      << ",\"wall_ms\":" << json_num(wall_ms)
+     << ",\"worker\":{\"isolated\":" << (worker.isolated ? "true" : "false")
+     << ",\"spawns\":" << worker.spawns
+     << ",\"retries\":" << worker.retries
+     << ",\"peak_rss_kb\":" << worker.peak_rss_kb << "}"
      << ",\"fault\":{\"active\":" << (fault_active ? "true" : "false")
      << ",\"seed\":" << fault_seed << "}"
      << ",\"ladder\":{\"enable_ladder\":"

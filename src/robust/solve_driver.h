@@ -45,7 +45,7 @@ namespace powerlim::robust {
 /// RunReport JSON schema version. Bump whenever the serialized shape
 /// changes; tests/robust/report_schema_test.cpp locks the current shape
 /// with a golden string so accidental drift fails loudly.
-inline constexpr int kRunReportSchemaVersion = 2;
+inline constexpr int kRunReportSchemaVersion = 3;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -69,6 +69,23 @@ struct SolveAttempt {
 struct ReplayVerdict {
   bool checked = false;
   sim::CapCheck check;
+};
+
+/// Worker-process supervision telemetry (schema 3). Zeroed for an
+/// in-process solve; a forked sweep worker stamps it before shipping its
+/// report, and the supervisor synthesizes it for caps whose workers
+/// died. Like wall_ms, it is a telemetry field: excluded from resume /
+/// serial-vs-parallel byte-identity comparisons.
+struct WorkerTelemetry {
+  /// True when the solve ran in an isolated worker process.
+  bool isolated = false;
+  /// Worker spawns this cap consumed (1 = clean first try, 2 = retried).
+  int spawns = 0;
+  /// Attempts that crashed/starved before this result (= spawns - 1
+  /// when the final attempt succeeded).
+  int retries = 0;
+  /// Peak resident set over the cap's workers, KiB (0 = not measured).
+  long peak_rss_kb = 0;
 };
 
 /// Resolved supervision/ladder options echoed into every RunReport so a
@@ -116,6 +133,8 @@ struct RunReport {
   std::uint64_t fault_seed = 0;
   /// Resolved supervision options for this solve.
   LadderEcho ladder;
+  /// Worker-process telemetry (zeroed for in-process solves).
+  WorkerTelemetry worker;
   std::vector<SolveAttempt> attempts;
   ReplayVerdict replay;
 

@@ -24,6 +24,10 @@ const char* to_string(StatusCode code) {
       return "deadline-exceeded";
     case StatusCode::kCancelled:
       return "cancelled";
+    case StatusCode::kWorkerCrashed:
+      return "worker-crashed";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
     case StatusCode::kInternal:
       return "internal";
   }
@@ -36,7 +40,8 @@ bool status_code_from_string(const std::string& name, StatusCode* code) {
         StatusCode::kEmptyFrontier, StatusCode::kSolverNumerical,
         StatusCode::kIterationLimit, StatusCode::kSolverUnbounded,
         StatusCode::kReplayCapViolation, StatusCode::kDeadlineExceeded,
-        StatusCode::kCancelled, StatusCode::kInternal}) {
+        StatusCode::kCancelled, StatusCode::kWorkerCrashed,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
     if (name == to_string(c)) {
       *code = c;
       return true;

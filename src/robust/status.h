@@ -47,6 +47,15 @@ enum class StatusCode {
   /// asked to stop, and a journaled sweep resumes from the last
   /// completed cap.
   kCancelled,
+  /// An isolated worker process died (signal, unexpected exit, or a
+  /// garbled result frame) on the retry as well as the first attempt.
+  /// The supervisor degrades the cap to the Static-policy bound, same
+  /// as an exhausted ladder.
+  kWorkerCrashed,
+  /// An isolated worker exceeded its resource budget (RLIMIT_AS
+  /// allocation failure or RLIMIT_CPU SIGXCPU) on both attempts;
+  /// degraded like kWorkerCrashed.
+  kResourceExhausted,
   /// Unexpected internal failure (wrapped exception).
   kInternal,
 };

@@ -1,0 +1,86 @@
+#include "robust/wire.h"
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+
+#include "robust/journal.h"
+#include "util/posix_io.h"
+
+namespace powerlim::robust {
+
+namespace {
+
+constexpr char kPrefix = 'W';
+
+}  // namespace
+
+const char* to_string(WireDecode d) {
+  switch (d) {
+    case WireDecode::kOk:
+      return "ok";
+    case WireDecode::kEmpty:
+      return "empty";
+    case WireDecode::kCorrupt:
+      return "corrupt";
+    case WireDecode::kTrailing:
+      return "trailing-bytes";
+  }
+  return "?";
+}
+
+Status write_wire_frame(int fd, char tag, const std::string& payload) {
+  char header[48];
+  std::snprintf(header, sizeof header, "%c %c %08" PRIx32 " %zu\n", kPrefix,
+                tag, crc32(payload.data(), payload.size()), payload.size());
+  std::string frame = header;
+  frame += payload;
+  if (util::write_full(fd, frame.data(), frame.size()) != 0) {
+    return Status(StatusCode::kInternal,
+                  std::string("wire write failed: ") + std::strerror(errno));
+  }
+  return Status::Ok();
+}
+
+WireDecode decode_wire_frame(const std::string& bytes, WireFrame* out) {
+  if (bytes.empty()) return WireDecode::kEmpty;
+  const std::size_t header_end = bytes.find('\n');
+  if (header_end == std::string::npos) return WireDecode::kCorrupt;
+  const std::string header = bytes.substr(0, header_end);
+  char prefix = 0;
+  char tag = 0;
+  char crc_text[16] = {0};
+  unsigned long long len = 0;
+  if (std::sscanf(header.c_str(), "%c %c %15s %llu", &prefix, &tag, crc_text,
+                  &len) != 4 ||
+      prefix != kPrefix || std::strlen(crc_text) != 8) {
+    return WireDecode::kCorrupt;
+  }
+  const std::size_t payload_start = header_end + 1;
+  if (len > bytes.size() - payload_start) return WireDecode::kCorrupt;
+  const std::string payload = bytes.substr(payload_start, len);
+  char* end = nullptr;
+  const std::uint32_t want =
+      static_cast<std::uint32_t>(std::strtoul(crc_text, &end, 16));
+  if (end == crc_text || *end != '\0' ||
+      crc32(payload.data(), payload.size()) != want) {
+    return WireDecode::kCorrupt;
+  }
+  out->tag = tag;
+  out->payload = payload;
+  return payload_start + len == bytes.size() ? WireDecode::kOk
+                                             : WireDecode::kTrailing;
+}
+
+bool drain_fd(int fd, std::string* out) {
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = util::read_some(fd, buf, sizeof buf);
+    if (n < 0) return false;
+    if (n == 0) return true;
+    out->append(buf, static_cast<std::size_t>(n));
+  }
+}
+
+}  // namespace powerlim::robust

@@ -1,0 +1,56 @@
+// CRC-framed, length-prefixed pipe protocol between the sweep
+// supervisor and its forked workers.
+//
+// A worker ships exactly one result frame up its pipe before _exit():
+//
+//   W <tag> <crc32-hex> <payload-bytes>\n<payload>
+//
+// mirroring the sweep journal's framing (same CRC-32, same hex/length
+// header) so a frame is self-checking: the parent accepts a result only
+// when the header parses, the length matches, and the CRC verifies.
+// Anything else - a worker SIGSEGVing mid-write, an OOM kill truncating
+// the payload, stray bytes from a corrupted child - is classified as a
+// protocol error and handled like a crash (retry, then degrade), never
+// trusted as data.
+//
+// All IO retries EINTR (util::posix_io): the supervisor takes SIGCHLD
+// and deadline signals constantly, and a short read must not masquerade
+// as corruption.
+#pragma once
+
+#include <string>
+
+#include "robust/status.h"
+
+namespace powerlim::robust {
+
+/// One framed message. Tags in use: 'R' = per-cap result (payload is a
+/// serialized JournalEntry, see robust/journal.h).
+struct WireFrame {
+  char tag = 0;
+  std::string payload;
+};
+
+/// Writes one frame to `fd` as a single EINTR-retried write. Pipes are
+/// unidirectional with one reader, so no interleaving is possible.
+Status write_wire_frame(int fd, char tag, const std::string& payload);
+
+/// Result of decoding a worker's buffered output.
+enum class WireDecode {
+  kOk,        // one intact frame decoded
+  kEmpty,     // no bytes at all (worker died before writing)
+  kCorrupt,   // bytes present but torn/CRC-mismatched/malformed
+  kTrailing,  // intact frame followed by unexpected extra bytes
+};
+
+const char* to_string(WireDecode d);
+
+/// Decodes the single frame a worker's pipe delivered (the parent reads
+/// to EOF first; workers write exactly one frame). Never throws.
+WireDecode decode_wire_frame(const std::string& bytes, WireFrame* out);
+
+/// Drains `fd` to EOF into `*out`, retrying EINTR. Returns false on a
+/// real read error.
+bool drain_fd(int fd, std::string* out);
+
+}  // namespace powerlim::robust

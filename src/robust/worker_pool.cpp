@@ -1,0 +1,385 @@
+#include "robust/worker_pool.h"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <utility>
+
+#include "robust/wire.h"
+#include "util/log.h"
+#include "util/posix_io.h"
+
+// RLIMIT_AS under AddressSanitizer kills every worker at startup (ASan
+// reserves terabytes of shadow address space), so memory budgets are
+// compiled out of sanitizer builds.
+#if defined(__SANITIZE_ADDRESS__)
+#define POWERLIM_ASAN 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define POWERLIM_ASAN 1
+#endif
+#endif
+#ifndef POWERLIM_ASAN
+#define POWERLIM_ASAN 0
+#endif
+
+namespace powerlim::robust {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+void apply_limits(const WorkerLimits& limits) {
+  if (limits.mem_mb > 0 && !POWERLIM_ASAN) {
+    const rlim_t bytes =
+        static_cast<rlim_t>(limits.mem_mb) * 1024u * 1024u;
+    struct rlimit r = {bytes, bytes};
+    (void)::setrlimit(RLIMIT_AS, &r);
+  }
+  if (limits.cpu_seconds > 0.0) {
+    const rlim_t soft =
+        static_cast<rlim_t>(std::ceil(limits.cpu_seconds));
+    struct rlimit r = {soft, soft + 2};
+    (void)::setrlimit(RLIMIT_CPU, &r);
+  }
+}
+
+[[noreturn]] void child_run(int write_fd, const WorkerTaskSpec& spec,
+                            int attempt, const WorkerLimits& limits,
+                            int worker_id) {
+  util::set_log_worker_id(worker_id);
+  apply_limits(limits);
+  JournalEntry entry;
+  try {
+    entry = spec.run(attempt);
+  } catch (const std::bad_alloc&) {
+    _exit(kWorkerExitOom);
+  } catch (...) {
+    _exit(kWorkerExitFailure);
+  }
+  const Status st =
+      write_wire_frame(write_fd, 'R', serialize_journal_entry(entry));
+  _exit(st.ok() ? 0 : kWorkerExitFailure);
+}
+
+/// One spawned worker the parent is supervising.
+struct InFlight {
+  pid_t pid = -1;
+  int fd = -1;  // read end of the result pipe
+  std::size_t task = 0;
+  int attempt = 0;
+  std::string buffer;
+  Clock::time_point start;
+  bool deadline_killed = false;
+};
+
+std::string signal_detail(int sig) {
+  std::string out = "signal " + std::to_string(sig);
+  const char* name = ::strsignal(sig);
+  if (name != nullptr) {
+    out += " (";
+    out += name;
+    out += ")";
+  }
+  return out;
+}
+
+/// What one *attempt* came back as, before retry policy is applied.
+struct AttemptVerdict {
+  WorkerOutcome outcome = WorkerOutcome::kCrashed;
+  JournalEntry entry;
+  std::string detail;
+};
+
+AttemptVerdict classify(const InFlight& w, int wait_status,
+                        double expected_cap) {
+  AttemptVerdict v;
+  if (w.deadline_killed) {
+    v.outcome = WorkerOutcome::kTimedOut;
+    v.detail = "worker exceeded its wall budget and was SIGKILLed";
+    return v;
+  }
+  if (WIFSIGNALED(wait_status)) {
+    const int sig = WTERMSIG(wait_status);
+    if (sig == SIGXCPU) {
+      v.outcome = WorkerOutcome::kResourceExhausted;
+      v.detail = "CPU budget exhausted (SIGXCPU)";
+    } else {
+      v.outcome = WorkerOutcome::kCrashed;
+      v.detail = "worker died on " + signal_detail(sig);
+    }
+    return v;
+  }
+  const int code = WIFEXITED(wait_status) ? WEXITSTATUS(wait_status) : -1;
+  if (code == kWorkerExitOom) {
+    v.outcome = WorkerOutcome::kResourceExhausted;
+    v.detail = "allocator failure under the memory budget (exit " +
+               std::to_string(kWorkerExitOom) + ")";
+    return v;
+  }
+  if (code != 0) {
+    v.outcome = WorkerOutcome::kCrashed;
+    v.detail = "worker exited with code " + std::to_string(code);
+    return v;
+  }
+  WireFrame frame;
+  const WireDecode decode = decode_wire_frame(w.buffer, &frame);
+  if (decode != WireDecode::kOk || frame.tag != 'R' ||
+      !parse_journal_entry(frame.payload, &v.entry)) {
+    v.outcome = WorkerOutcome::kCrashed;
+    v.detail = std::string("clean exit but unusable result frame (") +
+               to_string(decode) + ")";
+    return v;
+  }
+  if (v.entry.job_cap_watts != expected_cap) {
+    v.outcome = WorkerOutcome::kCrashed;
+    v.detail = "result frame answers a different cap";
+    return v;
+  }
+  v.outcome = WorkerOutcome::kOk;
+  return v;
+}
+
+}  // namespace
+
+const char* to_string(WorkerOutcome outcome) {
+  switch (outcome) {
+    case WorkerOutcome::kOk:
+      return "ok";
+    case WorkerOutcome::kCrashed:
+      return "worker-crashed";
+    case WorkerOutcome::kResourceExhausted:
+      return "resource-exhausted";
+    case WorkerOutcome::kTimedOut:
+      return "timed-out";
+    case WorkerOutcome::kSkipped:
+      return "skipped";
+  }
+  return "?";
+}
+
+StatusCode status_code_for(WorkerOutcome outcome) {
+  switch (outcome) {
+    case WorkerOutcome::kOk:
+      return StatusCode::kOk;
+    case WorkerOutcome::kCrashed:
+      return StatusCode::kWorkerCrashed;
+    case WorkerOutcome::kResourceExhausted:
+      return StatusCode::kResourceExhausted;
+    case WorkerOutcome::kTimedOut:
+      return StatusCode::kDeadlineExceeded;
+    case WorkerOutcome::kSkipped:
+      return StatusCode::kCancelled;
+  }
+  return StatusCode::kInternal;
+}
+
+WorkerPoolResult run_worker_pool(
+    const std::vector<WorkerTaskSpec>& tasks,
+    const WorkerPoolOptions& options, const util::Deadline& deadline,
+    const std::function<void(const WorkerTaskResult&, std::size_t)>&
+        on_result) {
+  WorkerPoolResult out;
+  out.results.resize(tasks.size());
+  out.stats.tasks = static_cast<int>(tasks.size());
+  const int max_workers = options.workers < 1 ? 1 : options.workers;
+
+  std::vector<InFlight> in_flight;
+  std::size_t next_task = 0;
+  int worker_seq = 0;
+
+  auto spawn = [&](std::size_t task, int attempt) -> bool {
+    int fds[2];
+    if (::pipe(fds) != 0) return false;
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return false;
+    }
+    if (pid == 0) {
+      ::close(fds[0]);
+      // Drop inherited read ends of sibling pipes; holding them is
+      // harmless for EOF but leaks fds into long-lived workers.
+      for (const InFlight& w : in_flight) ::close(w.fd);
+      child_run(fds[1], tasks[task], attempt, options.limits, worker_seq);
+    }
+    ::close(fds[1]);
+    InFlight w;
+    w.pid = pid;
+    w.fd = fds[0];
+    w.task = task;
+    w.attempt = attempt;
+    w.start = Clock::now();
+    in_flight.push_back(std::move(w));
+    ++worker_seq;
+    ++out.stats.spawned;
+    return true;
+  };
+
+  // Reaps w (which has hit pipe EOF) and applies retry/settle policy.
+  auto finalize = [&](InFlight& w) {
+    ::close(w.fd);
+    struct rusage ru = {};
+    int status = 0;
+    pid_t reaped;
+    do {
+      reaped = ::wait4(w.pid, &status, 0, &ru);
+    } while (reaped < 0 && errno == EINTR);
+    const long rss_kb = reaped == w.pid ? ru.ru_maxrss : 0;
+
+    AttemptVerdict v = classify(w, status, tasks[w.task].job_cap_watts);
+    WorkerTaskResult& r = out.results[w.task];
+    r.spawns = w.attempt + 1;
+    r.peak_rss_kb = std::max(r.peak_rss_kb, rss_kb);
+    r.wall_ms += ms_since(w.start);
+    if (rss_kb > out.stats.max_peak_rss_kb) {
+      out.stats.max_peak_rss_kb = rss_kb;
+    }
+
+    switch (v.outcome) {
+      case WorkerOutcome::kOk:
+        ++out.stats.clean;
+        break;
+      case WorkerOutcome::kCrashed:
+        ++out.stats.crashes;
+        break;
+      case WorkerOutcome::kResourceExhausted:
+        ++out.stats.resource_exhausted;
+        break;
+      case WorkerOutcome::kTimedOut:
+        ++out.stats.timeouts;
+        break;
+      case WorkerOutcome::kSkipped:
+        break;
+    }
+
+    if (v.outcome != WorkerOutcome::kOk &&
+        w.attempt < options.max_retries &&
+        deadline.stop_reason() == util::StopReason::kNone) {
+      util::log_warn() << "cap " << tasks[w.task].job_cap_watts
+                       << " W: worker attempt " << w.attempt + 1
+                       << " failed (" << v.detail << "); retrying in a "
+                       << "fresh worker";
+      ++out.stats.retries;
+      r.detail = v.detail;
+      return std::make_pair(true, std::make_pair(w.task, w.attempt + 1));
+    }
+
+    r.outcome = v.outcome;
+    r.entry = std::move(v.entry);
+    if (v.outcome == WorkerOutcome::kOk) {
+      r.detail.clear();
+    } else {
+      r.detail = v.detail;
+    }
+    if (on_result) on_result(r, w.task);
+    return std::make_pair(false, std::make_pair(std::size_t{0}, 0));
+  };
+
+  auto kill_all_in_flight = [&] {
+    for (InFlight& w : in_flight) {
+      ::kill(w.pid, SIGKILL);
+      ::close(w.fd);
+      int status = 0;
+      pid_t reaped;
+      do {
+        reaped = ::waitpid(w.pid, &status, 0);
+      } while (reaped < 0 && errno == EINTR);
+      out.results[w.task].outcome = WorkerOutcome::kSkipped;
+      out.results[w.task].detail = "pool interrupted mid-solve";
+    }
+    in_flight.clear();
+  };
+
+  while (next_task < tasks.size() || !in_flight.empty()) {
+    const util::StopReason stop = deadline.stop_reason();
+    if (stop != util::StopReason::kNone) {
+      out.interrupted = true;
+      out.stop = stop;
+      kill_all_in_flight();
+      break;
+    }
+
+    while (static_cast<int>(in_flight.size()) < max_workers &&
+           next_task < tasks.size()) {
+      if (!spawn(next_task, 0)) {
+        // fork/pipe failure: treat like a crashed first attempt so the
+        // task still settles (possibly via retry below).
+        out.results[next_task].outcome = WorkerOutcome::kCrashed;
+        out.results[next_task].detail =
+            std::string("cannot spawn worker: ") + std::strerror(errno);
+        ++out.stats.crashes;
+        if (on_result) on_result(out.results[next_task], next_task);
+      }
+      ++next_task;
+    }
+    if (in_flight.empty()) continue;
+
+    std::vector<pollfd> fds;
+    fds.reserve(in_flight.size());
+    for (const InFlight& w : in_flight) {
+      fds.push_back({w.fd, POLLIN, 0});
+    }
+    int rc;
+    do {
+      rc = ::poll(fds.data(), static_cast<nfds_t>(fds.size()), 20);
+    } while (rc < 0 && errno == EINTR);
+
+    // Enforce per-spawn wall budgets before draining: a hung worker
+    // never produces POLLIN, so the kill is what un-wedges the pool
+    // (EOF follows the kill and finalize classifies kTimedOut).
+    if (options.limits.wall_seconds > 0.0) {
+      for (InFlight& w : in_flight) {
+        if (!w.deadline_killed &&
+            ms_since(w.start) > options.limits.wall_seconds * 1000.0) {
+          w.deadline_killed = true;
+          ::kill(w.pid, SIGKILL);
+        }
+      }
+    }
+
+    std::vector<std::pair<std::size_t, int>> respawns;
+    for (std::size_t i = in_flight.size(); i-- > 0;) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      InFlight& w = in_flight[i];
+      char buf[1 << 16];
+      const ssize_t n = util::read_some(w.fd, buf, sizeof buf);
+      if (n > 0) {
+        w.buffer.append(buf, static_cast<std::size_t>(n));
+        continue;
+      }
+      // EOF (or error): the worker is done writing - settle it.
+      const auto [retry, next] = finalize(w);
+      if (retry) respawns.push_back(next);
+      in_flight.erase(in_flight.begin() + static_cast<long>(i));
+    }
+    for (const auto& [task, attempt] : respawns) {
+      if (!spawn(task, attempt)) {
+        WorkerTaskResult& r = out.results[task];
+        r.outcome = WorkerOutcome::kCrashed;
+        r.detail = std::string("cannot respawn worker: ") +
+                   std::strerror(errno);
+        if (on_result) on_result(r, task);
+      }
+    }
+  }
+
+  return out;
+}
+
+}  // namespace powerlim::robust

@@ -1,0 +1,144 @@
+// Process-isolated parallel sweep workers with crash containment and
+// resource budgets (tentpole of the robustness work, part 3).
+//
+// A cap sweep is embarrassingly parallel - one independent LP ladder
+// per cap - but a serial in-process sweep dies whole when any single
+// solve segfaults or OOMs. run_worker_pool() forks one child per task
+// (up to `workers` in flight), runs the task's callback IN THE CHILD
+// under optional setrlimit budgets (RLIMIT_AS memory, RLIMIT_CPU time),
+// and ships the result back over a CRC-framed pipe (robust/wire.h).
+// The parent supervises:
+//
+//   * clean exit + intact frame      -> result accepted
+//   * signal death (SIGSEGV/SIGABRT) -> crash, contained
+//   * allocator failure under the    -> resource-exhausted (workers
+//     memory budget (kWorkerExitOom)    catch std::bad_alloc and exit
+//                                       with this code)
+//   * SIGXCPU (CPU budget)           -> resource-exhausted
+//   * wall deadline overrun          -> SIGKILL by the parent, timed out
+//   * clean exit, garbled frame      -> protocol error, treated as crash
+//
+// A failed task is retried once in a fresh worker; a second failure
+// surfaces as a classified WorkerTaskResult the caller degrades exactly
+// like an exhausted ladder rung. Results stream to the caller via
+// on_result in completion order, so journal appends land as caps finish
+// and a crash of the *parent* loses at most the in-flight caps.
+//
+// The pool is task-agnostic (the callback returns a JournalEntry), so
+// tests drive it with hostile children - allocate-forever, sleep-
+// forever, abort mid-write - without touching the LP stack.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "robust/journal.h"
+#include "robust/status.h"
+#include "util/deadline.h"
+
+namespace powerlim::robust {
+
+/// Exit code a worker uses for "my allocator failed under the memory
+/// budget" (caught std::bad_alloc). Distinct from crash-class codes so
+/// the parent can classify resource exhaustion without a signal.
+inline constexpr int kWorkerExitOom = 86;
+/// Exit code for any other exception escaping the task callback.
+inline constexpr int kWorkerExitFailure = 87;
+
+/// Per-worker resource budgets, applied in the child before the task
+/// runs. Zero means unlimited.
+struct WorkerLimits {
+  /// RLIMIT_AS, MiB. Ignored under AddressSanitizer (ASan reserves TBs
+  /// of shadow address space; an AS limit would kill every worker).
+  long mem_mb = 0;
+  /// RLIMIT_CPU, seconds (rounded up; hard limit adds 2 s of grace).
+  double cpu_seconds = 0.0;
+  /// Parent-enforced wall budget per spawn, seconds: a worker alive
+  /// past it is SIGKILLed and the attempt classified kTimedOut.
+  double wall_seconds = 0.0;
+};
+
+/// How one task finally settled (after any retry).
+enum class WorkerOutcome {
+  kOk,
+  kCrashed,            // signal death / unexpected exit / garbled frame
+  kResourceExhausted,  // allocator failure or SIGXCPU under a budget
+  kTimedOut,           // parent wall deadline killed it
+  kSkipped,            // pool interrupted before the task ran
+};
+
+const char* to_string(WorkerOutcome outcome);
+
+/// Maps a terminal (non-kOk) outcome onto the sweep taxonomy.
+StatusCode status_code_for(WorkerOutcome outcome);
+
+/// The task body, run in the forked child. `attempt` is 0 for the first
+/// spawn, 1 for the retry. The returned entry is wire-framed to the
+/// parent; throwing std::bad_alloc exits with kWorkerExitOom, any other
+/// exception with kWorkerExitFailure.
+using WorkerTask = std::function<JournalEntry(int attempt)>;
+
+struct WorkerTaskSpec {
+  /// Task identity in logs and results (the cap being solved).
+  double job_cap_watts = 0.0;
+  WorkerTask run;
+};
+
+/// One settled task.
+struct WorkerTaskResult {
+  WorkerOutcome outcome = WorkerOutcome::kSkipped;
+  /// Valid when outcome == kOk.
+  JournalEntry entry;
+  /// Spawns consumed (1 = clean first try, 2 = retried).
+  int spawns = 0;
+  /// Peak RSS across this task's spawns, KiB (wait4 rusage).
+  long peak_rss_kb = 0;
+  /// Parent-observed wall time across this task's spawns, ms.
+  double wall_ms = 0.0;
+  /// Human-readable classification of the last failure ("signal 6
+  /// (SIGABRT)", "exit 86 (allocator failure)", ...); empty when clean.
+  std::string detail;
+};
+
+/// Pool-wide telemetry, aggregated into RunReport/CLI output.
+struct WorkerPoolStats {
+  int tasks = 0;
+  int spawned = 0;
+  int clean = 0;
+  int crashes = 0;
+  int resource_exhausted = 0;
+  int timeouts = 0;
+  int retries = 0;
+  long max_peak_rss_kb = 0;
+};
+
+struct WorkerPoolOptions {
+  /// Max children in flight. Clamped to >= 1.
+  int workers = 2;
+  WorkerLimits limits;
+  /// Extra spawns after a failed attempt (the ISSUE ladder: one retry).
+  int max_retries = 1;
+};
+
+struct WorkerPoolResult {
+  /// One result per task, in task order (not completion order).
+  std::vector<WorkerTaskResult> results;
+  WorkerPoolStats stats;
+  /// True when the deadline/cancel stopped the pool early; unfinished
+  /// tasks are kSkipped and in-flight workers were SIGKILLed.
+  bool interrupted = false;
+  util::StopReason stop = util::StopReason::kNone;
+};
+
+/// Runs every task in a forked worker, at most `options.workers`
+/// concurrently. `on_result` (optional) fires in the parent as each
+/// task settles, in completion order - the journaling hook. `deadline`
+/// is checked between dispatches and enforced on in-flight workers.
+WorkerPoolResult run_worker_pool(
+    const std::vector<WorkerTaskSpec>& tasks,
+    const WorkerPoolOptions& options, const util::Deadline& deadline = {},
+    const std::function<void(const WorkerTaskResult&, std::size_t)>&
+        on_result = {});
+
+}  // namespace powerlim::robust

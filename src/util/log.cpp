@@ -1,13 +1,19 @@
 #include "util/log.h"
 
+#include <unistd.h>
+
 #include <atomic>
-#include <iostream>
 #include <mutex>
+
+#include "util/posix_io.h"
 
 namespace powerlim::util {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarn};
+std::atomic<int> g_worker_id{-1};
+// Serializes threads within one process; cross-process atomicity comes
+// from the single write(2) per line.
 std::mutex g_mutex;
 
 const char* level_name(LogLevel level) {
@@ -29,10 +35,28 @@ void set_log_level(LogLevel level) { g_level.store(level); }
 
 LogLevel log_level() { return g_level.load(); }
 
+void set_log_worker_id(int id) { g_worker_id.store(id); }
+
+int log_worker_id() { return g_worker_id.load(); }
+
 void log_message(LogLevel level, const std::string& message) {
   if (static_cast<int>(level) < static_cast<int>(g_level.load())) return;
+  std::string line;
+  line.reserve(message.size() + 32);
+  line += '[';
+  line += level_name(level);
+  line += "] ";
+  const int worker = g_worker_id.load();
+  if (worker >= 0) {
+    line += "[worker:";
+    line += std::to_string(worker);
+    line += "] ";
+  }
+  line += message;
+  line += '\n';
   std::lock_guard<std::mutex> lock(g_mutex);
-  std::cerr << "[" << level_name(level) << "] " << message << '\n';
+  // Best-effort: a logger must never fail the program over a full pipe.
+  (void)write_full(STDERR_FILENO, line.data(), line.size());
 }
 
 }  // namespace powerlim::util

@@ -1,6 +1,12 @@
 // Minimal leveled logger. Off by default above WARN so library code stays
 // quiet in tests; benches can raise verbosity to narrate experiment
 // progress.
+//
+// Concurrency: each line is emitted as ONE write(2) to stderr, so
+// parallel writers (the sweep supervisor and its forked workers all
+// share the terminal) never interleave partial lines. Worker processes
+// call set_log_worker_id() right after fork so every line they emit is
+// tagged `[worker:<id>]`.
 #pragma once
 
 #include <sstream>
@@ -14,8 +20,16 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 void set_log_level(LogLevel level);
 LogLevel log_level();
 
-/// Emit a message at the given level to stderr (thread-safe enough for our
-/// single-threaded harness; a mutex keeps lines atomic if parallelized).
+/// Tags every subsequent line from this process with `[worker:<id>]`.
+/// Called once in a freshly forked worker (before any logging); negative
+/// clears the tag. Not thread-safe against concurrent logging - workers
+/// are single-threaded and set it first thing.
+void set_log_worker_id(int id);
+int log_worker_id();
+
+/// Emit a message at the given level to stderr as a single write(2)
+/// (EINTR-retried), so concurrent processes sharing the stream never
+/// tear a line apart.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

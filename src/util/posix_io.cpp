@@ -1,0 +1,44 @@
+#include "util/posix_io.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+
+namespace powerlim::util {
+
+bool retry_errno_is_eintr() { return errno == EINTR; }
+
+int write_full(int fd, const void* data, std::size_t len) {
+  const char* p = static_cast<const char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        retry_eintr([&] { return ::write(fd, p + done, len - done); });
+    if (n < 0) return -1;
+    done += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+ssize_t read_full(int fd, void* data, std::size_t len) {
+  char* p = static_cast<char*>(data);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n =
+        retry_eintr([&] { return ::read(fd, p + done, len - done); });
+    if (n < 0) return -1;
+    if (n == 0) break;  // EOF: report the short count
+    done += static_cast<std::size_t>(n);
+  }
+  return static_cast<ssize_t>(done);
+}
+
+ssize_t read_some(int fd, void* data, std::size_t len) {
+  return retry_eintr([&] { return ::read(fd, data, len); });
+}
+
+int fsync_full(int fd) {
+  return static_cast<int>(retry_eintr([&] { return ::fsync(fd); }));
+}
+
+}  // namespace powerlim::util

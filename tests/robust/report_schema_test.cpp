@@ -35,6 +35,10 @@ RunReport golden_report() {
   rep.ladder.validate_replay = true;
   rep.ladder.cap_deadline_ms = 250.0;
   rep.ladder.cancellable = true;
+  rep.worker.isolated = true;
+  rep.worker.spawns = 2;
+  rep.worker.retries = 1;
+  rep.worker.peak_rss_kb = 4096;
 
   SolveAttempt a;
   a.rung = "warm";
@@ -62,7 +66,7 @@ RunReport golden_report() {
 // The golden string. Field order, spelling, and nesting are all
 // contractual; values are chosen to be exact in decimal.
 const char* const kGolden =
-    "{\"schema_version\":2,"
+    "{\"schema_version\":3,"
     "\"job_cap_watts\":120,"
     "\"socket_cap_watts\":60,"
     "\"verdict\":\"ok\","
@@ -73,6 +77,8 @@ const char* const kGolden =
     "\"energy_joules\":345.25,"
     "\"min_feasible_power_watts\":80,"
     "\"wall_ms\":3.5,"
+    "\"worker\":{\"isolated\":true,\"spawns\":2,\"retries\":1,"
+    "\"peak_rss_kb\":4096},"
     "\"fault\":{\"active\":true,\"seed\":42},"
     "\"ladder\":{\"enable_ladder\":true,\"enable_fallback\":true,"
     "\"validate_replay\":true,\"cap_deadline_ms\":250,"
@@ -90,12 +96,22 @@ TEST(ReportSchema, GoldenShapeIsStable) {
   EXPECT_EQ(golden_report().to_json(), kGolden);
 }
 
-TEST(ReportSchema, VersionIsTwo) {
-  EXPECT_EQ(kRunReportSchemaVersion, 2);
-  EXPECT_EQ(RunReport{}.schema_version, 2);
+TEST(ReportSchema, VersionIsThree) {
+  EXPECT_EQ(kRunReportSchemaVersion, 3);
+  EXPECT_EQ(RunReport{}.schema_version, 3);
   // Every serialized report leads with the version so consumers can
   // dispatch before parsing the rest.
-  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":2,", 0), 0u);
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":3,", 0), 0u);
+}
+
+TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
+  // The serial path must keep emitting an all-zero worker block so a
+  // serial and a parallel sweep differ only in designated telemetry.
+  RunReport rep;
+  EXPECT_NE(rep.to_json().find("\"worker\":{\"isolated\":false,"
+                               "\"spawns\":0,\"retries\":0,"
+                               "\"peak_rss_kb\":0}"),
+            std::string::npos);
 }
 
 TEST(ReportSchema, UncheckedReplaySerializesClosed) {

@@ -15,7 +15,26 @@ TEST(Status, CodesHaveStableNames) {
   EXPECT_STREQ(to_string(StatusCode::kSolverUnbounded), "solver-unbounded");
   EXPECT_STREQ(to_string(StatusCode::kReplayCapViolation),
                "replay-cap-violation");
+  EXPECT_STREQ(to_string(StatusCode::kWorkerCrashed), "worker-crashed");
+  EXPECT_STREQ(to_string(StatusCode::kResourceExhausted),
+               "resource-exhausted");
   EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
+}
+
+TEST(Status, AllCodeNamesRoundTrip) {
+  for (StatusCode c :
+       {StatusCode::kOk, StatusCode::kBadInput, StatusCode::kInfeasibleCap,
+        StatusCode::kEmptyFrontier, StatusCode::kSolverNumerical,
+        StatusCode::kIterationLimit, StatusCode::kSolverUnbounded,
+        StatusCode::kReplayCapViolation, StatusCode::kDeadlineExceeded,
+        StatusCode::kCancelled, StatusCode::kWorkerCrashed,
+        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+    StatusCode back = StatusCode::kInternal;
+    ASSERT_TRUE(status_code_from_string(to_string(c), &back)) << to_string(c);
+    EXPECT_EQ(back, c);
+  }
+  StatusCode back;
+  EXPECT_FALSE(status_code_from_string("not-a-code", &back));
 }
 
 TEST(Status, SolveStatusMapsOntoTaxonomy) {

@@ -83,13 +83,18 @@ const char* kUsage =
     "            the whole ladder in wall time)\n"
     "  compare  FILE --socket-cap W\n"
     "  sweep    FILE --from W --to W [--step W] [--report FILE]\n"
-    "           [--inject-fail W] [--journal FILE [--resume]]\n"
+    "           [--inject-fail W|worker-crash|worker-oom|worker-hang]\n"
+    "           [--journal FILE [--resume]]\n"
     "           [--deadline-ms MS] [--cap-deadline-ms MS]\n"
+    "           [--workers N [--worker-mem-mb M] [--worker-cpu-s S]]\n"
     "           (per-cap verdicts; failed caps degrade to the Static\n"
-    "            bound instead of aborting; --inject-fail forces every\n"
-    "            ladder rung to fail at that socket cap; --journal\n"
-    "            records completed caps durably and --resume skips them\n"
-    "            on restart; exit 75 = interrupted, re-run to resume)\n"
+    "            bound instead of aborting; --inject-fail W forces every\n"
+    "            ladder rung to fail at that socket cap, worker-* injures\n"
+    "            each cap's first worker spawn; --journal records\n"
+    "            completed caps durably and --resume skips them on\n"
+    "            restart; --workers > 1 forks each cap into an isolated,\n"
+    "            crash-contained worker under optional memory/CPU\n"
+    "            budgets; exit 75 = interrupted, re-run to resume)\n"
     "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
     "           [--width N]\n"
     "  export   FILE --socket-cap W -o PREFIX\n"
@@ -397,6 +402,11 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "sweep: --resume requires --journal FILE\n";
     return 2;
   }
+  const int workers = opt_int(p, "--workers", 1);
+  if (workers < 1) {
+    err << "sweep: --workers must be >= 1\n";
+    return 2;
+  }
   const auto trace = robust::load_trace_checked(p.positional[0]);
   if (!trace.ok()) {
     err << "error: " << trace.status().message() << "\n";
@@ -407,14 +417,24 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
 
   // --inject-fail W: force every ladder rung to fail at that socket cap
   // (demonstrates the degradation path end to end; see robust/).
+  // --inject-fail worker-crash|worker-oom|worker-hang: injure every
+  // cap's first worker spawn instead, so `--workers N` exercises the
+  // supervisor's containment + retry-in-a-fresh-worker for real.
   robust::FaultPlan plan;
   std::optional<robust::ScopedFaultPlan> scope;
-  if (const auto inject = opt_double(p, "--inject-fail")) {
-    plan.fail_attempts = 99;
-    plan.forced_status = lp::SolveStatus::kNumericalError;
-    plan.only_job_cap = *inject * g.num_ranks();
-    plan.cap_tolerance = 1e-6 * std::max(1.0, plan.only_job_cap);
-    scope.emplace(plan);
+  if (const auto it = p.options.find("--inject-fail");
+      it != p.options.end()) {
+    robust::WorkerFault wf = robust::WorkerFault::kNone;
+    if (robust::worker_fault_from_string(it->second, &wf)) {
+      plan.worker_fault = wf;
+      scope.emplace(plan);
+    } else if (const auto inject = opt_double(p, "--inject-fail")) {
+      plan.fail_attempts = 99;
+      plan.forced_status = lp::SolveStatus::kNumericalError;
+      plan.only_job_cap = *inject * g.num_ranks();
+      plan.cap_tolerance = 1e-6 * std::max(1.0, plan.only_job_cap);
+      scope.emplace(plan);
+    }
   }
 
   std::vector<double> caps;
@@ -434,6 +454,9 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   }
   if (journal_it != p.options.end()) ropt.journal_path = journal_it->second;
   ropt.resume = resume;
+  ropt.workers = workers;
+  ropt.worker_mem_mb = opt_int(p, "--worker-mem-mb", 0);
+  if (const auto s = opt_double(p, "--worker-cpu-s")) ropt.worker_cpu_s = *s;
 
   const auto swept =
       robust::resilient_sweep(g, model(), cluster, caps, ropt);
@@ -475,11 +498,26 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     }
   }
   out << t.to_string();
-  if (scope) {
+  if (scope && plan.forces_status()) {
     out << "note: --inject-fail forced all ladder rungs to fail at "
         << plan.only_job_cap / g.num_ranks()
         << " W/socket; that cap reports the degraded " << "Static-policy"
         << " bound (achievable, not optimal).\n";
+  }
+  if (scope && plan.worker_fault != robust::WorkerFault::kNone) {
+    out << "note: --inject-fail " << robust::to_string(plan.worker_fault)
+        << " injured each cap's first worker spawn"
+        << (ropt.workers > 1 ? "" : " (no-op without --workers > 1)")
+        << ".\n";
+  }
+  if (ropt.workers > 1) {
+    const robust::WorkerPoolStats& ws = res.worker_stats;
+    out << "workers: " << ropt.workers << " in flight, " << ws.spawned
+        << " spawn(s) over " << ws.tasks << " cap(s); " << ws.clean
+        << " clean, " << ws.crashes << " crash(es), "
+        << ws.resource_exhausted << " resource-exhausted, " << ws.timeouts
+        << " timeout(s), " << ws.retries << " retried; peak worker rss "
+        << ws.max_peak_rss_kb << " KiB\n";
   }
   if (res.resumed > 0) {
     out << "resumed " << res.resumed << " cap(s) from journal, solved "
@@ -828,7 +866,9 @@ int run(const std::vector<std::string>& args, std::ostream& out,
       return cmd_sweep(parse(args, 1,
                              {"--from", "--to", "--step", "--report",
                               "--inject-fail", "--journal",
-                              "--deadline-ms", "--cap-deadline-ms"},
+                              "--deadline-ms", "--cap-deadline-ms",
+                              "--workers", "--worker-mem-mb",
+                              "--worker-cpu-s"},
                              {"--resume"}),
                        out, err);
     }

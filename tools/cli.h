@@ -23,6 +23,16 @@
 // the handlers) trip a cooperative cancel that stops at the next pivot,
 // flushes the journal, and exits with the resumable code.
 //
+// sweep --workers N (N > 1) forks each cap's ladder into an isolated
+// worker process (robust/worker_pool): a segfaulting or OOMing cap is
+// contained, retried once in a fresh worker, and finally degraded to
+// the Static-policy bound under a worker-crashed / resource-exhausted
+// verdict instead of killing the sweep. --worker-mem-mb / --worker-cpu-s
+// set per-worker setrlimit budgets; --inject-fail worker-crash /
+// worker-oom / worker-hang injure each cap's first spawn to exercise
+// the containment path. Results stream to the journal as caps complete,
+// so --resume composes with parallel sweeps unchanged.
+//
 // Exit codes: 0 success (including degraded/partial results), 1 runtime
 // failure (bad file, infeasible cap, total sweep failure), 2 usage
 // error, 75 (kExitResumable) interrupted-but-resumable sweep.
