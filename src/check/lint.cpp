@@ -1,0 +1,698 @@
+#include "check/lint.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/pareto.h"
+#include "core/windowed.h"
+#include "dag/trace_io.h"
+#include "dag/windows.h"
+#include "lp/model.h"
+
+namespace powerlim::check {
+
+namespace {
+
+/// Cap on findings emitted per rule so a pathological trace (thousands of
+/// unreachable vertices) stays readable; a summary line reports the rest.
+constexpr int kMaxFindingsPerRule = 20;
+
+class Reporter {
+ public:
+  Reporter(LintReport* report, const TraceSourceMap* src)
+      : report_(report), src_(src) {}
+
+  void add(const std::string& rule, LintSeverity severity, int line,
+           std::string message) {
+    int& count = per_rule_[rule];
+    ++count;
+    if (count == kMaxFindingsPerRule + 1) {
+      report_->findings.push_back(
+          {rule, severity, "further '" + rule + "' findings suppressed",
+           src_ != nullptr ? src_->file : std::string(), 0});
+    }
+    if (count > kMaxFindingsPerRule) return;
+    report_->findings.push_back(
+        {rule, severity, std::move(message),
+         src_ != nullptr ? src_->file : std::string(), line});
+  }
+
+  void error(const std::string& rule, int line, std::string message) {
+    add(rule, LintSeverity::kError, line, std::move(message));
+  }
+  void warn(const std::string& rule, int line, std::string message) {
+    add(rule, LintSeverity::kWarning, line, std::move(message));
+  }
+
+  int vertex_line(int id) const {
+    return src_ != nullptr ? src_->line_of_vertex(id) : 0;
+  }
+  int edge_line(int id) const {
+    return src_ != nullptr ? src_->line_of_edge(id) : 0;
+  }
+
+ private:
+  LintReport* report_;
+  const TraceSourceMap* src_;
+  std::unordered_map<std::string, int> per_rule_;
+};
+
+bool positive_finite(double v) { return std::isfinite(v) && v > 0.0; }
+
+}  // namespace
+
+const char* to_string(LintSeverity severity) {
+  return severity == LintSeverity::kError ? "error" : "warning";
+}
+
+std::string LintFinding::to_string() const {
+  std::string out;
+  if (!file.empty()) {
+    out += file;
+    out += ':';
+    if (line > 0) {
+      out += std::to_string(line);
+      out += ':';
+    }
+    out += ' ';
+  } else if (line > 0) {
+    out += "line " + std::to_string(line) + ": ";
+  }
+  out += check::to_string(severity);
+  out += ": [" + rule + "] " + message;
+  return out;
+}
+
+int LintReport::errors() const {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(), [](const auto& f) {
+        return f.severity == LintSeverity::kError;
+      }));
+}
+
+int LintReport::warnings() const {
+  return static_cast<int>(findings.size()) - errors();
+}
+
+void LintReport::merge(LintReport other) {
+  findings.insert(findings.end(),
+                  std::make_move_iterator(other.findings.begin()),
+                  std::make_move_iterator(other.findings.end()));
+}
+
+std::string LintReport::to_string() const {
+  std::string out;
+  for (const LintFinding& f : findings) {
+    out += f.to_string();
+    out += '\n';
+  }
+  return out;
+}
+
+int TraceSourceMap::line_of_vertex(int id) const {
+  if (id < 0 || id >= static_cast<int>(vertex_line.size())) return 0;
+  return vertex_line[id];
+}
+
+int TraceSourceMap::line_of_edge(int id) const {
+  if (id < 0 || id >= static_cast<int>(edge_line.size())) return 0;
+  return edge_line[id];
+}
+
+TraceSourceMap build_trace_source_map(std::istream& in, std::string file) {
+  TraceSourceMap map;
+  map.file = std::move(file);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    std::istringstream toks(line);
+    std::string word;
+    if (!(toks >> word)) continue;
+    // Vertex ids are dense/ascending and edge ids are add-order, so the
+    // k-th directive of each family is entity k.
+    if (word == "vertex") {
+      map.vertex_line.push_back(line_no);
+    } else if (word == "task" || word == "message") {
+      map.edge_line.push_back(line_no);
+    }
+  }
+  return map;
+}
+
+TraceSourceMap build_trace_source_map_from_file(const std::string& path) {
+  std::ifstream in(path);
+  return build_trace_source_map(in, path);
+}
+
+LintReport lint_trace(const dag::TaskGraph& graph,
+                      const TraceSourceMap* src) {
+  LintReport report;
+  Reporter r(&report, src);
+  const int n = static_cast<int>(graph.num_vertices());
+
+  // Init / Finalize presence and edge direction.
+  if (graph.init_vertex() < 0) {
+    r.error("dag-init", 0, "trace has no Init vertex");
+  } else if (!graph.vertex(graph.init_vertex()).in_edges.empty()) {
+    r.error("dag-init", r.vertex_line(graph.init_vertex()),
+            "Init vertex has inbound edges");
+  }
+  if (graph.finalize_vertex() < 0) {
+    r.error("dag-finalize", 0, "trace has no Finalize vertex");
+  } else if (!graph.vertex(graph.finalize_vertex()).out_edges.empty()) {
+    r.error("dag-finalize", r.vertex_line(graph.finalize_vertex()),
+            "Finalize vertex has outbound edges");
+  }
+
+  // Acyclicity via Kahn's algorithm; vertices left over sit on a cycle.
+  std::vector<int> indegree(n, 0);
+  for (const dag::Edge& e : graph.edges()) ++indegree[e.dst];
+  std::deque<int> ready;
+  for (int v = 0; v < n; ++v) {
+    if (indegree[v] == 0) ready.push_back(v);
+  }
+  int removed = 0;
+  std::vector<char> off_cycle(n, 0);
+  while (!ready.empty()) {
+    const int v = ready.front();
+    ready.pop_front();
+    off_cycle[v] = 1;
+    ++removed;
+    for (int eid : graph.vertex(v).out_edges) {
+      if (--indegree[graph.edge(eid).dst] == 0) {
+        ready.push_back(graph.edge(eid).dst);
+      }
+    }
+  }
+  const bool acyclic = removed == n;
+  if (!acyclic) {
+    for (const dag::Edge& e : graph.edges()) {
+      if (!off_cycle[e.src] && !off_cycle[e.dst]) {
+        r.error("dag-acyclic", r.edge_line(e.id),
+                "edge " + std::to_string(e.id) + " (" +
+                    std::to_string(e.src) + " -> " + std::to_string(e.dst) +
+                    ") lies on a cycle");
+      }
+    }
+  }
+
+  // Reachability from Init; Finalize gets its own rule because an
+  // unreachable Finalize is what turns the LP bound vacuous.
+  if (graph.init_vertex() >= 0) {
+    std::vector<char> seen(n, 0);
+    std::deque<int> queue{graph.init_vertex()};
+    seen[graph.init_vertex()] = 1;
+    while (!queue.empty()) {
+      const int v = queue.front();
+      queue.pop_front();
+      for (int eid : graph.vertex(v).out_edges) {
+        const int d = graph.edge(eid).dst;
+        if (!seen[d]) {
+          seen[d] = 1;
+          queue.push_back(d);
+        }
+      }
+    }
+    if (graph.finalize_vertex() >= 0 && !seen[graph.finalize_vertex()]) {
+      r.error("dag-finalize-reach", r.vertex_line(graph.finalize_vertex()),
+              "Finalize vertex " + std::to_string(graph.finalize_vertex()) +
+                  " is unreachable from Init; any makespan bound over this "
+                  "trace is vacuous");
+    }
+    for (int v = 0; v < n; ++v) {
+      if (!seen[v] && v != graph.finalize_vertex()) {
+        r.error("dag-reach", r.vertex_line(v),
+                "vertex " + std::to_string(v) +
+                    " is unreachable from Init");
+      }
+    }
+  }
+  for (int v = 0; v < n; ++v) {
+    if (v != graph.finalize_vertex() && graph.vertex(v).out_edges.empty()) {
+      r.error("dag-dead-end", r.vertex_line(v),
+              "vertex " + std::to_string(v) +
+                  " has no outbound edge (dead end before Finalize)");
+    }
+  }
+
+  // Per-rank chains: each rank's tasks must form one chain Init ->
+  // Finalize (the invariant that lets events cover every rank timeline),
+  // and the chain must visit events in the order they appear -
+  // rank-monotone event order is chain order by construction, so a task
+  // whose source is not the previous task's destination breaks it.
+  for (int rank = 0; rank < graph.num_ranks(); ++rank) {
+    std::unordered_map<int, int> next;
+    int total = 0;
+    bool chain_ok = true;
+    for (const dag::Edge& e : graph.edges()) {
+      if (!e.is_task() || e.rank != rank) continue;
+      ++total;
+      if (!next.emplace(e.src, e.id).second) {
+        r.error("dag-rank-chain", r.edge_line(e.id),
+                "rank " + std::to_string(rank) +
+                    " has two tasks starting at vertex " +
+                    std::to_string(e.src));
+        chain_ok = false;
+      }
+    }
+    if (total == 0) {
+      r.error("dag-rank-chain", 0,
+              "rank " + std::to_string(rank) + " has no tasks");
+      continue;
+    }
+    if (!chain_ok || graph.init_vertex() < 0) continue;
+    int at = graph.init_vertex();
+    int visited = 0;
+    int last_edge = -1;
+    std::unordered_set<int> walked;
+    while (true) {
+      auto it = next.find(at);
+      if (it == next.end()) break;
+      if (!walked.insert(it->second).second) break;  // cyclic chain
+      last_edge = it->second;
+      ++visited;
+      at = graph.edge(it->second).dst;
+    }
+    if (visited != total) {
+      // Some task never got consumed by the walk: report the first one.
+      for (const dag::Edge& e : graph.edges()) {
+        if (e.is_task() && e.rank == rank && walked.count(e.id) == 0) {
+          r.error("dag-rank-chain", r.edge_line(e.id),
+                  "tasks of rank " + std::to_string(rank) +
+                      " do not form a chain from Init (task " +
+                      std::to_string(e.id) + " is disconnected)");
+          break;
+        }
+      }
+    } else if (last_edge >= 0 &&
+               graph.edge(last_edge).dst != graph.finalize_vertex()) {
+      r.error("dag-rank-chain", r.edge_line(last_edge),
+              "rank " + std::to_string(rank) +
+                  "'s task chain ends at vertex " +
+                  std::to_string(graph.edge(last_edge).dst) +
+                  ", not Finalize");
+    }
+  }
+
+  // Tasks must stay on their rank's vertices (or shared rank -1 ones).
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const dag::Vertex& s = graph.vertex(e.src);
+    const dag::Vertex& d = graph.vertex(e.dst);
+    if ((s.rank != -1 && s.rank != e.rank) ||
+        (d.rank != -1 && d.rank != e.rank)) {
+      r.error("dag-task-rank", r.edge_line(e.id),
+              "task " + std::to_string(e.id) + " of rank " +
+                  std::to_string(e.rank) + " touches a vertex of rank " +
+                  std::to_string(s.rank != -1 && s.rank != e.rank ? s.rank
+                                                                  : d.rank));
+    }
+  }
+
+  // Message endpoints: src must be a Send, dst a Recv, and every
+  // Send/Recv vertex must participate in at least one message.
+  for (const dag::Edge& e : graph.edges()) {
+    if (e.is_task()) continue;
+    const dag::Vertex& s = graph.vertex(e.src);
+    const dag::Vertex& d = graph.vertex(e.dst);
+    if (s.kind != dag::VertexKind::kSend) {
+      r.error("msg-endpoints", r.edge_line(e.id),
+              "message " + std::to_string(e.id) +
+                  " originates at a non-Send vertex " +
+                  std::to_string(e.src));
+    }
+    if (d.kind != dag::VertexKind::kRecv) {
+      r.error("msg-endpoints", r.edge_line(e.id),
+              "message " + std::to_string(e.id) +
+                  " terminates at a non-Recv vertex " +
+                  std::to_string(e.dst));
+    }
+    if (s.rank >= 0 && s.rank == d.rank) {
+      r.warn("msg-endpoints", r.edge_line(e.id),
+             "message " + std::to_string(e.id) + " stays on rank " +
+                 std::to_string(s.rank));
+    }
+    if (!std::isfinite(e.bytes) || e.bytes < 0.0) {
+      r.error("msg-bytes", r.edge_line(e.id),
+              "message " + std::to_string(e.id) +
+                  " has a non-finite or negative payload");
+    }
+  }
+  for (const dag::Vertex& v : graph.vertices()) {
+    if (v.kind == dag::VertexKind::kSend) {
+      const bool has_msg =
+          std::any_of(v.out_edges.begin(), v.out_edges.end(),
+                      [&](int eid) { return !graph.edge(eid).is_task(); });
+      if (!has_msg) {
+        r.error("msg-endpoints", r.vertex_line(v.id),
+                "Send vertex " + std::to_string(v.id) +
+                    " has no outgoing message (unmatched send)");
+      }
+    } else if (v.kind == dag::VertexKind::kRecv) {
+      const bool has_msg =
+          std::any_of(v.in_edges.begin(), v.in_edges.end(),
+                      [&](int eid) { return !graph.edge(eid).is_task(); });
+      if (!has_msg) {
+        r.error("msg-endpoints", r.vertex_line(v.id),
+                "Recv vertex " + std::to_string(v.id) +
+                    " has no incoming message (unmatched receive)");
+      }
+    }
+  }
+
+  // Per-task workload sanity. Zero total work gets its own message: a
+  // chain of zero-work tasks reaches Finalize at t=0, so the "bound" the
+  // LP reports is vacuous rather than wrong, which is worse.
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const machine::TaskWork& w = e.work;
+    if (!std::isfinite(w.cpu_seconds) || w.cpu_seconds < 0.0 ||
+        !std::isfinite(w.mem_seconds) || w.mem_seconds < 0.0) {
+      r.error("task-work", r.edge_line(e.id),
+              "task " + std::to_string(e.id) +
+                  " has negative or non-finite work");
+    } else if (w.cpu_seconds + w.mem_seconds == 0.0) {
+      r.error("task-work", r.edge_line(e.id),
+              "task " + std::to_string(e.id) +
+                  " has zero total work; zero-duration tasks make the LP "
+                  "bound vacuous");
+    }
+    if (!std::isfinite(w.parallel_fraction) || w.parallel_fraction < 0.0 ||
+        w.parallel_fraction > 1.0) {
+      r.error("task-work", r.edge_line(e.id),
+              "task " + std::to_string(e.id) +
+                  " has parallel_fraction outside [0, 1]");
+    }
+    if (w.mem_parallel_threads < 1) {
+      r.error("task-work", r.edge_line(e.id),
+              "task " + std::to_string(e.id) +
+                  " has mem_parallel_threads < 1");
+    }
+    if (!std::isfinite(w.cache_contention) || w.cache_contention < 0.0) {
+      r.error("task-work", r.edge_line(e.id),
+              "task " + std::to_string(e.id) +
+                  " has negative or non-finite cache_contention");
+    }
+    if (w.cache_knee < 1) {
+      r.error("task-work", r.edge_line(e.id),
+              "task " + std::to_string(e.id) + " has cache_knee < 1");
+    }
+  }
+
+  return report;
+}
+
+LintReport lint_frontier(int edge_id,
+                         const std::vector<machine::Config>& frontier,
+                         const TraceSourceMap* src) {
+  LintReport report;
+  Reporter r(&report, src);
+  const int line = r.edge_line(edge_id);
+  const std::string task = "task " + std::to_string(edge_id);
+  if (frontier.empty()) {
+    r.error("frontier-empty", line,
+            task + " has an empty configuration frontier");
+    return report;
+  }
+  for (const machine::Config& cfg : frontier) {
+    if (!positive_finite(cfg.duration) || !positive_finite(cfg.power)) {
+      r.error("config-positive", line,
+              task + " has a frontier point with non-positive or "
+                     "non-finite duration/power");
+      return report;
+    }
+  }
+  // Dominance-free: sorted by strictly increasing power, strictly
+  // decreasing duration. Any tie or inversion means one point dominates
+  // (or equals) a neighbor.
+  for (std::size_t k = 1; k < frontier.size(); ++k) {
+    if (frontier[k].power <= frontier[k - 1].power ||
+        frontier[k].duration >= frontier[k - 1].duration) {
+      r.error("frontier-dominance", line,
+              task + " frontier point " + std::to_string(k) +
+                  " is dominated by or ties its neighbor");
+    }
+  }
+  if (!core::is_convex_frontier(frontier)) {
+    r.error("frontier-convex", line,
+            task + " configuration frontier is not convex");
+  }
+  return report;
+}
+
+LintReport lint_configs(const dag::TaskGraph& graph,
+                        const machine::PowerModel& model,
+                        const TraceSourceMap* src) {
+  LintReport report;
+  Reporter r(&report, src);
+  for (const dag::Edge& e : graph.edges()) {
+    if (!e.is_task()) continue;
+    const std::vector<machine::Config> configs =
+        model.enumerate(e.work, e.rank);
+    if (configs.empty()) {
+      r.error("config-positive", r.edge_line(e.id),
+              "task " + std::to_string(e.id) +
+                  " has no machine configurations");
+      continue;
+    }
+    bool table_ok = true;
+    for (const machine::Config& cfg : configs) {
+      if (!positive_finite(cfg.duration) || !positive_finite(cfg.power)) {
+        r.error("config-positive", r.edge_line(e.id),
+                "task " + std::to_string(e.id) + " config (" +
+                    std::to_string(cfg.ghz) + " GHz, " +
+                    std::to_string(cfg.threads) +
+                    " threads) has non-positive or non-finite "
+                    "duration/power");
+        table_ok = false;
+      }
+    }
+    if (!table_ok) continue;
+    report.merge(lint_frontier(e.id, core::convex_frontier(configs), src));
+  }
+  return report;
+}
+
+LintReport lint_machine(const machine::ClusterSpec& cluster) {
+  LintReport report;
+  Reporter r(&report, nullptr);
+  const machine::SocketSpec& s = cluster.socket;
+  if (s.cores < 1) r.error("machine-spec", 0, "socket has no cores");
+  if (cluster.sockets < 1) r.error("machine-spec", 0, "cluster is empty");
+  bool range_ok = true;
+  if (!positive_finite(s.fstep_ghz)) {
+    r.error("dvfs-grid", 0, "DVFS step must be positive and finite");
+    range_ok = false;
+  }
+  if (!positive_finite(s.fmin_ghz) || !positive_finite(s.fmax_ghz) ||
+      s.fmin_ghz > s.fmax_ghz) {
+    r.error("dvfs-grid", 0, "DVFS range requires 0 < fmin <= fmax");
+    range_ok = false;
+  }
+  if (s.throttle_floor_ghz > s.fmin_ghz + 1e-12 ||
+      !positive_finite(s.throttle_floor_ghz)) {
+    r.error("dvfs-grid", 0,
+            "throttle floor must be positive and at or below fmin");
+  }
+  // Only enumerate the grid when the range parameters are coherent -
+  // dvfs_states() on an inverted range is free to throw.
+  const std::vector<double> grid =
+      range_ok ? s.dvfs_states() : std::vector<double>{};
+  if (grid.empty()) {
+    if (range_ok) r.error("dvfs-grid", 0, "DVFS grid is empty");
+  } else {
+    if (std::abs(grid.front() - s.fmax_ghz) > 1e-9) {
+      r.error("dvfs-grid", 0, "DVFS grid does not start at fmax");
+    }
+    for (std::size_t i = 1; i < grid.size(); ++i) {
+      if (grid[i] >= grid[i - 1]) {
+        r.error("dvfs-grid", 0,
+                "DVFS grid is not strictly descending at state " +
+                    std::to_string(i));
+        break;
+      }
+    }
+    if (grid.back() < s.fmin_ghz - 1e-9) {
+      r.error("dvfs-grid", 0, "DVFS grid descends below fmin");
+    }
+  }
+  if (s.p_static < 0.0 || !positive_finite(s.p_core_max) ||
+      !positive_finite(s.p_uncore_max) || !positive_finite(s.alpha)) {
+    r.error("machine-power", 0,
+            "power-model parameters must be positive and finite");
+  }
+  if (!positive_finite(cluster.net_bandwidth_bps) ||
+      cluster.net_latency_s < 0.0 ||
+      !std::isfinite(cluster.net_latency_s)) {
+    r.error("machine-net", 0,
+            "network requires positive bandwidth and non-negative latency");
+  }
+  return report;
+}
+
+LintReport lint_model(const core::BuiltModel& built,
+                      const core::EventOrder& events) {
+  LintReport report;
+  Reporter r(&report, nullptr);
+  const lp::Model& m = built.model;
+
+  // Cap coverage: every event group with active tasks has exactly one
+  // power row, groups without active tasks none, and no two groups share
+  // a row.
+  std::unordered_set<int> seen_rows;
+  for (std::size_t g = 0; g < events.num_groups(); ++g) {
+    const int row = g < built.power_row_of_group.size()
+                        ? built.power_row_of_group[g]
+                        : -1;
+    if (!events.active_tasks[g].empty()) {
+      if (row < 0 || row >= static_cast<int>(m.num_constraints())) {
+        r.error("lp-cap-coverage", 0,
+                "event group " + std::to_string(g) +
+                    " has active tasks but no power-cap row");
+        continue;
+      }
+      if (!seen_rows.insert(row).second) {
+        r.error("lp-cap-coverage", 0,
+                "power-cap row " + std::to_string(row) +
+                    " covers more than one event group");
+      }
+      // A cap row must be a pure upper bound.
+      if (lp::is_finite_bound(m.row_lb(row)) ||
+          !lp::is_finite_bound(m.row_ub(row))) {
+        r.error("lp-cap-coverage", 0,
+                "power-cap row " + std::to_string(row) +
+                    " is not a <= row with a finite cap");
+      }
+    } else if (row >= 0) {
+      r.error("lp-cap-coverage", 0,
+              "event group " + std::to_string(g) +
+                  " has no active task yet owns power-cap row " +
+                  std::to_string(row));
+    }
+  }
+
+  // Event groups must be ordered by the initial schedule.
+  for (std::size_t g = 1; g < events.num_groups(); ++g) {
+    if (events.group_time[g] < events.group_time[g - 1]) {
+      r.error("event-order", 0,
+              "event group " + std::to_string(g) +
+                  " is ordered before an earlier time");
+    }
+  }
+
+  // Row sanity: ordered bounds, at least one term, no duplicate columns,
+  // finite coefficients; and column coverage for the free-column check.
+  std::vector<char> referenced(m.num_variables(), 0);
+  for (std::size_t i = 0; i < m.num_constraints(); ++i) {
+    const lp::Model::RowView row = m.row(static_cast<int>(i));
+    if (row.size == 0) {
+      r.error("lp-empty-row", 0,
+              "constraint row " + std::to_string(i) + " has no terms");
+    }
+    if (m.row_lb(i) > m.row_ub(i)) {
+      r.error("lp-row-bounds", 0,
+              "constraint row " + std::to_string(i) +
+                  " has crossed bounds (lb > ub)");
+    }
+    if (!lp::is_finite_bound(m.row_lb(i)) &&
+        !lp::is_finite_bound(m.row_ub(i))) {
+      r.error("lp-row-bounds", 0,
+              "constraint row " + std::to_string(i) +
+                  " constrains nothing (both bounds infinite)");
+    }
+    std::unordered_set<int> cols;
+    for (std::size_t t = 0; t < row.size; ++t) {
+      if (!cols.insert(row.idx[t]).second) {
+        r.error("lp-duplicate-column", 0,
+                "constraint row " + std::to_string(i) +
+                    " references column " + std::to_string(row.idx[t]) +
+                    " twice");
+      }
+      if (!std::isfinite(row.coeff[t])) {
+        r.error("lp-coefficient", 0,
+                "constraint row " + std::to_string(i) +
+                    " has a non-finite coefficient");
+      }
+      if (row.idx[t] >= 0 &&
+          row.idx[t] < static_cast<int>(referenced.size())) {
+        referenced[row.idx[t]] = 1;
+      }
+    }
+  }
+  for (std::size_t j = 0; j < m.num_variables(); ++j) {
+    if (!referenced[j]) {
+      r.error("lp-free-column", 0,
+              "variable " + std::to_string(j) + " (" + m.variable_name(
+                  static_cast<int>(j)) +
+                  ") appears in no constraint row");
+    }
+    if (m.variable_lb(static_cast<int>(j)) >
+        m.variable_ub(static_cast<int>(j))) {
+      r.error("lp-var-bounds", 0,
+              "variable " + std::to_string(j) +
+                  " has crossed bounds (lb > ub)");
+    }
+  }
+  return report;
+}
+
+LintReport lint_trace_file(const std::string& path,
+                           const machine::PowerModel& model,
+                           const machine::ClusterSpec& cluster) {
+  LintReport report;
+  std::ifstream in(path);
+  if (!in) {
+    report.findings.push_back(
+        {"io", LintSeverity::kError, "cannot open for reading", path, 0});
+    return report;
+  }
+  std::stringstream text;
+  text << in.rdbuf();
+
+  TraceSourceMap src = build_trace_source_map(text, path);
+  text.clear();
+  text.seekg(0);
+
+  dag::TaskGraph graph(1);
+  try {
+    graph = dag::read_trace_unvalidated(text, path);
+  } catch (const dag::TraceParseError& e) {
+    report.findings.push_back({"parse", LintSeverity::kError, e.what(),
+                               e.source(), e.line()});
+    return report;
+  }
+
+  report.merge(lint_trace(graph, &src));
+  report.merge(lint_machine(cluster));
+  if (!report.ok()) return report;  // deeper passes need sound structure
+
+  report.merge(lint_configs(graph, model, &src));
+  if (!report.ok()) return report;
+
+  // Per-window LP well-formedness over the exact models a solve would
+  // build. The cap value does not affect structure; any finite cap works.
+  try {
+    graph.validate();
+    for (const dag::Window& win : dag::split_at_barriers(graph)) {
+      const core::LpFormulation form(win.graph, model, cluster);
+      core::LpScheduleOptions options;
+      options.power_cap = std::max(1.0, form.min_feasible_power());
+      report.merge(
+          lint_model(form.build_model(options), form.events()));
+    }
+  } catch (const std::exception& e) {
+    report.findings.push_back({"dag-structure", LintSeverity::kError,
+                               std::string("cannot build LP windows: ") +
+                                   e.what(),
+                               path, 0});
+  }
+  return report;
+}
+
+}  // namespace powerlim::check

@@ -1,0 +1,122 @@
+// Model linter: static analysis over problem inputs.
+//
+// Everything downstream of a trace - the event-order LP, the replay
+// simulator, the sweep journal - silently assumes structural invariants
+// that nothing re-checks once violated input slips past construction: the
+// task DAG is acyclic, every rank's chain reaches MPI_Finalize, message
+// endpoints pair a Send with a Recv, config tables have positive
+// duration/power, Pareto frontiers are convex and dominance-free, the
+// DVFS grid is monotone, and the LP covers every event with exactly one
+// cap row. A trace that breaks one of these can yield a *vacuous* bound
+// (e.g. zero-work chains bound the makespan at 0 s) rather than an error.
+//
+// The linter re-checks all of it up front and reports every violation
+// with file/line provenance, using a source map derived from the trace
+// format's determinism: vertex ids are dense and ascending (= file
+// order) and edge ids are add-order (= file order of task/message
+// directives), so entity k maps back to the k-th directive's line.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "core/lp_formulation.h"
+#include "dag/graph.h"
+#include "machine/machine.h"
+#include "machine/power_model.h"
+
+namespace powerlim::check {
+
+enum class LintSeverity { kWarning, kError };
+
+const char* to_string(LintSeverity severity);
+
+struct LintFinding {
+  /// Stable rule identifier, e.g. "dag-acyclic" (see README table).
+  std::string rule;
+  LintSeverity severity = LintSeverity::kError;
+  std::string message;
+  /// Source file when known; empty for in-memory inputs.
+  std::string file;
+  /// 1-based source line; 0 when the finding is not tied to one line.
+  int line = 0;
+
+  /// "file:line: error: [rule] message" (file/line parts elided when
+  /// unknown).
+  std::string to_string() const;
+};
+
+struct LintReport {
+  std::vector<LintFinding> findings;
+
+  int errors() const;
+  int warnings() const;
+  /// True when no error-severity finding exists (warnings allowed).
+  bool ok() const { return errors() == 0; }
+  void merge(LintReport other);
+  /// One finding per line.
+  std::string to_string() const;
+};
+
+/// Maps vertex/edge ids of a parsed trace back to their source lines.
+struct TraceSourceMap {
+  std::string file;
+  std::vector<int> vertex_line;
+  std::vector<int> edge_line;
+
+  /// 0 when the id is out of range (e.g. synthetic graphs).
+  int line_of_vertex(int id) const;
+  int line_of_edge(int id) const;
+};
+
+/// Builds the source map by scanning the trace text; never throws on
+/// malformed content (unparseable lines simply contribute no entries).
+TraceSourceMap build_trace_source_map(std::istream& in, std::string file);
+TraceSourceMap build_trace_source_map_from_file(const std::string& path);
+
+/// Structural rules over a (possibly unvalidated) task graph: Init /
+/// Finalize presence, acyclicity, reachability of Finalize, per-rank
+/// chain integrity, rank-monotone event order along each chain, matched
+/// Send/Recv message endpoints, and per-edge workload sanity (positive
+/// work, fractions in range). `src` (optional) adds file/line provenance.
+LintReport lint_trace(const dag::TaskGraph& graph,
+                      const TraceSourceMap* src = nullptr);
+
+/// Per-task configuration tables: every enumerated config has positive
+/// finite duration and power, and the derived Pareto/convex frontier is
+/// non-empty, dominance-free, and convex. Requires a structurally sound
+/// graph (call after lint_trace reports no errors).
+LintReport lint_configs(const dag::TaskGraph& graph,
+                        const machine::PowerModel& model,
+                        const TraceSourceMap* src = nullptr);
+
+/// One frontier in isolation (the building block of lint_configs,
+/// exposed so hand-built frontiers can be checked directly).
+LintReport lint_frontier(int edge_id,
+                         const std::vector<machine::Config>& frontier,
+                         const TraceSourceMap* src = nullptr);
+
+/// Machine model: DVFS grid monotone descending fmax -> fmin with a
+/// positive step, throttle floor at or below fmin, positive power-model
+/// parameters, positive network bandwidth.
+LintReport lint_machine(const machine::ClusterSpec& cluster);
+
+/// LP model well-formedness for one built window: every event group with
+/// active tasks is covered by exactly one cap row, no free columns
+/// (variables appearing in no row), no duplicate columns within a row,
+/// ordered finite row bounds, no non-finite coefficients, and event
+/// groups ordered by non-decreasing initial time.
+LintReport lint_model(const core::BuiltModel& built,
+                      const core::EventOrder& events);
+
+/// Everything above for one trace file: parses leniently (parse errors
+/// become findings, not exceptions), then runs lint_trace, lint_machine,
+/// lint_configs, and lint_model on every barrier window. This is what
+/// `powerlim lint` and the bound/sweep input gates call.
+LintReport lint_trace_file(const std::string& path,
+                           const machine::PowerModel& model,
+                           const machine::ClusterSpec& cluster);
+
+}  // namespace powerlim::check

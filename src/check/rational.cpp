@@ -1,0 +1,322 @@
+#include "check/rational.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace powerlim::check {
+
+namespace {
+
+constexpr std::uint64_t kBase = 1ull << 32;
+
+}  // namespace
+
+BigInt::BigInt(long long value) {
+  if (value == 0) return;
+  sign_ = value < 0 ? -1 : 1;
+  // Negate via unsigned arithmetic so LLONG_MIN is well-defined.
+  std::uint64_t mag = value < 0
+                          ? ~static_cast<std::uint64_t>(value) + 1
+                          : static_cast<std::uint64_t>(value);
+  while (mag != 0) {
+    mag_.push_back(static_cast<std::uint32_t>(mag & 0xffffffffu));
+    mag >>= 32;
+  }
+}
+
+void BigInt::trim() {
+  while (!mag_.empty() && mag_.back() == 0) mag_.pop_back();
+  if (mag_.empty()) sign_ = 0;
+}
+
+int BigInt::compare_mag(const std::vector<std::uint32_t>& a,
+                        const std::vector<std::uint32_t>& b) {
+  if (a.size() != b.size()) return a.size() < b.size() ? -1 : 1;
+  for (std::size_t i = a.size(); i-- > 0;) {
+    if (a[i] != b[i]) return a[i] < b[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+std::vector<std::uint32_t> BigInt::add_mag(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) {
+  const std::vector<std::uint32_t>& lo = a.size() < b.size() ? a : b;
+  const std::vector<std::uint32_t>& hi = a.size() < b.size() ? b : a;
+  std::vector<std::uint32_t> out;
+  out.reserve(hi.size() + 1);
+  std::uint64_t carry = 0;
+  for (std::size_t i = 0; i < hi.size(); ++i) {
+    std::uint64_t sum = carry + hi[i] + (i < lo.size() ? lo[i] : 0u);
+    out.push_back(static_cast<std::uint32_t>(sum & 0xffffffffu));
+    carry = sum >> 32;
+  }
+  if (carry != 0) out.push_back(static_cast<std::uint32_t>(carry));
+  return out;
+}
+
+std::vector<std::uint32_t> BigInt::sub_mag(
+    const std::vector<std::uint32_t>& a,
+    const std::vector<std::uint32_t>& b) {
+  std::vector<std::uint32_t> out;
+  out.reserve(a.size());
+  std::int64_t borrow = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    std::int64_t diff = static_cast<std::int64_t>(a[i]) - borrow -
+                        (i < b.size() ? static_cast<std::int64_t>(b[i]) : 0);
+    borrow = 0;
+    if (diff < 0) {
+      diff += static_cast<std::int64_t>(kBase);
+      borrow = 1;
+    }
+    out.push_back(static_cast<std::uint32_t>(diff));
+  }
+  return out;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  if (sign_ == 0) return o;
+  if (o.sign_ == 0) return *this;
+  BigInt out;
+  if (sign_ == o.sign_) {
+    out.sign_ = sign_;
+    out.mag_ = add_mag(mag_, o.mag_);
+  } else {
+    const int cmp = compare_mag(mag_, o.mag_);
+    if (cmp == 0) return out;  // zero
+    if (cmp > 0) {
+      out.sign_ = sign_;
+      out.mag_ = sub_mag(mag_, o.mag_);
+    } else {
+      out.sign_ = o.sign_;
+      out.mag_ = sub_mag(o.mag_, mag_);
+    }
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::operator-() const {
+  BigInt out = *this;
+  out.sign_ = -out.sign_;
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const { return *this + (-o); }
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt out;
+  if (sign_ == 0 || o.sign_ == 0) return out;
+  out.sign_ = sign_ * o.sign_;
+  out.mag_.assign(mag_.size() + o.mag_.size(), 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    std::uint64_t carry = 0;
+    for (std::size_t j = 0; j < o.mag_.size(); ++j) {
+      std::uint64_t cur = out.mag_[i + j] + carry +
+                          static_cast<std::uint64_t>(mag_[i]) * o.mag_[j];
+      out.mag_[i + j] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+    }
+    std::size_t k = i + o.mag_.size();
+    while (carry != 0) {
+      std::uint64_t cur = out.mag_[k] + carry;
+      out.mag_[k] = static_cast<std::uint32_t>(cur & 0xffffffffu);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.trim();
+  return out;
+}
+
+int BigInt::compare(const BigInt& o) const {
+  if (sign_ != o.sign_) return sign_ < o.sign_ ? -1 : 1;
+  const int mag_cmp = compare_mag(mag_, o.mag_);
+  return sign_ >= 0 ? mag_cmp : -mag_cmp;
+}
+
+BigInt BigInt::shifted_left(std::int64_t bits) const {
+  if (bits < 0) return shifted_right(-bits);
+  if (sign_ == 0 || bits == 0) return *this;
+  BigInt out;
+  out.sign_ = sign_;
+  const std::size_t limb_shift = static_cast<std::size_t>(bits / 32);
+  const unsigned bit_shift = static_cast<unsigned>(bits % 32);
+  out.mag_.assign(mag_.size() + limb_shift + 1, 0);
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    const std::uint64_t shifted = static_cast<std::uint64_t>(mag_[i])
+                                  << bit_shift;
+    out.mag_[i + limb_shift] |= static_cast<std::uint32_t>(shifted);
+    out.mag_[i + limb_shift + 1] |=
+        static_cast<std::uint32_t>(shifted >> 32);
+  }
+  out.trim();
+  return out;
+}
+
+BigInt BigInt::shifted_right(std::int64_t bits) const {
+  if (bits < 0) return shifted_left(-bits);
+  if (sign_ == 0 || bits == 0) return *this;
+  const std::size_t limb_shift = static_cast<std::size_t>(bits / 32);
+  const unsigned bit_shift = static_cast<unsigned>(bits % 32);
+  BigInt out;
+  if (limb_shift >= mag_.size()) return out;
+  out.sign_ = sign_;
+  out.mag_.assign(mag_.size() - limb_shift, 0);
+  for (std::size_t i = 0; i < out.mag_.size(); ++i) {
+    std::uint64_t cur = mag_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < mag_.size()) {
+      cur |= static_cast<std::uint64_t>(mag_[i + limb_shift + 1])
+             << (32 - bit_shift);
+    }
+    out.mag_[i] = static_cast<std::uint32_t>(cur);
+  }
+  out.trim();
+  return out;
+}
+
+std::int64_t BigInt::trailing_zero_bits() const {
+  if (sign_ == 0) return 0;
+  std::int64_t bits = 0;
+  for (std::size_t i = 0; i < mag_.size(); ++i) {
+    if (mag_[i] == 0) {
+      bits += 32;
+      continue;
+    }
+    std::uint32_t limb = mag_[i];
+    while ((limb & 1u) == 0) {
+      ++bits;
+      limb >>= 1;
+    }
+    break;
+  }
+  return bits;
+}
+
+std::int64_t BigInt::bit_length() const {
+  if (sign_ == 0) return 0;
+  std::int64_t bits = static_cast<std::int64_t>(mag_.size() - 1) * 32;
+  std::uint32_t top = mag_.back();
+  while (top != 0) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+double BigInt::to_double() const {
+  if (sign_ == 0) return 0.0;
+  // Take the top <= 64 bits exactly, then scale; precise enough for
+  // reporting (the comparison path never uses doubles).
+  const std::int64_t bits = bit_length();
+  const std::int64_t drop = bits > 64 ? bits - 64 : 0;
+  const BigInt top = shifted_right(drop);
+  std::uint64_t mag = 0;
+  for (std::size_t i = top.mag_.size(); i-- > 0;) {
+    mag = (mag << 32) | top.mag_[i];
+  }
+  return sign_ * std::ldexp(static_cast<double>(mag),
+                            static_cast<int>(drop));
+}
+
+std::string BigInt::to_string() const {
+  if (sign_ == 0) return "0";
+  // Repeated short division by 10^9.
+  std::vector<std::uint32_t> work = mag_;
+  std::string digits;
+  while (!work.empty()) {
+    std::uint64_t rem = 0;
+    for (std::size_t i = work.size(); i-- > 0;) {
+      const std::uint64_t cur = (rem << 32) | work[i];
+      work[i] = static_cast<std::uint32_t>(cur / 1000000000ull);
+      rem = cur % 1000000000ull;
+    }
+    while (!work.empty() && work.back() == 0) work.pop_back();
+    for (int d = 0; d < 9; ++d) {
+      digits.push_back(static_cast<char>('0' + rem % 10));
+      rem /= 10;
+    }
+  }
+  while (digits.size() > 1 && digits.back() == '0') digits.pop_back();
+  if (sign_ < 0) digits.push_back('-');
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+Dyadic::Dyadic(BigInt mant, std::int64_t exp2)
+    : mant_(std::move(mant)), exp2_(exp2) {
+  normalize();
+}
+
+void Dyadic::normalize() {
+  if (mant_.is_zero()) {
+    exp2_ = 0;
+    return;
+  }
+  const std::int64_t tz = mant_.trailing_zero_bits();
+  if (tz > 0) {
+    mant_ = mant_.shifted_right(tz);
+    exp2_ += tz;
+  }
+}
+
+Dyadic Dyadic::from_double(double value) {
+  if (!std::isfinite(value)) {
+    throw std::invalid_argument("Dyadic::from_double: non-finite value");
+  }
+  if (value == 0.0) return Dyadic();
+  int exp = 0;
+  const double frac = std::frexp(value, &exp);  // |frac| in [0.5, 1)
+  // frac * 2^53 is an odd-or-even integer <= 2^53, exactly representable.
+  const long long mant = static_cast<long long>(std::ldexp(frac, 53));
+  return Dyadic(BigInt(mant), static_cast<std::int64_t>(exp) - 53);
+}
+
+Dyadic Dyadic::from_int(long long value) { return Dyadic(BigInt(value), 0); }
+
+Dyadic Dyadic::operator+(const Dyadic& o) const {
+  if (is_zero()) return o;
+  if (o.is_zero()) return *this;
+  // Align to the smaller exponent; shifting left is exact.
+  if (exp2_ <= o.exp2_) {
+    return Dyadic(mant_ + o.mant_.shifted_left(o.exp2_ - exp2_), exp2_);
+  }
+  return Dyadic(mant_.shifted_left(exp2_ - o.exp2_) + o.mant_, o.exp2_);
+}
+
+Dyadic Dyadic::operator-() const {
+  Dyadic out = *this;
+  out.mant_ = -out.mant_;
+  return out;
+}
+
+Dyadic Dyadic::operator-(const Dyadic& o) const { return *this + (-o); }
+
+Dyadic Dyadic::operator*(const Dyadic& o) const {
+  return Dyadic(mant_ * o.mant_, exp2_ + o.exp2_);
+}
+
+int Dyadic::compare(const Dyadic& o) const {
+  const int sa = sign();
+  const int sb = o.sign();
+  if (sa != sb) return sa < sb ? -1 : 1;
+  if (sa == 0) return 0;
+  return (*this - o).sign();
+}
+
+Dyadic Dyadic::abs() const { return sign() < 0 ? -*this : *this; }
+
+double Dyadic::to_double() const {
+  if (is_zero()) return 0.0;
+  // Reduce the mantissa to <= 64 bits first so a huge mantissa paired
+  // with a very negative exponent cannot overflow on the way through.
+  const std::int64_t bits = mant_.bit_length();
+  const std::int64_t drop = bits > 64 ? bits - 64 : 0;
+  const double top = mant_.shifted_right(drop).to_double();
+  const std::int64_t e =
+      std::clamp<std::int64_t>(drop + exp2_, -100000, 100000);
+  return std::ldexp(top, static_cast<int>(e));
+}
+
+}  // namespace powerlim::check

@@ -1,0 +1,117 @@
+// Exact dyadic-rational arithmetic for the certificate checker.
+//
+// Every number the LP pipeline touches is an IEEE-754 double, and every
+// finite double is exactly a (long) integer times a power of two. The
+// certificate checker therefore does not need general rationals: dyadic
+// rationals  mant * 2^exp2  with an arbitrary-precision mantissa are
+// closed under +, -, * and capture each input exactly. Re-deriving a
+// constraint row and evaluating it at the solver's point in this type
+// involves no rounding anywhere - the only approximation in the whole
+// verification is the final comparison against the (also exactly
+// converted) tolerance.
+//
+// Division is deliberately absent: the checker never divides, so the
+// dyadic closure property is never broken.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace powerlim::check {
+
+/// Arbitrary-precision signed integer. Supports exactly the operations
+/// the certificate needs: add, subtract, multiply, shift, compare.
+class BigInt {
+ public:
+  BigInt() = default;
+  explicit BigInt(long long value);
+
+  bool is_zero() const { return sign_ == 0; }
+  /// -1, 0, or +1.
+  int sign() const { return sign_; }
+
+  BigInt operator+(const BigInt& o) const;
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+  BigInt operator-() const;
+
+  /// <0, 0, >0 like strcmp.
+  int compare(const BigInt& o) const;
+
+  BigInt shifted_left(std::int64_t bits) const;
+  /// Number of trailing zero bits (0 for zero).
+  std::int64_t trailing_zero_bits() const;
+  BigInt shifted_right(std::int64_t bits) const;
+  /// Bit length of the magnitude (0 for zero).
+  std::int64_t bit_length() const;
+
+  /// Nearest double (rounding only happens here, for reporting).
+  double to_double() const;
+  /// Decimal string, exact (for diagnostics and tests).
+  std::string to_string() const;
+
+ private:
+  static int compare_mag(const std::vector<std::uint32_t>& a,
+                         const std::vector<std::uint32_t>& b);
+  static std::vector<std::uint32_t> add_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  /// Requires |a| >= |b|.
+  static std::vector<std::uint32_t> sub_mag(
+      const std::vector<std::uint32_t>& a,
+      const std::vector<std::uint32_t>& b);
+  void trim();
+
+  int sign_ = 0;
+  /// Little-endian base-2^32 limbs of the magnitude; empty iff zero.
+  std::vector<std::uint32_t> mag_;
+};
+
+/// Exact dyadic rational: mant * 2^exp2. Normalized so the mantissa is
+/// odd (or zero), keeping limb growth bounded across long sums.
+class Dyadic {
+ public:
+  Dyadic() = default;
+
+  /// Exact conversion; throws std::invalid_argument on NaN/Inf.
+  static Dyadic from_double(double value);
+  static Dyadic from_int(long long value);
+
+  bool is_zero() const { return mant_.is_zero(); }
+  int sign() const { return mant_.sign(); }
+
+  Dyadic operator+(const Dyadic& o) const;
+  Dyadic operator-(const Dyadic& o) const;
+  Dyadic operator*(const Dyadic& o) const;
+  Dyadic operator-() const;
+  Dyadic& operator+=(const Dyadic& o) { return *this = *this + o; }
+  Dyadic& operator-=(const Dyadic& o) { return *this = *this - o; }
+
+  /// <0, 0, >0 like strcmp. Exact.
+  int compare(const Dyadic& o) const;
+  bool operator<(const Dyadic& o) const { return compare(o) < 0; }
+  bool operator<=(const Dyadic& o) const { return compare(o) <= 0; }
+  bool operator>(const Dyadic& o) const { return compare(o) > 0; }
+  bool operator>=(const Dyadic& o) const { return compare(o) >= 0; }
+  bool operator==(const Dyadic& o) const { return compare(o) == 0; }
+
+  Dyadic abs() const;
+
+  /// Nearest double (for violation reports; never used in comparisons).
+  double to_double() const;
+
+ private:
+  Dyadic(BigInt mant, std::int64_t exp2);
+  void normalize();
+
+  BigInt mant_;
+  std::int64_t exp2_ = 0;
+};
+
+/// max(a, b) by exact comparison.
+inline const Dyadic& dyadic_max(const Dyadic& a, const Dyadic& b) {
+  return a.compare(b) >= 0 ? a : b;
+}
+
+}  // namespace powerlim::check

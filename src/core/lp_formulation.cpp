@@ -59,9 +59,8 @@ double LpFormulation::min_feasible_power() const {
   return worst;
 }
 
-LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
+BuiltModel LpFormulation::build_model(const LpScheduleOptions& options) const {
   const dag::TaskGraph& graph = *graph_;
-  LpScheduleResult out;
 
   const bool energy_mode = options.objective == LpObjective::kEnergy;
   if (energy_mode && options.max_makespan <= 0.0) {
@@ -69,12 +68,18 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
         "LpFormulation: kEnergy requires a positive max_makespan");
   }
 
-  Model lp_model(lp::Sense::kMinimize);
+  BuiltModel built;
+  built.model = Model(lp::Sense::kMinimize);
+  built.duration_row_of_edge.assign(graph.num_edges(), -1);
+  built.convexity_row_of_edge.assign(graph.num_edges(), -1);
+  built.power_row_of_group.assign(events_.num_groups(), -1);
+  Model& lp_model = built.model;
 
   // Vertex-time variables; in makespan mode only Finalize carries
   // objective weight (eq. 1). An optional deadline caps Finalize either
   // way (the energy objective requires one).
-  std::vector<Variable> v(graph.num_vertices());
+  std::vector<Variable>& v = built.vertex_var;
+  v.resize(graph.num_vertices());
   for (std::size_t j = 0; j < graph.num_vertices(); ++j) {
     const bool is_init = static_cast<int>(j) == graph.init_vertex();
     const bool is_fin = static_cast<int>(j) == graph.finalize_vertex();
@@ -88,7 +93,8 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
 
   // Configuration share variables c_ik (eq. 6 continuous / eq. 5
   // discrete). In energy mode each share costs its execution energy.
-  std::vector<std::vector<Variable>> c(graph.num_edges());
+  std::vector<std::vector<Variable>>& c = built.share_var;
+  c.resize(graph.num_edges());
   for (const dag::Edge& e : graph.edges()) {
     if (!e.is_task()) continue;
     c[e.id].reserve(frontiers_[e.id].size());
@@ -110,10 +116,14 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
       for (std::size_t k = 0; k < c[e.id].size(); ++k) {
         terms.push_back({c[e.id][k], -frontiers_[e.id][k].duration});
       }
-      lp_model.add_ge(terms, 0.0, "dur" + std::to_string(e.id));
+      built.duration_row_of_edge[e.id] =
+          lp_model.add_ge(terms, 0.0, "dur" + std::to_string(e.id)).index;
     } else {
-      lp_model.add_ge({{v[e.dst], 1.0}, {v[e.src], -1.0}},
-                      message_duration_[e.id], "msg" + std::to_string(e.id));
+      built.duration_row_of_edge[e.id] =
+          lp_model
+              .add_ge({{v[e.dst], 1.0}, {v[e.src], -1.0}},
+                      message_duration_[e.id], "msg" + std::to_string(e.id))
+              .index;
     }
   }
 
@@ -122,12 +132,12 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
     if (!e.is_task()) continue;
     std::vector<Term> terms;
     for (const Variable& var : c[e.id]) terms.push_back({var, 1.0});
-    lp_model.add_eq(terms, 1.0, "one" + std::to_string(e.id));
+    built.convexity_row_of_edge[e.id] =
+        lp_model.add_eq(terms, 1.0, "one" + std::to_string(e.id)).index;
   }
 
   // Event power rows (eqs. 8, 10, 11 combined): sum of active task power
   // at each event group must fit under the job-level cap.
-  std::vector<int> power_rows;
   for (std::size_t g = 0; g < events_.num_groups(); ++g) {
     if (events_.active_tasks[g].empty()) continue;
     std::vector<Term> terms;
@@ -136,9 +146,9 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
         terms.push_back({c[eid][k], frontiers_[eid][k].power});
       }
     }
-    power_rows.push_back(
+    built.power_row_of_group[g] =
         lp_model.add_le(terms, options.power_cap, "pow" + std::to_string(g))
-            .index);
+            .index;
   }
 
   // Event-order rows (eqs. 12, 13): chain group leaders; pin group members
@@ -154,6 +164,18 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
       lp_model.add_ge({{v[leader], 1.0}, {v[prev_leader], -1.0}}, 0.0);
     }
   }
+  return built;
+}
+
+LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
+  const dag::TaskGraph& graph = *graph_;
+  LpScheduleResult out;
+  const bool energy_mode = options.objective == LpObjective::kEnergy;
+
+  BuiltModel built = build_model(options);
+  Model& lp_model = built.model;
+  const std::vector<Variable>& v = built.vertex_var;
+  const std::vector<std::vector<Variable>>& c = built.share_var;
 
   // Solve.
   if (options.mutate_model) options.mutate_model(lp_model);
@@ -177,13 +199,16 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
     out.primal_infeasibility = sol.primal_infeasibility;
     if (!sol.optimal()) return out;
     values = sol.values;
+    out.row_duals = sol.duals;
     // Duals of the power rows price the cap: raising every row's bound by
     // one watt changes the (minimized) objective by the sum of their
     // duals, which is <= 0 for binding <= rows. Only meaningful for the
     // makespan objective.
     if (!energy_mode && !sol.duals.empty()) {
       double total = 0.0;
-      for (int row : power_rows) total += sol.duals[row];
+      for (int row : built.power_row_of_group) {
+        if (row >= 0) total += sol.duals[row];
+      }
       out.power_price_s_per_watt = std::max(0.0, -total);
     }
   }

@@ -92,6 +92,28 @@ struct LpScheduleOptions {
   std::function<void(lp::Model&)> mutate_model;
 };
 
+/// One window's LP in lp::Model form plus the structural metadata the
+/// verification layer (src/check/) audits: which row caps which event
+/// group, which row covers which edge, and which columns belong to whom.
+/// Produced by LpFormulation::build_model and consumed both by solve()
+/// and by check::lint_model / check::verify_certificate, so the model
+/// that is linted or certified is bit-identical to the one solved.
+struct BuiltModel {
+  lp::Model model;
+  /// Vertex-time variable per vertex id.
+  std::vector<lp::Variable> vertex_var;
+  /// Share variables c_ik per edge id (empty for messages).
+  std::vector<std::vector<lp::Variable>> share_var;
+  /// Row index of each task's duration row / message's wire row, by edge.
+  std::vector<int> duration_row_of_edge;
+  /// Row index of each task's share-sum row (eq. 9), by edge; -1 for
+  /// messages.
+  std::vector<int> convexity_row_of_edge;
+  /// Row index of each event group's power-cap row; -1 when the group has
+  /// no active task (such a group constrains nothing and needs no row).
+  std::vector<int> power_row_of_group;
+};
+
 struct LpScheduleResult {
   lp::SolveStatus status = lp::SolveStatus::kNumericalError;
   /// Time of the Finalize vertex (the objective in kMakespan mode).
@@ -119,6 +141,11 @@ struct LpScheduleResult {
   long refactor_count = 0;
   bool bland_engaged = false;
   double primal_infeasibility = 0.0;
+  /// Per-row duals of the solved model (minimization form), aligned with
+  /// the rows of build_model(options); empty in discrete mode where duals
+  /// do not exist. The certificate checker turns these into an exact
+  /// weak-duality bound on the reported objective.
+  std::vector<double> row_duals;
 
   bool optimal() const { return status == lp::SolveStatus::kOptimal; }
 };
@@ -146,6 +173,14 @@ class LpFormulation {
   /// Smallest event-power sum achievable (every task at its cheapest
   /// frontier point); caps below this are infeasible.
   double min_feasible_power() const;
+
+  /// Builds the LP (deterministic row/column order for a given graph and
+  /// machine) without solving it. solve() calls this internally; the
+  /// verification layer calls it to rebuild the exact model a solution
+  /// claims to satisfy. Note options.mutate_model is NOT applied here -
+  /// it is a solve-time fault seam, so an independent rebuild sees the
+  /// uncorrupted model.
+  BuiltModel build_model(const LpScheduleOptions& options) const;
 
   LpScheduleResult solve(const LpScheduleOptions& options) const;
 

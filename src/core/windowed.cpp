@@ -41,6 +41,7 @@ WindowedLpResult solve_windows(const dag::TaskGraph& graph,
     out.bland_engaged = out.bland_engaged || res.bland_engaged;
     out.primal_infeasibility =
         std::max(out.primal_infeasibility, res.primal_infeasibility);
+    out.window_duals.push_back(res.row_duals);
     if (!res.optimal()) {
       out.status = res.status;
       out.failed_window = static_cast<int>(w);
@@ -184,6 +185,7 @@ WindowedLpResult WindowSweeper::solve(const LpScheduleOptions& options) const {
     out.bland_engaged = out.bland_engaged || res.bland_engaged;
     out.primal_infeasibility =
         std::max(out.primal_infeasibility, res.primal_infeasibility);
+    out.window_duals.push_back(res.row_duals);
     if (!res.optimal()) {
       out.status = res.status;
       out.failed_window = static_cast<int>(w);

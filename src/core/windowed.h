@@ -46,6 +46,11 @@ struct WindowedLpResult {
   /// Index of the window whose solve failed (-1 when optimal): localizes
   /// a numerical failure to one barrier interval of the trace.
   int failed_window = -1;
+  /// Per-window row duals of the solved LP (minimization form), aligned
+  /// with the rows of that window's LpFormulation::build_model. Empty
+  /// inner vectors in discrete mode. check::verify_certificate uses them
+  /// for the exact weak-duality validation of the reported bound.
+  std::vector<std::vector<double>> window_duals;
 
   bool optimal() const { return status == lp::SolveStatus::kOptimal; }
 };

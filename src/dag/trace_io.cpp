@@ -145,7 +145,10 @@ class LineParser {
 
 }  // namespace
 
-TaskGraph read_trace(std::istream& in, const std::string& source_name) {
+namespace {
+
+TaskGraph read_trace_impl(std::istream& in, const std::string& source_name,
+                          bool validate) {
   std::string line;
   int line_no = 0;
 
@@ -248,13 +251,26 @@ TaskGraph read_trace(std::istream& in, const std::string& source_name) {
       fail("unknown directive '" + word + "'", word);
     }
   }
-  try {
-    graph.validate();
-  } catch (const std::exception& e) {
-    throw TraceParseError(source_name, line_no, std::string(),
-                          std::string("invalid graph: ") + e.what());
+  if (validate) {
+    try {
+      graph.validate();
+    } catch (const std::exception& e) {
+      throw TraceParseError(source_name, line_no, std::string(),
+                            std::string("invalid graph: ") + e.what());
+    }
   }
   return graph;
+}
+
+}  // namespace
+
+TaskGraph read_trace(std::istream& in, const std::string& source_name) {
+  return read_trace_impl(in, source_name, /*validate=*/true);
+}
+
+TaskGraph read_trace_unvalidated(std::istream& in,
+                                 const std::string& source_name) {
+  return read_trace_impl(in, source_name, /*validate=*/false);
 }
 
 void save_trace(const std::string& path, const TaskGraph& graph) {
@@ -267,6 +283,12 @@ TaskGraph load_trace(const std::string& path) {
   std::ifstream in(path);
   if (!in) throw std::runtime_error("cannot open for reading: " + path);
   return read_trace(in, path);
+}
+
+TaskGraph load_trace_unvalidated(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return read_trace_unvalidated(in, path);
 }
 
 void write_dot(std::ostream& out, const TaskGraph& graph) {

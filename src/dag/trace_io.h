@@ -54,9 +54,19 @@ void write_trace(std::ostream& out, const TaskGraph& graph);
 TaskGraph read_trace(std::istream& in,
                      const std::string& source_name = "<stream>");
 
+/// Parses a trace without running TaskGraph::validate() at the end.
+/// Token-level errors (bad header, malformed fields, unknown directives,
+/// non-dense vertex ids) still throw; structural problems (cycles,
+/// broken rank chains, unreachable Finalize) are preserved in the
+/// returned graph so the linter (src/check/lint.h) can report each one
+/// with its source line instead of stopping at the first.
+TaskGraph read_trace_unvalidated(std::istream& in,
+                                 const std::string& source_name = "<stream>");
+
 /// Convenience file wrappers.
 void save_trace(const std::string& path, const TaskGraph& graph);
 TaskGraph load_trace(const std::string& path);
+TaskGraph load_trace_unvalidated(const std::string& path);
 
 const char* to_string(VertexKind kind);
 VertexKind vertex_kind_from_string(const std::string& name);

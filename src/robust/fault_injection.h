@@ -70,6 +70,15 @@ struct FaultPlan {
   /// core::EmptyFrontierError.
   bool drop_all_pareto_points = false;
 
+  /// When > 0, every vertex time and the makespan of an *optimal* solve
+  /// result is shrunk by this relative amount after the solver returns
+  /// but before acceptance - the "too good to be true" bound. Replay
+  /// validation cannot see it (the schedule's configs are untouched);
+  /// only the exact certificate checker catches it, via precedence rows
+  /// that no longer cover the task durations. Exercises the
+  /// kCertificateFailed path end to end.
+  double corrupt_solution_epsilon = 0.0;
+
   /// Worker-process fault executed by forked workers whose cap matches
   /// (only_job_cap scopes this exactly like the status faults).
   WorkerFault worker_fault = WorkerFault::kNone;

@@ -59,6 +59,24 @@ std::string frame(char tag, const std::string& payload) {
 
 }  // namespace
 
+bool journal_entry_trusted(const JournalEntry& entry,
+                           bool require_certificate) {
+  if (entry.verdict != StatusCode::kOk) return true;
+  if (!require_certificate) return true;
+  // RunReport::to_json emits keys in a fixed order, so these exact
+  // substrings appear iff the report is schema >= 4 and the accepted
+  // solution passed verification. (The schema check alone is not enough:
+  // a run with verification disabled also stamps schema 4.)
+  const std::string& json = entry.report_json;
+  const std::size_t v = json.find("\"schema_version\":");
+  if (v == std::string::npos) return false;
+  const int schema =
+      static_cast<int>(std::strtol(json.c_str() + v + 17, nullptr, 10));
+  if (schema < 4) return false;
+  return json.find("\"certificate\":{\"checked\":true,\"ok\":true") !=
+         std::string::npos;
+}
+
 std::string serialize_journal_entry(const JournalEntry& e) {
   std::string out = "cap=";
   out += format_double(e.job_cap_watts);

@@ -92,6 +92,17 @@ struct RecoverySummary {
   }
 };
 
+/// Resume-trust predicate: may a recovered record be replayed into a
+/// resumed sweep without re-solving its cap? Failure and degraded
+/// records are always trusted (their bound, when any, is a simulated
+/// fallback, not an LP claim). A kOk record claims an LP bound, so when
+/// `require_certificate` is set (the resuming sweep verifies
+/// certificates) its RunReport JSON must show schema >= 4 with a passed
+/// certificate - records journaled before the verification layer, or
+/// tampered after the fact, are re-solved instead of trusted.
+bool journal_entry_trusted(const JournalEntry& entry,
+                           bool require_certificate);
+
 /// Serialize / parse one per-cap record payload (the `R` frame body).
 /// Shared with the worker-pool wire protocol: a worker ships its result
 /// to the supervisor in exactly the bytes the journal would append, so

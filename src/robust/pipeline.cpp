@@ -172,7 +172,14 @@ Result<ResilientSweepResult> parallel_resilient_sweep(
   std::vector<std::size_t> pending;
   for (std::size_t i = 0; i < job_caps.size(); ++i) {
     if (journal && options.resume) {
-      if (const JournalEntry* e = journal->find(job_caps[i])) {
+      const JournalEntry* e = journal->find(job_caps[i]);
+      // An untrusted record (kOk without a passed certificate) falls
+      // through to a fresh solve. The journal keeps the old record (a
+      // re-append would be dropped as a duplicate), so an untrusted cap
+      // is re-solved on every resume - deliberately: trust is a property
+      // of the record, not of how often it has been replayed.
+      if (e != nullptr &&
+          journal_entry_trusted(*e, options.driver.verify_certificate)) {
         slots[i] = row_from_entry(*e);
         ++out.resumed;
         continue;
@@ -291,7 +298,9 @@ Result<ResilientSweepResult> resilient_sweep(
 
   for (double cap : job_caps) {
     if (journal && options.resume) {
-      if (const JournalEntry* e = journal->find(cap)) {
+      const JournalEntry* e = journal->find(cap);
+      if (e != nullptr &&
+          journal_entry_trusted(*e, options.driver.verify_certificate)) {
         out.rows.push_back(row_from_entry(*e));
         ++out.resumed;
         continue;

@@ -8,6 +8,7 @@
 #include <sstream>
 #include <utility>
 
+#include "check/lint.h"
 #include "robust/fault_injection.h"
 #include "runtime/static_policy.h"
 #include "sim/engine.h"
@@ -29,6 +30,7 @@ bool retryable(StatusCode code) {
     case StatusCode::kIterationLimit:
     case StatusCode::kSolverUnbounded:
     case StatusCode::kReplayCapViolation:
+    case StatusCode::kCertificateFailed:
     case StatusCode::kInternal:
       return true;
     default:
@@ -142,7 +144,19 @@ std::string RunReport::to_json() const {
        << ",\"violation_seconds\":"
        << json_num(replay.check.violation_seconds);
   }
-  os << "}}";
+  os << "},\"certificate\":{\"checked\":"
+     << (certificate.checked ? "true" : "false");
+  if (certificate.checked) {
+    os << ",\"ok\":" << (certificate.ok ? "true" : "false")
+       << ",\"duality_checked\":"
+       << (certificate.duality_checked ? "true" : "false")
+       << ",\"max_violation\":" << json_num(certificate.max_violation)
+       << ",\"duality_gap\":" << json_num(certificate.duality_gap)
+       << ",\"detail\":\"" << json_escape(certificate.detail) << "\"";
+  }
+  os << "},\"lint\":{\"checked\":" << (lint.checked ? "true" : "false")
+     << ",\"errors\":" << lint.errors << ",\"warnings\":" << lint.warnings
+     << "}}";
   return os.str();
 }
 
@@ -169,6 +183,42 @@ struct SolveDriver::Impl {
   /// Warm-start checkpoint restored before the sweeper exists (journal
   /// resume installs it ahead of the first solve).
   mutable std::vector<lp::WarmStart> pending_warm;
+  /// Built lazily on the first accepted solve. The checker re-derives
+  /// windows/frontiers/event orders hook-free, so the cache is immune to
+  /// the fault seams; it is cap-independent, so one instance serves a
+  /// whole sweep.
+  mutable std::unique_ptr<check::CertificateChecker> checker;
+  /// One-time input-lint echo (stamped into every report once computed).
+  mutable LintEcho lint_echo;
+
+  const check::CertificateChecker& ensure_checker() const {
+    if (!checker) {
+      checker = std::make_unique<check::CertificateChecker>(
+          *graph, *model, *cluster, options.certificate);
+    }
+    return *checker;
+  }
+
+  const LintEcho& ensure_lint() const {
+    if (options.lint_inputs && !lint_echo.checked) {
+      try {
+        check::LintReport report = check::lint_trace(*graph);
+        report.merge(check::lint_machine(*cluster));
+        if (report.ok()) {
+          report.merge(check::lint_configs(*graph, *model));
+        }
+        lint_echo.checked = true;
+        lint_echo.errors = report.errors();
+        lint_echo.warnings = report.warnings();
+      } catch (const std::exception&) {
+        // An un-lintable input counts as one error; the solve itself will
+        // surface the structural failure with its own verdict.
+        lint_echo.checked = true;
+        lint_echo.errors = 1;
+      }
+    }
+    return lint_echo;
+  }
 
   bool ensure_sweeper(RunReport& report) const {
     if (sweeper) return true;
@@ -270,6 +320,7 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
   rep.ladder.cap_deadline_ms =
       im.options.cap_deadline_ms > 0.0 ? im.options.cap_deadline_ms : 0.0;
   rep.ladder.cancellable = im.options.cancel != nullptr;
+  rep.lint = im.ensure_lint();
 
   if (!std::isfinite(job_cap_watts) || job_cap_watts <= 0.0) {
     rep.verdict = StatusCode::kBadInput;
@@ -332,6 +383,15 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
       }
       try {
         core::WindowedLpResult res = im.sweeper->solve(o);
+        if (faulted && plan->corrupt_solution_epsilon > 0.0 &&
+            res.optimal()) {
+          // "Too good to be true": shrink the claimed bound after the
+          // solve. The schedule (and hence replay) is untouched; only the
+          // exact certificate checker can catch this.
+          const double shrink = 1.0 - plan->corrupt_solution_epsilon;
+          res.makespan *= shrink;
+          for (double& t : res.vertex_time) t *= shrink;
+        }
         att.outcome = from_solve_status(res.status);
         att.iterations = res.iterations;
         att.degenerate_pivots = res.degenerate_pivots;
@@ -361,6 +421,23 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
                   << job_cap_watts << " W by " << check.violation_watts
                   << " W";
               att.detail = msg.str();
+            }
+          }
+          if (accepted && im.options.verify_certificate) {
+            const check::CertificateVerdict v =
+                im.ensure_checker().verify(res, job_cap_watts, o.power_cap);
+            rep.certificate.checked = true;
+            rep.certificate.ok = v.checked && v.ok;
+            rep.certificate.duality_checked = v.duality_checked;
+            rep.certificate.max_violation = v.max_violation;
+            rep.certificate.duality_gap = v.duality_gap;
+            rep.certificate.detail = v.detail;
+            if (!rep.certificate.ok) {
+              accepted = false;
+              att.outcome = StatusCode::kCertificateFailed;
+              att.detail = v.detail.empty()
+                               ? "certificate verification failed"
+                               : v.detail;
             }
           }
           if (accepted) {

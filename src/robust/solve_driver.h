@@ -35,6 +35,7 @@
 #include <string>
 #include <vector>
 
+#include "check/certificate.h"
 #include "core/windowed.h"
 #include "robust/status.h"
 #include "sim/replay.h"
@@ -45,7 +46,9 @@ namespace powerlim::robust {
 /// RunReport JSON schema version. Bump whenever the serialized shape
 /// changes; tests/robust/report_schema_test.cpp locks the current shape
 /// with a golden string so accidental drift fails loudly.
-inline constexpr int kRunReportSchemaVersion = 3;
+/// Schema 4 added the `lint` and `certificate` blocks (verification
+/// layer) and the `certificate-failed` verdict.
+inline constexpr int kRunReportSchemaVersion = 4;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -69,6 +72,29 @@ struct SolveAttempt {
 struct ReplayVerdict {
   bool checked = false;
   sim::CapCheck check;
+};
+
+/// Exact-certificate verdict echo (schema 4): the verdict for the
+/// *accepted* solution when the cap ended kOk, or the last failing
+/// verdict when certificate rejection contributed to degradation.
+struct CertificateEcho {
+  /// True when the checker ran for this cap at least once.
+  bool checked = false;
+  bool ok = false;
+  /// True when weak duality was validated (solver duals available).
+  bool duality_checked = false;
+  double max_violation = 0.0;
+  double duality_gap = 0.0;
+  /// First failing rule's message; empty when ok.
+  std::string detail;
+};
+
+/// Input-lint echo (schema 4): error/warning counts from the one-time
+/// structural lint of the trace + machine model this driver solves.
+struct LintEcho {
+  bool checked = false;
+  int errors = 0;
+  int warnings = 0;
 };
 
 /// Worker-process supervision telemetry (schema 3). Zeroed for an
@@ -137,6 +163,8 @@ struct RunReport {
   WorkerTelemetry worker;
   std::vector<SolveAttempt> attempts;
   ReplayVerdict replay;
+  CertificateEcho certificate;
+  LintEcho lint;
 
   /// Did this cap end with *some* usable bound (optimal or degraded)?
   bool usable() const {
@@ -169,6 +197,16 @@ struct SolveDriverOptions {
   core::LpScheduleOptions lp;
   /// Replay-validate optimal schedules against the cap before accepting.
   bool validate_replay = true;
+  /// Re-verify every optimal solve with the exact certificate checker
+  /// before accepting it; a rejected certificate walks the ladder like a
+  /// solver fault (kCertificateFailed) and degrades when exhausted.
+  bool verify_certificate = true;
+  check::CertificateOptions certificate;
+  /// One-time structural lint of the trace + machine model (first solve),
+  /// echoed into every RunReport. Lint findings never block the solve -
+  /// the CLI input gate rejects bad traces up front; this echo records
+  /// that the inputs of *this* run were (or were not) clean.
+  bool lint_inputs = true;
   sim::CapCheckOptions cap_check;
   /// Replay physics (engine cluster/idle power are filled by the driver).
   sim::ReplayOptions replay;

@@ -20,6 +20,8 @@ const char* to_string(StatusCode code) {
       return "solver-unbounded";
     case StatusCode::kReplayCapViolation:
       return "replay-cap-violation";
+    case StatusCode::kCertificateFailed:
+      return "certificate-failed";
     case StatusCode::kDeadlineExceeded:
       return "deadline-exceeded";
     case StatusCode::kCancelled:
@@ -39,7 +41,8 @@ bool status_code_from_string(const std::string& name, StatusCode* code) {
        {StatusCode::kOk, StatusCode::kBadInput, StatusCode::kInfeasibleCap,
         StatusCode::kEmptyFrontier, StatusCode::kSolverNumerical,
         StatusCode::kIterationLimit, StatusCode::kSolverUnbounded,
-        StatusCode::kReplayCapViolation, StatusCode::kDeadlineExceeded,
+        StatusCode::kReplayCapViolation, StatusCode::kCertificateFailed,
+        StatusCode::kDeadlineExceeded,
         StatusCode::kCancelled, StatusCode::kWorkerCrashed,
         StatusCode::kResourceExhausted, StatusCode::kInternal}) {
     if (name == to_string(c)) {

@@ -38,6 +38,11 @@ enum class StatusCode {
   /// Post-replay validation: the replayed schedule's windowed power
   /// exceeded cap + tolerance.
   kReplayCapViolation,
+  /// The exact certificate checker (check/certificate.h) rejected an
+  /// "optimal" solution: primal infeasibility or an unexplained duality
+  /// gap when re-verified in exact rational arithmetic. Treated like a
+  /// solver fault - the ladder retries, then degrades.
+  kCertificateFailed,
   /// The per-cap wall-clock budget ran out. The ladder does not retry
   /// (an exhausted budget fails every later rung in O(1)); it degrades
   /// straight to the Static-policy fallback.

@@ -1,0 +1,254 @@
+// Exact certificate checker (check/certificate.h): accepts genuine
+// optimal solves, rejects every class of tampered solution, and
+// distinguishes real violations from float-level noise via the
+// configurable tolerance.
+#include "check/certificate.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "apps/exchange.h"
+#include "core/windowed.h"
+#include "dag/graph.h"
+#include "machine/power_model.h"
+
+namespace powerlim::check {
+namespace {
+
+const machine::PowerModel& test_model() {
+  static const machine::PowerModel m{machine::SocketSpec{}};
+  return m;
+}
+
+struct Solved {
+  dag::TaskGraph graph;
+  machine::ClusterSpec cluster;
+  core::WindowedLpResult result;
+  double job_cap = 0.0;
+};
+
+Solved solve_exchange(double cap_scale = 1.3) {
+  Solved s{apps::two_rank_exchange(), {}, {}, 0.0};
+  core::WindowSweeper sweeper(s.graph, test_model(), s.cluster);
+  s.job_cap = sweeper.min_feasible_power() * cap_scale;
+  s.result = sweeper.solve({.power_cap = s.job_cap});
+  EXPECT_TRUE(s.result.optimal());
+  return s;
+}
+
+const CertificateCheck* find_check(const CertificateVerdict& v,
+                                   const std::string& rule) {
+  for (const CertificateCheck& c : v.checks) {
+    if (c.rule == rule) return &c;
+  }
+  return nullptr;
+}
+
+TEST(Certificate, AcceptsGenuineOptimalSolve) {
+  const Solved s = solve_exchange();
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, s.result, s.job_cap);
+  EXPECT_TRUE(v.checked);
+  EXPECT_TRUE(v.ok) << v.detail;
+  EXPECT_TRUE(v.duality_checked);
+  EXPECT_LT(v.duality_gap, 1e-6);
+  for (const CertificateCheck& c : v.checks) {
+    EXPECT_TRUE(c.ok) << c.rule << ": " << c.detail;
+  }
+}
+
+TEST(Certificate, AcceptsMultiWindowTrace) {
+  Solved s{apps::make_comd({.ranks = 2, .iterations = 3}), {}, {}, 0.0};
+  core::WindowSweeper sweeper(s.graph, test_model(), s.cluster);
+  s.job_cap = sweeper.min_feasible_power() * 1.4;
+  s.result = sweeper.solve({.power_cap = s.job_cap});
+  ASSERT_TRUE(s.result.optimal());
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, s.result, s.job_cap);
+  EXPECT_TRUE(v.ok) << v.detail;
+  EXPECT_TRUE(v.duality_checked);
+}
+
+TEST(Certificate, ToleranceSeparatesNoiseFromViolation) {
+  // Shrinking the makespan claim by 1e-9 s sits inside the 1e-6
+  // feasibility tolerance; shrinking by 1e-3 s does not.
+  const Solved s = solve_exchange();
+
+  core::WindowedLpResult noise = s.result;
+  noise.makespan -= 1e-9;
+  noise.vertex_time.back() -= 1e-9;
+  EXPECT_TRUE(verify_certificate(s.graph, test_model(), s.cluster, noise,
+                                 s.job_cap)
+                  .ok);
+
+  core::WindowedLpResult bad = s.result;
+  bad.makespan -= 1e-3;
+  bad.vertex_time.back() -= 1e-3;
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+  const CertificateCheck* prec = find_check(v, "precedence");
+  ASSERT_NE(prec, nullptr);
+  EXPECT_FALSE(prec->ok) << v.detail;
+  EXPECT_GT(prec->violation, 1e-4);
+}
+
+TEST(Certificate, RejectsBrokenPrecedenceEdge) {
+  const Solved s = solve_exchange();
+  core::WindowedLpResult bad = s.result;
+  // Pull one interior vertex before its predecessor's end: the task into
+  // it no longer fits between its endpoints.
+  ASSERT_GE(bad.vertex_time.size(), 3u);
+  bad.vertex_time[1] = 0.0;
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+  const CertificateCheck* prec = find_check(v, "precedence");
+  ASSERT_NE(prec, nullptr);
+  EXPECT_FALSE(prec->ok);
+}
+
+TEST(Certificate, RejectsCapViolationByShareTampering) {
+  // Shift one task's mixture toward its fastest (hungriest) config
+  // without re-solving: the event cap no longer holds.
+  const Solved s = solve_exchange(1.05);  // tight cap: power binds
+  core::WindowedLpResult bad = s.result;
+  bool tampered = false;
+  for (std::vector<core::ConfigShare>& shares : bad.schedule.shares) {
+    if (shares.size() < 2) continue;
+    shares.front().fraction = 1.0;
+    for (std::size_t k = 1; k < shares.size(); ++k) {
+      shares[k].fraction = 0.0;
+    }
+    tampered = true;
+    break;
+  }
+  ASSERT_TRUE(tampered) << "expected a task with a mixed schedule";
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+  // Either the event cap or precedence breaks (the fast config is
+  // shorter, so the claimed span may now be loose but the power is up).
+  const CertificateCheck* cap = find_check(v, "event-cap");
+  const CertificateCheck* prec = find_check(v, "precedence");
+  ASSERT_NE(cap, nullptr);
+  ASSERT_NE(prec, nullptr);
+  EXPECT_TRUE(!cap->ok || !prec->ok) << v.detail;
+}
+
+TEST(Certificate, RejectsTamperedFrontier) {
+  const Solved s = solve_exchange();
+  core::WindowedLpResult bad = s.result;
+  ASSERT_FALSE(bad.frontiers.empty());
+  for (std::vector<machine::Config>& f : bad.frontiers) {
+    if (f.empty()) continue;
+    f.front().power *= 0.5;  // claim the config burns half the power
+    break;
+  }
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+  const CertificateCheck* fm = find_check(v, "frontier-membership");
+  ASSERT_NE(fm, nullptr);
+  EXPECT_FALSE(fm->ok);
+}
+
+TEST(Certificate, RejectsShareWeightsNotSummingToOne) {
+  const Solved s = solve_exchange();
+  core::WindowedLpResult bad = s.result;
+  ASSERT_FALSE(bad.schedule.shares.empty());
+  bool tampered = false;
+  for (std::vector<core::ConfigShare>& shares : bad.schedule.shares) {
+    if (shares.empty()) continue;
+    shares.front().fraction += 0.25;  // sum is now 1.25
+    tampered = true;
+    break;
+  }
+  ASSERT_TRUE(tampered);
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+  const CertificateCheck* sw = find_check(v, "share-weights");
+  ASSERT_NE(sw, nullptr);
+  EXPECT_FALSE(sw->ok);
+}
+
+TEST(Certificate, WeakDualityCatchesUnderstatedObjective) {
+  // Scale the whole time axis down 10%: primal feasibility breaks, and
+  // even if precedence were somehow loose, the duals' Lagrangian bound
+  // exceeds the claimed objective.
+  const Solved s = solve_exchange();
+  core::WindowedLpResult bad = s.result;
+  bad.makespan *= 0.9;
+  for (double& t : bad.vertex_time) t *= 0.9;
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Certificate, GarbageDualsNeverCertifyFalsely) {
+  // Corrupted duals may only *fail* verification (gap blows up), never
+  // make a wrong objective pass: any y yields a valid lower bound.
+  const Solved s = solve_exchange();
+  core::WindowedLpResult bad = s.result;
+  bad.makespan *= 0.9;
+  for (double& t : bad.vertex_time) t *= 0.9;
+  for (std::vector<double>& duals : bad.window_duals) {
+    for (double& y : duals) y = -y * 3.0;
+  }
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, bad, s.job_cap);
+  EXPECT_FALSE(v.ok);
+}
+
+TEST(Certificate, MissingDualsSkipOrFailPerOptions) {
+  const Solved s = solve_exchange();
+  core::WindowedLpResult nodual = s.result;
+  nodual.window_duals.clear();
+
+  CertificateOptions lenient;
+  const CertificateVerdict ok = verify_certificate(
+      s.graph, test_model(), s.cluster, nodual, s.job_cap, lenient);
+  EXPECT_TRUE(ok.ok) << ok.detail;
+  EXPECT_FALSE(ok.duality_checked);
+
+  CertificateOptions strict;
+  strict.require_duals = true;
+  const CertificateVerdict fail = verify_certificate(
+      s.graph, test_model(), s.cluster, nodual, s.job_cap, strict);
+  EXPECT_FALSE(fail.ok);
+}
+
+TEST(Certificate, MalformedResultIsUncheckedNotCrash) {
+  const Solved s = solve_exchange();
+  core::WindowedLpResult mangled = s.result;
+  mangled.vertex_time.resize(1);  // wrong cardinality
+  const CertificateVerdict v = verify_certificate(
+      s.graph, test_model(), s.cluster, mangled, s.job_cap);
+  EXPECT_FALSE(v.ok);
+
+  core::WindowedLpResult failed;
+  failed.status = lp::SolveStatus::kNumericalError;
+  const CertificateVerdict nf = verify_certificate(
+      s.graph, test_model(), s.cluster, failed, s.job_cap);
+  EXPECT_FALSE(nf.ok);
+}
+
+TEST(CertificateChecker, ReusableAcrossCaps) {
+  const Solved s = solve_exchange();
+  const CertificateChecker checker(s.graph, test_model(), s.cluster);
+  core::WindowSweeper sweeper(s.graph, test_model(), s.cluster);
+  for (double scale : {1.1, 1.5, 2.0}) {
+    const double cap = sweeper.min_feasible_power() * scale;
+    const core::WindowedLpResult res = sweeper.solve({.power_cap = cap});
+    ASSERT_TRUE(res.optimal());
+    const CertificateVerdict v = checker.verify(res, cap, cap);
+    EXPECT_TRUE(v.ok) << "cap scale " << scale << ": " << v.detail;
+  }
+}
+
+}  // namespace
+}  // namespace powerlim::check

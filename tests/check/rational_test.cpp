@@ -1,0 +1,114 @@
+// Exact dyadic-rational arithmetic (check/rational.h): the foundation
+// the certificate checker's soundness rests on. Every finite double is
+// representable exactly, and +/-/* never round.
+#include "check/rational.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+namespace powerlim::check {
+namespace {
+
+TEST(BigInt, SmallArithmetic) {
+  const BigInt a = BigInt(123456789);
+  const BigInt b = BigInt(-987654321);
+  EXPECT_EQ((a + b).to_string(), "-864197532");
+  EXPECT_EQ((a - b).to_string(), "1111111110");
+  EXPECT_EQ((a * b).to_string(), "-121932631112635269");
+  EXPECT_EQ(BigInt(0).to_string(), "0");
+}
+
+TEST(BigInt, MultiLimbCarries) {
+  // 2^96 spans four 32-bit limbs; (2^96 - 1) + 1 must carry end to end.
+  const BigInt one = BigInt(1);
+  BigInt big = one.shifted_left(96);
+  EXPECT_EQ((big - one + one).compare(big), 0);
+  EXPECT_EQ(big.to_string(), "79228162514264337593543950336");
+  // (2^48)^2 = 2^96.
+  const BigInt half = one.shifted_left(48);
+  EXPECT_EQ((half * half).compare(big), 0);
+}
+
+TEST(BigInt, CompareAndShift) {
+  const BigInt a = BigInt(5);
+  EXPECT_LT(BigInt(-7).compare(a), 0);
+  EXPECT_GT(a.compare(BigInt(-7)), 0);
+  EXPECT_EQ(a.shifted_left(3).to_string(), "40");
+  EXPECT_EQ(a.shifted_left(3).shifted_right(3).compare(a), 0);
+  EXPECT_EQ(BigInt(40).trailing_zero_bits(), 3);
+}
+
+TEST(Dyadic, RoundTripsDoublesExactly) {
+  for (double v : {0.0, 1.0, -1.5, 0.1, 3.141592653589793, 1e-300, 1e300,
+                   -6.25e-3, 123456789.123456789}) {
+    EXPECT_EQ(Dyadic::from_double(v).to_double(), v) << v;
+  }
+}
+
+TEST(Dyadic, ExactAddition) {
+  // 0.1 + 0.2 != 0.3 in doubles; in dyadic arithmetic the sum equals
+  // exactly the double 0.1 + 0.2 (each operand converted exactly).
+  const Dyadic a = Dyadic::from_double(0.1);
+  const Dyadic b = Dyadic::from_double(0.2);
+  const Dyadic s = a + b;
+  EXPECT_NE(s.compare(Dyadic::from_double(0.3)), 0);
+  EXPECT_EQ(s.to_double(), 0.1 + 0.2);
+}
+
+TEST(Dyadic, MultiplicationIsExact) {
+  // (1/2^30) * (1/2^30) = 1/2^60: exact in dyadic form, and distinct
+  // from any nearby value.
+  const Dyadic tiny = Dyadic::from_double(std::ldexp(1.0, -30));
+  const Dyadic p = tiny * tiny;
+  EXPECT_EQ(p.compare(Dyadic::from_double(std::ldexp(1.0, -60))), 0);
+  EXPECT_EQ(p.to_double(), std::ldexp(1.0, -60));
+}
+
+TEST(Dyadic, ComparisonAcrossScales) {
+  const Dyadic small = Dyadic::from_double(1e-12);
+  const Dyadic large = Dyadic::from_double(1e12);
+  EXPECT_LT(small.compare(large), 0);
+  EXPECT_GT(large.compare(small), 0);
+  EXPECT_LT(Dyadic::from_double(-1e12).compare(small), 0);
+  EXPECT_EQ(Dyadic::from_int(0).compare(Dyadic::from_double(0.0)), 0);
+}
+
+TEST(Dyadic, SubtractionCancelsExactly) {
+  // Catastrophic cancellation in doubles is exact here: (a + b) - a == b
+  // for any operands, including wildly different magnitudes.
+  const Dyadic a = Dyadic::from_double(1e16);
+  const Dyadic b = Dyadic::from_double(1e-16);
+  const Dyadic diff = (a + b) - a;
+  EXPECT_EQ(diff.compare(b), 0);
+  EXPECT_EQ(diff.to_double(), 1e-16);
+}
+
+TEST(Dyadic, AbsAndMax) {
+  const Dyadic neg = Dyadic::from_double(-2.5);
+  EXPECT_EQ(neg.abs().to_double(), 2.5);
+  EXPECT_EQ(dyadic_max(neg, Dyadic::from_double(1.0)).to_double(), 1.0);
+}
+
+TEST(Dyadic, AccumulatedSumMatchesIntegerModel) {
+  // Summing 0.1 a thousand times drifts in doubles; dyadic accumulation
+  // equals 1000 * 0.1 computed exactly.
+  Dyadic sum = Dyadic::from_int(0);
+  const Dyadic tenth = Dyadic::from_double(0.1);
+  for (int i = 0; i < 1000; ++i) sum = sum + tenth;
+  EXPECT_EQ(sum.compare(tenth * Dyadic::from_int(1000)), 0);
+}
+
+TEST(Dyadic, HugeExponentsToDoubleSaturatesFinitely) {
+  // A product of two large doubles overflows the double range; to_double
+  // must not trap, and comparisons stay exact.
+  const Dyadic big = Dyadic::from_double(1e300);
+  const Dyadic prod = big * big;  // 1e600: not representable as double
+  EXPECT_GT(prod.compare(big), 0);
+  EXPECT_TRUE(std::isinf(prod.to_double()) ||
+              prod.to_double() == std::numeric_limits<double>::max());
+}
+
+}  // namespace
+}  // namespace powerlim::check

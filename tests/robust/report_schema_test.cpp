@@ -60,13 +60,23 @@ RunReport golden_report() {
   rep.replay.check.max_windowed_power = 118.25;
   rep.replay.check.violation_watts = 0.0;
   rep.replay.check.violation_seconds = 0.0;
+
+  rep.certificate.checked = true;
+  rep.certificate.ok = true;
+  rep.certificate.duality_checked = true;
+  rep.certificate.max_violation = 0.0;
+  rep.certificate.duality_gap = 0.0005;
+  rep.certificate.detail = "";
+  rep.lint.checked = true;
+  rep.lint.errors = 0;
+  rep.lint.warnings = 2;
   return rep;
 }
 
 // The golden string. Field order, spelling, and nesting are all
 // contractual; values are chosen to be exact in decimal.
 const char* const kGolden =
-    "{\"schema_version\":3,"
+    "{\"schema_version\":4,"
     "\"job_cap_watts\":120,"
     "\"socket_cap_watts\":60,"
     "\"verdict\":\"ok\","
@@ -90,18 +100,22 @@ const char* const kGolden =
     "\"detail\":\"injected\"}],"
     "\"replay\":{\"checked\":true,\"ok\":true,\"cap_watts\":120,"
     "\"peak_power_watts\":130.5,\"max_windowed_power_watts\":118.25,"
-    "\"violation_watts\":0,\"violation_seconds\":0}}";
+    "\"violation_watts\":0,\"violation_seconds\":0},"
+    "\"certificate\":{\"checked\":true,\"ok\":true,"
+    "\"duality_checked\":true,\"max_violation\":0,"
+    "\"duality_gap\":0.0005,\"detail\":\"\"},"
+    "\"lint\":{\"checked\":true,\"errors\":0,\"warnings\":2}}";
 
 TEST(ReportSchema, GoldenShapeIsStable) {
   EXPECT_EQ(golden_report().to_json(), kGolden);
 }
 
-TEST(ReportSchema, VersionIsThree) {
-  EXPECT_EQ(kRunReportSchemaVersion, 3);
-  EXPECT_EQ(RunReport{}.schema_version, 3);
+TEST(ReportSchema, VersionIsFour) {
+  EXPECT_EQ(kRunReportSchemaVersion, 4);
+  EXPECT_EQ(RunReport{}.schema_version, 4);
   // Every serialized report leads with the version so consumers can
   // dispatch before parsing the rest.
-  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":3,", 0), 0u);
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":4,", 0), 0u);
 }
 
 TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
@@ -118,6 +132,11 @@ TEST(ReportSchema, UncheckedReplaySerializesClosed) {
   RunReport rep;
   const std::string json = rep.to_json();
   EXPECT_NE(json.find("\"replay\":{\"checked\":false}"), std::string::npos);
+  EXPECT_NE(json.find("\"certificate\":{\"checked\":false}"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"lint\":{\"checked\":false,\"errors\":0,"
+                      "\"warnings\":0}"),
+            std::string::npos);
 }
 
 TEST(ReportSchema, RealSolveEchoesFaultAndLadderOptions) {

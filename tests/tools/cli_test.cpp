@@ -353,6 +353,106 @@ TEST(Cli, PartitionInfeasibleBudget) {
 }
 
 
+std::string write_fixture(const std::string& name, const std::string& text) {
+  const std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream f(path);
+  f << text;
+  return path;
+}
+
+const char kZeroWorkTrace[] =
+    "powerlim-trace 1\n"
+    "ranks 1\n"
+    "vertex 0 init -1 Init\n"
+    "vertex 1 finalize -1 Finalize\n"
+    "task 0 1 0 0 0 0 0.95 4 0 8\n";
+
+TEST(CliLint, CleanTracePassesWithOkSummary) {
+  const std::string path = ::testing::TempDir() + "/cli_lint_clean.trace";
+  ASSERT_EQ(run_cli({"trace", "exchange", "-o", path}).code, 0);
+  const CliResult r = run_cli({"lint", path});
+  EXPECT_EQ(r.code, 0) << r.out << r.err;
+  EXPECT_NE(r.out.find(": ok"), std::string::npos);
+}
+
+TEST(CliLint, ZeroWorkTaskIsFlaggedWithFileAndLine) {
+  const std::string path =
+      write_fixture("cli_lint_zero.trace", kZeroWorkTrace);
+  const CliResult r = run_cli({"lint", path});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.out.find(path + ":5: error: [task-work]"), std::string::npos)
+      << r.out;
+  EXPECT_NE(r.out.find("FAILED"), std::string::npos);
+}
+
+TEST(CliLint, CyclicTraceIsFlagged) {
+  const std::string path = write_fixture("cli_lint_cycle.trace",
+                                         "powerlim-trace 1\n"
+                                         "ranks 1\n"
+                                         "vertex 0 init -1 Init\n"
+                                         "vertex 1 generic 0 A\n"
+                                         "vertex 2 generic 0 B\n"
+                                         "vertex 3 finalize -1 Finalize\n"
+                                         "task 0 1 0 0 1 0.1 0.95 4 0 8\n"
+                                         "task 1 2 0 0 1 0.1 0.95 4 0 8\n"
+                                         "task 2 1 0 0 1 0.1 0.95 4 0 8\n"
+                                         "task 2 3 0 0 1 0.1 0.95 4 0 8\n");
+  const CliResult r = run_cli({"lint", path});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.out.find("[dag-acyclic]"), std::string::npos) << r.out;
+}
+
+TEST(CliLint, MixedFilesReportPerFileSummaries) {
+  const std::string good = ::testing::TempDir() + "/cli_lint_good.trace";
+  ASSERT_EQ(run_cli({"trace", "exchange", "-o", good}).code, 0);
+  const std::string bad =
+      write_fixture("cli_lint_bad.trace", kZeroWorkTrace);
+  const CliResult r = run_cli({"lint", good, bad});
+  EXPECT_NE(r.code, 0);
+  EXPECT_NE(r.out.find(good + ": ok"), std::string::npos) << r.out;
+  EXPECT_NE(r.out.find("FAILED"), std::string::npos) << r.out;
+}
+
+TEST(CliLint, MissingFileFails) {
+  const CliResult r = run_cli({"lint", "/nonexistent/x.trace"});
+  EXPECT_NE(r.code, 0);
+}
+
+TEST(CliLint, RequiresAtLeastOneFile) {
+  const CliResult r = run_cli({"lint"});
+  EXPECT_NE(r.code, 0);
+}
+
+TEST(CliLint, BoundRejectsVacuousZeroWorkTrace) {
+  // The historic bug: a zero-duration task made `bound` print an LP
+  // bound of 0.0000 s. The lint gate now refuses to solve it.
+  const std::string path =
+      write_fixture("cli_bound_zero.trace", kZeroWorkTrace);
+  const CliResult b = run_cli({"bound", path, "--socket-cap", "45"});
+  EXPECT_NE(b.code, 0);
+  EXPECT_NE(b.err.find("[task-work]"), std::string::npos) << b.err;
+  EXPECT_NE(b.err.find("--no-lint"), std::string::npos) << b.err;
+  EXPECT_EQ(b.out.find("LP bound"), std::string::npos) << b.out;
+}
+
+TEST(CliLint, NoLintBypassesTheGate) {
+  const std::string path =
+      write_fixture("cli_bound_zero2.trace", kZeroWorkTrace);
+  const CliResult b =
+      run_cli({"bound", path, "--socket-cap", "45", "--no-lint"});
+  EXPECT_EQ(b.code, 0) << b.err;
+  EXPECT_NE(b.out.find("LP bound"), std::string::npos) << b.out;
+}
+
+TEST(CliLint, SweepGateAlsoLints) {
+  const std::string path =
+      write_fixture("cli_sweep_zero.trace", kZeroWorkTrace);
+  const CliResult s = run_cli({"sweep", path, "--from", "10", "--to", "60",
+                               "--step", "25"});
+  EXPECT_NE(s.code, 0);
+  EXPECT_NE(s.err.find("[task-work]"), std::string::npos) << s.err;
+}
+
 TEST(Cli, DotRendersToStdout) {
   ASSERT_EQ(run_cli({"trace", "exchange", "-o", temp_trace()}).code, 0);
   const CliResult d = run_cli({"dot", temp_trace()});

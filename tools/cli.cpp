@@ -14,6 +14,7 @@
 
 #include "apps/benchmarks.h"
 #include "apps/exchange.h"
+#include "check/lint.h"
 #include "core/partition.h"
 #include "core/schedule_io.h"
 #include "core/windowed.h"
@@ -76,15 +77,21 @@ const char* kUsage =
     "  trace    <comd|lulesh|sp|bt|exchange> -o FILE [--ranks N]\n"
     "           [--iterations N] [--seed S]\n"
     "  info     FILE\n"
+    "  lint     FILE [FILE...]\n"
+    "           (static analysis of traces: DAG structure, message\n"
+    "            endpoints, workload sanity, frontier convexity, DVFS\n"
+    "            grid, LP cap coverage; file:line diagnostics, exit 1 on\n"
+    "            any error)\n"
     "  bound    FILE --socket-cap W [--discrete] [-o SCHEDULE]\n"
-    "           [--report FILE] [--deadline-ms MS]\n"
-    "           (solves through the retry/degradation ladder; -o also\n"
+    "           [--report FILE] [--deadline-ms MS] [--no-lint]\n"
+    "           (solves through the retry/degradation ladder; the trace\n"
+    "            must pass lint first (--no-lint to force); -o also\n"
     "            writes SCHEDULE.runreport.json; --deadline-ms bounds\n"
     "            the whole ladder in wall time)\n"
     "  compare  FILE --socket-cap W\n"
     "  sweep    FILE --from W --to W [--step W] [--report FILE]\n"
     "           [--inject-fail W|worker-crash|worker-oom|worker-hang]\n"
-    "           [--journal FILE [--resume]]\n"
+    "           [--journal FILE [--resume]] [--no-lint]\n"
     "           [--deadline-ms MS] [--cap-deadline-ms MS]\n"
     "           [--workers N [--worker-mem-mb M] [--worker-cpu-s S]]\n"
     "           (per-cap verdicts; failed caps degrade to the Static\n"
@@ -258,6 +265,49 @@ void write_report_file(const std::string& path, const std::string& json,
   out << "run report written to " << path << "\n";
 }
 
+int cmd_lint(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.empty()) {
+    err << "lint: expected one or more trace files\n";
+    return 2;
+  }
+  const machine::ClusterSpec cluster;
+  int total_errors = 0;
+  for (const std::string& path : p.positional) {
+    const check::LintReport report =
+        check::lint_trace_file(path, model(), cluster);
+    for (const check::LintFinding& f : report.findings) {
+      out << f.to_string() << "\n";
+    }
+    total_errors += report.errors();
+    out << path << ": " << (report.ok() ? "ok" : "FAILED") << " ("
+        << report.errors() << " error(s), " << report.warnings()
+        << " warning(s))\n";
+  }
+  return total_errors > 0 ? 1 : 0;
+}
+
+/// Input gate for the solving commands: a trace the linter flags as
+/// structurally unsound is rejected up front, with the linter's
+/// file:line diagnostics, instead of being solved into a vacuous bound
+/// (a zero-work chain "proves" a 0 s makespan without any of the LP
+/// machinery noticing). `--no-lint` bypasses the gate.
+bool lint_gate(const std::string& path, const ParsedArgs& p, const char* cmd,
+               std::ostream& err) {
+  if (p.flags.count("--no-lint") > 0) return true;
+  const check::LintReport report =
+      check::lint_trace_file(path, model(), machine::ClusterSpec{});
+  if (report.ok()) return true;
+  for (const check::LintFinding& f : report.findings) {
+    if (f.severity == check::LintSeverity::kError) {
+      err << f.to_string() << "\n";
+    }
+  }
+  err << cmd << ": trace '" << path << "' failed lint with "
+      << report.errors()
+      << " error(s); fix the trace or pass --no-lint to solve anyway\n";
+  return false;
+}
+
 int cmd_bound(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (p.positional.size() != 1) {
     err << "bound: expected one trace file\n";
@@ -273,6 +323,7 @@ int cmd_bound(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "error: " << trace.status().message() << "\n";
     return 1;
   }
+  if (!lint_gate(p.positional[0], p, "bound", err)) return 1;
   const dag::TaskGraph& g = *trace;
   const machine::ClusterSpec cluster;
   const double job_cap = *socket_cap * g.num_ranks();
@@ -412,6 +463,7 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "error: " << trace.status().message() << "\n";
     return 1;
   }
+  if (!lint_gate(p.positional[0], p, "sweep", err)) return 1;
   const dag::TaskGraph& g = *trace;
   const machine::ClusterSpec cluster;
 
@@ -849,11 +901,14 @@ int run(const std::vector<std::string>& args, std::ostream& out,
     if (cmd == "info") {
       return cmd_info(parse(args, 1, {}, {}), out, err);
     }
+    if (cmd == "lint") {
+      return cmd_lint(parse(args, 1, {}, {}), out, err);
+    }
     if (cmd == "bound") {
       return cmd_bound(parse(args, 1,
                              {"--socket-cap", "-o", "--report",
                               "--deadline-ms"},
-                             {"--discrete"}),
+                             {"--discrete", "--no-lint"}),
                        out, err);
     }
     if (cmd == "replay") {
@@ -869,7 +924,7 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                               "--deadline-ms", "--cap-deadline-ms",
                               "--workers", "--worker-mem-mb",
                               "--worker-cpu-s"},
-                             {"--resume"}),
+                             {"--resume", "--no-lint"}),
                        out, err);
     }
     if (cmd == "timeline") {
