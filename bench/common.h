@@ -8,6 +8,7 @@
 // records paper-vs-measured for each.
 //
 // All binaries accept:  [--ranks N] [--iterations N] [--csv]
+//                       [--json FILE]  (machine-readable artifact for CI)
 #pragma once
 
 #include <cstdio>
@@ -27,6 +28,9 @@ struct BenchArgs {
   int ranks = 8;
   int iterations = 12;
   bool csv = false;
+  /// When set, emit() also writes the table as a JSON artifact here
+  /// (e.g. CI's BENCH_headline.json).
+  std::string json_path;
 };
 
 inline BenchArgs parse_args(int argc, char** argv) {
@@ -38,9 +42,12 @@ inline BenchArgs parse_args(int argc, char** argv) {
       args.iterations = std::atoi(argv[++i]);
     } else if (std::strcmp(argv[i], "--csv") == 0) {
       args.csv = true;
+    } else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+      args.json_path = argv[++i];
     } else if (std::strcmp(argv[i], "--help") == 0) {
-      std::printf("usage: %s [--ranks N] [--iterations N] [--csv]\n",
-                  argv[0]);
+      std::printf(
+          "usage: %s [--ranks N] [--iterations N] [--csv] [--json FILE]\n",
+          argv[0]);
       std::exit(0);
     }
   }
@@ -52,6 +59,15 @@ inline void emit(const util::Table& table, const BenchArgs& args) {
     std::fputs(table.to_csv().c_str(), stdout);
   } else {
     std::fputs(table.to_string().c_str(), stdout);
+  }
+  if (!args.json_path.empty()) {
+    std::FILE* f = std::fopen(args.json_path.c_str(), "w");
+    if (f) {
+      std::fputs(table.to_json().c_str(), f);
+      std::fclose(f);
+    } else {
+      std::fprintf(stderr, "cannot write %s\n", args.json_path.c_str());
+    }
   }
 }
 

@@ -51,6 +51,35 @@ bool worker_fault_from_string(const std::string& name, WorkerFault* fault) {
   return false;
 }
 
+const char* to_string(NetFault fault) {
+  switch (fault) {
+    case NetFault::kNone:
+      return "none";
+    case NetFault::kDrop:
+      return "net-drop";
+    case NetFault::kStall:
+      return "net-stall";
+    case NetFault::kCorrupt:
+      return "net-corrupt";
+    case NetFault::kSlow:
+      return "net-slow";
+    case NetFault::kLie:
+      return "net-lie";
+  }
+  return "?";
+}
+
+bool net_fault_from_string(const std::string& name, NetFault* fault) {
+  for (NetFault f : {NetFault::kDrop, NetFault::kStall, NetFault::kCorrupt,
+                     NetFault::kSlow, NetFault::kLie}) {
+    if (name == to_string(f)) {
+      *fault = f;
+      return true;
+    }
+  }
+  return false;
+}
+
 void maybe_execute_worker_fault(double job_cap_watts, int attempt) {
   const FaultPlan* plan = ScopedFaultPlan::active();
   if (plan == nullptr || plan->worker_fault == WorkerFault::kNone) return;

@@ -43,6 +43,33 @@ enum class WorkerFault {
 bool worker_fault_from_string(const std::string& name, WorkerFault* fault);
 const char* to_string(WorkerFault fault);
 
+/// Network faults for distributed sweeps, executed at either endpoint:
+/// `powerlim serve-worker --inject-fail net-*` injures the worker side
+/// of the connection, `powerlim sweep --inject-fail net-*` the
+/// scheduler side. Each mode exercises one arm of the reassignment
+/// ladder (robust/remote_worker.h).
+enum class NetFault {
+  kNone,
+  /// Drop the connection mid-result-frame (torn frame + disconnect).
+  kDrop,
+  /// Go silent past the heartbeat deadline (dead-peer detection).
+  kStall,
+  /// Flip a byte inside a framed payload (CRC rejection).
+  kCorrupt,
+  /// Delay every frame by a sub-deadline amount: slow but alive, must
+  /// NOT be classified as dead.
+  kSlow,
+  /// Worker-only: skip local certificate verification and corrupt the
+  /// solution epsilon-subtly (a Byzantine "too good" bound); the
+  /// scheduler's certificate gate must reject it.
+  kLie,
+};
+
+/// Kebab-case names: "net-drop", "net-stall", "net-corrupt", "net-slow",
+/// "net-lie". Returns false on an unknown name (including "net-none").
+bool net_fault_from_string(const std::string& name, NetFault* fault);
+const char* to_string(NetFault fault);
+
 struct FaultPlan {
   std::uint64_t seed = 1;
 
@@ -87,6 +114,15 @@ struct FaultPlan {
   /// retry-in-a-fresh-worker succeeds; 2+ exhausts the retry and forces
   /// the worker-crashed / resource-exhausted degradation.
   int worker_fault_attempts = 1;
+
+  /// Network fault executed on matching caps of a distributed sweep
+  /// (scheduler side when installed in the sweep process, worker side
+  /// when passed to serve-worker).
+  NetFault net_fault = NetFault::kNone;
+  /// Job attempts (0-based, per cap) that execute the network fault.
+  /// The default injures only the first attempt, so the retry on a
+  /// different worker succeeds and the sweep stays byte-identical.
+  int net_fault_attempts = 1;
 
   bool applies_to_cap(double job_cap_watts) const;
   bool forces_status() const { return fail_attempts > 0; }

@@ -2,14 +2,21 @@
 
 #include <sys/resource.h>
 
+#include <cmath>
 #include <cstddef>
+#include <memory>
 #include <optional>
+#include <sstream>
 #include <utility>
 
+#include "check/certificate.h"
+#include "core/pareto.h"
 #include "dag/trace_io.h"
 #include "robust/fault_injection.h"
+#include "robust/remote_worker.h"
 #include "runtime/static_policy.h"
 #include "sim/engine.h"
+#include "util/socket_io.h"
 
 namespace powerlim::robust {
 
@@ -268,12 +275,234 @@ Result<ResilientSweepResult> parallel_resilient_sweep(
   return out;
 }
 
+/// The Byzantine gate: a remote kOk result is only as trustworthy as the
+/// solution artifact it shipped. Re-verify the artifact locally with the
+/// exact certificate checker against *our* trace and machine model - a
+/// peer can waste an attempt, never poison the journal. Degraded /
+/// infeasible verdicts are accepted upstream without a gate call (their
+/// conservative bounds carry nothing worth forging).
+RemoteResultGate make_certificate_gate(const dag::TaskGraph& graph,
+                                       const machine::PowerModel& model,
+                                       const machine::ClusterSpec& cluster,
+                                       const ResilientSweepOptions& options) {
+  if (!options.driver.verify_certificate) return nullptr;
+  auto checker = std::make_shared<check::CertificateChecker>(
+      graph, model, cluster, options.driver.certificate);
+  return [checker, &graph, &model](const JournalEntry& e,
+                                   const std::string& solution_text)
+             -> Status {
+    if (e.verdict != StatusCode::kOk) return Status::Ok();
+    if (solution_text.empty()) {
+      return Status(StatusCode::kCertificateFailed,
+                    "remote kOk result shipped no solution artifact");
+    }
+    std::optional<core::SavedSchedule> saved;
+    try {
+      std::istringstream in(solution_text);
+      saved.emplace(core::read_schedule(in));
+    } catch (const std::exception& ex) {
+      return Status(StatusCode::kWireMalformed,
+                    std::string("unreadable solution artifact: ") + ex.what());
+    }
+    if (std::abs(saved->job_cap_watts - e.job_cap_watts) > 1e-9) {
+      return Status(StatusCode::kCertificateFailed,
+                    "solution artifact solves a different cap than claimed");
+    }
+    const double scale = std::max(1.0, std::abs(e.bound_seconds));
+    if (std::abs(saved->makespan - e.bound_seconds) > 1e-9 * scale) {
+      return Status(StatusCode::kCertificateFailed,
+                    "solution artifact does not support the reported bound");
+    }
+    core::WindowedLpResult res;
+    res.status = lp::SolveStatus::kOptimal;
+    res.makespan = saved->makespan;
+    res.schedule = std::move(saved->schedule);
+    res.vertex_time = std::move(saved->vertex_time);
+    // The artifact only round-trips the frontier points its mixture
+    // references; rebuild the full frontiers from OUR trace and machine
+    // model (same derivation as the formulation). The checker then
+    // re-verifies the peer's mixture against trusted local data - a
+    // forged duration/power inside the artifact is simply ignored.
+    res.frontiers.resize(graph.num_edges());
+    for (const dag::Edge& edge : graph.edges()) {
+      if (!edge.is_task()) continue;
+      res.frontiers[edge.id] =
+          core::convex_frontier(model.enumerate(edge.work, edge.rank));
+    }
+    // No duals cross the wire, so weak duality is skipped; exact primal
+    // feasibility alone already rejects any bound below the true
+    // optimum (the schedule cannot finish that fast).
+    const check::CertificateVerdict v =
+        checker->verify(res, e.job_cap_watts, e.job_cap_watts);
+    if (!v.checked) {
+      return Status(StatusCode::kCertificateFailed,
+                    "certificate gate could not verify the artifact: " +
+                        v.detail);
+    }
+    if (!v.ok) {
+      return Status(StatusCode::kCertificateFailed,
+                    "certificate gate rejected the remote solution: " +
+                        v.detail);
+    }
+    return Status::Ok();
+  };
+}
+
+/// The --remote path: parallel_resilient_sweep's journaling/resume
+/// skeleton dispatched through the distributed pool. The coordinator
+/// splices real transport telemetry into every settled report; remote
+/// kOk results pass the certificate gate before journaling.
+Result<ResilientSweepResult> distributed_resilient_sweep(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
+    const ResilientSweepOptions& options) {
+  RemoteWorkerOptions remote;
+  for (const std::string& text : options.remotes) {
+    util::Endpoint ep;
+    if (!util::parse_endpoint(text, &ep) || ep.port == 0) {
+      return Status(StatusCode::kBadInput,
+                    "bad remote endpoint '" + text +
+                        "' (want host:port with a nonzero port)");
+    }
+    remote.remotes.push_back(ep);
+  }
+  RemoteSolveConfig wire_config;
+  wire_config.cap_deadline_ms = options.driver.cap_deadline_ms;
+  wire_config.validate_replay = options.driver.validate_replay;
+  wire_config.verify_certificate = options.driver.verify_certificate;
+  wire_config.discrete = options.driver.lp.discrete;
+  remote.handshake = encode_handshake(wire_config, graph);
+  if (options.remote_heartbeat_ms > 0.0) {
+    remote.heartbeat_timeout_ms = options.remote_heartbeat_ms;
+  }
+  if (options.remote_timeout_ms > 0.0) {
+    remote.job_timeout_ms = options.remote_timeout_ms;
+  } else if (options.driver.cap_deadline_ms > 0.0) {
+    // The remote end enforces the cap deadline itself; this ceiling only
+    // catches a peer that silently keeps heartbeating past it.
+    remote.job_timeout_ms = options.driver.cap_deadline_ms + 5000.0;
+  }
+
+  ResilientSweepResult out;
+
+  std::optional<SweepJournal> journal;
+  if (!options.journal_path.empty()) {
+    Result<SweepJournal> opened = SweepJournal::open(options.journal_path);
+    if (!opened.ok()) return opened.status();
+    journal.emplace(std::move(opened).value());
+    out.recovery = journal->recovery();
+  }
+
+  std::vector<std::optional<SweepRow>> slots(job_caps.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < job_caps.size(); ++i) {
+    if (journal && options.resume) {
+      const JournalEntry* e = journal->find(job_caps[i]);
+      if (e != nullptr &&
+          journal_entry_trusted(*e, options.driver.verify_certificate)) {
+        slots[i] = row_from_entry(*e);
+        ++out.resumed;
+        continue;
+      }
+    }
+    pending.push_back(i);
+  }
+
+  std::vector<WorkerTaskSpec> tasks;
+  tasks.reserve(pending.size());
+  for (std::size_t i : pending) {
+    const double cap = job_caps[i];
+    WorkerTaskSpec spec;
+    spec.job_cap_watts = cap;
+    spec.run = [&graph, &model, &cluster, &options, cap](int attempt) {
+      maybe_execute_worker_fault(cap, attempt);
+      const SolveDriver driver(graph, model, cluster, options.driver);
+      SolveOutcome o = driver.solve(cap);
+      o.report.worker.isolated = true;
+      o.report.worker.spawns = attempt + 1;
+      o.report.worker.retries = attempt;
+      o.report.worker.peak_rss_kb = current_peak_rss_kb();
+      return entry_from_row(row_from_report(o.report));
+    };
+    tasks.push_back(std::move(spec));
+  }
+
+  WorkerPoolOptions pool_opt;
+  pool_opt.workers = options.workers;
+  pool_opt.limits.mem_mb = options.worker_mem_mb;
+  pool_opt.limits.cpu_seconds = options.worker_cpu_s;
+  if (options.driver.cap_deadline_ms > 0.0) {
+    pool_opt.limits.wall_seconds =
+        options.driver.cap_deadline_ms / 1000.0 + 2.0;
+  }
+
+  const RemoteResultGate gate =
+      make_certificate_gate(graph, model, cluster, options);
+
+  Status journal_error;
+  bool dropped_cancelled = false;
+  const auto on_result = [&](const WorkerTaskResult& r, std::size_t task_idx,
+                             const TransportResult& transport) {
+    const std::size_t cap_idx = pending[task_idx];
+    JournalEntry entry;
+    if (r.outcome == WorkerOutcome::kOk) {
+      if (r.entry.verdict == StatusCode::kCancelled) {
+        dropped_cancelled = true;
+        return;
+      }
+      entry = r.entry;
+    } else if (r.outcome == WorkerOutcome::kSkipped) {
+      return;
+    } else {
+      entry = degraded_entry_for_dead_worker(graph, model, cluster,
+                                             options.driver,
+                                             job_caps[cap_idx], r);
+    }
+    TransportTelemetry tt;
+    tt.remote = transport.remote;
+    tt.endpoint = transport.endpoint;
+    tt.retries = transport.retries;
+    tt.backoff_ms = transport.backoff_ms;
+    tt.heartbeat_misses = transport.heartbeat_misses;
+    entry.report_json = patch_transport_json(entry.report_json, tt);
+    if (journal && journal_error.ok()) {
+      const Status st = journal->append(entry);
+      if (!st.ok()) journal_error = st;
+    }
+    SweepRow row = row_from_entry(entry);
+    row.from_journal = false;
+    slots[cap_idx] = std::move(row);
+    ++out.solved;
+  };
+
+  const WorkerPoolResult pool = run_distributed_pool(
+      tasks, pool_opt, remote, gate, options.deadline, on_result);
+  out.worker_stats = pool.stats;
+  if (!journal_error.ok()) return journal_error;
+  if (pool.interrupted) {
+    out.interrupted = true;
+    out.stop = pool.stop;
+  } else if (dropped_cancelled) {
+    out.interrupted = true;
+    out.stop = util::StopReason::kCancelled;
+  }
+
+  for (auto& slot : slots) {
+    if (slot) out.rows.push_back(std::move(*slot));
+  }
+  return out;
+}
+
 }  // namespace
 
 Result<ResilientSweepResult> resilient_sweep(
     const dag::TaskGraph& graph, const machine::PowerModel& model,
     const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
     const ResilientSweepOptions& options) {
+  if (!options.remotes.empty()) {
+    return distributed_resilient_sweep(graph, model, cluster, job_caps,
+                                       options);
+  }
   if (options.workers > 1) {
     return parallel_resilient_sweep(graph, model, cluster, job_caps, options);
   }

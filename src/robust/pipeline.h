@@ -79,6 +79,18 @@ struct ResilientSweepOptions {
   long worker_mem_mb = 0;
   /// Per-worker RLIMIT_CPU budget, seconds (0 = unlimited).
   double worker_cpu_s = 0.0;
+  /// Remote serve-worker endpoints ("host:port"). Non-empty routes the
+  /// sweep through the distributed pool (robust/remote_worker.h): remote
+  /// sessions and up to `workers` local fork workers share one queue,
+  /// every lost cap walks the reassignment ladder, and each remote kOk
+  /// result must pass the local certificate gate before it is journaled.
+  std::vector<std::string> remotes;
+  /// Per-remote-attempt wall ceiling, ms (0 derives it from the cap
+  /// deadline, or leaves it unlimited when there is none).
+  double remote_timeout_ms = 0.0;
+  /// Heartbeat silence that declares a remote peer dead, ms (0 = the
+  /// default in RemoteWorkerOptions).
+  double remote_heartbeat_ms = 0.0;
 };
 
 struct ResilientSweepResult {

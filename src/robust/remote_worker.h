@@ -1,0 +1,186 @@
+// Fault-tolerant distributed sweeps: remote TCP cap-solve workers
+// (tentpole of the robustness work, part 5).
+//
+// Two halves over one protocol:
+//
+//   * serve_worker() - the `powerlim serve-worker --listen host:port`
+//     process. Accepts one scheduler connection at a time, receives the
+//     trace + solve options once per connection, then forks one child
+//     per cap-solve job exactly like the local worker pool (same rlimit
+//     budgets, same exit-code classification) and streams framed
+//     results back, with application-level heartbeats while the child
+//     solves so the scheduler can tell slow-solve from dead-peer.
+//
+//   * run_distributed_pool() - the scheduler side. Mixes remote
+//     serve-worker sessions with local fork workers in one event loop:
+//     remote sessions pull caps from the front of the queue, free local
+//     slots pull from the back, and every failure walks the
+//     reassignment ladder below.
+//
+// Protocol "powerlim-remote v1", CRC-framed (robust/wire.h), over TCP:
+//
+//   scheduler -> worker   'T' handshake: config line + trace text
+//                         'J' job: "cap=<watts> attempt=<n>"
+//                         'Q' quit
+//   worker -> scheduler   'A' handshake ack ("ok" | "error <why>")
+//                         'H' heartbeat (periodic while a job solves)
+//                         'R' result (serialized JournalEntry)
+//                         'S' solution artifact (core::write_schedule
+//                             text; follows every kOk 'R')
+//                         'E' attempt failure ("<code> <detail>": the
+//                             worker's child died and was classified)
+//
+// Reassignment ladder - a cap lost to disconnect, heartbeat silence,
+// job timeout, corrupt frame, or a rejected result is:
+//
+//   1. retried once on a *different* worker (never the endpoint that
+//      just lost it),
+//   2. then forced onto a local fork worker,
+//   3. then degraded to the Static-policy bound by the caller, exactly
+//      like an exhausted local ladder.
+//
+// Trust model: a remote kOk result is accepted only after the caller's
+// gate re-verifies the shipped solution artifact with the exact
+// certificate checker, locally. A buggy or malicious peer can waste one
+// attempt; it cannot poison the journal. Degraded / infeasible remote
+// verdicts carry no "too good" bound to forge (a degraded bound is
+// conservative by construction) and are accepted as reported.
+//
+// Connections are established with capped exponential backoff plus
+// deterministic jitter; a peer that fails enough consecutive connects
+// is declared dead and its pending caps drain to the survivors (and
+// ultimately to local workers, so a sweep with every remote dead
+// completes exactly like a local one).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "dag/graph.h"
+#include "robust/fault_injection.h"
+#include "robust/solve_driver.h"
+#include "robust/status.h"
+#include "robust/worker_pool.h"
+#include "util/deadline.h"
+#include "util/socket_io.h"
+
+namespace powerlim::robust {
+
+/// First line of the 'T' handshake payload; a version-skewed peer is
+/// rejected in the 'A' ack instead of misparsing jobs.
+inline constexpr char kRemoteProtoMagic[] = "powerlim-remote v1";
+
+/// Solve options that cross the wire in the handshake (the subset of
+/// SolveDriverOptions a remote solve must replicate for byte-identical
+/// results).
+struct RemoteSolveConfig {
+  double cap_deadline_ms = 0.0;
+  bool validate_replay = true;
+  bool verify_certificate = true;
+  bool discrete = false;
+};
+
+/// Builds the 'T' payload: magic, config line, then the serialized
+/// trace (dag::write_trace).
+std::string encode_handshake(const RemoteSolveConfig& config,
+                             const dag::TaskGraph& graph);
+
+/// Parses a 'T' payload. On failure returns false with *error set; the
+/// trace text is returned unparsed (the caller owns trace validation so
+/// a hostile trace surfaces as a clean 'A' error, not a crash).
+bool decode_handshake(const std::string& payload, RemoteSolveConfig* config,
+                      std::string* trace_text, std::string* error);
+
+/// 'J' payload round-trip. The cap crosses as %.17g so both ends solve
+/// bit-identical values.
+std::string encode_job(double job_cap_watts, int attempt);
+bool decode_job(const std::string& payload, double* job_cap_watts,
+                int* attempt);
+
+struct ServeWorkerOptions {
+  util::Endpoint listen;  // port 0 binds an ephemeral port
+  /// When set, the bound port is written here once listening (how tests
+  /// and scripts discover an ephemeral port).
+  std::string port_file;
+  /// Exit after serving one connection (tests).
+  bool once = false;
+  /// Interval between 'H' frames while a child solves, ms.
+  double heartbeat_ms = 100.0;
+  /// Per-child rlimit budgets, exactly as for local pool workers. When
+  /// wall_seconds is 0 it is derived from the handshake's cap deadline.
+  WorkerLimits limits;
+  /// Worker-side network fault injection (tests / CI fault matrix).
+  NetFault fault = NetFault::kNone;
+  /// Job attempts (0-based) the fault injures; later attempts are
+  /// served honestly so reassignment converges.
+  int fault_attempts = 1;
+  /// Injected delay for NetFault::kSlow, ms (also the stall-probe
+  /// granularity).
+  double slow_delay_ms = 250.0;
+  /// Graceful shutdown: when this token trips (SIGTERM handler), the
+  /// in-flight child is cancelled via SIGTERM, its final frame is
+  /// flushed to the scheduler, and serve_worker returns 0.
+  const util::CancelToken* cancel = nullptr;
+};
+
+/// Runs the serve-worker accept loop until cancelled (or after one
+/// connection with `once`). Returns a process exit code; 0 includes
+/// cancellation-after-drain.
+int serve_worker(const ServeWorkerOptions& options, std::ostream& out,
+                 std::ostream& err);
+
+/// Scheduler-side knobs for the remote half of a distributed pool.
+struct RemoteWorkerOptions {
+  std::vector<util::Endpoint> remotes;
+  /// Prebuilt 'T' payload (encode_handshake), sent on every (re)connect.
+  std::string handshake;
+  /// Heartbeat silence that declares a busy peer dead, ms.
+  double heartbeat_timeout_ms = 2000.0;
+  /// Per-job wall ceiling on a remote attempt, ms (0 = none; heartbeat
+  /// supervision still polices liveness).
+  double job_timeout_ms = 0.0;
+  double connect_timeout_ms = 1000.0;
+  /// Capped exponential backoff between connect attempts, with
+  /// deterministic jitter in [0.5, 1.5) seeded by `jitter_seed`.
+  double backoff_initial_ms = 25.0;
+  double backoff_max_ms = 1000.0;
+  /// Consecutive connect failures after which an endpoint is dead.
+  int max_connect_failures = 4;
+  std::uint64_t jitter_seed = 1;
+};
+
+/// Transport telemetry for one settled cap, spliced into its report by
+/// the caller (see TransportTelemetry / patch_transport_json).
+struct TransportResult {
+  bool remote = false;
+  std::string endpoint;
+  int retries = 0;
+  double backoff_ms = 0.0;
+  int heartbeat_misses = 0;
+};
+
+/// Byzantine gate: invoked for every remote kOk result with its 'S'
+/// solution artifact before acceptance. A non-ok Status rejects the
+/// result - classified like a corrupt frame, so the cap walks the
+/// reassignment ladder.
+using RemoteResultGate =
+    std::function<Status(const JournalEntry& entry,
+                         const std::string& solution_text)>;
+
+/// Runs `tasks` across the remote endpoints plus up to
+/// `local.workers` local fork workers (local.workers == 0 disables the
+/// local mixing except as the ladder's forced-local fallback, which
+/// always exists). Semantics mirror run_worker_pool: on_result fires in
+/// completion order, interrupted pools SIGKILL local children, close
+/// sessions, and leave unfinished tasks kSkipped.
+WorkerPoolResult run_distributed_pool(
+    const std::vector<WorkerTaskSpec>& tasks,
+    const WorkerPoolOptions& local, const RemoteWorkerOptions& remote,
+    const RemoteResultGate& gate, const util::Deadline& deadline,
+    const std::function<void(const WorkerTaskResult&, std::size_t,
+                             const TransportResult&)>& on_result);
+
+}  // namespace powerlim::robust

@@ -101,6 +101,16 @@ void append_attempt(std::ostringstream& os, const SolveAttempt& a) {
      << "\"detail\":\"" << json_escape(a.detail) << "\"}";
 }
 
+/// The schema-5 transport block, emitted with a leading comma (shared by
+/// to_json and patch_transport_json so the spliced shape cannot drift).
+void append_transport(std::ostream& os, const TransportTelemetry& t) {
+  os << ",\"transport\":{\"remote\":" << (t.remote ? "true" : "false")
+     << ",\"endpoint\":\"" << json_escape(t.endpoint) << "\""
+     << ",\"retries\":" << t.retries
+     << ",\"backoff_ms\":" << json_num(t.backoff_ms)
+     << ",\"heartbeat_misses\":" << t.heartbeat_misses << "}";
+}
+
 }  // namespace
 
 std::string RunReport::to_json() const {
@@ -119,8 +129,9 @@ std::string RunReport::to_json() const {
      << ",\"worker\":{\"isolated\":" << (worker.isolated ? "true" : "false")
      << ",\"spawns\":" << worker.spawns
      << ",\"retries\":" << worker.retries
-     << ",\"peak_rss_kb\":" << worker.peak_rss_kb << "}"
-     << ",\"fault\":{\"active\":" << (fault_active ? "true" : "false")
+     << ",\"peak_rss_kb\":" << worker.peak_rss_kb << "}";
+  append_transport(os, transport);
+  os << ",\"fault\":{\"active\":" << (fault_active ? "true" : "false")
      << ",\"seed\":" << fault_seed << "}"
      << ",\"ladder\":{\"enable_ladder\":"
      << (ladder.enable_ladder ? "true" : "false")
@@ -158,6 +169,25 @@ std::string RunReport::to_json() const {
      << ",\"errors\":" << lint.errors << ",\"warnings\":" << lint.warnings
      << "}}";
   return os.str();
+}
+
+std::string patch_transport_json(const std::string& report_json,
+                                 const TransportTelemetry& transport) {
+  const std::string marker = "\"transport\":{";
+  const std::size_t start = report_json.find(marker);
+  if (start == std::string::npos) return report_json;
+  // The block contains no nested braces (flat scalars only), so the
+  // first '}' after the marker closes it.
+  const std::size_t close = report_json.find('}', start + marker.size());
+  if (close == std::string::npos) return report_json;
+  std::ostringstream block;
+  append_transport(block, transport);
+  // append_transport emits a leading ",\"transport\":..."; drop the
+  // comma (the original block's separator stays in place).
+  const std::string replacement = block.str().substr(1);
+  std::string out = report_json;
+  out.replace(start, close + 1 - start, replacement);
+  return out;
 }
 
 std::string reports_to_json(const std::vector<RunReport>& reports) {

@@ -47,8 +47,11 @@ namespace powerlim::robust {
 /// changes; tests/robust/report_schema_test.cpp locks the current shape
 /// with a golden string so accidental drift fails loudly.
 /// Schema 4 added the `lint` and `certificate` blocks (verification
-/// layer) and the `certificate-failed` verdict.
-inline constexpr int kRunReportSchemaVersion = 4;
+/// layer) and the `certificate-failed` verdict. Schema 5 added the
+/// `transport` block (distributed sweeps): endpoint, retries,
+/// backoff_ms, heartbeat_misses - zeroed for local solves and excluded
+/// from byte-identity comparisons like the worker block.
+inline constexpr int kRunReportSchemaVersion = 5;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -114,6 +117,25 @@ struct WorkerTelemetry {
   long peak_rss_kb = 0;
 };
 
+/// Remote-transport telemetry (schema 5). Zeroed unless the cap was
+/// settled through a distributed sweep's coordinator, which splices the
+/// real values into the worker-produced report (the worker cannot know
+/// how many times its cap bounced between peers). Telemetry like
+/// wall_ms/worker: excluded from byte-identity comparisons.
+struct TransportTelemetry {
+  /// True when the accepted result came from a remote serve-worker.
+  bool remote = false;
+  /// "host:port" of the worker that settled the cap (empty for local).
+  std::string endpoint;
+  /// Attempts lost (anywhere) before this cap settled.
+  int retries = 0;
+  /// Total connect-backoff wait accumulated by the settling session, ms.
+  double backoff_ms = 0.0;
+  /// Heartbeat intervals that elapsed silent while the cap solved
+  /// remotely (below the dead-peer threshold - a slow, live worker).
+  int heartbeat_misses = 0;
+};
+
 /// Resolved supervision/ladder options echoed into every RunReport so a
 /// degraded or fault-injected run is reproducible from the report alone.
 struct LadderEcho {
@@ -161,6 +183,8 @@ struct RunReport {
   LadderEcho ladder;
   /// Worker-process telemetry (zeroed for in-process solves).
   WorkerTelemetry worker;
+  /// Remote-transport telemetry (zeroed for local solves).
+  TransportTelemetry transport;
   std::vector<SolveAttempt> attempts;
   ReplayVerdict replay;
   CertificateEcho certificate;
@@ -176,6 +200,13 @@ struct RunReport {
 
 /// JSON array of per-cap reports (the sweep artifact).
 std::string reports_to_json(const std::vector<RunReport>& reports);
+
+/// Splices real transport telemetry into an already-serialized report
+/// (remote workers ship their report as JSON; only the coordinator
+/// knows the endpoint/retry history). Returns the input unchanged when
+/// no "transport" block is present (pre-schema-5 journal records).
+std::string patch_transport_json(const std::string& report_json,
+                                 const TransportTelemetry& transport);
 
 /// Result of one driver solve: the LP result (meaningful when the
 /// verdict is kOk), the validated/fallback simulation when one ran, and

@@ -30,6 +30,10 @@ const char* to_string(StatusCode code) {
       return "worker-crashed";
     case StatusCode::kResourceExhausted:
       return "resource-exhausted";
+    case StatusCode::kWireMalformed:
+      return "wire-malformed";
+    case StatusCode::kNetError:
+      return "net-error";
     case StatusCode::kInternal:
       return "internal";
   }
@@ -44,7 +48,8 @@ bool status_code_from_string(const std::string& name, StatusCode* code) {
         StatusCode::kReplayCapViolation, StatusCode::kCertificateFailed,
         StatusCode::kDeadlineExceeded,
         StatusCode::kCancelled, StatusCode::kWorkerCrashed,
-        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+        StatusCode::kResourceExhausted, StatusCode::kWireMalformed,
+        StatusCode::kNetError, StatusCode::kInternal}) {
     if (name == to_string(c)) {
       *code = c;
       return true;

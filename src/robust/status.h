@@ -61,6 +61,14 @@ enum class StatusCode {
   /// allocation failure or RLIMIT_CPU SIGXCPU) on both attempts;
   /// degraded like kWorkerCrashed.
   kResourceExhausted,
+  /// A wire frame was hostile or corrupt: oversized length prefix,
+  /// malformed header, or CRC mismatch. The frame (and for stream
+  /// transports the whole connection) is rejected, never partially
+  /// trusted.
+  kWireMalformed,
+  /// Socket-level failure talking to a remote worker (connect refused,
+  /// peer reset, heartbeat silence). Retryable against another worker.
+  kNetError,
   /// Unexpected internal failure (wrapped exception).
   kInternal,
 };

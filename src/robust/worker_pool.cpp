@@ -43,26 +43,11 @@ double ms_since(Clock::time_point start) {
       .count();
 }
 
-void apply_limits(const WorkerLimits& limits) {
-  if (limits.mem_mb > 0 && !POWERLIM_ASAN) {
-    const rlim_t bytes =
-        static_cast<rlim_t>(limits.mem_mb) * 1024u * 1024u;
-    struct rlimit r = {bytes, bytes};
-    (void)::setrlimit(RLIMIT_AS, &r);
-  }
-  if (limits.cpu_seconds > 0.0) {
-    const rlim_t soft =
-        static_cast<rlim_t>(std::ceil(limits.cpu_seconds));
-    struct rlimit r = {soft, soft + 2};
-    (void)::setrlimit(RLIMIT_CPU, &r);
-  }
-}
-
 [[noreturn]] void child_run(int write_fd, const WorkerTaskSpec& spec,
                             int attempt, const WorkerLimits& limits,
                             int worker_id) {
   util::set_log_worker_id(worker_id);
-  apply_limits(limits);
+  apply_worker_limits(limits);
   JournalEntry entry;
   try {
     entry = spec.run(attempt);
@@ -98,17 +83,29 @@ std::string signal_detail(int sig) {
   return out;
 }
 
-/// What one *attempt* came back as, before retry policy is applied.
-struct AttemptVerdict {
-  WorkerOutcome outcome = WorkerOutcome::kCrashed;
-  JournalEntry entry;
-  std::string detail;
-};
+}  // namespace
 
-AttemptVerdict classify(const InFlight& w, int wait_status,
-                        double expected_cap) {
-  AttemptVerdict v;
-  if (w.deadline_killed) {
+void apply_worker_limits(const WorkerLimits& limits) {
+  if (limits.mem_mb > 0 && !POWERLIM_ASAN) {
+    const rlim_t bytes =
+        static_cast<rlim_t>(limits.mem_mb) * 1024u * 1024u;
+    struct rlimit r = {bytes, bytes};
+    (void)::setrlimit(RLIMIT_AS, &r);
+  }
+  if (limits.cpu_seconds > 0.0) {
+    const rlim_t soft =
+        static_cast<rlim_t>(std::ceil(limits.cpu_seconds));
+    struct rlimit r = {soft, soft + 2};
+    (void)::setrlimit(RLIMIT_CPU, &r);
+  }
+}
+
+WorkerAttemptVerdict classify_worker_exit(bool deadline_killed,
+                                          int wait_status,
+                                          const std::string& pipe_bytes,
+                                          double expected_cap) {
+  WorkerAttemptVerdict v;
+  if (deadline_killed) {
     v.outcome = WorkerOutcome::kTimedOut;
     v.detail = "worker exceeded its wall budget and was SIGKILLed";
     return v;
@@ -136,13 +133,16 @@ AttemptVerdict classify(const InFlight& w, int wait_status,
     v.detail = "worker exited with code " + std::to_string(code);
     return v;
   }
-  WireFrame frame;
-  const WireDecode decode = decode_wire_frame(w.buffer, &frame);
-  if (decode != WireDecode::kOk || frame.tag != 'R' ||
-      !parse_journal_entry(frame.payload, &v.entry)) {
+  std::vector<WireFrame> frames;
+  const WireDecode decode = decode_wire_frames(pipe_bytes, &frames);
+  const bool shape_ok =
+      decode == WireDecode::kOk && !frames.empty() && frames[0].tag == 'R' &&
+      frames.size() <= 2 && (frames.size() < 2 || frames[1].tag == 'S');
+  if (!shape_ok || !parse_journal_entry(frames[0].payload, &v.entry)) {
     v.outcome = WorkerOutcome::kCrashed;
     v.detail = std::string("clean exit but unusable result frame (") +
-               to_string(decode) + ")";
+               to_string(pipe_bytes.empty() ? WireDecode::kEmpty : decode) +
+               ")";
     return v;
   }
   if (v.entry.job_cap_watts != expected_cap) {
@@ -150,11 +150,33 @@ AttemptVerdict classify(const InFlight& w, int wait_status,
     v.detail = "result frame answers a different cap";
     return v;
   }
+  if (frames.size() == 2) v.solution_text = frames[1].payload;
   v.outcome = WorkerOutcome::kOk;
   return v;
 }
 
-}  // namespace
+bool spawn_worker(const WorkerTaskSpec& spec, int attempt,
+                  const WorkerLimits& limits, int worker_id,
+                  const std::vector<int>& extra_close_fds,
+                  SpawnedWorker* out) {
+  int fds[2];
+  if (::pipe(fds) != 0) return false;
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return false;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    for (int fd : extra_close_fds) ::close(fd);
+    child_run(fds[1], spec, attempt, limits, worker_id);
+  }
+  ::close(fds[1]);
+  out->pid = pid;
+  out->read_fd = fds[0];
+  return true;
+}
 
 const char* to_string(WorkerOutcome outcome) {
   switch (outcome) {
@@ -203,25 +225,19 @@ WorkerPoolResult run_worker_pool(
   int worker_seq = 0;
 
   auto spawn = [&](std::size_t task, int attempt) -> bool {
-    int fds[2];
-    if (::pipe(fds) != 0) return false;
-    const pid_t pid = ::fork();
-    if (pid < 0) {
-      ::close(fds[0]);
-      ::close(fds[1]);
+    // Drop inherited read ends of sibling pipes in the child; holding
+    // them is harmless for EOF but leaks fds into long-lived workers.
+    std::vector<int> sibling_fds;
+    sibling_fds.reserve(in_flight.size());
+    for (const InFlight& w : in_flight) sibling_fds.push_back(w.fd);
+    SpawnedWorker spawned;
+    if (!spawn_worker(tasks[task], attempt, options.limits, worker_seq,
+                      sibling_fds, &spawned)) {
       return false;
     }
-    if (pid == 0) {
-      ::close(fds[0]);
-      // Drop inherited read ends of sibling pipes; holding them is
-      // harmless for EOF but leaks fds into long-lived workers.
-      for (const InFlight& w : in_flight) ::close(w.fd);
-      child_run(fds[1], tasks[task], attempt, options.limits, worker_seq);
-    }
-    ::close(fds[1]);
     InFlight w;
-    w.pid = pid;
-    w.fd = fds[0];
+    w.pid = spawned.pid;
+    w.fd = spawned.read_fd;
     w.task = task;
     w.attempt = attempt;
     w.start = Clock::now();
@@ -242,7 +258,8 @@ WorkerPoolResult run_worker_pool(
     } while (reaped < 0 && errno == EINTR);
     const long rss_kb = reaped == w.pid ? ru.ru_maxrss : 0;
 
-    AttemptVerdict v = classify(w, status, tasks[w.task].job_cap_watts);
+    WorkerAttemptVerdict v = classify_worker_exit(
+        w.deadline_killed, status, w.buffer, tasks[w.task].job_cap_watts);
     WorkerTaskResult& r = out.results[w.task];
     r.spawns = w.attempt + 1;
     r.peak_rss_kb = std::max(r.peak_rss_kb, rss_kb);

@@ -29,6 +29,8 @@
 // forever, abort mid-write - without touching the LP stack.
 #pragma once
 
+#include <sys/types.h>
+
 #include <functional>
 #include <string>
 #include <vector>
@@ -101,7 +103,8 @@ struct WorkerTaskResult {
   std::string detail;
 };
 
-/// Pool-wide telemetry, aggregated into RunReport/CLI output.
+/// Pool-wide telemetry, aggregated into RunReport/CLI output. The
+/// remote_* / certificate fields stay zero for purely local pools.
 struct WorkerPoolStats {
   int tasks = 0;
   int spawned = 0;
@@ -111,6 +114,13 @@ struct WorkerPoolStats {
   int timeouts = 0;
   int retries = 0;
   long max_peak_rss_kb = 0;
+  /// Caps settled by a remote serve-worker (distributed pools).
+  int remote_clean = 0;
+  /// Remote attempts lost to disconnect / timeout / corrupt frame /
+  /// rejected result.
+  int remote_failures = 0;
+  /// Remote results rejected by the local certificate gate.
+  int certificate_rejects = 0;
 };
 
 struct WorkerPoolOptions {
@@ -140,5 +150,49 @@ WorkerPoolResult run_worker_pool(
     const WorkerPoolOptions& options, const util::Deadline& deadline = {},
     const std::function<void(const WorkerTaskResult&, std::size_t)>&
         on_result = {});
+
+// --- building blocks shared with the distributed pool / serve-worker ---
+
+/// Applies the setrlimit budgets in the current (child) process. No-op
+/// for zero budgets; RLIMIT_AS is compiled out under AddressSanitizer.
+void apply_worker_limits(const WorkerLimits& limits);
+
+/// What one worker *attempt* came back as, before retry policy.
+struct WorkerAttemptVerdict {
+  WorkerOutcome outcome = WorkerOutcome::kCrashed;
+  /// Valid when outcome == kOk.
+  JournalEntry entry;
+  /// Optional 'S' frame shipped after the result: the solution artifact
+  /// (core::write_schedule text) a remote verifies against the
+  /// certificate gate. Empty for local pool workers.
+  std::string solution_text;
+  std::string detail;
+};
+
+/// Classifies one finished worker attempt from its wait() status and the
+/// bytes it wrote before EOF. Accepts one 'R' result frame, optionally
+/// followed by one 'S' solution frame; anything else on a clean exit is
+/// a protocol error (kCrashed). `deadline_killed` marks a worker the
+/// supervisor SIGKILLed for overrunning its wall budget.
+WorkerAttemptVerdict classify_worker_exit(bool deadline_killed,
+                                          int wait_status,
+                                          const std::string& pipe_bytes,
+                                          double expected_cap);
+
+/// One forked worker (pid + the read end of its result pipe).
+struct SpawnedWorker {
+  pid_t pid = -1;
+  int read_fd = -1;
+};
+
+/// Forks one worker for `spec` at `attempt` under `limits`. The child
+/// closes every fd in `extra_close_fds` (sibling pipes, sockets - a
+/// child holding a session socket open would suppress the peer's EOF),
+/// runs the task, ships the framed result, and _exit()s. Returns false
+/// on fork/pipe failure (errno preserved).
+bool spawn_worker(const WorkerTaskSpec& spec, int attempt,
+                  const WorkerLimits& limits, int worker_id,
+                  const std::vector<int>& extra_close_fds,
+                  SpawnedWorker* out);
 
 }  // namespace powerlim::robust

@@ -1,0 +1,288 @@
+#include "util/socket_io.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+
+#include "util/posix_io.h"
+
+namespace powerlim::util {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+std::string errno_message(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  const int want = on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK);
+  return ::fcntl(fd, F_SETFL, want) == 0;
+}
+
+/// poll() one fd for `events`, retrying EINTR, up to `timeout_ms`.
+/// Returns poll's count (0 = timeout).
+int poll_one(int fd, short events, int timeout_ms) {
+  struct pollfd p = {fd, events, 0};
+  return static_cast<int>(
+      retry_eintr([&] { return ::poll(&p, 1, timeout_ms); }));
+}
+
+}  // namespace
+
+void ignore_sigpipe() {
+  static const bool done = [] {
+    struct sigaction sa = {};
+    sa.sa_handler = SIG_IGN;
+    ::sigaction(SIGPIPE, &sa, nullptr);
+    return true;
+  }();
+  (void)done;
+}
+
+bool parse_endpoint(const std::string& text, Endpoint* out) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0) return false;
+  const std::string host = text.substr(0, colon);
+  const std::string port_text = text.substr(colon + 1);
+  if (port_text.empty()) return false;
+  char* end = nullptr;
+  const long port = std::strtol(port_text.c_str(), &end, 10);
+  if (end == port_text.c_str() || *end != '\0' || port < 0 || port > 65535) {
+    return false;
+  }
+  out->host = host;
+  out->port = static_cast<int>(port);
+  return true;
+}
+
+std::string to_string(const Endpoint& ep) {
+  return ep.host + ":" + std::to_string(ep.port);
+}
+
+const char* to_string(IoStatus s) {
+  switch (s) {
+    case IoStatus::kOk:
+      return "ok";
+    case IoStatus::kTimeout:
+      return "timeout";
+    case IoStatus::kDisconnected:
+      return "disconnected";
+    case IoStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+int listen_tcp(const std::string& host, int port, std::string* error) {
+  ignore_sigpipe();
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  hints.ai_flags = AI_PASSIVE;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(port);
+  const int rc = ::getaddrinfo(host.empty() ? nullptr : host.c_str(),
+                               port_text.c_str(), &hints, &res);
+  if (rc != 0) {
+    if (error) {
+      *error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
+    }
+    return -1;
+  }
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) continue;
+    const int one = 1;
+    (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+    if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
+        ::listen(fd, 16) == 0) {
+      break;
+    }
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0 && error) {
+    *error = errno_message(("cannot listen on " + host + ":" + port_text)
+                               .c_str());
+  }
+  return fd;
+}
+
+int bound_port(int listen_fd) {
+  struct sockaddr_in addr = {};
+  socklen_t len = sizeof addr;
+  if (::getsockname(listen_fd, reinterpret_cast<struct sockaddr*>(&addr),
+                    &len) != 0 ||
+      addr.sin_family != AF_INET) {
+    return -1;
+  }
+  return static_cast<int>(ntohs(addr.sin_port));
+}
+
+int accept_timeout(int listen_fd, double timeout_s, IoStatus* status) {
+  const int ready =
+      poll_one(listen_fd, POLLIN, static_cast<int>(timeout_s * 1000.0));
+  if (ready < 0) {
+    if (status) *status = IoStatus::kError;
+    return -1;
+  }
+  if (ready == 0) {
+    if (status) *status = IoStatus::kTimeout;
+    return -1;
+  }
+  const int fd = static_cast<int>(
+      retry_eintr([&] { return ::accept(listen_fd, nullptr, nullptr); }));
+  if (fd < 0) {
+    if (status) *status = IoStatus::kError;
+    return -1;
+  }
+  if (status) *status = IoStatus::kOk;
+  return fd;
+}
+
+int connect_timeout(const Endpoint& ep, double timeout_s,
+                    std::string* error) {
+  ignore_sigpipe();
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(ep.port);
+  const int rc = ::getaddrinfo(ep.host.c_str(), port_text.c_str(), &hints,
+                               &res);
+  if (rc != 0) {
+    if (error) {
+      *error = "cannot resolve '" + ep.host + "': " + ::gai_strerror(rc);
+    }
+    return -1;
+  }
+  std::string last_error = "no usable address";
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = errno_message("socket");
+      continue;
+    }
+    if (!set_nonblocking(fd, true)) {
+      last_error = errno_message("fcntl");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    const int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (crc != 0 && errno != EINPROGRESS && errno != EINTR) {
+      last_error = errno_message("connect");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    if (crc != 0) {
+      const int ready =
+          poll_one(fd, POLLOUT, static_cast<int>(timeout_s * 1000.0));
+      int so_error = ETIMEDOUT;
+      if (ready > 0) {
+        socklen_t len = sizeof so_error;
+        if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+          so_error = errno;
+        }
+      }
+      if (ready <= 0 || so_error != 0) {
+        last_error = std::string("connect: ") +
+                     std::strerror(ready <= 0 ? ETIMEDOUT : so_error);
+        ::close(fd);
+        fd = -1;
+        continue;
+      }
+    }
+    if (!set_nonblocking(fd, false)) {
+      last_error = errno_message("fcntl");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    break;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0 && error) {
+    *error = "cannot connect to " + to_string(ep) + " (" + last_error + ")";
+  }
+  return fd;
+}
+
+IoStatus send_all(int fd, const void* data, std::size_t len,
+                  double timeout_s) {
+  ignore_sigpipe();
+  const char* p = static_cast<const char*>(data);
+  const auto start = Clock::now();
+  while (len > 0) {
+    // MSG_DONTWAIT even on blocking-mode fds: a full socket buffer must
+    // surface as EAGAIN and fall through to the bounded poll below, not
+    // block inside send() where the timeout cannot reach it.
+    const ssize_t n = retry_eintr(
+        [&] { return ::send(fd, p, len, MSG_NOSIGNAL | MSG_DONTWAIT); });
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return IoStatus::kDisconnected;
+    }
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK) {
+      return IoStatus::kError;
+    }
+    // Socket buffer full (or a zero-byte send): wait for writability,
+    // bounded by the overall timeout so a stalled peer cannot wedge the
+    // scheduler inside a "blocking" send.
+    int wait_ms = 100;
+    if (timeout_s > 0.0) {
+      const double left = timeout_s - seconds_since(start);
+      if (left <= 0.0) return IoStatus::kTimeout;
+      wait_ms = std::max(1, static_cast<int>(left * 1000.0));
+      wait_ms = std::min(wait_ms, 100);
+    }
+    const int ready = poll_one(fd, POLLOUT, wait_ms);
+    if (ready < 0) return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
+IoStatus recv_some(int fd, std::string* out) {
+  char buf[1 << 16];
+  const ssize_t n =
+      retry_eintr([&] { return ::recv(fd, buf, sizeof buf, 0); });
+  if (n > 0) {
+    out->append(buf, static_cast<std::size_t>(n));
+    return IoStatus::kOk;
+  }
+  if (n == 0) return IoStatus::kDisconnected;
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return IoStatus::kTimeout;
+  if (errno == ECONNRESET || errno == EPIPE) return IoStatus::kDisconnected;
+  return IoStatus::kError;
+}
+
+}  // namespace powerlim::util

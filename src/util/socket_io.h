@@ -1,0 +1,83 @@
+// Socket-semantics siblings of the posix_io EINTR helpers.
+//
+// Distributed sweeps talk TCP to remote serve-worker processes, and a
+// network peer fails in ways a pipe never does: partial send()s once the
+// socket buffer fills, EPIPE/ECONNRESET when the peer vanishes, SIGPIPE
+// delivered mid-write, connect() hanging on a dead host. These wrappers
+// normalize all of that into a small IoStatus taxonomy so the scheduler
+// can classify "peer died" distinctly from "real IO error" and never
+// takes a fatal signal from a dead connection (ignore_sigpipe +
+// MSG_NOSIGNAL belt-and-braces).
+//
+// Everything retries EINTR via util::retry_eintr - the coordinator is as
+// signal-heavy as the worker pool (SIGCHLD, SIGINT/SIGTERM, deadlines).
+#pragma once
+
+#include <string>
+
+namespace powerlim::util {
+
+/// Suppresses SIGPIPE process-wide (idempotent). Called by every socket
+/// entry point; a dead peer must surface as EPIPE from send(), never as
+/// a process-killing signal.
+void ignore_sigpipe();
+
+/// "host:port" address of a remote worker. Numeric IPv4 or a resolvable
+/// hostname; the port is the last ':'-separated token.
+struct Endpoint {
+  std::string host = "127.0.0.1";
+  int port = 0;
+};
+
+/// Parses "host:port". Returns false (and leaves *out alone) on a
+/// missing ':', empty host, or a port outside [0, 65535].
+bool parse_endpoint(const std::string& text, Endpoint* out);
+
+std::string to_string(const Endpoint& ep);
+
+/// How one socket operation ended.
+enum class IoStatus {
+  kOk,
+  /// The deadline passed before the operation completed (retryable).
+  kTimeout,
+  /// The peer closed or reset the connection (EOF, EPIPE, ECONNRESET):
+  /// retryable against a *different* peer, fatal for this one.
+  kDisconnected,
+  /// A real local error (errno preserved by the caller's message).
+  kError,
+};
+
+const char* to_string(IoStatus s);
+
+/// Creates a listening TCP socket bound to host:port (port 0 picks an
+/// ephemeral port; recover it with bound_port). Returns the fd, or -1
+/// with a message in *error.
+int listen_tcp(const std::string& host, int port, std::string* error);
+
+/// The locally bound port of a listening socket (-1 on error).
+int bound_port(int listen_fd);
+
+/// accept() with a wall timeout so the accept loop stays responsive to
+/// cancellation. Returns the connected fd, or -1 with *status set to
+/// kTimeout / kError.
+int accept_timeout(int listen_fd, double timeout_s, IoStatus* status);
+
+/// Nonblocking connect with a wall timeout. Resolves `ep.host`, tries
+/// each address, and returns a connected blocking-mode fd, or -1 with a
+/// message in *error. A dead or unreachable peer costs at most
+/// `timeout_s`, never a kernel-default SYN retry eternity.
+int connect_timeout(const Endpoint& ep, double timeout_s,
+                    std::string* error);
+
+/// Sends all `len` bytes, retrying EINTR and partial sends, polling for
+/// writability up to `timeout_s` total (0 = wait forever). EPIPE /
+/// ECONNRESET map to kDisconnected.
+IoStatus send_all(int fd, const void* data, std::size_t len,
+                  double timeout_s = 0.0);
+
+/// One recv() appended to *out (after the caller's poll said readable).
+/// kOk = got bytes, kTimeout = spuriously unready (EAGAIN), and EOF /
+/// ECONNRESET / EPIPE = kDisconnected.
+IoStatus recv_some(int fd, std::string* out);
+
+}  // namespace powerlim::util

@@ -77,6 +77,31 @@ std::string Table::to_csv() const {
   return out.str();
 }
 
+std::string Table::to_json() const {
+  std::ostringstream out;
+  auto escape = [](const std::string& s) {
+    std::string e;
+    for (char c : s) {
+      if (c == '"' || c == '\\') e += '\\';
+      e += c;
+    }
+    return e;
+  };
+  out << "[\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (r) out << ",\n";
+    out << "  {";
+    const auto& row = rows_[r];
+    for (std::size_t c = 0; c < headers_.size() && c < row.size(); ++c) {
+      if (c) out << ",";
+      out << '"' << escape(headers_[c]) << "\":\"" << escape(row[c]) << '"';
+    }
+    out << "}";
+  }
+  out << "\n]\n";
+  return out.str();
+}
+
 void Table::print(std::ostream& os) const { os << to_string(); }
 
 }  // namespace powerlim::util

@@ -27,6 +27,10 @@ class Table {
   /// Render as CSV (no escaping needed for our content; commas are
   /// replaced with ';' defensively).
   std::string to_csv() const;
+  /// Render as a JSON array of row objects keyed by header - the
+  /// machine-readable bench artifact shape CI archives (quotes and
+  /// backslashes in cells are escaped).
+  std::string to_json() const;
 
   void print(std::ostream& os) const;
 

@@ -70,13 +70,13 @@ TEST(CertificateGate, CorruptedSolutionFailsEveryRungAndDegrades) {
   for (const SolveAttempt& att : out.report.attempts) {
     EXPECT_EQ(att.outcome, StatusCode::kCertificateFailed) << att.rung;
   }
-  // The last failing verdict is echoed into the schema-4 report.
+  // The last failing verdict is echoed into the serialized report.
   EXPECT_TRUE(out.report.certificate.checked);
   EXPECT_FALSE(out.report.certificate.ok);
   const std::string json = out.report.to_json();
   EXPECT_NE(json.find("\"verdict\":\"certificate-failed\""),
             std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":5"), std::string::npos);
 }
 
 TEST(CertificateGate, CorruptionScopedToOneCapOnlyFailsThatCap) {

@@ -39,6 +39,11 @@ RunReport golden_report() {
   rep.worker.spawns = 2;
   rep.worker.retries = 1;
   rep.worker.peak_rss_kb = 4096;
+  rep.transport.remote = true;
+  rep.transport.endpoint = "10.0.0.7:9200";
+  rep.transport.retries = 1;
+  rep.transport.backoff_ms = 25.5;
+  rep.transport.heartbeat_misses = 3;
 
   SolveAttempt a;
   a.rung = "warm";
@@ -76,7 +81,7 @@ RunReport golden_report() {
 // The golden string. Field order, spelling, and nesting are all
 // contractual; values are chosen to be exact in decimal.
 const char* const kGolden =
-    "{\"schema_version\":4,"
+    "{\"schema_version\":5,"
     "\"job_cap_watts\":120,"
     "\"socket_cap_watts\":60,"
     "\"verdict\":\"ok\","
@@ -89,6 +94,8 @@ const char* const kGolden =
     "\"wall_ms\":3.5,"
     "\"worker\":{\"isolated\":true,\"spawns\":2,\"retries\":1,"
     "\"peak_rss_kb\":4096},"
+    "\"transport\":{\"remote\":true,\"endpoint\":\"10.0.0.7:9200\","
+    "\"retries\":1,\"backoff_ms\":25.5,\"heartbeat_misses\":3},"
     "\"fault\":{\"active\":true,\"seed\":42},"
     "\"ladder\":{\"enable_ladder\":true,\"enable_fallback\":true,"
     "\"validate_replay\":true,\"cap_deadline_ms\":250,"
@@ -110,12 +117,12 @@ TEST(ReportSchema, GoldenShapeIsStable) {
   EXPECT_EQ(golden_report().to_json(), kGolden);
 }
 
-TEST(ReportSchema, VersionIsFour) {
-  EXPECT_EQ(kRunReportSchemaVersion, 4);
-  EXPECT_EQ(RunReport{}.schema_version, 4);
+TEST(ReportSchema, VersionIsFive) {
+  EXPECT_EQ(kRunReportSchemaVersion, 5);
+  EXPECT_EQ(RunReport{}.schema_version, 5);
   // Every serialized report leads with the version so consumers can
   // dispatch before parsing the rest.
-  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":4,", 0), 0u);
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":5,", 0), 0u);
 }
 
 TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
@@ -126,6 +133,39 @@ TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
                                "\"spawns\":0,\"retries\":0,"
                                "\"peak_rss_kb\":0}"),
             std::string::npos);
+  // Likewise the transport block: all-zero/local unless a distributed
+  // sweep splices real telemetry in.
+  EXPECT_NE(rep.to_json().find("\"transport\":{\"remote\":false,"
+                               "\"endpoint\":\"\",\"retries\":0,"
+                               "\"backoff_ms\":0,\"heartbeat_misses\":0}"),
+            std::string::npos);
+}
+
+TEST(ReportSchema, PatchTransportSplicesWithoutReserialization) {
+  // The distributed coordinator receives an already-serialized report
+  // from the remote child and must stamp scheduler-side transport
+  // telemetry into it without reparsing (reserialization could perturb
+  // float formatting and break resume byte-identity).
+  const std::string json = golden_report().to_json();
+  TransportTelemetry t;
+  t.remote = true;
+  t.endpoint = "192.168.1.9:7777";
+  t.retries = 2;
+  t.backoff_ms = 137.25;
+  t.heartbeat_misses = 1;
+  const std::string patched = patch_transport_json(json, t);
+  EXPECT_NE(patched.find("\"transport\":{\"remote\":true,"
+                         "\"endpoint\":\"192.168.1.9:7777\",\"retries\":2,"
+                         "\"backoff_ms\":137.25,\"heartbeat_misses\":1}"),
+            std::string::npos);
+  // Only the transport block changed.
+  EXPECT_EQ(patched.size() - patched.find("\"fault\":"),
+            json.size() - json.find("\"fault\":"));
+  EXPECT_EQ(patched.substr(0, patched.find("\"transport\":")),
+            json.substr(0, json.find("\"transport\":")));
+  // Pre-schema-5 records (no transport block) pass through untouched.
+  EXPECT_EQ(patch_transport_json("{\"schema_version\":4}", t),
+            "{\"schema_version\":4}");
 }
 
 TEST(ReportSchema, UncheckedReplaySerializesClosed) {

@@ -18,6 +18,8 @@ TEST(Status, CodesHaveStableNames) {
   EXPECT_STREQ(to_string(StatusCode::kWorkerCrashed), "worker-crashed");
   EXPECT_STREQ(to_string(StatusCode::kResourceExhausted),
                "resource-exhausted");
+  EXPECT_STREQ(to_string(StatusCode::kWireMalformed), "wire-malformed");
+  EXPECT_STREQ(to_string(StatusCode::kNetError), "net-error");
   EXPECT_STREQ(to_string(StatusCode::kInternal), "internal");
 }
 
@@ -28,7 +30,8 @@ TEST(Status, AllCodeNamesRoundTrip) {
         StatusCode::kIterationLimit, StatusCode::kSolverUnbounded,
         StatusCode::kReplayCapViolation, StatusCode::kDeadlineExceeded,
         StatusCode::kCancelled, StatusCode::kWorkerCrashed,
-        StatusCode::kResourceExhausted, StatusCode::kInternal}) {
+        StatusCode::kResourceExhausted, StatusCode::kWireMalformed,
+        StatusCode::kNetError, StatusCode::kInternal}) {
     StatusCode back = StatusCode::kInternal;
     ASSERT_TRUE(status_code_from_string(to_string(c), &back)) << to_string(c);
     EXPECT_EQ(back, c);

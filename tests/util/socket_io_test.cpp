@@ -1,0 +1,195 @@
+// Socket wrapper contract: partial sends complete, dead peers surface
+// as kDisconnected (never SIGPIPE, never a fatal signal), timeouts are
+// honored, and endpoint parsing rejects garbage before a connect is
+// ever attempted.
+#include "util/socket_io.h"
+
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+
+namespace powerlim::util {
+namespace {
+
+TEST(Endpoint, ParsesHostColonPort) {
+  Endpoint ep;
+  ASSERT_TRUE(parse_endpoint("127.0.0.1:8080", &ep));
+  EXPECT_EQ(ep.host, "127.0.0.1");
+  EXPECT_EQ(ep.port, 8080);
+  EXPECT_EQ(to_string(ep), "127.0.0.1:8080");
+
+  ASSERT_TRUE(parse_endpoint("localhost:0", &ep));
+  EXPECT_EQ(ep.host, "localhost");
+  EXPECT_EQ(ep.port, 0);
+}
+
+TEST(Endpoint, RejectsGarbage) {
+  Endpoint ep;
+  ep.host = "unchanged";
+  ep.port = 42;
+  EXPECT_FALSE(parse_endpoint("", &ep));
+  EXPECT_FALSE(parse_endpoint("noport", &ep));
+  EXPECT_FALSE(parse_endpoint(":8080", &ep));
+  EXPECT_FALSE(parse_endpoint("host:", &ep));
+  EXPECT_FALSE(parse_endpoint("host:notanumber", &ep));
+  EXPECT_FALSE(parse_endpoint("host:70000", &ep));
+  EXPECT_FALSE(parse_endpoint("host:-1", &ep));
+  // Failed parses leave the output untouched.
+  EXPECT_EQ(ep.host, "unchanged");
+  EXPECT_EQ(ep.port, 42);
+}
+
+TEST(SocketIo, ListenConnectAcceptRoundTrip) {
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  const int port = bound_port(lfd);
+  ASSERT_GT(port, 0);
+
+  const int cfd = connect_timeout({"127.0.0.1", port}, 2.0, &error);
+  ASSERT_GE(cfd, 0) << error;
+  IoStatus st = IoStatus::kError;
+  const int afd = accept_timeout(lfd, 2.0, &st);
+  ASSERT_GE(afd, 0) << to_string(st);
+
+  // Bytes flow both ways.
+  EXPECT_EQ(send_all(cfd, "ping", 4, 2.0), IoStatus::kOk);
+  std::string got;
+  while (got.size() < 4) {
+    ASSERT_EQ(recv_some(afd, &got), IoStatus::kOk);
+  }
+  EXPECT_EQ(got, "ping");
+
+  // Clean close reads as kDisconnected on the other side.
+  ::close(cfd);
+  std::string tail;
+  EXPECT_EQ(recv_some(afd, &tail), IoStatus::kDisconnected);
+  ::close(afd);
+  ::close(lfd);
+}
+
+TEST(SocketIo, AcceptTimesOutWithoutAConnection) {
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  IoStatus st = IoStatus::kOk;
+  EXPECT_EQ(accept_timeout(lfd, 0.05, &st), -1);
+  EXPECT_EQ(st, IoStatus::kTimeout);
+  ::close(lfd);
+}
+
+TEST(SocketIo, ConnectToDeadPortFailsFast) {
+  // Bind-then-close guarantees nothing is listening on the port.
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  const int port = bound_port(lfd);
+  ::close(lfd);
+  const int fd = connect_timeout({"127.0.0.1", port}, 1.0, &error);
+  EXPECT_EQ(fd, -1);
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SocketIo, SendToClosedPeerIsDisconnectedNotSigpipe) {
+  // The distributed scheduler's survival property: writing into a
+  // connection whose peer is gone must return kDisconnected, not kill
+  // the process with SIGPIPE.
+  ignore_sigpipe();
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  const int cfd = connect_timeout({"127.0.0.1", bound_port(lfd)}, 2.0, &error);
+  ASSERT_GE(cfd, 0) << error;
+  IoStatus st = IoStatus::kError;
+  const int afd = accept_timeout(lfd, 2.0, &st);
+  ASSERT_GE(afd, 0);
+  ::close(afd);
+  ::close(lfd);
+
+  // The first send may land in the kernel buffer before the RST is
+  // processed; keep writing until the disconnect surfaces.
+  IoStatus got = IoStatus::kOk;
+  for (int i = 0; i < 50 && got == IoStatus::kOk; ++i) {
+    got = send_all(cfd, "x", 1, 1.0);
+  }
+  EXPECT_EQ(got, IoStatus::kDisconnected);
+  ::close(cfd);
+}
+
+TEST(SocketIo, PartialSendsCompleteLargePayload) {
+  // A payload far bigger than the socket buffers forces send() to go
+  // partial; send_all must still deliver every byte, in order. The
+  // child drains slowly so the writer really blocks on POLLOUT.
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  const int port = bound_port(lfd);
+
+  const std::size_t total = 8u << 20;  // 8 MiB
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    IoStatus st = IoStatus::kError;
+    const int afd = accept_timeout(lfd, 5.0, &st);
+    if (afd < 0) _exit(2);
+    std::string got;
+    got.reserve(total);
+    while (got.size() < total) {
+      if (recv_some(afd, &got) == IoStatus::kError) _exit(3);
+    }
+    // Verify the pattern end-to-end.
+    for (std::size_t i = 0; i < total; ++i) {
+      if (got[i] != static_cast<char>('a' + (i % 23))) _exit(4);
+    }
+    _exit(got.size() == total ? 0 : 5);
+  }
+  ::close(lfd);
+  const int cfd = connect_timeout({"127.0.0.1", port}, 2.0, &error);
+  ASSERT_GE(cfd, 0) << error;
+  std::string payload(total, '\0');
+  for (std::size_t i = 0; i < total; ++i) {
+    payload[i] = static_cast<char>('a' + (i % 23));
+  }
+  EXPECT_EQ(send_all(cfd, payload.data(), payload.size(), 30.0),
+            IoStatus::kOk);
+  ::close(cfd);
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 0);
+}
+
+TEST(SocketIo, SendAllHonorsTimeoutAgainstStalledReader) {
+  // A reader that never drains must bound the writer's blocking time:
+  // once both socket buffers fill, send_all returns kTimeout instead of
+  // wedging the sweep.
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  const int cfd = connect_timeout({"127.0.0.1", bound_port(lfd)}, 2.0, &error);
+  ASSERT_GE(cfd, 0) << error;
+  IoStatus st = IoStatus::kError;
+  const int afd = accept_timeout(lfd, 2.0, &st);
+  ASSERT_GE(afd, 0);
+
+  const std::string big(64u << 20, 'z');
+  EXPECT_EQ(send_all(cfd, big.data(), big.size(), 0.2), IoStatus::kTimeout);
+  ::close(afd);
+  ::close(cfd);
+  ::close(lfd);
+}
+
+TEST(SocketIo, StatusNamesAreStable) {
+  EXPECT_STREQ(to_string(IoStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(IoStatus::kTimeout), "timeout");
+  EXPECT_STREQ(to_string(IoStatus::kDisconnected), "disconnected");
+  EXPECT_STREQ(to_string(IoStatus::kError), "error");
+}
+
+}  // namespace
+}  // namespace powerlim::util

@@ -44,6 +44,28 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(csv, "a,b\nx,1;5\n");
 }
 
+TEST(Table, JsonOutputKeysRowsByHeader) {
+  Table t({"cap_w", "verdict"});
+  t.add_row({"30", "ok"});
+  t.add_row({"35", "infeasible"});
+  EXPECT_EQ(t.to_json(),
+            "[\n"
+            "  {\"cap_w\":\"30\",\"verdict\":\"ok\"},\n"
+            "  {\"cap_w\":\"35\",\"verdict\":\"infeasible\"}\n"
+            "]\n");
+}
+
+TEST(Table, JsonEscapesQuotesAndBackslashes) {
+  Table t({"a\"b"});
+  t.add_row({"c\\d"});
+  EXPECT_EQ(t.to_json(), "[\n  {\"a\\\"b\":\"c\\\\d\"}\n]\n");
+}
+
+TEST(Table, JsonEmptyTableIsAnEmptyArray) {
+  Table t({"a"});
+  EXPECT_EQ(t.to_json(), "[\n\n]\n");
+}
+
 TEST(Table, CountsRowsAndColumns) {
   Table t({"a", "b", "c"});
   t.add_row({"1", "2", "3"});

@@ -24,7 +24,9 @@
 #include "machine/power_model.h"
 #include "robust/fault_injection.h"
 #include "robust/pipeline.h"
+#include "robust/remote_worker.h"
 #include "robust/solve_driver.h"
+#include "util/socket_io.h"
 #include "runtime/comparison.h"
 #include "runtime/conductor.h"
 #include "runtime/static_policy.h"
@@ -90,18 +92,34 @@ const char* kUsage =
     "            the whole ladder in wall time)\n"
     "  compare  FILE --socket-cap W\n"
     "  sweep    FILE --from W --to W [--step W] [--report FILE]\n"
-    "           [--inject-fail W|worker-crash|worker-oom|worker-hang]\n"
+    "           [--inject-fail W|worker-crash|worker-oom|worker-hang\n"
+    "            |net-drop|net-stall|net-corrupt|net-slow]\n"
     "           [--journal FILE [--resume]] [--no-lint]\n"
     "           [--deadline-ms MS] [--cap-deadline-ms MS]\n"
     "           [--workers N [--worker-mem-mb M] [--worker-cpu-s S]]\n"
+    "           [--remote HOST:PORT[,HOST:PORT...]\n"
+    "            [--remote-timeout-ms MS] [--remote-heartbeat-ms MS]]\n"
     "           (per-cap verdicts; failed caps degrade to the Static\n"
     "            bound instead of aborting; --inject-fail W forces every\n"
     "            ladder rung to fail at that socket cap, worker-* injures\n"
-    "            each cap's first worker spawn; --journal records\n"
+    "            each cap's first worker spawn, net-* each cap's first\n"
+    "            scheduler-side remote attempt; --journal records\n"
     "            completed caps durably and --resume skips them on\n"
     "            restart; --workers > 1 forks each cap into an isolated,\n"
     "            crash-contained worker under optional memory/CPU\n"
-    "            budgets; exit 75 = interrupted, re-run to resume)\n"
+    "            budgets; --remote mixes serve-worker peers into the\n"
+    "            pool - lost caps retry on a different worker, then\n"
+    "            locally, then degrade, and remote results must pass the\n"
+    "            local certificate gate; exit 75 = interrupted, re-run\n"
+    "            to resume)\n"
+    "  serve-worker --listen HOST:PORT [--port-file FILE] [--once]\n"
+    "           [--heartbeat-ms MS] [--worker-mem-mb M] [--worker-cpu-s S]\n"
+    "           [--inject-fail net-drop|net-stall|net-corrupt|net-slow\n"
+    "            |net-lie] [--inject-attempts N] [--slow-delay-ms MS]\n"
+    "           (remote cap-solve worker for `sweep --remote`: solves\n"
+    "            jobs in rlimit-budgeted forked children, heartbeats\n"
+    "            while solving, drains gracefully on SIGTERM; port 0\n"
+    "            binds an ephemeral port, published via --port-file)\n"
     "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
     "           [--width N]\n"
     "  export   FILE --socket-cap W -o PREFIX\n"
@@ -477,8 +495,14 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (const auto it = p.options.find("--inject-fail");
       it != p.options.end()) {
     robust::WorkerFault wf = robust::WorkerFault::kNone;
+    robust::NetFault nf = robust::NetFault::kNone;
     if (robust::worker_fault_from_string(it->second, &wf)) {
       plan.worker_fault = wf;
+      scope.emplace(plan);
+    } else if (robust::net_fault_from_string(it->second, &nf)) {
+      // Scheduler-side network fault: injures each cap's first remote
+      // dispatch so the reassignment ladder is exercised from this end.
+      plan.net_fault = nf;
       scope.emplace(plan);
     } else if (const auto inject = opt_double(p, "--inject-fail")) {
       plan.fail_attempts = 99;
@@ -509,6 +533,26 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   ropt.workers = workers;
   ropt.worker_mem_mb = opt_int(p, "--worker-mem-mb", 0);
   if (const auto s = opt_double(p, "--worker-cpu-s")) ropt.worker_cpu_s = *s;
+  if (const auto it = p.options.find("--remote"); it != p.options.end()) {
+    std::string rest = it->second;
+    while (!rest.empty()) {
+      const std::size_t comma = rest.find(',');
+      const std::string one = rest.substr(0, comma);
+      if (!one.empty()) ropt.remotes.push_back(one);
+      if (comma == std::string::npos) break;
+      rest.erase(0, comma + 1);
+    }
+    if (ropt.remotes.empty()) {
+      err << "sweep: --remote needs at least one host:port\n";
+      return 2;
+    }
+  }
+  if (const auto ms = opt_double(p, "--remote-timeout-ms")) {
+    ropt.remote_timeout_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--remote-heartbeat-ms")) {
+    ropt.remote_heartbeat_ms = *ms;
+  }
 
   const auto swept =
       robust::resilient_sweep(g, model(), cluster, caps, ropt);
@@ -562,6 +606,12 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
         << (ropt.workers > 1 ? "" : " (no-op without --workers > 1)")
         << ".\n";
   }
+  if (scope && plan.net_fault != robust::NetFault::kNone) {
+    out << "note: --inject-fail " << robust::to_string(plan.net_fault)
+        << " injured each cap's first scheduler-side remote attempt"
+        << (ropt.remotes.empty() ? " (no-op without --remote)" : "")
+        << ".\n";
+  }
   if (ropt.workers > 1) {
     const robust::WorkerPoolStats& ws = res.worker_stats;
     out << "workers: " << ropt.workers << " in flight, " << ws.spawned
@@ -570,6 +620,13 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
         << ws.resource_exhausted << " resource-exhausted, " << ws.timeouts
         << " timeout(s), " << ws.retries << " retried; peak worker rss "
         << ws.max_peak_rss_kb << " KiB\n";
+  }
+  if (!ropt.remotes.empty()) {
+    const robust::WorkerPoolStats& ws = res.worker_stats;
+    out << "remotes: " << ropt.remotes.size() << " endpoint(s); "
+        << ws.remote_clean << " cap(s) solved remotely, "
+        << ws.remote_failures << " remote failure(s), "
+        << ws.certificate_rejects << " certificate-rejected\n";
   }
   if (res.resumed > 0) {
     out << "resumed " << res.resumed << " cap(s) from journal, solved "
@@ -620,6 +677,50 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   // Partial results are success; only a sweep where some cap failed
   // outright and *nothing* produced a bound is an error.
   return usable == 0 && hard_failures > 0 ? 1 : 0;
+}
+
+int cmd_serve_worker(const ParsedArgs& p, std::ostream& out,
+                     std::ostream& err) {
+  const auto listen_it = p.options.find("--listen");
+  if (listen_it == p.options.end()) {
+    err << "serve-worker: --listen HOST:PORT is required\n";
+    return 2;
+  }
+  robust::ServeWorkerOptions opt;
+  if (!util::parse_endpoint(listen_it->second, &opt.listen)) {
+    err << "serve-worker: bad --listen '" << listen_it->second
+        << "' (want host:port)\n";
+    return 2;
+  }
+  if (const auto it = p.options.find("--port-file"); it != p.options.end()) {
+    opt.port_file = it->second;
+  }
+  opt.once = p.flags.count("--once") > 0;
+  if (const auto ms = opt_double(p, "--heartbeat-ms")) {
+    if (*ms <= 0) {
+      err << "serve-worker: --heartbeat-ms must be > 0\n";
+      return 2;
+    }
+    opt.heartbeat_ms = *ms;
+  }
+  opt.limits.mem_mb = opt_int(p, "--worker-mem-mb", 0);
+  if (const auto s = opt_double(p, "--worker-cpu-s")) {
+    opt.limits.cpu_seconds = *s;
+  }
+  if (const auto it = p.options.find("--inject-fail");
+      it != p.options.end()) {
+    if (!robust::net_fault_from_string(it->second, &opt.fault)) {
+      err << "serve-worker: --inject-fail wants "
+             "net-drop|net-stall|net-corrupt|net-slow|net-lie\n";
+      return 2;
+    }
+  }
+  opt.fault_attempts = opt_int(p, "--inject-attempts", 1);
+  if (const auto ms = opt_double(p, "--slow-delay-ms")) {
+    opt.slow_delay_ms = *ms;
+  }
+  opt.cancel = &global_cancel();
+  return robust::serve_worker(opt, out, err);
 }
 
 /// Runs one method and returns the simulation result; `lp` out-param is
@@ -923,9 +1024,20 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                               "--inject-fail", "--journal",
                               "--deadline-ms", "--cap-deadline-ms",
                               "--workers", "--worker-mem-mb",
-                              "--worker-cpu-s"},
+                              "--worker-cpu-s", "--remote",
+                              "--remote-timeout-ms",
+                              "--remote-heartbeat-ms"},
                              {"--resume", "--no-lint"}),
                        out, err);
+    }
+    if (cmd == "serve-worker") {
+      return cmd_serve_worker(
+          parse(args, 1,
+                {"--listen", "--port-file", "--heartbeat-ms",
+                 "--worker-mem-mb", "--worker-cpu-s", "--inject-fail",
+                 "--inject-attempts", "--slow-delay-ms"},
+                {"--once"}),
+          out, err);
     }
     if (cmd == "timeline") {
       return cmd_timeline(
