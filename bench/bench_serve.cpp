@@ -1,0 +1,138 @@
+// powerlimd service-level benchmark.
+//
+// Boots a real daemon on an ephemeral port, drives it with the loadgen
+// fleet (>= 8 concurrent client processes, each running sequential
+// bound/sweep requests over its own connection), and reports the
+// numbers an admission-controlled service is judged by: served /
+// overloaded / error counts, p50/p99/mean latency of served requests,
+// and throughput. Three scenarios per run: a clean fleet, a fleet
+// sharing the daemon with a net-stall saboteur (partial frame held open
+// past the handshake timeout), and one with a slow-read saboteur
+// (submits, never reads). The saboteur rows demonstrate containment:
+// honest-client numbers should not collapse.
+//
+// CI archives the --json artifact as BENCH_serve.json.
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "dag/trace_io.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "util/deadline.h"
+#include "util/socket_io.h"
+
+using namespace powerlim;
+
+namespace {
+
+util::CancelToken g_daemon_cancel;
+extern "C" void handle_term(int) { g_daemon_cancel.cancel(); }
+
+/// Forks a powerlimd bound to an ephemeral port; returns its pid and
+/// fills `endpoint` once the port file appears.
+pid_t spawn_daemon(const std::string& dir, util::Endpoint* endpoint) {
+  const std::string port_file = dir + "/port";
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    struct sigaction sa = {};
+    sa.sa_handler = handle_term;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+    serve::ServeOptions so;
+    so.listen = "127.0.0.1:0";
+    so.port_file = port_file;
+    so.state_dir = dir + "/state";
+    so.max_active = 2;
+    so.cancel = &g_daemon_cancel;
+    std::ostringstream sink;
+    ::_exit(serve::serve(so, bench::model(), bench::cluster(), sink, sink));
+  }
+  for (int i = 0; i < 100; ++i) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f) {
+      int port = 0;
+      const bool got = std::fscanf(f, "%d", &port) == 1;
+      std::fclose(f);
+      if (got && port > 0) {
+        endpoint->host = "127.0.0.1";
+        endpoint->port = port;
+        return pid;
+      }
+    }
+    ::usleep(100 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  const dag::TaskGraph graph = apps::make_comd(
+      {.ranks = args.ranks, .iterations = args.iterations});
+  std::ostringstream trace;
+  dag::write_trace(trace, graph);
+
+  char dir_template[] = "/tmp/bench_serve.XXXXXX";
+  const char* dir = ::mkdtemp(dir_template);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  util::Endpoint endpoint;
+  const pid_t daemon = spawn_daemon(dir, &endpoint);
+  if (daemon < 0) {
+    std::fprintf(stderr, "daemon failed to start\n");
+    return 1;
+  }
+
+  std::printf("== powerlimd under load (CoMD, ranks=%d) ==\n", args.ranks);
+  std::printf("daemon at %s, 8 clients x 3 requests per scenario\n\n",
+              util::to_string(endpoint).c_str());
+
+  util::Table t({"scenario", "ok", "overloaded", "errors", "p50_ms",
+                 "p99_ms", "mean_ms", "throughput_rps"});
+  const std::vector<std::string> scenarios = {"clean", "net-stall",
+                                              "slow-read"};
+  bool any_served = false;
+  for (const std::string& scenario : scenarios) {
+    serve::LoadgenOptions lo;
+    lo.server = endpoint;
+    lo.clients = 8;
+    lo.requests = 3;
+    for (double w : {60.0, 70.0, 80.0}) {
+      lo.caps.push_back(w * graph.num_ranks());
+    }
+    lo.trace_text = trace.str();
+    if (scenario != "clean") lo.inject = scenario;
+    std::ostringstream progress;
+    const serve::LoadgenReport r = serve::run_loadgen(lo, progress);
+    any_served |= r.ok > 0;
+    t.add_row({scenario, std::to_string(r.ok), std::to_string(r.overloaded),
+               std::to_string(r.errors), bench::fmt(r.p50_ms, 2),
+               bench::fmt(r.p99_ms, 2), bench::fmt(r.mean_ms, 2),
+               bench::fmt(r.throughput_rps, 2)});
+  }
+  bench::emit(t, args);
+
+  ::kill(daemon, SIGTERM);
+  int status = 0;
+  (void)::waitpid(daemon, &status, 0);
+  const bool clean_exit = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+  if (!clean_exit) std::fprintf(stderr, "daemon did not drain cleanly\n");
+  return any_served && clean_exit ? 0 : 1;
+}

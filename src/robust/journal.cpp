@@ -109,6 +109,67 @@ bool take_field(std::istringstream& is, const char* key, std::string* value) {
 
 }  // namespace
 
+namespace {
+
+bool single_token(const std::string& s) {
+  if (s.empty()) return false;
+  for (char c : s) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r') return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string serialize_journal_request(const JournalRequest& r) {
+  if (!single_token(r.id) || !single_token(r.kind) || r.caps.empty()) {
+    return std::string();
+  }
+  std::string out = "req=";
+  out += r.id;
+  out += " kind=";
+  out += r.kind;
+  out += " deadline_ms=";
+  out += format_double(r.deadline_ms);
+  out += " caps=";
+  for (std::size_t i = 0; i < r.caps.size(); ++i) {
+    if (i) out += ',';
+    out += format_double(r.caps[i]);
+  }
+  return out;
+}
+
+bool parse_journal_request(const std::string& payload, JournalRequest* out) {
+  std::istringstream is(payload);
+  std::string id, kind, deadline, caps;
+  if (!take_field(is, "req", &id) || !take_field(is, "kind", &kind) ||
+      !take_field(is, "deadline_ms", &deadline) ||
+      !take_field(is, "caps", &caps)) {
+    return false;
+  }
+  std::string extra;
+  if (is >> extra) return false;
+  JournalRequest r;
+  r.id = id;
+  r.kind = kind;
+  char* end = nullptr;
+  r.deadline_ms = std::strtod(deadline.c_str(), &end);
+  if (end == deadline.c_str() || *end != '\0') return false;
+  std::size_t pos = 0;
+  while (pos <= caps.size()) {
+    std::size_t comma = caps.find(',', pos);
+    if (comma == std::string::npos) comma = caps.size();
+    const std::string tok = caps.substr(pos, comma - pos);
+    const double cap = std::strtod(tok.c_str(), &end);
+    if (tok.empty() || end == tok.c_str() || *end != '\0') return false;
+    r.caps.push_back(cap);
+    pos = comma + 1;
+  }
+  if (r.caps.empty()) return false;
+  *out = std::move(r);
+  return true;
+}
+
 bool parse_journal_entry(const std::string& payload, JournalEntry* out) {
   const std::size_t nl = payload.find('\n');
   if (nl == std::string::npos) return false;
@@ -222,6 +283,7 @@ struct SweepJournal::Impl {
   RecoverySummary recovery;
   std::vector<JournalEntry> entries;
   std::vector<lp::WarmStart> warm;
+  std::vector<JournalRequest> requests;
 
   ~Impl() {
     if (fd >= 0) ::close(fd);
@@ -258,6 +320,9 @@ const std::vector<JournalEntry>& SweepJournal::entries() const {
 const std::vector<lp::WarmStart>& SweepJournal::warm_starts() const {
   return impl_->warm;
 }
+const std::vector<JournalRequest>& SweepJournal::requests() const {
+  return impl_->requests;
+}
 
 bool SweepJournal::contains(double job_cap_watts) const {
   return find(job_cap_watts) != nullptr;
@@ -274,11 +339,19 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
   SweepJournal journal;
   Impl& im = *journal.impl_;
   im.path = path;
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
   im.fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_APPEND | O_CLOEXEC,
                  0644);
   if (im.fd < 0) {
     return Status(StatusCode::kBadInput,
                   errno_message("cannot open journal", path));
+  }
+  // A freshly created journal is only durable once the directory entry
+  // pointing at it is too: fsync the parent directory, or a power loss
+  // after the first record's fsync can still lose the whole file.
+  if (!existed && util::fsync_parent_dir(path) != 0) {
+    return Status(StatusCode::kInternal,
+                  errno_message("cannot fsync journal directory", path));
   }
 
   // Slurp the whole file; sweep journals are tens of KB.
@@ -322,6 +395,12 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
       return Status(StatusCode::kInternal,
                     errno_message("cannot recreate journal", path));
     }
+    // The rotate (rename + recreate) rewrote two directory entries; make
+    // both durable before trusting the fresh journal.
+    if (util::fsync_parent_dir(path) != 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("cannot fsync journal directory", path));
+    }
     im.recovery.quarantined_file = true;
     im.recovery.quarantine_path = moved;
     std::string header = kMagic;
@@ -345,7 +424,8 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
     unsigned long long len = 0;
     if (std::sscanf(line.c_str(), "%c %15s %llu", &tag, crc_text, &len) !=
             3 ||
-        (tag != 'R' && tag != 'B') || std::strlen(crc_text) != 8) {
+        (tag != 'R' && tag != 'B' && tag != 'Q') ||
+        std::strlen(crc_text) != 8) {
       break;
     }
     const std::size_t payload_start = line_end + 1;
@@ -370,6 +450,11 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
         im.entries.push_back(std::move(e));
         ++im.recovery.records;
       }
+    } else if (tag == 'Q') {
+      JournalRequest r;
+      if (!parse_journal_request(payload, &r)) break;
+      im.requests.push_back(std::move(r));
+      ++im.recovery.request_records;
     } else {
       std::vector<lp::WarmStart> warm;
       if (!parse_warm_starts(payload, &warm)) break;
@@ -404,6 +489,20 @@ Status SweepJournal::append(const JournalEntry& entry) {
   if (!st.ok()) return st;
   impl_->entries.push_back(entry);
   ++impl_->recovery.records;
+  return Status::Ok();
+}
+
+Status SweepJournal::append_request(const JournalRequest& request) {
+  const std::string payload = serialize_journal_request(request);
+  if (payload.empty()) {
+    return Status(StatusCode::kBadInput,
+                  "journal request needs a whitespace-free id/kind and at "
+                  "least one cap");
+  }
+  Status st = impl_->write_durable(frame('Q', payload));
+  if (!st.ok()) return st;
+  impl_->requests.push_back(request);
+  ++impl_->recovery.request_records;
   return Status::Ok();
 }
 

@@ -11,10 +11,15 @@
 //   powerlim-journal v1\n
 //   R <crc32-hex> <payload-bytes>\n<payload>\n        (one per cap)
 //   B <crc32-hex> <payload-bytes>\n<payload>\n        (basis checkpoint)
+//   Q <crc32-hex> <payload-bytes>\n<payload>\n        (request intent)
 //
 // An `R` payload is a structured row line (cap / verdict / degraded /
 // bound / fallback - everything the sweep table needs) followed by the
-// full RunReport JSON. A `B` payload is a text serialization of the
+// full RunReport JSON. A `Q` payload records a *request intent* (the
+// powerlimd daemon journals every admitted request before its first
+// solve starts), so a daemon killed mid-request can resume: caps from
+// recovered `Q` records that lack a trusted `R` record are exactly the
+// work still owed. A `B` payload is a text serialization of the
 // per-window warm-start cache; on resume the *last* intact `B` record
 // seeds the solver so the restarted sweep warm-starts where the dead
 // run left off (stale snapshots are safe: the solver feasibility-checks
@@ -71,12 +76,26 @@ struct JournalEntry {
   std::string report_json;
 };
 
+/// One durable request intent (`Q` record): what a daemon promised to
+/// solve before it started solving. Ids and kinds are single tokens
+/// (no whitespace - the serialization is token-framed).
+struct JournalRequest {
+  std::string id;
+  /// "bound" (one cap) or "sweep" (many).
+  std::string kind;
+  /// Client deadline echoed at admission, ms (0 = none).
+  double deadline_ms = 0.0;
+  std::vector<double> caps;
+};
+
 /// What recovery found when the journal was opened.
 struct RecoverySummary {
   /// Intact per-cap records recovered (after duplicate dedup).
   int records = 0;
   /// Intact basis checkpoints seen (only the last one is kept).
   int basis_records = 0;
+  /// Intact request-intent records recovered.
+  int request_records = 0;
   /// Duplicate-cap records dropped (first occurrence wins).
   int duplicates_dropped = 0;
   /// Bytes of torn/corrupt tail removed by truncate-and-continue.
@@ -110,6 +129,13 @@ bool journal_entry_trusted(const JournalEntry& entry,
 std::string serialize_journal_entry(const JournalEntry& entry);
 bool parse_journal_entry(const std::string& payload, JournalEntry* out);
 
+/// Serialize / parse one request-intent payload (the `Q` frame body):
+/// `req=<id> kind=<kind> deadline_ms=<g17> caps=<c1,c2,...>`. Ids and
+/// kinds containing whitespace are rejected on serialize (empty result)
+/// and parse alike.
+std::string serialize_journal_request(const JournalRequest& request);
+bool parse_journal_request(const std::string& payload, JournalRequest* out);
+
 /// Serialize / parse the warm-start cache for `B` records. Exposed for
 /// tests; the format is one window per line: `<status-chars> <basis
 /// ints...>` (`-` for an empty slot).
@@ -142,11 +168,17 @@ class SweepJournal {
   /// Last intact basis checkpoint (empty when none survived).
   const std::vector<lp::WarmStart>& warm_starts() const;
 
+  /// Recovered request intents, in journal (= admission) order.
+  const std::vector<JournalRequest>& requests() const;
+
   /// Durably appends one per-cap record (write + fsync before return).
   /// An entry for an already-journaled cap is dropped as a duplicate.
   Status append(const JournalEntry& entry);
   /// Durably appends a basis checkpoint. Empty snapshots are skipped.
   Status append_basis(const std::vector<lp::WarmStart>& warm);
+  /// Durably appends a request intent *before* any of its caps solve.
+  /// Malformed requests (whitespace in id/kind) are kBadInput.
+  Status append_request(const JournalRequest& request);
 
  private:
   SweepJournal();

@@ -101,59 +101,20 @@ long current_peak_rss_kb() {
   return static_cast<long>(ru.ru_maxrss);
 }
 
-/// A cap whose isolated worker died twice (or starved/overran its
-/// budgets) gets the same treatment as an exhausted ladder: classify
-/// the failure, then substitute the always-simulable Static-policy
-/// bound. The parent synthesizes the report because the child left no
-/// usable one behind.
+/// Adapter from the worker pool's result record to the shared
+/// degraded-entry synthesis below.
 JournalEntry degraded_entry_for_dead_worker(
     const dag::TaskGraph& graph, const machine::PowerModel& model,
     const machine::ClusterSpec& cluster, const SolveDriverOptions& driver_opt,
     double cap, const WorkerTaskResult& r) {
-  const int ranks = graph.num_ranks();
-  RunReport rep;
-  rep.job_cap_watts = cap;
-  rep.socket_cap_watts = ranks > 0 ? cap / ranks : 0.0;
-  rep.verdict = status_code_for(r.outcome);
-  rep.detail = "isolated worker failed after " + std::to_string(r.spawns) +
-               " spawn(s); last: " + r.detail;
-  rep.wall_ms = r.wall_ms;
-  rep.ladder.enable_ladder = driver_opt.enable_ladder;
-  rep.ladder.enable_fallback = driver_opt.enable_fallback;
-  rep.ladder.validate_replay = driver_opt.validate_replay;
-  rep.ladder.cap_deadline_ms =
-      driver_opt.cap_deadline_ms > 0.0 ? driver_opt.cap_deadline_ms : 0.0;
-  rep.ladder.cancellable = driver_opt.cancel != nullptr;
-  const FaultPlan* plan = ScopedFaultPlan::active();
-  const bool faulted = plan && plan->applies_to_cap(cap);
-  rep.fault_active = faulted;
-  rep.fault_seed = faulted ? plan->seed : 0;
-  rep.worker.isolated = true;
-  rep.worker.spawns = r.spawns;
-  rep.worker.retries = r.spawns > 0 ? r.spawns - 1 : 0;
-  rep.worker.peak_rss_kb = r.peak_rss_kb;
-  SolveAttempt att;
-  att.rung = "worker";
-  att.outcome = rep.verdict;
-  att.detail = r.detail;
-  rep.attempts.push_back(std::move(att));
-  if (driver_opt.enable_fallback) {
-    try {
-      runtime::StaticPolicy policy(model, ranks > 0 ? cap / ranks : cap);
-      sim::EngineOptions eo;
-      eo.cluster = cluster;
-      eo.idle_power = model.idle_power();
-      const sim::SimResult sim = sim::simulate(graph, policy, eo);
-      rep.degraded = true;
-      rep.fallback = "static-policy";
-      rep.bound_seconds = sim.makespan;
-      rep.energy_joules = sim.energy_joules;
-    } catch (const std::exception& e) {
-      rep.detail += "; static fallback also failed: ";
-      rep.detail += e.what();
-    }
-  }
-  return entry_from_row(row_from_report(rep));
+  WorkerFailure failure;
+  failure.outcome = status_code_for(r.outcome);
+  failure.detail = r.detail;
+  failure.spawns = r.spawns;
+  failure.wall_ms = r.wall_ms;
+  failure.peak_rss_kb = r.peak_rss_kb;
+  return degraded_entry_for_failure(graph, model, cluster, driver_opt, cap,
+                                    failure);
 }
 
 /// The workers > 1 path: resume-filter as usual, then dispatch every
@@ -253,6 +214,7 @@ Result<ResilientSweepResult> parallel_resilient_sweep(
     }
     SweepRow row = row_from_entry(entry);
     row.from_journal = false;
+    if (options.on_row) options.on_row(row);
     slots[cap_idx] = std::move(row);
     ++out.solved;
   };
@@ -471,6 +433,7 @@ Result<ResilientSweepResult> distributed_resilient_sweep(
     }
     SweepRow row = row_from_entry(entry);
     row.from_journal = false;
+    if (options.on_row) options.on_row(row);
     slots[cap_idx] = std::move(row);
     ++out.solved;
   };
@@ -572,11 +535,68 @@ Result<ResilientSweepResult> resilient_sweep(
       const Status bs = journal->append_basis(driver.warm_starts());
       if (!bs.ok()) return bs;
     }
+    if (options.on_row) options.on_row(row);
     out.rows.push_back(std::move(row));
     ++out.solved;
   }
 
   return out;
+}
+
+JournalEntry degraded_entry_for_failure(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const SolveDriverOptions& driver_opt,
+    double cap, const WorkerFailure& failure) {
+  // A cap whose isolated worker died (or starved/overran its budgets)
+  // gets the same treatment as an exhausted ladder: classify the
+  // failure, then substitute the always-simulable Static-policy bound.
+  // The supervisor synthesizes the report because the child left no
+  // usable one behind.
+  const int ranks = graph.num_ranks();
+  RunReport rep;
+  rep.job_cap_watts = cap;
+  rep.socket_cap_watts = ranks > 0 ? cap / ranks : 0.0;
+  rep.verdict = failure.outcome;
+  rep.detail = "isolated worker failed after " +
+               std::to_string(failure.spawns) +
+               " spawn(s); last: " + failure.detail;
+  rep.wall_ms = failure.wall_ms;
+  rep.ladder.enable_ladder = driver_opt.enable_ladder;
+  rep.ladder.enable_fallback = driver_opt.enable_fallback;
+  rep.ladder.validate_replay = driver_opt.validate_replay;
+  rep.ladder.cap_deadline_ms =
+      driver_opt.cap_deadline_ms > 0.0 ? driver_opt.cap_deadline_ms : 0.0;
+  rep.ladder.cancellable = driver_opt.cancel != nullptr;
+  const FaultPlan* plan = ScopedFaultPlan::active();
+  const bool faulted = plan && plan->applies_to_cap(cap);
+  rep.fault_active = faulted;
+  rep.fault_seed = faulted ? plan->seed : 0;
+  rep.worker.isolated = true;
+  rep.worker.spawns = failure.spawns;
+  rep.worker.retries = failure.spawns > 0 ? failure.spawns - 1 : 0;
+  rep.worker.peak_rss_kb = failure.peak_rss_kb;
+  SolveAttempt att;
+  att.rung = "worker";
+  att.outcome = rep.verdict;
+  att.detail = failure.detail;
+  rep.attempts.push_back(std::move(att));
+  if (driver_opt.enable_fallback) {
+    try {
+      runtime::StaticPolicy policy(model, ranks > 0 ? cap / ranks : cap);
+      sim::EngineOptions eo;
+      eo.cluster = cluster;
+      eo.idle_power = model.idle_power();
+      const sim::SimResult sim = sim::simulate(graph, policy, eo);
+      rep.degraded = true;
+      rep.fallback = "static-policy";
+      rep.bound_seconds = sim.makespan;
+      rep.energy_joules = sim.energy_joules;
+    } catch (const std::exception& e) {
+      rep.detail += "; static fallback also failed: ";
+      rep.detail += e.what();
+    }
+  }
+  return entry_from_row(row_from_report(rep));
 }
 
 }  // namespace powerlim::robust

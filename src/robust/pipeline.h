@@ -8,6 +8,7 @@
 // and nothing else.
 #pragma once
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -91,6 +92,13 @@ struct ResilientSweepOptions {
   /// Heartbeat silence that declares a remote peer dead, ms (0 = the
   /// default in RemoteWorkerOptions).
   double remote_heartbeat_ms = 0.0;
+  /// Streaming hook: called once per *fresh* row the moment it settles
+  /// (journaled-resume rows are not replayed through it), after the row
+  /// is journaled. The powerlimd executor uses this to ship each cap's
+  /// result up its pipe while later caps still solve, so a client
+  /// watching a long sweep sees rows trickle in instead of one burst.
+  /// Must not throw; called from the sweep thread.
+  std::function<void(const SweepRow&)> on_row;
 };
 
 struct ResilientSweepResult {
@@ -122,5 +130,31 @@ Result<ResilientSweepResult> resilient_sweep(
     const dag::TaskGraph& graph, const machine::PowerModel& model,
     const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
     const ResilientSweepOptions& options = {});
+
+/// How an isolated worker (or daemon executor) died without shipping a
+/// result for its cap.
+struct WorkerFailure {
+  /// Death classification (kWorkerCrashed / kResourceExhausted / ...).
+  StatusCode outcome = StatusCode::kWorkerCrashed;
+  /// Human-readable cause of the final spawn's death.
+  std::string detail;
+  /// Worker spawns the cap consumed before giving up.
+  int spawns = 1;
+  /// Telemetry (wall_ms / worker block): excluded from byte-identity.
+  double wall_ms = 0.0;
+  long peak_rss_kb = 0;
+};
+
+/// Synthesizes the degraded journal entry for a cap whose isolated
+/// worker died without shipping a result: a RunReport with one
+/// synthetic "worker" attempt describing the death and the
+/// Static-policy fallback bound simulated in-process. Shared by the
+/// worker pool's reassignment ladder and powerlimd's executor-crash
+/// path, so a cap lost to a daemon executor crash degrades
+/// byte-identically to one lost in an offline parallel sweep.
+JournalEntry degraded_entry_for_failure(
+    const dag::TaskGraph& graph, const machine::PowerModel& model,
+    const machine::ClusterSpec& cluster, const SolveDriverOptions& driver_opt,
+    double job_cap_watts, const WorkerFailure& failure);
 
 }  // namespace powerlim::robust

@@ -111,6 +111,17 @@ void append_transport(std::ostream& os, const TransportTelemetry& t) {
      << ",\"heartbeat_misses\":" << t.heartbeat_misses << "}";
 }
 
+/// The schema-6 service block, emitted with a leading comma (shared by
+/// to_json and patch_service_json so the spliced shape cannot drift).
+void append_service(std::ostream& os, const ServiceTelemetry& s) {
+  os << ",\"service\":{\"served\":" << (s.served ? "true" : "false")
+     << ",\"queue_depth\":" << s.queue_depth
+     << ",\"shed_total\":" << s.shed_total
+     << ",\"queue_wait_ms\":" << json_num(s.queue_wait_ms)
+     << ",\"solve_ms\":" << json_num(s.solve_ms)
+     << ",\"total_ms\":" << json_num(s.total_ms) << "}";
+}
+
 }  // namespace
 
 std::string RunReport::to_json() const {
@@ -131,6 +142,7 @@ std::string RunReport::to_json() const {
      << ",\"retries\":" << worker.retries
      << ",\"peak_rss_kb\":" << worker.peak_rss_kb << "}";
   append_transport(os, transport);
+  append_service(os, service);
   os << ",\"fault\":{\"active\":" << (fault_active ? "true" : "false")
      << ",\"seed\":" << fault_seed << "}"
      << ",\"ladder\":{\"enable_ladder\":"
@@ -184,6 +196,22 @@ std::string patch_transport_json(const std::string& report_json,
   append_transport(block, transport);
   // append_transport emits a leading ",\"transport\":..."; drop the
   // comma (the original block's separator stays in place).
+  const std::string replacement = block.str().substr(1);
+  std::string out = report_json;
+  out.replace(start, close + 1 - start, replacement);
+  return out;
+}
+
+std::string patch_service_json(const std::string& report_json,
+                               const ServiceTelemetry& service) {
+  const std::string marker = "\"service\":{";
+  const std::size_t start = report_json.find(marker);
+  if (start == std::string::npos) return report_json;
+  // Flat scalars only: the first '}' after the marker closes the block.
+  const std::size_t close = report_json.find('}', start + marker.size());
+  if (close == std::string::npos) return report_json;
+  std::ostringstream block;
+  append_service(block, service);
   const std::string replacement = block.str().substr(1);
   std::string out = report_json;
   out.replace(start, close + 1 - start, replacement);

@@ -50,8 +50,12 @@ namespace powerlim::robust {
 /// layer) and the `certificate-failed` verdict. Schema 5 added the
 /// `transport` block (distributed sweeps): endpoint, retries,
 /// backoff_ms, heartbeat_misses - zeroed for local solves and excluded
-/// from byte-identity comparisons like the worker block.
-inline constexpr int kRunReportSchemaVersion = 5;
+/// from byte-identity comparisons like the worker block. Schema 6 added
+/// the `service` block (powerlimd daemon): queue depth, shed count, and
+/// queue-wait / solve / total latency for caps solved through the serve
+/// path - zeroed for offline solves and excluded from byte-identity
+/// comparisons like worker/transport.
+inline constexpr int kRunReportSchemaVersion = 6;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -136,6 +140,30 @@ struct TransportTelemetry {
   int heartbeat_misses = 0;
 };
 
+/// Daemon-service telemetry (schema 6). Zeroed unless the cap was
+/// settled by a powerlimd request executor, which splices the real
+/// values into the report it replies with (the solver cannot know how
+/// long its request queued or how loaded the daemon was). The journal
+/// keeps the *unpatched* report so daemon journals stay byte-compatible
+/// with offline sweeps; only client replies carry the block filled in.
+/// Telemetry like wall_ms/worker/transport: excluded from byte-identity
+/// comparisons.
+struct ServiceTelemetry {
+  /// True when the cap was solved by a daemon on behalf of a request.
+  bool served = false;
+  /// Requests queued (admitted, not yet executing) when this cap's
+  /// request was admitted.
+  int queue_depth = 0;
+  /// Requests the daemon had shed (replied `overloaded`) at that point.
+  long shed_total = 0;
+  /// Admission-to-execution wait for the owning request, ms.
+  double queue_wait_ms = 0.0;
+  /// Executor solve time for the owning request, ms.
+  double solve_ms = 0.0;
+  /// Admission-to-reply total for the owning request, ms.
+  double total_ms = 0.0;
+};
+
 /// Resolved supervision/ladder options echoed into every RunReport so a
 /// degraded or fault-injected run is reproducible from the report alone.
 struct LadderEcho {
@@ -185,6 +213,8 @@ struct RunReport {
   WorkerTelemetry worker;
   /// Remote-transport telemetry (zeroed for local solves).
   TransportTelemetry transport;
+  /// Daemon-service telemetry (zeroed for offline solves).
+  ServiceTelemetry service;
   std::vector<SolveAttempt> attempts;
   ReplayVerdict replay;
   CertificateEcho certificate;
@@ -207,6 +237,13 @@ std::string reports_to_json(const std::vector<RunReport>& reports);
 /// no "transport" block is present (pre-schema-5 journal records).
 std::string patch_transport_json(const std::string& report_json,
                                  const TransportTelemetry& transport);
+
+/// Splices real service telemetry into an already-serialized report (the
+/// daemon's reply path; the journal keeps the unpatched bytes). Returns
+/// the input unchanged when no "service" block is present (pre-schema-6
+/// journal records).
+std::string patch_service_json(const std::string& report_json,
+                               const ServiceTelemetry& service);
 
 /// Result of one driver solve: the LP result (meaningful when the
 /// verdict is kOk), the validated/fallback simulation when one ran, and

@@ -46,6 +46,16 @@ inline constexpr std::size_t kMaxWirePayload = 64u << 20;  // 64 MiB
 /// without a newline past this cannot be a valid header.
 inline constexpr std::size_t kMaxWireHeader = 64;
 
+/// Whole-frame ceiling: the most bytes one intact frame can occupy
+/// (header line + newline + maximal payload). Both sides of every
+/// socket protocol share this bound - a reader may buffer at most this
+/// much per incomplete frame, and a connection whose undecoded backlog
+/// exceeds it is hostile or corrupt and must be dropped. Keeping the
+/// constant here (not per-daemon) is what makes the client and server
+/// ceilings provably identical.
+inline constexpr std::size_t kMaxFrameBytes =
+    kMaxWireHeader + 1 + kMaxWirePayload;
+
 /// Writes one frame to `fd` as a single EINTR-retried write. Pipes are
 /// unidirectional with one reader, so no interleaving is possible.
 /// Payloads over kMaxWirePayload are refused with kWireMalformed (the

@@ -1,0 +1,190 @@
+#include "serve/client.h"
+
+#include <poll.h>
+#include <unistd.h>
+
+#include <chrono>
+
+#include "util/posix_io.h"
+
+namespace powerlim::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double remaining_s(Clock::time_point end) {
+  return std::chrono::duration<double>(end - Clock::now()).count();
+}
+
+}  // namespace
+
+const char* to_string(CollectStatus s) {
+  switch (s) {
+    case CollectStatus::kDone:
+      return "done";
+    case CollectStatus::kOverloaded:
+      return "overloaded";
+    case CollectStatus::kRequestError:
+      return "request-error";
+    case CollectStatus::kTimeout:
+      return "timeout";
+    case CollectStatus::kDisconnected:
+      return "disconnected";
+  }
+  return "?";
+}
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  stream_ = robust::FrameStream();
+}
+
+robust::Status ServeClient::connect(const util::Endpoint& server,
+                                    double timeout_s) {
+  close();
+  std::string error;
+  fd_ = util::connect_timeout(server, timeout_s, &error);
+  if (fd_ < 0) {
+    return {robust::StatusCode::kNetError,
+            "connect " + util::to_string(server) + ": " + error};
+  }
+  const std::string hello = robust::encode_wire_frame(kTagHello,
+                                                      encode_hello());
+  if (util::send_all(fd_, hello.data(), hello.size(), timeout_s) !=
+      util::IoStatus::kOk) {
+    close();
+    return {robust::StatusCode::kNetError, "hello send failed"};
+  }
+  robust::WireFrame ack;
+  const robust::Status st = read_frame(&ack, timeout_s);
+  if (!st.ok()) {
+    close();
+    return st;
+  }
+  if (ack.tag != kTagHelloAck || ack.payload != "ok") {
+    const std::string why = ack.tag == kTagHelloAck
+                                ? ack.payload
+                                : "unexpected handshake reply";
+    close();
+    return {robust::StatusCode::kWireMalformed, "handshake rejected: " + why};
+  }
+  return robust::Status::Ok();
+}
+
+robust::Status ServeClient::submit(const ServeRequest& request) {
+  if (fd_ < 0)
+    return {robust::StatusCode::kNetError, "not connected"};
+  const std::string payload = encode_request(request);
+  if (payload.empty())
+    return {robust::StatusCode::kBadInput, "malformed request"};
+  const std::string bytes = robust::encode_wire_frame(kTagRequest, payload);
+  if (bytes.empty())
+    return {robust::StatusCode::kBadInput, "request exceeds frame ceiling"};
+  if (util::send_all(fd_, bytes.data(), bytes.size(), /*timeout_s=*/30.0) !=
+      util::IoStatus::kOk) {
+    close();
+    return {robust::StatusCode::kNetError, "request send failed"};
+  }
+  return robust::Status::Ok();
+}
+
+robust::Status ServeClient::read_frame(robust::WireFrame* out,
+                                       double timeout_s) {
+  const auto end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(timeout_s));
+  for (;;) {
+    switch (stream_.next(out)) {
+      case robust::WireDecode::kOk:
+        return robust::Status::Ok();
+      case robust::WireDecode::kEmpty:
+        break;
+      default:
+        return {robust::StatusCode::kWireMalformed, stream_.last_error()};
+    }
+    const double left = remaining_s(end);
+    if (left <= 0.0)
+      return {robust::StatusCode::kDeadlineExceeded, "reply timed out"};
+    pollfd pfd{fd_, POLLIN, 0};
+    const int n = util::retry_eintr([&] {
+      return ::poll(&pfd, 1, static_cast<int>(left * 1000.0) + 1);
+    });
+    if (n < 0)
+      return {robust::StatusCode::kNetError, "poll failed"};
+    if (n == 0) continue;
+    std::string bytes;
+    const util::IoStatus st = util::recv_some(fd_, &bytes);
+    if (st == util::IoStatus::kDisconnected)
+      return {robust::StatusCode::kNetError, "server closed the connection"};
+    if (st == util::IoStatus::kError)
+      return {robust::StatusCode::kNetError, "recv failed"};
+    stream_.feed(bytes);
+  }
+}
+
+CollectResult ServeClient::collect(const std::string& request_id,
+                                   double wall_timeout_s) {
+  CollectResult result;
+  const auto end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(wall_timeout_s));
+  for (;;) {
+    robust::WireFrame frame;
+    const robust::Status st = read_frame(&frame, remaining_s(end));
+    if (!st.ok()) {
+      result.status = st.code() == robust::StatusCode::kDeadlineExceeded
+                          ? CollectStatus::kTimeout
+                          : CollectStatus::kDisconnected;
+      result.error_detail = st.message();
+      return result;
+    }
+    switch (frame.tag) {
+      case kTagRow: {
+        ServeRow row;
+        if (decode_row(frame.payload, &row) && row.id == request_id)
+          result.rows.push_back(std::move(row));
+        break;
+      }
+      case kTagDone: {
+        ServeDone done;
+        if (decode_done(frame.payload, &done) && done.id == request_id) {
+          result.status = CollectStatus::kDone;
+          result.done = std::move(done);
+          return result;
+        }
+        break;
+      }
+      case kTagOverloaded: {
+        ServeOverloaded o;
+        if (decode_overloaded(frame.payload, &o) && o.id == request_id) {
+          result.status = CollectStatus::kOverloaded;
+          result.overloaded = std::move(o);
+          return result;
+        }
+        break;
+      }
+      case kTagError: {
+        std::string id, detail;
+        if (decode_error(frame.payload, &id, &detail) &&
+            (id == request_id || id == "-")) {
+          result.status = CollectStatus::kRequestError;
+          result.error_detail = detail;
+          return result;
+        }
+        break;
+      }
+      default:
+        result.status = CollectStatus::kDisconnected;
+        result.error_detail = "unexpected frame tag";
+        return result;
+    }
+  }
+}
+
+}  // namespace powerlim::serve

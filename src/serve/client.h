@@ -1,0 +1,86 @@
+// Client side of the powerlimd protocol.
+//
+// ServeClient owns one connection: connect + version handshake, then
+// any number of sequential requests, each collected as streamed 'R'
+// rows plus one terminal frame ('D' done / 'O' overloaded / 'E'
+// error). Every receive is deadline-bounded - a dead or stalled daemon
+// costs the caller at most the timeout, never a hung process - and the
+// response stream runs through the same poisoning FrameStream the
+// daemon uses, so a corrupt byte ends the connection instead of
+// yielding a half-trusted row.
+//
+// Used by `powerlim query` (one request, table to stdout), the load
+// generator (serve/loadgen.h), and the serve tests.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "robust/status.h"
+#include "robust/wire.h"
+#include "serve/protocol.h"
+#include "util/socket_io.h"
+
+namespace powerlim::serve {
+
+/// How one collected request ended.
+enum class CollectStatus {
+  /// 'D' received; rows hold every streamed row, done the summary.
+  kDone,
+  /// 'O' received; the daemon shed the request (see overloaded.reason).
+  kOverloaded,
+  /// 'E' received; error_detail explains.
+  kRequestError,
+  /// The wall timeout passed with no terminal frame.
+  kTimeout,
+  /// The connection died or the stream was poisoned mid-collect.
+  kDisconnected,
+};
+
+const char* to_string(CollectStatus s);
+
+struct CollectResult {
+  CollectStatus status = CollectStatus::kDisconnected;
+  std::vector<ServeRow> rows;
+  ServeDone done;
+  ServeOverloaded overloaded;
+  std::string error_detail;
+};
+
+class ServeClient {
+ public:
+  ServeClient() = default;
+  ~ServeClient();
+  ServeClient(const ServeClient&) = delete;
+  ServeClient& operator=(const ServeClient&) = delete;
+
+  /// Connects and completes the hello handshake. A version-skewed
+  /// server's "error ..." ack comes back as kWireMalformed with the
+  /// server's skew description in the message.
+  robust::Status connect(const util::Endpoint& server,
+                         double timeout_s = 5.0);
+
+  /// Sends one request frame ('U'). The reply is gathered separately
+  /// with collect(), so a caller may render rows as they stream.
+  robust::Status submit(const ServeRequest& request);
+
+  /// Gathers the reply for `request_id` until its terminal frame or
+  /// `wall_timeout_s`. Frames for other request ids are dropped (the
+  /// daemon serves one connection's requests in submit order).
+  CollectResult collect(const std::string& request_id,
+                        double wall_timeout_s = 60.0);
+
+  bool connected() const { return fd_ >= 0; }
+  void close();
+
+  /// The raw socket, for tests that sabotage the connection.
+  int fd() const { return fd_; }
+
+ private:
+  robust::Status read_frame(robust::WireFrame* out, double timeout_s);
+
+  int fd_ = -1;
+  robust::FrameStream stream_;
+};
+
+}  // namespace powerlim::serve

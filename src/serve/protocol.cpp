@@ -1,0 +1,272 @@
+#include "serve/protocol.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+#include "robust/solve_driver.h"
+
+namespace powerlim::serve {
+namespace {
+
+bool single_token(const std::string& s) {
+  if (s.empty()) return false;
+  return s.find_first_of(" \t\r\n") == std::string::npos;
+}
+
+std::string format_double(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+/// Splits `payload` at its first newline. Payloads with no newline get
+/// an empty body (a done/error frame may legally carry no detail).
+void split_first_line(const std::string& payload, std::string* line,
+                      std::string* body) {
+  const auto nl = payload.find('\n');
+  if (nl == std::string::npos) {
+    *line = payload;
+    body->clear();
+  } else {
+    *line = payload.substr(0, nl);
+    *body = payload.substr(nl + 1);
+  }
+}
+
+/// Consumes a `key=value` token (tokens are space-separated) from the
+/// front of `rest`. Returns false when the next token has a different
+/// key or the line is exhausted.
+bool take_field(std::string* rest, const char* key, std::string* value) {
+  const std::string prefix = std::string(key) + "=";
+  if (rest->compare(0, prefix.size(), prefix) != 0) return false;
+  const auto end = rest->find(' ', prefix.size());
+  if (end == std::string::npos) {
+    *value = rest->substr(prefix.size());
+    rest->clear();
+  } else {
+    *value = rest->substr(prefix.size(), end - prefix.size());
+    rest->erase(0, end + 1);
+  }
+  return true;
+}
+
+bool parse_number(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_int(const std::string& text, long* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  const long v = std::strtol(text.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool valid_kind(const std::string& kind) {
+  return kind == "bound" || kind == "sweep";
+}
+
+}  // namespace
+
+std::string encode_hello() {
+  std::ostringstream os;
+  os << kServeProtoMagic << "\nschema=" << robust::kRunReportSchemaVersion
+     << " proto=" << kServeProtoVersion;
+  return os.str();
+}
+
+bool decode_hello(const std::string& payload, std::string* error) {
+  std::string magic, versions;
+  split_first_line(payload, &magic, &versions);
+  if (magic != kServeProtoMagic) {
+    *error = "bad magic (want \"" + std::string(kServeProtoMagic) + "\")";
+    return false;
+  }
+  std::string schema_text, proto_text;
+  std::string rest = versions;
+  if (!take_field(&rest, "schema", &schema_text) ||
+      !take_field(&rest, "proto", &proto_text) || !rest.empty()) {
+    *error = "malformed hello version line";
+    return false;
+  }
+  long schema = 0, proto = 0;
+  if (!parse_int(schema_text, &schema) || !parse_int(proto_text, &proto)) {
+    *error = "malformed hello version line";
+    return false;
+  }
+  if (schema != robust::kRunReportSchemaVersion ||
+      proto != kServeProtoVersion) {
+    std::ostringstream os;
+    os << "version skew: client schema=" << schema << " proto=" << proto
+       << ", server schema=" << robust::kRunReportSchemaVersion
+       << " proto=" << kServeProtoVersion;
+    *error = os.str();
+    return false;
+  }
+  error->clear();
+  return true;
+}
+
+std::string encode_request(const ServeRequest& request) {
+  if (!valid_kind(request.kind)) return "";
+  if (request.kind == "bound" && request.caps.size() != 1) return "";
+  if (!single_token(request.id)) return "";
+  if (request.caps.empty()) return "";
+  if (request.trace_text.empty()) return "";
+  robust::JournalRequest jr;
+  jr.id = request.id;
+  jr.kind = request.kind;
+  jr.deadline_ms = request.deadline_ms;
+  jr.caps = request.caps;
+  const std::string line = robust::serialize_journal_request(jr);
+  if (line.empty()) return "";
+  return line + "\n" + request.trace_text;
+}
+
+bool decode_request(const std::string& payload, ServeRequest* out,
+                    std::string* error) {
+  std::string line, trace;
+  split_first_line(payload, &line, &trace);
+  robust::JournalRequest jr;
+  if (!robust::parse_journal_request(line, &jr)) {
+    *error = "malformed request header";
+    return false;
+  }
+  if (!valid_kind(jr.kind)) {
+    *error = "unknown request kind \"" + jr.kind + "\"";
+    return false;
+  }
+  if (jr.kind == "bound" && jr.caps.size() != 1) {
+    *error = "bound request must carry exactly one cap";
+    return false;
+  }
+  if (trace.empty()) {
+    *error = "request carries no trace";
+    return false;
+  }
+  out->id = jr.id;
+  out->kind = jr.kind;
+  out->deadline_ms = jr.deadline_ms;
+  out->caps = jr.caps;
+  out->trace_text = trace;
+  error->clear();
+  return true;
+}
+
+std::string encode_row(const ServeRow& row) {
+  if (!single_token(row.id)) return "";
+  const std::string body = robust::serialize_journal_entry(row.entry);
+  if (body.empty()) return "";
+  return "id=" + row.id + "\n" + body;
+}
+
+bool decode_row(const std::string& payload, ServeRow* out) {
+  std::string line, body;
+  split_first_line(payload, &line, &body);
+  std::string rest = line;
+  std::string id;
+  if (!take_field(&rest, "id", &id) || !rest.empty() || !single_token(id)) {
+    return false;
+  }
+  robust::JournalEntry entry;
+  if (!robust::parse_journal_entry(body, &entry)) return false;
+  out->id = id;
+  out->entry = std::move(entry);
+  return true;
+}
+
+std::string encode_overloaded(const ServeOverloaded& o) {
+  if (!single_token(o.id) || !single_token(o.reason)) return "";
+  return "id=" + o.id + " reason=" + o.reason + "\n" + o.detail;
+}
+
+bool decode_overloaded(const std::string& payload, ServeOverloaded* out) {
+  std::string line, detail;
+  split_first_line(payload, &line, &detail);
+  std::string rest = line;
+  std::string id, reason;
+  if (!take_field(&rest, "id", &id) || !take_field(&rest, "reason", &reason) ||
+      !rest.empty() || !single_token(id) || !single_token(reason)) {
+    return false;
+  }
+  out->id = id;
+  out->reason = reason;
+  out->detail = detail;
+  return true;
+}
+
+std::string encode_done(const ServeDone& d) {
+  if (!single_token(d.id) || !single_token(d.status)) return "";
+  std::ostringstream os;
+  os << "id=" << d.id << " status=" << d.status << " rows=" << d.rows
+     << " resumed=" << d.resumed << " shed_total=" << d.shed_total
+     << " queue_depth=" << d.queue_depth
+     << " queue_wait_ms=" << format_double(d.queue_wait_ms)
+     << " solve_ms=" << format_double(d.solve_ms)
+     << " total_ms=" << format_double(d.total_ms) << "\n"
+     << d.detail;
+  return os.str();
+}
+
+bool decode_done(const std::string& payload, ServeDone* out) {
+  std::string line, detail;
+  split_first_line(payload, &line, &detail);
+  std::string rest = line;
+  std::string id, status, rows, resumed, shed, depth, wait, solve, total;
+  if (!take_field(&rest, "id", &id) || !take_field(&rest, "status", &status) ||
+      !take_field(&rest, "rows", &rows) ||
+      !take_field(&rest, "resumed", &resumed) ||
+      !take_field(&rest, "shed_total", &shed) ||
+      !take_field(&rest, "queue_depth", &depth) ||
+      !take_field(&rest, "queue_wait_ms", &wait) ||
+      !take_field(&rest, "solve_ms", &solve) ||
+      !take_field(&rest, "total_ms", &total) || !rest.empty() ||
+      !single_token(id) || !single_token(status)) {
+    return false;
+  }
+  long rows_n = 0, resumed_n = 0, shed_n = 0, depth_n = 0;
+  double wait_v = 0.0, solve_v = 0.0, total_v = 0.0;
+  if (!parse_int(rows, &rows_n) || !parse_int(resumed, &resumed_n) ||
+      !parse_int(shed, &shed_n) || !parse_int(depth, &depth_n) ||
+      !parse_number(wait, &wait_v) || !parse_number(solve, &solve_v) ||
+      !parse_number(total, &total_v)) {
+    return false;
+  }
+  out->id = id;
+  out->status = status;
+  out->rows = static_cast<int>(rows_n);
+  out->resumed = static_cast<int>(resumed_n);
+  out->shed_total = shed_n;
+  out->queue_depth = static_cast<int>(depth_n);
+  out->queue_wait_ms = wait_v;
+  out->solve_ms = solve_v;
+  out->total_ms = total_v;
+  out->detail = detail;
+  return true;
+}
+
+std::string encode_error(const std::string& id, const std::string& detail) {
+  const std::string tok = single_token(id) ? id : "-";
+  return "id=" + tok + "\n" + detail;
+}
+
+bool decode_error(const std::string& payload, std::string* id,
+                  std::string* detail) {
+  std::string line;
+  split_first_line(payload, &line, detail);
+  std::string rest = line;
+  if (!take_field(&rest, "id", id) || !rest.empty() || !single_token(*id)) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace powerlim::serve

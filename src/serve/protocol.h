@@ -1,0 +1,132 @@
+// Wire protocol of the powerlimd daemon ("powerlimd v1").
+//
+// powerlimd serves bound/sweep requests over the same CRC framing the
+// rest of the distributed layer uses (robust/wire.h): every message is
+// one self-checking frame, torn or hostile bytes poison the connection,
+// and both sides share the kMaxFrameBytes buffer ceiling. One
+// connection carries:
+//
+//   client -> daemon   'T' hello: "powerlimd v1\nschema=<n> proto=<n>"
+//                      'U' request: journal-request line + "\n" + trace
+//   daemon -> client   'A' hello ack ("ok" | "error <why>")
+//                      'R' row: "id=<id>\n" + serialized JournalEntry
+//                          (one per cap, streamed as caps settle)
+//                      'O' overloaded / shed: id, typed reason, detail
+//                      'D' done: id, terminal status, counts, latencies
+//                      'E' request error: "id=<id>\n<detail>"
+//
+// The 'U' header line is *exactly* the journal's `Q` record payload
+// (robust/journal.h serialize_journal_request), so the daemon journals
+// the admission intent byte-for-byte as it arrived; and an 'R' row body
+// is exactly a journal `R` payload, so a served row and a journaled row
+// are the same bytes (the daemon patches the schema-6 `service` block
+// into the *reply copy* only - the journal stays byte-compatible with
+// offline `powerlim sweep --journal` files).
+//
+// Version skew is settled at hello time: a client whose schema or proto
+// differs gets "error ..." in the 'A' ack and nothing else, never a
+// misparsed request.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "robust/journal.h"
+
+namespace powerlim::serve {
+
+/// First line of the 'T' hello payload.
+inline constexpr char kServeProtoMagic[] = "powerlimd v1";
+/// Protocol revision pinned next to the RunReport schema in the hello.
+inline constexpr int kServeProtoVersion = 1;
+
+// Frame tags (client -> daemon).
+inline constexpr char kTagHello = 'T';
+inline constexpr char kTagRequest = 'U';
+// Frame tags (daemon -> client).
+inline constexpr char kTagHelloAck = 'A';
+inline constexpr char kTagRow = 'R';
+inline constexpr char kTagOverloaded = 'O';
+inline constexpr char kTagDone = 'D';
+inline constexpr char kTagError = 'E';
+
+/// Builds the 'T' payload for this build's schema/proto versions.
+std::string encode_hello();
+
+/// Server-side hello check. Returns true when magic, schema and proto
+/// all match this build; otherwise false with a human-readable skew
+/// description in *error (which becomes the 'A' "error ..." ack).
+bool decode_hello(const std::string& payload, std::string* error);
+
+/// One bound/sweep request. `kind` is "bound" (exactly one cap) or
+/// "sweep"; ids are single tokens, unique per connection (the client
+/// matches replies by id).
+struct ServeRequest {
+  std::string id;
+  std::string kind;
+  /// Client-side deadline for the whole request, ms (0 = none). The
+  /// daemon sheds the request (reason "deadline") rather than reply
+  /// later than this.
+  double deadline_ms = 0.0;
+  std::vector<double> caps;
+  /// dag::write_trace text of the graph to solve.
+  std::string trace_text;
+};
+
+/// 'U' payload round-trip. encode returns "" on a malformed request
+/// (whitespace in id/kind, no caps, "bound" with != 1 cap).
+std::string encode_request(const ServeRequest& request);
+bool decode_request(const std::string& payload, ServeRequest* out,
+                    std::string* error);
+
+/// One streamed row: the journal entry for a settled cap, with the
+/// reply copy's `service` block patched by the daemon.
+struct ServeRow {
+  std::string id;
+  robust::JournalEntry entry;
+};
+
+std::string encode_row(const ServeRow& row);
+bool decode_row(const std::string& payload, ServeRow* out);
+
+/// Load-shed reply. `reason` is typed so clients and tests can branch:
+///   queue-full  admission queue at --max-queue, request never admitted
+///   deadline    the request's own deadline passed before it could run
+///   draining    daemon is shutting down (SIGTERM drain)
+struct ServeOverloaded {
+  std::string id;
+  std::string reason;
+  std::string detail;
+};
+
+std::string encode_overloaded(const ServeOverloaded& o);
+bool decode_overloaded(const std::string& payload, ServeOverloaded* out);
+
+/// Terminal per-request summary. `status`:
+///   ok                 every cap settled (possibly degraded rows)
+///   deadline-exceeded  killed at the request deadline; rows already
+///                      streamed are valid and journaled
+///   cancelled          daemon shut down mid-request (resume completes)
+///   error              executor failed twice with no degradable graph
+struct ServeDone {
+  std::string id;
+  std::string status;
+  int rows = 0;
+  int resumed = 0;
+  long shed_total = 0;
+  int queue_depth = 0;
+  double queue_wait_ms = 0.0;
+  double solve_ms = 0.0;
+  double total_ms = 0.0;
+  std::string detail;
+};
+
+std::string encode_done(const ServeDone& d);
+bool decode_done(const std::string& payload, ServeDone* out);
+
+/// 'E' payload: "id=<id>\n<detail>".
+std::string encode_error(const std::string& id, const std::string& detail);
+bool decode_error(const std::string& payload, std::string* id,
+                  std::string* detail);
+
+}  // namespace powerlim::serve

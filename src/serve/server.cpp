@@ -1,0 +1,1104 @@
+#include "serve/server.h"
+
+#include <dirent.h>
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "dag/trace_io.h"
+#include "robust/journal.h"
+#include "robust/pipeline.h"
+#include "robust/solve_driver.h"
+#include "robust/wire.h"
+#include "serve/protocol.h"
+#include "util/posix_io.h"
+#include "util/socket_io.h"
+
+namespace powerlim::serve {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point t) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
+}
+
+double sec_since(Clock::time_point t) { return ms_since(t) / 1000.0; }
+
+/// crc32 of the trace text, hex: the per-trace key under --state-dir.
+/// Requests for the same graph share one journal (and its proven caps)
+/// no matter which client sends them.
+std::string trace_hash(const std::string& text) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "%08x",
+                robust::crc32(text.data(), text.size()));
+  return buf;
+}
+
+/// One client connection. Reads decode through a FrameStream (poisoned
+/// stream = hostile/corrupt peer = drop); writes accumulate in `outbuf`
+/// and flush nonblocking, so one stalled reader never blocks the loop.
+struct Conn {
+  int fd = -1;
+  std::uint64_t id = 0;
+  robust::FrameStream stream;
+  std::string outbuf;
+  bool handshaken = false;
+  /// Flush what is buffered, then close (post-skew-ack, drain).
+  bool closing = false;
+  Clock::time_point opened = Clock::now();
+  Clock::time_point last_read = Clock::now();
+  Clock::time_point last_progress = Clock::now();
+};
+
+/// One admitted request, through its whole life: queued -> executing
+/// (forked executor streaming 'R' frames up a pipe) -> finished.
+struct Request {
+  std::uint64_t conn_id = 0;  ///< 0 = internal (startup resume).
+  std::string id;
+  std::string kind;
+  bool has_deadline = false;
+  Clock::time_point deadline{};
+  std::vector<double> caps;
+  /// Caps owed a fresh solve (requested minus journal-trusted).
+  std::vector<double> pending;
+  /// Pending caps already settled (journaled + replied) this run.
+  std::vector<double> settled;
+  std::string trace_text;
+  std::string hash;
+  std::unique_ptr<robust::SweepJournal> journal;
+  int resumed = 0;
+  int rows = 0;
+  int queue_depth_at_admit = 0;
+  long shed_at_admit = 0;
+  Clock::time_point admitted = Clock::now();
+  Clock::time_point exec_start{};
+  // Executor state.
+  pid_t pid = -1;
+  int pipe_fd = -1;
+  robust::FrameStream pipe_stream;
+  int spawns = 0;
+  bool deadline_killed = false;
+  bool pipe_poisoned = false;
+};
+
+class Daemon {
+ public:
+  Daemon(const ServeOptions& options, const machine::PowerModel& model,
+         const machine::ClusterSpec& cluster, std::ostream& out,
+         std::ostream& err)
+      : opt_(options), model_(model), cluster_(cluster), out_(out),
+        err_(err) {}
+
+  int run();
+
+ private:
+  // --- startup ---
+  bool setup_state_dir();
+  bool setup_listen();
+  void startup_resume();
+
+  // --- poll loop stages ---
+  void poll_once();
+  void accept_clients();
+  void read_conn(Conn& conn);
+  void handle_frame(Conn& conn, const robust::WireFrame& frame);
+  void handle_request(Conn& conn, const robust::WireFrame& frame);
+  void flush_conn(Conn& conn);
+  void reap_conns();
+  void pump_pipe(Request& req);
+  void handle_pipe_frame(Request& req, const robust::WireFrame& frame);
+  void reap_executors();
+  void check_deadlines();
+  void schedule();
+  void begin_drain(const char* why);
+
+  // --- request plumbing ---
+  void admit(std::uint64_t conn_id, ServeRequest&& sr);
+  void spawn_executor(Request& req);
+  int run_executor(const Request& req, int write_fd);
+  void executor_died(Request& req, int wait_status);
+  void degrade_unsettled(Request& req, const std::string& death);
+  void finish(Request& req, const std::string& status,
+              const std::string& detail);
+  std::vector<double> unsettled(const Request& req) const;
+
+  // --- replies ---
+  void send_frame(std::uint64_t conn_id, char tag, const std::string& payload);
+  void send_overloaded(std::uint64_t conn_id, const std::string& id,
+                       const std::string& reason, const std::string& detail);
+  void reply_row(Request& req, const robust::JournalEntry& entry);
+  robust::ServiceTelemetry telemetry_for(const Request& req) const;
+  void drop_conn(std::uint64_t conn_id, const char* why);
+
+  const ServeOptions& opt_;
+  const machine::PowerModel& model_;
+  const machine::ClusterSpec& cluster_;
+  std::ostream& out_;
+  std::ostream& err_;
+
+  int listen_fd_ = -1;
+  std::uint64_t next_conn_id_ = 1;
+  std::map<std::uint64_t, Conn> conns_;
+  std::deque<Request> queued_;
+  std::vector<Request> active_;
+  long shed_total_ = 0;
+  long finished_ = 0;
+  long degraded_caps_ = 0;
+  bool draining_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// Startup.
+
+bool Daemon::setup_state_dir() {
+  if (opt_.state_dir.empty()) {
+    err_ << "powerlimd: --state-dir must not be empty\n";
+    return false;
+  }
+  if (::mkdir(opt_.state_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    err_ << "powerlimd: cannot create state dir '" << opt_.state_dir
+         << "': " << std::strerror(errno) << "\n";
+    return false;
+  }
+  return true;
+}
+
+bool Daemon::setup_listen() {
+  util::Endpoint ep;
+  if (!util::parse_endpoint(opt_.listen, &ep)) {
+    err_ << "powerlimd: bad --listen address '" << opt_.listen << "'\n";
+    return false;
+  }
+  // A daemon restarting over a dying predecessor races the kernel
+  // releasing the port; EADDRINUSE is typed precisely so this bounded
+  // retry exists instead of a fatal error.
+  std::string error;
+  for (int attempt = 0; attempt < 50; ++attempt) {
+    const util::ListenStatus st =
+        util::listen_tcp_status(ep.host, ep.port, &listen_fd_, &error);
+    if (st == util::ListenStatus::kOk) break;
+    if (st != util::ListenStatus::kAddrInUse || attempt == 49) {
+      err_ << "powerlimd: listen failed (" << util::to_string(st)
+           << "): " << error << "\n";
+      return false;
+    }
+    ::usleep(100 * 1000);
+  }
+  const int port = util::bound_port(listen_fd_);
+  out_ << "powerlimd: listening on " << ep.host << ":" << port << "\n";
+  out_.flush();
+  if (!opt_.port_file.empty()) {
+    // Write-then-rename so a polling reader never sees a partial file.
+    const std::string tmp = opt_.port_file + ".tmp";
+    {
+      std::ofstream pf(tmp, std::ios::trunc);
+      pf << port << "\n";
+      if (!pf) {
+        err_ << "powerlimd: cannot write port file '" << opt_.port_file
+             << "'\n";
+        return false;
+      }
+    }
+    if (std::rename(tmp.c_str(), opt_.port_file.c_str()) != 0) {
+      err_ << "powerlimd: cannot move port file into place: "
+           << std::strerror(errno) << "\n";
+      return false;
+    }
+  }
+  return true;
+}
+
+void Daemon::startup_resume() {
+  DIR* dir = ::opendir(opt_.state_dir.c_str());
+  if (dir == nullptr) return;
+  std::vector<std::string> hashes;
+  while (struct dirent* de = ::readdir(dir)) {
+    const std::string name = de->d_name;
+    const std::string prefix = "sweep-", suffix = ".journal";
+    if (name.size() > prefix.size() + suffix.size() &&
+        name.compare(0, prefix.size(), prefix) == 0 &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) ==
+            0) {
+      hashes.push_back(name.substr(
+          prefix.size(), name.size() - prefix.size() - suffix.size()));
+    }
+  }
+  ::closedir(dir);
+  std::sort(hashes.begin(), hashes.end());
+
+  for (const std::string& hash : hashes) {
+    const std::string journal_path =
+        opt_.state_dir + "/sweep-" + hash + ".journal";
+    const std::string trace_path =
+        opt_.state_dir + "/trace-" + hash + ".trace";
+    auto opened = robust::SweepJournal::open(journal_path);
+    if (!opened.ok()) {
+      err_ << "powerlimd: resume: cannot open " << journal_path << ": "
+           << opened.status().to_string() << "\n";
+      continue;
+    }
+    auto journal =
+        std::make_unique<robust::SweepJournal>(std::move(opened).value());
+    // The work owed is the union of every journaled intent's caps minus
+    // the caps that already have trusted records.
+    std::vector<double> owed;
+    for (const robust::JournalRequest& jr : journal->requests()) {
+      for (double cap : jr.caps) {
+        const robust::JournalEntry* entry = journal->find(cap);
+        if (entry != nullptr &&
+            robust::journal_entry_trusted(*entry, /*require_certificate=*/true))
+          continue;
+        if (std::find(owed.begin(), owed.end(), cap) == owed.end())
+          owed.push_back(cap);
+      }
+    }
+    if (owed.empty()) continue;
+
+    std::ifstream tf(trace_path);
+    std::stringstream buf;
+    buf << tf.rdbuf();
+    if (!tf) {
+      err_ << "powerlimd: resume: missing trace snapshot " << trace_path
+           << "; " << owed.size() << " cap(s) cannot be resumed\n";
+      continue;
+    }
+    Request req;
+    req.conn_id = 0;
+    req.id = "resume-" + hash;
+    req.kind = "sweep";
+    req.caps = owed;
+    req.pending = owed;
+    req.trace_text = buf.str();
+    req.hash = hash;
+    req.journal = std::move(journal);
+    try {
+      std::istringstream in(req.trace_text);
+      (void)dag::read_trace(in, trace_path);
+    } catch (const std::exception& e) {
+      err_ << "powerlimd: resume: corrupt trace snapshot " << trace_path
+           << ": " << e.what() << "\n";
+      continue;
+    }
+    out_ << "powerlimd: resume: " << owed.size() << " cap(s) owed for trace "
+         << hash << "\n";
+    // Resume work was promised before this process existed; it bypasses
+    // the admission queue bound and carries no (long-expired) deadline.
+    queued_.push_back(std::move(req));
+  }
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Poll loop.
+
+int Daemon::run() {
+  util::ignore_sigpipe();
+  if (!setup_state_dir() || !setup_listen()) return 1;
+  if (opt_.resume) startup_resume();
+
+  for (;;) {
+    if (opt_.cancel != nullptr && opt_.cancel->cancelled() && !draining_)
+      begin_drain("signal");
+    if (opt_.reopen_flag != nullptr && *opt_.reopen_flag != 0) {
+      *opt_.reopen_flag = 0;
+      int reopened = 0;
+      for (Request& req : active_) {
+        if (!req.journal) continue;
+        const std::string path = req.journal->path();
+        req.journal.reset();
+        auto r = robust::SweepJournal::open(path);
+        if (r.ok()) {
+          req.journal =
+              std::make_unique<robust::SweepJournal>(std::move(r).value());
+          ++reopened;
+        } else {
+          err_ << "powerlimd: reopen failed for " << path << ": "
+               << r.status().to_string() << "\n";
+        }
+      }
+      out_ << "powerlimd: reopened " << reopened << " journal(s)\n";
+      out_.flush();
+    }
+
+    check_deadlines();
+    schedule();
+    poll_once();
+    reap_executors();
+    reap_conns();
+
+    if (opt_.max_requests > 0 && finished_ >= opt_.max_requests &&
+        !draining_) {
+      begin_drain("max-requests");
+    }
+    if (draining_ && active_.empty() && queued_.empty()) {
+      // flush_conn can drop (erase) a failed connection, so iterate a
+      // snapshot of ids, not the live map.
+      std::vector<std::uint64_t> ids;
+      for (auto& [id, conn] : conns_) ids.push_back(id);
+      bool flushed = true;
+      for (std::uint64_t id : ids) {
+        auto it = conns_.find(id);
+        if (it == conns_.end()) continue;
+        flush_conn(it->second);
+        it = conns_.find(id);
+        if (it != conns_.end() && !it->second.outbuf.empty()) flushed = false;
+      }
+      if (flushed) break;
+    }
+  }
+
+  for (auto& [id, conn] : conns_) {
+    if (conn.fd >= 0) ::close(conn.fd);
+  }
+  if (listen_fd_ >= 0) ::close(listen_fd_);
+  out_ << "powerlimd: drained; served " << finished_ << " request(s), shed "
+       << shed_total_ << ", degraded " << degraded_caps_ << " cap(s)\n";
+  out_.flush();
+  return 0;
+}
+
+void Daemon::begin_drain(const char* why) {
+  draining_ = true;
+  out_ << "powerlimd: draining (" << why << "): " << active_.size()
+       << " active, " << queued_.size() << " queued\n";
+  out_.flush();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  for (Request& req : queued_) {
+    ++shed_total_;
+    send_overloaded(req.conn_id, req.id, "draining",
+                    "daemon is shutting down; resubmit elsewhere");
+    req.journal.reset();
+  }
+  queued_.clear();
+}
+
+void Daemon::poll_once() {
+  std::vector<pollfd> fds;
+  std::vector<std::uint64_t> conn_ids;
+  std::vector<std::size_t> active_idx;
+
+  if (listen_fd_ >= 0)
+    fds.push_back({listen_fd_, POLLIN, 0});
+  const std::size_t first_conn = fds.size();
+  for (auto& [id, conn] : conns_) {
+    short events = POLLIN;
+    if (!conn.outbuf.empty()) events |= POLLOUT;
+    fds.push_back({conn.fd, events, 0});
+    conn_ids.push_back(id);
+  }
+  const std::size_t first_pipe = fds.size();
+  for (std::size_t i = 0; i < active_.size(); ++i) {
+    if (active_[i].pipe_fd >= 0) {
+      fds.push_back({active_[i].pipe_fd, POLLIN, 0});
+      active_idx.push_back(i);
+    }
+  }
+
+  const int n = util::retry_eintr(
+      [&] { return ::poll(fds.data(), fds.size(), /*timeout_ms=*/100); });
+  if (n <= 0) return;
+
+  if (listen_fd_ >= 0 && (fds[0].revents & POLLIN) != 0) accept_clients();
+
+  for (std::size_t i = first_conn; i < first_pipe; ++i) {
+    auto it = conns_.find(conn_ids[i - first_conn]);
+    if (it == conns_.end()) continue;
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0)
+      read_conn(it->second);
+    auto again = conns_.find(conn_ids[i - first_conn]);
+    if (again != conns_.end() && (fds[i].revents & POLLOUT) != 0)
+      flush_conn(again->second);
+  }
+
+  for (std::size_t i = first_pipe; i < fds.size(); ++i) {
+    if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
+      const std::size_t idx = active_idx[i - first_pipe];
+      if (idx < active_.size()) pump_pipe(active_[idx]);
+    }
+  }
+}
+
+void Daemon::accept_clients() {
+  for (;;) {
+    util::IoStatus st = util::IoStatus::kOk;
+    const int fd = util::accept_timeout(listen_fd_, /*timeout_s=*/0.0, &st);
+    if (fd < 0) return;  // kTimeout (incl. aborted handshakes) or kError
+    Conn conn;
+    conn.fd = fd;
+    conn.id = next_conn_id_++;
+    conns_.emplace(conn.id, std::move(conn));
+  }
+}
+
+void Daemon::read_conn(Conn& conn) {
+  std::string bytes;
+  const util::IoStatus st = util::recv_some(conn.fd, &bytes);
+  if (st == util::IoStatus::kDisconnected || st == util::IoStatus::kError) {
+    drop_conn(conn.id, "peer closed");
+    return;
+  }
+  if (bytes.empty()) return;
+  conn.last_read = Clock::now();
+  conn.stream.feed(bytes);
+  // A backlog no single intact frame can explain is hostile (e.g. a
+  // length prefix the decoder already refused to allocate).
+  if (conn.stream.buffered() > robust::kMaxFrameBytes) {
+    drop_conn(conn.id, "oversized frame backlog");
+    return;
+  }
+  const std::uint64_t id = conn.id;
+  for (;;) {
+    auto it = conns_.find(id);
+    if (it == conns_.end()) return;  // a frame handler dropped us
+    robust::WireFrame frame;
+    const robust::WireDecode d = it->second.stream.next(&frame);
+    if (d == robust::WireDecode::kEmpty) return;
+    if (d != robust::WireDecode::kOk) {
+      drop_conn(id, it->second.stream.last_error().c_str());
+      return;
+    }
+    handle_frame(it->second, frame);
+  }
+}
+
+void Daemon::handle_frame(Conn& conn, const robust::WireFrame& frame) {
+  if (frame.tag == kTagHello) {
+    std::string why;
+    if (decode_hello(frame.payload, &why)) {
+      conn.handshaken = true;
+      send_frame(conn.id, kTagHelloAck, "ok");
+    } else {
+      // Version skew gets a readable ack, then the connection ends: a
+      // mismatched peer must never have a request half-parsed. Mark
+      // closing *before* sending - a send failure drops (frees) conn.
+      conn.closing = true;
+      send_frame(conn.id, kTagHelloAck, "error " + why);
+    }
+    return;
+  }
+  if (!conn.handshaken) {
+    drop_conn(conn.id, "request before handshake");
+    return;
+  }
+  if (frame.tag == kTagRequest) {
+    handle_request(conn, frame);
+    return;
+  }
+  drop_conn(conn.id, "unknown frame tag");
+}
+
+void Daemon::handle_request(Conn& conn, const robust::WireFrame& frame) {
+  // Everything below works with the id, not the reference: any reply
+  // can drop (free) the connection when its socket fails mid-send.
+  const std::uint64_t conn_id = conn.id;
+  ServeRequest sr;
+  std::string why;
+  if (!decode_request(frame.payload, &sr, &why)) {
+    send_frame(conn_id, kTagError, encode_error("-", why));
+    return;
+  }
+  if (draining_) {
+    ++shed_total_;
+    send_overloaded(conn_id, sr.id, "draining", "daemon is shutting down");
+    return;
+  }
+  if (static_cast<int>(queued_.size()) >= opt_.max_queue) {
+    // Shed *now*: an honest "overloaded" in microseconds beats an
+    // accepted request the daemon cannot schedule before its deadline.
+    ++shed_total_;
+    std::ostringstream detail;
+    detail << "queue at capacity (" << queued_.size() << "/" << opt_.max_queue
+           << "), " << active_.size() << " active";
+    send_overloaded(conn_id, sr.id, "queue-full", detail.str());
+    return;
+  }
+  try {
+    std::istringstream in(sr.trace_text);
+    (void)dag::read_trace(in, "request:" + sr.id);
+  } catch (const std::exception& e) {
+    send_frame(conn_id, kTagError, encode_error(sr.id, e.what()));
+    return;
+  }
+  admit(conn_id, std::move(sr));
+}
+
+void Daemon::admit(std::uint64_t conn_id, ServeRequest&& sr) {
+  Request req;
+  req.conn_id = conn_id;
+  req.id = sr.id;
+  req.kind = sr.kind;
+  req.caps = sr.caps;
+  req.trace_text = std::move(sr.trace_text);
+  req.hash = trace_hash(req.trace_text);
+  double deadline_ms = sr.deadline_ms > 0.0 ? sr.deadline_ms
+                                            : opt_.default_deadline_ms;
+  if (opt_.max_deadline_ms > 0.0 &&
+      (deadline_ms <= 0.0 || deadline_ms > opt_.max_deadline_ms)) {
+    deadline_ms = opt_.max_deadline_ms;
+  }
+  if (deadline_ms > 0.0) {
+    req.has_deadline = true;
+    req.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          deadline_ms));
+  }
+
+  // Snapshot the trace once per hash: the journal's resume path needs
+  // the graph after a SIGKILL, and the snapshot is what makes a `Q`
+  // intent self-contained.
+  const std::string trace_path =
+      opt_.state_dir + "/trace-" + req.hash + ".trace";
+  const int tfd = ::open(trace_path.c_str(),
+                         O_WRONLY | O_CREAT | O_EXCL | O_CLOEXEC, 0644);
+  if (tfd >= 0) {
+    const bool ok =
+        util::write_full(tfd, req.trace_text.data(), req.trace_text.size()) ==
+            0 &&
+        util::fsync_full(tfd) == 0;
+    ::close(tfd);
+    if (!ok || util::fsync_parent_dir(trace_path) != 0) {
+      send_frame(conn_id, kTagError,
+                 encode_error(req.id, "cannot persist trace snapshot"));
+      return;
+    }
+  } else if (errno != EEXIST) {
+    send_frame(conn_id, kTagError,
+               encode_error(req.id, "cannot persist trace snapshot"));
+    return;
+  }
+
+  const std::string journal_path =
+      opt_.state_dir + "/sweep-" + req.hash + ".journal";
+  auto opened = robust::SweepJournal::open(journal_path);
+  if (!opened.ok()) {
+    send_frame(conn_id, kTagError,
+               encode_error(req.id, "cannot open journal: " +
+                                        opened.status().to_string()));
+    return;
+  }
+  req.journal =
+      std::make_unique<robust::SweepJournal>(std::move(opened).value());
+
+  req.queue_depth_at_admit = static_cast<int>(queued_.size());
+  req.shed_at_admit = shed_total_;
+
+  // Serve every already-proven cap straight from the journal - the
+  // certificate-gated trust predicate decides, not file presence.
+  for (double cap : req.caps) {
+    const robust::JournalEntry* entry = req.journal->find(cap);
+    if (entry != nullptr &&
+        robust::journal_entry_trusted(*entry, /*require_certificate=*/true)) {
+      ++req.resumed;
+      reply_row(req, *entry);
+    } else {
+      req.pending.push_back(cap);
+    }
+  }
+
+  if (req.pending.empty()) {
+    finish(req, "ok", "all caps served from journal");
+    return;
+  }
+
+  // Journal the intent *before* the first solve: from here on a SIGKILL
+  // leaves a `Q` record whose unproven caps --resume will finish.
+  robust::JournalRequest jr;
+  jr.id = req.id;
+  jr.kind = req.kind;
+  jr.deadline_ms = sr.deadline_ms;
+  jr.caps = req.caps;
+  const robust::Status st = req.journal->append_request(jr);
+  if (!st.ok()) {
+    send_frame(conn_id, kTagError,
+               encode_error(req.id,
+                            "cannot journal request: " + st.to_string()));
+    return;
+  }
+  queued_.push_back(std::move(req));
+}
+
+// ---------------------------------------------------------------------------
+// Scheduling and executors.
+
+void Daemon::check_deadlines() {
+  // Shed queued requests whose deadline already passed - executing them
+  // would burn an executor on a reply nobody can use.
+  for (auto it = queued_.begin(); it != queued_.end();) {
+    if (it->conn_id != 0 && it->has_deadline && Clock::now() > it->deadline) {
+      ++shed_total_;
+      send_overloaded(it->conn_id, it->id, "deadline",
+                      "deadline passed while queued");
+      it = queued_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // SIGKILL executors that overstayed the deadline grace (the executor
+  // observes the deadline cooperatively; this is the backstop for a
+  // wedged one).
+  for (Request& req : active_) {
+    if (req.pid > 0 && req.has_deadline && !req.deadline_killed &&
+        ms_since(req.deadline) > opt_.deadline_grace_ms) {
+      ::kill(req.pid, SIGKILL);
+      req.deadline_killed = true;
+    }
+  }
+}
+
+void Daemon::schedule() {
+  while (!queued_.empty() &&
+         static_cast<int>(active_.size()) < opt_.max_active) {
+    Request req = std::move(queued_.front());
+    queued_.pop_front();
+    req.exec_start = Clock::now();
+    active_.push_back(std::move(req));
+    spawn_executor(active_.back());
+  }
+}
+
+void Daemon::spawn_executor(Request& req) {
+  int pfd[2];
+  if (::pipe(pfd) != 0) {
+    degrade_unsettled(req, "pipe() failed: " + std::string(strerror(errno)));
+    return;
+  }
+  const pid_t pid = ::fork();
+  if (pid < 0) {
+    ::close(pfd[0]);
+    ::close(pfd[1]);
+    degrade_unsettled(req, "fork() failed: " + std::string(strerror(errno)));
+    return;
+  }
+  if (pid == 0) {
+    // Executor child: drop every daemon fd except the result pipe.
+    if (listen_fd_ >= 0) ::close(listen_fd_);
+    for (auto& [id, conn] : conns_) {
+      if (conn.fd >= 0) ::close(conn.fd);
+    }
+    for (Request& other : active_) {
+      if (other.pipe_fd >= 0) ::close(other.pipe_fd);
+    }
+    ::close(pfd[0]);
+    ::_exit(run_executor(req, pfd[1]));
+  }
+  ::close(pfd[1]);
+  // Nonblocking read end: a dead executor whose worker children still
+  // hold the inherited write end must never block the daemon's drain.
+  const int flags = ::fcntl(pfd[0], F_GETFL, 0);
+  if (flags >= 0) ::fcntl(pfd[0], F_SETFL, flags | O_NONBLOCK);
+  req.pid = pid;
+  req.pipe_fd = pfd[0];
+  req.pipe_stream = robust::FrameStream();
+  req.pipe_poisoned = false;
+  ++req.spawns;
+}
+
+int Daemon::run_executor(const Request& req, int write_fd) {
+  // The caps this spawn owes: pending minus what an earlier spawn of
+  // the same request already settled.
+  std::vector<double> caps;
+  for (double cap : req.pending) {
+    if (std::find(req.settled.begin(), req.settled.end(), cap) ==
+        req.settled.end())
+      caps.push_back(cap);
+  }
+  try {
+    std::istringstream in(req.trace_text);
+    const dag::TaskGraph graph = dag::read_trace(in, "request:" + req.id);
+
+    robust::ResilientSweepOptions ropt;
+    ropt.driver.cap_deadline_ms = opt_.cap_deadline_ms;
+    // A cancel token keeps executor reports byte-identical to offline
+    // `sweep` runs (which always attach one); SIGTERM trips it so a
+    // draining daemon can interrupt executors cleanly before the
+    // SIGKILL grace backstop.
+    static util::CancelToken executor_cancel;
+    struct sigaction sa = {};
+    sa.sa_handler = [](int) { executor_cancel.cancel(); };
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+    ropt.driver.cancel = &executor_cancel;
+    ropt.workers = opt_.workers;
+    ropt.worker_mem_mb = opt_.worker_mem_mb;
+    ropt.worker_cpu_s = opt_.worker_cpu_s;
+    ropt.remotes = opt_.remotes;
+    ropt.remote_timeout_ms = opt_.remote_timeout_ms;
+    ropt.remote_heartbeat_ms = opt_.remote_heartbeat_ms;
+    if (req.has_deadline) {
+      const double remain_s = std::max(
+          0.0, -ms_since(req.deadline) / 1000.0);
+      ropt.deadline = util::Deadline::after(remain_s, &executor_cancel);
+    } else {
+      ropt.deadline = util::Deadline::cancel_only(&executor_cancel);
+    }
+    // The daemon journals; the executor only streams. Shipping each row
+    // the moment it settles is what lets the parent journal it (and
+    // reply) while later caps still solve - a SIGKILL between rows
+    // loses at most the cap in flight.
+    ropt.on_row = [write_fd](const robust::SweepRow& row) {
+      robust::JournalEntry entry;
+      entry.job_cap_watts = row.job_cap_watts;
+      entry.verdict = row.verdict;
+      entry.degraded = row.degraded;
+      entry.bound_seconds = row.bound_seconds;
+      entry.fallback = row.fallback;
+      entry.report_json = row.report_json;
+      (void)robust::write_wire_frame(write_fd, 'R',
+                                     robust::serialize_journal_entry(entry));
+    };
+
+    const auto result =
+        robust::resilient_sweep(graph, model_, cluster_, caps, ropt);
+    if (!result.ok()) return 1;
+    if (result.value().interrupted) return 75;
+    return 0;
+  } catch (...) {
+    return 1;
+  }
+}
+
+void Daemon::pump_pipe(Request& req) {
+  char buf[65536];
+  const ssize_t n = util::read_some(req.pipe_fd, buf, sizeof(buf));
+  if (n <= 0) return;  // EOF and errors resolve via waitpid
+  req.pipe_stream.feed(std::string(buf, static_cast<std::size_t>(n)));
+  for (;;) {
+    robust::WireFrame frame;
+    const robust::WireDecode d = req.pipe_stream.next(&frame);
+    if (d == robust::WireDecode::kEmpty) break;
+    if (d != robust::WireDecode::kOk) {
+      // A torn frame from our own executor means the executor is gone
+      // or corrupt mid-write; treat it exactly like a crash.
+      if (!req.pipe_poisoned && req.pid > 0) ::kill(req.pid, SIGKILL);
+      req.pipe_poisoned = true;
+      break;
+    }
+    handle_pipe_frame(req, frame);
+  }
+}
+
+void Daemon::handle_pipe_frame(Request& req, const robust::WireFrame& frame) {
+  robust::JournalEntry entry;
+  if (frame.tag != 'R' ||
+      !robust::parse_journal_entry(frame.payload, &entry)) {
+    if (!req.pipe_poisoned && req.pid > 0) ::kill(req.pid, SIGKILL);
+    req.pipe_poisoned = true;
+    return;
+  }
+  // Journal first (unpatched bytes - byte-compatible with offline
+  // sweeps), reply second (service telemetry patched into the copy).
+  if (req.journal) {
+    const robust::Status st = req.journal->append(entry);
+    if (!st.ok()) {
+      err_ << "powerlimd: journal append failed for " << req.id << ": "
+           << st.to_string() << "\n";
+    }
+  }
+  req.settled.push_back(entry.job_cap_watts);
+  reply_row(req, entry);
+}
+
+void Daemon::reap_executors() {
+  for (std::size_t i = 0; i < active_.size();) {
+    Request& req = active_[i];
+    int wait_status = 0;
+    const pid_t r = req.pid > 0
+                        ? ::waitpid(req.pid, &wait_status, WNOHANG)
+                        : -1;
+    if (req.pid > 0 && r == 0) {
+      ++i;
+      continue;
+    }
+    if (req.pid > 0) {
+      // Drain whatever the executor wrote before dying; rows that made
+      // it out whole are real results. Nonblocking reads: stop at
+      // EAGAIN too, in case orphaned worker children still hold the
+      // write end open.
+      for (;;) {
+        char buf[65536];
+        const ssize_t n = util::read_some(req.pipe_fd, buf, sizeof(buf));
+        if (n <= 0) break;
+        req.pipe_stream.feed(std::string(buf, static_cast<std::size_t>(n)));
+      }
+      for (;;) {
+        robust::WireFrame frame;
+        if (req.pipe_stream.next(&frame) != robust::WireDecode::kOk) break;
+        handle_pipe_frame(req, frame);
+      }
+      ::close(req.pipe_fd);
+      req.pipe_fd = -1;
+      req.pid = -1;
+      executor_died(req, wait_status);
+    }
+    if (req.pid < 0 && req.pipe_fd < 0) {
+      active_.erase(active_.begin() + static_cast<long>(i));
+    } else {
+      ++i;
+    }
+  }
+}
+
+void Daemon::executor_died(Request& req, int wait_status) {
+  const bool clean_exit = WIFEXITED(wait_status);
+  const int code = clean_exit ? WEXITSTATUS(wait_status) : -1;
+  const bool all_settled = unsettled(req).empty();
+
+  if (clean_exit && code == 0 && all_settled && !req.pipe_poisoned) {
+    finish(req, "ok", "");
+    return;
+  }
+  if (clean_exit && code == 75 && !req.pipe_poisoned) {
+    // The executor stopped cooperatively at the deadline; every settled
+    // cap is journaled, the rest are owed to --resume.
+    finish(req, "deadline-exceeded",
+           std::to_string(unsettled(req).size()) + " cap(s) unfinished");
+    return;
+  }
+  if (req.deadline_killed) {
+    finish(req, "deadline-exceeded",
+           "executor killed at deadline; " +
+               std::to_string(unsettled(req).size()) + " cap(s) unfinished");
+    return;
+  }
+
+  std::ostringstream death;
+  if (WIFSIGNALED(wait_status)) {
+    death << "executor killed by signal " << WTERMSIG(wait_status);
+  } else if (req.pipe_poisoned) {
+    death << "executor result stream corrupt";
+  } else {
+    death << "executor exited with code " << code;
+  }
+  if (req.spawns < 2) {
+    // One fresh executor gets the unsettled caps; a request never
+    // consumes more than two executors.
+    spawn_executor(req);
+    return;
+  }
+  degrade_unsettled(req, death.str());
+}
+
+void Daemon::degrade_unsettled(Request& req, const std::string& death) {
+  // Second executor death: the remaining caps degrade to the
+  // Static-policy bound through the same path an offline parallel
+  // sweep uses for a twice-dead worker, so daemon and offline tables
+  // stay byte-identical (modulo telemetry).
+  const std::vector<double> owed = unsettled(req);
+  int degraded = 0;
+  try {
+    std::istringstream in(req.trace_text);
+    const dag::TaskGraph graph = dag::read_trace(in, "request:" + req.id);
+    robust::SolveDriverOptions driver_opt;
+    driver_opt.cap_deadline_ms = opt_.cap_deadline_ms;
+    // Offline sweeps always attach a cancel token, and the degraded
+    // report records that ("cancellable") - attach one here too so the
+    // degraded rows stay byte-identical with offline degraded rows.
+    static const util::CancelToken never_cancelled;
+    driver_opt.cancel = &never_cancelled;
+    for (double cap : owed) {
+      robust::WorkerFailure failure;
+      failure.outcome = robust::StatusCode::kWorkerCrashed;
+      failure.detail = death;
+      failure.spawns = req.spawns;
+      const robust::JournalEntry entry = robust::degraded_entry_for_failure(
+          graph, model_, cluster_, driver_opt, cap, failure);
+      if (req.journal) {
+        const robust::Status st = req.journal->append(entry);
+        if (!st.ok()) {
+          err_ << "powerlimd: journal append failed for " << req.id << ": "
+               << st.to_string() << "\n";
+        }
+      }
+      req.settled.push_back(cap);
+      reply_row(req, entry);
+      ++degraded;
+      ++degraded_caps_;
+    }
+  } catch (const std::exception& e) {
+    finish(req, "error", death + "; degrade failed: " + e.what());
+    return;
+  }
+  finish(req, "ok",
+         death + "; " + std::to_string(degraded) + " cap(s) degraded");
+}
+
+std::vector<double> Daemon::unsettled(const Request& req) const {
+  std::vector<double> owed;
+  for (double cap : req.pending) {
+    if (std::find(req.settled.begin(), req.settled.end(), cap) ==
+        req.settled.end())
+      owed.push_back(cap);
+  }
+  return owed;
+}
+
+void Daemon::finish(Request& req, const std::string& status,
+                    const std::string& detail) {
+  ServeDone d;
+  d.id = req.id;
+  d.status = status;
+  d.rows = req.rows;
+  d.resumed = req.resumed;
+  d.shed_total = shed_total_;
+  d.queue_depth = static_cast<int>(queued_.size());
+  d.queue_wait_ms = req.exec_start.time_since_epoch().count() != 0
+                        ? std::chrono::duration<double, std::milli>(
+                              req.exec_start - req.admitted)
+                              .count()
+                        : 0.0;
+  d.solve_ms = req.exec_start.time_since_epoch().count() != 0
+                   ? ms_since(req.exec_start)
+                   : 0.0;
+  d.total_ms = ms_since(req.admitted);
+  d.detail = detail;
+  send_frame(req.conn_id, kTagDone, encode_done(d));
+  req.journal.reset();
+  ++finished_;
+  out_ << "powerlimd: " << req.id << " " << status << " rows=" << d.rows
+       << " resumed=" << d.resumed << " total_ms=" << d.total_ms << "\n";
+  out_.flush();
+}
+
+// ---------------------------------------------------------------------------
+// Replies and connection hygiene.
+
+void Daemon::send_frame(std::uint64_t conn_id, char tag,
+                        const std::string& payload) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;  // client left; the journal has it
+  const std::string bytes = robust::encode_wire_frame(tag, payload);
+  if (bytes.empty()) return;
+  it->second.outbuf += bytes;
+  flush_conn(it->second);
+}
+
+void Daemon::send_overloaded(std::uint64_t conn_id, const std::string& id,
+                             const std::string& reason,
+                             const std::string& detail) {
+  ServeOverloaded o;
+  o.id = id;
+  o.reason = reason;
+  o.detail = detail;
+  send_frame(conn_id, kTagOverloaded, encode_overloaded(o));
+}
+
+robust::ServiceTelemetry Daemon::telemetry_for(const Request& req) const {
+  robust::ServiceTelemetry s;
+  s.served = true;
+  s.queue_depth = req.queue_depth_at_admit;
+  s.shed_total = req.shed_at_admit;
+  const bool executing = req.exec_start.time_since_epoch().count() != 0;
+  s.queue_wait_ms = executing ? std::chrono::duration<double, std::milli>(
+                                    req.exec_start - req.admitted)
+                                    .count()
+                              : 0.0;
+  s.solve_ms = executing ? ms_since(req.exec_start) : 0.0;
+  s.total_ms = ms_since(req.admitted);
+  return s;
+}
+
+void Daemon::reply_row(Request& req, const robust::JournalEntry& entry) {
+  ++req.rows;
+  if (req.conn_id == 0) return;
+  ServeRow row;
+  row.id = req.id;
+  row.entry = entry;
+  row.entry.report_json =
+      robust::patch_service_json(entry.report_json, telemetry_for(req));
+  const std::string payload = encode_row(row);
+  if (!payload.empty()) send_frame(req.conn_id, kTagRow, payload);
+}
+
+void Daemon::flush_conn(Conn& conn) {
+  while (!conn.outbuf.empty()) {
+    const ssize_t n =
+        ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
+               MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (n > 0) {
+      conn.outbuf.erase(0, static_cast<std::size_t>(n));
+      conn.last_progress = Clock::now();
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
+    drop_conn(conn.id, "send failed");
+    return;
+  }
+}
+
+void Daemon::drop_conn(std::uint64_t conn_id, const char* why) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  (void)why;
+  if (it->second.fd >= 0) ::close(it->second.fd);
+  conns_.erase(it);
+}
+
+void Daemon::reap_conns() {
+  std::vector<std::uint64_t> doomed;
+  for (auto& [id, conn] : conns_) {
+    if (conn.closing && conn.outbuf.empty()) {
+      doomed.push_back(id);
+      continue;
+    }
+    // A connection that never completes its handshake, or whose
+    // buffered replies make no progress, is a stalled or hostile
+    // client: drop it so its buffer cannot grow without bound. Its
+    // requests keep running - the journal still gets every row.
+    if (!conn.handshaken && sec_since(conn.opened) > opt_.io_timeout_s) {
+      doomed.push_back(id);
+      continue;
+    }
+    if (!conn.outbuf.empty() &&
+        sec_since(conn.last_progress) > opt_.io_timeout_s) {
+      doomed.push_back(id);
+      continue;
+    }
+    if (conn.handshaken && conn.outbuf.empty() &&
+        sec_since(conn.last_read) > opt_.idle_timeout_s) {
+      bool in_flight = false;
+      for (const Request& req : queued_) {
+        if (req.conn_id == id) in_flight = true;
+      }
+      for (const Request& req : active_) {
+        if (req.conn_id == id) in_flight = true;
+      }
+      if (!in_flight) doomed.push_back(id);
+    }
+  }
+  for (std::uint64_t id : doomed) drop_conn(id, "reaped");
+}
+
+}  // namespace
+
+int serve(const ServeOptions& options, const machine::PowerModel& model,
+          const machine::ClusterSpec& cluster, std::ostream& out,
+          std::ostream& err) {
+  Daemon daemon(options, model, cluster, out, err);
+  return daemon.run();
+}
+
+}  // namespace powerlim::serve

@@ -1,0 +1,120 @@
+// powerlimd: the crash-safe, overload-tolerant bound/sweep daemon
+// (tentpole of the service-robustness work).
+//
+// `powerlim serve` turns the resilient sweep stack into a long-running
+// service: clients connect over TCP ("powerlimd v1", serve/protocol.h),
+// submit bound/sweep requests, and get per-cap rows streamed back as
+// they settle. The daemon is built on three invariants:
+//
+//   * Admission control, not collapse. Requests wait in a bounded queue
+//     (--max-queue) with at most --max-active executing; a full queue
+//     answers `overloaded` immediately instead of accepting work it
+//     cannot finish, a queued request whose deadline passes is shed
+//     before it wastes an executor, and a slow or stalled client can
+//     only stall *its own* connection (per-connection write buffers
+//     with progress timeouts), never the accept loop or other clients.
+//
+//   * Journal-first durability. Every admitted request is journaled as
+//     a `Q` intent (per-trace journal under --state-dir) *before* its
+//     first solve, and every settled cap as an `R` record before the
+//     row is replied. A daemon killed mid-request (SIGKILL included)
+//     restarts with `--resume` and finishes exactly the owed caps -
+//     already-proven caps are served from the journal, never re-solved.
+//     The journals are byte-compatible with offline `powerlim sweep
+//     --journal` files: replies carry the schema-6 `service` telemetry
+//     block patched in, journals keep the unpatched bytes.
+//
+//   * Fault degradation over refusal. Each request runs in a forked
+//     executor wrapping robust::resilient_sweep, so worker crashes,
+//     OOMs, hangs and remote-worker network faults walk the existing
+//     retry/degradation ladder; if the executor itself dies it is
+//     re-forked once for the unsettled caps, and a second death
+//     degrades those caps to the Static-policy bound - the client
+//     still gets a row per cap.
+//
+// Lifecycle: SIGTERM (via ServeOptions.cancel) drains - accepts stop,
+// queued requests are shed as `overloaded` (reason "draining"), active
+// executors finish, then the daemon exits 0. SIGHUP (via
+// ServeOptions.reopen_flag) closes and reopens the journals of active
+// requests. The daemon itself is single-threaded (one poll loop);
+// parallelism lives in the forked executors and their worker pools.
+#pragma once
+
+#include <csignal>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "machine/machine.h"
+#include "machine/power_model.h"
+#include "util/deadline.h"
+
+namespace powerlim::serve {
+
+struct ServeOptions {
+  /// host:port to listen on (port 0 picks an ephemeral port).
+  std::string listen = "127.0.0.1:0";
+  /// When set, the bound port is written here (atomic rename), so tests
+  /// and scripts can start the daemon on port 0 and discover the port.
+  std::string port_file;
+  /// Directory for per-trace journals (`sweep-<hash>.journal`) and
+  /// their trace snapshots (`trace-<hash>.trace`). Created if absent.
+  std::string state_dir = "powerlimd-state";
+  /// Scan state_dir on startup and finish every journaled request
+  /// intent whose caps lack trusted records (the post-SIGKILL path).
+  bool resume = false;
+
+  /// Admitted-but-not-executing ceiling; beyond it requests are shed
+  /// with `overloaded` (reason "queue-full").
+  int max_queue = 16;
+  /// Concurrently executing requests (forked executors).
+  int max_active = 1;
+
+  /// Executor solve topology, forwarded to ResilientSweepOptions.
+  int workers = 1;
+  long worker_mem_mb = 0;
+  double worker_cpu_s = 0.0;
+  std::vector<std::string> remotes;
+  double remote_timeout_ms = 0.0;
+  double remote_heartbeat_ms = 0.0;
+  /// Per-cap wall budget inside the executor, ms (0 = unlimited).
+  double cap_deadline_ms = 0.0;
+
+  /// Deadline applied to requests that do not carry one, ms (0 = none).
+  double default_deadline_ms = 0.0;
+  /// Ceiling clamped onto every request's deadline, ms (0 = no ceiling).
+  double max_deadline_ms = 0.0;
+  /// Extra wall grace past a request's deadline before its executor is
+  /// SIGKILLed (the executor observes the deadline cooperatively and
+  /// normally exits on its own well within this).
+  double deadline_grace_ms = 2000.0;
+
+  /// A connection that makes no handshake, or whose pending output makes
+  /// no progress, for this long is dropped (slow-client containment).
+  double io_timeout_s = 10.0;
+  /// Idle (handshaken, nothing in flight) connections are reaped after
+  /// this long.
+  double idle_timeout_s = 300.0;
+
+  /// SIGTERM hook: when this token trips, the daemon drains and exits.
+  const util::CancelToken* cancel = nullptr;
+  /// SIGHUP hook: when nonzero, journals of active requests are closed
+  /// and reopened, and the flag is reset. Must be async-signal-safe to
+  /// set (it is a plain sig_atomic_t the handler stores 1 into).
+  volatile std::sig_atomic_t* reopen_flag = nullptr;
+
+  /// Exit after this many requests have finished (0 = run forever).
+  /// Test hook, mirroring serve-worker's --once.
+  long max_requests = 0;
+};
+
+/// Runs the daemon until drained (SIGTERM) or max_requests. Returns 0
+/// on a clean drain, 1 on startup failure (bad listen address, port in
+/// use past the retry budget, unusable state_dir). Progress goes to
+/// `out`, errors to `err`. Install a ScopedFaultPlan before calling to
+/// inject faults into every executor (they inherit it across fork).
+int serve(const ServeOptions& options, const machine::PowerModel& model,
+          const machine::ClusterSpec& cluster, std::ostream& out,
+          std::ostream& err);
+
+}  // namespace powerlim::serve

@@ -1,10 +1,16 @@
 #include "util/posix_io.h"
 
+#include <fcntl.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 
 namespace powerlim::util {
+
+namespace {
+std::atomic<long> g_dir_fsyncs{0};
+}  // namespace
 
 bool retry_errno_is_eintr() { return errno == EINTR; }
 
@@ -39,6 +45,27 @@ ssize_t read_some(int fd, void* data, std::size_t len) {
 
 int fsync_full(int fd) {
   return static_cast<int>(retry_eintr([&] { return ::fsync(fd); }));
+}
+
+int fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos
+          ? std::string(".")
+          : (slash == 0 ? std::string("/") : path.substr(0, slash));
+  const int fd = static_cast<int>(retry_eintr(
+      [&] { return ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC); }));
+  if (fd < 0) return -1;
+  const int rc = fsync_full(fd);
+  const int saved = errno;
+  ::close(fd);
+  errno = saved;
+  if (rc == 0) g_dir_fsyncs.fetch_add(1, std::memory_order_relaxed);
+  return rc;
+}
+
+long fsync_parent_dir_count() {
+  return g_dir_fsyncs.load(std::memory_order_relaxed);
 }
 
 }  // namespace powerlim::util

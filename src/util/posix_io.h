@@ -12,6 +12,7 @@
 #include <sys/types.h>
 
 #include <cstddef>
+#include <string>
 
 namespace powerlim::util {
 
@@ -35,6 +36,20 @@ ssize_t read_some(int fd, void* data, std::size_t len);
 
 /// fsync() with EINTR retry. Returns 0 or -1 (errno preserved).
 int fsync_full(int fd);
+
+/// Durability for file *creation*: fsync()s the directory containing
+/// `path` (the path itself need not exist yet). fsync on a file makes
+/// its bytes durable, but the directory entry pointing at a freshly
+/// created file lives in the directory's own data - until that is
+/// synced, a power loss can resurrect an empty directory with the file
+/// (and its fsync'd contents) gone. Every create/rename of a durable
+/// file must be followed by this. Returns 0 or -1 (errno preserved).
+int fsync_parent_dir(const std::string& path);
+
+/// Monotonic count of successful fsync_parent_dir() calls in this
+/// process. Test observability: durability tests assert the
+/// create -> dir-fsync sequence happened without strace.
+long fsync_parent_dir_count();
 
 /// Out-of-line errno check so the header does not drag <cerrno> into
 /// every includer (and so tests can reference one symbol).

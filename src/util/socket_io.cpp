@@ -94,8 +94,24 @@ const char* to_string(IoStatus s) {
   return "?";
 }
 
-int listen_tcp(const std::string& host, int port, std::string* error) {
+const char* to_string(ListenStatus s) {
+  switch (s) {
+    case ListenStatus::kOk:
+      return "ok";
+    case ListenStatus::kAddrInUse:
+      return "address-in-use";
+    case ListenStatus::kResolveError:
+      return "resolve-error";
+    case ListenStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+ListenStatus listen_tcp_status(const std::string& host, int port,
+                               int* fd_out, std::string* error) {
   ignore_sigpipe();
+  if (fd_out) *fd_out = -1;
   struct addrinfo hints = {};
   hints.ai_family = AF_INET;
   hints.ai_socktype = SOCK_STREAM;
@@ -108,26 +124,46 @@ int listen_tcp(const std::string& host, int port, std::string* error) {
     if (error) {
       *error = "cannot resolve '" + host + "': " + ::gai_strerror(rc);
     }
-    return -1;
+    return ListenStatus::kResolveError;
   }
   int fd = -1;
+  bool addr_in_use = false;
+  int last_errno = 0;
   for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
-    if (fd < 0) continue;
+    if (fd < 0) {
+      last_errno = errno;
+      continue;
+    }
+    // SO_REUSEADDR before bind: without it a restart inside the
+    // predecessor's TIME_WAIT window fails spuriously.
     const int one = 1;
     (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
     if (::bind(fd, ai->ai_addr, ai->ai_addrlen) == 0 &&
-        ::listen(fd, 16) == 0) {
+        ::listen(fd, 64) == 0) {
       break;
     }
+    last_errno = errno;
+    addr_in_use = addr_in_use || errno == EADDRINUSE;
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(res);
-  if (fd < 0 && error) {
-    *error = errno_message(("cannot listen on " + host + ":" + port_text)
-                               .c_str());
+  if (fd < 0) {
+    errno = last_errno;
+    if (error) {
+      *error = errno_message(
+          ("cannot listen on " + host + ":" + port_text).c_str());
+    }
+    return addr_in_use ? ListenStatus::kAddrInUse : ListenStatus::kError;
   }
+  if (fd_out) *fd_out = fd;
+  return ListenStatus::kOk;
+}
+
+int listen_tcp(const std::string& host, int port, std::string* error) {
+  int fd = -1;
+  (void)listen_tcp_status(host, port, &fd, error);
   return fd;
 }
 
@@ -153,10 +189,16 @@ int accept_timeout(int listen_fd, double timeout_s, IoStatus* status) {
     if (status) *status = IoStatus::kTimeout;
     return -1;
   }
+  // ECONNABORTED means *that* connection died between SYN and accept();
+  // the listening socket is fine, so report a timeout-like miss the
+  // caller's accept loop simply retries, instead of a scary kError.
+  // EINTR is retried inline (the daemon takes SIGCHLD constantly).
   const int fd = static_cast<int>(
       retry_eintr([&] { return ::accept(listen_fd, nullptr, nullptr); }));
   if (fd < 0) {
-    if (status) *status = IoStatus::kError;
+    if (status) {
+      *status = errno == ECONNABORTED ? IoStatus::kTimeout : IoStatus::kError;
+    }
     return -1;
   }
   if (status) *status = IoStatus::kOk;

@@ -49,9 +49,33 @@ enum class IoStatus {
 
 const char* to_string(IoStatus s);
 
+/// Why listen_tcp_status failed, typed so callers can branch. The one
+/// case that deserves different handling is kAddrInUse: a daemon
+/// restarting over a dying predecessor races the kernel releasing the
+/// port (SO_REUSEADDR covers TIME_WAIT, not a socket still held by the
+/// exiting process), and the correct response is a brief bounded retry,
+/// not a fatal error.
+enum class ListenStatus {
+  kOk,
+  /// bind() failed with EADDRINUSE on every resolved address: retryable.
+  kAddrInUse,
+  /// The host did not resolve.
+  kResolveError,
+  /// Any other socket/bind/listen failure (message carries errno).
+  kError,
+};
+
+const char* to_string(ListenStatus s);
+
 /// Creates a listening TCP socket bound to host:port (port 0 picks an
-/// ephemeral port; recover it with bound_port). Returns the fd, or -1
-/// with a message in *error.
+/// ephemeral port; recover it with bound_port). SO_REUSEADDR is set
+/// before bind. On success *fd_out holds the listening fd; otherwise the
+/// typed status says why, with a message in *error.
+ListenStatus listen_tcp_status(const std::string& host, int port,
+                               int* fd_out, std::string* error);
+
+/// Untyped convenience wrapper over listen_tcp_status. Returns the fd,
+/// or -1 with a message in *error.
 int listen_tcp(const std::string& host, int port, std::string* error);
 
 /// The locally bound port of a listening socket (-1 on error).

@@ -11,6 +11,8 @@
 #include <sstream>
 #include <string>
 
+#include "util/posix_io.h"
+
 namespace powerlim::robust {
 namespace {
 
@@ -300,6 +302,108 @@ TEST(SweepJournal, UnwritablePathFailsOpen) {
   auto j = SweepJournal::open("/nonexistent-dir-xyz/journal");
   ASSERT_FALSE(j.ok());
   EXPECT_EQ(j.status().code(), StatusCode::kBadInput);
+}
+
+TEST(SweepJournal, RequestIntentsRoundTripAndRecover) {
+  // The daemon journals a `Q` request intent before solving; a restart
+  // must recover it (together with whatever `R` records made it to disk)
+  // so unfinished caps can be re-enqueued.
+  const std::string path = temp_path("journal_requests");
+  std::remove(path.c_str());
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok()) << j.status().to_string();
+    JournalRequest r;
+    r.id = "req-7";
+    r.kind = "sweep";
+    r.deadline_ms = 1500.0;
+    r.caps = {100.0, 100.0 / 3.0, 120.0};
+    ASSERT_TRUE(j.value().append_request(r).ok());
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+  }
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  EXPECT_TRUE(j->recovery().clean());
+  EXPECT_EQ(j->recovery().request_records, 1);
+  ASSERT_EQ(j->requests().size(), 1u);
+  EXPECT_EQ(j->requests()[0].id, "req-7");
+  EXPECT_EQ(j->requests()[0].kind, "sweep");
+  EXPECT_EQ(j->requests()[0].deadline_ms, 1500.0);
+  ASSERT_EQ(j->requests()[0].caps.size(), 3u);
+  EXPECT_EQ(j->requests()[0].caps[1], 100.0 / 3.0);  // bit-exact
+  ASSERT_EQ(j->entries().size(), 1u);
+
+  // Malformed requests are refused before any bytes hit the file.
+  JournalRequest bad;
+  bad.id = "has space";
+  bad.kind = "sweep";
+  bad.caps = {1.0};
+  EXPECT_EQ(j.value().append_request(bad).code(), StatusCode::kBadInput);
+  JournalRequest capless;
+  capless.id = "x";
+  capless.kind = "bound";
+  EXPECT_EQ(j.value().append_request(capless).code(),
+            StatusCode::kBadInput);
+}
+
+TEST(JournalRequestSerialization, RejectsGarbage) {
+  JournalRequest out;
+  EXPECT_FALSE(parse_journal_request("", &out));
+  EXPECT_FALSE(parse_journal_request("req=a kind=b deadline_ms=0", &out));
+  EXPECT_FALSE(
+      parse_journal_request("req=a kind=b deadline_ms=0 caps=", &out));
+  EXPECT_FALSE(
+      parse_journal_request("req=a kind=b deadline_ms=0 caps=1,", &out));
+  EXPECT_FALSE(
+      parse_journal_request("req=a kind=b deadline_ms=x caps=1", &out));
+  EXPECT_FALSE(parse_journal_request(
+      "req=a kind=b deadline_ms=0 caps=1 extra=1", &out));
+  EXPECT_TRUE(parse_journal_request(
+      "req=a kind=b deadline_ms=0 caps=1,2.5", &out));
+  EXPECT_EQ(out.caps, (std::vector<double>{1.0, 2.5}));
+}
+
+TEST(SweepJournal, FreshCreateFsyncsTheParentDirectory) {
+  // Creating the journal file makes a new directory entry; until the
+  // directory itself is fsync'd, a power loss can lose the entry while
+  // keeping the (fsync'd) data - an empty dir with the journal gone.
+  // open() must therefore fsync the parent exactly when it *creates*,
+  // observable via the process-wide dir-fsync counter.
+  const std::string path = temp_path("journal_dirfsync");
+  std::remove(path.c_str());
+
+  const long before_create = util::fsync_parent_dir_count();
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok()) << j.status().to_string();
+    ASSERT_TRUE(j.value().append(entry(100.0, 12.0)).ok());
+  }
+  EXPECT_EQ(util::fsync_parent_dir_count(), before_create + 1);
+
+  // Re-opening an existing journal creates nothing: no dir fsync.
+  const long before_reopen = util::fsync_parent_dir_count();
+  {
+    auto j = SweepJournal::open(path);
+    ASSERT_TRUE(j.ok());
+    EXPECT_EQ(j->entries().size(), 1u);
+  }
+  EXPECT_EQ(util::fsync_parent_dir_count(), before_reopen);
+}
+
+TEST(SweepJournal, QuarantineRotateFsyncsTheParentDirectory) {
+  // The quarantine path rewrites *two* directory entries (rename the
+  // foreign file aside + create a fresh journal); both must be durable
+  // before recovery reports success.
+  const std::string path = temp_path("journal_dirfsync_rotate");
+  std::remove(path.c_str());
+  std::remove((path + ".quarantined").c_str());
+  dump(path, "powerlim-journal v99\nR deadbeef 4\nabcd\n");
+
+  const long before = util::fsync_parent_dir_count();
+  auto j = SweepJournal::open(path);
+  ASSERT_TRUE(j.ok()) << j.status().to_string();
+  EXPECT_TRUE(j->recovery().quarantined_file);
+  EXPECT_EQ(util::fsync_parent_dir_count(), before + 1);
 }
 
 }  // namespace

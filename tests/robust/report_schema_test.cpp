@@ -44,6 +44,12 @@ RunReport golden_report() {
   rep.transport.retries = 1;
   rep.transport.backoff_ms = 25.5;
   rep.transport.heartbeat_misses = 3;
+  rep.service.served = true;
+  rep.service.queue_depth = 4;
+  rep.service.shed_total = 7;
+  rep.service.queue_wait_ms = 12.25;
+  rep.service.solve_ms = 80.5;
+  rep.service.total_ms = 92.75;
 
   SolveAttempt a;
   a.rung = "warm";
@@ -81,7 +87,7 @@ RunReport golden_report() {
 // The golden string. Field order, spelling, and nesting are all
 // contractual; values are chosen to be exact in decimal.
 const char* const kGolden =
-    "{\"schema_version\":5,"
+    "{\"schema_version\":6,"
     "\"job_cap_watts\":120,"
     "\"socket_cap_watts\":60,"
     "\"verdict\":\"ok\","
@@ -96,6 +102,8 @@ const char* const kGolden =
     "\"peak_rss_kb\":4096},"
     "\"transport\":{\"remote\":true,\"endpoint\":\"10.0.0.7:9200\","
     "\"retries\":1,\"backoff_ms\":25.5,\"heartbeat_misses\":3},"
+    "\"service\":{\"served\":true,\"queue_depth\":4,\"shed_total\":7,"
+    "\"queue_wait_ms\":12.25,\"solve_ms\":80.5,\"total_ms\":92.75},"
     "\"fault\":{\"active\":true,\"seed\":42},"
     "\"ladder\":{\"enable_ladder\":true,\"enable_fallback\":true,"
     "\"validate_replay\":true,\"cap_deadline_ms\":250,"
@@ -117,12 +125,12 @@ TEST(ReportSchema, GoldenShapeIsStable) {
   EXPECT_EQ(golden_report().to_json(), kGolden);
 }
 
-TEST(ReportSchema, VersionIsFive) {
-  EXPECT_EQ(kRunReportSchemaVersion, 5);
-  EXPECT_EQ(RunReport{}.schema_version, 5);
+TEST(ReportSchema, VersionIsSix) {
+  EXPECT_EQ(kRunReportSchemaVersion, 6);
+  EXPECT_EQ(RunReport{}.schema_version, 6);
   // Every serialized report leads with the version so consumers can
   // dispatch before parsing the rest.
-  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":5,", 0), 0u);
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":6,", 0), 0u);
 }
 
 TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
@@ -138,6 +146,13 @@ TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
   EXPECT_NE(rep.to_json().find("\"transport\":{\"remote\":false,"
                                "\"endpoint\":\"\",\"retries\":0,"
                                "\"backoff_ms\":0,\"heartbeat_misses\":0}"),
+            std::string::npos);
+  // And the service block: all-zero unless powerlimd splices the real
+  // request latencies into its reply copy.
+  EXPECT_NE(rep.to_json().find("\"service\":{\"served\":false,"
+                               "\"queue_depth\":0,\"shed_total\":0,"
+                               "\"queue_wait_ms\":0,\"solve_ms\":0,"
+                               "\"total_ms\":0}"),
             std::string::npos);
 }
 
@@ -166,6 +181,35 @@ TEST(ReportSchema, PatchTransportSplicesWithoutReserialization) {
   // Pre-schema-5 records (no transport block) pass through untouched.
   EXPECT_EQ(patch_transport_json("{\"schema_version\":4}", t),
             "{\"schema_version\":4}");
+}
+
+TEST(ReportSchema, PatchServiceSplicesWithoutReserialization) {
+  // The daemon receives each cap's report from its executor as already-
+  // serialized journal bytes and must stamp request-level service
+  // telemetry into the *reply copy* without reparsing (the journaled
+  // bytes stay unpatched so daemon journals remain byte-compatible with
+  // offline sweeps).
+  const std::string json = golden_report().to_json();
+  ServiceTelemetry s;
+  s.served = true;
+  s.queue_depth = 9;
+  s.shed_total = 3;
+  s.queue_wait_ms = 1.5;
+  s.solve_ms = 200.25;
+  s.total_ms = 201.75;
+  const std::string patched = patch_service_json(json, s);
+  EXPECT_NE(patched.find("\"service\":{\"served\":true,\"queue_depth\":9,"
+                         "\"shed_total\":3,\"queue_wait_ms\":1.5,"
+                         "\"solve_ms\":200.25,\"total_ms\":201.75}"),
+            std::string::npos);
+  // Only the service block changed.
+  EXPECT_EQ(patched.size() - patched.find("\"fault\":"),
+            json.size() - json.find("\"fault\":"));
+  EXPECT_EQ(patched.substr(0, patched.find("\"service\":")),
+            json.substr(0, json.find("\"service\":")));
+  // Pre-schema-6 records (no service block) pass through untouched.
+  EXPECT_EQ(patch_service_json("{\"schema_version\":5}", s),
+            "{\"schema_version\":5}");
 }
 
 TEST(ReportSchema, UncheckedReplaySerializesClosed) {

@@ -176,6 +176,19 @@ TEST(WireHardening, CustomCeilingIsHonored) {
   EXPECT_TRUE(small.poisoned());
 }
 
+TEST(WireHardening, MaxFrameBytesBoundsEveryEncodableFrame) {
+  // kMaxFrameBytes is the shared client/server buffer ceiling: any frame
+  // encode_wire_frame will produce must fit under it, and it must be
+  // derived from (not merely near) the header + payload ceilings so the
+  // three constants cannot drift apart.
+  EXPECT_EQ(kMaxFrameBytes, kMaxWireHeader + 1 + kMaxWirePayload);
+  // A worst-case real frame (maximal payload) stays under the ceiling.
+  const std::string biggest = encode_wire_frame('R', std::string(1024, 'x'));
+  ASSERT_FALSE(biggest.empty());
+  const std::size_t header_overhead = biggest.size() - 1024;
+  EXPECT_LE(header_overhead + kMaxWirePayload, kMaxFrameBytes);
+}
+
 TEST(WireHardening, CrcZeroLengthAndBinaryPayloads) {
   // Edge payloads: empty, all-zero bytes, and bytes that look like
   // embedded frame headers must all round-trip exactly.

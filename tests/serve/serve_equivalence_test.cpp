@@ -1,0 +1,401 @@
+// The powerlimd correctness anchor: a daemon-served sweep must be
+// byte-identical to an offline `powerlim sweep` run (modulo the
+// designated telemetry fields) - in the clean case, under worker-crash
+// injection, under net-* injection against remote serve-workers, and
+// after SIGKILLing the daemon mid-solve and restarting with --resume.
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.h"
+#include "serve/protocol.h"
+#include "tools/cli.h"
+#include "util/socket_io.h"
+
+namespace powerlim::cli {
+namespace {
+
+struct CliResult {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliResult run_cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run(args, out, err);
+  return {code, out.str(), err.str()};
+}
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream f(path);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// First `lines` lines (the sweep table: header, rule, rows).
+std::string head_lines(const std::string& text, int lines) {
+  std::size_t pos = 0;
+  for (int i = 0; i < lines && pos != std::string::npos; ++i) {
+    pos = text.find('\n', pos);
+    if (pos != std::string::npos) ++pos;
+  }
+  return text.substr(0, pos == std::string::npos ? text.size() : pos);
+}
+
+/// Neutralizes the designated telemetry (same set the distributed-sweep
+/// acceptance uses) plus the schema-6 `service` block the daemon
+/// patches into reply rows.
+std::string strip_telemetry(const std::string& json) {
+  static const std::regex kWall("\"wall_ms\":[0-9.eE+-]+");
+  static const std::regex kWorker("\"worker\":\\{[^}]*\\}");
+  static const std::regex kTransport("\"transport\":\\{[^}]*\\}");
+  static const std::regex kService("\"service\":\\{[^}]*\\}");
+  static const std::regex kIterations("\"iterations\":[0-9]+");
+  static const std::regex kDegenerate("\"degenerate_pivots\":[0-9]+");
+  static const std::regex kRefactor("\"refactor_count\":[0-9]+");
+  static const std::regex kPrimal("\"primal_infeasibility\":[0-9.eE+-]+");
+  static const std::regex kGap("\"duality_gap\":[0-9.eE+-]+");
+  static const std::regex kViolation("\"violation_watts\":[0-9.eE+-]+");
+  std::string s = std::regex_replace(json, kWall, "\"wall_ms\":0");
+  s = std::regex_replace(s, kWorker, "\"worker\":{}");
+  s = std::regex_replace(s, kTransport, "\"transport\":{}");
+  s = std::regex_replace(s, kService, "\"service\":{}");
+  s = std::regex_replace(s, kIterations, "\"iterations\":0");
+  s = std::regex_replace(s, kDegenerate, "\"degenerate_pivots\":0");
+  s = std::regex_replace(s, kRefactor, "\"refactor_count\":0");
+  s = std::regex_replace(s, kPrimal, "\"primal_infeasibility\":0");
+  s = std::regex_replace(s, kGap, "\"duality_gap\":0");
+  return std::regex_replace(s, kViolation, "\"violation_watts\":0");
+}
+
+/// A forked `powerlim serve` child. The destructor SIGKILLs a daemon a
+/// failed assertion left behind - otherwise the orphan inherits the
+/// test's stdio and wedges any pipeline reading it.
+struct Daemon {
+  pid_t pid = -1;
+  util::Endpoint endpoint;
+  std::string state_dir;
+
+  Daemon() = default;
+  Daemon(Daemon&& o) noexcept
+      : pid(o.pid), endpoint(o.endpoint), state_dir(std::move(o.state_dir)) {
+    o.pid = -1;
+  }
+  Daemon& operator=(Daemon&& o) noexcept {
+    std::swap(pid, o.pid);
+    endpoint = o.endpoint;
+    state_dir = o.state_dir;
+    return *this;
+  }
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+  ~Daemon() {
+    if (pid <= 0) return;
+    kill(pid, SIGKILL);
+    int status = 0;
+    waitpid(pid, &status, 0);
+  }
+
+  /// Graceful SIGTERM drain; returns the exit code (or -signal).
+  int stop() {
+    if (pid <= 0) return -1;
+    kill(pid, SIGTERM);
+    int status = 0;
+    const pid_t waited = waitpid(pid, &status, 0);
+    const pid_t was = pid;
+    pid = -1;
+    if (waited != was) return -1;
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -WTERMSIG(status);
+  }
+};
+
+Daemon start_daemon(const std::string& state_dir,
+                    std::vector<std::string> extra_args) {
+  static int counter = 0;
+  const std::string port_file =
+      temp_path("eq_port_" + std::to_string(::getpid()) + "_" +
+                std::to_string(counter++));
+  Daemon d;
+  d.state_dir = state_dir;
+  std::remove(port_file.c_str());
+  std::vector<std::string> args = {"serve",       "--listen",
+                                   "127.0.0.1:0", "--port-file",
+                                   port_file,     "--state-dir",
+                                   d.state_dir};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  const pid_t pid = fork();
+  if (pid == 0) {
+    install_signal_handlers();
+    std::ostringstream out, err;
+    _exit(run(args, out, err));
+  }
+  d.pid = pid;
+  for (int i = 0; i < 500; ++i) {
+    std::ifstream f(port_file);
+    int port = 0;
+    if (f >> port && port > 0) {
+      d.endpoint.host = "127.0.0.1";
+      d.endpoint.port = port;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::remove(port_file.c_str());
+  return d;
+}
+
+std::string endpoint_str(const Daemon& d) {
+  return "127.0.0.1:" + std::to_string(d.endpoint.port);
+}
+
+/// Count journaled result rows across every sweep journal in a daemon
+/// state dir (0 when none exists yet).
+int journaled_rows(const std::string& state_dir) {
+  int n = 0;
+  std::error_code ec;
+  for (const auto& e :
+       std::filesystem::directory_iterator(state_dir, ec)) {
+    const std::string name = e.path().filename().string();
+    if (name.rfind("sweep-", 0) != 0) continue;
+    std::ifstream f(e.path());
+    std::string line;
+    while (std::getline(f, line)) {
+      if (line.rfind("R ", 0) == 0) ++n;
+    }
+  }
+  return n;
+}
+
+/// Shared fixture: one trace + the offline serial oracle, built once.
+class ServeEquivalence : public ::testing::Test {
+ protected:
+  // 30..60 step 2.5 = 13 caps.
+  static constexpr int kCaps = 13;
+
+  static void SetUpTestSuite() {
+    trace_ = new std::string(temp_path("eq_trace"));
+    ASSERT_EQ(run_cli({"trace", "comd", "-o", *trace_, "--ranks", "2",
+                       "--iterations", "3"})
+                  .code,
+              0);
+    offline_report_ = new std::string(temp_path("eq_offline.json"));
+    std::vector<std::string> args = sweep_args();
+    args.insert(args.end(), {"--report", *offline_report_});
+    offline_ = new CliResult(run_cli(args));
+    ASSERT_EQ(offline_->code, 0) << offline_->err;
+  }
+
+  static void TearDownTestSuite() {
+    delete trace_;
+    delete offline_report_;
+    delete offline_;
+  }
+
+  static std::vector<std::string> sweep_args() {
+    return {"sweep", *trace_, "--from", "30", "--to", "60",
+            "--step", "2.5"};
+  }
+
+  static std::vector<std::string> query_args(const Daemon& d) {
+    return {"query", *trace_,        "--server", endpoint_str(d), "--from",
+            "30",    "--to", "60",   "--step",   "2.5"};
+  }
+
+  static std::string offline_table() {
+    return head_lines(offline_->out, 2 + kCaps);
+  }
+
+  static std::string* trace_;
+  static std::string* offline_report_;
+  static CliResult* offline_;
+};
+
+std::string* ServeEquivalence::trace_ = nullptr;
+std::string* ServeEquivalence::offline_report_ = nullptr;
+CliResult* ServeEquivalence::offline_ = nullptr;
+
+TEST_F(ServeEquivalence, DaemonServedSweepMatchesOffline) {
+  Daemon d = start_daemon(temp_path("eq_state_clean"), {});
+  ASSERT_GT(d.endpoint.port, 0);
+
+  const std::string report = temp_path("eq_clean.json");
+  std::vector<std::string> args = query_args(d);
+  args.insert(args.end(), {"--report", report});
+  const CliResult q = run_cli(args);
+  ASSERT_EQ(q.code, 0) << q.err;
+
+  EXPECT_EQ(head_lines(q.out, 2 + kCaps), offline_table());
+  EXPECT_EQ(strip_telemetry(read_file(report)),
+            strip_telemetry(read_file(*offline_report_)));
+  // The daemon stamped live service telemetry into the reply copies.
+  EXPECT_NE(read_file(report).find("\"served\":true"), std::string::npos);
+
+  // A second identical query is served entirely from the journal,
+  // still byte-identically.
+  const CliResult q2 = run_cli(query_args(d));
+  ASSERT_EQ(q2.code, 0) << q2.err;
+  EXPECT_EQ(head_lines(q2.out, 2 + kCaps), offline_table());
+  EXPECT_NE(q2.out.find("resumed=" + std::to_string(kCaps)),
+            std::string::npos)
+      << q2.out;
+
+  EXPECT_EQ(d.stop(), 0);
+}
+
+TEST_F(ServeEquivalence, WorkerCrashInjectionMatchesOffline) {
+  // Same injection on both sides: each cap's first worker spawn
+  // crashes, the retry succeeds. Daemon executors inherit the fault
+  // plan across fork exactly like offline parallel sweeps do.
+  std::vector<std::string> offline_args = sweep_args();
+  offline_args.insert(offline_args.end(),
+                      {"--inject-fail", "worker-crash", "--workers", "2"});
+  const CliResult offline_faulted = run_cli(offline_args);
+  ASSERT_EQ(offline_faulted.code, 0) << offline_faulted.err;
+
+  Daemon d = start_daemon(
+      temp_path("eq_state_crash"),
+      {"--inject-fail", "worker-crash", "--workers", "2"});
+  ASSERT_GT(d.endpoint.port, 0);
+  const CliResult q = run_cli(query_args(d));
+  ASSERT_EQ(q.code, 0) << q.err;
+
+  EXPECT_EQ(head_lines(q.out, 2 + kCaps),
+            head_lines(offline_faulted.out, 2 + kCaps));
+  // And the injured run still matches the clean serial table: the
+  // retry absorbed every crash.
+  EXPECT_EQ(head_lines(q.out, 2 + kCaps), offline_table());
+
+  EXPECT_EQ(d.stop(), 0);
+}
+
+TEST_F(ServeEquivalence, NetFaultAgainstRemoteWorkersMatchesOffline) {
+  // One serve-worker backs both runs (sequentially). net-drop injures
+  // each cap's first scheduler-side remote attempt; the reassignment
+  // ladder must converge to the serial table on both paths.
+  const std::string worker_port_file = temp_path("eq_worker_port");
+  std::remove(worker_port_file.c_str());
+  const pid_t worker = fork();
+  if (worker == 0) {
+    install_signal_handlers();
+    std::ostringstream out, err;
+    _exit(run({"serve-worker", "--listen", "127.0.0.1:0", "--port-file",
+               worker_port_file},
+              out, err));
+  }
+  int worker_port = 0;
+  for (int i = 0; i < 500 && worker_port == 0; ++i) {
+    std::ifstream f(worker_port_file);
+    int port = 0;
+    if (f >> port && port > 0) worker_port = port;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  std::remove(worker_port_file.c_str());
+  ASSERT_GT(worker_port, 0);
+  const std::string remote = "127.0.0.1:" + std::to_string(worker_port);
+
+  std::vector<std::string> offline_args = sweep_args();
+  offline_args.insert(offline_args.end(),
+                      {"--remote", remote, "--workers", "2",
+                       "--inject-fail", "net-drop"});
+  const CliResult offline_faulted = run_cli(offline_args);
+  ASSERT_EQ(offline_faulted.code, 0) << offline_faulted.err;
+  EXPECT_EQ(head_lines(offline_faulted.out, 2 + kCaps), offline_table());
+
+  Daemon d = start_daemon(
+      temp_path("eq_state_net"),
+      {"--remote", remote, "--workers", "2", "--inject-fail", "net-drop"});
+  ASSERT_GT(d.endpoint.port, 0);
+  const CliResult q = run_cli(query_args(d));
+  ASSERT_EQ(q.code, 0) << q.err;
+  EXPECT_EQ(head_lines(q.out, 2 + kCaps), offline_table());
+
+  EXPECT_EQ(d.stop(), 0);
+  kill(worker, SIGTERM);
+  int status = 0;
+  waitpid(worker, &status, 0);
+}
+
+TEST_F(ServeEquivalence, SigkillThenResumeServesByteIdenticalTable) {
+  const std::string state = temp_path("eq_state_kill");
+  std::filesystem::remove_all(state);
+  Daemon first = start_daemon(state, {"--max-active", "1"});
+  ASSERT_GT(first.endpoint.port, 0);
+
+  // A client child drives the sweep; the parent SIGKILLs the daemon as
+  // soon as the journal shows at least one settled cap, so the kill
+  // lands mid-request with caps still owed.
+  const pid_t client = fork();
+  ASSERT_GE(client, 0);
+  if (client == 0) {
+    const CliResult q = run_cli(query_args(first));
+    // Expected to die with the daemon; exit code is irrelevant.
+    _exit(q.code == 0 ? 0 : 1);
+  }
+  bool progressed = false;
+  for (int i = 0; i < 30'000; ++i) {
+    if (journaled_rows(state) >= 1) {
+      progressed = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  EXPECT_TRUE(progressed);
+  kill(first.pid, SIGKILL);
+  int status = 0;
+  waitpid(first.pid, &status, 0);
+  first.pid = -1;
+  waitpid(client, &status, 0);
+  const int rows_after_kill = journaled_rows(state);
+  ASSERT_LT(rows_after_kill, kCaps) << "sweep finished before the kill; "
+                                       "resume leg would be vacuous";
+
+  // Restart with --resume and let the daemon finish the owed caps on
+  // its own (--max-requests 1 drains after the internal resume
+  // request), proving recovery needs no client.
+  Daemon second =
+      start_daemon(state, {"--resume", "--max-requests", "1"});
+  ASSERT_GT(second.endpoint.port, 0);
+  ASSERT_EQ(waitpid(second.pid, &status, 0), second.pid);
+  second.pid = -1;
+  EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
+  EXPECT_EQ(journaled_rows(state), kCaps);
+
+  // A fresh daemon over the same state dir serves the whole table from
+  // the journal, byte-identically to the offline oracle.
+  Daemon third = start_daemon(state, {});
+  ASSERT_GT(third.endpoint.port, 0);
+  const std::string report = temp_path("eq_resumed.json");
+  std::vector<std::string> args = query_args(third);
+  args.insert(args.end(), {"--report", report});
+  const CliResult q = run_cli(args);
+  ASSERT_EQ(q.code, 0) << q.err;
+  EXPECT_EQ(head_lines(q.out, 2 + kCaps), offline_table());
+  EXPECT_NE(q.out.find("resumed=" + std::to_string(kCaps)),
+            std::string::npos)
+      << q.out;
+  EXPECT_EQ(strip_telemetry(read_file(report)),
+            strip_telemetry(read_file(*offline_report_)));
+  EXPECT_EQ(third.stop(), 0);
+}
+
+}  // namespace
+}  // namespace powerlim::cli

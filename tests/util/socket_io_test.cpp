@@ -189,6 +189,94 @@ TEST(SocketIo, StatusNamesAreStable) {
   EXPECT_STREQ(to_string(IoStatus::kTimeout), "timeout");
   EXPECT_STREQ(to_string(IoStatus::kDisconnected), "disconnected");
   EXPECT_STREQ(to_string(IoStatus::kError), "error");
+  EXPECT_STREQ(to_string(ListenStatus::kOk), "ok");
+  EXPECT_STREQ(to_string(ListenStatus::kAddrInUse), "address-in-use");
+  EXPECT_STREQ(to_string(ListenStatus::kResolveError), "resolve-error");
+  EXPECT_STREQ(to_string(ListenStatus::kError), "error");
+}
+
+TEST(SocketIo, ListenStatusReportsAddrInUseAsTyped) {
+  // A daemon restarting over a predecessor that still holds the port
+  // must see a *typed* kAddrInUse it can retry, not an untyped fatal
+  // error. SO_REUSEADDR covers TIME_WAIT, not a live listener, so a
+  // second bind on the same port is the deterministic reproduction.
+  std::string error;
+  int first = -1;
+  ASSERT_EQ(listen_tcp_status("127.0.0.1", 0, &first, &error),
+            ListenStatus::kOk)
+      << error;
+  ASSERT_GE(first, 0);
+  const int port = bound_port(first);
+  ASSERT_GT(port, 0);
+
+  int second = -1;
+  error.clear();
+  EXPECT_EQ(listen_tcp_status("127.0.0.1", port, &second, &error),
+            ListenStatus::kAddrInUse);
+  EXPECT_EQ(second, -1);
+  EXPECT_FALSE(error.empty());
+
+  // Once the predecessor releases the port the retry succeeds
+  // (SO_REUSEADDR set before bind makes this immune to TIME_WAIT).
+  ::close(first);
+  EXPECT_EQ(listen_tcp_status("127.0.0.1", port, &second, &error),
+            ListenStatus::kOk)
+      << error;
+  ASSERT_GE(second, 0);
+  ::close(second);
+}
+
+TEST(SocketIo, ListenStatusReportsResolveErrorAsTyped) {
+  std::string error;
+  int fd = -1;
+  EXPECT_EQ(listen_tcp_status("definitely.not.a.real.host.invalid", 0, &fd,
+                              &error),
+            ListenStatus::kResolveError);
+  EXPECT_EQ(fd, -1);
+  EXPECT_NE(error.find("cannot resolve"), std::string::npos);
+}
+
+TEST(SocketIo, AcceptSurvivesPeerAbortingBeforeAccept) {
+  // A client that connects and resets before the daemon accept()s may
+  // surface as ECONNABORTED from accept(); the listening socket is
+  // healthy, so the wrapper must report a retryable miss (kTimeout),
+  // never kError - and a later real connection must still be accepted.
+  std::string error;
+  const int lfd = listen_tcp("127.0.0.1", 0, &error);
+  ASSERT_GE(lfd, 0) << error;
+  const int port = bound_port(lfd);
+
+  // Abort a connection: connect, then close with RST (SO_LINGER 0)
+  // before the server accepts.
+  const int aborter = connect_timeout({"127.0.0.1", port}, 2.0, &error);
+  ASSERT_GE(aborter, 0) << error;
+  struct linger lg = {1, 0};
+  ASSERT_EQ(::setsockopt(aborter, SOL_SOCKET, SO_LINGER, &lg, sizeof lg), 0);
+  ::close(aborter);
+
+  // Drain whatever the accept queue holds; every outcome must be one of
+  // kOk (kernel completed the handshake before the RST) / kTimeout
+  // (aborted or queue empty) - kError would kill the daemon loop.
+  for (int i = 0; i < 4; ++i) {
+    IoStatus st = IoStatus::kError;
+    const int afd = accept_timeout(lfd, 0.05, &st);
+    if (afd >= 0) {
+      ::close(afd);
+      EXPECT_EQ(st, IoStatus::kOk);
+    } else {
+      EXPECT_EQ(st, IoStatus::kTimeout) << to_string(st);
+    }
+  }
+
+  // The listener is still alive for the next legitimate client.
+  const int cfd = connect_timeout({"127.0.0.1", port}, 2.0, &error);
+  ASSERT_GE(cfd, 0) << error;
+  IoStatus st = IoStatus::kError;
+  const int afd = accept_timeout(lfd, 2.0, &st);
+  EXPECT_GE(afd, 0) << to_string(st);
+  ::close(afd);
+  ::close(cfd);
+  ::close(lfd);
 }
 
 }  // namespace

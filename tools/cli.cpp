@@ -26,6 +26,10 @@
 #include "robust/pipeline.h"
 #include "robust/remote_worker.h"
 #include "robust/solve_driver.h"
+#include "serve/client.h"
+#include "serve/loadgen.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
 #include "util/socket_io.h"
 #include "runtime/comparison.h"
 #include "runtime/conductor.h"
@@ -54,6 +58,12 @@ extern "C" void handle_stop_signal(int) {
   // sweep is already unwinding.
   global_cancel().cancel();
 }
+
+// SIGHUP asks powerlimd to close and reopen its journals (log-rotation
+// style); a plain sig_atomic_t store is all the handler does.
+volatile std::sig_atomic_t g_reopen_journals = 0;
+
+extern "C" void handle_hup_signal(int) { g_reopen_journals = 1; }
 
 }  // namespace
 
@@ -120,6 +130,36 @@ const char* kUsage =
     "            jobs in rlimit-budgeted forked children, heartbeats\n"
     "            while solving, drains gracefully on SIGTERM; port 0\n"
     "            binds an ephemeral port, published via --port-file)\n"
+    "  serve    --listen HOST:PORT [--port-file FILE] [--state-dir DIR]\n"
+    "           [--resume] [--max-queue N] [--max-active N] [--workers N]\n"
+    "           [--worker-mem-mb M] [--worker-cpu-s S]\n"
+    "           [--remote HOST:PORT[,...] [--remote-timeout-ms MS]\n"
+    "            [--remote-heartbeat-ms MS]] [--cap-deadline-ms MS]\n"
+    "           [--default-deadline-ms MS] [--max-deadline-ms MS]\n"
+    "           [--io-timeout-s S] [--idle-timeout-s S] [--max-requests N]\n"
+    "           [--inject-fail worker-crash|worker-oom|worker-hang\n"
+    "            |net-drop|net-stall|net-corrupt|net-slow]\n"
+    "           [--inject-attempts N]\n"
+    "           (powerlimd: long-running bound/sweep daemon with bounded\n"
+    "            admission (`overloaded` shed replies, never collapse),\n"
+    "            journal-first durability per trace under --state-dir,\n"
+    "            and fault degradation to the Static bound; SIGTERM\n"
+    "            drains then exits 0, SIGHUP reopens journals, --resume\n"
+    "            finishes sweeps a crash interrupted; port 0 binds an\n"
+    "            ephemeral port, published via --port-file)\n"
+    "  query    TRACE --server HOST:PORT --from W --to W [--step W]\n"
+    "           [--deadline-ms MS] [--timeout-s S] [--id ID]\n"
+    "           [--report FILE]\n"
+    "           (submit a sweep to powerlimd and render the table exactly\n"
+    "            as offline `sweep` would; exit 3 = shed as overloaded)\n"
+    "  loadgen  TRACE --server HOST:PORT [--clients N] [--requests M]\n"
+    "           --from W --to W [--step W] [--deadline-ms MS]\n"
+    "           [--timeout-s S] [--json]\n"
+    "           [--inject net-drop|net-stall|slow-read|oversize]\n"
+    "           [--inject-hold-s S]\n"
+    "           (concurrent client fleet against powerlimd; reports\n"
+    "            ok/overloaded/error counts and p50/p99 latency; --inject\n"
+    "            adds one protocol-misbehaving saboteur client)\n"
     "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
     "           [--width N]\n"
     "  export   FILE --socket-cap W -o PREFIX\n"
@@ -453,6 +493,64 @@ int cmd_compare(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return 0;
 }
 
+struct SweepTableStats {
+  std::size_t usable = 0;
+  std::size_t hard_failures = 0;
+};
+
+/// Renders the per-cap verdict table shared by `sweep` (offline) and
+/// `query` (daemon-served). One render path is what makes the
+/// daemon-vs-offline byte-identity guarantee testable: both commands
+/// feed their rows through these exact bytes.
+SweepTableStats render_sweep_table(const std::vector<robust::SweepRow>& rows,
+                                   int ranks, std::ostream& out) {
+  double best = -1.0;  // smallest optimal LP bound across the sweep
+  for (const robust::SweepRow& row : rows) {
+    if (row.verdict == robust::StatusCode::kOk &&
+        (best < 0 || row.bound_seconds < best)) {
+      best = row.bound_seconds;
+    }
+  }
+
+  util::Table t({"socket_w", "bound_s", "slowdown_vs_best", "verdict"});
+  SweepTableStats stats;
+  for (const robust::SweepRow& row : rows) {
+    const std::string w = util::Table::num(row.job_cap_watts / ranks, 1);
+    if (row.verdict == robust::StatusCode::kOk) {
+      ++stats.usable;
+      t.add_row({w, util::Table::num(row.bound_seconds, 4),
+                 util::Table::pct(row.bound_seconds / best - 1.0, 1), "ok"});
+    } else if (row.verdict == robust::StatusCode::kInfeasibleCap) {
+      t.add_row({w, "n/s", "-", "infeasible"});
+    } else if (row.degraded) {
+      ++stats.usable;
+      t.add_row({w, util::Table::num(row.bound_seconds, 4),
+                 best > 0
+                     ? util::Table::pct(row.bound_seconds / best - 1.0, 1)
+                     : std::string("-"),
+                 "degraded (" + row.fallback + ")"});
+    } else {
+      ++stats.hard_failures;
+      t.add_row({w, "n/s", "-", robust::to_string(row.verdict)});
+    }
+  }
+  out << t.to_string();
+  return stats;
+}
+
+/// The `[\n  <report>,\n  ...]` per-cap RunReport artifact shared by
+/// `sweep --report` and `query --report`.
+std::string rows_report_json(const std::vector<robust::SweepRow>& rows) {
+  std::ostringstream js;
+  js << "[\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i) js << ",\n";
+    js << "  " << rows[i].report_json;
+  }
+  js << "\n]\n";
+  return js.str();
+}
+
 int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (p.positional.size() != 1) {
     err << "sweep: expected one trace file\n";
@@ -562,38 +660,8 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   }
   const robust::ResilientSweepResult& res = *swept;
 
-  double best = -1.0;  // smallest optimal LP bound across the sweep
-  for (const robust::SweepRow& row : res.rows) {
-    if (row.verdict == robust::StatusCode::kOk &&
-        (best < 0 || row.bound_seconds < best)) {
-      best = row.bound_seconds;
-    }
-  }
-
-  util::Table t({"socket_w", "bound_s", "slowdown_vs_best", "verdict"});
-  std::size_t usable = 0, hard_failures = 0;
-  for (const robust::SweepRow& row : res.rows) {
-    const std::string w =
-        util::Table::num(row.job_cap_watts / g.num_ranks(), 1);
-    if (row.verdict == robust::StatusCode::kOk) {
-      ++usable;
-      t.add_row({w, util::Table::num(row.bound_seconds, 4),
-                 util::Table::pct(row.bound_seconds / best - 1.0, 1), "ok"});
-    } else if (row.verdict == robust::StatusCode::kInfeasibleCap) {
-      t.add_row({w, "n/s", "-", "infeasible"});
-    } else if (row.degraded) {
-      ++usable;
-      t.add_row({w, util::Table::num(row.bound_seconds, 4),
-                 best > 0
-                     ? util::Table::pct(row.bound_seconds / best - 1.0, 1)
-                     : std::string("-"),
-                 "degraded (" + row.fallback + ")"});
-    } else {
-      ++hard_failures;
-      t.add_row({w, "n/s", "-", robust::to_string(row.verdict)});
-    }
-  }
-  out << t.to_string();
+  const SweepTableStats stats = render_sweep_table(res.rows, g.num_ranks(),
+                                                   out);
   if (scope && plan.forces_status()) {
     out << "note: --inject-fail forced all ladder rungs to fail at "
         << plan.only_job_cap / g.num_ranks()
@@ -651,14 +719,7 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (auto it = p.options.find("--report"); it != p.options.end()) {
     // Same shape as robust::reports_to_json, built from the rows so a
     // resumed sweep writes the identical artifact.
-    std::ostringstream js;
-    js << "[\n";
-    for (std::size_t i = 0; i < res.rows.size(); ++i) {
-      if (i) js << ",\n";
-      js << "  " << res.rows[i].report_json;
-    }
-    js << "\n]\n";
-    write_report_file(it->second, js.str(), out, err);
+    write_report_file(it->second, rows_report_json(res.rows), out, err);
   }
 
   if (res.interrupted) {
@@ -676,7 +737,7 @@ int cmd_sweep(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   }
   // Partial results are success; only a sweep where some cap failed
   // outright and *nothing* produced a bound is an error.
-  return usable == 0 && hard_failures > 0 ? 1 : 0;
+  return stats.usable == 0 && stats.hard_failures > 0 ? 1 : 0;
 }
 
 int cmd_serve_worker(const ParsedArgs& p, std::ostream& out,
@@ -721,6 +782,297 @@ int cmd_serve_worker(const ParsedArgs& p, std::ostream& out,
   }
   opt.cancel = &global_cancel();
   return robust::serve_worker(opt, out, err);
+}
+
+/// Splits a comma-separated endpoint list ("h1:p1,h2:p2").
+std::vector<std::string> split_endpoints(const std::string& text) {
+  std::vector<std::string> out;
+  std::string rest = text;
+  while (!rest.empty()) {
+    const std::size_t comma = rest.find(',');
+    const std::string one = rest.substr(0, comma);
+    if (!one.empty()) out.push_back(one);
+    if (comma == std::string::npos) break;
+    rest.erase(0, comma + 1);
+  }
+  return out;
+}
+
+/// Per-socket watt range -> job-level caps, the same arithmetic
+/// `sweep` uses (so `query` against a daemon asks for the identical
+/// cap set).
+std::vector<double> caps_from_range(double from, double to, double step,
+                                    int ranks) {
+  std::vector<double> caps;
+  for (double w = from; w <= to + 1e-9; w += step) {
+    caps.push_back(w * ranks);
+  }
+  return caps;
+}
+
+int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const auto listen_it = p.options.find("--listen");
+  if (listen_it == p.options.end()) {
+    err << "serve: --listen HOST:PORT is required\n";
+    return 2;
+  }
+  serve::ServeOptions so;
+  so.listen = listen_it->second;
+  if (const auto it = p.options.find("--port-file"); it != p.options.end()) {
+    so.port_file = it->second;
+  }
+  if (const auto it = p.options.find("--state-dir"); it != p.options.end()) {
+    so.state_dir = it->second;
+  }
+  so.resume = p.flags.count("--resume") > 0;
+  so.max_queue = opt_int(p, "--max-queue", 16);
+  so.max_active = opt_int(p, "--max-active", 1);
+  if (so.max_queue < 1 || so.max_active < 1) {
+    err << "serve: --max-queue and --max-active must be >= 1\n";
+    return 2;
+  }
+  so.workers = opt_int(p, "--workers", 1);
+  if (so.workers < 1) {
+    err << "serve: --workers must be >= 1\n";
+    return 2;
+  }
+  so.worker_mem_mb = opt_int(p, "--worker-mem-mb", 0);
+  if (const auto s = opt_double(p, "--worker-cpu-s")) so.worker_cpu_s = *s;
+  if (const auto it = p.options.find("--remote"); it != p.options.end()) {
+    so.remotes = split_endpoints(it->second);
+    if (so.remotes.empty()) {
+      err << "serve: --remote needs at least one host:port\n";
+      return 2;
+    }
+  }
+  if (const auto ms = opt_double(p, "--remote-timeout-ms")) {
+    so.remote_timeout_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--remote-heartbeat-ms")) {
+    so.remote_heartbeat_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--cap-deadline-ms")) {
+    so.cap_deadline_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--default-deadline-ms")) {
+    so.default_deadline_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--max-deadline-ms")) {
+    so.max_deadline_ms = *ms;
+  }
+  if (const auto s = opt_double(p, "--io-timeout-s")) so.io_timeout_s = *s;
+  if (const auto s = opt_double(p, "--idle-timeout-s")) {
+    so.idle_timeout_s = *s;
+  }
+  so.max_requests = opt_int(p, "--max-requests", 0);
+
+  // Fault injection inherited by every forked executor: worker-* faults
+  // injure the executors' solve workers, net-* their scheduler-side
+  // remote attempts (same semantics as offline `sweep --inject-fail`).
+  robust::FaultPlan plan;
+  std::optional<robust::ScopedFaultPlan> scope;
+  if (const auto it = p.options.find("--inject-fail");
+      it != p.options.end()) {
+    robust::WorkerFault wf = robust::WorkerFault::kNone;
+    robust::NetFault nf = robust::NetFault::kNone;
+    if (robust::worker_fault_from_string(it->second, &wf)) {
+      plan.worker_fault = wf;
+    } else if (robust::net_fault_from_string(it->second, &nf)) {
+      plan.net_fault = nf;
+    } else {
+      err << "serve: --inject-fail wants worker-crash|worker-oom|"
+             "worker-hang|net-drop|net-stall|net-corrupt|net-slow\n";
+      return 2;
+    }
+    plan.worker_fault_attempts = opt_int(p, "--inject-attempts", 1);
+    plan.net_fault_attempts = plan.worker_fault_attempts;
+    scope.emplace(plan);
+  }
+
+  // SIGTERM/SIGINT (via the global cancel token) drain; SIGHUP reopens
+  // the journals of active requests.
+  so.cancel = &global_cancel();
+  so.reopen_flag = &g_reopen_journals;
+  struct sigaction sa = {};
+  sa.sa_handler = handle_hup_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  sigaction(SIGHUP, &sa, nullptr);
+
+  const machine::ClusterSpec cluster;
+  return serve::serve(so, model(), cluster, out, err);
+}
+
+int cmd_query(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "query: expected one trace file\n";
+    return 2;
+  }
+  const auto server_it = p.options.find("--server");
+  util::Endpoint server;
+  if (server_it == p.options.end() ||
+      !util::parse_endpoint(server_it->second, &server)) {
+    err << "query: --server HOST:PORT is required\n";
+    return 2;
+  }
+  const auto from = opt_double(p, "--from");
+  const auto to = opt_double(p, "--to");
+  const double step = opt_double(p, "--step").value_or(5.0);
+  if (!from || !to || step <= 0) {
+    err << "query: --from W --to W [--step W] required\n";
+    return 2;
+  }
+  const auto trace = robust::load_trace_checked(p.positional[0]);
+  if (!trace.ok()) {
+    err << "error: " << trace.status().message() << "\n";
+    return 1;
+  }
+  const dag::TaskGraph& g = *trace;
+
+  serve::ServeRequest req;
+  req.id = p.options.count("--id") ? p.options.at("--id") : "query";
+  req.caps = caps_from_range(*from, *to, step, g.num_ranks());
+  req.kind = req.caps.size() == 1 ? "bound" : "sweep";
+  if (const auto ms = opt_double(p, "--deadline-ms")) req.deadline_ms = *ms;
+  {
+    // Canonical serialization, not the file's raw bytes: two files with
+    // the same graph but different formatting hit the same daemon-side
+    // journal.
+    std::ostringstream ts;
+    dag::write_trace(ts, g);
+    req.trace_text = ts.str();
+  }
+
+  serve::ServeClient client;
+  if (const robust::Status st = client.connect(server); !st.ok()) {
+    err << "query: " << st.to_string() << "\n";
+    return 1;
+  }
+  if (const robust::Status st = client.submit(req); !st.ok()) {
+    err << "query: " << st.to_string() << "\n";
+    return 1;
+  }
+  const double wall_s =
+      opt_double(p, "--timeout-s").value_or(
+          req.deadline_ms > 0 ? req.deadline_ms / 1000.0 + 30.0 : 600.0);
+  const serve::CollectResult got = client.collect(req.id, wall_s);
+
+  if (got.status == serve::CollectStatus::kOverloaded) {
+    err << "query: overloaded (" << got.overloaded.reason << "): "
+        << got.overloaded.detail << "\n";
+    return 3;
+  }
+  if (got.status == serve::CollectStatus::kRequestError) {
+    err << "query: request rejected: " << got.error_detail << "\n";
+    return 1;
+  }
+  if (got.status != serve::CollectStatus::kDone) {
+    err << "query: " << serve::to_string(got.status) << ": "
+        << got.error_detail << "\n";
+    return 1;
+  }
+
+  // Present rows in requested cap order (the daemon streams them in
+  // completion order), exactly as `sweep` would.
+  std::vector<robust::SweepRow> rows;
+  for (double cap : req.caps) {
+    for (const serve::ServeRow& row : got.rows) {
+      if (row.entry.job_cap_watts == cap) {
+        robust::SweepRow r;
+        r.job_cap_watts = row.entry.job_cap_watts;
+        r.verdict = row.entry.verdict;
+        r.degraded = row.entry.degraded;
+        r.bound_seconds = row.entry.bound_seconds;
+        r.fallback = row.entry.fallback;
+        r.report_json = row.entry.report_json;
+        rows.push_back(std::move(r));
+        break;
+      }
+    }
+  }
+  const SweepTableStats stats = render_sweep_table(rows, g.num_ranks(), out);
+  out << "served: status=" << got.done.status << " rows=" << got.done.rows
+      << " resumed=" << got.done.resumed
+      << " queue_wait_ms=" << got.done.queue_wait_ms
+      << " total_ms=" << got.done.total_ms << "\n";
+
+  if (auto it = p.options.find("--report"); it != p.options.end()) {
+    write_report_file(it->second, rows_report_json(rows), out, err);
+  }
+  if (got.done.status != "ok") {
+    err << "query: request ended " << got.done.status
+        << (got.done.detail.empty() ? "" : ": " + got.done.detail) << "\n";
+    return 1;
+  }
+  return stats.usable == 0 && stats.hard_failures > 0 ? 1 : 0;
+}
+
+int cmd_loadgen(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 1) {
+    err << "loadgen: expected one trace file\n";
+    return 2;
+  }
+  serve::LoadgenOptions lo;
+  const auto server_it = p.options.find("--server");
+  if (server_it == p.options.end() ||
+      !util::parse_endpoint(server_it->second, &lo.server)) {
+    err << "loadgen: --server HOST:PORT is required\n";
+    return 2;
+  }
+  lo.clients = opt_int(p, "--clients", 4);
+  lo.requests = opt_int(p, "--requests", 4);
+  if (lo.clients < 1 || lo.requests < 1) {
+    err << "loadgen: --clients and --requests must be >= 1\n";
+    return 2;
+  }
+  const auto from = opt_double(p, "--from");
+  const auto to = opt_double(p, "--to");
+  const double step = opt_double(p, "--step").value_or(5.0);
+  if (!from || !to || step <= 0) {
+    err << "loadgen: --from W --to W [--step W] required\n";
+    return 2;
+  }
+  const auto trace = robust::load_trace_checked(p.positional[0]);
+  if (!trace.ok()) {
+    err << "error: " << trace.status().message() << "\n";
+    return 1;
+  }
+  lo.caps = caps_from_range(*from, *to, step, trace->num_ranks());
+  {
+    std::ostringstream ts;
+    dag::write_trace(ts, *trace);
+    lo.trace_text = ts.str();
+  }
+  if (const auto ms = opt_double(p, "--deadline-ms")) lo.deadline_ms = *ms;
+  if (const auto s = opt_double(p, "--timeout-s")) lo.wall_timeout_s = *s;
+  if (const auto it = p.options.find("--inject"); it != p.options.end()) {
+    if (it->second != "net-drop" && it->second != "net-stall" &&
+        it->second != "slow-read" && it->second != "oversize") {
+      err << "loadgen: --inject wants net-drop|net-stall|slow-read|"
+             "oversize\n";
+      return 2;
+    }
+    lo.inject = it->second;
+  }
+  if (const auto s = opt_double(p, "--inject-hold-s")) lo.inject_hold_s = *s;
+
+  const serve::LoadgenReport report = serve::run_loadgen(lo, err);
+  if (p.flags.count("--json") > 0) {
+    out << report.to_json() << "\n";
+  } else {
+    util::Table t({"metric", "value"});
+    t.add_row({"requests", std::to_string(report.requests)});
+    t.add_row({"ok", std::to_string(report.ok)});
+    t.add_row({"overloaded", std::to_string(report.overloaded)});
+    t.add_row({"errors", std::to_string(report.errors)});
+    t.add_row({"p50_ms", util::Table::num(report.p50_ms, 2)});
+    t.add_row({"p99_ms", util::Table::num(report.p99_ms, 2)});
+    t.add_row({"throughput_rps", util::Table::num(report.throughput_rps, 2)});
+    out << t.to_string();
+  }
+  // Shed load is the daemon working as designed; only a run where
+  // nothing was served is a failure.
+  return report.ok == 0 ? 1 : 0;
 }
 
 /// Runs one method and returns the simulation result; `lp` out-param is
@@ -1037,6 +1389,36 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                  "--worker-mem-mb", "--worker-cpu-s", "--inject-fail",
                  "--inject-attempts", "--slow-delay-ms"},
                 {"--once"}),
+          out, err);
+    }
+    if (cmd == "serve") {
+      return cmd_serve(
+          parse(args, 1,
+                {"--listen", "--port-file", "--state-dir", "--max-queue",
+                 "--max-active", "--workers", "--worker-mem-mb",
+                 "--worker-cpu-s", "--remote", "--remote-timeout-ms",
+                 "--remote-heartbeat-ms", "--cap-deadline-ms",
+                 "--default-deadline-ms", "--max-deadline-ms",
+                 "--io-timeout-s", "--idle-timeout-s", "--max-requests",
+                 "--inject-fail", "--inject-attempts"},
+                {"--resume"}),
+          out, err);
+    }
+    if (cmd == "query") {
+      return cmd_query(
+          parse(args, 1,
+                {"--server", "--from", "--to", "--step", "--deadline-ms",
+                 "--timeout-s", "--id", "--report"},
+                {}),
+          out, err);
+    }
+    if (cmd == "loadgen") {
+      return cmd_loadgen(
+          parse(args, 1,
+                {"--server", "--clients", "--requests", "--from", "--to",
+                 "--step", "--deadline-ms", "--timeout-s", "--inject",
+                 "--inject-hold-s"},
+                {"--json"}),
           out, err);
     }
     if (cmd == "timeline") {
