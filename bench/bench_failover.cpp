@@ -1,0 +1,269 @@
+// powerlimd failover benchmark: what an outage actually costs clients.
+//
+// Boots a real primary + warm-standby pair per trial, primes replicated
+// state with a small sweep, SIGKILLs the primary, and measures the two
+// numbers a high-availability story is judged by:
+//
+//   promote_ms   promotion latency: SIGKILL -> the standby answering
+//                handshakes as the primary (operator `promote` round
+//                trip, or --promote-after-ms heartbeat-loss detection);
+//   downtime_ms  client-visible downtime: SIGKILL -> a failover-aware
+//                client (--endpoints walk) getting a served reply
+//                again. Repeat queries of journal-proven caps are
+//                served read-only by the standby *before* promotion,
+//                so read downtime is an endpoint walk, not a failover.
+//
+// Two scenarios, p50/p99 over the trials: "operator" (explicit
+// `powerlim promote`) and "heartbeat-loss" (standby self-promotes after
+// --promote-after-ms of primary silence - its floor is that threshold).
+//
+// CI archives the --json artifact as BENCH_failover.json.
+#include <signal.h>
+#include <stdlib.h>
+#include <sys/stat.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "bench/common.h"
+#include "dag/trace_io.h"
+#include "serve/client.h"
+#include "serve/repl.h"
+#include "serve/server.h"
+#include "util/deadline.h"
+#include "util/socket_io.h"
+#include "util/stats.h"
+
+using namespace powerlim;
+
+namespace {
+
+constexpr int kTrials = 6;
+constexpr double kPromoteAfterMs = 250.0;
+
+util::CancelToken g_daemon_cancel;
+extern "C" void handle_term(int) { g_daemon_cancel.cancel(); }
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+/// Forks one powerlimd; `standby_of` empty = primary. Returns the pid
+/// and fills `endpoint` once the port file appears, or -1.
+pid_t spawn_daemon(const std::string& dir, const std::string& state_dir,
+                   const std::string& standby_of, double promote_after_ms,
+                   util::Endpoint* endpoint) {
+  static int counter = 0;
+  const std::string port_file = dir + "/port" + std::to_string(counter++);
+  const pid_t pid = ::fork();
+  if (pid < 0) return -1;
+  if (pid == 0) {
+    struct sigaction sa = {};
+    sa.sa_handler = handle_term;
+    sigemptyset(&sa.sa_mask);
+    sigaction(SIGTERM, &sa, nullptr);
+    serve::ServeOptions so;
+    so.listen = "127.0.0.1:0";
+    so.port_file = port_file;
+    so.state_dir = state_dir;
+    so.max_active = 1;
+    so.standby_of = standby_of;
+    so.promote_after_ms = promote_after_ms;
+    so.repl_heartbeat_ms = 25.0;
+    so.cancel = &g_daemon_cancel;
+    std::ostringstream sink;
+    ::_exit(serve::serve(so, bench::model(), bench::cluster(), sink, sink));
+  }
+  for (int i = 0; i < 200; ++i) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f) {
+      int port = 0;
+      const bool got = std::fscanf(f, "%d", &port) == 1;
+      std::fclose(f);
+      if (got && port > 0) {
+        endpoint->host = "127.0.0.1";
+        endpoint->port = port;
+        return pid;
+      }
+    }
+    ::usleep(50 * 1000);
+  }
+  ::kill(pid, SIGKILL);
+  ::waitpid(pid, nullptr, 0);
+  return -1;
+}
+
+void reap(pid_t pid, int sig) {
+  if (pid <= 0) return;
+  ::kill(pid, sig);
+  ::waitpid(pid, nullptr, 0);
+}
+
+/// All replicated journals byte-identical between the two state dirs.
+bool caught_up(const std::string& a, const std::string& b) {
+  const std::vector<std::string> hashes = serve::journal_hashes(a);
+  if (hashes.empty() || hashes != serve::journal_hashes(b)) return false;
+  for (const std::string& h : hashes) {
+    if (slurp(serve::journal_path(a, h)) != slurp(serve::journal_path(b, h)))
+      return false;
+  }
+  return true;
+}
+
+struct TrialSamples {
+  double promote_ms = -1.0;
+  double downtime_ms = -1.0;
+  bool ok = false;
+};
+
+/// One boot-prime-kill-failover cycle.
+TrialSamples run_trial(const std::string& base, int index, bool operator_mode,
+                       const std::string& trace_text,
+                       const std::vector<double>& caps) {
+  TrialSamples s;
+  const std::string dir =
+      base + "/" + (operator_mode ? "op" : "hb") + std::to_string(index);
+  ::mkdir(dir.c_str(), 0755);
+  util::Endpoint ep_p, ep_s;
+  const pid_t primary =
+      spawn_daemon(dir, dir + "/p", "", 0.0, &ep_p);
+  if (primary < 0) return s;
+  const pid_t standby =
+      spawn_daemon(dir, dir + "/s", util::to_string(ep_p),
+                   operator_mode ? 0.0 : kPromoteAfterMs, &ep_s);
+  if (standby < 0) {
+    reap(primary, SIGKILL);
+    return s;
+  }
+
+  // Prime: solve the caps once on the primary, wait for the standby's
+  // replica to be byte-identical.
+  serve::ServeRequest req;
+  req.id = "prime";
+  req.kind = "sweep";
+  req.caps = caps;
+  req.trace_text = trace_text;
+  serve::FailoverClient prime({ep_p});
+  const serve::FailoverResult primed = prime.request(req);
+  bool replicated = false;
+  if (primed.result.status == serve::CollectStatus::kDone) {
+    for (int i = 0; i < 2000 && !replicated; ++i) {
+      replicated = caught_up(dir + "/p", dir + "/s");
+      if (!replicated) ::usleep(5 * 1000);
+    }
+  }
+  if (!replicated) {
+    reap(primary, SIGKILL);
+    reap(standby, SIGKILL);
+    return s;
+  }
+
+  const double t0 = now_ms();
+  ::kill(primary, SIGKILL);
+  ::waitpid(primary, nullptr, 0);
+
+  // Client-visible downtime: a failover-aware repeat query (the dead
+  // primary listed first) until a served reply. The standby serves
+  // journal-proven caps read-only, so this settles pre-promotion.
+  for (int attempt = 0; s.downtime_ms < 0 && attempt < 200; ++attempt) {
+    serve::ServeRequest rq = req;
+    rq.id = "rq" + std::to_string(attempt);
+    serve::FailoverClient fc({ep_p, ep_s});
+    const serve::FailoverResult got =
+        fc.request(rq, /*connect_timeout_s=*/1.0, /*wall_timeout_s=*/30.0,
+                   /*rounds=*/1, /*retry_backoff_s=*/0.0);
+    if (got.result.status == serve::CollectStatus::kDone &&
+        got.result.rows.size() == caps.size()) {
+      s.downtime_ms = now_ms() - t0;
+    }
+  }
+
+  // Promotion latency: until the standby answers handshakes as primary.
+  if (operator_mode) {
+    serve::ServeClient op;
+    std::uint64_t epoch = 0;
+    if (op.connect(ep_s).ok() && op.promote(&epoch).ok() && epoch >= 2) {
+      s.promote_ms = now_ms() - t0;
+    }
+  } else {
+    for (int i = 0; i < 2000 && s.promote_ms < 0; ++i) {
+      serve::ServeClient probe;
+      if (probe.connect(ep_s, 1.0).ok() && probe.role() == "primary") {
+        s.promote_ms = now_ms() - t0;
+      } else {
+        ::usleep(5 * 1000);
+      }
+    }
+  }
+
+  reap(standby, SIGTERM);
+  s.ok = s.promote_ms >= 0 && s.downtime_ms >= 0;
+  return s;
+}
+
+std::string pct(std::vector<double> xs, double p) {
+  if (xs.empty()) return "-";
+  return bench::fmt(util::percentile(xs, p), 1);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchArgs args = bench::parse_args(argc, argv);
+
+  const dag::TaskGraph graph = apps::make_comd({.ranks = 2, .iterations = 3});
+  std::ostringstream trace;
+  dag::write_trace(trace, graph);
+  std::vector<double> caps;
+  for (double w : {60.0, 70.0}) caps.push_back(w * graph.num_ranks());
+
+  char dir_template[] = "/tmp/bench_failover.XXXXXX";
+  const char* base = ::mkdtemp(dir_template);
+  if (base == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    return 1;
+  }
+
+  std::printf("== powerlimd failover: promotion latency and downtime ==\n");
+  std::printf(
+      "%d trials per scenario; heartbeat 25 ms, --promote-after-ms %.0f\n\n",
+      kTrials, kPromoteAfterMs);
+
+  util::Table t({"scenario", "trials", "promote_p50_ms", "promote_p99_ms",
+                 "downtime_p50_ms", "downtime_p99_ms"});
+  bool all_ok = true;
+  for (const bool operator_mode : {true, false}) {
+    std::vector<double> promote, downtime;
+    for (int i = 0; i < kTrials; ++i) {
+      const TrialSamples s =
+          run_trial(base, i, operator_mode, trace.str(), caps);
+      if (!s.ok) {
+        all_ok = false;
+        continue;
+      }
+      promote.push_back(s.promote_ms);
+      downtime.push_back(s.downtime_ms);
+    }
+    t.add_row({operator_mode ? "operator" : "heartbeat-loss",
+               std::to_string(promote.size()), pct(promote, 50),
+               pct(promote, 99), pct(downtime, 50), pct(downtime, 99)});
+  }
+  bench::emit(t, args);
+  return all_ok ? 0 : 1;
+}

@@ -57,6 +57,73 @@ std::string frame(char tag, const std::string& payload) {
   return out;
 }
 
+std::string serialize_epoch(std::uint64_t epoch) {
+  return "epoch=" + std::to_string(epoch);
+}
+
+bool parse_epoch(const std::string& payload, std::uint64_t* out) {
+  constexpr char kPrefix[] = "epoch=";
+  constexpr std::size_t kPrefixLen = sizeof(kPrefix) - 1;
+  if (payload.compare(0, kPrefixLen, kPrefix) != 0 ||
+      payload.size() <= kPrefixLen) {
+    return false;
+  }
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v =
+      std::strtoull(payload.c_str() + kPrefixLen, &end, 10);
+  if (errno != 0 || end == payload.c_str() + kPrefixLen || *end != '\0') {
+    return false;
+  }
+  *out = v;
+  return true;
+}
+
+/// Walks framed records in `data` starting at `start`, invoking
+/// `on_frame` for each intact one (known tag, 8-hex CRC that matches,
+/// newline terminator in place). Returns the offset just past the last
+/// accepted frame; damage - or `on_frame` returning false - stops the
+/// walk there. Shared by recovery, foreign-append absorption, the
+/// replication apply path, and compaction so all four agree byte-for-
+/// byte on what an intact frame is.
+std::size_t scan_frames(
+    const std::string& data, std::size_t start,
+    const std::function<bool(char, const std::string&)>& on_frame) {
+  std::size_t good = start;
+  std::size_t pos = start;
+  while (pos < data.size()) {
+    const std::size_t line_end = data.find('\n', pos);
+    if (line_end == std::string::npos) break;  // torn frame header
+    const std::string line = data.substr(pos, line_end - pos);
+    char tag = 0;
+    char crc_text[16] = {0};
+    unsigned long long len = 0;
+    if (std::sscanf(line.c_str(), "%c %15s %llu", &tag, crc_text, &len) !=
+            3 ||
+        (tag != 'R' && tag != 'B' && tag != 'Q' && tag != 'E') ||
+        std::strlen(crc_text) != 8) {
+      break;
+    }
+    const std::size_t payload_start = line_end + 1;
+    if (len > data.size() - payload_start) break;  // torn payload
+    const std::size_t payload_end =
+        payload_start + static_cast<std::size_t>(len);
+    if (payload_end >= data.size() || data[payload_end] != '\n') break;
+    const std::string payload = data.substr(payload_start, len);
+    char* end = nullptr;
+    const std::uint32_t want =
+        static_cast<std::uint32_t>(std::strtoul(crc_text, &end, 16));
+    if (end == crc_text || *end != '\0' ||
+        crc32(payload.data(), payload.size()) != want) {
+      break;  // bit rot / torn write inside the payload
+    }
+    if (!on_frame(tag, payload)) break;
+    pos = payload_end + 1;
+    good = pos;
+  }
+  return good;
+}
+
 }  // namespace
 
 bool journal_entry_trusted(const JournalEntry& entry,
@@ -197,6 +264,10 @@ bool parse_journal_entry(const std::string& payload, JournalEntry* out) {
   return true;
 }
 
+std::size_t journal_header_bytes() {
+  return sizeof(kMagic) - 1 + 1;  // magic line + its newline
+}
+
 std::uint32_t crc32(const void* data, std::size_t len) {
   static const auto table = [] {
     std::array<std::uint32_t, 256> t{};
@@ -284,15 +355,109 @@ struct SweepJournal::Impl {
   std::vector<JournalEntry> entries;
   std::vector<lp::WarmStart> warm;
   std::vector<JournalRequest> requests;
+  std::uint64_t epoch = 0;
+  bool pinned = false;
+  std::uint64_t pinned_epoch = 0;
+  /// Offset just past the last frame this handle has absorbed; always a
+  /// frame boundary of the bytes it has seen.
+  std::uint64_t durable_size = 0;
+  std::function<void()> listener;
 
   ~Impl() {
     if (fd >= 0) ::close(fd);
+  }
+
+  /// Parses one intact frame's payload and (when `apply`) folds it into
+  /// the recovered state. Returns false on an unparseable payload.
+  bool absorb_frame(char tag, const std::string& payload, bool apply) {
+    if (tag == 'R') {
+      JournalEntry e;
+      if (!parse_journal_entry(payload, &e)) return false;
+      if (!apply) return true;
+      for (const JournalEntry& have : entries) {
+        if (have.job_cap_watts == e.job_cap_watts) {
+          ++recovery.duplicates_dropped;
+          return true;
+        }
+      }
+      entries.push_back(std::move(e));
+      ++recovery.records;
+    } else if (tag == 'Q') {
+      JournalRequest r;
+      if (!parse_journal_request(payload, &r)) return false;
+      if (!apply) return true;
+      requests.push_back(std::move(r));
+      ++recovery.request_records;
+    } else if (tag == 'E') {
+      std::uint64_t e = 0;
+      if (!parse_epoch(payload, &e)) return false;
+      if (!apply) return true;
+      if (e > epoch) epoch = e;
+      ++recovery.epoch_records;
+    } else {
+      std::vector<lp::WarmStart> w;
+      if (!parse_warm_starts(payload, &w)) return false;
+      if (!apply) return true;
+      warm = std::move(w);
+      ++recovery.basis_records;
+    }
+    return true;
+  }
+
+  /// Catches this handle up with frames other writers appended to the
+  /// file (O_APPEND keeps them whole). Only complete intact frames are
+  /// absorbed: a writer caught mid-write leaves a partial tail that the
+  /// next absorption re-reads once it is complete. This is how a fenced
+  /// writer learns about a foreign epoch stamp before it writes.
+  Status absorb_external() {
+    struct stat st {};
+    if (::fstat(fd, &st) != 0) {
+      return Status(StatusCode::kInternal,
+                    errno_message("cannot stat journal", path));
+    }
+    const auto size = static_cast<std::uint64_t>(st.st_size);
+    if (size <= durable_size) return Status::Ok();
+    std::string delta;
+    delta.resize(static_cast<std::size_t>(size - durable_size));
+    std::size_t got = 0;
+    while (got < delta.size()) {
+      const ssize_t n =
+          ::pread(fd, &delta[got], delta.size() - got,
+                  static_cast<off_t>(durable_size + got));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) break;
+      got += static_cast<std::size_t>(n);
+    }
+    delta.resize(got);
+    const std::size_t good =
+        scan_frames(delta, 0, [this](char tag, const std::string& payload) {
+          return absorb_frame(tag, payload, true);
+        });
+    durable_size += good;
+    return Status::Ok();
+  }
+
+  /// Pre-append gate: absorb foreign appends, then enforce the epoch
+  /// fence. A pinned writer refuses to append once any writer has
+  /// stamped a higher epoch.
+  Status prepare_append() {
+    Status st = absorb_external();
+    if (!st.ok()) return st;
+    if (pinned && epoch > pinned_epoch) {
+      return Status(StatusCode::kStaleEpoch,
+                    "journal '" + path + "' carries epoch " +
+                        std::to_string(epoch) +
+                        " but this writer is fenced at epoch " +
+                        std::to_string(pinned_epoch));
+    }
+    return Status::Ok();
   }
 
   Status write_durable(const std::string& bytes) {
     // One EINTR-retried write of the whole frame (the fd is O_APPEND, so
     // concurrent appenders from other processes cannot interleave with
     // or clobber it), then a retried fsync for durability.
+    const std::uint64_t before = durable_size;
     if (util::write_full(fd, bytes.data(), bytes.size()) != 0) {
       return Status(StatusCode::kInternal,
                     errno_message("journal write failed", path));
@@ -301,6 +466,18 @@ struct SweepJournal::Impl {
       return Status(StatusCode::kInternal,
                     errno_message("journal fsync failed", path));
     }
+    struct stat st {};
+    if (::fstat(fd, &st) == 0 &&
+        static_cast<std::uint64_t>(st.st_size) == before + bytes.size()) {
+      // Common case: nothing interleaved, so the new end of file is a
+      // frame boundary this handle has fully absorbed.
+      durable_size = before + bytes.size();
+    }
+    // Otherwise a concurrent appender interleaved ahead of this write.
+    // Keep the old boundary: the next absorption re-scans from it, picks
+    // up the foreign frames, and re-sees this write as a duplicate
+    // (duplicate caps dedup; epoch stamps are max-merged).
+    if (listener) listener();
     return Status::Ok();
   }
 };
@@ -413,57 +590,12 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
   // Frame-by-frame recovery. `good` tracks the offset just past the
   // last fully-verified frame; anything beyond it at the first sign of
   // damage is a torn tail and gets truncated away.
-  std::size_t good = header_end + 1;
-  std::size_t pos = good;
-  while (pos < data.size()) {
-    const std::size_t line_end = data.find('\n', pos);
-    if (line_end == std::string::npos) break;  // torn frame header
-    const std::string line = data.substr(pos, line_end - pos);
-    char tag = 0;
-    char crc_text[16] = {0};
-    unsigned long long len = 0;
-    if (std::sscanf(line.c_str(), "%c %15s %llu", &tag, crc_text, &len) !=
-            3 ||
-        (tag != 'R' && tag != 'B' && tag != 'Q') ||
-        std::strlen(crc_text) != 8) {
-      break;
-    }
-    const std::size_t payload_start = line_end + 1;
-    if (len > data.size() - payload_start) break;  // torn payload
-    const std::size_t payload_end = payload_start + len;
-    if (payload_end >= data.size() || data[payload_end] != '\n') break;
-    const std::string payload = data.substr(payload_start, len);
-    char* end = nullptr;
-    const std::uint32_t want =
-        static_cast<std::uint32_t>(std::strtoul(crc_text, &end, 16));
-    if (end == crc_text || *end != '\0' ||
-        crc32(payload.data(), payload.size()) != want) {
-      break;  // bit rot / torn write inside the payload
-    }
-
-    if (tag == 'R') {
-      JournalEntry e;
-      if (!parse_journal_entry(payload, &e)) break;
-      if (journal.contains(e.job_cap_watts)) {
-        ++im.recovery.duplicates_dropped;
-      } else {
-        im.entries.push_back(std::move(e));
-        ++im.recovery.records;
-      }
-    } else if (tag == 'Q') {
-      JournalRequest r;
-      if (!parse_journal_request(payload, &r)) break;
-      im.requests.push_back(std::move(r));
-      ++im.recovery.request_records;
-    } else {
-      std::vector<lp::WarmStart> warm;
-      if (!parse_warm_starts(payload, &warm)) break;
-      im.warm = std::move(warm);
-      ++im.recovery.basis_records;
-    }
-    pos = payload_end + 1;
-    good = pos;
-  }
+  const std::size_t good =
+      scan_frames(data, header_end + 1,
+                  [&im](char tag, const std::string& payload) {
+                    return im.absorb_frame(tag, payload, true);
+                  });
+  im.durable_size = good;
 
   if (good < data.size()) {
     im.recovery.quarantined_bytes = static_cast<long>(data.size() - good);
@@ -480,12 +612,13 @@ Result<SweepJournal> SweepJournal::open(const std::string& path) {
 }
 
 Status SweepJournal::append(const JournalEntry& entry) {
+  Status st = impl_->prepare_append();
+  if (!st.ok()) return st;
   if (contains(entry.job_cap_watts)) {
     ++impl_->recovery.duplicates_dropped;
     return Status::Ok();
   }
-  Status st =
-      impl_->write_durable(frame('R', serialize_journal_entry(entry)));
+  st = impl_->write_durable(frame('R', serialize_journal_entry(entry)));
   if (!st.ok()) return st;
   impl_->entries.push_back(entry);
   ++impl_->recovery.records;
@@ -499,7 +632,9 @@ Status SweepJournal::append_request(const JournalRequest& request) {
                   "journal request needs a whitespace-free id/kind and at "
                   "least one cap");
   }
-  Status st = impl_->write_durable(frame('Q', payload));
+  Status st = impl_->prepare_append();
+  if (!st.ok()) return st;
+  st = impl_->write_durable(frame('Q', payload));
   if (!st.ok()) return st;
   impl_->requests.push_back(request);
   ++impl_->recovery.request_records;
@@ -510,11 +645,239 @@ Status SweepJournal::append_basis(const std::vector<lp::WarmStart>& warm) {
   bool any = false;
   for (const lp::WarmStart& w : warm) any = any || w.valid();
   if (!any) return Status::Ok();
-  Status st = impl_->write_durable(frame('B', serialize_warm_starts(warm)));
+  Status st = impl_->prepare_append();
+  if (!st.ok()) return st;
+  st = impl_->write_durable(frame('B', serialize_warm_starts(warm)));
   if (!st.ok()) return st;
   impl_->warm = warm;
   ++impl_->recovery.basis_records;
   return Status::Ok();
+}
+
+std::uint64_t SweepJournal::epoch() const { return impl_->epoch; }
+
+Status SweepJournal::advance_epoch(std::uint64_t epoch) {
+  Impl& im = *impl_;
+  Status st = im.absorb_external();
+  if (!st.ok()) return st;
+  if (epoch < im.epoch) {
+    return Status(StatusCode::kStaleEpoch,
+                  "journal '" + im.path + "' already carries epoch " +
+                      std::to_string(im.epoch) + "; refusing to regress to " +
+                      std::to_string(epoch));
+  }
+  if (epoch == im.epoch) return Status::Ok();
+  st = im.write_durable(frame('E', serialize_epoch(epoch)));
+  if (!st.ok()) return st;
+  im.epoch = epoch;
+  ++im.recovery.epoch_records;
+  return Status::Ok();
+}
+
+void SweepJournal::pin_epoch(std::uint64_t epoch) {
+  impl_->pinned = true;
+  impl_->pinned_epoch = epoch;
+}
+
+std::uint64_t SweepJournal::size_bytes() {
+  impl_->absorb_external();
+  return impl_->durable_size;
+}
+
+void SweepJournal::set_append_listener(std::function<void()> listener) {
+  impl_->listener = std::move(listener);
+}
+
+Status SweepJournal::append_raw(std::uint64_t offset,
+                                const std::string& bytes) {
+  Impl& im = *impl_;
+  Status st = im.absorb_external();
+  if (!st.ok()) return st;
+  if (offset != im.durable_size) {
+    return Status(StatusCode::kBadInput,
+                  "replication stream at byte " + std::to_string(offset) +
+                      " but journal '" + im.path + "' is at " +
+                      std::to_string(im.durable_size) + "; resync required");
+  }
+  if (bytes.empty()) return Status::Ok();
+  // Validate before writing: the whole batch must be intact frames, or
+  // nothing is applied (a torn replication read never half-lands).
+  const std::size_t good =
+      scan_frames(bytes, 0, [&im](char tag, const std::string& payload) {
+        return im.absorb_frame(tag, payload, false);
+      });
+  if (good != bytes.size()) {
+    return Status(StatusCode::kWireMalformed,
+                  "replicated journal bytes are torn or corrupt (" +
+                      std::to_string(good) + " of " +
+                      std::to_string(bytes.size()) +
+                      " bytes verified); nothing applied");
+  }
+  st = im.write_durable(bytes);
+  if (!st.ok()) return st;
+  scan_frames(bytes, 0, [&im](char tag, const std::string& payload) {
+    return im.absorb_frame(tag, payload, true);
+  });
+  return Status::Ok();
+}
+
+CompactResult compact_journal(const std::string& path,
+                              const CompactOptions& options) {
+  CompactResult result;
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    result.status = Status(StatusCode::kBadInput,
+                           errno_message("cannot open journal", path));
+    return result;
+  }
+  std::string data;
+  {
+    char buf[1 << 16];
+    for (;;) {
+      const ssize_t n = util::read_some(fd, buf, sizeof buf);
+      if (n < 0) {
+        ::close(fd);
+        result.status = Status(StatusCode::kInternal,
+                               errno_message("cannot read journal", path));
+        return result;
+      }
+      if (n == 0) break;
+      data.append(buf, static_cast<std::size_t>(n));
+    }
+  }
+  ::close(fd);
+  result.bytes_before = data.size();
+
+  const std::size_t header_end = data.find('\n');
+  if (header_end == std::string::npos ||
+      data.compare(0, header_end, kMagic) != 0) {
+    result.status = Status(StatusCode::kBadInput,
+                           "'" + path + "' is not a " + kMagic + " file");
+    return result;
+  }
+
+  // Raw scan (not SweepJournal::open): recovery dedups first-wins, but
+  // compaction must see *every* R frame to keep the latest proven one.
+  struct CapRecord {
+    double cap;
+    std::string payload;
+  };
+  std::vector<CapRecord> kept;  // first-appearance order of caps
+  std::vector<std::string> request_payloads;
+  std::vector<JournalRequest> request_parsed;
+  std::string basis_payload;
+  int r_frames = 0;
+  int basis_frames = 0;
+  int epoch_frames = 0;
+  std::uint64_t epoch = 0;
+  scan_frames(data, header_end + 1, [&](char tag,
+                                        const std::string& payload) {
+    if (tag == 'R') {
+      JournalEntry e;
+      if (!parse_journal_entry(payload, &e)) return false;
+      ++r_frames;
+      // The certificate gate is re-checked here: a kOk record whose
+      // report no longer proves its bound does not survive compaction
+      // (the cap re-solves on the next resume instead).
+      if (!journal_entry_trusted(e, options.require_certificate)) {
+        return true;
+      }
+      for (CapRecord& c : kept) {
+        if (c.cap == e.job_cap_watts) {
+          c.payload = payload;  // latest proven record wins
+          return true;
+        }
+      }
+      kept.push_back(CapRecord{e.job_cap_watts, payload});
+    } else if (tag == 'Q') {
+      JournalRequest r;
+      if (!parse_journal_request(payload, &r)) return false;
+      request_payloads.push_back(payload);
+      request_parsed.push_back(std::move(r));
+    } else if (tag == 'E') {
+      std::uint64_t e = 0;
+      if (!parse_epoch(payload, &e)) return false;
+      ++epoch_frames;
+      if (e > epoch) epoch = e;
+    } else {
+      std::vector<lp::WarmStart> w;
+      if (!parse_warm_starts(payload, &w)) return false;
+      ++basis_frames;
+      basis_payload = payload;
+    }
+    return true;
+  });
+  // A torn tail past the last intact frame does not survive the rewrite
+  // (recovery would have truncated it on the next open anyway).
+
+  result.records_kept = static_cast<int>(kept.size());
+  result.records_dropped = r_frames - static_cast<int>(kept.size());
+  result.epoch = epoch;
+  result.epoch_records_dropped = epoch_frames > 0 ? epoch_frames - 1 : 0;
+  result.basis_dropped = basis_frames > 0 ? basis_frames - 1 : 0;
+
+  std::string out;
+  out += kMagic;
+  out += '\n';
+  if (epoch > 0) out += frame('E', serialize_epoch(epoch));
+  for (const CapRecord& c : kept) out += frame('R', c.payload);
+  for (std::size_t i = 0; i < request_parsed.size(); ++i) {
+    bool owes = false;
+    for (double cap : request_parsed[i].caps) {
+      bool have = false;
+      for (const CapRecord& c : kept) have = have || c.cap == cap;
+      if (!have) {
+        owes = true;
+        break;
+      }
+    }
+    if (owes) {
+      out += frame('Q', request_payloads[i]);
+      ++result.requests_kept;
+    } else {
+      ++result.requests_dropped;
+    }
+  }
+  if (!basis_payload.empty()) out += frame('B', basis_payload);
+
+  const std::string tmp = path + ".compact.tmp";
+  const int out_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (out_fd < 0) {
+    result.status = Status(StatusCode::kInternal,
+                           errno_message("cannot create", tmp));
+    return result;
+  }
+  if (util::write_full(out_fd, out.data(), out.size()) != 0 ||
+      util::fsync_full(out_fd) != 0) {
+    ::close(out_fd);
+    result.status =
+        Status(StatusCode::kInternal, errno_message("cannot write", tmp));
+    return result;
+  }
+  ::close(out_fd);
+  result.bytes_after = out.size();
+  if (options.crash_before_rename) {
+    // Simulated crash: the fsynced replacement exists but was never
+    // renamed in. The original journal is untouched and the `.compact.
+    // tmp` leftover is inert (a re-run recreates it with O_TRUNC).
+    result.status = Status::Ok();
+    return result;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    result.status = Status(StatusCode::kInternal,
+                           errno_message("cannot rename over", path));
+    return result;
+  }
+  if (util::fsync_parent_dir(path) != 0) {
+    result.status = Status(
+        StatusCode::kInternal,
+        errno_message("cannot fsync journal directory", path));
+    return result;
+  }
+  result.renamed = true;
+  result.status = Status::Ok();
+  return result;
 }
 
 }  // namespace powerlim::robust

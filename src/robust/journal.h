@@ -12,6 +12,7 @@
 //   R <crc32-hex> <payload-bytes>\n<payload>\n        (one per cap)
 //   B <crc32-hex> <payload-bytes>\n<payload>\n        (basis checkpoint)
 //   Q <crc32-hex> <payload-bytes>\n<payload>\n        (request intent)
+//   E <crc32-hex> <payload-bytes>\n<payload>\n        (epoch stamp)
 //
 // An `R` payload is a structured row line (cap / verdict / degraded /
 // bound / fallback - everything the sweep table needs) followed by the
@@ -23,7 +24,14 @@
 // per-window warm-start cache; on resume the *last* intact `B` record
 // seeds the solver so the restarted sweep warm-starts where the dead
 // run left off (stale snapshots are safe: the solver feasibility-checks
-// warmed bases and cold-starts on mismatch).
+// warmed bases and cold-starts on mismatch). An `E` payload
+// (`epoch=<n>`) is a failover-epoch stamp: the high-availability layer
+// appends one whenever a daemon opens the journal under a newer epoch
+// than the journal has seen, and recovery reports the highest intact
+// stamp via `epoch()`. A writer that `pin_epoch()`s itself is *fenced*:
+// every later append re-checks the file for foreign appends first and
+// refuses with kStaleEpoch once any writer has stamped a higher epoch -
+// a deposed primary cannot scribble over a promoted standby's history.
 //
 // Durability and recovery:
 //   * every append is a single write() of the whole frame (on an
@@ -50,6 +58,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -62,6 +71,12 @@ namespace powerlim::robust {
 /// CRC-32 (IEEE 802.3, reflected, init/final 0xFFFFFFFF) - the frame
 /// checksum. Exposed for the corrupt-journal tests.
 std::uint32_t crc32(const void* data, std::size_t len);
+
+/// Size of the magic header line every journal file starts with
+/// ("powerlim-journal v1\n"). A journal of exactly this size holds zero
+/// records; the replication layer uses that to recognize a
+/// freshly-reset replica without trusting the peer.
+std::size_t journal_header_bytes();
 
 /// One recovered (or appended) per-cap record.
 struct JournalEntry {
@@ -96,6 +111,8 @@ struct RecoverySummary {
   int basis_records = 0;
   /// Intact request-intent records recovered.
   int request_records = 0;
+  /// Intact epoch stamps seen (only the highest value matters).
+  int epoch_records = 0;
   /// Duplicate-cap records dropped (first occurrence wins).
   int duplicates_dropped = 0;
   /// Bytes of torn/corrupt tail removed by truncate-and-continue.
@@ -171,6 +188,37 @@ class SweepJournal {
   /// Recovered request intents, in journal (= admission) order.
   const std::vector<JournalRequest>& requests() const;
 
+  /// Highest intact epoch stamp recovered or absorbed (0 = none: a
+  /// journal that has never been touched by the failover layer).
+  std::uint64_t epoch() const;
+
+  /// Durably appends an `E` epoch stamp. Idempotent when the journal
+  /// already carries `epoch` (no write); refuses with kStaleEpoch when
+  /// the journal has seen a *higher* epoch (epochs never regress).
+  Status advance_epoch(std::uint64_t epoch);
+
+  /// Fences this handle at `epoch`: every later append first absorbs
+  /// any foreign appends from the file and fails with kStaleEpoch if a
+  /// higher epoch stamp has landed. A deposed primary sharing the file
+  /// with a promoted standby loses the race durably, not silently.
+  void pin_epoch(std::uint64_t epoch);
+
+  /// Current durable size in bytes (absorbing foreign appends first).
+  /// Replication high-water marks are exactly these byte offsets.
+  std::uint64_t size_bytes();
+
+  /// Observer invoked after every durable append through this handle
+  /// (the replication hub uses it to wake the streamer; the callback
+  /// must not reenter the journal).
+  void set_append_listener(std::function<void()> listener);
+
+  /// Replication apply path: verifies `bytes` is a whole number of
+  /// intact frames, that `offset` matches the current durable size, and
+  /// appends the bytes verbatim (same write+fsync discipline), updating
+  /// recovered state. kBadInput on offset mismatch (caller resyncs),
+  /// kWireMalformed on framing/CRC damage - nothing is applied then.
+  Status append_raw(std::uint64_t offset, const std::string& bytes);
+
   /// Durably appends one per-cap record (write + fsync before return).
   /// An entry for an already-journaled cap is dropped as a duplicate.
   Status append(const JournalEntry& entry);
@@ -185,5 +233,50 @@ class SweepJournal {
   struct Impl;
   std::unique_ptr<Impl> impl_;
 };
+
+/// Options for `compact_journal`.
+struct CompactOptions {
+  /// Re-check the certificate gate on every kOk record during the
+  /// rewrite (journal_entry_trusted): records that no longer prove
+  /// their bound are dropped and will re-solve on the next resume.
+  bool require_certificate = true;
+  /// Test hook: stop after the rewritten journal is written and fsynced
+  /// but *before* the atomic rename, simulating a crash mid-compaction.
+  bool crash_before_rename = false;
+};
+
+/// What compaction did (or why it failed).
+struct CompactResult {
+  Status status;
+  /// False when crash_before_rename stopped the rewrite (the original
+  /// journal is untouched and the `.compact.tmp` leftover is inert).
+  bool renamed = false;
+  std::uint64_t bytes_before = 0;
+  std::uint64_t bytes_after = 0;
+  /// Highest epoch stamp carried over (0 = none).
+  std::uint64_t epoch = 0;
+  /// Caps kept (latest proven record per cap).
+  int records_kept = 0;
+  /// R frames dropped: superseded duplicates plus kOk records that
+  /// failed the certificate re-check.
+  int records_dropped = 0;
+  /// Request intents kept (still owe at least one cap) / dropped.
+  int requests_kept = 0;
+  int requests_dropped = 0;
+  /// Superseded basis checkpoints and epoch stamps collapsed away.
+  int basis_dropped = 0;
+  int epoch_records_dropped = 0;
+};
+
+/// Rewrites `path` keeping only the latest *proven* record per cap (the
+/// certificate gate is re-checked on every kOk record), request intents
+/// that still owe work, the last basis checkpoint, and a single epoch
+/// stamp. Crash-safe: the replacement is written to `<path>.compact.tmp`,
+/// fsynced, renamed over the original, and the directory fsynced - a
+/// crash at any point leaves either the old or the new journal intact.
+/// Offline only: compacting a journal another process is appending to
+/// (or replicating from) would invalidate its byte offsets.
+CompactResult compact_journal(const std::string& path,
+                              const CompactOptions& options = {});
 
 }  // namespace powerlim::robust

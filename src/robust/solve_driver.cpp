@@ -111,15 +111,18 @@ void append_transport(std::ostream& os, const TransportTelemetry& t) {
      << ",\"heartbeat_misses\":" << t.heartbeat_misses << "}";
 }
 
-/// The schema-6 service block, emitted with a leading comma (shared by
-/// to_json and patch_service_json so the spliced shape cannot drift).
+/// The schema-6 service block (schema 7 added epoch/role), emitted with
+/// a leading comma (shared by to_json and patch_service_json so the
+/// spliced shape cannot drift).
 void append_service(std::ostream& os, const ServiceTelemetry& s) {
   os << ",\"service\":{\"served\":" << (s.served ? "true" : "false")
      << ",\"queue_depth\":" << s.queue_depth
      << ",\"shed_total\":" << s.shed_total
      << ",\"queue_wait_ms\":" << json_num(s.queue_wait_ms)
      << ",\"solve_ms\":" << json_num(s.solve_ms)
-     << ",\"total_ms\":" << json_num(s.total_ms) << "}";
+     << ",\"total_ms\":" << json_num(s.total_ms)
+     << ",\"epoch\":" << s.epoch
+     << ",\"role\":\"" << json_escape(s.role) << "\"}";
 }
 
 }  // namespace

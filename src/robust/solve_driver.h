@@ -54,8 +54,11 @@ namespace powerlim::robust {
 /// the `service` block (powerlimd daemon): queue depth, shed count, and
 /// queue-wait / solve / total latency for caps solved through the serve
 /// path - zeroed for offline solves and excluded from byte-identity
-/// comparisons like worker/transport.
-inline constexpr int kRunReportSchemaVersion = 6;
+/// comparisons like worker/transport. Schema 7 added `epoch` and `role`
+/// to the service block (high-availability failover): which failover
+/// epoch the serving daemon held and whether it served as "primary" or
+/// "standby" - empty/zero offline, excluded from byte-identity.
+inline constexpr int kRunReportSchemaVersion = 7;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -162,6 +165,10 @@ struct ServiceTelemetry {
   double solve_ms = 0.0;
   /// Admission-to-reply total for the owning request, ms.
   double total_ms = 0.0;
+  /// Failover epoch the serving daemon held (schema 7; 0 offline).
+  std::uint64_t epoch = 0;
+  /// "primary" or "standby" when served, empty offline (schema 7).
+  std::string role;
 };
 
 /// Resolved supervision/ladder options echoed into every RunReport so a

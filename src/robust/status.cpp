@@ -34,6 +34,8 @@ const char* to_string(StatusCode code) {
       return "wire-malformed";
     case StatusCode::kNetError:
       return "net-error";
+    case StatusCode::kStaleEpoch:
+      return "stale-epoch";
     case StatusCode::kInternal:
       return "internal";
   }
@@ -49,7 +51,8 @@ bool status_code_from_string(const std::string& name, StatusCode* code) {
         StatusCode::kDeadlineExceeded,
         StatusCode::kCancelled, StatusCode::kWorkerCrashed,
         StatusCode::kResourceExhausted, StatusCode::kWireMalformed,
-        StatusCode::kNetError, StatusCode::kInternal}) {
+        StatusCode::kNetError, StatusCode::kStaleEpoch,
+        StatusCode::kInternal}) {
     if (name == to_string(c)) {
       *code = c;
       return true;

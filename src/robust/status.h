@@ -69,6 +69,11 @@ enum class StatusCode {
   /// Socket-level failure talking to a remote worker (connect refused,
   /// peer reset, heartbeat silence). Retryable against another worker.
   kNetError,
+  /// A write was attempted under a superseded epoch: the journal (or the
+  /// replication peer) has seen a higher failover epoch than the writer
+  /// pinned. The write is refused - a deposed primary must fence itself
+  /// instead of racing the promoted standby (split-brain protection).
+  kStaleEpoch,
   /// Unexpected internal failure (wrapped exception).
   kInternal,
 };

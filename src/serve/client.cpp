@@ -3,7 +3,9 @@
 #include <poll.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <sstream>
 
 #include "util/posix_io.h"
 
@@ -67,13 +69,50 @@ robust::Status ServeClient::connect(const util::Endpoint& server,
     close();
     return st;
   }
-  if (ack.tag != kTagHelloAck || ack.payload != "ok") {
-    const std::string why = ack.tag == kTagHelloAck
-                                ? ack.payload
-                                : "unexpected handshake reply";
+  HelloAck parsed;
+  if (ack.tag != kTagHelloAck || !decode_hello_ack(ack.payload, &parsed)) {
     close();
-    return {robust::StatusCode::kWireMalformed, "handshake rejected: " + why};
+    return {robust::StatusCode::kWireMalformed,
+            "handshake rejected: unexpected handshake reply"};
   }
+  if (!parsed.ok) {
+    close();
+    return {robust::StatusCode::kWireMalformed,
+            "handshake rejected: " + parsed.error};
+  }
+  epoch_ = parsed.epoch;
+  role_ = parsed.role;
+  return robust::Status::Ok();
+}
+
+robust::Status ServeClient::promote(std::uint64_t* epoch_out,
+                                    double timeout_s) {
+  if (fd_ < 0)
+    return {robust::StatusCode::kNetError, "not connected"};
+  const std::string bytes = robust::encode_wire_frame(kTagPromote, "");
+  if (util::send_all(fd_, bytes.data(), bytes.size(), timeout_s) !=
+      util::IoStatus::kOk) {
+    close();
+    return {robust::StatusCode::kNetError, "promote send failed"};
+  }
+  robust::WireFrame frame;
+  const robust::Status st = read_frame(&frame, timeout_s);
+  if (!st.ok()) {
+    close();
+    return st;
+  }
+  PromoteAck ack;
+  if (frame.tag != kTagPromoteAck ||
+      !decode_promote_ack(frame.payload, &ack)) {
+    close();
+    return {robust::StatusCode::kWireMalformed,
+            "unexpected promote reply"};
+  }
+  if (!ack.ok)
+    return {robust::StatusCode::kNetError, "promote refused: " + ack.error};
+  epoch_ = ack.epoch;
+  role_ = "primary";
+  if (epoch_out != nullptr) *epoch_out = ack.epoch;
   return robust::Status::Ok();
 }
 
@@ -185,6 +224,90 @@ CollectResult ServeClient::collect(const std::string& request_id,
         return result;
     }
   }
+}
+
+FailoverResult FailoverClient::request(const ServeRequest& request,
+                                       double connect_timeout_s,
+                                       double wall_timeout_s, int rounds,
+                                       double retry_backoff_s) {
+  FailoverResult out;
+  std::ostringstream trail;
+  const auto end =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(wall_timeout_s));
+  for (int round = 0; round < rounds; ++round) {
+    for (const util::Endpoint& ep : endpoints_) {
+      double left = remaining_s(end);
+      if (left <= 0.0) {
+        out.result.status = CollectStatus::kTimeout;
+        out.result.error_detail = "failover wall timeout";
+        out.detail = trail.str();
+        return out;
+      }
+      ++out.attempts;
+      ServeClient client;
+      robust::Status st = client.connect(
+          ep, std::max(0.1, std::min(connect_timeout_s, left)));
+      if (!st.ok()) {
+        trail << util::to_string(ep) << ": " << st.message() << "; ";
+        continue;
+      }
+      if (client.epoch() < max_epoch_) {
+        // A server behind the highest epoch this client has witnessed
+        // is a deposed primary (or a stale standby): taking its answer
+        // could resurrect pre-failover history. Refuse it.
+        trail << util::to_string(ep) << ": stale epoch "
+              << client.epoch() << " < " << max_epoch_ << "; ";
+        continue;
+      }
+      max_epoch_ = std::max(max_epoch_, client.epoch());
+      st = client.submit(request);
+      if (!st.ok()) {
+        trail << util::to_string(ep) << ": " << st.message() << "; ";
+        continue;
+      }
+      CollectResult res = client.collect(request.id, remaining_s(end));
+      switch (res.status) {
+        case CollectStatus::kDone:
+        case CollectStatus::kRequestError:
+          out.result = std::move(res);
+          out.served_by = ep;
+          out.detail = trail.str();
+          return out;
+        case CollectStatus::kTimeout:
+          out.result = std::move(res);
+          out.served_by = ep;
+          out.detail = trail.str();
+          return out;
+        case CollectStatus::kOverloaded:
+          // Typed shed (a standby's "standby", a primary's
+          // "queue-full"/"draining"): remember it as the provisional
+          // outcome and try the next endpoint. Requests are idempotent,
+          // so resubmitting elsewhere cannot double-solve a cap.
+          trail << util::to_string(ep) << ": overloaded ("
+                << res.overloaded.reason << "); ";
+          out.result = std::move(res);
+          out.served_by = ep;
+          break;
+        case CollectStatus::kDisconnected:
+          // Mid-collect death (SIGKILLed primary): drop the partial
+          // rows - the journal-backed retry serves them again - and
+          // fail over.
+          trail << util::to_string(ep) << ": " << res.error_detail << "; ";
+          break;
+      }
+    }
+    if (round + 1 < rounds && retry_backoff_s > 0.0 &&
+        remaining_s(end) > retry_backoff_s) {
+      ::usleep(static_cast<useconds_t>(retry_backoff_s * 1e6));
+    }
+  }
+  out.detail = trail.str();
+  if (out.result.status == CollectStatus::kDisconnected &&
+      out.result.error_detail.empty()) {
+    out.result.error_detail = "every endpoint failed: " + out.detail;
+  }
+  return out;
 }
 
 }  // namespace powerlim::serve

@@ -56,9 +56,21 @@ class ServeClient {
 
   /// Connects and completes the hello handshake. A version-skewed
   /// server's "error ..." ack comes back as kWireMalformed with the
-  /// server's skew description in the message.
+  /// server's skew description in the message. On success epoch()/role()
+  /// report what the server declared in its ack.
   robust::Status connect(const util::Endpoint& server,
                          double timeout_s = 5.0);
+
+  /// The failover epoch and role ("primary"/"standby") the server
+  /// declared at handshake. Valid after a successful connect().
+  std::uint64_t epoch() const { return epoch_; }
+  const std::string& role() const { return role_; }
+
+  /// Asks the server to become (or confirm it is) the primary: sends
+  /// 'P', waits for the 'p' ack. On Ok *epoch_out (if non-null) holds
+  /// the server's post-promotion epoch.
+  robust::Status promote(std::uint64_t* epoch_out,
+                         double timeout_s = 10.0);
 
   /// Sends one request frame ('U'). The reply is gathered separately
   /// with collect(), so a caller may render rows as they stream.
@@ -81,6 +93,52 @@ class ServeClient {
 
   int fd_ = -1;
   robust::FrameStream stream_;
+  std::uint64_t epoch_ = 0;
+  std::string role_;
+};
+
+/// How one failover-aware request ended (FailoverClient::request).
+struct FailoverResult {
+  CollectResult result;
+  /// The endpoint that produced `result` (meaningful when attempted).
+  util::Endpoint served_by;
+  /// Endpoints tried, including the one that answered.
+  int attempts = 0;
+  /// Human-readable trail of per-endpoint failures, for diagnostics.
+  std::string detail;
+};
+
+/// Client-side failover over an ordered endpoint list (--endpoints).
+///
+/// Requests are idempotent by construction - the daemon serves proven
+/// caps from its journal and only solves the remainder - so the retry
+/// policy is simple: walk the endpoints, submit to the first one that
+/// handshakes, and move on when a server is unreachable, sheds
+/// (overloaded: a standby answering "standby", a primary answering
+/// "queue-full"/"draining"), or dies mid-collect. Split-brain safety:
+/// the highest epoch seen in any handshake is remembered and a server
+/// acking a *lower* epoch is refused outright - a deposed primary
+/// cannot serve this client stale history, even if it answers first.
+class FailoverClient {
+ public:
+  explicit FailoverClient(std::vector<util::Endpoint> endpoints)
+      : endpoints_(std::move(endpoints)) {}
+
+  /// One request, tried across endpoints (each at most `rounds` times,
+  /// in order, with `retry_backoff_s` between full passes). Terminal
+  /// replies (done / request-error) return immediately; unreachable,
+  /// shedding, or mid-stream-dying endpoints advance to the next.
+  FailoverResult request(const ServeRequest& request,
+                         double connect_timeout_s = 5.0,
+                         double wall_timeout_s = 120.0, int rounds = 3,
+                         double retry_backoff_s = 0.25);
+
+  /// Highest epoch any endpoint has declared to this client.
+  std::uint64_t max_epoch() const { return max_epoch_; }
+
+ private:
+  std::vector<util::Endpoint> endpoints_;
+  std::uint64_t max_epoch_ = 0;
 };
 
 }  // namespace powerlim::serve

@@ -6,7 +6,9 @@
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <ostream>
 #include <sstream>
 #include <vector>
@@ -26,35 +28,68 @@ double ms_since(Clock::time_point t) {
   return std::chrono::duration<double, std::milli>(Clock::now() - t).count();
 }
 
-/// One honest client: its own connection, `requests` sequential
-/// submits, one result line per request up the pipe:
+/// The requests one honest client will run, in order. Synthesized
+/// from clients*requests, or this client's round-robin share of the
+/// replay file.
+std::vector<ReplayItem> client_work(const LoadgenOptions& opt,
+                                    int client_idx) {
+  std::vector<ReplayItem> work;
+  if (opt.replay.empty()) {
+    ReplayItem item;
+    item.kind = opt.caps.size() == 1 ? "bound" : "sweep";
+    item.deadline_ms = opt.deadline_ms;
+    item.caps = opt.caps;
+    work.assign(static_cast<std::size_t>(opt.requests), item);
+    return work;
+  }
+  for (std::size_t i = static_cast<std::size_t>(client_idx);
+       i < opt.replay.size();
+       i += static_cast<std::size_t>(opt.clients)) {
+    work.push_back(opt.replay[i]);
+  }
+  return work;
+}
+
+/// One honest client: its share of the work, sequential submits, one
+/// result line per request up the pipe:
 /// "<ok|overloaded|error> <latency-ms>\n".
 int run_client(const LoadgenOptions& opt, int client_idx, int write_fd) {
+  const std::vector<ReplayItem> work = client_work(opt, client_idx);
+  const bool failover = opt.endpoints.size() > 1;
+  FailoverClient failover_client(opt.endpoints);
   ServeClient client;
   std::string lines;
-  if (!client.connect(opt.server, /*timeout_s=*/10.0).ok()) {
-    for (int r = 0; r < opt.requests; ++r) lines += "error 0\n";
+  if (!failover && !client.connect(opt.server, /*timeout_s=*/10.0).ok()) {
+    for (std::size_t r = 0; r < work.size(); ++r) lines += "error 0\n";
     (void)util::write_full(write_fd, lines.data(), lines.size());
     return 1;
   }
-  for (int r = 0; r < opt.requests; ++r) {
+  for (std::size_t r = 0; r < work.size(); ++r) {
     ServeRequest req;
     {
       std::ostringstream id;
       id << "c" << client_idx << "-r" << r;
       req.id = id.str();
     }
-    req.kind = opt.caps.size() == 1 ? "bound" : "sweep";
-    req.deadline_ms = opt.deadline_ms;
-    req.caps = opt.caps;
+    req.kind = work[r].kind;
+    req.deadline_ms = work[r].deadline_ms;
+    req.caps = work[r].caps;
     req.trace_text = opt.trace_text;
 
     const Clock::time_point start = Clock::now();
     const char* verdict = "error";
-    if (client.submit(req).ok()) {
+    if (failover) {
+      const FailoverResult got = failover_client.request(
+          req, /*connect_timeout_s=*/10.0, opt.wall_timeout_s);
+      if (got.result.status == CollectStatus::kDone &&
+          got.result.done.rows == static_cast<int>(req.caps.size()))
+        verdict = "ok";
+      else if (got.result.status == CollectStatus::kOverloaded)
+        verdict = "overloaded";
+    } else if (client.submit(req).ok()) {
       const CollectResult got = client.collect(req.id, opt.wall_timeout_s);
       if (got.status == CollectStatus::kDone &&
-          got.done.rows == static_cast<int>(opt.caps.size())) {
+          got.done.rows == static_cast<int>(req.caps.size())) {
         verdict = "ok";
       } else if (got.status == CollectStatus::kOverloaded) {
         verdict = "overloaded";
@@ -67,7 +102,7 @@ int run_client(const LoadgenOptions& opt, int client_idx, int write_fd) {
           const CollectResult again =
               client.collect(req.id, opt.wall_timeout_s);
           if (again.status == CollectStatus::kDone &&
-              again.done.rows == static_cast<int>(opt.caps.size()))
+              again.done.rows == static_cast<int>(req.caps.size()))
             verdict = "ok";
           else if (again.status == CollectStatus::kOverloaded)
             verdict = "overloaded";
@@ -139,6 +174,56 @@ int run_saboteur(const LoadgenOptions& opt) {
 }
 
 }  // namespace
+
+bool parse_replay_file(const std::string& path, std::vector<ReplayItem>* out,
+                       std::string* error) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    if (error != nullptr) *error = path + ": cannot open";
+    return false;
+  }
+  std::vector<ReplayItem> items;
+  std::string line;
+  long lineno = 0;
+  auto fail = [&](const std::string& why) {
+    if (error != nullptr) {
+      std::ostringstream os;
+      os << path << ":" << lineno << ": " << why;
+      *error = os.str();
+    }
+    return false;
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t first = line.find_first_not_of(" \t\r");
+    if (first == std::string::npos || line[first] == '#') continue;
+    std::istringstream fields(line);
+    ReplayItem item;
+    std::string caps_csv;
+    if (!(fields >> item.kind >> item.deadline_ms >> caps_csv))
+      return fail("want '<kind> <deadline-ms> <cap[,cap...]>'");
+    if (item.kind != "bound" && item.kind != "sweep")
+      return fail("unknown kind '" + item.kind + "'");
+    if (item.deadline_ms < 0.0) return fail("negative deadline");
+    std::istringstream caps(caps_csv);
+    std::string tok;
+    while (std::getline(caps, tok, ',')) {
+      char* tail = nullptr;
+      const double cap = std::strtod(tok.c_str(), &tail);
+      if (tok.empty() || tail == nullptr || *tail != '\0' || !(cap > 0.0))
+        return fail("bad cap '" + tok + "'");
+      item.caps.push_back(cap);
+    }
+    if (item.caps.empty()) return fail("no caps");
+    items.push_back(std::move(item));
+  }
+  if (items.empty()) {
+    lineno = 0;
+    return fail("no requests in replay file");
+  }
+  *out = std::move(items);
+  return true;
+}
 
 std::string LoadgenReport::to_json() const {
   std::ostringstream os;
@@ -218,7 +303,9 @@ LoadgenReport run_loadgen(const LoadgenOptions& opt, std::ostream& err) {
 
   // Clients that died without reporting every request still count.
   const long expected =
-      static_cast<long>(opt.clients) * static_cast<long>(opt.requests);
+      opt.replay.empty()
+          ? static_cast<long>(opt.clients) * static_cast<long>(opt.requests)
+          : static_cast<long>(opt.replay.size());
   if (report.requests < expected) {
     report.errors += expected - report.requests;
     report.requests = expected;

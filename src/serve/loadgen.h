@@ -22,11 +22,36 @@
 
 namespace powerlim::serve {
 
+/// One replayed request, parsed from a `--replay` file line:
+///   <kind> <deadline-ms> <cap[,cap...]>
+/// Blank lines and `#` comments are skipped.
+struct ReplayItem {
+  std::string kind = "sweep";
+  double deadline_ms = 0.0;
+  std::vector<double> caps;
+};
+
+/// Parses a replay file. On failure returns false with a line-numbered
+/// explanation in *error and leaves *out untouched.
+bool parse_replay_file(const std::string& path, std::vector<ReplayItem>* out,
+                       std::string* error);
+
 struct LoadgenOptions {
   util::Endpoint server;
+  /// Failover endpoint list (--endpoints). When it has more than one
+  /// entry, honest clients route each request through FailoverClient -
+  /// unreachable/shedding/dying endpoints advance to the next - instead
+  /// of holding one connection to `server`.
+  std::vector<util::Endpoint> endpoints;
+  /// Replayed request mix (--replay, parse_replay_file). When
+  /// non-empty it replaces the synthesized clients*requests fleet:
+  /// items are dealt round-robin across `clients` processes and each
+  /// client runs its share sequentially. `caps`/`deadline_ms` below
+  /// are ignored for replayed items (the file carries its own).
+  std::vector<ReplayItem> replay;
   /// Honest client processes.
   int clients = 4;
-  /// Sequential requests per client.
+  /// Sequential requests per client (ignored when `replay` is set).
   int requests = 4;
   /// Caps each request sweeps.
   std::vector<double> caps;

@@ -1,5 +1,6 @@
 #include "serve/protocol.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -72,6 +73,39 @@ bool parse_int(const std::string& text, long* out) {
 
 bool valid_kind(const std::string& kind) {
   return kind == "bound" || kind == "sweep";
+}
+
+bool parse_u64(const std::string& text, std::uint64_t* out) {
+  if (text.empty() || text.size() > 20) return false;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (errno != 0 || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_crc(const std::string& text, std::uint32_t* out) {
+  if (text.size() != 8) return false;
+  for (char c : text) {
+    const bool hex = (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  *out = static_cast<std::uint32_t>(std::strtoul(text.c_str(), nullptr, 16));
+  return true;
+}
+
+std::string crc_hex(std::uint32_t crc) {
+  char buf[16];
+  std::snprintf(buf, sizeof buf, "%08x", crc);
+  return buf;
+}
+
+bool valid_role(const std::string& role) {
+  return role == "primary" || role == "standby";
 }
 
 }  // namespace
@@ -266,6 +300,241 @@ bool decode_error(const std::string& payload, std::string* id,
   if (!take_field(&rest, "id", id) || !rest.empty() || !single_token(*id)) {
     return false;
   }
+  return true;
+}
+
+std::string encode_hello_ack(const HelloAck& ack) {
+  if (!ack.ok) return "error " + ack.error;
+  if (!valid_role(ack.role)) return "";
+  return "ok epoch=" + std::to_string(ack.epoch) + " role=" + ack.role;
+}
+
+bool decode_hello_ack(const std::string& payload, HelloAck* out) {
+  HelloAck ack;
+  if (payload.compare(0, 6, "error ") == 0) {
+    ack.error = payload.substr(6);
+    *out = ack;
+    return true;
+  }
+  if (payload.compare(0, 3, "ok ") != 0) return false;
+  std::string rest = payload.substr(3);
+  std::string epoch_text, role;
+  if (!take_field(&rest, "epoch", &epoch_text) ||
+      !take_field(&rest, "role", &role) || !rest.empty()) {
+    return false;
+  }
+  if (!parse_u64(epoch_text, &ack.epoch) || !valid_role(role)) return false;
+  ack.ok = true;
+  ack.role = role;
+  *out = ack;
+  return true;
+}
+
+std::string encode_promote_ack(const PromoteAck& ack) {
+  if (!ack.ok) return "error " + ack.error;
+  return "ok epoch=" + std::to_string(ack.epoch);
+}
+
+bool decode_promote_ack(const std::string& payload, PromoteAck* out) {
+  PromoteAck ack;
+  if (payload.compare(0, 6, "error ") == 0) {
+    ack.error = payload.substr(6);
+    *out = ack;
+    return true;
+  }
+  if (payload.compare(0, 3, "ok ") != 0) return false;
+  std::string rest = payload.substr(3);
+  std::string epoch_text;
+  if (!take_field(&rest, "epoch", &epoch_text) || !rest.empty()) return false;
+  if (!parse_u64(epoch_text, &ack.epoch)) return false;
+  ack.ok = true;
+  *out = ack;
+  return true;
+}
+
+std::string encode_repl_hello(const ReplHello& hello) {
+  std::ostringstream os;
+  os << kReplProtoMagic << "\nschema=" << robust::kRunReportSchemaVersion
+     << " proto=" << kServeProtoVersion << " epoch=" << hello.epoch;
+  for (const ReplMark& mark : hello.marks) {
+    if (!single_token(mark.hash)) return "";
+    os << "\nhash=" << mark.hash << " off=" << mark.offset
+       << " crc=" << crc_hex(mark.crc);
+  }
+  return os.str();
+}
+
+bool decode_repl_hello(const std::string& payload, ReplHello* out,
+                       std::string* error) {
+  std::istringstream lines(payload);
+  std::string line;
+  if (!std::getline(lines, line) || line != kReplProtoMagic) {
+    *error = "bad magic (want \"" + std::string(kReplProtoMagic) + "\")";
+    return false;
+  }
+  if (!std::getline(lines, line)) {
+    *error = "missing repl version line";
+    return false;
+  }
+  std::string rest = line;
+  std::string schema_text, proto_text, epoch_text;
+  long schema = 0, proto = 0;
+  ReplHello hello;
+  if (!take_field(&rest, "schema", &schema_text) ||
+      !take_field(&rest, "proto", &proto_text) ||
+      !take_field(&rest, "epoch", &epoch_text) || !rest.empty() ||
+      !parse_int(schema_text, &schema) || !parse_int(proto_text, &proto) ||
+      !parse_u64(epoch_text, &hello.epoch)) {
+    *error = "malformed repl version line";
+    return false;
+  }
+  if (schema != robust::kRunReportSchemaVersion ||
+      proto != kServeProtoVersion) {
+    std::ostringstream os;
+    os << "version skew: standby schema=" << schema << " proto=" << proto
+       << ", primary schema=" << robust::kRunReportSchemaVersion
+       << " proto=" << kServeProtoVersion;
+    *error = os.str();
+    return false;
+  }
+  while (std::getline(lines, line)) {
+    std::string mark_rest = line;
+    std::string hash, off_text, crc_text;
+    ReplMark mark;
+    if (!take_field(&mark_rest, "hash", &hash) ||
+        !take_field(&mark_rest, "off", &off_text) ||
+        !take_field(&mark_rest, "crc", &crc_text) || !mark_rest.empty() ||
+        !single_token(hash) || !parse_u64(off_text, &mark.offset) ||
+        !parse_crc(crc_text, &mark.crc)) {
+      *error = "malformed repl mark line";
+      return false;
+    }
+    mark.hash = hash;
+    hello.marks.push_back(std::move(mark));
+  }
+  error->clear();
+  *out = std::move(hello);
+  return true;
+}
+
+std::string encode_repl_hello_ack(const ReplHelloAck& ack) {
+  if (!ack.ok) return "error " + ack.error;
+  return "ok epoch=" + std::to_string(ack.epoch);
+}
+
+bool decode_repl_hello_ack(const std::string& payload, ReplHelloAck* out) {
+  ReplHelloAck ack;
+  if (payload.compare(0, 6, "error ") == 0) {
+    ack.error = payload.substr(6);
+    *out = ack;
+    return true;
+  }
+  if (payload.compare(0, 3, "ok ") != 0) return false;
+  std::string rest = payload.substr(3);
+  std::string epoch_text;
+  if (!take_field(&rest, "epoch", &epoch_text) || !rest.empty()) return false;
+  if (!parse_u64(epoch_text, &ack.epoch)) return false;
+  ack.ok = true;
+  *out = ack;
+  return true;
+}
+
+std::string encode_repl_trace(const ReplTrace& trace) {
+  if (!single_token(trace.hash) || trace.trace_text.empty()) return "";
+  return "hash=" + trace.hash + "\n" + trace.trace_text;
+}
+
+bool decode_repl_trace(const std::string& payload, ReplTrace* out) {
+  std::string line, body;
+  split_first_line(payload, &line, &body);
+  std::string rest = line;
+  std::string hash;
+  if (!take_field(&rest, "hash", &hash) || !rest.empty() ||
+      !single_token(hash) || body.empty()) {
+    return false;
+  }
+  out->hash = hash;
+  out->trace_text = body;
+  return true;
+}
+
+std::string encode_repl_journal(const ReplJournal& journal) {
+  if (!single_token(journal.hash)) return "";
+  return "hash=" + journal.hash + " off=" + std::to_string(journal.offset) +
+         " epoch=" + std::to_string(journal.epoch) + "\n" + journal.bytes;
+}
+
+bool decode_repl_journal(const std::string& payload, ReplJournal* out) {
+  std::string line, body;
+  split_first_line(payload, &line, &body);
+  std::string rest = line;
+  std::string hash, off_text, epoch_text;
+  ReplJournal j;
+  if (!take_field(&rest, "hash", &hash) ||
+      !take_field(&rest, "off", &off_text) ||
+      !take_field(&rest, "epoch", &epoch_text) || !rest.empty() ||
+      !single_token(hash) || !parse_u64(off_text, &j.offset) ||
+      !parse_u64(epoch_text, &j.epoch)) {
+    return false;
+  }
+  j.hash = hash;
+  j.bytes = std::move(body);
+  *out = std::move(j);
+  return true;
+}
+
+std::string encode_repl_ack(const ReplAck& ack) {
+  if (!single_token(ack.hash)) return "";
+  return "hash=" + ack.hash + " off=" + std::to_string(ack.offset) +
+         " epoch=" + std::to_string(ack.epoch);
+}
+
+bool decode_repl_ack(const std::string& payload, ReplAck* out) {
+  std::string rest = payload;
+  std::string hash, off_text, epoch_text;
+  ReplAck ack;
+  if (!take_field(&rest, "hash", &hash) ||
+      !take_field(&rest, "off", &off_text) ||
+      !take_field(&rest, "epoch", &epoch_text) || !rest.empty() ||
+      !single_token(hash) || !parse_u64(off_text, &ack.offset) ||
+      !parse_u64(epoch_text, &ack.epoch)) {
+    return false;
+  }
+  ack.hash = hash;
+  *out = ack;
+  return true;
+}
+
+std::string encode_repl_heartbeat(std::uint64_t epoch) {
+  return "epoch=" + std::to_string(epoch);
+}
+
+bool decode_repl_heartbeat(const std::string& payload,
+                           std::uint64_t* epoch) {
+  std::string rest = payload;
+  std::string epoch_text;
+  if (!take_field(&rest, "epoch", &epoch_text) || !rest.empty()) {
+    return false;
+  }
+  return parse_u64(epoch_text, epoch);
+}
+
+std::string encode_repl_resync(const ReplResync& resync) {
+  if (!single_token(resync.hash)) return "";
+  return "hash=" + resync.hash + "\n" + resync.detail;
+}
+
+bool decode_repl_resync(const std::string& payload, ReplResync* out) {
+  std::string line, detail;
+  split_first_line(payload, &line, &detail);
+  std::string rest = line;
+  std::string hash;
+  if (!take_field(&rest, "hash", &hash) || !rest.empty() ||
+      !single_token(hash)) {
+    return false;
+  }
+  out->hash = hash;
+  out->detail = detail;
   return true;
 }
 

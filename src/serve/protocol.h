@@ -8,26 +8,49 @@
 //
 //   client -> daemon   'T' hello: "powerlimd v1\nschema=<n> proto=<n>"
 //                      'U' request: journal-request line + "\n" + trace
-//   daemon -> client   'A' hello ack ("ok" | "error <why>")
+//                      'P' promote: operator asks a standby to take over
+//   daemon -> client   'A' hello ack ("ok epoch=<e> role=<r>" |
+//                          "error <why>")
 //                      'R' row: "id=<id>\n" + serialized JournalEntry
 //                          (one per cap, streamed as caps settle)
 //                      'O' overloaded / shed: id, typed reason, detail
 //                      'D' done: id, terminal status, counts, latencies
 //                      'E' request error: "id=<id>\n<detail>"
+//                      'p' promote ack ("ok epoch=<e>" | "error <why>")
+//
+// The same port also speaks the replication sub-protocol
+// ("powerlimd-repl v1"): a warm standby's first frame is 'H' instead of
+// 'T', which flips the connection into repl mode:
+//
+//   standby -> primary 'H' repl hello: magic, schema/proto/epoch, one
+//                          high-water mark per local journal (absolute
+//                          byte offset + CRC of the prefix, so the
+//                          primary detects divergent history, not just
+//                          missing bytes)
+//                      'k' ack: durable high-water mark after an apply
+//   primary -> standby 'h' repl hello ack ("ok epoch=<e>" | "error ...")
+//                      'G' trace snapshot (idempotent, sent up front)
+//                      'J' journal bytes: verbatim frames from byte
+//                          offset <off> of journal <hash>, stamped with
+//                          the primary's epoch
+//                      'K' heartbeat carrying the primary's epoch
+//                      'Y' resync: the standby's copy diverged or
+//                          outran the primary; quarantine and refetch
 //
 // The 'U' header line is *exactly* the journal's `Q` record payload
 // (robust/journal.h serialize_journal_request), so the daemon journals
 // the admission intent byte-for-byte as it arrived; and an 'R' row body
 // is exactly a journal `R` payload, so a served row and a journaled row
-// are the same bytes (the daemon patches the schema-6 `service` block
-// into the *reply copy* only - the journal stays byte-compatible with
-// offline `powerlim sweep --journal` files).
+// are the same bytes (the daemon patches the `service` block into the
+// *reply copy* only - the journal stays byte-compatible with offline
+// `powerlim sweep --journal` files).
 //
 // Version skew is settled at hello time: a client whose schema or proto
 // differs gets "error ..." in the 'A' ack and nothing else, never a
 // misparsed request.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -37,18 +60,32 @@ namespace powerlim::serve {
 
 /// First line of the 'T' hello payload.
 inline constexpr char kServeProtoMagic[] = "powerlimd v1";
+/// First line of the 'H' repl hello payload.
+inline constexpr char kReplProtoMagic[] = "powerlimd-repl v1";
 /// Protocol revision pinned next to the RunReport schema in the hello.
-inline constexpr int kServeProtoVersion = 1;
+/// v2: hello ack carries epoch/role; promote and replication frames.
+inline constexpr int kServeProtoVersion = 2;
 
 // Frame tags (client -> daemon).
 inline constexpr char kTagHello = 'T';
 inline constexpr char kTagRequest = 'U';
+inline constexpr char kTagPromote = 'P';
 // Frame tags (daemon -> client).
 inline constexpr char kTagHelloAck = 'A';
 inline constexpr char kTagRow = 'R';
 inline constexpr char kTagOverloaded = 'O';
 inline constexpr char kTagDone = 'D';
 inline constexpr char kTagError = 'E';
+inline constexpr char kTagPromoteAck = 'p';
+// Replication frame tags (standby -> primary).
+inline constexpr char kTagReplHello = 'H';
+inline constexpr char kTagReplAck = 'k';
+// Replication frame tags (primary -> standby).
+inline constexpr char kTagReplHelloAck = 'h';
+inline constexpr char kTagReplTrace = 'G';
+inline constexpr char kTagReplJournal = 'J';
+inline constexpr char kTagReplHeartbeat = 'K';
+inline constexpr char kTagReplResync = 'Y';
 
 /// Builds the 'T' payload for this build's schema/proto versions.
 std::string encode_hello();
@@ -57,6 +94,21 @@ std::string encode_hello();
 /// all match this build; otherwise false with a human-readable skew
 /// description in *error (which becomes the 'A' "error ..." ack).
 bool decode_hello(const std::string& payload, std::string* error);
+
+/// The 'A' hello ack: accepted hellos carry the daemon's failover
+/// epoch and role so clients can prefer the newest primary and refuse
+/// a deposed one.
+struct HelloAck {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  /// "primary" or "standby".
+  std::string role;
+  /// Refusal detail when !ok.
+  std::string error;
+};
+
+std::string encode_hello_ack(const HelloAck& ack);
+bool decode_hello_ack(const std::string& payload, HelloAck* out);
 
 /// One bound/sweep request. `kind` is "bound" (exactly one cap) or
 /// "sweep"; ids are single tokens, unique per connection (the client
@@ -128,5 +180,98 @@ bool decode_done(const std::string& payload, ServeDone* out);
 std::string encode_error(const std::string& id, const std::string& detail);
 bool decode_error(const std::string& payload, std::string* id,
                   std::string* detail);
+
+/// 'p' promote ack: "ok epoch=<e>" (idempotent on an already-primary
+/// daemon) or "error <why>".
+struct PromoteAck {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  std::string error;
+};
+
+std::string encode_promote_ack(const PromoteAck& ack);
+bool decode_promote_ack(const std::string& payload, PromoteAck* out);
+
+/// One journal high-water mark in a repl hello: how many bytes of
+/// journal `hash` the standby holds durably, plus the CRC-32 of those
+/// bytes. The CRC lets the primary distinguish "behind" (stream the
+/// delta) from "divergent" (this file has a different history - force a
+/// resync) - offsets alone cannot tell those apart.
+struct ReplMark {
+  std::string hash;
+  std::uint64_t offset = 0;
+  std::uint32_t crc = 0;
+};
+
+/// 'H' payload: repl magic + schema/proto/epoch line + one mark line
+/// per local journal.
+struct ReplHello {
+  std::uint64_t epoch = 0;
+  std::vector<ReplMark> marks;
+};
+
+std::string encode_repl_hello(const ReplHello& hello);
+/// Strict parse + version check (same skew rules as the client hello).
+bool decode_repl_hello(const std::string& payload, ReplHello* out,
+                       std::string* error);
+
+/// 'h' payload: "ok epoch=<e>" | "error <why>".
+struct ReplHelloAck {
+  bool ok = false;
+  std::uint64_t epoch = 0;
+  std::string error;
+};
+
+std::string encode_repl_hello_ack(const ReplHelloAck& ack);
+bool decode_repl_hello_ack(const std::string& payload, ReplHelloAck* out);
+
+/// 'G' payload: "hash=<h>\n<trace text>". Idempotent on the standby
+/// (same bytes may arrive again after a reconnect).
+struct ReplTrace {
+  std::string hash;
+  std::string trace_text;
+};
+
+std::string encode_repl_trace(const ReplTrace& trace);
+bool decode_repl_trace(const std::string& payload, ReplTrace* out);
+
+/// 'J' payload: "hash=<h> off=<n> epoch=<e>\n<verbatim journal frames>".
+/// `offset` is the absolute byte offset in the journal file where
+/// `bytes` begins; the standby applies only at an exact match.
+struct ReplJournal {
+  std::string hash;
+  std::uint64_t offset = 0;
+  std::uint64_t epoch = 0;
+  std::string bytes;
+};
+
+std::string encode_repl_journal(const ReplJournal& journal);
+bool decode_repl_journal(const std::string& payload, ReplJournal* out);
+
+/// 'k' payload: "hash=<h> off=<n> epoch=<e>" - the standby's durable
+/// high-water mark for one journal after an apply.
+struct ReplAck {
+  std::string hash;
+  std::uint64_t offset = 0;
+  std::uint64_t epoch = 0;
+};
+
+std::string encode_repl_ack(const ReplAck& ack);
+bool decode_repl_ack(const std::string& payload, ReplAck* out);
+
+/// 'K' payload: "epoch=<e>". Sent periodically by the primary; a
+/// standby that misses enough of them may auto-promote.
+std::string encode_repl_heartbeat(std::uint64_t epoch);
+bool decode_repl_heartbeat(const std::string& payload, std::uint64_t* epoch);
+
+/// 'Y' payload: "hash=<h>\n<why>". The standby quarantines its copy of
+/// that journal and re-acks from the fresh (header-only) file.
+struct ReplResync {
+  std::string hash;
+  std::string detail;
+};
+
+std::string encode_repl_resync(const ReplResync& resync);
+bool decode_repl_resync(const std::string& payload, ReplResync* out);
 
 }  // namespace powerlim::serve

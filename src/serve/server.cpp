@@ -19,6 +19,7 @@
 #include <map>
 #include <memory>
 #include <ostream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <utility>
@@ -30,6 +31,7 @@
 #include "robust/solve_driver.h"
 #include "robust/wire.h"
 #include "serve/protocol.h"
+#include "serve/repl.h"
 #include "util/posix_io.h"
 #include "util/socket_io.h"
 
@@ -63,6 +65,9 @@ struct Conn {
   robust::FrameStream stream;
   std::string outbuf;
   bool handshaken = false;
+  /// A standby's replication connection (first frame was 'H'): exempt
+  /// from idle reaping, speaks only repl frames from here on.
+  bool repl = false;
   /// Flush what is buffered, then close (post-skew-ack, drain).
   bool closing = false;
   Clock::time_point opened = Clock::now();
@@ -115,6 +120,7 @@ class Daemon {
   // --- startup ---
   bool setup_state_dir();
   bool setup_listen();
+  bool setup_epoch();
   void startup_resume();
 
   // --- poll loop stages ---
@@ -150,6 +156,41 @@ class Daemon {
   robust::ServiceTelemetry telemetry_for(const Request& req) const;
   void drop_conn(std::uint64_t conn_id, const char* why);
 
+  // --- high availability ---
+  /// Per-connected-standby streaming state on the primary.
+  struct StandbyPeer {
+    /// The standby's last-reported epoch.
+    std::uint64_t epoch = 0;
+    /// Bytes streamed ('J' frames emitted) per journal hash.
+    std::map<std::string, std::uint64_t> sent;
+    /// Bytes the standby has acked durable per journal hash.
+    std::map<std::string, std::uint64_t> acked;
+    /// Trace snapshots already shipped this connection.
+    std::set<std::string> traces_sent;
+  };
+
+  const char* role_name() const { return standby_ ? "standby" : "primary"; }
+  /// Stamps epoch_ into a freshly-opened journal, pins the handle, and
+  /// attaches the replication wake-up listener. False when the journal
+  /// already carries a higher epoch - the caller must fence.
+  bool stamp_journal(robust::SweepJournal& journal, const std::string& hash);
+  void handle_repl_hello(Conn& conn, const robust::WireFrame& frame);
+  void handle_repl_ack(Conn& conn, const robust::WireFrame& frame);
+  void handle_promote(Conn& conn);
+  void handle_standby_request(std::uint64_t conn_id, ServeRequest&& sr);
+  /// Standby -> primary transition (operator command or heartbeat loss).
+  void promote(const char* why);
+  /// A higher epoch was observed: refuse all further writes and drain.
+  void fence_self(const std::string& why);
+  /// Streams journal deltas (and first-time trace snapshots) to every
+  /// connected standby; `hashes` limits the pass (empty = all).
+  void repl_stream(const std::vector<std::string>& hashes);
+  void stream_journal_to(std::uint64_t conn_id, const std::string& hash);
+  void send_resync(std::uint64_t conn_id, const std::string& hash,
+                   const std::string& why);
+  /// Per-iteration HA work: standby link upkeep / primary heartbeats.
+  void repl_tick();
+
   const ServeOptions& opt_;
   const machine::PowerModel& model_;
   const machine::ClusterSpec& cluster_;
@@ -165,6 +206,17 @@ class Daemon {
   long finished_ = 0;
   long degraded_caps_ = 0;
   bool draining_ = false;
+
+  // High-availability state.
+  bool standby_ = false;
+  bool fenced_ = false;
+  std::uint64_t epoch_ = 1;
+  std::unique_ptr<StandbyLink> standby_link_;
+  std::map<std::uint64_t, StandbyPeer> standbys_;  // keyed by conn id
+  /// Journal hashes with unstreamed appends (poked by the journal
+  /// append listener; drained by repl_stream).
+  std::set<std::string> repl_dirty_;
+  Clock::time_point last_heartbeat_ = Clock::now();
 };
 
 // ---------------------------------------------------------------------------
@@ -228,6 +280,42 @@ bool Daemon::setup_listen() {
   return true;
 }
 
+bool Daemon::setup_epoch() {
+  // The epoch this daemon serves under is the highest epoch recorded
+  // anywhere in the state dir: the epoch file and every journal's `E`
+  // stamps (the two can disagree after a crash mid-promotion; taking
+  // the max makes promotion monotonic either way). Floor of 1 so "never
+  // failed over" and "no epoch yet" are distinguishable from stamps.
+  epoch_ = std::max<std::uint64_t>(1, load_epoch_file(opt_.state_dir));
+  for (const std::string& hash : journal_hashes(opt_.state_dir)) {
+    auto opened =
+        robust::SweepJournal::open(journal_path(opt_.state_dir, hash));
+    if (!opened.ok()) continue;
+    epoch_ = std::max(epoch_, opened.value().epoch());
+  }
+  std::string error;
+  if (!store_epoch_file(opt_.state_dir, epoch_, &error)) {
+    err_ << "powerlimd: cannot persist epoch: " << error << "\n";
+    return false;
+  }
+  out_ << "powerlimd: " << role_name() << " at epoch " << epoch_ << "\n";
+  out_.flush();
+  return true;
+}
+
+bool Daemon::stamp_journal(robust::SweepJournal& journal,
+                           const std::string& hash) {
+  const robust::Status st = journal.advance_epoch(epoch_);
+  if (!st.ok()) {
+    err_ << "powerlimd: journal " << hash << " refuses epoch " << epoch_
+         << ": " << st.to_string() << "\n";
+    return false;
+  }
+  journal.pin_epoch(epoch_);
+  journal.set_append_listener([this, hash] { repl_dirty_.insert(hash); });
+  return true;
+}
+
 void Daemon::startup_resume() {
   DIR* dir = ::opendir(opt_.state_dir.c_str());
   if (dir == nullptr) return;
@@ -259,6 +347,10 @@ void Daemon::startup_resume() {
     }
     auto journal =
         std::make_unique<robust::SweepJournal>(std::move(opened).value());
+    if (!stamp_journal(*journal, hash)) {
+      fence_self("resume: journal " + hash + " carries a newer epoch");
+      return;
+    }
     // The work owed is the union of every journaled intent's caps minus
     // the caps that already have trusted records.
     std::vector<double> owed;
@@ -313,8 +405,28 @@ void Daemon::startup_resume() {
 
 int Daemon::run() {
   util::ignore_sigpipe();
-  if (!setup_state_dir() || !setup_listen()) return 1;
-  if (opt_.resume) startup_resume();
+  if (!setup_state_dir()) return 1;
+  if (!opt_.standby_of.empty()) {
+    util::Endpoint primary;
+    if (!util::parse_endpoint(opt_.standby_of, &primary)) {
+      err_ << "powerlimd: bad --standby-of address '" << opt_.standby_of
+           << "'\n";
+      return 1;
+    }
+    standby_ = true;
+    if (!setup_epoch() || !setup_listen()) return 1;
+    StandbyLink::Options lo;
+    lo.primary = primary;
+    lo.state_dir = opt_.state_dir;
+    lo.epoch = epoch_;
+    lo.backoff_ms = std::max(50.0, opt_.repl_heartbeat_ms);
+    standby_link_ = std::make_unique<StandbyLink>(lo, out_);
+  } else {
+    if (!setup_epoch() || !setup_listen()) return 1;
+  }
+  // A standby defers resume until promotion: the primary owns the
+  // owed work while it lives.
+  if (opt_.resume && !standby_) startup_resume();
 
   for (;;) {
     if (opt_.cancel != nullptr && opt_.cancel->cancelled() && !draining_)
@@ -330,6 +442,14 @@ int Daemon::run() {
         if (r.ok()) {
           req.journal =
               std::make_unique<robust::SweepJournal>(std::move(r).value());
+          // Re-stamp: the reopened handle must be fenced and must keep
+          // poking the replication streamer, exactly like the original.
+          // Replication itself is reopen-proof - the hub streams from
+          // the journal *file* by offset, not from this handle.
+          if (!stamp_journal(*req.journal, req.hash)) {
+            fence_self("reopen: journal " + req.hash +
+                       " carries a newer epoch");
+          }
           ++reopened;
         } else {
           err_ << "powerlimd: reopen failed for " << path << ": "
@@ -342,6 +462,7 @@ int Daemon::run() {
 
     check_deadlines();
     schedule();
+    repl_tick();
     poll_once();
     reap_executors();
     reap_conns();
@@ -370,11 +491,12 @@ int Daemon::run() {
   for (auto& [id, conn] : conns_) {
     if (conn.fd >= 0) ::close(conn.fd);
   }
+  if (standby_link_) standby_link_->close_link();
   if (listen_fd_ >= 0) ::close(listen_fd_);
   out_ << "powerlimd: drained; served " << finished_ << " request(s), shed "
        << shed_total_ << ", degraded " << degraded_caps_ << " cap(s)\n";
   out_.flush();
-  return 0;
+  return fenced_ ? kExitFenced : 0;
 }
 
 void Daemon::begin_drain(const char* why) {
@@ -416,10 +538,22 @@ void Daemon::poll_once() {
       active_idx.push_back(i);
     }
   }
+  // The standby's replication link rides the same poll: POLLOUT while
+  // its nonblocking dial is in flight, POLLIN once streaming.
+  std::size_t link_slot = fds.size();
+  if (standby_link_ && standby_link_->fd() >= 0) {
+    fds.push_back({standby_link_->fd(), standby_link_->poll_events(), 0});
+  }
 
   const int n = util::retry_eintr(
       [&] { return ::poll(fds.data(), fds.size(), /*timeout_ms=*/100); });
   if (n <= 0) return;
+
+  if (standby_link_ && link_slot < fds.size() &&
+      (fds[link_slot].revents & (POLLIN | POLLOUT | POLLHUP | POLLERR)) !=
+          0) {
+    standby_link_->on_pollable();
+  }
 
   if (listen_fd_ >= 0 && (fds[0].revents & POLLIN) != 0) accept_clients();
 
@@ -433,7 +567,7 @@ void Daemon::poll_once() {
       flush_conn(again->second);
   }
 
-  for (std::size_t i = first_pipe; i < fds.size(); ++i) {
+  for (std::size_t i = first_pipe; i < link_slot; ++i) {
     if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) != 0) {
       const std::size_t idx = active_idx[i - first_pipe];
       if (idx < active_.size()) pump_pipe(active_[idx]);
@@ -485,18 +619,36 @@ void Daemon::read_conn(Conn& conn) {
 }
 
 void Daemon::handle_frame(Conn& conn, const robust::WireFrame& frame) {
-  if (frame.tag == kTagHello) {
+  if (frame.tag == kTagHello && !conn.repl) {
     std::string why;
     if (decode_hello(frame.payload, &why)) {
       conn.handshaken = true;
-      send_frame(conn.id, kTagHelloAck, "ok");
+      HelloAck ack;
+      ack.ok = true;
+      ack.epoch = epoch_;
+      ack.role = role_name();
+      send_frame(conn.id, kTagHelloAck, encode_hello_ack(ack));
     } else {
       // Version skew gets a readable ack, then the connection ends: a
       // mismatched peer must never have a request half-parsed. Mark
       // closing *before* sending - a send failure drops (frees) conn.
       conn.closing = true;
-      send_frame(conn.id, kTagHelloAck, "error " + why);
+      HelloAck ack;
+      ack.error = why;
+      send_frame(conn.id, kTagHelloAck, encode_hello_ack(ack));
     }
+    return;
+  }
+  if (frame.tag == kTagReplHello && !conn.handshaken) {
+    handle_repl_hello(conn, frame);
+    return;
+  }
+  if (conn.repl) {
+    if (frame.tag == kTagReplAck) {
+      handle_repl_ack(conn, frame);
+      return;
+    }
+    drop_conn(conn.id, "non-repl frame on repl connection");
     return;
   }
   if (!conn.handshaken) {
@@ -505,6 +657,10 @@ void Daemon::handle_frame(Conn& conn, const robust::WireFrame& frame) {
   }
   if (frame.tag == kTagRequest) {
     handle_request(conn, frame);
+    return;
+  }
+  if (frame.tag == kTagPromote) {
+    handle_promote(conn);
     return;
   }
   drop_conn(conn.id, "unknown frame tag");
@@ -523,6 +679,10 @@ void Daemon::handle_request(Conn& conn, const robust::WireFrame& frame) {
   if (draining_) {
     ++shed_total_;
     send_overloaded(conn_id, sr.id, "draining", "daemon is shutting down");
+    return;
+  }
+  if (standby_) {
+    handle_standby_request(conn_id, std::move(sr));
     return;
   }
   if (static_cast<int>(queued_.size()) >= opt_.max_queue) {
@@ -601,6 +761,12 @@ void Daemon::admit(std::uint64_t conn_id, ServeRequest&& sr) {
   }
   req.journal =
       std::make_unique<robust::SweepJournal>(std::move(opened).value());
+  if (!stamp_journal(*req.journal, req.hash)) {
+    send_frame(conn_id, kTagError,
+               encode_error(req.id, "daemon fenced by a newer epoch"));
+    fence_self("admit: journal " + req.hash + " carries a newer epoch");
+    return;
+  }
 
   req.queue_depth_at_admit = static_cast<int>(queued_.size());
   req.shed_at_admit = shed_total_;
@@ -635,6 +801,9 @@ void Daemon::admit(std::uint64_t conn_id, ServeRequest&& sr) {
     send_frame(conn_id, kTagError,
                encode_error(req.id,
                             "cannot journal request: " + st.to_string()));
+    if (st.code() == robust::StatusCode::kStaleEpoch) {
+      fence_self("admit: journal " + req.hash + " fenced the intent");
+    }
     return;
   }
   queued_.push_back(std::move(req));
@@ -808,6 +977,10 @@ void Daemon::handle_pipe_frame(Request& req, const robust::WireFrame& frame) {
     req.pipe_poisoned = true;
     return;
   }
+  // A fenced daemon must not reply rows it can no longer journal (the
+  // promoted standby owns the history now); drop them - the caps stay
+  // owed and the client retries against the new primary.
+  if (fenced_) return;
   // Journal first (unpatched bytes - byte-compatible with offline
   // sweeps), reply second (service telemetry patched into the copy).
   if (req.journal) {
@@ -815,6 +988,10 @@ void Daemon::handle_pipe_frame(Request& req, const robust::WireFrame& frame) {
     if (!st.ok()) {
       err_ << "powerlimd: journal append failed for " << req.id << ": "
            << st.to_string() << "\n";
+      if (st.code() == robust::StatusCode::kStaleEpoch) {
+        fence_self("row append for " + req.id + " fenced");
+        return;
+      }
     }
   }
   req.settled.push_back(entry.job_cap_watts);
@@ -862,6 +1039,12 @@ void Daemon::reap_executors() {
 }
 
 void Daemon::executor_died(Request& req, int wait_status) {
+  if (fenced_) {
+    // No retry, no degraded rows: a fenced daemon has nothing durable
+    // to offer. The unsettled caps are owed to the promoted standby.
+    finish(req, "error", "daemon fenced by a newer epoch");
+    return;
+  }
   const bool clean_exit = WIFEXITED(wait_status);
   const int code = clean_exit ? WEXITSTATUS(wait_status) : -1;
   const bool all_settled = unsettled(req).empty();
@@ -1017,6 +1200,8 @@ robust::ServiceTelemetry Daemon::telemetry_for(const Request& req) const {
                               : 0.0;
   s.solve_ms = executing ? ms_since(req.exec_start) : 0.0;
   s.total_ms = ms_since(req.admitted);
+  s.epoch = epoch_;
+  s.role = role_name();
   return s;
 }
 
@@ -1055,6 +1240,7 @@ void Daemon::drop_conn(std::uint64_t conn_id, const char* why) {
   (void)why;
   if (it->second.fd >= 0) ::close(it->second.fd);
   conns_.erase(it);
+  standbys_.erase(conn_id);
 }
 
 void Daemon::reap_conns() {
@@ -1077,7 +1263,10 @@ void Daemon::reap_conns() {
       doomed.push_back(id);
       continue;
     }
-    if (conn.handshaken && conn.outbuf.empty() &&
+    // Repl connections are legitimately read-silent for long stretches
+    // (acks only flow while journal bytes do); the primary's heartbeats
+    // keep the socket honest, so exempt them from idle reaping.
+    if (conn.handshaken && !conn.repl && conn.outbuf.empty() &&
         sec_since(conn.last_read) > opt_.idle_timeout_s) {
       bool in_flight = false;
       for (const Request& req : queued_) {
@@ -1090,6 +1279,387 @@ void Daemon::reap_conns() {
     }
   }
   for (std::uint64_t id : doomed) drop_conn(id, "reaped");
+}
+
+// ---------------------------------------------------------------------------
+// High availability: replication hub (primary side) and failover.
+
+void Daemon::handle_repl_hello(Conn& conn, const robust::WireFrame& frame) {
+  const std::uint64_t conn_id = conn.id;
+  ReplHello hello;
+  std::string why;
+  ReplHelloAck ack;
+  if (!decode_repl_hello(frame.payload, &hello, &why)) {
+    conn.closing = true;
+    ack.error = why;
+    send_frame(conn_id, kTagReplHelloAck, encode_repl_hello_ack(ack));
+    return;
+  }
+  if (standby_) {
+    conn.closing = true;
+    ack.error = "peer is a standby; replicate from the primary";
+    send_frame(conn_id, kTagReplHelloAck, encode_repl_hello_ack(ack));
+    return;
+  }
+  if (draining_ || fenced_) {
+    conn.closing = true;
+    ack.error = fenced_ ? "daemon is fenced" : "daemon is draining";
+    send_frame(conn_id, kTagReplHelloAck, encode_repl_hello_ack(ack));
+    return;
+  }
+  if (hello.epoch > epoch_) {
+    // The dialing standby was promoted past us: *we* are the deposed
+    // primary. Refuse the link and fence - this is how a rebooted
+    // ex-primary learns it lost without sharing a filesystem.
+    conn.closing = true;
+    ack.error = "stale primary: standby epoch " +
+                std::to_string(hello.epoch) + " > local epoch " +
+                std::to_string(epoch_);
+    send_frame(conn_id, kTagReplHelloAck, encode_repl_hello_ack(ack));
+    fence_self("repl hello carried epoch " + std::to_string(hello.epoch));
+    return;
+  }
+  conn.handshaken = true;
+  conn.repl = true;
+  StandbyPeer peer;
+  peer.epoch = hello.epoch;
+  struct PendingResync {
+    std::string hash;
+    std::string why;
+  };
+  std::vector<PendingResync> resyncs;
+  for (const ReplMark& mark : hello.marks) {
+    if (!valid_trace_hash(mark.hash)) {
+      drop_conn(conn_id, "hostile mark hash");
+      return;
+    }
+    const std::string path = journal_path(opt_.state_dir, mark.hash);
+    struct stat sb = {};
+    const std::uint64_t local =
+        ::stat(path.c_str(), &sb) == 0
+            ? static_cast<std::uint64_t>(sb.st_size)
+            : 0;
+    std::uint32_t crc = 0;
+    if (mark.offset > local) {
+      resyncs.push_back({mark.hash, "standby holds bytes the primary lacks"});
+    } else if (!file_prefix_crc(path, mark.offset, &crc) ||
+               crc != mark.crc) {
+      // Equal-length prefixes with different CRCs are different
+      // histories - the one case offsets alone cannot catch.
+      resyncs.push_back({mark.hash, "journal history diverged"});
+    } else {
+      peer.sent[mark.hash] = mark.offset;
+      peer.acked[mark.hash] = mark.offset;
+    }
+  }
+  standbys_[conn_id] = std::move(peer);
+  ack.ok = true;
+  ack.epoch = epoch_;
+  send_frame(conn_id, kTagReplHelloAck, encode_repl_hello_ack(ack));
+  for (const PendingResync& r : resyncs) {
+    if (conns_.find(conn_id) == conns_.end()) return;
+    send_resync(conn_id, r.hash, r.why);
+  }
+  out_ << "powerlimd: standby connected (epoch " << hello.epoch << ", "
+       << hello.marks.size() << " mark(s))\n";
+  out_.flush();
+  repl_stream(journal_hashes(opt_.state_dir));
+}
+
+void Daemon::handle_repl_ack(Conn& conn, const robust::WireFrame& frame) {
+  const std::uint64_t conn_id = conn.id;
+  ReplAck ack;
+  if (!decode_repl_ack(frame.payload, &ack)) {
+    drop_conn(conn_id, "malformed repl ack");
+    return;
+  }
+  if (ack.epoch > epoch_) {
+    drop_conn(conn_id, "fenced");
+    fence_self("repl ack carried epoch " + std::to_string(ack.epoch));
+    return;
+  }
+  if (!valid_trace_hash(ack.hash)) {
+    drop_conn(conn_id, "hostile ack hash");
+    return;
+  }
+  auto pit = standbys_.find(conn_id);
+  if (pit == standbys_.end()) {
+    drop_conn(conn_id, "ack before repl hello");
+    return;
+  }
+  StandbyPeer& peer = pit->second;
+  peer.epoch = std::max(peer.epoch, ack.epoch);
+  const std::string path = journal_path(opt_.state_dir, ack.hash);
+  struct stat sb = {};
+  const std::uint64_t local = ::stat(path.c_str(), &sb) == 0
+                                  ? static_cast<std::uint64_t>(sb.st_size)
+                                  : 0;
+  if (ack.offset > local) {
+    send_resync(conn_id, ack.hash, "standby holds bytes the primary lacks");
+    return;
+  }
+  std::uint64_t& sent = peer.sent[ack.hash];
+  std::uint64_t& acked = peer.acked[ack.hash];
+  if (ack.offset > sent) {
+    // An ack for bytes we never streamed. The one innocent case is a
+    // freshly-reset replica acking its deterministic header (post-
+    // resync); anything else is history we cannot vouch for.
+    if (ack.offset != robust::journal_header_bytes()) {
+      send_resync(conn_id, ack.hash, "ack beyond streamed bytes");
+      return;
+    }
+    sent = ack.offset;
+  } else if (ack.offset == acked && ack.offset < sent) {
+    // The same mark twice with bytes outstanding: the standby refused
+    // an apply (offset mismatch). Rewind and restream from its mark.
+    sent = ack.offset;
+  }
+  acked = ack.offset;
+  if (sent < local) repl_dirty_.insert(ack.hash);
+}
+
+void Daemon::send_resync(std::uint64_t conn_id, const std::string& hash,
+                         const std::string& why) {
+  auto it = standbys_.find(conn_id);
+  if (it != standbys_.end()) {
+    it->second.sent.erase(hash);
+    it->second.acked.erase(hash);
+  }
+  ReplResync r;
+  r.hash = hash;
+  r.detail = why;
+  send_frame(conn_id, kTagReplResync, encode_repl_resync(r));
+}
+
+void Daemon::stream_journal_to(std::uint64_t conn_id,
+                               const std::string& hash) {
+  // Backpressure ceiling: a standby that cannot drain its socket gets
+  // its remaining delta on a later pass instead of an unbounded buffer
+  // (the same slow-peer containment clients get).
+  constexpr std::size_t kReplSoftBuffer = 1u << 20;
+  constexpr std::size_t kReplChunk = 256u << 10;
+
+  auto cit = conns_.find(conn_id);
+  auto pit = standbys_.find(conn_id);
+  if (cit == conns_.end() || pit == standbys_.end()) return;
+  if (cit->second.outbuf.size() > kReplSoftBuffer) {
+    repl_dirty_.insert(hash);
+    return;
+  }
+  if (pit->second.traces_sent.insert(hash).second) {
+    std::ifstream tf(trace_path(opt_.state_dir, hash));
+    std::stringstream buf;
+    buf << tf.rdbuf();
+    if (tf) {
+      ReplTrace t;
+      t.hash = hash;
+      t.trace_text = buf.str();
+      send_frame(conn_id, kTagReplTrace, encode_repl_trace(t));
+      if (conns_.find(conn_id) == conns_.end()) return;
+      pit = standbys_.find(conn_id);
+      if (pit == standbys_.end()) return;
+    } else {
+      pit->second.traces_sent.erase(hash);  // not snapshotted yet; retry
+    }
+  }
+  const std::string path = journal_path(opt_.state_dir, hash);
+  struct stat sb = {};
+  if (::stat(path.c_str(), &sb) != 0) return;
+  const std::uint64_t size = static_cast<std::uint64_t>(sb.st_size);
+  const std::uint64_t header = robust::journal_header_bytes();
+  // Never stream the magic line: every replica's journal is created
+  // with the identical header, so byte `header` is where histories can
+  // first differ.
+  std::uint64_t from = std::max(pit->second.sent[hash], header);
+  pit->second.sent[hash] = from;
+  while (from < size) {
+    std::string bytes;
+    const std::size_t want =
+        static_cast<std::size_t>(std::min<std::uint64_t>(size - from,
+                                                         kReplChunk));
+    if (!read_file_range(path, from, want, &bytes) || bytes.empty()) return;
+    ReplJournal j;
+    j.hash = hash;
+    j.offset = from;
+    j.epoch = epoch_;
+    j.bytes = std::move(bytes);
+    const std::uint64_t len = j.bytes.size();
+    send_frame(conn_id, kTagReplJournal, encode_repl_journal(j));
+    cit = conns_.find(conn_id);
+    pit = standbys_.find(conn_id);
+    if (cit == conns_.end() || pit == standbys_.end()) return;
+    from += len;
+    pit->second.sent[hash] = from;
+    if (cit->second.outbuf.size() > kReplSoftBuffer) {
+      repl_dirty_.insert(hash);
+      return;
+    }
+  }
+}
+
+void Daemon::repl_stream(const std::vector<std::string>& hashes) {
+  if (standbys_.empty()) return;
+  std::vector<std::uint64_t> ids;
+  for (const auto& [id, peer] : standbys_) ids.push_back(id);
+  for (std::uint64_t id : ids) {
+    for (const std::string& hash : hashes) stream_journal_to(id, hash);
+  }
+}
+
+void Daemon::repl_tick() {
+  if (standby_) {
+    if (!standby_link_) return;
+    standby_link_->tick();
+    epoch_ = std::max(epoch_, standby_link_->epoch());
+    if (!draining_ && opt_.promote_after_ms > 0.0 &&
+        standby_link_->silence_ms() > opt_.promote_after_ms) {
+      promote("heartbeat-loss");
+    }
+    return;
+  }
+  if (fenced_) return;
+  if (standbys_.empty()) {
+    repl_dirty_.clear();
+    last_heartbeat_ = Clock::now();
+    return;
+  }
+  if (ms_since(last_heartbeat_) >= opt_.repl_heartbeat_ms) {
+    last_heartbeat_ = Clock::now();
+    std::vector<std::uint64_t> ids;
+    for (const auto& [id, peer] : standbys_) ids.push_back(id);
+    const std::string beat = encode_repl_heartbeat(epoch_);
+    for (std::uint64_t id : ids) {
+      send_frame(id, kTagReplHeartbeat, beat);
+    }
+    // Reconciliation pass (cheap stat-compares when nothing changed):
+    // catches appends from foreign writers sharing the state dir,
+    // which never poke the dirty set.
+    repl_dirty_.clear();
+    repl_stream(journal_hashes(opt_.state_dir));
+    return;
+  }
+  if (!repl_dirty_.empty()) {
+    const std::vector<std::string> dirty(repl_dirty_.begin(),
+                                         repl_dirty_.end());
+    repl_dirty_.clear();
+    repl_stream(dirty);
+  }
+}
+
+void Daemon::handle_promote(Conn& conn) {
+  const std::uint64_t conn_id = conn.id;
+  PromoteAck ack;
+  if (fenced_ || draining_) {
+    ack.error = fenced_ ? "daemon is fenced" : "daemon is draining";
+  } else {
+    if (standby_) promote("operator");
+    ack.ok = true;
+    ack.epoch = epoch_;
+  }
+  send_frame(conn_id, kTagPromoteAck, encode_promote_ack(ack));
+}
+
+void Daemon::promote(const char* why) {
+  if (!standby_) return;
+  std::uint64_t highest = epoch_;
+  if (standby_link_) {
+    highest = std::max(highest, standby_link_->epoch());
+    standby_link_->close_link();
+    standby_link_.reset();
+  }
+  epoch_ = highest + 1;
+  standby_ = false;
+  std::string error;
+  if (!store_epoch_file(opt_.state_dir, epoch_, &error)) {
+    err_ << "powerlimd: promote: cannot persist epoch " << epoch_ << ": "
+         << error << "\n";
+  }
+  // Stamp the new epoch into every journal: from this moment a deposed
+  // primary sharing these files is durably fenced out of them.
+  for (const std::string& hash : journal_hashes(opt_.state_dir)) {
+    auto opened =
+        robust::SweepJournal::open(journal_path(opt_.state_dir, hash));
+    if (!opened.ok()) {
+      err_ << "powerlimd: promote: cannot open " << hash << ": "
+           << opened.status().to_string() << "\n";
+      continue;
+    }
+    const robust::Status st = opened.value().advance_epoch(epoch_);
+    if (!st.ok()) {
+      err_ << "powerlimd: promote: cannot stamp " << hash << ": "
+           << st.to_string() << "\n";
+    }
+  }
+  out_ << "powerlimd: promoted to primary at epoch " << epoch_ << " ("
+       << why << ")\n";
+  out_.flush();
+  // The promoted primary owns the owed work now: finish every journaled
+  // intent whose caps still lack trusted records. Proven rows are
+  // served from the replica journal, never re-solved.
+  if (opt_.resume) startup_resume();
+}
+
+void Daemon::fence_self(const std::string& why) {
+  if (fenced_) return;
+  fenced_ = true;
+  err_ << "powerlimd: fenced (" << why
+       << "): a newer primary exists; draining\n";
+  err_.flush();
+  // Active executors' rows can no longer be journaled or trusted; kill
+  // them rather than reply with results outside the durable history.
+  for (Request& req : active_) {
+    if (req.pid > 0) ::kill(req.pid, SIGKILL);
+  }
+  if (!draining_) begin_drain("fenced");
+}
+
+void Daemon::handle_standby_request(std::uint64_t conn_id,
+                                    ServeRequest&& sr) {
+  // A standby is a read replica: it serves a request if and only if
+  // *every* cap has a trusted (certificate-gated) record in the replica
+  // journal; anything less is shed with a typed reason so failover
+  // clients move on to the primary. No partial row streams - a half
+  // answer would duplicate rows once the client retries elsewhere.
+  Request req;
+  req.conn_id = conn_id;
+  req.id = sr.id;
+  req.kind = sr.kind;
+  req.caps = sr.caps;
+  req.trace_text = std::move(sr.trace_text);
+  req.hash = trace_hash(req.trace_text);
+  const std::string path = journal_path(opt_.state_dir, req.hash);
+  int proven = 0;
+  std::unique_ptr<robust::SweepJournal> journal;
+  struct stat sb = {};
+  if (::stat(path.c_str(), &sb) == 0) {
+    auto opened = robust::SweepJournal::open(path);
+    if (opened.ok()) {
+      journal = std::make_unique<robust::SweepJournal>(
+          std::move(opened).value());
+      for (double cap : req.caps) {
+        const robust::JournalEntry* entry = journal->find(cap);
+        if (entry != nullptr &&
+            robust::journal_entry_trusted(*entry,
+                                          /*require_certificate=*/true)) {
+          ++proven;
+        }
+      }
+    }
+  }
+  if (journal == nullptr ||
+      proven != static_cast<int>(req.caps.size())) {
+    ++shed_total_;
+    send_overloaded(conn_id, req.id, "standby",
+                    "read-only standby (" + std::to_string(proven) + "/" +
+                        std::to_string(req.caps.size()) +
+                        " caps proven); retry against the primary");
+    return;
+  }
+  for (double cap : req.caps) {
+    ++req.resumed;
+    reply_row(req, *journal->find(cap));
+  }
+  finish(req, "ok", "served from standby replica");
 }
 
 }  // namespace

@@ -38,6 +38,18 @@
 // ServeOptions.reopen_flag) closes and reopens the journals of active
 // requests. The daemon itself is single-threaded (one poll loop);
 // parallelism lives in the forked executors and their worker pools.
+//
+// High availability (serve/repl.h): a primary streams its journals to
+// warm standbys (`--standby-of HOST:PORT`) over the same port and
+// heartbeats them every --repl-heartbeat-ms. A standby serves repeat
+// queries whose caps are all proven in its replica journals and sheds
+// everything else (reason "standby"); it becomes the primary on an
+// operator `powerlim promote` or, with --promote-after-ms, on its own
+// once the primary has been silent that long - either way by bumping
+// the failover epoch, persisting it, and stamping it into every
+// journal. A deposed primary that observes a higher epoch (on the
+// replication link or fenced out of its own journals) drains and exits
+// kExitFenced instead of racing the promoted standby.
 #pragma once
 
 #include <csignal>
@@ -106,7 +118,23 @@ struct ServeOptions {
   /// Exit after this many requests have finished (0 = run forever).
   /// Test hook, mirroring serve-worker's --once.
   long max_requests = 0;
+
+  /// Warm-standby mode: replicate from this "host:port" primary instead
+  /// of executing work. Empty = primary.
+  std::string standby_of;
+  /// Standby only: auto-promote once the primary has been silent this
+  /// long, ms (0 = promote only on operator command).
+  double promote_after_ms = 0.0;
+  /// Primary only: heartbeat/stream-reconciliation cadence toward
+  /// connected standbys, ms.
+  double repl_heartbeat_ms = 250.0;
 };
+
+/// serve() exit code when the daemon was *fenced*: it observed a higher
+/// failover epoch (a standby was promoted past it) and refused to keep
+/// writing. Distinct from 0/1 so supervisors restart it as a standby
+/// instead of looping it as a primary.
+inline constexpr int kExitFenced = 76;
 
 /// Runs the daemon until drained (SIGTERM) or max_requests. Returns 0
 /// on a clean drain, 1 on startup failure (bad listen address, port in

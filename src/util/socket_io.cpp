@@ -275,6 +275,73 @@ int connect_timeout(const Endpoint& ep, double timeout_s,
   return fd;
 }
 
+int connect_start(const Endpoint& ep, std::string* error) {
+  ignore_sigpipe();
+  struct addrinfo hints = {};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  struct addrinfo* res = nullptr;
+  const std::string port_text = std::to_string(ep.port);
+  const int rc = ::getaddrinfo(ep.host.c_str(), port_text.c_str(), &hints,
+                               &res);
+  if (rc != 0) {
+    if (error) {
+      *error = "cannot resolve '" + ep.host + "': " + ::gai_strerror(rc);
+    }
+    return -1;
+  }
+  std::string last_error = "no usable address";
+  int fd = -1;
+  for (struct addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = errno_message("socket");
+      continue;
+    }
+    if (!set_nonblocking(fd, true)) {
+      last_error = errno_message("fcntl");
+      ::close(fd);
+      fd = -1;
+      continue;
+    }
+    const int crc = ::connect(fd, ai->ai_addr, ai->ai_addrlen);
+    if (crc == 0 || errno == EINPROGRESS || errno == EINTR) break;
+    last_error = errno_message("connect");
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0 && error) {
+    *error = "cannot connect to " + to_string(ep) + " (" + last_error + ")";
+  }
+  return fd;
+}
+
+IoStatus connect_finish(int fd, std::string* error) {
+  int so_error = 0;
+  socklen_t len = sizeof so_error;
+  if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &so_error, &len) != 0) {
+    if (error) *error = errno_message("getsockopt");
+    return IoStatus::kError;
+  }
+  if (so_error == 0) return IoStatus::kOk;
+  if (error) {
+    *error = std::string("connect: ") + std::strerror(so_error);
+  }
+  switch (so_error) {
+    case ECONNREFUSED:
+    case ECONNRESET:
+    case EPIPE:
+    case ETIMEDOUT:
+    case EHOSTUNREACH:
+    case ENETUNREACH:
+    case EHOSTDOWN:
+      return IoStatus::kDisconnected;
+    default:
+      return IoStatus::kError;
+  }
+}
+
 IoStatus send_all(int fd, const void* data, std::size_t len,
                   double timeout_s) {
   ignore_sigpipe();

@@ -93,6 +93,21 @@ int accept_timeout(int listen_fd, double timeout_s, IoStatus* status);
 int connect_timeout(const Endpoint& ep, double timeout_s,
                     std::string* error);
 
+/// Starts a *nonblocking* connect toward `ep`. Returns a nonblocking fd
+/// whose three-way handshake is complete or in progress, or -1 with a
+/// message in *error (resolve/socket failure). Poll the fd for POLLOUT
+/// and then settle it with connect_finish - this is the primitive for a
+/// poll-loop daemon that must court a dead peer (a standby redialing
+/// its primary) without ever blocking its own clients.
+int connect_start(const Endpoint& ep, std::string* error);
+
+/// Settles a connect_start fd after poll reported POLLOUT (or
+/// POLLERR/POLLHUP): kOk = connected (the fd stays nonblocking),
+/// kDisconnected = refused/unreachable/timed out (retryable later),
+/// kError = a real local failure. The caller closes the fd on anything
+/// but kOk.
+IoStatus connect_finish(int fd, std::string* error);
+
 /// Sends all `len` bytes, retrying EINTR and partial sends, polling for
 /// writability up to `timeout_s` total (0 = wait forever). EPIPE /
 /// ECONNRESET map to kDisconnected.

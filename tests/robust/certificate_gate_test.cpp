@@ -76,7 +76,9 @@ TEST(CertificateGate, CorruptedSolutionFailsEveryRungAndDegrades) {
   const std::string json = out.report.to_json();
   EXPECT_NE(json.find("\"verdict\":\"certificate-failed\""),
             std::string::npos);
-  EXPECT_NE(json.find("\"schema_version\":6"), std::string::npos);
+  EXPECT_NE(json.find("\"schema_version\":" +
+                      std::to_string(kRunReportSchemaVersion)),
+            std::string::npos);
 }
 
 TEST(CertificateGate, CorruptionScopedToOneCapOnlyFailsThatCap) {

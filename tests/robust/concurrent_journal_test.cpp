@@ -103,12 +103,17 @@ TEST(ConcurrentJournal, TwoProcessAppendsMergeByteIdenticalToSerial) {
   ASSERT_EQ(waitpid(b, &status, 0), b);
   ASSERT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0);
 
-  // Recovery must be clean except for the one expected duplicate: no
-  // torn frames, no quarantined bytes, first record for the dup wins.
+  // Recovery must be clean: no torn frames, no quarantined bytes, and
+  // exactly one record for the cap both processes completed. Appends
+  // absorb frames other writers already landed (the epoch-fencing
+  // read-before-write), so the crash-window duplicate is usually
+  // suppressed before it hits the file; if both writers raced past the
+  // check, recovery drops the second copy instead. Either way the
+  // merged journal carries nine records.
   Result<SweepJournal> merged = SweepJournal::open(shared);
   ASSERT_TRUE(merged.ok());
   EXPECT_EQ(merged->recovery().records, 9);
-  EXPECT_EQ(merged->recovery().duplicates_dropped, 1);
+  EXPECT_LE(merged->recovery().duplicates_dropped, 1);
   EXPECT_EQ(merged->recovery().quarantined_bytes, 0);
   EXPECT_FALSE(merged->recovery().quarantined_file);
 

@@ -50,6 +50,8 @@ RunReport golden_report() {
   rep.service.queue_wait_ms = 12.25;
   rep.service.solve_ms = 80.5;
   rep.service.total_ms = 92.75;
+  rep.service.epoch = 3;
+  rep.service.role = "primary";
 
   SolveAttempt a;
   a.rung = "warm";
@@ -87,7 +89,7 @@ RunReport golden_report() {
 // The golden string. Field order, spelling, and nesting are all
 // contractual; values are chosen to be exact in decimal.
 const char* const kGolden =
-    "{\"schema_version\":6,"
+    "{\"schema_version\":7,"
     "\"job_cap_watts\":120,"
     "\"socket_cap_watts\":60,"
     "\"verdict\":\"ok\","
@@ -103,7 +105,8 @@ const char* const kGolden =
     "\"transport\":{\"remote\":true,\"endpoint\":\"10.0.0.7:9200\","
     "\"retries\":1,\"backoff_ms\":25.5,\"heartbeat_misses\":3},"
     "\"service\":{\"served\":true,\"queue_depth\":4,\"shed_total\":7,"
-    "\"queue_wait_ms\":12.25,\"solve_ms\":80.5,\"total_ms\":92.75},"
+    "\"queue_wait_ms\":12.25,\"solve_ms\":80.5,\"total_ms\":92.75,"
+    "\"epoch\":3,\"role\":\"primary\"},"
     "\"fault\":{\"active\":true,\"seed\":42},"
     "\"ladder\":{\"enable_ladder\":true,\"enable_fallback\":true,"
     "\"validate_replay\":true,\"cap_deadline_ms\":250,"
@@ -125,12 +128,12 @@ TEST(ReportSchema, GoldenShapeIsStable) {
   EXPECT_EQ(golden_report().to_json(), kGolden);
 }
 
-TEST(ReportSchema, VersionIsSix) {
-  EXPECT_EQ(kRunReportSchemaVersion, 6);
-  EXPECT_EQ(RunReport{}.schema_version, 6);
+TEST(ReportSchema, VersionIsSeven) {
+  EXPECT_EQ(kRunReportSchemaVersion, 7);
+  EXPECT_EQ(RunReport{}.schema_version, 7);
   // Every serialized report leads with the version so consumers can
   // dispatch before parsing the rest.
-  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":6,", 0), 0u);
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":7,", 0), 0u);
 }
 
 TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
@@ -152,7 +155,7 @@ TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {
   EXPECT_NE(rep.to_json().find("\"service\":{\"served\":false,"
                                "\"queue_depth\":0,\"shed_total\":0,"
                                "\"queue_wait_ms\":0,\"solve_ms\":0,"
-                               "\"total_ms\":0}"),
+                               "\"total_ms\":0,\"epoch\":0,\"role\":\"\"}"),
             std::string::npos);
 }
 
@@ -197,10 +200,13 @@ TEST(ReportSchema, PatchServiceSplicesWithoutReserialization) {
   s.queue_wait_ms = 1.5;
   s.solve_ms = 200.25;
   s.total_ms = 201.75;
+  s.epoch = 2;
+  s.role = "standby";
   const std::string patched = patch_service_json(json, s);
   EXPECT_NE(patched.find("\"service\":{\"served\":true,\"queue_depth\":9,"
                          "\"shed_total\":3,\"queue_wait_ms\":1.5,"
-                         "\"solve_ms\":200.25,\"total_ms\":201.75}"),
+                         "\"solve_ms\":200.25,\"total_ms\":201.75,"
+                         "\"epoch\":2,\"role\":\"standby\"}"),
             std::string::npos);
   // Only the service block changed.
   EXPECT_EQ(patched.size() - patched.find("\"fault\":"),

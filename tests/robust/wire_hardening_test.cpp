@@ -189,6 +189,68 @@ TEST(WireHardening, MaxFrameBytesBoundsEveryEncodableFrame) {
   EXPECT_LE(header_overhead + kMaxWirePayload, kMaxFrameBytes);
 }
 
+TEST(WireHardening, ReplFrameTagMutationFuzzMatrix) {
+  // The replication link ("powerlimd-repl v1") rides this same framing,
+  // so the mutation matrix must cover its tags and payload shapes too: a
+  // deposed or compromised primary flipping bytes in hello/journal/ack/
+  // heartbeat frames must never produce a *different* intact frame. The
+  // payloads here mirror the repl codecs (serve/protocol.h) without
+  // linking them - at this layer only the framing contract matters.
+  const struct {
+    char tag;
+    std::string payload;
+  } repl_corpus[] = {
+      {'H', "powerlimd-repl v1\nschema=7 proto=2 epoch=3\n"
+            "mark deadbeef 4096 a1b2c3d4\n"},
+      {'h', "ok epoch=3"},
+      {'G', "hash=deadbeef\npowerlim-trace v1\nranks 2\n"},
+      {'J', std::string("hash=deadbeef off=20 epoch=3\nR 00ff 4\n\0\1\2\3\n",
+                        43)},
+      {'k', "hash=deadbeef off=4096 epoch=3"},
+      {'K', "epoch=3"},
+      {'Y', "hash=deadbeef\njournal history diverged"},
+  };
+  util::Rng rng(2027);
+  for (const auto& c : repl_corpus) {
+    const std::string good = frame_bytes(c.tag, c.payload);
+    for (std::size_t i = 0; i < good.size(); ++i) {
+      std::string bad = good;
+      char flip = static_cast<char>(rng.uniform(1.0, 255.0));
+      if (flip == bad[i]) flip ^= 0x1;
+      bad[i] = flip;
+      WireFrame f;
+      const WireDecode d = decode_wire_frame(bad, &f);
+      if (d == WireDecode::kOk || d == WireDecode::kTrailing) {
+        // Two mutations may survive: the tag byte itself (the CRC
+        // covers the payload, not the tag - the repl dispatcher's
+        // per-tag decoder refuses the payload cleanly), and a header
+        // separator flipped to *different whitespace* (scanf-identical,
+        // so the frame decodes to exactly the same message). Either
+        // way the payload must be byte-intact.
+        const bool tag_flip = (i == 2);
+        const bool whitespace_flip =
+            bad[i] == '\t' || bad[i] == '\v' || bad[i] == '\f' ||
+            bad[i] == '\r' || bad[i] == '\n' || bad[i] == ' ';
+        EXPECT_TRUE(tag_flip || whitespace_flip)
+            << "tag '" << c.tag << "' byte " << i
+            << " flip silently accepted";
+        if (!tag_flip) EXPECT_EQ(f.tag, c.tag);
+        EXPECT_EQ(f.payload, c.payload);
+      }
+    }
+    // Streamed truncation: every strict prefix of the frame is still
+    // waiting, never an intact decode (a half-received journal frame
+    // must not apply).
+    for (std::size_t n : {std::size_t{0}, good.size() / 2, good.size() - 1}) {
+      FrameStream stream;
+      stream.feed(good.substr(0, n));
+      WireFrame f;
+      EXPECT_EQ(stream.next(&f), WireDecode::kEmpty)
+          << "tag '" << c.tag << "' prefix " << n;
+    }
+  }
+}
+
 TEST(WireHardening, CrcZeroLengthAndBinaryPayloads) {
   // Edge payloads: empty, all-zero bytes, and bytes that look like
   // embedded frame headers must all round-trip exactly.

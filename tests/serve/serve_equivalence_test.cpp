@@ -128,6 +128,14 @@ struct Daemon {
   }
 };
 
+/// A state dir guaranteed empty — temp dirs survive across runs, and a
+/// stale journal would let the daemon serve rows a previous build wrote.
+std::string fresh_state(const std::string& name) {
+  const std::string dir = temp_path(name);
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
 Daemon start_daemon(const std::string& state_dir,
                     std::vector<std::string> extra_args) {
   static int counter = 0;
@@ -234,7 +242,7 @@ std::string* ServeEquivalence::offline_report_ = nullptr;
 CliResult* ServeEquivalence::offline_ = nullptr;
 
 TEST_F(ServeEquivalence, DaemonServedSweepMatchesOffline) {
-  Daemon d = start_daemon(temp_path("eq_state_clean"), {});
+  Daemon d = start_daemon(fresh_state("eq_state_clean"), {});
   ASSERT_GT(d.endpoint.port, 0);
 
   const std::string report = temp_path("eq_clean.json");
@@ -272,7 +280,7 @@ TEST_F(ServeEquivalence, WorkerCrashInjectionMatchesOffline) {
   ASSERT_EQ(offline_faulted.code, 0) << offline_faulted.err;
 
   Daemon d = start_daemon(
-      temp_path("eq_state_crash"),
+      fresh_state("eq_state_crash"),
       {"--inject-fail", "worker-crash", "--workers", "2"});
   ASSERT_GT(d.endpoint.port, 0);
   const CliResult q = run_cli(query_args(d));
@@ -321,7 +329,7 @@ TEST_F(ServeEquivalence, NetFaultAgainstRemoteWorkersMatchesOffline) {
   EXPECT_EQ(head_lines(offline_faulted.out, 2 + kCaps), offline_table());
 
   Daemon d = start_daemon(
-      temp_path("eq_state_net"),
+      fresh_state("eq_state_net"),
       {"--remote", remote, "--workers", "2", "--inject-fail", "net-drop"});
   ASSERT_GT(d.endpoint.port, 0);
   const CliResult q = run_cli(query_args(d));
@@ -335,8 +343,7 @@ TEST_F(ServeEquivalence, NetFaultAgainstRemoteWorkersMatchesOffline) {
 }
 
 TEST_F(ServeEquivalence, SigkillThenResumeServesByteIdenticalTable) {
-  const std::string state = temp_path("eq_state_kill");
-  std::filesystem::remove_all(state);
+  const std::string state = fresh_state("eq_state_kill");
   Daemon first = start_daemon(state, {"--max-active", "1"});
   ASSERT_GT(first.endpoint.port, 0);
 

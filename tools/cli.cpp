@@ -23,6 +23,7 @@
 #include "dag/windows.h"
 #include "machine/power_model.h"
 #include "robust/fault_injection.h"
+#include "robust/journal.h"
 #include "robust/pipeline.h"
 #include "robust/remote_worker.h"
 #include "robust/solve_driver.h"
@@ -140,26 +141,50 @@ const char* kUsage =
     "           [--inject-fail worker-crash|worker-oom|worker-hang\n"
     "            |net-drop|net-stall|net-corrupt|net-slow]\n"
     "           [--inject-attempts N]\n"
+    "           [--standby-of HOST:PORT [--promote-after-ms MS]]\n"
+    "           [--repl-heartbeat-ms MS]\n"
     "           (powerlimd: long-running bound/sweep daemon with bounded\n"
     "            admission (`overloaded` shed replies, never collapse),\n"
     "            journal-first durability per trace under --state-dir,\n"
     "            and fault degradation to the Static bound; SIGTERM\n"
     "            drains then exits 0, SIGHUP reopens journals, --resume\n"
     "            finishes sweeps a crash interrupted; port 0 binds an\n"
-    "            ephemeral port, published via --port-file)\n"
+    "            ephemeral port, published via --port-file;\n"
+    "            --standby-of runs a warm standby replicating the\n"
+    "            primary's journals, serving read-only repeats, and\n"
+    "            promoting on `powerlim promote` or - with\n"
+    "            --promote-after-ms - on heartbeat silence; a deposed\n"
+    "            primary fences itself and exits 76)\n"
+    "  promote  --server HOST:PORT [--timeout-s S]\n"
+    "           (ask a standby powerlimd to take over as primary: bumps\n"
+    "            the failover epoch, after which the old primary is\n"
+    "            fenced everywhere the epoch travels)\n"
+    "  journal  compact FILE [--no-certificate] [--crash-before-rename]\n"
+    "           (rewrite a sweep journal keeping only the latest proven\n"
+    "            record per cap - certificates are re-checked unless\n"
+    "            --no-certificate - plus pending request intents;\n"
+    "            crash-safe via write-fsync-rename; offline only)\n"
     "  query    TRACE --server HOST:PORT --from W --to W [--step W]\n"
+    "           [--endpoints HOST:PORT[,HOST:PORT...]]\n"
     "           [--deadline-ms MS] [--timeout-s S] [--id ID]\n"
     "           [--report FILE]\n"
     "           (submit a sweep to powerlimd and render the table exactly\n"
-    "            as offline `sweep` would; exit 3 = shed as overloaded)\n"
+    "            as offline `sweep` would; exit 3 = shed as overloaded;\n"
+    "            --endpoints retries idempotently across a primary and\n"
+    "            its standbys, refusing stale-epoch servers)\n"
     "  loadgen  TRACE --server HOST:PORT [--clients N] [--requests M]\n"
     "           --from W --to W [--step W] [--deadline-ms MS]\n"
+    "           [--endpoints HOST:PORT[,...]] [--replay FILE]\n"
     "           [--timeout-s S] [--json]\n"
     "           [--inject net-drop|net-stall|slow-read|oversize]\n"
     "           [--inject-hold-s S]\n"
     "           (concurrent client fleet against powerlimd; reports\n"
     "            ok/overloaded/error counts and p50/p99 latency; --inject\n"
-    "            adds one protocol-misbehaving saboteur client)\n"
+    "            adds one protocol-misbehaving saboteur client; --replay\n"
+    "            drives a file of queued requests - one\n"
+    "            '<kind> <deadline-ms> <cap[,cap...]>' per line - instead\n"
+    "            of a synthesized fleet; --endpoints makes every client\n"
+    "            failover-aware)\n"
     "  timeline FILE --socket-cap W [--method static|conductor|lp]\n"
     "           [--width N]\n"
     "  export   FILE --socket-cap W -o PREFIX\n"
@@ -866,6 +891,34 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   }
   so.max_requests = opt_int(p, "--max-requests", 0);
 
+  if (const auto it = p.options.find("--standby-of"); it != p.options.end()) {
+    util::Endpoint primary;
+    if (!util::parse_endpoint(it->second, &primary)) {
+      err << "serve: bad --standby-of '" << it->second << "'\n";
+      return 2;
+    }
+    if (so.state_dir.empty()) {
+      err << "serve: --standby-of needs --state-dir (the replica is the "
+             "point)\n";
+      return 2;
+    }
+    so.standby_of = it->second;
+  }
+  if (const auto ms = opt_double(p, "--promote-after-ms")) {
+    if (so.standby_of.empty()) {
+      err << "serve: --promote-after-ms only applies with --standby-of\n";
+      return 2;
+    }
+    so.promote_after_ms = *ms;
+  }
+  if (const auto ms = opt_double(p, "--repl-heartbeat-ms")) {
+    if (*ms <= 0) {
+      err << "serve: --repl-heartbeat-ms must be > 0\n";
+      return 2;
+    }
+    so.repl_heartbeat_ms = *ms;
+  }
+
   // Fault injection inherited by every forked executor: worker-* faults
   // injure the executors' solve workers, net-* their scheduler-side
   // remote attempts (same semantics as offline `sweep --inject-fail`).
@@ -903,16 +956,86 @@ int cmd_serve(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   return serve::serve(so, model(), cluster, out, err);
 }
 
+int cmd_promote(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  const auto server_it = p.options.find("--server");
+  util::Endpoint server;
+  if (server_it == p.options.end() ||
+      !util::parse_endpoint(server_it->second, &server)) {
+    err << "promote: --server HOST:PORT is required\n";
+    return 2;
+  }
+  const double timeout_s = opt_double(p, "--timeout-s").value_or(10.0);
+  serve::ServeClient client;
+  if (const robust::Status st = client.connect(server, timeout_s);
+      !st.ok()) {
+    err << "promote: " << st.to_string() << "\n";
+    return 1;
+  }
+  std::uint64_t epoch = 0;
+  if (const robust::Status st = client.promote(&epoch, timeout_s);
+      !st.ok()) {
+    err << "promote: " << st.to_string() << "\n";
+    return 1;
+  }
+  out << "promoted: epoch=" << epoch << " role=primary\n";
+  return 0;
+}
+
+int cmd_journal(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
+  if (p.positional.size() != 2 || p.positional[0] != "compact") {
+    err << "journal: expected 'journal compact FILE'\n";
+    return 2;
+  }
+  robust::CompactOptions co;
+  co.require_certificate = p.flags.count("--no-certificate") == 0;
+  co.crash_before_rename = p.flags.count("--crash-before-rename") > 0;
+  const robust::CompactResult res =
+      robust::compact_journal(p.positional[1], co);
+  if (!res.status.ok()) {
+    err << "journal compact: " << res.status.to_string() << "\n";
+    return 1;
+  }
+  if (!res.renamed) {
+    out << "stopped before rename (--crash-before-rename); original "
+           "journal untouched\n";
+    return 0;
+  }
+  out << "compacted: " << res.bytes_before << " -> " << res.bytes_after
+      << " bytes, kept " << res.records_kept << " cap record(s) (dropped "
+      << res.records_dropped << "), kept " << res.requests_kept
+      << " request intent(s) (dropped " << res.requests_dropped
+      << "), collapsed " << res.basis_dropped << " basis checkpoint(s), "
+      << res.epoch_records_dropped << " epoch stamp(s)";
+  if (res.epoch > 0) out << ", epoch=" << res.epoch;
+  out << "\n";
+  return 0;
+}
+
 int cmd_query(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   if (p.positional.size() != 1) {
     err << "query: expected one trace file\n";
     return 2;
   }
   const auto server_it = p.options.find("--server");
+  const auto endpoints_it = p.options.find("--endpoints");
   util::Endpoint server;
-  if (server_it == p.options.end() ||
-      !util::parse_endpoint(server_it->second, &server)) {
-    err << "query: --server HOST:PORT is required\n";
+  std::vector<util::Endpoint> endpoints;
+  if (endpoints_it != p.options.end()) {
+    for (const std::string& one : split_endpoints(endpoints_it->second)) {
+      util::Endpoint ep;
+      if (!util::parse_endpoint(one, &ep)) {
+        err << "query: bad endpoint '" << one << "' in --endpoints\n";
+        return 2;
+      }
+      endpoints.push_back(ep);
+    }
+    if (endpoints.empty()) {
+      err << "query: --endpoints needs at least one host:port\n";
+      return 2;
+    }
+  } else if (server_it == p.options.end() ||
+             !util::parse_endpoint(server_it->second, &server)) {
+    err << "query: --server HOST:PORT (or --endpoints) is required\n";
     return 2;
   }
   const auto from = opt_double(p, "--from");
@@ -943,19 +1066,28 @@ int cmd_query(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     req.trace_text = ts.str();
   }
 
-  serve::ServeClient client;
-  if (const robust::Status st = client.connect(server); !st.ok()) {
-    err << "query: " << st.to_string() << "\n";
-    return 1;
-  }
-  if (const robust::Status st = client.submit(req); !st.ok()) {
-    err << "query: " << st.to_string() << "\n";
-    return 1;
-  }
   const double wall_s =
       opt_double(p, "--timeout-s").value_or(
           req.deadline_ms > 0 ? req.deadline_ms / 1000.0 + 30.0 : 600.0);
-  const serve::CollectResult got = client.collect(req.id, wall_s);
+  serve::CollectResult got;
+  if (!endpoints.empty()) {
+    serve::FailoverClient failover(endpoints);
+    serve::FailoverResult fr = failover.request(req, /*connect_timeout_s=*/5.0,
+                                                wall_s);
+    got = std::move(fr.result);
+    if (!fr.detail.empty()) err << "query: failover: " << fr.detail << "\n";
+  } else {
+    serve::ServeClient client;
+    if (const robust::Status st = client.connect(server); !st.ok()) {
+      err << "query: " << st.to_string() << "\n";
+      return 1;
+    }
+    if (const robust::Status st = client.submit(req); !st.ok()) {
+      err << "query: " << st.to_string() << "\n";
+      return 1;
+    }
+    got = client.collect(req.id, wall_s);
+  }
 
   if (got.status == serve::CollectStatus::kOverloaded) {
     err << "query: overloaded (" << got.overloaded.reason << "): "
@@ -1014,9 +1146,24 @@ int cmd_loadgen(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
   }
   serve::LoadgenOptions lo;
   const auto server_it = p.options.find("--server");
-  if (server_it == p.options.end() ||
-      !util::parse_endpoint(server_it->second, &lo.server)) {
-    err << "loadgen: --server HOST:PORT is required\n";
+  const auto endpoints_it = p.options.find("--endpoints");
+  if (endpoints_it != p.options.end()) {
+    for (const std::string& one : split_endpoints(endpoints_it->second)) {
+      util::Endpoint ep;
+      if (!util::parse_endpoint(one, &ep)) {
+        err << "loadgen: bad endpoint '" << one << "' in --endpoints\n";
+        return 2;
+      }
+      lo.endpoints.push_back(ep);
+    }
+    if (lo.endpoints.empty()) {
+      err << "loadgen: --endpoints needs at least one host:port\n";
+      return 2;
+    }
+    lo.server = lo.endpoints.front();
+  } else if (server_it == p.options.end() ||
+             !util::parse_endpoint(server_it->second, &lo.server)) {
+    err << "loadgen: --server HOST:PORT (or --endpoints) is required\n";
     return 2;
   }
   lo.clients = opt_int(p, "--clients", 4);
@@ -1025,11 +1172,19 @@ int cmd_loadgen(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "loadgen: --clients and --requests must be >= 1\n";
     return 2;
   }
+  if (const auto it = p.options.find("--replay"); it != p.options.end()) {
+    std::string perr;
+    if (!serve::parse_replay_file(it->second, &lo.replay, &perr)) {
+      err << "loadgen: --replay: " << perr << "\n";
+      return 2;
+    }
+  }
   const auto from = opt_double(p, "--from");
   const auto to = opt_double(p, "--to");
   const double step = opt_double(p, "--step").value_or(5.0);
-  if (!from || !to || step <= 0) {
-    err << "loadgen: --from W --to W [--step W] required\n";
+  if (lo.replay.empty() && (!from || !to || step <= 0)) {
+    err << "loadgen: --from W --to W [--step W] (or --replay FILE) "
+           "required\n";
     return 2;
   }
   const auto trace = robust::load_trace_checked(p.positional[0]);
@@ -1037,7 +1192,8 @@ int cmd_loadgen(const ParsedArgs& p, std::ostream& out, std::ostream& err) {
     err << "error: " << trace.status().message() << "\n";
     return 1;
   }
-  lo.caps = caps_from_range(*from, *to, step, trace->num_ranks());
+  if (lo.replay.empty())
+    lo.caps = caps_from_range(*from, *to, step, trace->num_ranks());
   {
     std::ostringstream ts;
     dag::write_trace(ts, *trace);
@@ -1400,24 +1556,35 @@ int run(const std::vector<std::string>& args, std::ostream& out,
                  "--remote-heartbeat-ms", "--cap-deadline-ms",
                  "--default-deadline-ms", "--max-deadline-ms",
                  "--io-timeout-s", "--idle-timeout-s", "--max-requests",
-                 "--inject-fail", "--inject-attempts"},
+                 "--inject-fail", "--inject-attempts", "--standby-of",
+                 "--promote-after-ms", "--repl-heartbeat-ms"},
                 {"--resume"}),
+          out, err);
+    }
+    if (cmd == "promote") {
+      return cmd_promote(parse(args, 1, {"--server", "--timeout-s"}, {}),
+                         out, err);
+    }
+    if (cmd == "journal") {
+      return cmd_journal(
+          parse(args, 1, {},
+                {"--no-certificate", "--crash-before-rename"}),
           out, err);
     }
     if (cmd == "query") {
       return cmd_query(
           parse(args, 1,
-                {"--server", "--from", "--to", "--step", "--deadline-ms",
-                 "--timeout-s", "--id", "--report"},
+                {"--server", "--endpoints", "--from", "--to", "--step",
+                 "--deadline-ms", "--timeout-s", "--id", "--report"},
                 {}),
           out, err);
     }
     if (cmd == "loadgen") {
       return cmd_loadgen(
           parse(args, 1,
-                {"--server", "--clients", "--requests", "--from", "--to",
-                 "--step", "--deadline-ms", "--timeout-s", "--inject",
-                 "--inject-hold-s"},
+                {"--server", "--endpoints", "--clients", "--requests",
+                 "--from", "--to", "--step", "--deadline-ms", "--replay",
+                 "--timeout-s", "--inject", "--inject-hold-s"},
                 {"--json"}),
           out, err);
     }
