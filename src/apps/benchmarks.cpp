@@ -131,36 +131,36 @@ dag::TaskGraph make_lulesh(const LuleshParams& p) {
   std::vector<int> prev(p.ranks, init);
   for (int it = 0; it < p.iterations; ++it) {
     // Phase 1: stress/hourglass kernels, then post halo sends.
-    std::vector<int> send(p.ranks), recv(p.ranks);
+    std::vector<int> send_v(p.ranks), recv_v(p.ranks);
     for (int r = 0; r < p.ranks; ++r) {
       const double jitter = rng.clamped_normal(1.0, p.jitter_stdev, 0.9, 1.1);
       const double seconds = p.step_seconds * weight[r] * jitter;
-      send[r] = g.add_vertex(dag::VertexKind::kSend, r,
+      send_v[r] = g.add_vertex(dag::VertexKind::kSend, r,
                              "halo_post" + std::to_string(it));
-      g.add_task(prev[r], send[r], r, shaped(seconds * 0.6), it);
+      g.add_task(prev[r], send_v[r], r, shaped(seconds * 0.6), it);
     }
     // Halo: ring neighbors (structure stands in for the 3D 26-neighbor
     // exchange; what matters to the LP is cross-rank coupling between
     // collectives).
     for (int r = 0; r < p.ranks; ++r) {
-      recv[r] = g.add_vertex(dag::VertexKind::kRecv, r,
+      recv_v[r] = g.add_vertex(dag::VertexKind::kRecv, r,
                              "halo_wait" + std::to_string(it));
       // Local pack/unpack work between the post and the wait.
-      g.add_task(send[r], recv[r], r, shaped(p.step_seconds * 0.02), it);
+      g.add_task(send_v[r], recv_v[r], r, shaped(p.step_seconds * 0.02), it);
     }
     if (p.use_3d_halo && p.ranks > 1) {
       const std::array<int, 3> dims = factor_3d(p.ranks);
       for (int r = 0; r < p.ranks; ++r) {
         for (int n : torus_neighbors(r, dims)) {
-          g.add_message(send[r], recv[n], p.halo_bytes);
+          g.add_message(send_v[r], recv_v[n], p.halo_bytes);
         }
       }
     } else if (p.ranks > 1) {
       for (int r = 0; r < p.ranks; ++r) {
         const int left = (r + p.ranks - 1) % p.ranks;
         const int right = (r + 1) % p.ranks;
-        g.add_message(send[r], recv[left], p.halo_bytes);
-        if (right != left) g.add_message(send[r], recv[right], p.halo_bytes);
+        g.add_message(send_v[r], recv_v[left], p.halo_bytes);
+        if (right != left) g.add_message(send_v[r], recv_v[right], p.halo_bytes);
       }
     }
     // Phase 2: element kernels, then the dt Allreduce.
@@ -171,7 +171,7 @@ dag::TaskGraph make_lulesh(const LuleshParams& p) {
     for (int r = 0; r < p.ranks; ++r) {
       const double jitter = rng.clamped_normal(1.0, p.jitter_stdev, 0.9, 1.1);
       const double seconds = p.step_seconds * weight[r] * jitter;
-      g.add_task(recv[r], coll, r, shaped(seconds * 0.38), it);
+      g.add_task(recv_v[r], coll, r, shaped(seconds * 0.38), it);
     }
     std::fill(prev.begin(), prev.end(), coll);
   }
@@ -203,23 +203,23 @@ dag::TaskGraph make_nasmz(const NasMzParams& p,
 
   std::vector<int> prev(p.ranks, init);
   for (int it = 0; it < p.iterations; ++it) {
-    std::vector<int> send(p.ranks), recv(p.ranks);
+    std::vector<int> send_v(p.ranks), recv_v(p.ranks);
     for (int r = 0; r < p.ranks; ++r) {
-      send[r] = g.add_vertex(dag::VertexKind::kSend, r,
+      send_v[r] = g.add_vertex(dag::VertexKind::kSend, r,
                              "exch_post" + std::to_string(it));
       // Boundary copy-out is cheap and balanced.
-      g.add_task(prev[r], send[r], r, shaped(p.step_seconds * 0.02), it);
+      g.add_task(prev[r], send_v[r], r, shaped(p.step_seconds * 0.02), it);
     }
     for (int r = 0; r < p.ranks; ++r) {
-      recv[r] = g.add_vertex(dag::VertexKind::kRecv, r,
+      recv_v[r] = g.add_vertex(dag::VertexKind::kRecv, r,
                              "exch_wait" + std::to_string(it));
-      g.add_task(send[r], recv[r], r, shaped(p.step_seconds * 0.01), it);
+      g.add_task(send_v[r], recv_v[r], r, shaped(p.step_seconds * 0.01), it);
     }
     for (int r = 0; r < p.ranks && p.ranks > 1; ++r) {
       const int left = (r + p.ranks - 1) % p.ranks;
       const int right = (r + 1) % p.ranks;
-      g.add_message(send[r], recv[left], p.exchange_bytes);
-      if (right != left) g.add_message(send[r], recv[right], p.exchange_bytes);
+      g.add_message(send_v[r], recv_v[left], p.exchange_bytes);
+      if (right != left) g.add_message(send_v[r], recv_v[right], p.exchange_bytes);
     }
     const int coll = (it + 1 == p.iterations)
                          ? fin
@@ -227,7 +227,7 @@ dag::TaskGraph make_nasmz(const NasMzParams& p,
                                         "step_sync" + std::to_string(it));
     for (int r = 0; r < p.ranks; ++r) {
       const double jitter = rng.clamped_normal(1.0, jitter_stdev, 0.85, 1.15);
-      g.add_task(recv[r], coll, r,
+      g.add_task(recv_v[r], coll, r,
                  shaped(p.step_seconds * weight[r] * jitter * 0.97), it);
     }
     std::fill(prev.begin(), prev.end(), coll);

@@ -1,3 +1,4 @@
+// powerlint: allow-file(float-in-exact) -- this TU converts solver doubles to Dyadic at its edges (from_double on ingest, to_double only for report text); the comparison path is exact throughout
 #include "check/certificate.h"
 
 #include <cmath>

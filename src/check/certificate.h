@@ -25,6 +25,8 @@
 //      vertex times preserve the optimum.)
 //
 // Verdicts feed RunReport (schema 4) and the `certificate-failed` status.
+//
+// powerlint: allow-file(float-in-exact) -- the checker's interface ingests the solver's IEEE doubles and reports tolerances as doubles by contract; every comparison and all internal math is Dyadic (rational.h), whose own boundary lines carry per-line suppressions
 #pragma once
 
 #include <memory>

@@ -205,7 +205,7 @@ std::int64_t BigInt::bit_length() const {
   return bits;
 }
 
-double BigInt::to_double() const {
+double BigInt::to_double() const {  // powerlint: allow(float-in-exact) -- report boundary
   if (sign_ == 0) return 0.0;
   // Take the top <= 64 bits exactly, then scale; precise enough for
   // reporting (the comparison path never uses doubles).
@@ -216,6 +216,7 @@ double BigInt::to_double() const {
   for (std::size_t i = top.mag_.size(); i-- > 0;) {
     mag = (mag << 32) | top.mag_[i];
   }
+  // powerlint: allow(float-in-exact) -- top 64 bits fit a double mantissa path exactly enough for reporting
   return sign_ * std::ldexp(static_cast<double>(mag),
                             static_cast<int>(drop));
 }
@@ -261,13 +262,14 @@ void Dyadic::normalize() {
   }
 }
 
-Dyadic Dyadic::from_double(double value) {
+Dyadic Dyadic::from_double(double value) {  // powerlint: allow(float-in-exact) -- ingest boundary
   if (!std::isfinite(value)) {
     throw std::invalid_argument("Dyadic::from_double: non-finite value");
   }
-  if (value == 0.0) return Dyadic();
+  if (value == 0.0) return Dyadic();  // powerlint: allow(float-in-exact) -- exact zero test on the ingested IEEE value
   int exp = 0;
-  const double frac = std::frexp(value, &exp);  // |frac| in [0.5, 1)
+  // powerlint: allow(float-in-exact) -- frexp decomposition is exact; |frac| in [0.5, 1)
+  const double frac = std::frexp(value, &exp);
   // frac * 2^53 is an odd-or-even integer <= 2^53, exactly representable.
   const long long mant = static_cast<long long>(std::ldexp(frac, 53));
   return Dyadic(BigInt(mant), static_cast<std::int64_t>(exp) - 53);
@@ -307,12 +309,13 @@ int Dyadic::compare(const Dyadic& o) const {
 
 Dyadic Dyadic::abs() const { return sign() < 0 ? -*this : *this; }
 
-double Dyadic::to_double() const {
+double Dyadic::to_double() const {  // powerlint: allow(float-in-exact) -- report boundary
   if (is_zero()) return 0.0;
   // Reduce the mantissa to <= 64 bits first so a huge mantissa paired
   // with a very negative exponent cannot overflow on the way through.
   const std::int64_t bits = mant_.bit_length();
   const std::int64_t drop = bits > 64 ? bits - 64 : 0;
+  // powerlint: allow(float-in-exact) -- report boundary continuation
   const double top = mant_.shifted_right(drop).to_double();
   const std::int64_t e =
       std::clamp<std::int64_t>(drop + exp2_, -100000, 100000);

@@ -47,6 +47,7 @@ class BigInt {
   std::int64_t bit_length() const;
 
   /// Nearest double (rounding only happens here, for reporting).
+  // powerlint: allow(float-in-exact) -- the one sanctioned BigInt->double boundary
   double to_double() const;
   /// Decimal string, exact (for diagnostics and tests).
   std::string to_string() const;
@@ -75,6 +76,7 @@ class Dyadic {
   Dyadic() = default;
 
   /// Exact conversion; throws std::invalid_argument on NaN/Inf.
+  // powerlint: allow(float-in-exact) -- ingest boundary; conversion is exact, no FP arithmetic
   static Dyadic from_double(double value);
   static Dyadic from_int(long long value);
 
@@ -99,6 +101,7 @@ class Dyadic {
   Dyadic abs() const;
 
   /// Nearest double (for violation reports; never used in comparisons).
+  // powerlint: allow(float-in-exact) -- report boundary; never feeds a comparison
   double to_double() const;
 
  private:

@@ -165,7 +165,7 @@ class SweepJournal {
   /// Opens (creating if absent) and recovers a journal. Fails only on
   /// real IO errors (unwritable path); corruption never fails an open -
   /// it is truncated or quarantined and reported in `recovery()`.
-  static Result<SweepJournal> open(const std::string& path);
+  [[nodiscard]] static Result<SweepJournal> open(const std::string& path);
 
   SweepJournal(SweepJournal&&) noexcept;
   SweepJournal& operator=(SweepJournal&&) noexcept;
@@ -195,7 +195,7 @@ class SweepJournal {
   /// Durably appends an `E` epoch stamp. Idempotent when the journal
   /// already carries `epoch` (no write); refuses with kStaleEpoch when
   /// the journal has seen a *higher* epoch (epochs never regress).
-  Status advance_epoch(std::uint64_t epoch);
+  [[nodiscard]] Status advance_epoch(std::uint64_t epoch);
 
   /// Fences this handle at `epoch`: every later append first absorbs
   /// any foreign appends from the file and fails with kStaleEpoch if a
@@ -217,16 +217,16 @@ class SweepJournal {
   /// appends the bytes verbatim (same write+fsync discipline), updating
   /// recovered state. kBadInput on offset mismatch (caller resyncs),
   /// kWireMalformed on framing/CRC damage - nothing is applied then.
-  Status append_raw(std::uint64_t offset, const std::string& bytes);
+  [[nodiscard]] Status append_raw(std::uint64_t offset, const std::string& bytes);
 
   /// Durably appends one per-cap record (write + fsync before return).
   /// An entry for an already-journaled cap is dropped as a duplicate.
-  Status append(const JournalEntry& entry);
+  [[nodiscard]] Status append(const JournalEntry& entry);
   /// Durably appends a basis checkpoint. Empty snapshots are skipped.
-  Status append_basis(const std::vector<lp::WarmStart>& warm);
+  [[nodiscard]] Status append_basis(const std::vector<lp::WarmStart>& warm);
   /// Durably appends a request intent *before* any of its caps solve.
   /// Malformed requests (whitespace in id/kind) are kBadInput.
-  Status append_request(const JournalRequest& request);
+  [[nodiscard]] Status append_request(const JournalRequest& request);
 
  private:
   SweepJournal();

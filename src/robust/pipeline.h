@@ -24,11 +24,11 @@ namespace powerlim::robust {
 
 /// Loads a trace, mapping parse failures (with their file/line/token
 /// provenance preserved in the message) and IO failures to kBadInput.
-Result<dag::TaskGraph> load_trace_checked(const std::string& path);
+[[nodiscard]] Result<dag::TaskGraph> load_trace_checked(const std::string& path);
 
 /// Loads a saved schedule; failures map to kBadInput. When `graph` is
 /// given, also validates that the schedule matches it (edge counts).
-Result<core::SavedSchedule> load_schedule_checked(
+[[nodiscard]] Result<core::SavedSchedule> load_schedule_checked(
     const std::string& path, const dag::TaskGraph* graph = nullptr);
 
 /// Full resilient sweep: one driver solve per cap, partial results
@@ -126,7 +126,7 @@ struct ResilientSweepResult {
 /// recovered rows merged in request order with the fresh ones. Returns a
 /// Status only for journal-open failures (unwritable path); solve
 /// failures degrade per-cap as usual and never fail the sweep.
-Result<ResilientSweepResult> resilient_sweep(
+[[nodiscard]] Result<ResilientSweepResult> resilient_sweep(
     const dag::TaskGraph& graph, const machine::PowerModel& model,
     const machine::ClusterSpec& cluster, const std::vector<double>& job_caps,
     const ResilientSweepOptions& options = {});

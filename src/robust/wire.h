@@ -60,7 +60,7 @@ inline constexpr std::size_t kMaxFrameBytes =
 /// unidirectional with one reader, so no interleaving is possible.
 /// Payloads over kMaxWirePayload are refused with kWireMalformed (the
 /// peer would reject them anyway).
-Status write_wire_frame(int fd, char tag, const std::string& payload);
+[[nodiscard]] Status write_wire_frame(int fd, char tag, const std::string& payload);
 
 /// The frame as bytes (header + payload), for callers that own the
 /// transport - e.g. socket sends with timeouts. Oversized payloads

@@ -58,7 +58,7 @@ class ServeClient {
   /// server's "error ..." ack comes back as kWireMalformed with the
   /// server's skew description in the message. On success epoch()/role()
   /// report what the server declared in its ack.
-  robust::Status connect(const util::Endpoint& server,
+  [[nodiscard]] robust::Status connect(const util::Endpoint& server,
                          double timeout_s = 5.0);
 
   /// The failover epoch and role ("primary"/"standby") the server
@@ -69,12 +69,12 @@ class ServeClient {
   /// Asks the server to become (or confirm it is) the primary: sends
   /// 'P', waits for the 'p' ack. On Ok *epoch_out (if non-null) holds
   /// the server's post-promotion epoch.
-  robust::Status promote(std::uint64_t* epoch_out,
+  [[nodiscard]] robust::Status promote(std::uint64_t* epoch_out,
                          double timeout_s = 10.0);
 
   /// Sends one request frame ('U'). The reply is gathered separately
   /// with collect(), so a caller may render rows as they stream.
-  robust::Status submit(const ServeRequest& request);
+  [[nodiscard]] robust::Status submit(const ServeRequest& request);
 
   /// Gathers the reply for `request_id` until its terminal frame or
   /// `wall_timeout_s`. Frames for other request ids are dropped (the
@@ -89,7 +89,7 @@ class ServeClient {
   int fd() const { return fd_; }
 
  private:
-  robust::Status read_frame(robust::WireFrame* out, double timeout_s);
+  [[nodiscard]] robust::Status read_frame(robust::WireFrame* out, double timeout_s);
 
   int fd_ = -1;
   robust::FrameStream stream_;

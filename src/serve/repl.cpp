@@ -135,11 +135,30 @@ bool read_file_range(const std::string& path, std::uint64_t offset,
   if (max_bytes == 0) return true;
   const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
   if (fd < 0) return false;
-  out->resize(max_bytes);
+  // Clamp to what the file can actually deliver *before* sizing the
+  // buffer: max_bytes derives from a peer's replication mark, and a
+  // corrupt or hostile offset must not translate into a huge resize.
+  // Callers pre-clamp today; this keeps the function safe on its own.
+  struct stat st {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return false;
+  }
+  const std::uint64_t size = static_cast<std::uint64_t>(st.st_size);
+  const std::size_t max_readable =
+      offset >= size
+          ? 0
+          : static_cast<std::size_t>(
+                std::min<std::uint64_t>(max_bytes, size - offset));
+  if (max_readable == 0) {
+    ::close(fd);
+    return true;
+  }
+  out->resize(max_readable);
   std::size_t got = 0;
-  while (got < max_bytes) {
+  while (got < max_readable) {
     const ssize_t n = util::retry_eintr([&] {
-      return ::pread(fd, &(*out)[got], max_bytes - got,
+      return ::pread(fd, &(*out)[got], max_readable - got,
                      static_cast<off_t>(offset + got));
     });
     if (n < 0) {

@@ -179,7 +179,7 @@ class Daemon {
   void handle_promote(Conn& conn);
   void handle_standby_request(std::uint64_t conn_id, ServeRequest&& sr);
   /// Standby -> primary transition (operator command or heartbeat loss).
-  void promote(const char* why);
+  void promote_self(const char* why);
   /// A higher epoch was observed: refuse all further writes and drain.
   void fence_self(const std::string& why);
   /// Streams journal deltas (and first-time trace snapshots) to every
@@ -1218,20 +1218,18 @@ void Daemon::reply_row(Request& req, const robust::JournalEntry& entry) {
 }
 
 void Daemon::flush_conn(Conn& conn) {
-  while (!conn.outbuf.empty()) {
-    const ssize_t n =
-        ::send(conn.fd, conn.outbuf.data(), conn.outbuf.size(),
-               MSG_NOSIGNAL | MSG_DONTWAIT);
-    if (n > 0) {
-      conn.outbuf.erase(0, static_cast<std::size_t>(n));
-      conn.last_progress = Clock::now();
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return;
-    drop_conn(conn.id, "send failed");
-    return;
+  if (conn.outbuf.empty()) return;
+  std::size_t sent = 0;
+  const util::IoStatus st = util::send_nonblock(
+      conn.fd, conn.outbuf.data(), conn.outbuf.size(), &sent);
+  if (sent > 0) {
+    conn.outbuf.erase(0, sent);
+    conn.last_progress = Clock::now();
   }
+  // kTimeout = socket buffer full; the poll loop re-arms POLLOUT while
+  // outbuf is non-empty, so just come back later.
+  if (st == util::IoStatus::kOk || st == util::IoStatus::kTimeout) return;
+  drop_conn(conn.id, "send failed");
 }
 
 void Daemon::drop_conn(std::uint64_t conn_id, const char* why) {
@@ -1513,7 +1511,7 @@ void Daemon::repl_tick() {
     epoch_ = std::max(epoch_, standby_link_->epoch());
     if (!draining_ && opt_.promote_after_ms > 0.0 &&
         standby_link_->silence_ms() > opt_.promote_after_ms) {
-      promote("heartbeat-loss");
+      promote_self("heartbeat-loss");
     }
     return;
   }
@@ -1552,14 +1550,14 @@ void Daemon::handle_promote(Conn& conn) {
   if (fenced_ || draining_) {
     ack.error = fenced_ ? "daemon is fenced" : "daemon is draining";
   } else {
-    if (standby_) promote("operator");
+    if (standby_) promote_self("operator");
     ack.ok = true;
     ack.epoch = epoch_;
   }
   send_frame(conn_id, kTagPromoteAck, encode_promote_ack(ack));
 }
 
-void Daemon::promote(const char* why) {
+void Daemon::promote_self(const char* why) {
   if (!standby_) return;
   std::uint64_t highest = epoch_;
   if (standby_link_) {

@@ -380,6 +380,31 @@ IoStatus send_all(int fd, const void* data, std::size_t len,
   return IoStatus::kOk;
 }
 
+IoStatus send_nonblock(int fd, const void* data, std::size_t len,
+                       std::size_t* sent) {
+  ignore_sigpipe();
+  *sent = 0;
+  const char* p = static_cast<const char*>(data);
+  while (len > 0) {
+    const ssize_t n = retry_eintr(
+        [&] { return ::send(fd, p, len, MSG_NOSIGNAL | MSG_DONTWAIT); });
+    if (n > 0) {
+      p += n;
+      len -= static_cast<std::size_t>(n);
+      *sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      return IoStatus::kTimeout;
+    }
+    if (n < 0 && (errno == EPIPE || errno == ECONNRESET)) {
+      return IoStatus::kDisconnected;
+    }
+    return IoStatus::kError;
+  }
+  return IoStatus::kOk;
+}
+
 IoStatus recv_some(int fd, std::string* out) {
   char buf[1 << 16];
   const ssize_t n =

@@ -114,6 +114,14 @@ IoStatus connect_finish(int fd, std::string* error);
 IoStatus send_all(int fd, const void* data, std::size_t len,
                   double timeout_s = 0.0);
 
+/// One nonblocking drain for poll-loop writers flushing an outbuf:
+/// sends as much as the socket buffer takes right now and reports
+/// progress in *sent. kOk = all len bytes went out, kTimeout = buffer
+/// filled first (*sent < len; re-arm POLLOUT and come back),
+/// kDisconnected / kError as send_all. Never polls and never blocks.
+IoStatus send_nonblock(int fd, const void* data, std::size_t len,
+                       std::size_t* sent);
+
 /// One recv() appended to *out (after the caller's poll said readable).
 /// kOk = got bytes, kTimeout = spuriously unready (EAGAIN), and EOF /
 /// ECONNRESET / EPIPE = kDisconnected.

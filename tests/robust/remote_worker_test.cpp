@@ -101,6 +101,7 @@ util::CancelToken& serve_cancel() {
   return token;
 }
 
+// powerlint: allow(signal-unsafe) -- serve_cancel's static local is initialized before the handler is registered, so the accessor is a plain load and cancel() is one relaxed atomic store
 extern "C" void serve_sigterm(int) { serve_cancel().cancel(); }
 
 /// Forks a serve_worker on an ephemeral port and waits for the port
@@ -113,6 +114,10 @@ ServeChild start_serve_worker(NetFault fault = NetFault::kNone,
   std::remove(port_file.c_str());
   const pid_t pid = fork();
   if (pid == 0) {
+    // Run the accessor once before registering the handler: a first
+    // call from inside the handler would do static-local init under a
+    // guard lock, which is not async-signal-safe.
+    util::CancelToken& cancel = serve_cancel();
     signal(SIGTERM, serve_sigterm);
     ServeWorkerOptions opt;
     opt.listen = {"127.0.0.1", 0};
@@ -120,7 +125,7 @@ ServeChild start_serve_worker(NetFault fault = NetFault::kNone,
     opt.once = once;
     opt.heartbeat_ms = 50.0;
     opt.fault = fault;
-    opt.cancel = &serve_cancel();
+    opt.cancel = &cancel;
     std::ostringstream out, err;
     _exit(serve_worker(opt, out, err));
   }

@@ -1,0 +1,26 @@
+// Seeded violations for alloc-before-validate: a resize() and a new[]
+// sized straight from a wire-read length with no preceding kMax* bound
+// check. The guarded and constant-sized variants must NOT fire.
+inline constexpr unsigned long kMaxFrameBytes = 1 << 16;
+
+struct Buf {
+  void resize(unsigned long n);
+  void reserve(unsigned long n);
+};
+
+void parse_unchecked(Buf& b, unsigned long wire_len) {
+  b.resize(wire_len);  // line 12: alloc sized from parsed input
+}
+
+char* copy_unchecked(unsigned long wire_len) {
+  return new char[wire_len];  // line 16: new[] sized from parsed input
+}
+
+void parse_checked(Buf& b, unsigned long wire_len) {
+  if (wire_len > kMaxFrameBytes) return;  // the bound check
+  b.resize(wire_len);  // guarded: fine
+}
+
+void parse_fixed(Buf& b) {
+  b.reserve(4096);  // constant size: fine
+}

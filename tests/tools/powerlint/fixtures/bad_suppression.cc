@@ -1,0 +1,11 @@
+// Malformed suppressions: an unknown check name and a missing reason.
+// Both must surface as bad-suppression, and the violations they tried
+// to hide must still be reported.
+long drain(int fd, char* buf, unsigned long n) {
+  long total = 0;
+  // powerlint: allow(raw-sycall) -- typo in the check name
+  ::read(fd, buf, n);
+  // powerlint: allow(raw-syscall)
+  send(fd, buf, n);
+  return total;
+}

@@ -1,0 +1,20 @@
+// Seeded violations for discarded-status: two call sites that drop a
+// Status result on the floor. (The missing-[[nodiscard]] declaration
+// form lives in missing_nodiscard.h - that check only runs on headers.)
+// Line numbers are asserted exactly by the golden test - keep edits
+// append-only or update powerlint_test.cpp.
+struct Status {
+  [[nodiscard]] static Status Ok() { return Status{}; }
+  bool ok() const { return true; }
+};
+
+Status save_all();  // .cc decl: feeds pass-1 facts, decl check exempt
+[[nodiscard]] Status annotated_save();
+
+void caller() {
+  save_all();        // line 15: result silently dropped
+  annotated_save();  // line 16: result silently dropped
+  Status kept = annotated_save();
+  (void)kept;
+  if (!annotated_save().ok()) return;  // consumed: fine
+}

@@ -1,0 +1,9 @@
+// Seeded violations for float-in-exact: a double declaration and FP
+// literals inside a TU the config marks as exact-arithmetic. Integer
+// math must NOT fire.
+int triple(int x) { return 3 * x; }  // integers: fine
+
+int scale(int x) {
+  double f = 0.5;  // line 7: 'double' keyword and literal '0.5'
+  return x * static_cast<int>(f + 1e3);  // line 8: literal '1e3'
+}

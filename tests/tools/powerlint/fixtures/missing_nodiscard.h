@@ -1,0 +1,10 @@
+// Seeded violation: a by-value Status return declared in an annotated
+// layer's header without [[nodiscard]]. The annotated twin and the
+// reference return must NOT fire.
+#pragma once
+
+struct Status;
+
+Status refresh_bound();  // line 8: missing [[nodiscard]]
+[[nodiscard]] Status annotated_refresh();
+Status& current_status();  // by-reference: exempt

@@ -1,0 +1,16 @@
+// Seeded violations for raw-syscall: bare read()/send() outside the
+// util::posix_io / util::socket_io wrappers. Member calls and
+// declarations that merely reuse a syscall name must NOT fire.
+struct Conn {
+  long read(char* buf, unsigned long n);  // member decl: not a syscall
+};
+
+long drain(int fd, char* buf, unsigned long n) {
+  long total = Conn{}.read(buf, n);  // member call: fine
+  ::read(fd, buf, n);                // line 10: bare global read()
+  return total;
+}
+
+void push(int fd, const char* buf, unsigned long n) {
+  send(fd, buf, n);  // line 15: unqualified send() call
+}

@@ -1,0 +1,13 @@
+// Seeded violation for signal-unsafe: a registered handler that calls
+// into non-async-signal-safe code (a logger that allocates). The
+// allowlisted _exit() call must NOT fire.
+void log_shutdown(const char* why);  // allocates: not signal-safe
+
+extern "C" void on_term(int) {
+  log_shutdown("sigterm");  // line 7: unsafe call from a handler
+  _exit(0);                 // allowlisted: fine
+}
+
+void install_handlers() {
+  signal(15, on_term);  // registration makes on_term a handler
+}

@@ -1,0 +1,12 @@
+// Every seeded violation here carries a well-formed suppression, so the
+// expected report is zero findings with a non-zero suppressed count.
+long drain(int fd, char* buf, unsigned long n) {
+  long total = 0;
+  // powerlint: allow(raw-syscall) -- fixture exercises line-suppression placement above the call
+  ::read(fd, buf, n);
+  return total;
+}
+
+void push(int fd, const char* buf, unsigned long n) {
+  send(fd, buf, n);  // powerlint: allow(raw-syscall) -- trailing placement on the same line
+}

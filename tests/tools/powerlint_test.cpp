@@ -1,0 +1,173 @@
+// Golden tests for the powerlint fixture corpus: every check fires on
+// its seeded violation at the exact path:line, clean code stays clean,
+// and well-formed suppressions hide findings while malformed ones are
+// themselves findings. The full-tree "project lints clean" property is
+// enforced separately by the `powerlint_tree` ctest registered in
+// tools/powerlint/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "powerlint.h"
+
+namespace {
+
+using powerlint::Config;
+using powerlint::Report;
+
+std::string fixture(const std::string& name) {
+  return std::string(POWERLINT_FIXTURE_DIR) + "/" + name;
+}
+
+/// The corpus-scoped config: fixture paths stand in for the project
+/// layers the real powerlint.conf names.
+Config fixture_config() {
+  Config cfg;
+  cfg.nodiscard_paths = {"fixtures"};
+  cfg.raw_syscall_allowed = {};  // no wrapper TUs in the corpus
+  cfg.exact_files = {"float_in_exact"};
+  cfg.alloc_files = {"alloc_before_validate"};
+  return cfg;
+}
+
+Report lint(const std::string& name) {
+  Report report;
+  std::string error;
+  const bool ok =
+      powerlint::run_powerlint({fixture(name)}, fixture_config(), &report,
+                               &error);
+  EXPECT_TRUE(ok) << error;
+  return report;
+}
+
+/// "basename:line:check" - the golden shape. Paths are absolute at run
+/// time, so goldens compare against the trailing component only.
+std::vector<std::string> keys(const Report& report) {
+  std::vector<std::string> out;
+  for (const auto& d : report.diagnostics) {
+    const std::size_t slash = d.file.find_last_of('/');
+    out.push_back(d.file.substr(slash + 1) + ":" + std::to_string(d.line) +
+                  ":" + d.check);
+  }
+  return out;
+}
+
+TEST(PowerlintGolden, DiscardedStatus) {
+  const Report r = lint("discarded_status.cc");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "discarded_status.cc:15:discarded-status",
+                         "discarded_status.cc:16:discarded-status",
+                     }));
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(PowerlintGolden, MissingNodiscardInHeader) {
+  const Report r = lint("missing_nodiscard.h");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "missing_nodiscard.h:8:discarded-status",
+                     }));
+}
+
+TEST(PowerlintGolden, RawSyscall) {
+  const Report r = lint("raw_syscall.cc");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "raw_syscall.cc:10:raw-syscall",
+                         "raw_syscall.cc:15:raw-syscall",
+                     }));
+}
+
+TEST(PowerlintGolden, SignalUnsafe) {
+  const Report r = lint("signal_unsafe.cc");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "signal_unsafe.cc:7:signal-unsafe",
+                     }));
+}
+
+TEST(PowerlintGolden, FloatInExact) {
+  const Report r = lint("float_in_exact.cc");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "float_in_exact.cc:7:float-in-exact",
+                         "float_in_exact.cc:7:float-in-exact",
+                         "float_in_exact.cc:8:float-in-exact",
+                     }));
+}
+
+TEST(PowerlintGolden, AllocBeforeValidate) {
+  const Report r = lint("alloc_before_validate.cc");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "alloc_before_validate.cc:12:alloc-before-validate",
+                         "alloc_before_validate.cc:16:alloc-before-validate",
+                     }));
+}
+
+TEST(PowerlintGolden, CleanFileHasNoFindings) {
+  const Report r = lint("clean.cc");
+  EXPECT_EQ(keys(r), std::vector<std::string>{});
+  EXPECT_EQ(r.suppressed, 0);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(PowerlintGolden, SuppressionsHideFindingsAndAreCounted) {
+  const Report r = lint("suppressed.cc");
+  EXPECT_EQ(keys(r), std::vector<std::string>{});
+  EXPECT_EQ(r.suppressed, 2);
+  EXPECT_TRUE(r.clean());
+}
+
+TEST(PowerlintGolden, MalformedSuppressionsAreFindingsAndHideNothing) {
+  const Report r = lint("bad_suppression.cc");
+  EXPECT_EQ(keys(r), (std::vector<std::string>{
+                         "bad_suppression.cc:6:bad-suppression",
+                         "bad_suppression.cc:7:raw-syscall",
+                         "bad_suppression.cc:8:bad-suppression",
+                         "bad_suppression.cc:9:raw-syscall",
+                     }));
+  EXPECT_EQ(r.suppressed, 0);
+}
+
+TEST(PowerlintGolden, WholeCorpusInOnePass) {
+  // One multi-file run must see exactly the union of the per-file
+  // goldens: pass-1 facts from one fixture must not leak findings into
+  // another.
+  Report report;
+  std::string error;
+  ASSERT_TRUE(powerlint::run_powerlint({POWERLINT_FIXTURE_DIR},
+                                       fixture_config(), &report, &error))
+      << error;
+  EXPECT_EQ(report.files_scanned, 9);
+  EXPECT_EQ(report.diagnostics.size(), 15u);
+  EXPECT_EQ(report.suppressed, 2);
+}
+
+TEST(PowerlintConfig, RejectsUnknownKeysAndChecks) {
+  Config cfg;
+  std::string error;
+  EXPECT_FALSE(powerlint::parse_config("bogus_key = 1", &cfg, &error));
+  EXPECT_NE(error.find("unknown key"), std::string::npos);
+  EXPECT_FALSE(
+      powerlint::parse_config("checks = no-such-check", &cfg, &error));
+  EXPECT_NE(error.find("unknown check"), std::string::npos);
+}
+
+TEST(PowerlintConfig, ListKeysReplaceDefaults) {
+  Config cfg;
+  std::string error;
+  ASSERT_TRUE(powerlint::parse_config(
+      "raw_syscalls = ioctl\nstatus_types = Outcome  # comment\n", &cfg,
+      &error))
+      << error;
+  EXPECT_EQ(cfg.raw_syscalls, (std::set<std::string>{"ioctl"}));
+  EXPECT_EQ(cfg.status_types, (std::set<std::string>{"Outcome"}));
+}
+
+TEST(PowerlintReport, JsonCarriesCountsAndFindings) {
+  const Report r = lint("raw_syscall.cc");
+  const std::string json = r.to_json();
+  EXPECT_NE(json.find("\"raw-syscall\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"files_scanned\": 1"), std::string::npos);
+  EXPECT_NE(json.find("raw_syscall.cc"), std::string::npos);
+}
+
+}  // namespace

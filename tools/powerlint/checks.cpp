@@ -1,0 +1,469 @@
+#include "checks.h"
+
+#include <cstddef>
+
+namespace powerlint {
+
+namespace {
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+bool is(const Token& t, const char* text) { return t.text == text; }
+
+bool is_ident(const Token& t) { return t.kind == TokKind::kIdent; }
+
+/// Index of the punct matching `open` at `i` (same nesting), or kNpos.
+std::size_t match_forward(const std::vector<Token>& toks, std::size_t i,
+                          const char* open, const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    if (toks[j].text == open) ++depth;
+    if (toks[j].text == close && --depth == 0) return j;
+  }
+  return kNpos;
+}
+
+/// Balances a template argument list starting at the '<' at `i`.
+/// Conservative: gives up (kNpos) past 64 tokens - no Status/Result
+/// return type in this codebase is longer, and an expression's stray
+/// less-than will bail out instead of swallowing the file.
+std::size_t match_template(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size() && j < i + 64; ++j) {
+    if (toks[j].kind != TokKind::kPunct) continue;
+    if (toks[j].text == "<") ++depth;
+    if (toks[j].text == ">" && --depth == 0) return j;
+    if (toks[j].text == ";" || toks[j].text == "{") return kNpos;
+  }
+  return kNpos;
+}
+
+bool is_specifier(const Token& t) {
+  return is_ident(t) &&
+         (t.text == "static" || t.text == "inline" || t.text == "virtual" ||
+          t.text == "constexpr" || t.text == "explicit" ||
+          t.text == "friend" || t.text == "const" || t.text == "typename");
+}
+
+/// A function declaration/definition whose by-value return type is one
+/// of the status types: `[[nodiscard]]? spec* (ns::)* Status|Result<T>
+/// (Class::)* name (`.
+struct StatusDecl {
+  std::size_t type_idx = 0;  // the Status/Result token
+  std::size_t name_idx = 0;
+  std::string name;
+  std::string type;  // "Status" or "Result"
+  bool has_nodiscard = false;
+};
+
+/// Finds the status-returning declaration whose return type token is at
+/// `i`, if any.
+bool match_status_decl(const std::vector<Token>& toks, std::size_t i,
+                       const Config& cfg, StatusDecl* out) {
+  if (!is_ident(toks[i]) || cfg.status_types.count(toks[i].text) == 0)
+    return false;
+  std::size_t j = i + 1;
+  if (j < toks.size() && is(toks[j], "<")) {
+    const std::size_t close = match_template(toks, j);
+    if (close == kNpos) return false;
+    j = close + 1;
+  }
+  // By-value only: Status& / Status* accessors may be read-or-ignored.
+  if (j >= toks.size() || !is_ident(toks[j])) return false;
+  // Qualified out-of-line definitions: Class::name.
+  while (j + 2 < toks.size() && is(toks[j + 1], "::") &&
+         is_ident(toks[j + 2]))
+    j += 2;
+  if (j + 1 >= toks.size() || !is(toks[j + 1], "(")) return false;
+  out->type_idx = i;
+  out->name_idx = j;
+  out->name = toks[j].text;
+  out->type = toks[i].text;
+  // Attribute lookback: skip the return type's namespace qualification
+  // and any specifiers, then expect the `]]` of an attribute block that
+  // names nodiscard.
+  std::size_t k = i;
+  while (k >= 2 && is(toks[k - 1], "::") && is_ident(toks[k - 2])) k -= 2;
+  while (k >= 1 && is_specifier(toks[k - 1])) --k;
+  out->has_nodiscard = false;
+  if (k >= 2 && is(toks[k - 1], "]") && is(toks[k - 2], "]")) {
+    for (std::size_t b = (k >= 8 ? k - 8 : 0); b < k; ++b) {
+      if (is_ident(toks[b]) && toks[b].text == "nodiscard") {
+        out->has_nodiscard = true;
+        break;
+      }
+    }
+  }
+  return true;
+}
+
+bool ends_with(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool is_header(const std::string& path) {
+  return ends_with(path, ".h") || ends_with(path, ".hpp");
+}
+
+bool guard_name(const std::string& text,
+                const std::vector<std::string>& guards) {
+  for (const auto& g : guards)
+    if (text.compare(0, g.size(), g) == 0) return true;
+  return false;
+}
+
+/// Statement-leading tokens: a call chain directly after one of these is
+/// an expression statement, so its value is being dropped. `:` is absent
+/// on purpose - it would catch case labels but misreads the ternary's
+/// else-arm as a statement.
+bool statement_lead(const Token& t) {
+  return t.kind == TokKind::kPunct
+             ? (t.text == ";" || t.text == "{" || t.text == "}" ||
+                t.text == ")")
+             : (is_ident(t) && (t.text == "else" || t.text == "do"));
+}
+
+/// Keywords that must never be mistaken for a call-chain receiver
+/// (`return ::open(...)` is not a chain rooted at `return`).
+bool receiver_keyword(const Token& t) {
+  return is_ident(t) &&
+         (t.text == "return" || t.text == "else" || t.text == "do" ||
+          t.text == "case" || t.text == "goto" || t.text == "throw" ||
+          t.text == "co_return" || t.text == "co_await" ||
+          t.text == "co_yield" || t.text == "new" || t.text == "delete");
+}
+
+/// Tokens a genuine *call* (not a declaration) follows. Identifiers and
+/// type keywords before the name mean a declaration instead.
+bool call_lead(const Token& t) {
+  if (t.kind == TokKind::kIdent)
+    return t.text == "return" || t.text == "else" || t.text == "do";
+  return t.text == ";" || t.text == "{" || t.text == "}" ||
+         t.text == "(" || t.text == "," || t.text == "=" ||
+         t.text == "!" || t.text == "?" || t.text == ":" ||
+         t.text == "&" || t.text == "|";
+}
+
+const std::set<std::string>& control_keywords() {
+  static const std::set<std::string> kw = {
+      "if",     "while",  "for",     "switch",      "return",
+      "sizeof", "case",   "catch",   "static_cast", "reinterpret_cast",
+      "const_cast", "alignof", "decltype", "noexcept", "assert"};
+  return kw;
+}
+
+void diag(std::vector<Diagnostic>* out, const LexedFile& f, int line,
+          const char* check, std::string message) {
+  out->push_back(Diagnostic{f.path, line, check, std::move(message)});
+}
+
+// --- signal-unsafe helpers ---
+
+/// Scans a handler body [begin, end) for calls outside the allowlist.
+void check_handler_body(const LexedFile& f, const Config& cfg,
+                        const std::string& handler, std::size_t begin,
+                        std::size_t end, std::vector<Diagnostic>* out) {
+  const auto& toks = f.tokens;
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!is_ident(toks[i]) || i + 1 >= end || !is(toks[i + 1], "(")) continue;
+    const std::string& name = toks[i].text;
+    if (control_keywords().count(name) > 0) continue;
+    if (cfg.signal_safe.count(name) > 0) continue;
+    // Nested lambdas introduced inside a handler would be registered
+    // elsewhere; a call is a call.
+    diag(out, f, toks[i].line, kCheckSignalUnsafe,
+         "signal handler '" + handler + "' calls '" + name +
+             "' which is not on the async-signal-safe allowlist "
+             "(signal_safe in powerlint.conf)");
+  }
+}
+
+/// If toks[i] starts a lambda (`[`), returns the body range via
+/// *body_begin/*body_end and the index past the closing `}`.
+std::size_t match_lambda(const std::vector<Token>& toks, std::size_t i,
+                         std::size_t* body_begin, std::size_t* body_end) {
+  if (i >= toks.size() || !is(toks[i], "[")) return kNpos;
+  const std::size_t capture_close = match_forward(toks, i, "[", "]");
+  if (capture_close == kNpos) return kNpos;
+  std::size_t j = capture_close + 1;
+  if (j < toks.size() && is(toks[j], "(")) {
+    const std::size_t params_close = match_forward(toks, j, "(", ")");
+    if (params_close == kNpos) return kNpos;
+    j = params_close + 1;
+  }
+  // Skip mutable/noexcept/trailing-return up to the body.
+  while (j < toks.size() && !is(toks[j], "{") && !is(toks[j], ";")) ++j;
+  if (j >= toks.size() || !is(toks[j], "{")) return kNpos;
+  const std::size_t close = match_forward(toks, j, "{", "}");
+  if (close == kNpos) return kNpos;
+  *body_begin = j + 1;
+  *body_end = close;
+  return close + 1;
+}
+
+}  // namespace
+
+const std::vector<std::string>& all_check_names() {
+  static const std::vector<std::string> names = {
+      kCheckDiscardedStatus, kCheckRawSyscall,   kCheckSignalUnsafe,
+      kCheckFloatInExact,    kCheckAllocBeforeValidate};
+  return names;
+}
+
+std::string Diagnostic::to_string() const {
+  return file + ":" + std::to_string(line) + ": [" + check + "] " + message;
+}
+
+bool path_matches(const std::string& path,
+                  const std::vector<std::string>& needles) {
+  for (const auto& n : needles)
+    if (!n.empty() && path.find(n) != std::string::npos) return true;
+  return false;
+}
+
+void collect_facts(const LexedFile& file, const Config& cfg,
+                   CorpusFacts* facts) {
+  const auto& toks = file.tokens;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    StatusDecl decl;
+    if (match_status_decl(toks, i, cfg, &decl))
+      facts->status_fns.insert(decl.name);
+    // Handler registrations by name: `.sa_handler = fn` / `signal(SIG, fn)`.
+    if (is_ident(toks[i]) &&
+        (toks[i].text == "sa_handler" || toks[i].text == "sa_sigaction") &&
+        i + 2 < toks.size() && is(toks[i + 1], "=") &&
+        is_ident(toks[i + 2]) && toks[i + 2].text != "nullptr") {
+      // SIG_IGN / SIG_DFL are dispositions, not handlers.
+      if (toks[i + 2].text.compare(0, 4, "SIG_") != 0)
+        facts->handler_sites.emplace(
+            toks[i + 2].text,
+            file.path + ":" + std::to_string(toks[i].line));
+    }
+    if (is_ident(toks[i]) && toks[i].text == "signal" && i + 1 < toks.size() &&
+        is(toks[i + 1], "(")) {
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close != kNpos && close >= 2 && is_ident(toks[close - 1]) &&
+          is(toks[close - 2], ",") &&
+          toks[close - 1].text.compare(0, 4, "SIG_") != 0)
+        facts->handler_sites.emplace(
+            toks[close - 1].text,
+            file.path + ":" + std::to_string(toks[i].line));
+    }
+  }
+}
+
+void run_checks(const LexedFile& file, const Config& cfg,
+                const CorpusFacts& facts, std::vector<Diagnostic>* out) {
+  const auto& toks = file.tokens;
+
+  // --- discarded-status -------------------------------------------------
+  if (cfg.check_enabled(kCheckDiscardedStatus)) {
+    // (a) Missing [[nodiscard]] on by-value Status/Result declarations in
+    // the annotated layers' headers.
+    if (is_header(file.path) && path_matches(file.path, cfg.nodiscard_paths)) {
+      for (std::size_t i = 0; i < toks.size(); ++i) {
+        StatusDecl decl;
+        if (!match_status_decl(toks, i, cfg, &decl)) continue;
+        if (!decl.has_nodiscard)
+          diag(out, file, toks[i].line, kCheckDiscardedStatus,
+               "'" + decl.name + "' returns " + decl.type +
+                   " by value but is not [[nodiscard]]");
+      }
+    }
+    // (b) Call sites that drop a status-returning call on the floor.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i]) || !is(toks[i + 1], "(")) continue;
+      if (facts.status_fns.count(toks[i].text) == 0) continue;
+      // Walk back over the receiver chain: a.b->c::name.
+      std::size_t k = i;
+      while (k >= 2 && toks[k - 1].kind == TokKind::kPunct &&
+             (toks[k - 1].text == "." || toks[k - 1].text == "->" ||
+              toks[k - 1].text == "::") &&
+             is_ident(toks[k - 2]) && !receiver_keyword(toks[k - 2]))
+        k -= 2;
+      // Name collisions with std/POSIX methods: only flag when the
+      // receiver looks like the status-bearing type.
+      if (cfg.ambiguous_methods.count(toks[i].text) > 0) {
+        bool hinted = false;
+        for (std::size_t r = k; r < i && !hinted; ++r) {
+          if (!is_ident(toks[r])) continue;
+          for (const auto& hint : cfg.ambiguous_hints)
+            if (toks[r].text.find(hint) != std::string::npos) {
+              hinted = true;
+              break;
+            }
+        }
+        if (!hinted) continue;
+      }
+      if (k >= 1 && is(toks[k - 1], "::")) --k;  // global-scope ::name
+      if (k == 0) continue;
+      const Token& prev = toks[k - 1];
+      // `(void) chain(...)` is the sanctioned explicit discard.
+      if (is(prev, ")") && k >= 3 && is(toks[k - 2], "void") &&
+          is(toks[k - 3], "("))
+        continue;
+      if (!statement_lead(prev)) continue;
+      // A definition/declaration looks like `Type name(`: the chain walk
+      // above would have stopped on the type identifier, failing
+      // statement_lead - so reaching here means an expression statement.
+      const std::size_t close = match_forward(toks, i + 1, "(", ")");
+      if (close == kNpos || close + 1 >= toks.size()) continue;
+      if (!is(toks[close + 1], ";")) continue;
+      diag(out, file, toks[i].line, kCheckDiscardedStatus,
+           "return value of '" + toks[i].text +
+               "' (Status/Result) is discarded; handle it or cast to "
+               "(void) with a comment");
+    }
+  }
+
+  // --- raw-syscall ------------------------------------------------------
+  if (cfg.check_enabled(kCheckRawSyscall) &&
+      !path_matches(file.path, cfg.raw_syscall_allowed)) {
+    for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i]) || !is(toks[i + 1], "(")) continue;
+      if (cfg.raw_syscalls.count(toks[i].text) == 0) continue;
+      const Token& prev = toks[i - 1];
+      bool flagged = false;
+      if (is(prev, "::"))
+        // `::write(...)` is a global-scope call; `Class::write` is not.
+        flagged = (i < 2 || !is_ident(toks[i - 2]));
+      else
+        flagged = call_lead(prev);
+      if (!flagged) continue;
+      diag(out, file, toks[i].line, kCheckRawSyscall,
+           "raw ::" + toks[i].text +
+               "() outside util::posix_io/socket_io; use the EINTR-safe "
+               "wrapper (retry_eintr/write_full/send_all/...)");
+    }
+  }
+
+  // --- signal-unsafe ----------------------------------------------------
+  if (cfg.check_enabled(kCheckSignalUnsafe)) {
+    // Named handlers defined in this file.
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (!is_ident(toks[i]) || !is(toks[i + 1], "(")) continue;
+      if (facts.handler_sites.count(toks[i].text) == 0) continue;
+      const std::size_t params_close = match_forward(toks, i + 1, "(", ")");
+      if (params_close == kNpos || params_close + 1 >= toks.size()) continue;
+      if (!is(toks[params_close + 1], "{")) continue;  // not a definition
+      const std::size_t body_close =
+          match_forward(toks, params_close + 1, "{", "}");
+      if (body_close == kNpos) continue;
+      check_handler_body(file, cfg, toks[i].text, params_close + 2,
+                         body_close, out);
+    }
+    // Lambda handlers registered inline: `.sa_handler = [](int){...}`.
+    for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!is_ident(toks[i]) ||
+          (toks[i].text != "sa_handler" && toks[i].text != "sa_sigaction"))
+        continue;
+      if (!is(toks[i + 1], "=")) continue;
+      std::size_t body_begin = 0, body_end = 0;
+      if (match_lambda(toks, i + 2, &body_begin, &body_end) == kNpos)
+        continue;
+      check_handler_body(file, cfg, "<lambda>", body_begin, body_end, out);
+    }
+  }
+
+  // --- float-in-exact ---------------------------------------------------
+  if (cfg.check_enabled(kCheckFloatInExact) &&
+      path_matches(file.path, cfg.exact_files)) {
+    for (const Token& t : toks) {
+      if (is_ident(t) && (t.text == "float" || t.text == "double"))
+        diag(out, file, t.line, kCheckFloatInExact,
+             "'" + t.text +
+                 "' in an exact-arithmetic TU; certificate math must stay "
+                 "in dyadic rationals");
+      else if (t.kind == TokKind::kNumber && is_float_literal(t.text))
+        diag(out, file, t.line, kCheckFloatInExact,
+             "floating-point literal '" + t.text +
+                 "' in an exact-arithmetic TU");
+    }
+  }
+
+  // --- alloc-before-validate --------------------------------------------
+  if (cfg.check_enabled(kCheckAllocBeforeValidate) &&
+      path_matches(file.path, cfg.alloc_files)) {
+    // Brace stack with "function-like" classification so a site can look
+    // back to the start of its outermost enclosing function body.
+    std::vector<std::pair<std::size_t, bool>> braces;  // (tok idx, fn-like)
+    for (std::size_t i = 0; i < toks.size(); ++i) {
+      if (toks[i].kind == TokKind::kPunct) {
+        if (toks[i].text == "{") {
+          bool fn_like = false;
+          if (i >= 1) {
+            const Token& p = toks[i - 1];
+            fn_like = is(p, ")") ||
+                      (is_ident(p) &&
+                       (p.text == "const" || p.text == "noexcept" ||
+                        p.text == "override" || p.text == "try"));
+          }
+          braces.emplace_back(i, fn_like);
+        } else if (toks[i].text == "}") {
+          if (!braces.empty()) braces.pop_back();
+        }
+        continue;
+      }
+      if (!is_ident(toks[i])) continue;
+      // Alloc site?
+      std::size_t arg_begin = kNpos, arg_end = kNpos;
+      const char* what = nullptr;
+      if ((toks[i].text == "resize" || toks[i].text == "reserve") && i >= 1 &&
+          (is(toks[i - 1], ".") || is(toks[i - 1], "->")) &&
+          i + 1 < toks.size() && is(toks[i + 1], "(")) {
+        const std::size_t close = match_forward(toks, i + 1, "(", ")");
+        if (close == kNpos) continue;
+        arg_begin = i + 2;
+        arg_end = close;
+        what = toks[i].text == "resize" ? "resize" : "reserve";
+      } else if (toks[i].text == "new") {
+        std::size_t j = i + 1;
+        while (j < toks.size() && !is(toks[j], "[") && !is(toks[j], ";") &&
+               !is(toks[j], "(") && j < i + 8)
+          ++j;
+        if (j >= toks.size() || !is(toks[j], "[")) continue;
+        const std::size_t close = match_forward(toks, j, "[", "]");
+        if (close == kNpos) continue;
+        arg_begin = j + 1;
+        arg_end = close;
+        what = "new[]";
+      } else {
+        continue;
+      }
+      // Constant-sized allocations are fine; only wire-derived (variable)
+      // sizes must be validated.
+      bool variable = false, guarded = false;
+      for (std::size_t a = arg_begin; a < arg_end; ++a) {
+        if (!is_ident(toks[a])) continue;
+        if (guard_name(toks[a].text, cfg.alloc_guards))
+          guarded = true;  // e.g. resize(std::min(len, kMaxWirePayload))
+        else if (control_keywords().count(toks[a].text) == 0 &&
+                 toks[a].text != "std" && toks[a].text != "min" &&
+                 toks[a].text != "max" && toks[a].text != "size_t")
+          variable = true;
+      }
+      if (!variable || guarded) continue;
+      // Look for a guard identifier earlier in the outermost enclosing
+      // function body.
+      std::size_t body_start = kNpos;
+      for (const auto& [idx, fn_like] : braces)
+        if (fn_like) {
+          body_start = idx;
+          break;
+        }
+      if (body_start == kNpos) continue;  // file scope: not wire parsing
+      for (std::size_t b = body_start; b < i && !guarded; ++b)
+        if (is_ident(toks[b]) && guard_name(toks[b].text, cfg.alloc_guards))
+          guarded = true;
+      if (guarded) continue;
+      diag(out, file, toks[i].line, kCheckAllocBeforeValidate,
+           std::string(what) +
+               " sized from parsed input with no preceding bound check "
+               "(kMax*/max_payload) in the enclosing function");
+    }
+  }
+}
+
+}  // namespace powerlint

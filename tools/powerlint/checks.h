@@ -1,0 +1,126 @@
+// The project-invariant checks.
+//
+// Each check encodes an invariant an earlier PR established by hand and
+// that review alone has been guarding since (DESIGN.md "Enforced
+// invariants" maps each one to its origin):
+//
+//   discarded-status      Status/Result<T> returns must be [[nodiscard]]
+//                         and never silently dropped at a call site.
+//   raw-syscall           read/write/send/recv/fsync/accept only through
+//                         util::posix_io / util::socket_io (EINTR, short
+//                         writes, SIGPIPE).
+//   signal-unsafe         registered signal handlers call only the
+//                         async-signal-safe allowlist.
+//   float-in-exact        no float/double tokens or FP literals in the
+//                         exact certificate arithmetic TUs.
+//   alloc-before-validate wire-read lengths are bounds-checked against
+//                         kMax* before sizing any allocation.
+//
+// Analysis is two-pass over the whole scanned corpus: pass 1 collects
+// cross-file facts (which functions return Status/Result, which
+// functions are registered as signal handlers); pass 2 walks each file's
+// tokens and emits diagnostics. Suppressions are applied by the driver,
+// not here - checks report everything they see.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.h"
+
+namespace powerlint {
+
+/// Stable check identifiers (the names used in diagnostics, suppression
+/// comments, and config keys).
+inline constexpr const char* kCheckDiscardedStatus = "discarded-status";
+inline constexpr const char* kCheckRawSyscall = "raw-syscall";
+inline constexpr const char* kCheckSignalUnsafe = "signal-unsafe";
+inline constexpr const char* kCheckFloatInExact = "float-in-exact";
+inline constexpr const char* kCheckAllocBeforeValidate =
+    "alloc-before-validate";
+/// Meta-check: a malformed `powerlint:` comment (unknown check name or a
+/// missing `-- reason`). Not suppressible - a broken suppression must
+/// never silently widen what it hides.
+inline constexpr const char* kCheckBadSuppression = "bad-suppression";
+
+const std::vector<std::string>& all_check_names();
+
+struct Diagnostic {
+  std::string file;
+  int line = 0;
+  std::string check;
+  std::string message;
+
+  /// "file:line: [check] message".
+  std::string to_string() const;
+};
+
+/// What the checks need to know about the project. Defaults mirror
+/// tools/powerlint/powerlint.conf; tests build their own.
+struct Config {
+  /// Checks to run (names from all_check_names()); empty = all.
+  std::set<std::string> checks;
+  /// Path substrings excluded from scanning entirely (fixture corpora).
+  std::vector<std::string> exclude;
+  /// discarded-status: path substrings whose *headers* must annotate
+  /// by-value Status/Result returns with [[nodiscard]]. Call-site
+  /// discard detection runs everywhere regardless.
+  std::vector<std::string> nodiscard_paths;
+  /// Bare type names treated as must-not-discard returns.
+  std::set<std::string> status_types = {"Status", "Result"};
+  /// raw-syscall: the guarded syscall names ...
+  std::set<std::string> raw_syscalls = {"read",  "write",  "send",
+                                        "recv",  "fsync",  "accept"};
+  /// ... and the wrapper TUs allowed to touch them (path substrings).
+  std::vector<std::string> raw_syscall_allowed;
+  /// signal-unsafe: callees a handler may reach. Seeded with the POSIX
+  /// async-signal-safe set the project uses; config adds the audited
+  /// project-local ones (CancelToken::cancel is one relaxed store).
+  std::set<std::string> signal_safe = {"write", "_exit", "abort", "raise",
+                                       "kill",  "signal", "sigaction"};
+  /// float-in-exact: the exact-arithmetic TUs (path substrings).
+  std::vector<std::string> exact_files;
+  /// alloc-before-validate: wire-parsing TUs (path substrings) ...
+  std::vector<std::string> alloc_files;
+  /// ... and the identifiers that count as a length bound. Entries are
+  /// name prefixes ("kMax" covers kMaxWirePayload, kMaxFrameBytes, ...).
+  std::vector<std::string> alloc_guards = {"kMax", "max_payload"};
+  /// discarded-status: method names that collide with std/POSIX APIs a
+  /// lexer cannot tell apart (SweepJournal::append vs
+  /// std::string::append). A member call to one of these is only
+  /// flagged when a receiver identifier contains one of the hints.
+  std::set<std::string> ambiguous_methods;
+  std::vector<std::string> ambiguous_hints;
+
+  bool check_enabled(const std::string& name) const {
+    return checks.empty() || checks.count(name) > 0;
+  }
+};
+
+/// True when `path` contains any of the substrings (the config's path
+/// lists are substrings so relative and absolute invocations agree).
+bool path_matches(const std::string& path,
+                  const std::vector<std::string>& needles);
+
+/// Cross-file facts collected by pass 1.
+struct CorpusFacts {
+  /// Bare names of functions declared to return Status / Result<T>.
+  std::set<std::string> status_fns;
+  /// Names registered as signal handlers (sa_handler / sa_sigaction
+  /// assignment or signal(SIG, fn)), mapped to a registration site for
+  /// diagnostics.
+  std::map<std::string, std::string> handler_sites;
+};
+
+/// Pass 1 over one file.
+void collect_facts(const LexedFile& file, const Config& cfg,
+                   CorpusFacts* facts);
+
+/// Pass 2 over one file: append every diagnostic the enabled checks see
+/// (unsuppressed; the driver filters).
+void run_checks(const LexedFile& file, const Config& cfg,
+                const CorpusFacts& facts, std::vector<Diagnostic>* out);
+
+}  // namespace powerlint

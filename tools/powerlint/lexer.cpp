@@ -1,0 +1,189 @@
+#include "lexer.h"
+
+#include <cctype>
+
+namespace powerlint {
+
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+}  // namespace
+
+bool is_float_literal(const std::string& number) {
+  if (number.size() > 1 && number[0] == '0' &&
+      (number[1] == 'x' || number[1] == 'X')) {
+    // Hex: floating only with a binary exponent (0x1.8p3).
+    for (char c : number)
+      if (c == 'p' || c == 'P') return true;
+    return false;
+  }
+  for (std::size_t i = 0; i < number.size(); ++i) {
+    const char c = number[i];
+    if (c == '.' || c == 'e' || c == 'E') return true;
+    if ((c == 'f' || c == 'F') && i + 1 == number.size()) return true;
+  }
+  return false;
+}
+
+LexedFile lex(std::string path, const std::string& source) {
+  LexedFile out;
+  out.path = std::move(path);
+  const std::size_t n = source.size();
+  std::size_t i = 0;
+  int line = 1;
+  // True until a non-whitespace token lands on the current line; a '#'
+  // seen here starts a preprocessor directive.
+  bool at_line_start = true;
+
+  auto advance_newline = [&]() {
+    ++line;
+    at_line_start = true;
+  };
+
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++i;
+      advance_newline();
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\v' || c == '\f') {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      Comment cm;
+      cm.line = line;
+      i += 2;
+      while (i < n && source[i] != '\n') cm.text.push_back(source[i++]);
+      cm.end_line = line;
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      Comment cm;
+      cm.line = line;
+      i += 2;
+      while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+        if (source[i] == '\n') ++line;
+        cm.text.push_back(source[i++]);
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      cm.end_line = line;
+      out.comments.push_back(std::move(cm));
+      continue;
+    }
+    // Preprocessor directive: skip to the end of the (continued) line.
+    // Comments inside are still lost - acceptable, suppressions belong
+    // on code lines.
+    if (c == '#' && at_line_start) {
+      while (i < n) {
+        if (source[i] == '\\' && i + 1 < n && source[i + 1] == '\n') {
+          i += 2;
+          ++line;
+          continue;
+        }
+        if (source[i] == '\n') break;
+        ++i;
+      }
+      continue;
+    }
+    at_line_start = false;
+    // Raw string: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && source[j] != '(' && source[j] != '\n' &&
+             delim.size() < 16)
+        delim.push_back(source[j++]);
+      if (j < n && source[j] == '(') {
+        const std::string close = ")" + delim + "\"";
+        Token t{TokKind::kString, "", line};
+        ++j;
+        while (j < n && source.compare(j, close.size(), close) != 0) {
+          if (source[j] == '\n') ++line;
+          t.text.push_back(source[j++]);
+        }
+        i = (j < n) ? j + close.size() : n;
+        out.tokens.push_back(std::move(t));
+        continue;
+      }
+      // 'R' not followed by a raw string: fall through as identifier.
+    }
+    if (ident_start(c)) {
+      Token t{TokKind::kIdent, "", line};
+      while (i < n && ident_char(source[i])) t.text.push_back(source[i++]);
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+      Token t{TokKind::kNumber, "", line};
+      while (i < n) {
+        const char d = source[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          t.text.push_back(d);
+          ++i;
+          // Exponent signs: 1e-3, 0x1p+4.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i < n &&
+              (source[i] == '+' || source[i] == '-') &&
+              t.text.size() > 1 &&
+              !(t.text.size() > 2 && (t.text[1] == 'x' || t.text[1] == 'X') &&
+                (d == 'e' || d == 'E'))) {
+            t.text.push_back(source[i++]);
+          }
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      Token t{c == '"' ? TokKind::kString : TokKind::kChar, "", line};
+      const char quote = c;
+      ++i;
+      while (i < n && source[i] != quote) {
+        if (source[i] == '\\' && i + 1 < n) {
+          t.text.push_back(source[i]);
+          t.text.push_back(source[i + 1]);
+          i += 2;
+          continue;
+        }
+        if (source[i] == '\n') {
+          // Unterminated literal: stop at the line break rather than
+          // swallowing the rest of the file.
+          break;
+        }
+        t.text.push_back(source[i++]);
+      }
+      if (i < n && source[i] == quote) ++i;
+      out.tokens.push_back(std::move(t));
+      continue;
+    }
+    // Punctuation: combine `::` and `->`, else single char.
+    Token t{TokKind::kPunct, std::string(1, c), line};
+    if (c == ':' && i + 1 < n && source[i + 1] == ':') {
+      t.text = "::";
+      i += 2;
+    } else if (c == '-' && i + 1 < n && source[i + 1] == '>') {
+      t.text = "->";
+      i += 2;
+    } else {
+      ++i;
+    }
+    out.tokens.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace powerlint

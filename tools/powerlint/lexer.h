@@ -1,0 +1,62 @@
+// Minimal C++ lexer for powerlint.
+//
+// powerlint enforces *project* invariants (EINTR-safe IO routing,
+// [[nodiscard]] status plumbing, signal-handler hygiene, exact-arithmetic
+// purity, validate-before-allocate wire parsing), none of which need a
+// real C++ frontend: every check matches token shapes, not semantics.
+// Lexing instead of parsing keeps the tool dependency-free (no libclang
+// in the build image), fast enough to run over the whole tree on every
+// push, and simple enough that a reviewer can audit a check in minutes.
+//
+// The lexer understands exactly what the checks need: identifiers,
+// numbers, string/char literals (including raw strings), multi-char
+// punctuators `::` and `->`, and comments. Comments are kept in a side
+// channel (they carry `powerlint: allow(...)` suppressions); preprocessor
+// directives are skipped line-wise (checks reason about code, and a
+// directive's tokens would masquerade as it).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace powerlint {
+
+enum class TokKind {
+  kIdent,   // identifiers and keywords (checks treat keywords by name)
+  kNumber,  // integer or floating literal, suffixes included
+  kString,  // "..." or R"(...)" - text excludes quotes
+  kChar,    // '...'
+  kPunct,   // single char, or the combined `::` / `->`
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// A comment with its source extent (block comments can span lines).
+struct Comment {
+  std::string text;  // without the // or /* */ markers
+  int line = 0;      // 1-based line the comment starts on
+  int end_line = 0;  // last line the comment touches
+};
+
+struct LexedFile {
+  std::string path;
+  std::vector<Token> tokens;
+  std::vector<Comment> comments;
+};
+
+/// Tokenizes `source`. Never fails: unrecognized bytes become single-char
+/// punct tokens, an unterminated literal consumes to end of file. The
+/// result is deterministic for any input, hostile or not - powerlint runs
+/// over fixture files that are deliberately broken.
+LexedFile lex(std::string path, const std::string& source);
+
+/// True for floating-point literals: a decimal point, a decimal exponent,
+/// an f/F suffix, or a hex float (0x...p...). Integer literals, including
+/// hex with an embedded 'e' digit, are not floating.
+bool is_float_literal(const std::string& number);
+
+}  // namespace powerlint

@@ -1,0 +1,68 @@
+// powerlint CLI.
+//
+//   powerlint [--config FILE] [--json FILE] [--list-checks] PATH...
+//
+// Exit codes: 0 = clean, 1 = unsuppressed findings, 2 = usage/IO error.
+// The CI job treats nonzero as failure either way; the distinction is
+// for humans reading the log.
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "powerlint.h"
+
+int main(int argc, char** argv) {
+  std::string config_path;
+  std::string json_path;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--config" && i + 1 < argc) {
+      config_path = argv[++i];
+    } else if (arg == "--json" && i + 1 < argc) {
+      json_path = argv[++i];
+    } else if (arg == "--list-checks") {
+      for (const auto& c : powerlint::all_check_names())
+        std::cout << c << "\n";
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: powerlint [--config FILE] [--json FILE] "
+                   "[--list-checks] PATH...\n";
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "powerlint: unknown option " << arg << "\n";
+      return 2;
+    } else {
+      paths.push_back(arg);
+    }
+  }
+  if (paths.empty()) {
+    std::cerr << "powerlint: no paths given (try --help)\n";
+    return 2;
+  }
+
+  powerlint::Config cfg;
+  std::string error;
+  if (!config_path.empty() &&
+      !powerlint::load_config(config_path, &cfg, &error)) {
+    std::cerr << "powerlint: " << error << "\n";
+    return 2;
+  }
+
+  powerlint::Report report;
+  if (!powerlint::run_powerlint(paths, cfg, &report, &error)) {
+    std::cerr << "powerlint: " << error << "\n";
+    return 2;
+  }
+  std::cout << report.to_text();
+  if (!json_path.empty()) {
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "powerlint: cannot write " << json_path << "\n";
+      return 2;
+    }
+    out << report.to_json();
+  }
+  return report.clean() ? 0 : 1;
+}

@@ -1,0 +1,304 @@
+#include "powerlint.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace powerlint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r\n");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r\n");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split_list(const std::string& value) {
+  std::vector<std::string> out;
+  std::string item;
+  std::istringstream in(value);
+  while (std::getline(in, item, ',')) {
+    item = trim(item);
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+bool known_check(const std::string& name) {
+  for (const auto& c : all_check_names())
+    if (c == name) return true;
+  return false;
+}
+
+/// One parsed suppression comment. A whole-file allow has
+/// first_line = 0 and last_line = INT_MAX.
+struct Suppression {
+  std::string check;
+  int first_line = 0;  // inclusive coverage range
+  int last_line = 0;
+};
+
+/// Extracts suppressions from a file's comments; malformed ones become
+/// bad-suppression diagnostics. Only comments that *start* with
+/// `powerlint:` count - prose that merely mentions the syntax does not.
+void parse_suppressions(const LexedFile& file,
+                        std::vector<Suppression>* supps,
+                        std::vector<Diagnostic>* diags) {
+  for (const Comment& cm : file.comments) {
+    const std::string text = trim(cm.text);
+    if (text.compare(0, 10, "powerlint:") != 0) continue;
+    const std::string rest = trim(text.substr(10));
+    const bool is_line = rest.compare(0, 6, "allow(") == 0;
+    const bool is_file = rest.compare(0, 11, "allow-file(") == 0;
+    const std::size_t open = is_file ? 11 : 6;
+    const std::size_t close = rest.find(')');
+    std::string check = (is_line || is_file) && close != std::string::npos
+                            ? rest.substr(open, close - open)
+                            : "";
+    const std::size_t dashes =
+        close == std::string::npos ? std::string::npos
+                                   : rest.find("--", close);
+    const std::string reason =
+        dashes == std::string::npos ? "" : trim(rest.substr(dashes + 2));
+    if ((!is_line && !is_file) || !known_check(check) || reason.empty()) {
+      diags->push_back(Diagnostic{
+          file.path, cm.line, kCheckBadSuppression,
+          "malformed suppression; want `powerlint: allow(<check>) -- "
+          "<reason>` (or allow-file) with a known check and a non-empty "
+          "reason"});
+      continue;
+    }
+    if (is_file) {
+      supps->push_back(Suppression{check, 0, 1 << 30});
+      continue;
+    }
+    // Covers the comment's own line(s) and the line directly below, so
+    // both trailing and preceding-line placement work.
+    supps->push_back(Suppression{check, cm.line, cm.end_line + 1});
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string Report::to_text() const {
+  std::ostringstream out;
+  for (const auto& d : diagnostics) out << d.to_string() << "\n";
+  out << "powerlint: " << diagnostics.size() << " finding(s), " << suppressed
+      << " suppressed, " << files_scanned << " file(s) scanned\n";
+  return out.str();
+}
+
+std::string Report::to_json() const {
+  std::map<std::string, int> counts;
+  for (const auto& d : diagnostics) ++counts[d.check];
+  std::ostringstream out;
+  out << "{\n  \"diagnostics\": [";
+  for (std::size_t i = 0; i < diagnostics.size(); ++i) {
+    const auto& d = diagnostics[i];
+    out << (i ? "," : "") << "\n    {\"file\": \"" << json_escape(d.file)
+        << "\", \"line\": " << d.line << ", \"check\": \""
+        << json_escape(d.check) << "\", \"message\": \""
+        << json_escape(d.message) << "\"}";
+  }
+  out << (diagnostics.empty() ? "" : "\n  ") << "],\n  \"counts\": {";
+  std::size_t i = 0;
+  for (const auto& [check, n] : counts)
+    out << (i++ ? ", " : "") << "\"" << json_escape(check) << "\": " << n;
+  out << "},\n  \"files_scanned\": " << files_scanned
+      << ",\n  \"suppressed\": " << suppressed << "\n}\n";
+  return out.str();
+}
+
+bool parse_config(const std::string& text, Config* cfg, std::string* error) {
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      *error = "config line " + std::to_string(lineno) + ": want key = values";
+      return false;
+    }
+    const std::string key = trim(line.substr(0, eq));
+    const std::vector<std::string> values = split_list(line.substr(eq + 1));
+    if (key == "checks") {
+      cfg->checks.clear();
+      for (const auto& v : values) {
+        if (!known_check(v)) {
+          *error = "config line " + std::to_string(lineno) +
+                   ": unknown check '" + v + "'";
+          return false;
+        }
+        cfg->checks.insert(v);
+      }
+    } else if (key == "exclude") {
+      cfg->exclude = values;
+    } else if (key == "nodiscard_paths") {
+      cfg->nodiscard_paths = values;
+    } else if (key == "status_types") {
+      cfg->status_types = {values.begin(), values.end()};
+    } else if (key == "raw_syscalls") {
+      cfg->raw_syscalls = {values.begin(), values.end()};
+    } else if (key == "raw_syscall_allowed") {
+      cfg->raw_syscall_allowed = values;
+    } else if (key == "signal_safe") {
+      cfg->signal_safe = {values.begin(), values.end()};
+    } else if (key == "exact_files") {
+      cfg->exact_files = values;
+    } else if (key == "alloc_files") {
+      cfg->alloc_files = values;
+    } else if (key == "alloc_guards") {
+      cfg->alloc_guards = values;
+    } else if (key == "ambiguous_methods") {
+      cfg->ambiguous_methods = {values.begin(), values.end()};
+    } else if (key == "ambiguous_hints") {
+      cfg->ambiguous_hints = values;
+    } else {
+      *error = "config line " + std::to_string(lineno) + ": unknown key '" +
+               key + "'";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool load_config(const std::string& path, Config* cfg, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    *error = "cannot open config " + path;
+    return false;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_config(text.str(), cfg, error);
+}
+
+bool collect_sources(const std::vector<std::string>& paths,
+                     const Config& cfg, std::vector<std::string>* out,
+                     std::string* error) {
+  auto wanted = [](const fs::path& p) {
+    const std::string ext = p.extension().string();
+    return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc";
+  };
+  for (const auto& path : paths) {
+    std::error_code ec;
+    const fs::file_status st = fs::status(path, ec);
+    if (ec || st.type() == fs::file_type::not_found) {
+      *error = "cannot stat " + path;
+      return false;
+    }
+    if (fs::is_directory(st)) {
+      for (fs::recursive_directory_iterator it(path, ec), end;
+           it != end && !ec; it.increment(ec)) {
+        if (it->is_regular_file(ec) && wanted(it->path()))
+          out->push_back(it->path().lexically_normal().string());
+      }
+      if (ec) {
+        *error = "cannot walk " + path + ": " + ec.message();
+        return false;
+      }
+    } else {
+      // Explicit files are scanned regardless of extension: the caller
+      // asked for exactly this one.
+      out->push_back(fs::path(path).lexically_normal().string());
+    }
+  }
+  std::sort(out->begin(), out->end());
+  out->erase(std::unique(out->begin(), out->end()), out->end());
+  out->erase(std::remove_if(out->begin(), out->end(),
+                            [&](const std::string& p) {
+                              return path_matches(p, cfg.exclude);
+                            }),
+             out->end());
+  return true;
+}
+
+Report run_on_files(const std::vector<LexedFile>& files, const Config& cfg) {
+  Report report;
+  report.files_scanned = static_cast<int>(files.size());
+  CorpusFacts facts;
+  for (const auto& f : files) collect_facts(f, cfg, &facts);
+  for (const auto& f : files) {
+    std::vector<Diagnostic> raw;
+    run_checks(f, cfg, facts, &raw);
+    std::vector<Suppression> supps;
+    parse_suppressions(f, &supps, &report.diagnostics);
+    for (auto& d : raw) {
+      bool hidden = false;
+      for (const auto& s : supps) {
+        if (s.check == d.check && d.line >= s.first_line &&
+            d.line <= s.last_line) {
+          hidden = true;
+          break;
+        }
+      }
+      if (hidden)
+        ++report.suppressed;
+      else
+        report.diagnostics.push_back(std::move(d));
+    }
+  }
+  std::sort(report.diagnostics.begin(), report.diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              if (a.file != b.file) return a.file < b.file;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.check != b.check) return a.check < b.check;
+              return a.message < b.message;
+            });
+  return report;
+}
+
+bool run_powerlint(const std::vector<std::string>& paths, const Config& cfg,
+                   Report* report, std::string* error) {
+  std::vector<std::string> sources;
+  if (!collect_sources(paths, cfg, &sources, error)) return false;
+  std::vector<LexedFile> files;
+  files.reserve(sources.size());
+  for (const auto& src : sources) {
+    std::ifstream in(src, std::ios::binary);
+    if (!in) {
+      *error = "cannot read " + src;
+      return false;
+    }
+    std::ostringstream text;
+    text << in.rdbuf();
+    files.push_back(lex(src, text.str()));
+  }
+  *report = run_on_files(files, cfg);
+  return true;
+}
+
+}  // namespace powerlint

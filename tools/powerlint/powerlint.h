@@ -1,0 +1,67 @@
+// powerlint driver: file collection, config, suppressions, reporting.
+//
+// The flow is deliberately boring: collect .h/.cpp files under the given
+// paths (minus config excludes), lex each once, run pass 1 (cross-file
+// facts) over everything, run pass 2 (checks) over everything, then
+// filter diagnostics through inline suppressions. The result is stable:
+// files are scanned in sorted order and diagnostics are sorted by
+// (file, line, check), so golden tests can assert output exactly.
+//
+// Suppression syntax (same line as the finding, or the line directly
+// above it):
+//
+//   // powerlint: allow(<check>) -- <reason>
+//
+// The reason is mandatory: a suppression is a reviewed exception to a
+// project invariant, and "because" is not a review. A malformed
+// suppression (unknown check, missing reason) is itself reported as
+// `bad-suppression` and cannot be suppressed.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "checks.h"
+
+namespace powerlint {
+
+struct Report {
+  /// Unsuppressed findings, sorted by (file, line, check).
+  std::vector<Diagnostic> diagnostics;
+  int files_scanned = 0;
+  int suppressed = 0;
+
+  bool clean() const { return diagnostics.empty(); }
+  /// One diagnostic per line plus a trailing summary line.
+  std::string to_text() const;
+  /// {"diagnostics":[...], "counts":{...}, "files_scanned":N,
+  ///  "suppressed":N} - the CI artifact format.
+  std::string to_json() const;
+};
+
+/// Parses the powerlint.conf format: `key = v1, v2, ...` lines, '#'
+/// comments. List keys replace the built-in defaults (the shipped conf
+/// is the single source of truth, not a delta). Returns false with
+/// *error set on an unknown key or unknown check name.
+bool parse_config(const std::string& text, Config* cfg, std::string* error);
+bool load_config(const std::string& path, Config* cfg, std::string* error);
+
+/// Expands files/directories into the sorted list of C++ sources to
+/// scan (.h/.hpp/.cpp/.cc), applying cfg.exclude. Unreadable paths are
+/// reported in *error (scan aborts - a partial lint run that "passes"
+/// is worse than a failed one).
+bool collect_sources(const std::vector<std::string>& paths,
+                     const Config& cfg, std::vector<std::string>* out,
+                     std::string* error);
+
+/// Lints already-lexed files (the unit-test entry point).
+Report run_on_files(const std::vector<LexedFile>& files, const Config& cfg);
+
+/// Lints the given files/directories from disk. Returns false with
+/// *error on IO failure; lint findings are not an error here - they are
+/// the report.
+bool run_powerlint(const std::vector<std::string>& paths, const Config& cfg,
+                   Report* report, std::string* error);
+
+}  // namespace powerlint
