@@ -197,6 +197,8 @@ LpScheduleResult LpFormulation::solve(const LpScheduleOptions& options) const {
     out.refactor_count = sol.refactor_count;
     out.bland_engaged = sol.bland_engaged;
     out.primal_infeasibility = sol.primal_infeasibility;
+    out.eta_nonzeros = sol.stats.eta_nonzeros;
+    out.lu_fill_ratio = sol.stats.lu_fill_ratio;
     if (!sol.optimal()) return out;
     values = sol.values;
     out.row_duals = sol.duals;

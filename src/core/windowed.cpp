@@ -41,6 +41,8 @@ WindowedLpResult solve_windows(const dag::TaskGraph& graph,
     out.bland_engaged = out.bland_engaged || res.bland_engaged;
     out.primal_infeasibility =
         std::max(out.primal_infeasibility, res.primal_infeasibility);
+    out.eta_nonzeros += res.eta_nonzeros;
+    out.lu_fill_ratio = std::max(out.lu_fill_ratio, res.lu_fill_ratio);
     out.window_duals.push_back(res.row_duals);
     if (!res.optimal()) {
       out.status = res.status;
@@ -185,6 +187,8 @@ WindowedLpResult WindowSweeper::solve(const LpScheduleOptions& options) const {
     out.bland_engaged = out.bland_engaged || res.bland_engaged;
     out.primal_infeasibility =
         std::max(out.primal_infeasibility, res.primal_infeasibility);
+    out.eta_nonzeros += res.eta_nonzeros;
+    out.lu_fill_ratio = std::max(out.lu_fill_ratio, res.lu_fill_ratio);
     out.window_duals.push_back(res.row_duals);
     if (!res.optimal()) {
       out.status = res.status;

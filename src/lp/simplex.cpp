@@ -1,8 +1,12 @@
 #include "lp/simplex.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <stdexcept>
+
+#include "lp/kernels.h"
+#include "lp/sparse_lu.h"
 
 namespace powerlim::lp {
 
@@ -26,25 +30,89 @@ const char* to_string(SolveStatus status) {
   return "?";
 }
 
+const char* to_string(BasisBackend backend) {
+  switch (backend) {
+    case BasisBackend::kDense:
+      return "dense";
+    case BasisBackend::kSparse:
+      return "sparse";
+  }
+  return "?";
+}
+
 namespace {
 
 enum class VarStatus : char { kAtLower, kAtUpper, kBasic, kFree };
 
+/// Eta pivots below this magnitude are refused by the sparse backend:
+/// a 1/piv that large amplifies drift faster than the refactorization
+/// interval can repair, so the update is replaced by an immediate
+/// refactorization of the (already-updated) basis.
+constexpr double kEtaStabilityTol = 1e-7;
+
+/// Pivot magnitude below which a basis is declared singular (shared by
+/// both backends; the dense Gauss-Jordan historically used 1e-12).
+constexpr double kSingularTol = 1e-12;
+
+/// Relative margin under which two pricing violations / ratio-test pivot
+/// magnitudes are treated as tied, with the earlier index winning.
+/// Symmetric traces produce columns whose reduced costs are *exactly*
+/// equal in real arithmetic; the two backends (and warm vs cold pivot
+/// paths within one backend) compute them with different rounding, so a
+/// strict comparison would break such ties by +-1ulp noise and send
+/// otherwise-identical solves to different optimal bases. The sweep
+/// pipeline's byte-identity contract (warm serial == cold worker) needs
+/// tie-breaks that noise cannot flip.
+constexpr double kTieRel = 1e-9;
+
+/// RAII wall-clock bucket: adds the elapsed nanoseconds to *sink on
+/// destruction. A null sink (timing disabled) costs two pointer tests
+/// and no clock reads - SimplexOptions::collect_timing stays free for
+/// production solves.
+class ScopedTimer {
+ public:
+  ScopedTimer(bool enabled, double* sink) : sink_(enabled ? sink : nullptr) {
+    if (sink_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedTimer() {
+    if (sink_ != nullptr) {
+      *sink_ += std::chrono::duration<double, std::nano>(
+                    std::chrono::steady_clock::now() - start_)
+                    .count();
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  double* sink_;
+  std::chrono::steady_clock::time_point start_;
+};
+
 /// The computational form:  A_full x = 0 with per-column bounds, where
 /// A_full = [A_structural | -I_slack | sigma*I_artificial]. Row right-hand
 /// sides are folded into slack bounds, so b == 0 throughout.
-class Simplex {
+///
+/// SimplexCore owns everything backend-independent - the computational
+/// columns, the two-phase driver, warm starts, the ratio test, the
+/// anti-cycling state machine, and deadline/cancellation plumbing. The
+/// basis representation is behind five hooks (refactor, duals, FTRAN,
+/// pivot update, pricing) with a dense explicit-inverse and a sparse
+/// LU+eta implementation below. Both backends share the exact same
+/// pivot-acceptance logic, so they differ only in arithmetic path, never
+/// in what counts as optimal.
+class SimplexCore {
  public:
-  Simplex(const Model& model, const SimplexOptions& opt)
+  SimplexCore(const Model& model, const SimplexOptions& opt)
       : model_(model),
         opt_(opt),
         m_(model.num_constraints()),
         n_(model.num_variables()) {
     build_columns();
   }
+  virtual ~SimplexCore() = default;
 
   Solution run(WarmStart* warm = nullptr) {
-    Solution sol;
     // An already-dead deadline exits before any setup work: the retry
     // ladder relies on exhausted budgets failing in O(1).
     const util::StopReason pre = opt_.deadline.stop_reason();
@@ -90,7 +158,59 @@ class Simplex {
     return finish(SolveStatus::kOptimal, warm);
   }
 
- private:
+ protected:
+  // ---- backend hooks -------------------------------------------------------
+
+  /// Seeds the basis representation for the crash basis just laid down by
+  /// initialize_point() (a signed diagonal: slack -1 or artificial -+1).
+  virtual void on_basis_initialized() = 0;
+
+  /// Rebuilds the basis representation exactly from basis_ and recomputes
+  /// the basic values from the nonbasic point. Resets
+  /// pivots_since_refactor_ and counts into refactor_count_. Throws
+  /// std::runtime_error on a singular basis.
+  virtual void refactor() = 0;
+
+  /// y_ := duals for `cost` at the current basis (indexed by row).
+  virtual void compute_duals(const std::vector<double>& cost) = 0;
+
+  /// w_ := B^{-1} A_q (indexed by basis position) and wnz_ := the sorted
+  /// positions where w_ is exactly nonzero.
+  virtual void ftran_entering(int q) = 0;
+
+  /// Absorbs the pivot that just put `entering` at basis position r
+  /// (replacing `leaving`) into the basis representation; w_/wnz_ still
+  /// hold the entering column's FTRAN result.
+  virtual void pivot_update(int r, int entering, int leaving) = 0;
+
+  /// True when the representation wants a refactorization before the
+  /// next pivot (interval; sparse adds the eta-growth trigger).
+  virtual bool should_refactor() const {
+    return pivots_since_refactor_ >= opt_.refactor_interval;
+  }
+
+  /// Chooses the entering column, or -1 at optimality. This base
+  /// implementation is the full Dantzig scan with a Bland fallback
+  /// engaged by note_progress(); the sparse backend layers candidate-list
+  /// partial pricing on top and delegates back here under Bland's rule.
+  virtual int price(const std::vector<double>& cost) {
+    ScopedTimer t(opt_.collect_timing, &stats_.pricing_ns);
+    int best = -1;
+    double best_viol = opt_.dual_tol;
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      const double viol = violation(cost, static_cast<int>(j));
+      if (viol <= opt_.dual_tol) continue;
+      if (bland_) return static_cast<int>(j);
+      // Strictly-better-by-margin, so near-ties keep the earlier index
+      // (see kTieRel).
+      if (best < 0 || viol > best_viol * (1.0 + kTieRel)) {
+        best_viol = viol;
+        best = static_cast<int>(j);
+      }
+    }
+    return best;
+  }
+
   // ---- setup -------------------------------------------------------------
 
   void build_columns() {
@@ -155,6 +275,16 @@ class Simplex {
   /// (0 for free variables), then sizes the artificial basis to absorb the
   /// residual of every row.
   void initialize_point() {
+    // Re-arm the artificials. A previous phase I (or a warm init) pinned
+    // their bounds to [0,0] and possibly flipped their column signs; a
+    // restart that kept those pins would walk a different pivot path than
+    // a fresh cold solve, and the drift-verification loop depends on its
+    // cold restart reproducing the fresh-solve result exactly.
+    for (std::size_t k = 0; k < m_; ++k) {
+      lb_[art_begin_ + k] = 0.0;
+      ub_[art_begin_ + k] = kInfinity;
+      col_val_[col_start_[art_begin_ + k]] = 1.0;
+    }
     xval_.assign(num_cols_, 0.0);
     status_.assign(num_cols_, VarStatus::kAtLower);
     for (std::size_t j = 0; j < art_begin_; ++j) {
@@ -193,7 +323,6 @@ class Simplex {
     // only violated rows get an artificial. This typically leaves phase I
     // with a handful of pivots instead of one per row.
     basis_.resize(m_);
-    binv_.assign(m_ * m_, 0.0);
     for (std::size_t i = 0; i < m_; ++i) {
       const std::size_t slack = slack_begin_ + i;
       const std::size_t art = art_begin_ + i;
@@ -206,7 +335,6 @@ class Simplex {
         lb_[art] = ub_[art] = 0.0;
         xval_[art] = 0.0;
         status_[art] = VarStatus::kAtLower;
-        binv_[i * m_ + i] = -1.0;  // slack column is -e_i
       } else {
         // Slack at its nearest bound; artificial absorbs the residual.
         const double sbar =
@@ -220,10 +348,10 @@ class Simplex {
         basis_[i] = static_cast<int>(art);
         status_[art] = VarStatus::kBasic;
         xval_[art] = std::abs(resid);
-        binv_[i * m_ + i] = -sign;
       }
     }
     pivots_since_refactor_ = 0;
+    on_basis_initialized();
   }
 
   /// Cold start: crash basis + phase I. Returns kOptimal when a feasible
@@ -304,7 +432,7 @@ class Simplex {
       }
     }
     try {
-      refactor();  // builds Binv from the warmed basis, computes x_B
+      refactor();  // rebuilds the basis representation, computes x_B
     } catch (const std::exception&) {
       return false;
     }
@@ -350,7 +478,7 @@ class Simplex {
         return false;
       }
       ++iterations_;
-      if (pivots_since_refactor_ >= opt_.refactor_interval) refactor();
+      if (should_refactor()) refactor();
 
       compute_duals(cost);
       const int q = price(cost);
@@ -372,37 +500,41 @@ class Simplex {
           throw std::logic_error("basic column priced");
       }
 
-      ftran(q);  // w_ = Binv * A_q
+      ftran_entering(q);  // w_ = Binv * A_q, wnz_ = its support
 
       // Ratio test: the entering variable moves by t >= 0 in direction dir;
       // basic variable at position i moves by -t * dir * w_[i].
       double t_best = kInfinity;
       int leave_pos = -1;
       double leave_piv = 0.0;
-      for (std::size_t i = 0; i < m_; ++i) {
-        const double wd = dir * w_[i];
-        const int b = basis_[i];
-        double t_i = kInfinity;
-        if (wd > opt_.pivot_tol) {
-          if (is_finite_bound(lb_[b])) t_i = (xval_[b] - lb_[b]) / wd;
-        } else if (wd < -opt_.pivot_tol) {
-          if (is_finite_bound(ub_[b])) t_i = (ub_[b] - xval_[b]) / (-wd);
-        } else {
-          continue;
-        }
-        if (t_i < -opt_.primal_tol) t_i = 0.0;
-        t_i = std::max(t_i, 0.0);
-        const bool better =
-            bland_ ? (t_i < t_best - 1e-12 ||
-                      (leave_pos >= 0 && t_i <= t_best + 1e-12 &&
-                       basis_[i] < basis_[leave_pos]))
-                   : (t_i < t_best - 1e-12 ||
-                      (t_i <= t_best + 1e-12 &&
-                       std::abs(w_[i]) > std::abs(leave_piv)));
-        if (leave_pos < 0 ? t_i < t_best : better) {
-          t_best = t_i;
-          leave_pos = static_cast<int>(i);
-          leave_piv = w_[i];
+      {
+        ScopedTimer rt(opt_.collect_timing, &stats_.ratio_ns);
+        for (const int i : wnz_) {
+          const double wd = dir * w_[i];
+          const int b = basis_[i];
+          double t_i = kInfinity;
+          if (wd > opt_.pivot_tol) {
+            if (is_finite_bound(lb_[b])) t_i = (xval_[b] - lb_[b]) / wd;
+          } else if (wd < -opt_.pivot_tol) {
+            if (is_finite_bound(ub_[b])) t_i = (ub_[b] - xval_[b]) / (-wd);
+          } else {
+            continue;
+          }
+          if (t_i < -opt_.primal_tol) t_i = 0.0;
+          t_i = std::max(t_i, 0.0);
+          const bool better =
+              bland_ ? (t_i < t_best - 1e-12 ||
+                        (leave_pos >= 0 && t_i <= t_best + 1e-12 &&
+                         basis_[i] < basis_[leave_pos]))
+                     : (t_i < t_best - 1e-12 ||
+                        (t_i <= t_best + 1e-12 &&
+                         std::abs(w_[i]) >
+                             std::abs(leave_piv) * (1.0 + kTieRel)));
+          if (leave_pos < 0 ? t_i < t_best : better) {
+            t_best = t_i;
+            leave_pos = i;
+            leave_piv = w_[i];
+          }
         }
       }
 
@@ -420,7 +552,7 @@ class Simplex {
 
       // Move the basic variables.
       if (t > 0.0) {
-        for (std::size_t i = 0; i < m_; ++i) {
+        for (const int i : wnz_) {
           if (w_[i] != 0.0) xval_[basis_[i]] -= t * dir * w_[i];
         }
       }
@@ -431,6 +563,7 @@ class Simplex {
                                                        : VarStatus::kAtLower;
         xval_[q] =
             status_[q] == VarStatus::kAtLower ? lb_[q] : ub_[q];
+        ++stats_.bound_flips;
         note_progress(t);
         continue;
       }
@@ -448,7 +581,7 @@ class Simplex {
       xval_[q] = nonbasic_value(q) + dir * t;
       status_[q] = VarStatus::kBasic;
       basis_[leave_pos] = q;
-      update_binv(leave_pos);
+      pivot_update(leave_pos, q, b);
       ++pivots_since_refactor_;
       note_progress(t);
     }
@@ -473,148 +606,24 @@ class Simplex {
     }
   }
 
-  // y = c_B^T * Binv
-  void compute_duals(const std::vector<double>& cost) {
-    y_.assign(m_, 0.0);
-    for (std::size_t k = 0; k < m_; ++k) {
-      const double cb = cost[basis_[k]];
-      if (cb == 0.0) continue;
-      const double* row = &binv_[k * m_];
-      for (std::size_t i = 0; i < m_; ++i) y_[i] += cb * row[i];
-    }
-  }
-
   double reduced_cost(const std::vector<double>& cost, int j) const {
-    double d = cost[j];
-    for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
-      d -= y_[col_row_[k]] * col_val_[k];
-    }
-    return d;
+    return cost[j] - kernels::gather_dot(col_start_[j + 1] - col_start_[j],
+                                         col_row_.data() + col_start_[j],
+                                         col_val_.data() + col_start_[j],
+                                         y_.data());
   }
 
-  /// Chooses the entering column, or -1 at optimality. Dantzig rule with a
-  /// Bland fallback engaged by note_progress().
-  int price(const std::vector<double>& cost) {
-    int best = -1;
-    double best_viol = opt_.dual_tol;
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      const VarStatus st = status_[j];
-      if (st == VarStatus::kBasic) continue;
-      if (ub_[j] - lb_[j] < opt_.primal_tol && st != VarStatus::kFree) {
-        continue;  // fixed variable can never improve
-      }
-      const double d = reduced_cost(cost, j);
-      double viol = 0.0;
-      if (st == VarStatus::kAtLower) {
-        viol = -d;
-      } else if (st == VarStatus::kAtUpper) {
-        viol = d;
-      } else {  // free
-        viol = std::abs(d);
-      }
-      if (viol > best_viol) {
-        if (bland_) return static_cast<int>(j);
-        best_viol = viol;
-        best = static_cast<int>(j);
-      }
+  /// How strongly column j wants to enter (0 when it does not qualify).
+  double violation(const std::vector<double>& cost, int j) const {
+    const VarStatus st = status_[j];
+    if (st == VarStatus::kBasic) return 0.0;
+    if (ub_[j] - lb_[j] < opt_.primal_tol && st != VarStatus::kFree) {
+      return 0.0;  // fixed variable can never improve
     }
-    return best;
-  }
-
-  // w = Binv * A_q
-  void ftran(int q) {
-    w_.assign(m_, 0.0);
-    for (std::size_t k = col_start_[q]; k < col_start_[q + 1]; ++k) {
-      const int row = col_row_[k];
-      const double v = col_val_[k];
-      for (std::size_t i = 0; i < m_; ++i) {
-        w_[i] += binv_[i * m_ + row] * v;
-      }
-    }
-  }
-
-  /// Product-form update after basis position r changed to a column whose
-  /// ftran result is in w_.
-  void update_binv(int r) {
-    const double piv = w_[r];
-    double* rrow = &binv_[static_cast<std::size_t>(r) * m_];
-    const double inv = 1.0 / piv;
-    for (std::size_t i = 0; i < m_; ++i) rrow[i] *= inv;
-    for (std::size_t k = 0; k < m_; ++k) {
-      if (static_cast<int>(k) == r) continue;
-      const double f = w_[k];
-      if (f == 0.0) continue;
-      double* krow = &binv_[k * m_];
-      for (std::size_t i = 0; i < m_; ++i) krow[i] -= f * rrow[i];
-    }
-  }
-
-  /// Rebuilds Binv by Gauss-Jordan with partial pivoting and recomputes the
-  /// basic values exactly from the nonbasic point.
-  void refactor() {
-    pivots_since_refactor_ = 0;
-    ++refactor_count_;
-    // Dense B from basis columns.
-    std::vector<double> B(m_ * m_, 0.0);
-    for (std::size_t p = 0; p < m_; ++p) {
-      const int j = basis_[p];
-      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
-        B[static_cast<std::size_t>(col_row_[k]) * m_ + p] = col_val_[k];
-      }
-    }
-    // Invert [B | I] -> [I | Binv].
-    std::vector<double> inv(m_ * m_, 0.0);
-    for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
-    for (std::size_t col = 0; col < m_; ++col) {
-      std::size_t piv_row = col;
-      double piv = std::abs(B[col * m_ + col]);
-      for (std::size_t r = col + 1; r < m_; ++r) {
-        if (std::abs(B[r * m_ + col]) > piv) {
-          piv = std::abs(B[r * m_ + col]);
-          piv_row = r;
-        }
-      }
-      if (piv < 1e-12) throw std::runtime_error("singular simplex basis");
-      if (piv_row != col) {
-        for (std::size_t c = 0; c < m_; ++c) {
-          std::swap(B[piv_row * m_ + c], B[col * m_ + c]);
-          std::swap(inv[piv_row * m_ + c], inv[col * m_ + c]);
-        }
-      }
-      const double p = B[col * m_ + col];
-      const double ip = 1.0 / p;
-      for (std::size_t c = 0; c < m_; ++c) {
-        B[col * m_ + c] *= ip;
-        inv[col * m_ + c] *= ip;
-      }
-      for (std::size_t r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double f = B[r * m_ + col];
-        if (f == 0.0) continue;
-        for (std::size_t c = 0; c < m_; ++c) {
-          B[r * m_ + c] -= f * B[col * m_ + c];
-          inv[r * m_ + c] -= f * inv[col * m_ + c];
-        }
-      }
-    }
-    binv_ = std::move(inv);
-
-    // Recompute basic values: x_B = Binv * (0 - N x_N).
-    std::vector<double> rhs(m_, 0.0);
-    for (std::size_t j = 0; j < num_cols_; ++j) {
-      if (status_[j] == VarStatus::kBasic) continue;
-      const double v = xval_[j];
-      if (v == 0.0) continue;
-      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
-        rhs[col_row_[k]] -= col_val_[k] * v;
-      }
-    }
-    for (std::size_t i = 0; i < m_; ++i) {
-      double acc = 0.0;
-      const double* row = &binv_[i * m_];
-      for (std::size_t r = 0; r < m_; ++r) acc += row[r] * rhs[r];
-      xval_[basis_[i]] = acc;
-    }
+    const double d = reduced_cost(cost, j);
+    if (st == VarStatus::kAtLower) return -d;
+    if (st == VarStatus::kAtUpper) return d;
+    return std::abs(d);  // free
   }
 
   // ---- result --------------------------------------------------------------
@@ -655,6 +664,7 @@ class Simplex {
     for (std::size_t j = 0; j < n_; ++j) {
       sol.reduced_costs[j] = mult * model_.objective_coeff(static_cast<int>(j));
     }
+    sol.stats = stats_;
     return sol;
   }
 
@@ -697,6 +707,11 @@ class Simplex {
         warm->clear();
       }
     }
+    stats_.iterations = iterations_;
+    stats_.degenerate_pivots = degenerate_pivots_;
+    stats_.refactor_count = refactor_count_;
+    stats_.bland_engaged = bland_used_;
+    sol.stats = stats_;
     return sol;
   }
 
@@ -717,9 +732,10 @@ class Simplex {
   std::vector<double> xval_;
   std::vector<VarStatus> status_;
   std::vector<int> basis_;
-  std::vector<double> binv_;  // dense m x m, row-major
   std::vector<double> y_, w_;
+  std::vector<int> wnz_;  // support of w_ (sorted basis positions)
 
+  SimplexStats stats_;
   long iterations_ = 0;
   long max_iter_ = 0;
   int pivots_since_refactor_ = 0;
@@ -733,6 +749,349 @@ class Simplex {
   SolveStatus stop_status_ = SolveStatus::kIterationLimit;
 };
 
+/// The original backend: an explicit dense basis inverse, updated by
+/// product form in O(m^2) per pivot and rebuilt by Gauss-Jordan in
+/// O(m^3). Kept verbatim as the robustness fallback; pivot selection is
+/// identical to the historical solver, so results are too.
+class DenseSimplex final : public SimplexCore {
+ public:
+  DenseSimplex(const Model& model, const SimplexOptions& opt)
+      : SimplexCore(model, opt) {
+    stats_.backend = BasisBackend::kDense;
+  }
+
+ private:
+  void on_basis_initialized() override {
+    // The crash basis is a signed diagonal; its inverse is itself.
+    binv_.assign(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) {
+      binv_[i * m_ + i] = col_val_[col_start_[basis_[i]]];
+    }
+  }
+
+  // y = c_B^T * Binv
+  void compute_duals(const std::vector<double>& cost) override {
+    ScopedTimer t(opt_.collect_timing, &stats_.btran_ns);
+    ++stats_.btran_calls;
+    y_.assign(m_, 0.0);
+    for (std::size_t k = 0; k < m_; ++k) {
+      const double cb = cost[basis_[k]];
+      if (cb == 0.0) continue;
+      kernels::axpy(m_, cb, &binv_[k * m_], y_.data());
+    }
+  }
+
+  // w = Binv * A_q
+  void ftran_entering(int q) override {
+    ScopedTimer t(opt_.collect_timing, &stats_.ftran_ns);
+    ++stats_.ftran_calls;
+    w_.assign(m_, 0.0);
+    for (std::size_t k = col_start_[q]; k < col_start_[q + 1]; ++k) {
+      const int row = col_row_[k];
+      const double v = col_val_[k];
+      for (std::size_t i = 0; i < m_; ++i) {
+        w_[i] += binv_[i * m_ + row] * v;
+      }
+    }
+    wnz_.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (w_[i] != 0.0) wnz_.push_back(static_cast<int>(i));
+    }
+  }
+
+  /// Product-form update folded straight into the explicit inverse.
+  void pivot_update(int r, int /*entering*/, int /*leaving*/) override {
+    ScopedTimer t(opt_.collect_timing, &stats_.update_ns);
+    const double piv = w_[r];
+    double* rrow = &binv_[static_cast<std::size_t>(r) * m_];
+    kernels::scale(m_, 1.0 / piv, rrow);
+    for (std::size_t k = 0; k < m_; ++k) {
+      if (static_cast<int>(k) == r) continue;
+      const double f = w_[k];
+      if (f == 0.0) continue;
+      kernels::axpy(m_, -f, rrow, &binv_[k * m_]);
+    }
+  }
+
+  /// Rebuilds Binv by Gauss-Jordan with partial pivoting and recomputes the
+  /// basic values exactly from the nonbasic point.
+  void refactor() override {
+    ScopedTimer t(opt_.collect_timing, &stats_.factor_ns);
+    pivots_since_refactor_ = 0;
+    ++refactor_count_;
+    // Dense B from basis columns.
+    std::vector<double> B(m_ * m_, 0.0);
+    for (std::size_t p = 0; p < m_; ++p) {
+      const int j = basis_[p];
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        B[static_cast<std::size_t>(col_row_[k]) * m_ + p] = col_val_[k];
+      }
+    }
+    // Invert [B | I] -> [I | Binv].
+    std::vector<double> inv(m_ * m_, 0.0);
+    for (std::size_t i = 0; i < m_; ++i) inv[i * m_ + i] = 1.0;
+    for (std::size_t col = 0; col < m_; ++col) {
+      std::size_t piv_row = col;
+      double piv = std::abs(B[col * m_ + col]);
+      for (std::size_t r = col + 1; r < m_; ++r) {
+        if (std::abs(B[r * m_ + col]) > piv) {
+          piv = std::abs(B[r * m_ + col]);
+          piv_row = r;
+        }
+      }
+      if (piv < kSingularTol) {
+        throw std::runtime_error("singular simplex basis");
+      }
+      if (piv_row != col) {
+        for (std::size_t c = 0; c < m_; ++c) {
+          std::swap(B[piv_row * m_ + c], B[col * m_ + c]);
+          std::swap(inv[piv_row * m_ + c], inv[col * m_ + c]);
+        }
+      }
+      const double p = B[col * m_ + col];
+      const double ip = 1.0 / p;
+      kernels::scale(m_, ip, &B[col * m_]);
+      kernels::scale(m_, ip, &inv[col * m_]);
+      for (std::size_t r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double f = B[r * m_ + col];
+        if (f == 0.0) continue;
+        kernels::axpy(m_, -f, &B[col * m_], &B[r * m_]);
+        kernels::axpy(m_, -f, &inv[col * m_], &inv[r * m_]);
+      }
+    }
+    binv_ = std::move(inv);
+
+    // Recompute basic values: x_B = Binv * (0 - N x_N).
+    std::vector<double> rhs(m_, 0.0);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = xval_[j];
+      if (v == 0.0) continue;
+      for (std::size_t k = col_start_[j]; k < col_start_[j + 1]; ++k) {
+        rhs[col_row_[k]] -= col_val_[k] * v;
+      }
+    }
+    for (std::size_t i = 0; i < m_; ++i) {
+      xval_[basis_[i]] = kernels::dot(m_, &binv_[i * m_], rhs.data());
+    }
+  }
+
+  std::vector<double> binv_;  // dense m x m, row-major
+};
+
+/// The production backend: sparse LU of the basis (sparse_lu.h) with
+/// product-form eta updates and candidate-list partial pricing. Every
+/// per-iteration step is O(nnz)-ish instead of O(m^2); the exactness
+/// story is unchanged because the drift-verification loop and the
+/// downstream certificate checker are backend-blind.
+class SparseSimplex final : public SimplexCore {
+ public:
+  SparseSimplex(const Model& model, const SimplexOptions& opt)
+      : SimplexCore(model, opt) {
+    stats_.backend = BasisBackend::kSparse;
+    // kAuto means Dantzig here too, NOT the candidate list: partial
+    // pricing reaches different alternative-optimal vertices from warm
+    // vs cold starts, and the sweep pipeline requires warm-started and
+    // cold solves to agree byte-for-byte (serial sweeps warm-start,
+    // parallel/distributed workers solve cold). Full Dantzig converges
+    // to the same vertex from either start across the whole corpus, so
+    // it is the default; the list and Devex are opt-in throughput modes
+    // for callers that do not need cross-run identity.
+    pricing_ = opt_.pricing == PricingRule::kAuto ? PricingRule::kDantzig
+                                                  : opt_.pricing;
+    if (pricing_ == PricingRule::kDevex) refw_.assign(num_cols_, 1.0);
+  }
+
+ private:
+  void factor_current_basis() {
+    if (!lu_.factor(col_start_.data(), col_row_.data(), col_val_.data(),
+                    basis_.data(), m_, kSingularTol)) {
+      throw std::runtime_error("singular simplex basis");
+    }
+    stats_.lu_fill_ratio = std::max(stats_.lu_fill_ratio, lu_.fill_ratio());
+  }
+
+  void on_basis_initialized() override {
+    // The signed-diagonal crash basis factors with zero fill.
+    factor_current_basis();
+  }
+
+  void refactor() override {
+    ScopedTimer t(opt_.collect_timing, &stats_.factor_ns);
+    pivots_since_refactor_ = 0;
+    ++refactor_count_;
+    factor_current_basis();
+    // Recompute basic values exactly: x_B = B^{-1} * (0 - N x_N). The
+    // eta file is empty right after factor(), so this is a pure LU solve.
+    rhs_.assign(m_, 0.0);
+    for (std::size_t j = 0; j < num_cols_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double v = xval_[j];
+      if (v == 0.0) continue;
+      kernels::scatter_axpy(col_start_[j + 1] - col_start_[j], -v,
+                            col_row_.data() + col_start_[j],
+                            col_val_.data() + col_start_[j], rhs_.data());
+    }
+    lu_.ftran(rhs_.data());
+    for (std::size_t p = 0; p < m_; ++p) xval_[basis_[p]] = rhs_[p];
+  }
+
+  bool should_refactor() const override {
+    return pivots_since_refactor_ >= opt_.refactor_interval ||
+           static_cast<double>(lu_.eta_nonzeros()) >
+               opt_.eta_growth_limit * static_cast<double>(m_);
+  }
+
+  // y^T = c_B^T B^{-1}, i.e. y = B^{-T} c_B.
+  void compute_duals(const std::vector<double>& cost) override {
+    ScopedTimer t(opt_.collect_timing, &stats_.btran_ns);
+    ++stats_.btran_calls;
+    y_.resize(m_);
+    for (std::size_t p = 0; p < m_; ++p) y_[p] = cost[basis_[p]];
+    lu_.btran(y_.data());
+  }
+
+  void ftran_entering(int q) override {
+    ScopedTimer t(opt_.collect_timing, &stats_.ftran_ns);
+    ++stats_.ftran_calls;
+    // Clear only last iteration's support instead of O(m) memset.
+    if (w_.size() != m_) {
+      w_.assign(m_, 0.0);
+    } else {
+      for (const int i : wnz_) w_[i] = 0.0;
+    }
+    for (std::size_t k = col_start_[q]; k < col_start_[q + 1]; ++k) {
+      w_[col_row_[k]] += col_val_[k];
+    }
+    lu_.ftran(w_.data());
+    wnz_.clear();
+    for (std::size_t i = 0; i < m_; ++i) {
+      if (w_[i] != 0.0) wnz_.push_back(static_cast<int>(i));
+    }
+  }
+
+  void pivot_update(int r, int entering, int leaving) override {
+    ScopedTimer t(opt_.collect_timing, &stats_.update_ns);
+    if (pricing_ == PricingRule::kDevex) {
+      update_devex_weights(r, entering, leaving);
+    }
+    if (lu_.push_eta(r, w_.data(), wnz_.data(), wnz_.size(),
+                     kEtaStabilityTol)) {
+      stats_.eta_nonzeros = std::max(
+          stats_.eta_nonzeros, static_cast<long>(lu_.eta_nonzeros()));
+    } else {
+      // Pivot too small to absorb as an eta: the basis already changed,
+      // so rebuild the factorization before anyone ftran/btrans it.
+      refactor();
+    }
+  }
+
+  int price(const std::vector<double>& cost) override {
+    // Bland's rule (anti-cycling) and an explicit Dantzig request both
+    // need the full lowest-index / most-negative scan semantics of the
+    // base implementation.
+    if (bland_ || pricing_ == PricingRule::kDantzig) {
+      return SimplexCore::price(cost);
+    }
+    ScopedTimer t(opt_.collect_timing, &stats_.pricing_ns);
+    const std::size_t cap =
+        opt_.candidate_list_size > 0
+            ? static_cast<std::size_t>(opt_.candidate_list_size)
+            : 64;
+    // Re-price the surviving candidates first; most iterations are
+    // served entirely from the list.
+    int best = -1;
+    double best_score = 0.0;
+    std::size_t out = 0;
+    for (const int j : cands_) {
+      const double viol = violation(cost, j);
+      if (viol <= opt_.dual_tol) continue;
+      cands_[out++] = j;
+      const double score = scored(j, viol);
+      if (score > best_score || (score == best_score && best >= 0 && j < best)) {
+        best_score = score;
+        best = j;
+      }
+    }
+    cands_.resize(out);
+    if (best >= 0) return best;
+    // List exhausted: refill from a rotating cursor. Declaring
+    // optimality requires a full empty cycle, so partial pricing can
+    // never terminate early on a non-optimal point.
+    cands_.clear();
+    for (std::size_t scanned = 0; scanned < num_cols_; ++scanned) {
+      const int j = static_cast<int>(cursor_);
+      cursor_ = cursor_ + 1 < num_cols_ ? cursor_ + 1 : 0;
+      const double viol = violation(cost, j);
+      if (viol <= opt_.dual_tol) continue;
+      cands_.push_back(j);
+      const double score = scored(j, viol);
+      if (score > best_score || (score == best_score && best >= 0 && j < best)) {
+        best_score = score;
+        best = j;
+      }
+      if (cands_.size() >= cap) break;
+    }
+    return best;
+  }
+
+  double scored(int j, double viol) const {
+    if (pricing_ != PricingRule::kDevex) return viol;
+    return viol * viol / refw_[j];
+  }
+
+  /// Devex reference weights (approximate steepest edge), updated over
+  /// the candidate list plus the leaving variable. Uses B_old, so it must
+  /// run before the eta for this pivot is pushed.
+  void update_devex_weights(int r, int entering, int leaving) {
+    rho_.assign(m_, 0.0);
+    rho_[r] = 1.0;
+    lu_.btran(rho_.data());  // pivot row of B_old^{-1}, by original row
+    const double alpha_q = w_[r];
+    if (alpha_q == 0.0) return;
+    const double wq = refw_[entering];
+    for (const int j : cands_) {
+      if (j == entering) continue;
+      const double alpha =
+          kernels::gather_dot(col_start_[j + 1] - col_start_[j],
+                              col_row_.data() + col_start_[j],
+                              col_val_.data() + col_start_[j], rho_.data());
+      const double ratio = alpha / alpha_q;
+      refw_[j] = std::max(refw_[j], ratio * ratio * wq);
+    }
+    refw_[leaving] = std::max(wq / (alpha_q * alpha_q), 1.0);
+  }
+
+  SparseLu lu_;
+  PricingRule pricing_ = PricingRule::kCandidateList;
+  std::vector<int> cands_;
+  std::size_t cursor_ = 0;
+  std::vector<double> refw_, rho_, rhs_;
+};
+
+/// The backend that will actually run: a dense request on a model whose
+/// explicit inverse would not fit the worker memory budget is served
+/// sparse (see kDenseBackendMaxRows).
+BasisBackend effective_backend(const Model& model,
+                               const SimplexOptions& options) {
+  if (options.basis_backend == BasisBackend::kDense &&
+      model.num_constraints() <= kDenseBackendMaxRows) {
+    return BasisBackend::kDense;
+  }
+  return BasisBackend::kSparse;
+}
+
+Solution run_once(const Model& model, const SimplexOptions& options,
+                  WarmStart* warm) {
+  if (effective_backend(model, options) == BasisBackend::kDense) {
+    DenseSimplex solver(model, options);
+    return solver.run(warm);
+  }
+  SparseSimplex solver(model, options);
+  return solver.run(warm);
+}
+
 }  // namespace
 
 Solution solve_lp(const Model& model, const SimplexOptions& options) {
@@ -741,18 +1100,21 @@ Solution solve_lp(const Model& model, const SimplexOptions& options) {
 
 Solution solve_lp(const Model& model, const SimplexOptions& options,
                   WarmStart* warm) {
-  Simplex solver(model, options);
-  Solution sol = solver.run(warm);
+  Solution sol = run_once(model, options, warm);
   if (sol.status == SolveStatus::kNumericalError &&
       options.deadline.stop_reason() == util::StopReason::kNone) {
-    // Product-form drift occasionally exceeds the feasibility check on
-    // long solves; refactoring far more often is slower but much more
-    // accurate, so retry once in high-accuracy mode.
+    // Numerical trouble: retry once in high-accuracy mode (refactor far
+    // more often, stricter pivots). A failed *sparse* pass additionally
+    // drops to the dense explicit-inverse backend - the instability
+    // fallback rung - whenever the model is small enough for it.
     SimplexOptions retry = options;
     retry.refactor_interval = 20;
     retry.pivot_tol = std::max(options.pivot_tol, 1e-8);
-    Simplex careful(model, retry);
-    sol = careful.run(warm);  // retry cold: run() ignores a cleared warm
+    if (effective_backend(model, options) == BasisBackend::kSparse &&
+        model.num_constraints() <= kDenseBackendMaxRows) {
+      retry.basis_backend = BasisBackend::kDense;
+    }
+    sol = run_once(model, retry, warm);  // retry cold: a cleared warm is ignored
   }
   return sol;
 }

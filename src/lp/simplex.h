@@ -1,15 +1,33 @@
-// Bounded-variable revised primal simplex.
+// Bounded-variable revised primal simplex with two swappable basis
+// backends.
 //
 // Two-phase method: phase I drives artificial variables to zero starting
-// from an all-artificial basis, phase II optimizes the real objective.
-// The basis inverse is kept explicitly (dense) and updated with the
-// product-form pivot; it is refactorized from scratch periodically for
-// numerical stability. Anti-cycling is handled by falling back to Bland's
-// rule after a run of degenerate pivots.
+// from a mixed crash basis, phase II optimizes the real objective.
+// Anti-cycling is handled by falling back to Bland's rule after a run of
+// degenerate pivots, and every optimal finish is re-verified at an
+// exactly refactorized point before it is returned.
 //
-// This is sized for the LPs the paper reproduction generates (10^3-10^4
-// nonzeros): dense O(m^2) per-iteration work is well within budget and a
-// great deal simpler to make robust than sparse LU updates.
+// Basis backends (SimplexOptions::basis_backend):
+//
+//   kSparse (default) - sparse LU factorization of the basis (Markowitz-
+//     style pivot ordering, sparse triangular FTRAN/BTRAN), updated per
+//     pivot by product-form eta files and refactorized on the
+//     refactor_interval / eta-growth / stability triggers, with
+//     optional candidate-list / Devex partial pricing. Per-iteration
+//     cost is O(nnz), which is what makes 100k+-task traces tractable.
+//
+//   kDense - the original explicit O(m^2) basis inverse with full Dantzig
+//     pricing. Slower but maximally simple, it is kept as the
+//     instability fallback: solve_lp() retries a sparse solve that ends
+//     in a numerical failure on the dense backend, and the robust retry
+//     ladder's accuracy rungs (refactor-20 / bland / perturb) run dense
+//     outright (src/robust/solve_driver.cpp).
+//
+// The "dense is well within budget" era ended with the exact certificate
+// checker (PR 4): every accepted solve is independently re-verified in
+// dyadic-rational arithmetic downstream, so the core is free to be fast
+// and the checker - not solver conservatism - carries correctness.
+// Inner loops shared by both backends live in lp/kernels.h.
 #pragma once
 
 #include <cstddef>
@@ -37,14 +55,43 @@ enum class SolveStatus {
 
 const char* to_string(SolveStatus status);
 
+/// Which basis representation the solver keeps between pivots.
+enum class BasisBackend { kDense, kSparse };
+
+const char* to_string(BasisBackend backend);
+
+/// Entering-variable selection rule. kAuto resolves to kDantzig on both
+/// backends: under degenerate alternative optima, partial pricing can
+/// reach a different optimal vertex from a warm start than from a cold
+/// one, and the sweep pipeline requires warm and cold solves to agree
+/// byte-for-byte (serial sweeps warm-start; parallel, distributed and
+/// daemon workers solve cold). Dantzig converges to the same vertex from
+/// either start, so it stays the default; the list and Devex modes are
+/// opt-in for throughput-only callers. Bland's rule is not listed here:
+/// it is the anti-cycling override (bland_trigger) and preempts any of
+/// these.
+enum class PricingRule {
+  kAuto,
+  /// Full scan, most-negative reduced cost. O(nnz) per iteration.
+  kDantzig,
+  /// Partial pricing: a rotating scan refills a small candidate list,
+  /// iterations re-price only the list. Optimality is still certified by
+  /// a full scan (a complete empty cycle). Sparse backend only.
+  kCandidateList,
+  /// Candidate-list selection weighted by Devex reference weights
+  /// (approximate steepest edge; weights updated over the candidate
+  /// list only). Costs one extra BTRAN per pivot.
+  kDevex,
+};
+
 struct SimplexOptions {
   /// Hard cap on simplex iterations across both phases; <= 0 means the
   /// solver picks 200 * (rows + cols) + 2000.
   long max_iterations = 0;
-  /// Refactorize the basis inverse every this many pivots. Refactoring is
-  /// O(m^3); product-form updates drift slowly, so this trades speed for
-  /// accuracy. solve_lp() retries once at interval 20 if the fast pass
-  /// ends with a feasibility check failure.
+  /// Refactorize the basis every this many pivots. Refactoring is the
+  /// accuracy lever: product-form updates drift slowly, so this trades
+  /// speed for accuracy. solve_lp() retries once in a high-accuracy mode
+  /// if the fast pass ends with a feasibility check failure.
   int refactor_interval = 100;
   /// Primal feasibility tolerance on variable bounds.
   double primal_tol = 1e-7;
@@ -56,11 +103,70 @@ struct SimplexOptions {
   /// <= 0 engages Bland's rule from the very first pivot (the retry
   /// ladder's last-resort anti-cycling mode).
   int bland_trigger = 100;
+  /// Basis representation. kSparse is the production default; kDense is
+  /// the robustness fallback. A dense request on a model with more than
+  /// kDenseBackendMaxRows rows is served sparse anyway - the explicit
+  /// inverse would need O(m^2) memory the worker rlimits do not grant.
+  BasisBackend basis_backend = BasisBackend::kSparse;
+  /// Entering-variable rule; kAuto picks per backend (see PricingRule).
+  PricingRule pricing = PricingRule::kAuto;
+  /// Candidate-list capacity for partial pricing.
+  int candidate_list_size = 64;
+  /// Sparse backend: refactorize when the eta file exceeds this many
+  /// nonzeros per row (eta_nnz > limit * m), independent of
+  /// refactor_interval.
+  double eta_growth_limit = 16.0;
+  /// Collect per-bucket wall-clock timings (SimplexStats::*_ns). Off by
+  /// default: the clock reads cost more than a sparse pivot on small
+  /// models, and timings are bench telemetry, not solve output.
+  bool collect_timing = false;
   /// Wall-clock budget and cooperative cancellation, observed at pivot
   /// granularity (the cancel flag every pivot, the clock every few
   /// pivots). Default: unlimited. An expired deadline returns
   /// kDeadlineExceeded; a tripped token returns kCancelled.
   util::Deadline deadline;
+};
+
+/// Hard row ceiling for the dense backend (see
+/// SimplexOptions::basis_backend). 2048 rows ~ 32 MiB of explicit
+/// inverse; beyond that the dense path is a memory hazard, not a
+/// fallback.
+inline constexpr std::size_t kDenseBackendMaxRows = 2048;
+
+/// Per-solve counters and (optional) per-bucket timings. Counters are
+/// deterministic for a given model/options/warm-start and are surfaced
+/// into RunReport solver telemetry; the *_ns buckets are wall-clock
+/// telemetry (bench only) and are zero unless
+/// SimplexOptions::collect_timing was set.
+struct SimplexStats {
+  /// Backend that produced the accepted result (dense|sparse).
+  BasisBackend backend = BasisBackend::kDense;
+  long iterations = 0;
+  /// Pivots that made no primal progress (step <= primal_tol). A high
+  /// count flags degeneracy; it is what arms the Bland's-rule fallback.
+  long degenerate_pivots = 0;
+  /// Times the basis was refactorized from scratch.
+  long refactor_count = 0;
+  /// Whether the anti-cycling Bland's-rule fallback engaged at any point.
+  bool bland_engaged = false;
+  /// Bound flips (entering variable moved lower<->upper, no basis change).
+  long bound_flips = 0;
+  long ftran_calls = 0;
+  long btran_calls = 0;
+  /// Peak eta-file length (nonzeros) between refactorizations. 0 on the
+  /// dense backend, whose product-form update is folded into the
+  /// explicit inverse.
+  long eta_nonzeros = 0;
+  /// Worst fill ratio nnz(L + U) / nnz(B) across factorizations (1.0 is
+  /// fill-free; 0 when the backend never factorized, e.g. dense).
+  double lu_fill_ratio = 0.0;
+  /// Wall-clock per bucket, nanoseconds (collect_timing only).
+  double ftran_ns = 0.0;
+  double btran_ns = 0.0;
+  double pricing_ns = 0.0;
+  double ratio_ns = 0.0;
+  double update_ns = 0.0;
+  double factor_ns = 0.0;
 };
 
 /// Opaque basis snapshot for warm-started re-solves. Valid only for a
@@ -69,7 +175,8 @@ struct SimplexOptions {
 /// where only bounds change between solves. solve_lp() verifies primal
 /// feasibility of the warmed basis under the new bounds and silently
 /// falls back to a cold start when it does not hold (e.g. after a cap
-/// decrease), so warm starting is always safe.
+/// decrease), so warm starting is always safe. Snapshots are backend-
+/// agnostic: a dense solve can seed a sparse one and vice versa.
 struct WarmStart {
   std::vector<char> status;  // internal column statuses
   std::vector<int> basis;    // basic column per row
@@ -90,18 +197,19 @@ struct Solution {
   std::vector<double> duals;
   /// Per-variable reduced costs for the minimization form.
   std::vector<double> reduced_costs;
+  /// Mirrors stats.iterations (kept for call-site compatibility).
   long iterations = 0;
   /// Max primal violation of the returned point (diagnostic; ~0 when
   /// optimal).
   double primal_infeasibility = 0.0;
-  /// Pivots that made no primal progress (step <= primal_tol). A high
-  /// count flags degeneracy; it is what arms the Bland's-rule fallback.
+  /// Mirrors stats.degenerate_pivots.
   long degenerate_pivots = 0;
-  /// Times the basis inverse was rebuilt from scratch (refactorizations
-  /// are the numerical-accuracy lever the retry ladder turns).
+  /// Mirrors stats.refactor_count.
   long refactor_count = 0;
-  /// Whether the anti-cycling Bland's-rule fallback engaged at any point.
+  /// Mirrors stats.bland_engaged.
   bool bland_engaged = false;
+  /// Full per-solve counter set (see SimplexStats).
+  SimplexStats stats;
 
   bool optimal() const { return status == SolveStatus::kOptimal; }
 };

@@ -1,0 +1,304 @@
+#include "lp/sparse_lu.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "lp/kernels.h"
+
+namespace powerlim::lp {
+
+namespace {
+// Work-vector entries at or below this magnitude after elimination are
+// treated as symbolic-only fill and not stored in L / U. Exact zeros are
+// common (cancellation in slack-heavy bases); anything else this small
+// is noise that only bloats the factors.
+constexpr double kFactorDrop = 0.0;
+}  // namespace
+
+bool SparseLu::factor(const std::size_t* col_start, const int* col_row,
+                      const double* col_val, const int* basis, std::size_t m,
+                      double singular_tol) {
+  m_ = m;
+  factored_ = false;
+  fill_ratio_ = 0.0;
+  eta_start_.assign(1, 0);
+  eta_pos_.clear();
+  eta_piv_.clear();
+  eta_idx_.clear();
+  eta_val_.clear();
+  l_start_.assign(1, 0);
+  u_start_.assign(1, 0);
+  l_idx_.clear();
+  l_val_.clear();
+  u_idx_.clear();
+  u_val_.clear();
+  u_diag_.assign(m, 0.0);
+  pivot_row_.assign(m, -1);
+  pivot_col_.assign(m, -1);
+  row_of_.assign(m, -1);
+  col_of_.assign(m, -1);
+  if (m == 0) {
+    factored_ = true;
+    fill_ratio_ = 1.0;
+    return true;
+  }
+
+  // Markowitz-style pre-order: factor the sparsest columns first
+  // (stable on basis position for determinism). Singleton slack /
+  // artificial columns then pivot immediately with zero fill, and the
+  // denser structural columns meet an already mostly-triangular front.
+  std::vector<int> order(m);
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](int a, int b) {
+    const std::size_t na = col_start[basis[a] + 1] - col_start[basis[a]];
+    const std::size_t nb = col_start[basis[b] + 1] - col_start[basis[b]];
+    return na < nb;
+  });
+
+  std::size_t basis_nnz = 0;
+  for (std::size_t p = 0; p < m; ++p) {
+    basis_nnz += col_start[basis[p] + 1] - col_start[basis[p]];
+  }
+
+  work_.assign(m, 0.0);
+  visit_mark_.assign(m, 0);
+  mark_epoch_ = 0;
+  stack_.resize(m);
+  stack_edge_.resize(m);
+  topo_.reserve(m);
+  reach_.reserve(m);
+  l_idx_.reserve(basis_nnz);
+  l_val_.reserve(basis_nnz);
+  u_idx_.reserve(basis_nnz);
+  u_val_.reserve(basis_nnz);
+
+  // NOTE: while factoring, l_idx_ holds ORIGINAL row indices (the DFS
+  // and the scatter updates both live in original-row space); the final
+  // pass below remaps them to pivot coordinates for the solves.
+  for (std::size_t kk = 0; kk < m; ++kk) {
+    const int p = order[kk];  // basis position
+    const int j = basis[p];   // computational column
+
+    // Symbolic step: the nonzero pattern of L^{-1} b is the set of rows
+    // reachable from pattern(b) in the graph where an already-assigned
+    // row (pivot k) points at the rows of L's column k. Depth-first
+    // post-order gives the pivots in reverse-topological order.
+    ++mark_epoch_;
+    topo_.clear();
+    reach_.clear();
+    for (std::size_t e = col_start[j]; e < col_start[j + 1]; ++e) {
+      const int root = col_row[e];
+      if (visit_mark_[root] == mark_epoch_) continue;
+      int top = 0;
+      stack_[0] = root;
+      visit_mark_[root] = mark_epoch_;
+      reach_.push_back(root);
+      {
+        const int k0 = row_of_[root];
+        stack_edge_[0] = k0 >= 0 ? l_start_[k0] : 0;
+      }
+      while (top >= 0) {
+        const int r = stack_[top];
+        const int k = row_of_[r];
+        bool descended = false;
+        if (k >= 0) {
+          while (stack_edge_[top] < l_start_[k + 1]) {
+            const int child = l_idx_[stack_edge_[top]++];
+            if (visit_mark_[child] != mark_epoch_) {
+              visit_mark_[child] = mark_epoch_;
+              reach_.push_back(child);
+              ++top;
+              stack_[top] = child;
+              const int ck = row_of_[child];
+              stack_edge_[top] = ck >= 0 ? l_start_[ck] : 0;
+              descended = true;
+              break;
+            }
+          }
+        }
+        if (!descended) {
+          if (k >= 0) topo_.push_back(k);
+          --top;
+        }
+      }
+    }
+
+    // Numeric step: scatter the column, then eliminate reached pivots
+    // in dependency (reverse post-) order - this is the sparse lower
+    // solve whose flops bound the whole factorization.
+    for (std::size_t e = col_start[j]; e < col_start[j + 1]; ++e) {
+      work_[col_row[e]] += col_val[e];
+    }
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const int k = *it;
+      const double piv = work_[pivot_row_[k]];
+      if (piv != 0.0) {
+        kernels::scatter_axpy(l_start_[k + 1] - l_start_[k], -piv,
+                              l_idx_.data() + l_start_[k],
+                              l_val_.data() + l_start_[k], work_.data());
+      }
+    }
+
+    // U column kk = the values at already-assigned pivot rows.
+    for (auto it = topo_.rbegin(); it != topo_.rend(); ++it) {
+      const int k = *it;
+      const double v = work_[pivot_row_[k]];
+      if (std::fabs(v) > kFactorDrop) {
+        u_idx_.push_back(k);
+        u_val_.push_back(v);
+      }
+    }
+    u_start_.push_back(u_idx_.size());
+
+    // Partial pivoting: max-magnitude unassigned row (ties to the
+    // lowest original row for determinism).
+    int best_row = -1;
+    double best = 0.0;
+    for (const int r : reach_) {
+      if (row_of_[r] >= 0) continue;
+      const double v = std::fabs(work_[r]);
+      if (v > best || (v == best && best_row >= 0 && r < best_row)) {
+        best = v;
+        best_row = r;
+      }
+    }
+    if (best_row < 0 || best <= singular_tol) {
+      for (const int r : reach_) work_[r] = 0.0;
+      return false;  // structurally or numerically singular
+    }
+
+    const int ki = static_cast<int>(kk);
+    pivot_row_[ki] = best_row;
+    row_of_[best_row] = ki;
+    pivot_col_[ki] = p;
+    col_of_[p] = ki;
+    const double piv = work_[best_row];
+    u_diag_[kk] = piv;
+
+    for (const int r : reach_) {
+      if (row_of_[r] >= 0) continue;  // best_row just got assigned
+      const double v = work_[r];
+      if (std::fabs(v) > kFactorDrop) {
+        l_idx_.push_back(r);
+        l_val_.push_back(v / piv);
+      }
+    }
+    l_start_.push_back(l_idx_.size());
+
+    for (const int r : reach_) work_[r] = 0.0;
+  }
+
+  // Remap L's row indices from original rows to pivot coordinates now
+  // that the row permutation is complete.
+  for (auto& r : l_idx_) r = row_of_[r];
+
+  fill_ratio_ = static_cast<double>(factor_nonzeros()) /
+                static_cast<double>(std::max<std::size_t>(basis_nnz, 1));
+  factored_ = true;
+  return true;
+}
+
+void SparseLu::lower_solve(double* x) const {
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double xk = x[k];
+    if (xk != 0.0) {
+      kernels::scatter_axpy(l_start_[k + 1] - l_start_[k], -xk,
+                            l_idx_.data() + l_start_[k],
+                            l_val_.data() + l_start_[k], x);
+    }
+  }
+}
+
+void SparseLu::upper_solve(double* x) const {
+  for (std::size_t k = m_; k-- > 0;) {
+    const double xk = x[k] / u_diag_[k];
+    x[k] = xk;
+    if (xk != 0.0) {
+      kernels::scatter_axpy(u_start_[k + 1] - u_start_[k], -xk,
+                            u_idx_.data() + u_start_[k],
+                            u_val_.data() + u_start_[k], x);
+    }
+  }
+}
+
+void SparseLu::upper_solve_t(double* x) const {
+  for (std::size_t k = 0; k < m_; ++k) {
+    const double acc =
+        kernels::gather_dot(u_start_[k + 1] - u_start_[k],
+                            u_idx_.data() + u_start_[k],
+                            u_val_.data() + u_start_[k], x);
+    x[k] = (x[k] - acc) / u_diag_[k];
+  }
+}
+
+void SparseLu::lower_solve_t(double* x) const {
+  for (std::size_t k = m_; k-- > 0;) {
+    x[k] -= kernels::gather_dot(l_start_[k + 1] - l_start_[k],
+                                l_idx_.data() + l_start_[k],
+                                l_val_.data() + l_start_[k], x);
+  }
+}
+
+void SparseLu::ftran(double* w) {
+  if (m_ == 0) return;
+  // B_0^{-1} via the LU factors: permute in, two triangular solves,
+  // permute out.
+  perm_.resize(m_);
+  for (std::size_t k = 0; k < m_; ++k) perm_[k] = w[pivot_row_[k]];
+  lower_solve(perm_.data());
+  upper_solve(perm_.data());
+  for (std::size_t k = 0; k < m_; ++k) w[pivot_col_[k]] = perm_[k];
+  // Then the eta file in creation order: B_k = B_0 E_1 ... E_k, so
+  // B_k^{-1} = E_k^{-1} ... E_1^{-1} B_0^{-1} applied oldest first.
+  for (std::size_t e = 0; e < eta_pos_.size(); ++e) {
+    const int r = eta_pos_[e];
+    const double xr = w[r] / eta_piv_[e];
+    w[r] = xr;
+    if (xr != 0.0) {
+      kernels::scatter_axpy(eta_start_[e + 1] - eta_start_[e], -xr,
+                            eta_idx_.data() + eta_start_[e],
+                            eta_val_.data() + eta_start_[e], w);
+    }
+  }
+}
+
+void SparseLu::btran(double* y) {
+  if (m_ == 0) return;
+  // Transposed order: eta file newest first, then the transposed LU
+  // solves.
+  for (std::size_t e = eta_pos_.size(); e-- > 0;) {
+    const int r = eta_pos_[e];
+    const double acc =
+        kernels::gather_dot(eta_start_[e + 1] - eta_start_[e],
+                            eta_idx_.data() + eta_start_[e],
+                            eta_val_.data() + eta_start_[e], y);
+    y[r] = (y[r] - acc) / eta_piv_[e];
+  }
+  perm_.resize(m_);
+  for (std::size_t k = 0; k < m_; ++k) perm_[k] = y[pivot_col_[k]];
+  upper_solve_t(perm_.data());
+  lower_solve_t(perm_.data());
+  for (std::size_t k = 0; k < m_; ++k) y[pivot_row_[k]] = perm_[k];
+}
+
+bool SparseLu::push_eta(int r, const double* w, const int* wnz,
+                        std::size_t nnz, double stability_tol) {
+  const double piv = w[r];
+  if (std::fabs(piv) <= stability_tol) return false;
+  eta_pos_.push_back(r);
+  eta_piv_.push_back(piv);
+  for (std::size_t k = 0; k < nnz; ++k) {
+    const int i = wnz[k];
+    if (i == r) continue;
+    const double v = w[i];
+    if (v != 0.0) {
+      eta_idx_.push_back(i);
+      eta_val_.push_back(v);
+    }
+  }
+  eta_start_.push_back(eta_idx_.size());
+  return true;
+}
+
+}  // namespace powerlim::lp

@@ -97,6 +97,8 @@ void append_attempt(std::ostringstream& os, const SolveAttempt& a) {
      << "\"refactor_count\":" << a.refactor_count << ","
      << "\"bland_engaged\":" << (a.bland_engaged ? "true" : "false") << ","
      << "\"primal_infeasibility\":" << json_num(a.primal_infeasibility) << ","
+     << "\"eta_nonzeros\":" << a.eta_nonzeros << ","
+     << "\"lu_fill_ratio\":" << json_num(a.lu_fill_ratio) << ","
      << "\"failed_window\":" << a.failed_window << ","
      << "\"detail\":\"" << json_escape(a.detail) << "\"}";
 }
@@ -321,17 +323,25 @@ struct SolveDriver::Impl {
       case 0:  // warm: base options, sweeper cache in play
       case 1:  // cold: cache dropped by caller
         break;
+      // The accuracy rungs (2+) run the dense backend outright: they are
+      // reached only after the fast sparse path failed twice, and the
+      // explicit inverse removes the eta-update drift dimension entirely
+      // (lp::solve_lp serves the request sparse anyway when the model
+      // exceeds lp::kDenseBackendMaxRows rows).
       case 2:  // refactor-20
         o.simplex.refactor_interval = 20;
+        o.simplex.basis_backend = lp::BasisBackend::kDense;
         break;
       case 3:  // bland
         o.simplex.refactor_interval = 20;
         o.simplex.bland_trigger = 0;
+        o.simplex.basis_backend = lp::BasisBackend::kDense;
         break;
       case 4:  // perturb: nudge the cap off the degenerate vertex and
                // accept slightly looser feasibility
         o.simplex.refactor_interval = 20;
         o.simplex.bland_trigger = 0;
+        o.simplex.basis_backend = lp::BasisBackend::kDense;
         o.power_cap = job_cap * (1.0 - 1e-7);
         o.simplex.primal_tol = 1e-6;
         o.simplex.dual_tol = 1e-6;
@@ -459,6 +469,8 @@ SolveOutcome SolveDriver::solve(double job_cap_watts) const {
         att.refactor_count = res.refactor_count;
         att.bland_engaged = res.bland_engaged;
         att.primal_infeasibility = res.primal_infeasibility;
+        att.eta_nonzeros = res.eta_nonzeros;
+        att.lu_fill_ratio = res.lu_fill_ratio;
         att.failed_window = res.failed_window;
         if (res.optimal()) {
           bool accepted = true;

@@ -58,7 +58,11 @@ namespace powerlim::robust {
 /// to the service block (high-availability failover): which failover
 /// epoch the serving daemon held and whether it served as "primary" or
 /// "standby" - empty/zero offline, excluded from byte-identity.
-inline constexpr int kRunReportSchemaVersion = 7;
+/// Schema 8 added `eta_nonzeros` and `lu_fill_ratio` to each ladder
+/// attempt (sparse simplex basis telemetry; 0 on the dense backend) -
+/// designated solver telemetry, excluded from byte-identity comparisons
+/// alongside iterations/refactor_count.
+inline constexpr int kRunReportSchemaVersion = 8;
 
 /// One rung of the ladder, as executed.
 struct SolveAttempt {
@@ -73,6 +77,11 @@ struct SolveAttempt {
   long refactor_count = 0;
   bool bland_engaged = false;
   double primal_infeasibility = 0.0;
+  /// Sparse-backend basis telemetry (schema 8): summed peak eta-file
+  /// nonzeros and worst LU fill ratio across windows. Both 0 when the
+  /// attempt ran on the dense backend (the accuracy rungs do).
+  long eta_nonzeros = 0;
+  double lu_fill_ratio = 0.0;
   /// Barrier window whose solve failed (-1: none / not window-local).
   int failed_window = -1;
 };

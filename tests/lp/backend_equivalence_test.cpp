@@ -1,0 +1,249 @@
+// Dense vs sparse basis-backend equivalence, gated by certificates
+// rather than floating-point equality: each backend's result must
+// independently pass the exact certificate checker (primal feasibility
+// in dyadic-rational arithmetic + weak duality), and only then are the
+// two objectives compared - so a "match" means two independently
+// verified optima, not two solvers making the same rounding errors.
+//
+// Also covers: the degenerate/cycling fixture (Beale) driving the
+// Bland's-rule rung on the sparse path, the opt-in pricing modes
+// reaching the same optimum, cross-backend warm starts, status parity
+// on infeasible/unbounded models, and the 100k-task scale target the
+// sparse backend exists for.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "apps/benchmarks.h"
+#include "check/certificate.h"
+#include "core/windowed.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "machine/power_model.h"
+#include "util/deadline.h"
+
+namespace powerlim {
+namespace {
+
+const machine::PowerModel& model() {
+  static const machine::PowerModel m{machine::SocketSpec{}};
+  return m;
+}
+
+const machine::ClusterSpec& cluster() {
+  static const machine::ClusterSpec c{};
+  return c;
+}
+
+core::LpScheduleOptions backend_options(lp::BasisBackend backend,
+                                        double job_cap) {
+  core::LpScheduleOptions o;
+  o.power_cap = job_cap;
+  o.simplex.basis_backend = backend;
+  return o;
+}
+
+TEST(BackendEquivalence, TraceCorpusCertificateGated) {
+  struct App {
+    const char* name;
+    dag::TaskGraph graph;
+  };
+  const std::vector<App> corpus = {
+      {"comd", apps::make_comd({.ranks = 4, .iterations = 3})},
+      {"lulesh", apps::make_lulesh({.ranks = 4, .iterations = 3})},
+      {"sp", apps::make_sp({.ranks = 4, .iterations = 3})},
+      {"bt", apps::make_bt({.ranks = 4, .iterations = 3})},
+  };
+  for (const App& app : corpus) {
+    for (double socket_cap : {35.0, 45.0, 60.0}) {
+      const double job_cap = socket_cap * app.graph.num_ranks();
+      const core::WindowedLpResult dense = core::solve_windowed_lp(
+          app.graph, model(), cluster(),
+          backend_options(lp::BasisBackend::kDense, job_cap));
+      const core::WindowedLpResult sparse = core::solve_windowed_lp(
+          app.graph, model(), cluster(),
+          backend_options(lp::BasisBackend::kSparse, job_cap));
+      ASSERT_TRUE(dense.optimal())
+          << app.name << " dense @" << socket_cap << "W";
+      ASSERT_TRUE(sparse.optimal())
+          << app.name << " sparse @" << socket_cap << "W";
+      // Each backend's claim is certified independently against the
+      // re-derived model - the equivalence gate.
+      const check::CertificateVerdict vd = check::verify_certificate(
+          app.graph, model(), cluster(), dense, job_cap);
+      const check::CertificateVerdict vs = check::verify_certificate(
+          app.graph, model(), cluster(), sparse, job_cap);
+      EXPECT_TRUE(vd.checked && vd.ok)
+          << app.name << " dense certificate @" << socket_cap << "W: "
+          << vd.detail;
+      EXPECT_TRUE(vs.checked && vs.ok)
+          << app.name << " sparse certificate @" << socket_cap << "W: "
+          << vs.detail;
+      EXPECT_TRUE(vd.duality_checked && vs.duality_checked);
+      // Two certified optima of the same LP: equal up to solver
+      // tolerance, NOT required to be bitwise equal.
+      const double scale = std::max(1.0, std::abs(dense.makespan));
+      EXPECT_LE(std::abs(dense.makespan - sparse.makespan) / scale, 1e-7)
+          << app.name << " @" << socket_cap << "W: dense "
+          << dense.makespan << " vs sparse " << sparse.makespan;
+      // The sparse run actually exercised the sparse machinery.
+      EXPECT_GT(sparse.eta_nonzeros + sparse.refactor_count, 0)
+          << app.name << " @" << socket_cap << "W";
+      EXPECT_GE(sparse.lu_fill_ratio, 1.0);
+      EXPECT_EQ(dense.eta_nonzeros, 0);
+      EXPECT_EQ(dense.lu_fill_ratio, 0.0);
+    }
+  }
+}
+
+/// Beale's classic cycling LP: Dantzig pricing cycles forever on it
+/// without anti-cycling. Optimum is -0.05 at x = (0.04, 0, 1, 0).
+lp::Model beale_model() {
+  lp::Model m(lp::Sense::kMinimize);
+  const lp::Variable x1 = m.add_variable(0, lp::kInfinity, -0.75, "x1");
+  const lp::Variable x2 = m.add_variable(0, lp::kInfinity, 150.0, "x2");
+  const lp::Variable x3 = m.add_variable(0, 1.0, -0.02, "x3");
+  const lp::Variable x4 = m.add_variable(0, lp::kInfinity, 6.0, "x4");
+  m.add_le({{x1, 0.25}, {x2, -60.0}, {x3, -0.04}, {x4, 9.0}}, 0.0);
+  m.add_le({{x1, 0.5}, {x2, -90.0}, {x3, -0.02}, {x4, 3.0}}, 0.0);
+  return m;
+}
+
+TEST(BackendEquivalence, BealeCyclingFixtureSolvesOnBothBackends) {
+  const lp::Model m = beale_model();
+  for (const lp::BasisBackend backend :
+       {lp::BasisBackend::kDense, lp::BasisBackend::kSparse}) {
+    lp::SimplexOptions opt;
+    opt.basis_backend = backend;
+    const lp::Solution s = lp::solve_lp(m, opt);
+    ASSERT_TRUE(s.optimal()) << lp::to_string(backend);
+    EXPECT_NEAR(s.objective, -0.05, 1e-9) << lp::to_string(backend);
+  }
+}
+
+TEST(BackendEquivalence, BlandRungRunsOnTheSparsePath) {
+  // bland_trigger <= 0 engages Bland's rule from the first pivot - the
+  // retry ladder's last-resort anti-cycling rung - and it must work on
+  // the sparse backend, not only on the dense fallback.
+  const lp::Model m = beale_model();
+  lp::SimplexOptions opt;
+  opt.basis_backend = lp::BasisBackend::kSparse;
+  opt.bland_trigger = 0;
+  const lp::Solution s = lp::solve_lp(m, opt);
+  ASSERT_TRUE(s.optimal());
+  EXPECT_NEAR(s.objective, -0.05, 1e-9);
+  EXPECT_TRUE(s.stats.bland_engaged);
+  EXPECT_EQ(s.stats.backend, lp::BasisBackend::kSparse);
+}
+
+TEST(BackendEquivalence, PricingModesReachTheSameOptimum) {
+  // Candidate-list and Devex pricing may walk different pivot paths and
+  // even stop at a different optimal vertex; the objective they certify
+  // must still match full Dantzig pricing.
+  const dag::TaskGraph g = apps::make_comd({.ranks = 8, .iterations = 1});
+  const core::LpFormulation form(g, model(), cluster());
+  const core::BuiltModel built =
+      form.build_model({.power_cap = 8 * 45.0});
+
+  lp::SimplexOptions base;
+  base.basis_backend = lp::BasisBackend::kSparse;
+  base.pricing = lp::PricingRule::kDantzig;
+  const lp::Solution ref = lp::solve_lp(built.model, base);
+  ASSERT_TRUE(ref.optimal());
+
+  for (const lp::PricingRule rule :
+       {lp::PricingRule::kCandidateList, lp::PricingRule::kDevex}) {
+    lp::SimplexOptions opt = base;
+    opt.pricing = rule;
+    const lp::Solution s = lp::solve_lp(built.model, opt);
+    ASSERT_TRUE(s.optimal()) << static_cast<int>(rule);
+    const double scale = std::max(1.0, std::abs(ref.objective));
+    EXPECT_LE(std::abs(s.objective - ref.objective) / scale, 1e-7)
+        << static_cast<int>(rule);
+  }
+}
+
+TEST(BackendEquivalence, WarmStartsCrossBackends) {
+  // A dense solve's basis snapshot seeds a sparse re-solve and vice
+  // versa (WarmStart is backend-agnostic by contract).
+  const dag::TaskGraph g = apps::make_comd({.ranks = 4, .iterations = 2});
+  const core::LpFormulation form(g, model(), cluster());
+  const core::BuiltModel built =
+      form.build_model({.power_cap = 4 * 50.0});
+
+  lp::SimplexOptions dense_opt;
+  dense_opt.basis_backend = lp::BasisBackend::kDense;
+  lp::SimplexOptions sparse_opt;
+  sparse_opt.basis_backend = lp::BasisBackend::kSparse;
+
+  lp::WarmStart warm;
+  const lp::Solution cold = lp::solve_lp(built.model, dense_opt, &warm);
+  ASSERT_TRUE(cold.optimal());
+  ASSERT_TRUE(warm.valid());
+
+  const lp::Solution rewarmed = lp::solve_lp(built.model, sparse_opt, &warm);
+  ASSERT_TRUE(rewarmed.optimal());
+  EXPECT_NEAR(rewarmed.objective, cold.objective, 1e-9);
+  // Warm-started from the optimal basis: phase I is skipped entirely,
+  // so the re-solve takes (near) zero pivots.
+  EXPECT_LE(rewarmed.iterations, cold.iterations);
+
+  const lp::Solution back_to_dense =
+      lp::solve_lp(built.model, dense_opt, &warm);
+  ASSERT_TRUE(back_to_dense.optimal());
+  EXPECT_NEAR(back_to_dense.objective, cold.objective, 1e-9);
+}
+
+TEST(BackendEquivalence, StatusParityOnInfeasibleAndUnbounded) {
+  lp::Model infeasible;
+  {
+    const lp::Variable x = infeasible.add_variable(0, 1.0, 1.0, "x");
+    infeasible.add_ge({{x, 1.0}}, 2.0);
+  }
+  lp::Model unbounded(lp::Sense::kMaximize);
+  {
+    const lp::Variable x =
+        unbounded.add_variable(0, lp::kInfinity, 1.0, "x");
+    const lp::Variable y =
+        unbounded.add_variable(0, lp::kInfinity, 0.0, "y");
+    unbounded.add_le({{x, 1.0}, {y, -1.0}}, 5.0);
+  }
+  for (const lp::BasisBackend backend :
+       {lp::BasisBackend::kDense, lp::BasisBackend::kSparse}) {
+    lp::SimplexOptions opt;
+    opt.basis_backend = backend;
+    EXPECT_EQ(lp::solve_lp(infeasible, opt).status,
+              lp::SolveStatus::kInfeasible)
+        << lp::to_string(backend);
+    EXPECT_EQ(lp::solve_lp(unbounded, opt).status,
+              lp::SolveStatus::kUnbounded)
+        << lp::to_string(backend);
+  }
+}
+
+TEST(BackendEquivalence, HundredThousandTaskTraceSolvesSparse) {
+  // The scale target the sparse backend exists for: a synthetic trace
+  // with >= 100k task edges must solve to optimality on the sparse
+  // path within a generous-but-finite wall budget (the dense backend
+  // would not come close; see bench_perf_micro's backend benchmarks).
+  const dag::TaskGraph g =
+      apps::make_comd({.ranks = 64, .iterations = 1600});
+  long tasks = 0;
+  for (const dag::Edge& e : g.edges()) {
+    if (e.is_task()) ++tasks;
+  }
+  ASSERT_GE(tasks, 100'000);
+
+  core::LpScheduleOptions o =
+      backend_options(lp::BasisBackend::kSparse, 64 * 45.0);
+  o.simplex.deadline = util::Deadline::after(90.0);
+  const core::WindowedLpResult res =
+      core::solve_windowed_lp(g, model(), cluster(), o);
+  ASSERT_TRUE(res.optimal()) << lp::to_string(res.status);
+  EXPECT_GT(res.makespan, 0.0);
+  EXPECT_GT(res.eta_nonzeros, 0);
+}
+
+}  // namespace
+}  // namespace powerlim

@@ -63,6 +63,8 @@ RunReport golden_report() {
   a.refactor_count = 1;
   a.bland_engaged = true;
   a.primal_infeasibility = 0.001;
+  a.eta_nonzeros = 64;
+  a.lu_fill_ratio = 1.75;
   a.failed_window = 3;
   rep.attempts.push_back(a);
 
@@ -89,7 +91,7 @@ RunReport golden_report() {
 // The golden string. Field order, spelling, and nesting are all
 // contractual; values are chosen to be exact in decimal.
 const char* const kGolden =
-    "{\"schema_version\":7,"
+    "{\"schema_version\":8,"
     "\"job_cap_watts\":120,"
     "\"socket_cap_watts\":60,"
     "\"verdict\":\"ok\","
@@ -114,7 +116,8 @@ const char* const kGolden =
     "\"attempts\":[{\"rung\":\"warm\",\"outcome\":\"solver-numerical\","
     "\"injected\":true,\"iterations\":17,\"degenerate_pivots\":2,"
     "\"refactor_count\":1,\"bland_engaged\":true,"
-    "\"primal_infeasibility\":0.001,\"failed_window\":3,"
+    "\"primal_infeasibility\":0.001,\"eta_nonzeros\":64,"
+    "\"lu_fill_ratio\":1.75,\"failed_window\":3,"
     "\"detail\":\"injected\"}],"
     "\"replay\":{\"checked\":true,\"ok\":true,\"cap_watts\":120,"
     "\"peak_power_watts\":130.5,\"max_windowed_power_watts\":118.25,"
@@ -128,12 +131,12 @@ TEST(ReportSchema, GoldenShapeIsStable) {
   EXPECT_EQ(golden_report().to_json(), kGolden);
 }
 
-TEST(ReportSchema, VersionIsSeven) {
-  EXPECT_EQ(kRunReportSchemaVersion, 7);
-  EXPECT_EQ(RunReport{}.schema_version, 7);
+TEST(ReportSchema, VersionIsEight) {
+  EXPECT_EQ(kRunReportSchemaVersion, 8);
+  EXPECT_EQ(RunReport{}.schema_version, 8);
   // Every serialized report leads with the version so consumers can
   // dispatch before parsing the rest.
-  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":7,", 0), 0u);
+  EXPECT_EQ(RunReport{}.to_json().rfind("{\"schema_version\":8,", 0), 0u);
 }
 
 TEST(ReportSchema, InProcessSolveZeroesWorkerTelemetry) {

@@ -96,6 +96,8 @@ std::string strip_telemetry(const std::string& json) {
   static const std::regex kIterations("\"iterations\":[0-9]+");
   static const std::regex kDegenerate("\"degenerate_pivots\":[0-9]+");
   static const std::regex kRefactor("\"refactor_count\":[0-9]+");
+  static const std::regex kEta("\"eta_nonzeros\":[0-9]+");
+  static const std::regex kFill("\"lu_fill_ratio\":[0-9.eE+-]+");
   static const std::regex kPrimal("\"primal_infeasibility\":[0-9.eE+-]+");
   static const std::regex kGap("\"duality_gap\":[0-9.eE+-]+");
   static const std::regex kViolation("\"violation_watts\":[0-9.eE+-]+");
@@ -106,6 +108,8 @@ std::string strip_telemetry(const std::string& json) {
   s = std::regex_replace(s, kIterations, "\"iterations\":0");
   s = std::regex_replace(s, kDegenerate, "\"degenerate_pivots\":0");
   s = std::regex_replace(s, kRefactor, "\"refactor_count\":0");
+  s = std::regex_replace(s, kEta, "\"eta_nonzeros\":0");
+  s = std::regex_replace(s, kFill, "\"lu_fill_ratio\":0");
   s = std::regex_replace(s, kPrimal, "\"primal_infeasibility\":0");
   return std::regex_replace(s, kViolation, "\"violation_watts\":0");
 }

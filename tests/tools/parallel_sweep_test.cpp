@@ -83,11 +83,15 @@ std::string strip_telemetry(const std::string& json) {
   static const std::regex kIterations("\"iterations\":[0-9]+");
   static const std::regex kDegenerate("\"degenerate_pivots\":[0-9]+");
   static const std::regex kRefactor("\"refactor_count\":[0-9]+");
+  static const std::regex kEta("\"eta_nonzeros\":[0-9]+");
+  static const std::regex kFill("\"lu_fill_ratio\":[0-9.eE+-]+");
   std::string s = std::regex_replace(json, kWall, "\"wall_ms\":0");
   s = std::regex_replace(s, kWorker, "\"worker\":{}");
   s = std::regex_replace(s, kIterations, "\"iterations\":0");
   s = std::regex_replace(s, kDegenerate, "\"degenerate_pivots\":0");
-  return std::regex_replace(s, kRefactor, "\"refactor_count\":0");
+  s = std::regex_replace(s, kRefactor, "\"refactor_count\":0");
+  s = std::regex_replace(s, kEta, "\"eta_nonzeros\":0");
+  return std::regex_replace(s, kFill, "\"lu_fill_ratio\":0");
 }
 
 TEST(ParallelSweepCli, CrashInjectedParallelMatchesSerialByteForByte) {
